@@ -1,0 +1,123 @@
+// Ablation bench (DESIGN.md Section 5): the design choices *around* the
+// paper's algorithms.
+//   1. GTP: plain scan vs lazy (CELF) vs parallel oracle — identical
+//      deployments (asserted), different oracle-call counts and times.
+//   2. HAT: lazy min-heap vs naive full rescan per merge.
+// Swept over topology size to show the scaling behaviour.
+#include <iostream>
+
+#include "experiment/stats.hpp"
+#include "experiment/table.hpp"
+#include "scenario.hpp"
+
+namespace tdmd::bench {
+namespace {
+
+struct GtpAblationRow {
+  experiment::Stats plain_calls, lazy_calls;
+  experiment::Stats plain_s, lazy_s, parallel_s;
+};
+
+void RunGtpAblation(const std::vector<VertexId>& sizes, std::size_t trials,
+                    std::uint64_t seed, bool csv) {
+  parallel::ThreadPool pool(0);
+  std::vector<GtpAblationRow> rows(sizes.size());
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    for (std::size_t t = 0; t < trials; ++t) {
+      Rng rng(seed * 1000003 + si * 131 + t);
+      ScenarioParams params;
+      params.general_size = sizes[si];
+      const GeneralScenario scenario = MakeGeneralScenario(params, rng);
+
+      experiment::Timer timer;
+      const core::PlacementResult plain = core::Gtp(scenario.instance);
+      rows[si].plain_s.Add(timer.ElapsedSeconds());
+      rows[si].plain_calls.Add(static_cast<double>(plain.oracle_calls));
+
+      core::GtpOptions lazy;
+      lazy.lazy = true;
+      timer.Restart();
+      const core::PlacementResult celf = core::Gtp(scenario.instance, lazy);
+      rows[si].lazy_s.Add(timer.ElapsedSeconds());
+      rows[si].lazy_calls.Add(static_cast<double>(celf.oracle_calls));
+
+      core::GtpOptions par;
+      par.pool = &pool;
+      timer.Restart();
+      const core::PlacementResult parallel_result =
+          core::Gtp(scenario.instance, par);
+      rows[si].parallel_s.Add(timer.ElapsedSeconds());
+
+      // Sanity: all three variants must agree (CELF is exact; the pool
+      // only parallelizes the oracle).
+      TDMD_CHECK(plain.deployment == celf.deployment);
+      TDMD_CHECK(plain.deployment == parallel_result.deployment);
+    }
+  }
+
+  experiment::Table table("Ablation: GTP oracle strategies");
+  table.SetHeader({"size", "plain oracle calls", "lazy oracle calls",
+                   "plain s", "lazy s", "parallel s"});
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    table.AddRow({experiment::FormatNumber(sizes[si]),
+                  rows[si].plain_calls.ToString(),
+                  rows[si].lazy_calls.ToString(),
+                  rows[si].plain_s.ToString(), rows[si].lazy_s.ToString(),
+                  rows[si].parallel_s.ToString()});
+  }
+  table.Print(std::cout);
+  if (csv) table.PrintCsv(std::cout);
+}
+
+void RunHatAblation(const std::vector<VertexId>& sizes, std::size_t trials,
+                    std::uint64_t seed, bool csv) {
+  experiment::Table table("Ablation: HAT heap vs naive rescan");
+  table.SetHeader({"size", "heap oracle calls", "naive oracle calls",
+                   "heap s", "naive s", "bandwidth gap"});
+  for (VertexId size : sizes) {
+    experiment::Stats heap_calls, naive_calls, heap_s, naive_s, gap;
+    for (std::size_t t = 0; t < trials; ++t) {
+      Rng rng(seed * 7000003 + static_cast<std::uint64_t>(size) * 17 + t);
+      ScenarioParams params;
+      params.tree_size = size;
+      const TreeScenario scenario = MakeTreeScenario(params, rng);
+      core::HatOptions heap_opts;
+      heap_opts.k = params.tree_k;
+      experiment::Timer timer;
+      const core::PlacementResult heap =
+          core::Hat(scenario.instance, scenario.tree, heap_opts);
+      heap_s.Add(timer.ElapsedSeconds());
+      heap_calls.Add(static_cast<double>(heap.oracle_calls));
+
+      core::HatOptions naive_opts = heap_opts;
+      naive_opts.naive_rescan = true;
+      timer.Restart();
+      const core::PlacementResult naive =
+          core::Hat(scenario.instance, scenario.tree, naive_opts);
+      naive_s.Add(timer.ElapsedSeconds());
+      naive_calls.Add(static_cast<double>(naive.oracle_calls));
+      gap.Add(heap.bandwidth - naive.bandwidth);
+    }
+    table.AddRow({experiment::FormatNumber(size), heap_calls.ToString(),
+                  naive_calls.ToString(), heap_s.ToString(),
+                  naive_s.ToString(), gap.ToString()});
+  }
+  table.Print(std::cout);
+  if (csv) table.PrintCsv(std::cout);
+}
+
+}  // namespace
+}  // namespace tdmd::bench
+
+int main(int argc, char** argv) {
+  using namespace tdmd;
+  ArgParser parser("ablation_lazy_greedy",
+                   "Ablations: CELF vs plain GTP; heap vs naive HAT");
+  const bench::BenchFlags flags = bench::AddBenchFlags(parser);
+  parser.Parse(argc, argv);
+  const auto trials = static_cast<std::size_t>(*flags.trials);
+  const auto seed = static_cast<std::uint64_t>(*flags.seed);
+  bench::RunGtpAblation({20, 35, 50, 65}, trials, seed, *flags.csv);
+  bench::RunHatAblation({16, 24, 32, 40}, trials, seed, *flags.csv);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Dynamic churn bench (extension; see DESIGN.md): the stability /
+// optimality trade-off of incremental re-placement.
+//
+// Flows arrive and depart over `--epochs` epochs on the default general
+// topology.  For each hysteresis threshold we report mean bandwidth
+// regret (maintained vs from-scratch re-solve) and middlebox moves per
+// epoch: threshold 0 tracks the re-solve exactly but moves constantly;
+// a large threshold freezes the plan and pays growing regret.
+#include <iostream>
+
+#include "core/dynamic.hpp"
+#include "experiment/stats.hpp"
+#include "experiment/table.hpp"
+#include "scenario.hpp"
+#include "topology/ark.hpp"
+
+namespace tdmd::bench {
+namespace {
+
+void RunChurn(std::size_t trials, std::size_t epochs, std::uint64_t seed,
+              bool csv) {
+  experiment::Table table(
+      "Dynamic churn: hysteresis threshold vs regret and moves");
+  table.SetHeader({"threshold", "regret %", "moves/epoch",
+                   "adoptions/epoch", "infeasible epochs"});
+  for (double threshold : {0.0, 5.0, 20.0, 80.0, 1e9}) {
+    experiment::Stats regret, moves, adoptions;
+    std::size_t infeasible = 0;
+    for (std::size_t t = 0; t < trials; ++t) {
+      Rng rng(seed * 9176 + t);
+      topology::ArkParams ark_params;
+      ark_params.num_monitors = 110;
+      const topology::ArkTopology ark =
+          topology::GenerateArk(ark_params, rng);
+      graph::Digraph network =
+          topology::ExtractGeneralSubgraph(ark, 30, rng);
+
+      core::DynamicOptions options;
+      options.k = 10;
+      options.lambda = 0.5;
+      options.move_threshold = threshold;
+      core::DynamicPlacer placer(network, options);
+      core::ChurnModel churn;
+      churn.arrival_count = 8;
+      churn.departure_probability = 0.2;
+
+      for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+        const traffic::FlowSet arrivals =
+            core::DrawArrivals(network, churn, rng);
+        const std::vector<std::size_t> departures = core::DrawDepartures(
+            placer.active_flows().size(), churn, rng);
+        const core::EpochReport report =
+            placer.Step(arrivals, departures);
+        if (!report.feasible) ++infeasible;
+        if (report.resolve_bandwidth > 0.0) {
+          regret.Add(100.0 *
+                     (report.maintained_bandwidth -
+                      report.resolve_bandwidth) /
+                     report.resolve_bandwidth);
+        }
+        moves.Add(static_cast<double>(report.moves));
+        adoptions.Add(report.adopted_resolve ? 1.0 : 0.0);
+      }
+    }
+    table.AddRow({experiment::FormatNumber(threshold),
+                  regret.ToString(), moves.ToString(),
+                  adoptions.ToString(), std::to_string(infeasible)});
+  }
+  table.Print(std::cout);
+  if (csv) table.PrintCsv(std::cout);
+}
+
+}  // namespace
+}  // namespace tdmd::bench
+
+int main(int argc, char** argv) {
+  using namespace tdmd;
+  ArgParser parser("dynamic_churn",
+                   "Incremental re-placement under flow churn "
+                   "(stability vs optimality)");
+  const bench::BenchFlags flags = bench::AddBenchFlags(parser);
+  const auto* epochs = parser.AddInt("epochs", 20, "churn epochs per trial");
+  parser.Parse(argc, argv);
+  bench::RunChurn(static_cast<std::size_t>(*flags.trials),
+                  static_cast<std::size_t>(*epochs),
+                  static_cast<std::uint64_t>(*flags.seed), *flags.csv);
+  return 0;
+}

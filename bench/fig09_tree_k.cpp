@@ -1,0 +1,29 @@
+// Fig. 9 — tree topology, sweep the middlebox budget k (1..16, step 3).
+// Sub-figure (a): total bandwidth consumption; (b): execution time.
+// Expected shape (paper): DP lowest everywhere, then HAT, then GTP;
+// Random highest with the widest error bars; DP's time grows fastest
+// with k.
+#include <cstdio>
+
+#include "scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tdmd;
+  ArgParser parser("fig09_tree_k",
+                   "Fig. 9: bandwidth & time vs middlebox budget k (tree)");
+  const bench::BenchFlags flags = bench::AddBenchFlags(parser);
+  parser.Parse(argc, argv);
+
+  const experiment::SweepConfig config = bench::MakeSweepConfig(
+      flags, "k", {1, 4, 7, 10, 13, 16});
+  const experiment::SweepResult result = experiment::RunSweep(
+      config, bench::kTreeAlgorithmNames, [](double x, Rng& rng) {
+        bench::ScenarioParams params;
+        const bench::TreeScenario scenario =
+            bench::MakeTreeScenario(params, rng);
+        return bench::RunTreeAlgorithms(scenario,
+                                        static_cast<std::size_t>(x), rng);
+      });
+  bench::Emit("Fig 9 (tree, vary k)", result, *flags.csv);
+  return 0;
+}

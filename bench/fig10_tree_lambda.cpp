@@ -1,0 +1,28 @@
+// Fig. 10 — tree topology, sweep the traffic-changing ratio lambda
+// (0..0.9, step 0.1) at k = 8.  Expected shape: bandwidth grows with
+// lambda for every algorithm; algorithm gaps widen as lambda grows;
+// execution time of the greedy algorithms is insensitive to lambda.
+#include "scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tdmd;
+  ArgParser parser("fig10_tree_lambda",
+                   "Fig. 10: bandwidth & time vs traffic-changing ratio "
+                   "(tree, k = 8)");
+  const bench::BenchFlags flags = bench::AddBenchFlags(parser);
+  parser.Parse(argc, argv);
+
+  const experiment::SweepConfig config = bench::MakeSweepConfig(
+      flags, "lambda",
+      {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9});
+  const experiment::SweepResult result = experiment::RunSweep(
+      config, bench::kTreeAlgorithmNames, [](double x, Rng& rng) {
+        bench::ScenarioParams params;
+        params.lambda = x;
+        const bench::TreeScenario scenario =
+            bench::MakeTreeScenario(params, rng);
+        return bench::RunTreeAlgorithms(scenario, params.tree_k, rng);
+      });
+  bench::Emit("Fig 10 (tree, vary lambda)", result, *flags.csv);
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Fig. 11 — tree topology, sweep the flow density (0.3..0.8, step 0.1)
+// at k = 8, lambda = 0.5.  Expected shape: near-linear growth of
+// bandwidth with density for every algorithm; Random degrades fastest at
+// high density; DP's execution time grows fastest (its b-dimension is
+// the total rate mass).
+#include "scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tdmd;
+  ArgParser parser("fig11_tree_density",
+                   "Fig. 11: bandwidth & time vs flow density (tree)");
+  const bench::BenchFlags flags = bench::AddBenchFlags(parser);
+  parser.Parse(argc, argv);
+
+  const experiment::SweepConfig config = bench::MakeSweepConfig(
+      flags, "density", {0.3, 0.4, 0.5, 0.6, 0.7, 0.8});
+  const experiment::SweepResult result = experiment::RunSweep(
+      config, bench::kTreeAlgorithmNames, [](double x, Rng& rng) {
+        bench::ScenarioParams params;
+        params.flow_density = x;
+        const bench::TreeScenario scenario =
+            bench::MakeTreeScenario(params, rng);
+        return bench::RunTreeAlgorithms(scenario, params.tree_k, rng);
+      });
+  bench::Emit("Fig 11 (tree, vary flow density)", result, *flags.csv);
+  return 0;
+}

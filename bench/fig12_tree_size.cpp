@@ -1,0 +1,27 @@
+// Fig. 12 — tree topology, sweep the topology size (12..32, step 4) at
+// k = 8, lambda = 0.5, density 0.5.  Expected shape: bandwidth grows
+// with size for every algorithm (longer paths, more flows); DP stays
+// lowest (paper reports ~10% below GTP and ~19% below Best-effort on
+// average); execution times grow fastest with this variable.
+#include "scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tdmd;
+  ArgParser parser("fig12_tree_size",
+                   "Fig. 12: bandwidth & time vs topology size (tree)");
+  const bench::BenchFlags flags = bench::AddBenchFlags(parser);
+  parser.Parse(argc, argv);
+
+  const experiment::SweepConfig config = bench::MakeSweepConfig(
+      flags, "size", {12, 16, 20, 24, 28, 32});
+  const experiment::SweepResult result = experiment::RunSweep(
+      config, bench::kTreeAlgorithmNames, [](double x, Rng& rng) {
+        bench::ScenarioParams params;
+        params.tree_size = static_cast<VertexId>(x);
+        const bench::TreeScenario scenario =
+            bench::MakeTreeScenario(params, rng);
+        return bench::RunTreeAlgorithms(scenario, params.tree_k, rng);
+      });
+  bench::Emit("Fig 12 (tree, vary topology size)", result, *flags.csv);
+  return 0;
+}

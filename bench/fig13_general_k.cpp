@@ -1,0 +1,27 @@
+// Fig. 13 — general topology, sweep the middlebox budget k (12..22,
+// step 2).  Algorithms: Random, Best-effort, GTP.  Expected shape:
+// bandwidth roughly 3x the tree figures (more, longer paths); GTP lowest;
+// GTP also the slowest of the three (the paper's noted performance/time
+// trade-off).
+#include "scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tdmd;
+  ArgParser parser("fig13_general_k",
+                   "Fig. 13: bandwidth & time vs budget k (general)");
+  const bench::BenchFlags flags = bench::AddBenchFlags(parser);
+  parser.Parse(argc, argv);
+
+  const experiment::SweepConfig config = bench::MakeSweepConfig(
+      flags, "k", {12, 14, 16, 18, 20, 22});
+  const experiment::SweepResult result = experiment::RunSweep(
+      config, bench::kGeneralAlgorithmNames, [](double x, Rng& rng) {
+        bench::ScenarioParams params;
+        const bench::GeneralScenario scenario =
+            bench::MakeGeneralScenario(params, rng);
+        return bench::RunGeneralAlgorithms(
+            scenario, static_cast<std::size_t>(x), rng);
+      });
+  bench::Emit("Fig 13 (general, vary k)", result, *flags.csv);
+  return 0;
+}

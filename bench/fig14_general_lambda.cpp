@@ -1,0 +1,28 @@
+// Fig. 14 — general topology, sweep lambda (0..0.9, step 0.1) at k = 10.
+// Expected shape: bandwidth grows with lambda; GTP's advantage over the
+// baselines is narrower than on trees (paper: ~17% below Random, ~8%
+// below Best-effort); execution time roughly flat in lambda.
+#include "scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tdmd;
+  ArgParser parser("fig14_general_lambda",
+                   "Fig. 14: bandwidth & time vs traffic-changing ratio "
+                   "(general, k = 10)");
+  const bench::BenchFlags flags = bench::AddBenchFlags(parser);
+  parser.Parse(argc, argv);
+
+  const experiment::SweepConfig config = bench::MakeSweepConfig(
+      flags, "lambda",
+      {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9});
+  const experiment::SweepResult result = experiment::RunSweep(
+      config, bench::kGeneralAlgorithmNames, [](double x, Rng& rng) {
+        bench::ScenarioParams params;
+        params.lambda = x;
+        const bench::GeneralScenario scenario =
+            bench::MakeGeneralScenario(params, rng);
+        return bench::RunGeneralAlgorithms(scenario, params.general_k, rng);
+      });
+  bench::Emit("Fig 14 (general, vary lambda)", result, *flags.csv);
+  return 0;
+}

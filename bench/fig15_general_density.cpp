@@ -1,0 +1,26 @@
+// Fig. 15 — general topology, sweep flow density (0.3..0.8, step 0.1) at
+// k = 10, lambda = 0.5.  Expected shape: bandwidth grows near-linearly;
+// little separation below density 0.4, GTP clearly ahead above 0.5
+// (paper: ~91% of Random, ~94% of Best-effort on average).
+#include "scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tdmd;
+  ArgParser parser("fig15_general_density",
+                   "Fig. 15: bandwidth & time vs flow density (general)");
+  const bench::BenchFlags flags = bench::AddBenchFlags(parser);
+  parser.Parse(argc, argv);
+
+  const experiment::SweepConfig config = bench::MakeSweepConfig(
+      flags, "density", {0.3, 0.4, 0.5, 0.6, 0.7, 0.8});
+  const experiment::SweepResult result = experiment::RunSweep(
+      config, bench::kGeneralAlgorithmNames, [](double x, Rng& rng) {
+        bench::ScenarioParams params;
+        params.flow_density = x;
+        const bench::GeneralScenario scenario =
+            bench::MakeGeneralScenario(params, rng);
+        return bench::RunGeneralAlgorithms(scenario, params.general_k, rng);
+      });
+  bench::Emit("Fig 15 (general, vary flow density)", result, *flags.csv);
+  return 0;
+}

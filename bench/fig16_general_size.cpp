@@ -1,0 +1,26 @@
+// Fig. 16 — general topology, sweep topology size (12..52, step 8) at
+// k = 10.  Expected shape: near-linear bandwidth growth with size; GTP's
+// advantage widens as the topology grows; times grow with size for all
+// three algorithms.
+#include "scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tdmd;
+  ArgParser parser("fig16_general_size",
+                   "Fig. 16: bandwidth & time vs topology size (general)");
+  const bench::BenchFlags flags = bench::AddBenchFlags(parser);
+  parser.Parse(argc, argv);
+
+  const experiment::SweepConfig config = bench::MakeSweepConfig(
+      flags, "size", {12, 20, 28, 36, 44, 52});
+  const experiment::SweepResult result = experiment::RunSweep(
+      config, bench::kGeneralAlgorithmNames, [](double x, Rng& rng) {
+        bench::ScenarioParams params;
+        params.general_size = static_cast<VertexId>(x);
+        const bench::GeneralScenario scenario =
+            bench::MakeGeneralScenario(params, rng);
+        return bench::RunGeneralAlgorithms(scenario, params.general_k, rng);
+      });
+  bench::Emit("Fig 16 (general, vary topology size)", result, *flags.csv);
+  return 0;
+}

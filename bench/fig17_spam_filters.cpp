@@ -1,0 +1,96 @@
+// Fig. 17 — spam filters (lambda = 0): GTP's total bandwidth over the
+// (k, flow density) grid, on the tree (a) and general (b) topologies.
+// The paper's 3-D surface becomes a matrix here: rows = k, columns =
+// density.  Expected shape: bandwidth rises gently with density and
+// falls with k, density having the larger slope; with large k and high
+// density the bandwidth drops quickly (flows intercepted at sources).
+#include <iostream>
+
+#include "experiment/stats.hpp"
+#include "experiment/table.hpp"
+#include "scenario.hpp"
+
+namespace tdmd::bench {
+namespace {
+
+/// One surface: mean GTP bandwidth per (k, density) cell.
+void RunSurface(bool tree_topology, const std::vector<double>& ks,
+                const std::vector<double>& densities, std::size_t trials,
+                std::uint64_t seed, std::size_t threads, bool csv) {
+  const std::string title = tree_topology
+                                ? "Fig 17(a) spam filters — tree"
+                                : "Fig 17(b) spam filters — general";
+  // Encode the 2-D grid into the 1-D sweep: x = k_index * |D| + d_index.
+  std::vector<double> cells;
+  for (std::size_t i = 0; i < ks.size() * densities.size(); ++i) {
+    cells.push_back(static_cast<double>(i));
+  }
+  experiment::SweepConfig config;
+  config.x_name = "cell";
+  config.x_values = cells;
+  config.trials = trials;
+  config.seed = seed + (tree_topology ? 0 : 1);
+  config.threads = threads;
+
+  const experiment::SweepResult sweep = experiment::RunSweep(
+      config, {"GTP"}, [&](double x, Rng& rng) {
+        const auto cell = static_cast<std::size_t>(x);
+        const std::size_t k_index = cell / densities.size();
+        const std::size_t d_index = cell % densities.size();
+        ScenarioParams params;
+        params.lambda = 0.0;  // spam filter: 100% interception
+        params.flow_density = densities[d_index];
+        core::GtpOptions gtp;
+        gtp.max_middleboxes = static_cast<std::size_t>(ks[k_index]);
+        gtp.feasibility_aware = true;
+        std::vector<experiment::Measurement> ms(1);
+        if (tree_topology) {
+          const TreeScenario scenario = MakeTreeScenario(params, rng);
+          ms[0] = Measure([&] { return core::Gtp(scenario.instance, gtp); });
+        } else {
+          const GeneralScenario scenario = MakeGeneralScenario(params, rng);
+          ms[0] = Measure([&] { return core::Gtp(scenario.instance, gtp); });
+        }
+        return ms;
+      });
+
+  experiment::Table table(title + " — mean GTP bandwidth");
+  std::vector<std::string> header{"k \\ density"};
+  for (double d : densities) header.push_back(experiment::FormatNumber(d));
+  table.SetHeader(std::move(header));
+  for (std::size_t ki = 0; ki < ks.size(); ++ki) {
+    std::vector<std::string> row{experiment::FormatNumber(ks[ki])};
+    for (std::size_t di = 0; di < densities.size(); ++di) {
+      const auto cell = ki * densities.size() + di;
+      row.push_back(experiment::FormatNumber(
+          sweep.series[0].bandwidth[cell].mean()));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  if (csv) table.PrintCsv(std::cout);
+}
+
+}  // namespace
+}  // namespace tdmd::bench
+
+int main(int argc, char** argv) {
+  using namespace tdmd;
+  ArgParser parser("fig17_spam_filters",
+                   "Fig. 17: spam filter (lambda = 0) bandwidth over the "
+                   "(k, density) grid");
+  const bench::BenchFlags flags = bench::AddBenchFlags(parser);
+  parser.Parse(argc, argv);
+
+  const std::vector<double> tree_ks = {5, 8, 11, 14};
+  const std::vector<double> general_ks = {6, 10, 14};
+  const std::vector<double> densities = {0.4, 0.5, 0.6, 0.7, 0.8};
+  const auto trials = static_cast<std::size_t>(*flags.trials);
+  const auto seed = static_cast<std::uint64_t>(*flags.seed);
+  const auto threads = static_cast<std::size_t>(*flags.threads);
+  bench::RunSurface(/*tree_topology=*/true, tree_ks, densities, trials,
+                    seed, threads, *flags.csv);
+  bench::RunSurface(/*tree_topology=*/false, general_ks, densities, trials,
+                    seed, threads, *flags.csv);
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Optimality-gap bench (beyond the paper's figures): how far are the
+// heuristics from the *certified* optimum?
+//
+//   * Trees: DP is optimal (Theorem 4); gap of HAT / GTP / Best-effort /
+//     Random relative to DP.
+//   * General topologies: exact branch-and-bound (submodular-bound
+//     pruning) provides the optimum on small instances; gap of GTP and
+//     the baselines, empirically situating Theorem 3's (1 - 1/e) bound.
+#include <iostream>
+
+#include "experiment/stats.hpp"
+#include "experiment/table.hpp"
+#include "scenario.hpp"
+
+namespace tdmd::bench {
+namespace {
+
+void TreeGaps(std::size_t trials, std::uint64_t seed, bool csv) {
+  experiment::Table table(
+      "Optimality gap vs DP on trees (mean bandwidth ratio)");
+  table.SetHeader({"k", "HAT/DP", "GTP/DP", "Best-effort/DP",
+                   "Random/DP"});
+  for (std::size_t k : {2u, 4u, 8u, 12u}) {
+    experiment::Stats hat_ratio, gtp_ratio, best_ratio, random_ratio;
+    for (std::size_t t = 0; t < trials; ++t) {
+      Rng rng(seed * 101 + t);
+      ScenarioParams params;
+      const TreeScenario scenario = MakeTreeScenario(params, rng);
+      const core::PlacementResult dp =
+          core::DpTree(scenario.instance, scenario.tree, k);
+      if (!dp.feasible || dp.bandwidth <= 0.0) continue;
+      const core::PlacementResult hat =
+          core::Hat(scenario.instance, scenario.tree, k);
+      core::GtpOptions gtp_options;
+      gtp_options.max_middleboxes = k;
+      gtp_options.feasibility_aware = true;
+      const core::PlacementResult gtp =
+          core::Gtp(scenario.instance, gtp_options);
+      const core::PlacementResult best =
+          core::BestEffort(scenario.instance, k);
+      core::RandomPlacementOptions random_options;
+      random_options.k = k;
+      const core::PlacementResult random =
+          core::RandomPlacement(scenario.instance, random_options, rng);
+      hat_ratio.Add(hat.bandwidth / dp.bandwidth);
+      gtp_ratio.Add(gtp.bandwidth / dp.bandwidth);
+      best_ratio.Add(best.bandwidth / dp.bandwidth);
+      random_ratio.Add(random.bandwidth / dp.bandwidth);
+    }
+    table.AddRow({experiment::FormatNumber(static_cast<double>(k)),
+                  hat_ratio.ToString(), gtp_ratio.ToString(),
+                  best_ratio.ToString(), random_ratio.ToString()});
+  }
+  table.Print(std::cout);
+  if (csv) table.PrintCsv(std::cout);
+}
+
+void GeneralGaps(std::size_t trials, std::uint64_t seed, bool csv) {
+  experiment::Table table(
+      "Optimality gap vs exact B&B on small general topologies");
+  table.SetHeader({"k", "GTP/OPT", "Best-effort/OPT", "Random/OPT",
+                   "B&B nodes"});
+  for (std::size_t k : {3u, 5u, 7u}) {
+    experiment::Stats gtp_ratio, best_ratio, random_ratio, nodes;
+    for (std::size_t t = 0; t < trials; ++t) {
+      Rng rng(seed * 757 + t);
+      ScenarioParams params;
+      params.general_size = 18;  // small enough for the exact solver
+      params.general_link_capacity = 25.0;
+      const GeneralScenario scenario = MakeGeneralScenario(params, rng);
+      const auto exact =
+          core::ExactBranchAndBound(scenario.instance, k);
+      if (!exact.has_value() || exact->best.bandwidth <= 0.0) continue;
+      nodes.Add(static_cast<double>(exact->nodes_explored));
+      core::GtpOptions gtp_options;
+      gtp_options.max_middleboxes = k;
+      gtp_options.feasibility_aware = true;
+      const core::PlacementResult gtp =
+          core::Gtp(scenario.instance, gtp_options);
+      const core::PlacementResult best =
+          core::BestEffort(scenario.instance, k);
+      core::RandomPlacementOptions random_options;
+      random_options.k = k;
+      const core::PlacementResult random =
+          core::RandomPlacement(scenario.instance, random_options, rng);
+      gtp_ratio.Add(gtp.bandwidth / exact->best.bandwidth);
+      best_ratio.Add(best.bandwidth / exact->best.bandwidth);
+      random_ratio.Add(random.bandwidth / exact->best.bandwidth);
+    }
+    table.AddRow({experiment::FormatNumber(static_cast<double>(k)),
+                  gtp_ratio.ToString(), best_ratio.ToString(),
+                  random_ratio.ToString(), nodes.ToString()});
+  }
+  table.Print(std::cout);
+  if (csv) table.PrintCsv(std::cout);
+}
+
+void ScaledDpGaps(std::size_t trials, std::uint64_t seed, bool csv) {
+  experiment::Table table(
+      "Scaled DP (future-work FPTAS direction): gap vs exact DP");
+  table.SetHeader({"epsilon", "scale", "bandwidth/OPT", "certified bound",
+                   "speedup x"});
+  for (double epsilon : {0.05, 0.1, 0.25, 0.5}) {
+    experiment::Stats scale, ratio, bound, speedup;
+    for (std::size_t t = 0; t < trials; ++t) {
+      Rng rng(seed * 31 + t);
+      ScenarioParams params;
+      params.max_rate = 400;  // precision-heavy rates: scaling matters
+      params.tree_link_capacity = 2000.0;
+      const TreeScenario scenario = MakeTreeScenario(params, rng);
+      experiment::Timer timer;
+      const core::PlacementResult exact =
+          core::DpTree(scenario.instance, scenario.tree, params.tree_k);
+      const double exact_s = timer.ElapsedSeconds();
+      timer.Restart();
+      const core::ScaledDpResult scaled = core::DpTreeScaled(
+          scenario.instance, scenario.tree, params.tree_k, epsilon);
+      const double scaled_s = timer.ElapsedSeconds();
+      if (exact.bandwidth <= 0.0) continue;
+      scale.Add(static_cast<double>(scaled.scale));
+      ratio.Add(scaled.result.bandwidth / exact.bandwidth);
+      bound.Add(scaled.error_bound);
+      speedup.Add(exact_s / std::max(scaled_s, 1e-9));
+    }
+    table.AddRow({experiment::FormatNumber(epsilon), scale.ToString(),
+                  ratio.ToString(), bound.ToString(), speedup.ToString()});
+  }
+  table.Print(std::cout);
+  if (csv) table.PrintCsv(std::cout);
+}
+
+}  // namespace
+}  // namespace tdmd::bench
+
+int main(int argc, char** argv) {
+  using namespace tdmd;
+  ArgParser parser("optimality_gap",
+                   "Heuristic-vs-optimal gap on trees (DP) and general "
+                   "topologies (branch and bound), plus the scaled DP");
+  const bench::BenchFlags flags = bench::AddBenchFlags(parser);
+  parser.Parse(argc, argv);
+  const auto trials = static_cast<std::size_t>(*flags.trials);
+  const auto seed = static_cast<std::uint64_t>(*flags.seed);
+  bench::TreeGaps(trials, seed, *flags.csv);
+  bench::GeneralGaps(trials, seed, *flags.csv);
+  bench::ScaledDpGaps(trials, seed, *flags.csv);
+  return 0;
+}

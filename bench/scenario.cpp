@@ -1,0 +1,128 @@
+#include "scenario.hpp"
+
+#include <iostream>
+
+#include "topology/ark.hpp"
+#include "traffic/flow.hpp"
+
+namespace tdmd::bench {
+
+namespace {
+
+topology::ArkTopology MakeArk(Rng& rng) {
+  topology::ArkParams params;
+  params.num_monitors = 110;
+  return topology::GenerateArk(params, rng);
+}
+
+}  // namespace
+
+TreeScenario MakeTreeScenario(const ScenarioParams& params, Rng& rng) {
+  const topology::ArkTopology ark = MakeArk(rng);
+  graph::Tree tree =
+      topology::ExtractTreeSubgraph(ark, params.tree_size, rng);
+  traffic::WorkloadParams workload;
+  workload.flow_density = params.flow_density;
+  workload.link_capacity = params.tree_link_capacity;
+  workload.rates.max_rate = params.max_rate;
+  traffic::FlowSet flows = traffic::MergeSameSourceFlows(
+      traffic::GenerateTreeWorkload(tree, workload, rng));
+  core::Instance instance =
+      core::MakeTreeInstance(tree, flows, params.lambda);
+  return TreeScenario{std::move(tree), std::move(instance)};
+}
+
+GeneralScenario MakeGeneralScenario(const ScenarioParams& params, Rng& rng) {
+  const topology::ArkTopology ark = MakeArk(rng);
+  graph::Digraph g =
+      topology::ExtractGeneralSubgraph(ark, params.general_size, rng);
+  traffic::WorkloadParams workload;
+  workload.flow_density = params.flow_density;
+  workload.link_capacity = params.general_link_capacity;
+  workload.rates.max_rate = params.max_rate;
+  traffic::FlowSet flows =
+      traffic::GenerateGeneralWorkload(g, {0}, workload, rng);
+  return GeneralScenario{
+      core::Instance(std::move(g), std::move(flows), params.lambda)};
+}
+
+const std::vector<std::string> kTreeAlgorithmNames = {
+    "Random", "Best-effort", "GTP", "HAT", "DP"};
+
+std::vector<experiment::Measurement> RunTreeAlgorithms(
+    const TreeScenario& scenario, std::size_t k, Rng& rng) {
+  std::vector<experiment::Measurement> measurements;
+  measurements.reserve(5);
+
+  core::RandomPlacementOptions random_options;
+  random_options.k = k;
+  measurements.push_back(Measure([&] {
+    return core::RandomPlacement(scenario.instance, random_options, rng);
+  }));
+  measurements.push_back(
+      Measure([&] { return core::BestEffort(scenario.instance, k); }));
+  core::GtpOptions gtp_options;
+  gtp_options.max_middleboxes = k;
+  gtp_options.feasibility_aware = true;
+  measurements.push_back(
+      Measure([&] { return core::Gtp(scenario.instance, gtp_options); }));
+  measurements.push_back(
+      Measure([&] { return core::Hat(scenario.instance, scenario.tree, k); }));
+  measurements.push_back(Measure(
+      [&] { return core::DpTree(scenario.instance, scenario.tree, k); }));
+  return measurements;
+}
+
+const std::vector<std::string> kGeneralAlgorithmNames = {
+    "Random", "Best-effort", "GTP"};
+
+std::vector<experiment::Measurement> RunGeneralAlgorithms(
+    const GeneralScenario& scenario, std::size_t k, Rng& rng) {
+  std::vector<experiment::Measurement> measurements;
+  measurements.reserve(3);
+  core::RandomPlacementOptions random_options;
+  random_options.k = k;
+  measurements.push_back(Measure([&] {
+    return core::RandomPlacement(scenario.instance, random_options, rng);
+  }));
+  measurements.push_back(
+      Measure([&] { return core::BestEffort(scenario.instance, k); }));
+  core::GtpOptions gtp_options;
+  gtp_options.max_middleboxes = k;
+  gtp_options.feasibility_aware = true;
+  measurements.push_back(
+      Measure([&] { return core::Gtp(scenario.instance, gtp_options); }));
+  return measurements;
+}
+
+BenchFlags AddBenchFlags(ArgParser& parser) {
+  BenchFlags flags;
+  flags.trials = parser.AddInt("trials", 10, "seeded trials per x value");
+  flags.seed = parser.AddInt("seed", 42, "root RNG seed");
+  flags.threads =
+      parser.AddInt("threads", 0, "worker threads (0 = hardware)");
+  flags.csv = parser.AddBool("csv", false, "also emit CSV (long format)");
+  return flags;
+}
+
+experiment::SweepConfig MakeSweepConfig(const BenchFlags& flags,
+                                        std::string x_name,
+                                        std::vector<double> x_values) {
+  experiment::SweepConfig config;
+  config.x_name = std::move(x_name);
+  config.x_values = std::move(x_values);
+  config.trials = static_cast<std::size_t>(*flags.trials);
+  config.seed = static_cast<std::uint64_t>(*flags.seed);
+  config.threads = static_cast<std::size_t>(*flags.threads);
+  return config;
+}
+
+void Emit(const std::string& figure, const experiment::SweepResult& result,
+          bool csv) {
+  experiment::PrintSweepTables(std::cout, figure, result);
+  if (csv) {
+    experiment::PrintSweepCsv(std::cout, result);
+  }
+}
+
+}  // namespace tdmd::bench

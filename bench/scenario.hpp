@@ -1,0 +1,96 @@
+// Shared scenario construction for the figure benches.
+//
+// Defaults follow Section 6.1: tree size 22 / general size 30, k = 8
+// (tree) / 10 (general), lambda = 0.5, flow density 0.5, Ark-like base
+// topology, CAIDA-like rates.  Each figure bench overrides exactly the
+// knob it sweeps, as the paper does ("each simulation tests one variable
+// and keeps other variables constant").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/args.hpp"
+#include "common/rng.hpp"
+#include "core/tdmd.hpp"
+#include "experiment/sweep.hpp"
+#include "experiment/timer.hpp"
+#include "graph/tree.hpp"
+#include "traffic/generator.hpp"
+
+namespace tdmd::bench {
+
+struct ScenarioParams {
+  VertexId tree_size = 22;
+  VertexId general_size = 30;
+  std::size_t tree_k = 8;
+  std::size_t general_k = 10;
+  double lambda = 0.5;
+  double flow_density = 0.5;
+  /// Per-link capacity in the density denominator.  Tuned so the default
+  /// density yields workloads the pseudo-polynomial DP handles quickly
+  /// (total integral rate a few hundred).
+  double tree_link_capacity = 60.0;
+  double general_link_capacity = 40.0;
+  Rate max_rate = 12;
+};
+
+struct TreeScenario {
+  graph::Tree tree;
+  core::Instance instance;
+};
+
+struct GeneralScenario {
+  core::Instance instance;
+};
+
+/// Builds the Ark-derived tree scenario (topology + merged workload).
+TreeScenario MakeTreeScenario(const ScenarioParams& params, Rng& rng);
+
+/// Builds the Ark-derived general scenario (destination = vertex 0, the
+/// extraction seed — the paper's red node).
+GeneralScenario MakeGeneralScenario(const ScenarioParams& params, Rng& rng);
+
+/// Runs one algorithm and captures (bandwidth, wall seconds, feasible).
+template <typename AlgoFn>
+experiment::Measurement Measure(AlgoFn&& algo) {
+  experiment::Timer timer;
+  const core::PlacementResult result = algo();
+  experiment::Measurement m;
+  m.seconds = timer.ElapsedSeconds();
+  m.bandwidth = result.bandwidth;
+  m.feasible = result.feasible;
+  return m;
+}
+
+/// The five tree-topology algorithms of Figs. 9-12, in the paper's legend
+/// order: Random, Best-effort, GTP, HAT, DP.
+std::vector<experiment::Measurement> RunTreeAlgorithms(
+    const TreeScenario& scenario, std::size_t k, Rng& rng);
+extern const std::vector<std::string> kTreeAlgorithmNames;
+
+/// The three general-topology algorithms of Figs. 13-16: Random,
+/// Best-effort, GTP.
+std::vector<experiment::Measurement> RunGeneralAlgorithms(
+    const GeneralScenario& scenario, std::size_t k, Rng& rng);
+extern const std::vector<std::string> kGeneralAlgorithmNames;
+
+/// Standard bench flags (--trials, --seed, --threads, --csv); returns the
+/// parsed config with x filled in by the caller.
+struct BenchFlags {
+  const std::int64_t* trials;
+  const std::int64_t* seed;
+  const std::int64_t* threads;
+  const bool* csv;
+};
+BenchFlags AddBenchFlags(ArgParser& parser);
+
+experiment::SweepConfig MakeSweepConfig(const BenchFlags& flags,
+                                        std::string x_name,
+                                        std::vector<double> x_values);
+
+/// Prints tables (and CSV when --csv) for a finished sweep.
+void Emit(const std::string& figure, const experiment::SweepResult& result,
+          bool csv);
+
+}  // namespace tdmd::bench

@@ -1,0 +1,71 @@
+// Scenario example: redundancy eliminators in a CDN distribution tree —
+// the streaming/CDN motivation of Section 5 ("tree topologies, which are
+// common in streaming services, content delivery networks (CDNs)").
+//
+// Edge caches (leaves) push logs/telemetry up to the origin (root); a
+// redundancy-elimination middlebox halves the stream (lambda = 0.5, the
+// SIGMETRICS'07 dedup figure the paper cites is 25-52%).  The example
+// contrasts the optimal DP with the fast HAT heuristic across budgets
+// and reports the quality/time trade-off (the paper's headline tension).
+//
+//   ./examples/cdn_tree [--size=40] [--density=0.6]
+#include <cstdio>
+
+#include "common/args.hpp"
+#include "common/rng.hpp"
+#include "core/tdmd.hpp"
+#include "experiment/timer.hpp"
+#include "topology/generators.hpp"
+#include "traffic/generator.hpp"
+
+using namespace tdmd;
+
+int main(int argc, char** argv) {
+  ArgParser parser("cdn_tree",
+                   "Redundancy-eliminator placement in a CDN tree");
+  const auto* size = parser.AddInt("size", 40, "CDN tree size");
+  const auto* density = parser.AddDouble("density", 0.6, "flow density");
+  const auto* lambda = parser.AddDouble("lambda", 0.5, "dedup ratio");
+  const auto* seed = parser.AddInt("seed", 23, "rng seed");
+  parser.Parse(argc, argv);
+
+  Rng rng(static_cast<std::uint64_t>(*seed));
+  const graph::Tree cdn = topology::RandomBoundedTree(
+      static_cast<VertexId>(*size), 4, rng);
+
+  traffic::WorkloadParams workload;
+  workload.flow_density = *density;
+  workload.link_capacity = 50.0;
+  workload.rates.max_rate = 12;
+  const traffic::FlowSet telemetry = traffic::MergeSameSourceFlows(
+      traffic::GenerateTreeWorkload(cdn, workload, rng));
+  const core::Instance instance =
+      core::MakeTreeInstance(cdn, telemetry, *lambda);
+
+  std::printf("CDN tree: %d nodes, %zu edge caches, %d aggregated "
+              "streams, base load %.0f\n\n",
+              cdn.num_vertices(), cdn.Leaves().size(),
+              instance.num_flows(), instance.UnprocessedBandwidth());
+
+  std::printf("%-4s  %-11s %-11s %-9s  %-11s %-11s\n", "k", "DP bw",
+              "HAT bw", "gap %", "DP ms", "HAT ms");
+  for (std::size_t k = 2; k <= 14; k += 3) {
+    experiment::Timer timer;
+    const core::PlacementResult dp = core::DpTree(instance, cdn, k);
+    const double dp_ms = timer.ElapsedMillis();
+    timer.Restart();
+    const core::PlacementResult hat = core::Hat(instance, cdn, k);
+    const double hat_ms = timer.ElapsedMillis();
+    const double gap =
+        dp.bandwidth > 0.0
+            ? 100.0 * (hat.bandwidth - dp.bandwidth) / dp.bandwidth
+            : 0.0;
+    std::printf("%-4zu  %-11.1f %-11.1f %-9.2f  %-11.3f %-11.3f\n", k,
+                dp.bandwidth, hat.bandwidth, gap, dp_ms, hat_ms);
+  }
+
+  std::printf("\nHAT tracks the optimum within a few percent at a "
+              "fraction of the DP's time — the paper's Section 5.2 "
+              "trade-off.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Scenario example: placing spam filters (lambda = 0) in a campus mail
+// network modeled as a Fat-tree aggregation hierarchy — the use case the
+// paper's abstract leads with ("particularly useful in allocating spam
+// filters to minimize the total spam traffic using a fixed number of
+// spam filters").
+//
+// Hosts (leaves) emit mail flows toward the mail gateway (root).  A spam
+// filter drops a flow entirely, so every link downstream of the filter
+// is spared.  The example sweeps the filter budget and reports the spam
+// bandwidth crossing the fabric plus the load on the gateway uplinks,
+// comparing the optimal DP placement with HAT and naive baselines.
+//
+//   ./examples/spam_filter_campus [--pods=4] [--budget-max=12]
+#include <cstdio>
+
+#include "common/args.hpp"
+#include "common/rng.hpp"
+#include "core/tdmd.hpp"
+#include "sim/link_sim.hpp"
+#include "topology/generators.hpp"
+#include "traffic/generator.hpp"
+
+using namespace tdmd;
+
+int main(int argc, char** argv) {
+  ArgParser parser("spam_filter_campus",
+                   "Spam-filter placement on a Fat-tree campus network");
+  const auto* pods = parser.AddInt("pods", 4, "number of pods");
+  const auto* tors = parser.AddInt("tors", 2, "ToR switches per pod");
+  const auto* hosts = parser.AddInt("hosts", 3, "hosts per ToR");
+  const auto* budget_max =
+      parser.AddInt("budget-max", 12, "largest filter budget to sweep");
+  const auto* seed = parser.AddInt("seed", 7, "rng seed");
+  parser.Parse(argc, argv);
+
+  const graph::Tree fabric = topology::FatTreeAggregation(
+      static_cast<int>(*pods), static_cast<int>(*tors),
+      static_cast<int>(*hosts));
+  Rng rng(static_cast<std::uint64_t>(*seed));
+
+  traffic::WorkloadParams workload;
+  workload.flow_density = 0.6;
+  workload.link_capacity = 40.0;
+  workload.rates.max_rate = 10;
+  const traffic::FlowSet spam = traffic::MergeSameSourceFlows(
+      traffic::GenerateTreeWorkload(fabric, workload, rng));
+
+  // lambda = 0: the filter intercepts 100% of spam.
+  const core::Instance instance = core::MakeTreeInstance(fabric, spam, 0.0);
+  std::printf(
+      "campus fabric: %d switches (%zu hosts), %d spam flows, "
+      "%.0f units of spam bandwidth with no filters\n\n",
+      fabric.num_vertices(), fabric.Leaves().size(), instance.num_flows(),
+      instance.UnprocessedBandwidth());
+
+  std::printf("%-7s  %-12s %-12s %-12s  %-14s\n", "filters", "DP bw",
+              "HAT bw", "Best-effort", "peak link (DP)");
+  for (std::size_t k = 1; k <= static_cast<std::size_t>(*budget_max);
+       k += 2) {
+    const core::PlacementResult dp = core::DpTree(instance, fabric, k);
+    const core::PlacementResult hat = core::Hat(instance, fabric, k);
+    const core::PlacementResult best = core::BestEffort(instance, k);
+    const sim::LinkLoadReport report =
+        sim::SimulateLinkLoads(instance, dp.deployment);
+    std::printf("%-7zu  %-12.1f %-12.1f %-12.1f  %-14.1f\n", k,
+                dp.bandwidth, hat.bandwidth, best.bandwidth, report.peak);
+  }
+
+  const core::PlacementResult full =
+      core::DpTree(instance, fabric, fabric.Leaves().size());
+  std::printf(
+      "\nwith one filter per active host rack the spam bandwidth drops to "
+      "%.1f (filters: %zu)\n",
+      full.bandwidth, full.deployment.size());
+  return 0;
+}

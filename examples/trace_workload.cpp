@@ -1,0 +1,104 @@
+// Scenario example: from packet trace to placement — the full data
+// pipeline the paper's evaluation implies.
+//
+//   synthetic packet trace (Poisson arrivals, heavy-tailed flows)
+//     -> per-flow byte aggregation        (traffic::AggregateFlowBytes)
+//     -> integral TDMD rates + histogram  (traffic::QuantizeRates)
+//     -> leaf-to-root workload on an Ark-derived tree
+//     -> DP / HAT / GTP placement
+//
+// Prints the derived rate histogram (mice vs elephants) and the
+// placement quality, demonstrating that trace-derived workloads behave
+// like the direct CAIDA-shaped sampler (DESIGN.md substitution table).
+//
+//   ./examples/trace_workload [--minutes=2] [--k=8]
+#include <cstdio>
+
+#include "common/args.hpp"
+#include "common/rng.hpp"
+#include "core/tdmd.hpp"
+#include "topology/ark.hpp"
+#include "traffic/trace.hpp"
+
+using namespace tdmd;
+
+int main(int argc, char** argv) {
+  ArgParser parser("trace_workload",
+                   "packet trace -> flow rates -> middlebox placement");
+  const auto* minutes = parser.AddInt("minutes", 2, "trace duration");
+  const auto* k = parser.AddInt("k", 8, "middlebox budget");
+  const auto* seed = parser.AddInt("seed", 17, "rng seed");
+  parser.Parse(argc, argv);
+
+  Rng rng(static_cast<std::uint64_t>(*seed));
+
+  // 1. Trace and aggregation.
+  traffic::TraceParams trace_params;
+  trace_params.duration_s = 60.0 * static_cast<double>(*minutes);
+  trace_params.flow_arrival_rate = 6.0;
+  const traffic::PacketTrace trace =
+      traffic::GenerateTrace(trace_params, rng);
+  const std::vector<std::int64_t> flow_bytes =
+      traffic::AggregateFlowBytes(trace);
+  constexpr Rate kMaxRate = 20;
+  const std::vector<Rate> rates =
+      traffic::QuantizeRates(flow_bytes, trace.duration_s, kMaxRate);
+  std::printf("trace: %.0f s, %zu packets, %d flows -> %zu rated flows\n",
+              trace.duration_s, trace.packets.size(), trace.num_flows,
+              rates.size());
+
+  // 2. Derived rate histogram.
+  const traffic::RateHistogram histogram =
+      traffic::BuildHistogram(rates, kMaxRate);
+  std::printf("\nrate histogram (rate: count):\n");
+  for (Rate r = 1; r <= kMaxRate; ++r) {
+    const std::size_t count =
+        histogram.counts[static_cast<std::size_t>(r - 1)];
+    if (count == 0) continue;
+    std::printf("  %2lld: %-5zu %s\n", static_cast<long long>(r), count,
+                std::string(std::min<std::size_t>(count, 60), '#').c_str());
+  }
+  std::printf("mice (rate <= 5): %.0f%%; elephants (rate > 10): %.0f%%\n",
+              100.0 * histogram.CumulativeFraction(5),
+              100.0 * (1.0 - histogram.CumulativeFraction(10)));
+
+  // 3. Attach the rated flows to an Ark-derived tree, leaves chosen
+  //    round-robin, and merge same-leaf flows.
+  topology::ArkParams ark_params;
+  ark_params.num_monitors = 110;
+  const topology::ArkTopology ark = topology::GenerateArk(ark_params, rng);
+  const graph::Tree tree = topology::ExtractTreeSubgraph(ark, 22, rng);
+  traffic::FlowSet flows;
+  const auto& leaves = tree.Leaves();
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    traffic::Flow flow;
+    flow.src = leaves[i % leaves.size()];
+    flow.dst = tree.root();
+    flow.rate = rates[i];
+    flow.path.vertices = tree.PathToRoot(flow.src);
+    flows.push_back(std::move(flow));
+  }
+  flows = traffic::MergeSameSourceFlows(flows);
+  const core::Instance instance =
+      core::MakeTreeInstance(tree, flows, /*lambda=*/0.5);
+
+  // 4. Place.
+  const auto budget = static_cast<std::size_t>(*k);
+  const core::PlacementResult dp = core::DpTree(instance, tree, budget);
+  const core::PlacementResult hat = core::Hat(instance, tree, budget);
+  core::GtpOptions gtp_options;
+  gtp_options.max_middleboxes = budget;
+  gtp_options.feasibility_aware = true;
+  const core::PlacementResult gtp = core::Gtp(instance, gtp_options);
+
+  std::printf("\nplacement on a 22-vertex Ark tree, k = %zu, "
+              "lambda = 0.5 (unprocessed %.0f):\n",
+              budget, instance.UnprocessedBandwidth());
+  std::printf("  DP  : %-30s %.1f\n", dp.deployment.ToString().c_str(),
+              dp.bandwidth);
+  std::printf("  HAT : %-30s %.1f\n", hat.deployment.ToString().c_str(),
+              hat.bandwidth);
+  std::printf("  GTP : %-30s %.1f\n", gtp.deployment.ToString().c_str(),
+              gtp.bandwidth);
+  return 0;
+}

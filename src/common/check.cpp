@@ -1,0 +1,19 @@
+#include "common/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tdmd::detail {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& message) {
+  std::fprintf(stderr, "[tdmd] CHECK failed at %s:%d: %s", file, line, expr);
+  if (!message.empty()) {
+    std::fprintf(stderr, " — %s", message.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace tdmd::detail

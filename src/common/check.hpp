@@ -1,0 +1,43 @@
+// Lightweight runtime-check macros.
+//
+// TDMD_CHECK is always on (validates API contracts at module boundaries,
+// following the "fail loudly at the interface" guidance of the C++ Core
+// Guidelines I.* rules).  TDMD_DCHECK compiles out in release builds and
+// guards internal invariants on hot paths.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tdmd::detail {
+
+/// Aborts with a formatted message.  Out-of-line so the macro stays cheap.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+}  // namespace tdmd::detail
+
+#define TDMD_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond)) [[unlikely]] {                                       \
+      ::tdmd::detail::CheckFailed(__FILE__, __LINE__, #cond, "");     \
+    }                                                                 \
+  } while (false)
+
+#define TDMD_CHECK_MSG(cond, msg)                                     \
+  do {                                                                \
+    if (!(cond)) [[unlikely]] {                                       \
+      std::ostringstream tdmd_oss_;                                   \
+      tdmd_oss_ << msg;                                               \
+      ::tdmd::detail::CheckFailed(__FILE__, __LINE__, #cond,          \
+                                  tdmd_oss_.str());                   \
+    }                                                                 \
+  } while (false)
+
+#ifdef NDEBUG
+#define TDMD_DCHECK(cond) \
+  do {                    \
+  } while (false)
+#else
+#define TDMD_DCHECK(cond) TDMD_CHECK(cond)
+#endif

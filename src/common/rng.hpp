@@ -1,0 +1,96 @@
+// Deterministic, seedable random number generation.
+//
+// Every stochastic component in the repo (topology generators, traffic
+// generators, the Random baseline, experiment trial seeds) draws from an
+// explicitly threaded Rng so that every figure and test is reproducible
+// from a single seed.  We implement xoshiro256** (Blackman & Vigna) with a
+// SplitMix64 seeder rather than std::mt19937 because its state is tiny,
+// copying it is cheap (needed when fanning trials out across threads), and
+// its stream-split discipline is well defined.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/check.hpp"
+
+namespace tdmd {
+
+/// SplitMix64: used to expand a 64-bit seed into xoshiro state and to derive
+/// independent child seeds (one per parallel trial).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** generator.  Satisfies the UniformRandomBitGenerator
+/// concept so it can drive std::uniform_int_distribution etc., though the
+/// convenience members below are what the codebase mostly uses.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  void Seed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.Next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() { return Next(); }
+
+  std::uint64_t Next();
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t NextInt(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Bernoulli draw.
+  bool NextBool(double p_true);
+
+  /// Standard normal via Marsaglia polar method.
+  double NextGaussian();
+
+  /// Derives an independent child generator; used to give each parallel
+  /// trial its own stream while keeping the whole experiment a pure
+  /// function of the root seed.
+  Rng Split();
+
+  /// Fisher-Yates shuffle of a random-access container.
+  template <typename Container>
+  void Shuffle(Container& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(NextBounded(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace tdmd

@@ -1,0 +1,41 @@
+// Core scalar types shared by every tdmd module.
+//
+// The paper's DP (Section 5.1) indexes one dimension of its state table by
+// the *served rate mass* b, which requires flow rates to be integral.  We
+// therefore carry rates as integer `Rate` everywhere and convert to double
+// only when applying the traffic-changing ratio lambda to compute occupied
+// bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace tdmd {
+
+/// Vertex index into a Digraph / Tree.  Dense, 0-based.
+using VertexId = std::int32_t;
+
+/// Edge index into a Digraph's edge list.  Dense, 0-based.
+using EdgeId = std::int32_t;
+
+/// Flow index into an Instance's flow list.  Dense, 0-based.
+using FlowId = std::int32_t;
+
+/// Integral flow rate (r_f in the paper).  The DP's b-dimension is bounded
+/// by the sum of all rates, so generators quantize heavy-tailed samples to
+/// small integers (see traffic::CaidaLikeFlowGenerator).
+using Rate = std::int64_t;
+
+/// Bandwidth values mix full-rate segments (integral) with diminished
+/// segments (lambda * r, fractional), so bandwidth is a double.
+using Bandwidth = double;
+
+inline constexpr VertexId kInvalidVertex = -1;
+inline constexpr EdgeId kInvalidEdge = -1;
+inline constexpr FlowId kInvalidFlow = -1;
+
+/// Sentinel for "no feasible value" in DP tables and searches.
+inline constexpr Bandwidth kInfiniteBandwidth =
+    std::numeric_limits<Bandwidth>::infinity();
+
+}  // namespace tdmd

@@ -1,0 +1,167 @@
+#include "core/baselines.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/coverage.hpp"
+#include "core/objective.hpp"
+#include "setcover/reduction.hpp"
+#include "setcover/set_cover.hpp"
+
+namespace tdmd::core {
+
+namespace {
+
+PlacementResult Finish(const Instance& instance, Deployment deployment) {
+  PlacementResult result;
+  result.deployment = std::move(deployment);
+  result.allocation = Allocate(instance, result.deployment);
+  result.bandwidth = EvaluateBandwidth(instance, result.deployment);
+  result.feasible = result.allocation.AllServed();
+  return result;
+}
+
+}  // namespace
+
+PlacementResult RandomPlacement(const Instance& instance,
+                                const RandomPlacementOptions& options,
+                                Rng& rng) {
+  const auto n = static_cast<std::size_t>(instance.num_vertices());
+  const std::size_t k = std::min(options.k, n);
+  TDMD_CHECK_MSG(k >= 1, "random placement needs k >= 1");
+
+  std::vector<VertexId> all(n);
+  for (std::size_t v = 0; v < n; ++v) all[v] = static_cast<VertexId>(v);
+
+  for (std::size_t attempt = 0; attempt < options.max_attempts; ++attempt) {
+    rng.Shuffle(all);
+    Deployment candidate(instance.num_vertices(),
+                         {all.begin(), all.begin() + static_cast<long>(k)});
+    if (IsFeasible(instance, candidate)) {
+      return Finish(instance, std::move(candidate));
+    }
+  }
+
+  // Fallback: greedy set cover gives a feasible core (when one exists at
+  // all); pad with random vertices up to k.  Mirrors the paper's
+  // "regenerate until feasible" policy without risking an unbounded loop.
+  const auto cover = setcover::GreedyCover(
+      setcover::ReduceTdmdToSetCover(instance.network(), instance.flows()));
+  Deployment fallback(instance.num_vertices());
+  if (cover.has_value() && cover->size() <= k) {
+    for (std::size_t v : *cover) {
+      fallback.Add(static_cast<VertexId>(v));
+    }
+    rng.Shuffle(all);
+    for (VertexId v : all) {
+      if (fallback.size() >= k) break;
+      if (!fallback.Contains(v)) fallback.Add(v);
+    }
+  } else {
+    // Even greedy cover needs more than k boxes; return a best-effort
+    // random draw and report infeasibility.
+    rng.Shuffle(all);
+    for (std::size_t i = 0; i < k; ++i) fallback.Add(all[i]);
+  }
+  return Finish(instance, std::move(fallback));
+}
+
+PlacementResult BestEffort(const Instance& instance, std::size_t k,
+                           bool feasibility_aware) {
+  TDMD_CHECK(k >= 1);
+  PlacementResult result;
+  result.deployment = Deployment(instance.num_vertices());
+
+  // frozen_index[f]: path position of the middlebox f is permanently
+  // assigned to (first one deployed on its path); kUnservedIndex if none.
+  std::vector<std::int32_t> frozen_index(
+      static_cast<std::size_t>(instance.num_flows()), kUnservedIndex);
+  std::vector<char> served(static_cast<std::size_t>(instance.num_flows()),
+                           0);
+
+  const std::size_t budget = std::min<std::size_t>(
+      k, static_cast<std::size_t>(instance.num_vertices()));
+  const double one_minus_lambda = 1.0 - instance.lambda();
+  while (result.deployment.size() < budget) {
+    // Rank candidates by the immediate (frozen-allocation) reduction.
+    std::vector<std::pair<Bandwidth, VertexId>> ranked;
+    for (VertexId v = 0; v < instance.num_vertices(); ++v) {
+      if (result.deployment.Contains(v)) continue;
+      Bandwidth gain = 0.0;
+      for (const Instance::FlowVisit& visit : instance.FlowsThrough(v)) {
+        if (frozen_index[static_cast<std::size_t>(visit.flow)] !=
+            kUnservedIndex) {
+          continue;  // flow already allocated; best-effort never upgrades
+        }
+        const traffic::Flow& flow = instance.flow(visit.flow);
+        const auto edges = static_cast<std::int32_t>(flow.PathEdges());
+        gain += static_cast<Bandwidth>(flow.rate) * one_minus_lambda *
+                static_cast<Bandwidth>(edges - visit.path_index);
+      }
+      ++result.oracle_calls;
+      ranked.emplace_back(gain, v);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+    VertexId best_vertex = kInvalidVertex;
+    Bandwidth best_gain = -1.0;
+    if (feasibility_aware) {
+      const std::size_t remaining = budget - result.deployment.size() - 1;
+      for (const auto& [gain, v] : ranked) {
+        if (ResidualCoverable(instance, served, result.deployment, v,
+                              remaining)) {
+          best_gain = gain;
+          best_vertex = v;
+          break;
+        }
+      }
+    }
+    if (best_vertex == kInvalidVertex && !ranked.empty()) {
+      best_gain = ranked.front().first;
+      best_vertex = ranked.front().second;
+    }
+    if (best_vertex == kInvalidVertex) break;
+    result.deployment.Add(best_vertex);
+    bool served_anything = false;
+    for (const Instance::FlowVisit& visit :
+         instance.FlowsThrough(best_vertex)) {
+      auto& slot = frozen_index[static_cast<std::size_t>(visit.flow)];
+      if (slot == kUnservedIndex) {
+        slot = visit.path_index;
+        served[static_cast<std::size_t>(visit.flow)] = 1;
+        served_anything = true;
+      }
+    }
+    if (!served_anything) {
+      // Every flow through this vertex was already allocated: the box is
+      // dead weight (a zero-*gain* box can still be essential — e.g. the
+      // root at k = 1 — but a zero-*coverage* box never is).
+      result.deployment.Remove(best_vertex);
+      break;
+    }
+  }
+
+  // Bandwidth under the *frozen* allocation, which is what best-effort
+  // actually achieves (it may be worse than re-allocating optimally).
+  result.bandwidth = 0.0;
+  for (FlowId f = 0; f < instance.num_flows(); ++f) {
+    result.bandwidth += FlowBandwidth(
+        instance, f, frozen_index[static_cast<std::size_t>(f)]);
+  }
+  result.allocation.serving_vertex.assign(
+      static_cast<std::size_t>(instance.num_flows()), kInvalidVertex);
+  for (FlowId f = 0; f < instance.num_flows(); ++f) {
+    const std::int32_t idx = frozen_index[static_cast<std::size_t>(f)];
+    if (idx != kUnservedIndex) {
+      result.allocation.serving_vertex[static_cast<std::size_t>(f)] =
+          instance.flow(f).path.vertices[static_cast<std::size_t>(idx)];
+    }
+  }
+  result.feasible = result.allocation.AllServed();
+  return result;
+}
+
+}  // namespace tdmd::core

@@ -1,0 +1,46 @@
+// Benchmark baselines from Section 6.2: Random and Best-effort.
+//
+// Random deploys k middleboxes on uniformly random distinct vertices.  The
+// paper only studies feasible deployments ("we choose to regenerate" on
+// infeasibility); we retry sampling and, if no feasible draw appears within
+// the attempt budget, complete a greedy set cover with random extra
+// vertices so benches always report a feasible data point (flagged in the
+// result for tests that care).
+//
+// Best-effort deploys, one at a time, on the vertex that reduces the
+// current bandwidth most — but allocates each flow permanently to the
+// first middlebox deployed on its path.  Unlike GTP it never re-assigns a
+// served flow to a later, source-nearer middlebox, which is exactly the
+// myopia that makes it a baseline.  Like every algorithm in the paper's
+// evaluation it only reports feasible deployments, so by default each
+// pick is filtered through the same coverage lookahead GTP uses (at k = 1
+// on a tree it picks the root, matching the paper's "only one feasible
+// deployment plan" remark for Fig. 9).
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "core/deployment.hpp"
+#include "core/instance.hpp"
+
+namespace tdmd::core {
+
+struct RandomPlacementOptions {
+  std::size_t k = 1;
+  /// Resampling budget before falling back to greedy-cover completion.
+  std::size_t max_attempts = 1000;
+};
+
+PlacementResult RandomPlacement(const Instance& instance,
+                                const RandomPlacementOptions& options,
+                                Rng& rng);
+
+/// Best-effort with a budget of k middleboxes.  `feasibility_aware`
+/// filters each pick so the residual flows stay coverable within the
+/// remaining budget (greedy-cover lookahead); disable it to get the
+/// fully myopic variant.
+PlacementResult BestEffort(const Instance& instance, std::size_t k,
+                           bool feasibility_aware = true);
+
+}  // namespace tdmd::core

@@ -1,0 +1,104 @@
+#include "core/brute_force.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/objective.hpp"
+
+namespace tdmd::core {
+
+namespace {
+
+/// Calls `visit(combination)` for every size-`size` subset of [0, n).
+template <typename Visitor>
+void ForEachCombination(std::size_t n, std::size_t size, Visitor&& visit) {
+  if (size > n) return;
+  std::vector<VertexId> combo(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    combo[i] = static_cast<VertexId>(i);
+  }
+  for (;;) {
+    visit(combo);
+    // Advance to the next lexicographic combination.
+    std::size_t i = size;
+    while (i > 0) {
+      --i;
+      if (combo[i] <
+          static_cast<VertexId>(n - size + i)) {
+        ++combo[i];
+        for (std::size_t j = i + 1; j < size; ++j) {
+          combo[j] = combo[j - 1] + 1;
+        }
+        break;
+      }
+      if (i == 0) return;
+    }
+    if (size == 0) return;
+  }
+}
+
+double Binomial(std::size_t n, std::size_t k) {
+  double result = 1.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    result *= static_cast<double>(n - i) / static_cast<double>(i + 1);
+  }
+  return result;
+}
+
+void GuardSearchSpace(std::size_t n, std::size_t k) {
+  double total = 0.0;
+  for (std::size_t size = 0; size <= k; ++size) {
+    total += Binomial(n, size);
+  }
+  TDMD_CHECK_MSG(total < double{1 << 24},
+                 "brute force search space too large: " << total);
+}
+
+}  // namespace
+
+std::optional<BruteForceResult> BruteForceOptimal(const Instance& instance,
+                                                  std::size_t k) {
+  const auto n = static_cast<std::size_t>(instance.num_vertices());
+  k = std::min(k, n);
+  GuardSearchSpace(n, k);
+
+  BruteForceResult result;
+  bool found = false;
+  // Because bandwidth is non-increasing when adding middleboxes, only the
+  // exact size-k layer can contain the optimum among feasible plans — but
+  // feasibility may already hold at smaller sizes and benches ask for
+  // |P| <= k, so scan all layers.
+  for (std::size_t size = 0; size <= k; ++size) {
+    ForEachCombination(n, size, [&](const std::vector<VertexId>& combo) {
+      ++result.evaluated;
+      Deployment candidate(instance.num_vertices(), combo);
+      if (!IsFeasible(instance, candidate)) return;
+      const Bandwidth bandwidth = EvaluateBandwidth(instance, candidate);
+      if (!found || bandwidth < result.best.bandwidth) {
+        found = true;
+        result.best.deployment = std::move(candidate);
+        result.best.bandwidth = bandwidth;
+      }
+    });
+  }
+  if (!found) return std::nullopt;
+  result.best.allocation = Allocate(instance, result.best.deployment);
+  result.best.feasible = true;
+  result.best.oracle_calls = result.evaluated;
+  return result;
+}
+
+Bandwidth BruteForceMaxDecrement(const Instance& instance, std::size_t k) {
+  const auto n = static_cast<std::size_t>(instance.num_vertices());
+  k = std::min(k, n);
+  GuardSearchSpace(n, k);
+  Bandwidth best = 0.0;
+  // d is monotone (Theorem 2), so the maximum lies in the size-k layer.
+  ForEachCombination(n, k, [&](const std::vector<VertexId>& combo) {
+    Deployment candidate(instance.num_vertices(), combo);
+    best = std::max(best, EvaluateDecrement(instance, candidate));
+  });
+  return best;
+}
+
+}  // namespace tdmd::core

@@ -1,0 +1,33 @@
+// Exact exhaustive search — the test oracle for optimality claims.
+//
+// Enumerates every deployment of size <= k and returns the feasible one
+// with minimum bandwidth.  Exponential in |V| (guarded), so it is used
+// only by tests (DP optimality, GTP's (1-1/e) ratio) and tiny examples.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "core/deployment.hpp"
+#include "core/instance.hpp"
+
+namespace tdmd::core {
+
+struct BruteForceResult {
+  PlacementResult best;
+  /// Number of deployments evaluated.
+  std::size_t evaluated = 0;
+};
+
+/// Exact optimum over all feasible deployments with |P| <= k; nullopt when
+/// no feasible deployment of size <= k exists.  CHECK-fails if the search
+/// space exceeds ~2^24 combinations.
+std::optional<BruteForceResult> BruteForceOptimal(const Instance& instance,
+                                                  std::size_t k);
+
+/// Exact maximum decrement achievable with exactly <= k middleboxes,
+/// ignoring feasibility (the quantity Theorem 3's ratio is stated
+/// against).
+Bandwidth BruteForceMaxDecrement(const Instance& instance, std::size_t k);
+
+}  // namespace tdmd::core

@@ -1,0 +1,137 @@
+#include "core/chain_single_flow.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace tdmd::core {
+
+namespace {
+
+/// prefix[j] = rate after the first j chain stages have processed the
+/// flow (prefix[0] = the raw rate).
+std::vector<Bandwidth> RatePrefixes(Rate rate,
+                                    const std::vector<double>& ratios) {
+  std::vector<Bandwidth> prefix(ratios.size() + 1);
+  prefix[0] = static_cast<Bandwidth>(rate);
+  for (std::size_t j = 0; j < ratios.size(); ++j) {
+    TDMD_CHECK_MSG(ratios[j] > 0.0, "chain ratios must be positive");
+    prefix[j + 1] = prefix[j] * ratios[j];
+  }
+  return prefix;
+}
+
+}  // namespace
+
+ChainPlacementResult PlaceChainSingleFlow(Rate rate, std::size_t path_edges,
+                                          const std::vector<double>& ratios) {
+  TDMD_CHECK(rate > 0);
+  const std::size_t m = ratios.size();
+  const std::vector<Bandwidth> prefix = RatePrefixes(rate, ratios);
+
+  ChainPlacementResult result;
+  if (m == 0) {
+    result.bandwidth = static_cast<Bandwidth>(rate) *
+                       static_cast<Bandwidth>(path_edges);
+    return result;
+  }
+
+  // h[j] = min cost of the edges crossed so far with the first j stages
+  // already placed.  At the source every j is free (stages placed at the
+  // source cost nothing).  Crossing an edge with j stages placed costs
+  // prefix[j]; arriving at the next vertex, j may only grow (order is
+  // total), recorded for traceback.
+  std::vector<Bandwidth> h(m + 1, 0.0);
+  // placed_from[i][j] = value of j before vertex i placed its stages.
+  std::vector<std::vector<std::size_t>> placed_from(
+      path_edges + 1, std::vector<std::size_t>(m + 1, 0));
+  for (std::size_t j = 0; j <= m; ++j) placed_from[0][j] = j;
+
+  for (std::size_t i = 1; i <= path_edges; ++i) {
+    std::vector<Bandwidth> paid(m + 1);
+    for (std::size_t j = 0; j <= m; ++j) {
+      paid[j] = h[j] + prefix[j];
+    }
+    // Running min implements "place stages j..j'-1 at vertex i".
+    Bandwidth best = paid[0];
+    std::size_t best_j = 0;
+    for (std::size_t j_prime = 0; j_prime <= m; ++j_prime) {
+      if (paid[j_prime] < best) {
+        best = paid[j_prime];
+        best_j = j_prime;
+      }
+      h[j_prime] = best;
+      placed_from[i][j_prime] = best_j;
+    }
+  }
+
+  result.bandwidth = h[m];
+
+  // Traceback: find, for each vertex from the destination inward, how
+  // many stages it placed.
+  result.stage_position.assign(m, 0);
+  std::size_t j = m;
+  for (std::size_t i = path_edges; i > 0; --i) {
+    const std::size_t from = placed_from[i][j];
+    for (std::size_t stage = from; stage < j; ++stage) {
+      result.stage_position[stage] = i;
+    }
+    j = from;
+  }
+  for (std::size_t stage = 0; stage < j; ++stage) {
+    result.stage_position[stage] = 0;  // placed at the source
+  }
+  TDMD_DCHECK(std::is_sorted(result.stage_position.begin(),
+                             result.stage_position.end()));
+  return result;
+}
+
+namespace {
+
+void EnumeratePlacements(std::size_t stage, std::size_t min_position,
+                         std::size_t path_edges,
+                         const std::vector<Bandwidth>& prefix,
+                         std::vector<std::size_t>& positions,
+                         ChainPlacementResult& best) {
+  const std::size_t m = positions.size();
+  if (stage == m) {
+    // Cost: edge i (i in [0, path_edges)) carries prefix[#stages with
+    // position <= i].
+    Bandwidth cost = 0.0;
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < path_edges; ++i) {
+      while (j < m && positions[j] <= i) ++j;
+      cost += prefix[j];
+    }
+    if (cost < best.bandwidth) {
+      best.bandwidth = cost;
+      best.stage_position = positions;
+    }
+    return;
+  }
+  for (std::size_t q = min_position; q <= path_edges; ++q) {
+    positions[stage] = q;
+    EnumeratePlacements(stage + 1, q, path_edges, prefix, positions, best);
+  }
+}
+
+}  // namespace
+
+ChainPlacementResult PlaceChainBruteForce(Rate rate, std::size_t path_edges,
+                                          const std::vector<double>& ratios) {
+  TDMD_CHECK(rate > 0);
+  const std::vector<Bandwidth> prefix = RatePrefixes(rate, ratios);
+  ChainPlacementResult best;
+  best.bandwidth = kInfiniteBandwidth;
+  if (ratios.empty()) {
+    best.bandwidth = static_cast<Bandwidth>(rate) *
+                     static_cast<Bandwidth>(path_edges);
+    best.stage_position.clear();
+    return best;
+  }
+  std::vector<std::size_t> positions(ratios.size(), 0);
+  EnumeratePlacements(0, 0, path_edges, prefix, positions, best);
+  return best;
+}
+
+}  // namespace tdmd::core

@@ -1,0 +1,47 @@
+// Single-flow, totally-ordered chain placement — the Ma et al. [22]
+// baseline the paper positions against ("this work only processes a
+// single flow and always builds new, private middleboxes").
+//
+// Setting: one flow with rate r traverses its fixed path p; a *chain* of
+// m middlebox types must process it in order, middlebox j changing the
+// traffic by ratio lambda_j (ratios may exceed 1 — traffic-increasing
+// boxes are allowed here, unlike the TDMD core).  Several chain stages
+// may share a vertex.  Choose path positions q_1 <= q_2 <= ... <= q_m to
+// minimize the flow's total bandwidth
+//
+//   sum over edges e of rate-after-the-stages-placed-at-or-before(e).
+//
+// Solved by a DP over (path position, next stage to place); O(|p| * m^2)
+// — polynomial, as in [22].  Greedy intuition fails here: a diminishing
+// stage wants to be early, an amplifying stage late, and the order
+// constraint couples them.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/shortest_path.hpp"
+
+namespace tdmd::core {
+
+struct ChainPlacementResult {
+  /// stage_position[j] = index on the path (0 = source vertex) where
+  /// chain stage j is deployed.  Non-decreasing.
+  std::vector<std::size_t> stage_position;
+  /// Total bandwidth of the flow under this placement.
+  Bandwidth bandwidth = 0.0;
+};
+
+/// `ratios[j]` is the traffic-changing ratio of the j-th chain stage
+/// (> 0; values > 1 increase traffic).  `path_edges` is |p_f|.
+/// An empty chain returns rate * path_edges with no positions.
+ChainPlacementResult PlaceChainSingleFlow(Rate rate, std::size_t path_edges,
+                                          const std::vector<double>& ratios);
+
+/// Brute-force reference (enumerates all non-decreasing position tuples);
+/// exponential, test oracle only.
+ChainPlacementResult PlaceChainBruteForce(Rate rate, std::size_t path_edges,
+                                          const std::vector<double>& ratios);
+
+}  // namespace tdmd::core

@@ -1,0 +1,36 @@
+#include "core/coverage.hpp"
+
+#include "setcover/set_cover.hpp"
+
+namespace tdmd::core {
+
+bool ResidualCoverable(const Instance& instance,
+                       const std::vector<char>& flow_served,
+                       const Deployment& deployment, VertexId candidate,
+                       std::size_t remaining_budget) {
+  std::vector<FlowId> residual;
+  for (FlowId f = 0; f < instance.num_flows(); ++f) {
+    if (flow_served[static_cast<std::size_t>(f)]) continue;
+    if (candidate != kInvalidVertex &&
+        instance.PathIndex(f, candidate) >= 0) {
+      continue;  // the candidate itself would serve this flow
+    }
+    residual.push_back(f);
+  }
+  if (residual.empty()) return true;
+  if (remaining_budget == 0) return false;
+
+  setcover::SetCoverInstance sc;
+  sc.universe_size = residual.size();
+  sc.sets.assign(static_cast<std::size_t>(instance.num_vertices()), {});
+  for (std::size_t i = 0; i < residual.size(); ++i) {
+    for (VertexId v : instance.flow(residual[i]).path.vertices) {
+      if (v == candidate || deployment.Contains(v)) continue;
+      sc.sets[static_cast<std::size_t>(v)].push_back(i);
+    }
+  }
+  const auto cover = setcover::GreedyCover(sc);
+  return cover.has_value() && cover->size() <= remaining_budget;
+}
+
+}  // namespace tdmd::core

@@ -1,0 +1,28 @@
+// Coverage lookahead shared by the budgeted greedy algorithms.
+//
+// The paper's walkthrough of Algorithm 1 (Fig. 1, k = 2) rejects the
+// max-gain vertex v6 because picking it would leave flows that the single
+// remaining middlebox cannot cover, and Section 6 only ever reports
+// feasible deployments.  Both GTP (budgeted) and Best-effort therefore
+// need the same primitive: "if I pick `candidate` now, can the still-
+// unserved flows be covered by the remaining budget?"  Answered with a
+// greedy set cover — conservative (a "no" may be pessimistic), which is
+// the right bias for a selection filter.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/deployment.hpp"
+#include "core/instance.hpp"
+
+namespace tdmd::core {
+
+/// flow_served[f] != 0 means flow f is already allocated a middlebox.
+/// `candidate` may be kInvalidVertex to test the current state as-is.
+bool ResidualCoverable(const Instance& instance,
+                       const std::vector<char>& flow_served,
+                       const Deployment& deployment, VertexId candidate,
+                       std::size_t remaining_budget);
+
+}  // namespace tdmd::core

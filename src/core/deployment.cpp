@@ -1,0 +1,74 @@
+#include "core/deployment.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tdmd::core {
+
+Deployment::Deployment(VertexId num_vertices,
+                       const std::vector<VertexId>& vertices)
+    : Deployment(num_vertices) {
+  for (VertexId v : vertices) Add(v);
+}
+
+void Deployment::Add(VertexId v) {
+  TDMD_CHECK_MSG(v >= 0 && static_cast<std::size_t>(v) < member_.size(),
+                 "vertex " << v << " out of range");
+  TDMD_CHECK_MSG(!member_[static_cast<std::size_t>(v)],
+                 "vertex " << v << " already deployed (one middlebox per "
+                           << "vertex, Section 3.1)");
+  member_[static_cast<std::size_t>(v)] = 1;
+  vertices_.push_back(v);
+}
+
+void Deployment::Remove(VertexId v) {
+  TDMD_CHECK_MSG(Contains(v), "vertex " << v << " not deployed");
+  member_[static_cast<std::size_t>(v)] = 0;
+  vertices_.erase(std::find(vertices_.begin(), vertices_.end(), v));
+}
+
+std::vector<VertexId> Deployment::SortedVertices() const {
+  std::vector<VertexId> sorted = vertices_;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+std::string Deployment::ToString() const {
+  std::ostringstream oss;
+  oss << '{';
+  const std::vector<VertexId> sorted = SortedVertices();
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) oss << ", ";
+    oss << 'v' << sorted[i];
+  }
+  oss << '}';
+  return oss.str();
+}
+
+bool Allocation::AllServed() const {
+  return std::all_of(serving_vertex.begin(), serving_vertex.end(),
+                     [](VertexId v) { return v != kInvalidVertex; });
+}
+
+Allocation Allocate(const Instance& instance, const Deployment& deployment) {
+  Allocation allocation;
+  allocation.serving_vertex.assign(
+      static_cast<std::size_t>(instance.num_flows()), kInvalidVertex);
+  for (FlowId f = 0; f < instance.num_flows(); ++f) {
+    // Scan the path from the source; the first deployed vertex serves f
+    // (smallest index == nearest source == most edges diminished).
+    for (VertexId v : instance.flow(f).path.vertices) {
+      if (deployment.Contains(v)) {
+        allocation.serving_vertex[static_cast<std::size_t>(f)] = v;
+        break;
+      }
+    }
+  }
+  return allocation;
+}
+
+bool IsFeasible(const Instance& instance, const Deployment& deployment) {
+  return Allocate(instance, deployment).AllServed();
+}
+
+}  // namespace tdmd::core

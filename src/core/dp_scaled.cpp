@@ -1,0 +1,54 @@
+#include "core/dp_scaled.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/objective.hpp"
+
+namespace tdmd::core {
+
+ScaledDpResult DpTreeScaled(const Instance& instance,
+                            const graph::Tree& tree, std::size_t k,
+                            double epsilon) {
+  TDMD_CHECK_MSG(epsilon >= 0.0, "epsilon must be non-negative");
+
+  Rate r_max = 0;
+  Bandwidth total_path_edges = 0.0;
+  for (FlowId f = 0; f < instance.num_flows(); ++f) {
+    r_max = std::max(r_max, instance.flow(f).rate);
+    total_path_edges += static_cast<Bandwidth>(instance.flow(f).PathEdges());
+  }
+  const Rate scale = std::max<Rate>(
+      1, static_cast<Rate>(std::floor(epsilon * static_cast<double>(r_max))));
+
+  ScaledDpResult scaled;
+  scaled.scale = scale;
+  if (scale == 1) {
+    scaled.result = DpTree(instance, tree, k);
+    scaled.error_bound = 0.0;
+    return scaled;
+  }
+
+  // Scaled twin instance: same topology and paths, quantized rates.
+  traffic::FlowSet scaled_flows = instance.flows();
+  for (traffic::Flow& f : scaled_flows) {
+    f.rate = std::max<Rate>(1, f.rate / scale);
+  }
+  const Instance scaled_instance(instance.network(), std::move(scaled_flows),
+                                 instance.lambda());
+  const PlacementResult scaled_opt = DpTree(scaled_instance, tree, k);
+
+  // Re-evaluate the scaled-optimal deployment against the true rates.
+  scaled.result.deployment = scaled_opt.deployment;
+  scaled.result.allocation = Allocate(instance, scaled.result.deployment);
+  scaled.result.bandwidth =
+      EvaluateBandwidth(instance, scaled.result.deployment);
+  scaled.result.feasible = scaled.result.allocation.AllServed() ||
+                           instance.num_flows() == 0;
+  scaled.result.oracle_calls = scaled_opt.oracle_calls;
+  scaled.error_bound =
+      2.0 * static_cast<Bandwidth>(scale) * total_path_edges;
+  return scaled;
+}
+
+}  // namespace tdmd::core

@@ -1,0 +1,45 @@
+// Rate-scaled approximate DP — the paper's future-work direction.
+//
+// Section 5.1 notes the DP is pseudo-polynomial in r_max and that turning
+// it into a PTAS "is not trivial"; when rates have "arbitrary precision
+// and order of magnitude, the DP algorithm is computationally hard".
+// The standard knapsack-style remedy applies cleanly here because the
+// objective is *linear in the rates*:
+//
+//   b(P; r) = sum_f r_f * c_f(P),   0 <= c_f(P) <= |p_f|.
+//
+// Replace each rate by r'_f = max(1, floor(r_f / s)) for a scale s and
+// solve the DP exactly on the scaled instance.  Since
+// |r_f - s * r'_f| <= s, for every deployment P
+//
+//   | b(P; r) - s * b(P; r') | <= s * sum_f |p_f| =: B,
+//
+// so the scaled optimum P~ satisfies b(P~; r) <= OPT + 2B.  The scale is
+// chosen from epsilon as s = max(1, floor(epsilon * r_max)), shrinking
+// the DP's b-dimension (and hence its running time) by ~s while keeping
+// the additive error certified.
+#pragma once
+
+#include <cstddef>
+
+#include "core/deployment.hpp"
+#include "core/dp_tree.hpp"
+#include "core/instance.hpp"
+#include "graph/tree.hpp"
+
+namespace tdmd::core {
+
+struct ScaledDpResult {
+  PlacementResult result;  // bandwidth evaluated on the ORIGINAL rates
+  /// Applied rate divisor s (1 = no scaling; result is exactly optimal).
+  Rate scale = 1;
+  /// Certified additive optimality gap 2B = 2 * s * sum |p_f|.
+  Bandwidth error_bound = 0.0;
+};
+
+/// epsilon >= 0; epsilon = 0 degenerates to the exact DP.
+ScaledDpResult DpTreeScaled(const Instance& instance,
+                            const graph::Tree& tree, std::size_t k,
+                            double epsilon);
+
+}  // namespace tdmd::core

@@ -1,0 +1,253 @@
+#include "core/dp_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/objective.hpp"
+
+namespace tdmd::core {
+
+namespace {
+
+/// Clamped table read implementing at-most-k monotonicity.
+Bandwidth ReadTable(const std::vector<std::vector<Bandwidth>>& table,
+                    std::size_t k, std::size_t b) {
+  const std::size_t kc = std::min(k, table.size() - 1);
+  TDMD_DCHECK(b < table[kc].size());
+  return table[kc][b];
+}
+
+}  // namespace
+
+TreeDpSolver::TreeDpSolver(const Instance& instance, const graph::Tree& tree,
+                           std::size_t k)
+    : instance_(&instance), tree_(&tree), budget_(k) {
+  const auto n = static_cast<std::size_t>(tree.num_vertices());
+  TDMD_CHECK_MSG(instance.num_vertices() == tree.num_vertices(),
+                 "instance/tree vertex count mismatch");
+  leaf_rate_.assign(n, 0);
+  for (FlowId f = 0; f < instance.num_flows(); ++f) {
+    const traffic::Flow& flow = instance.flow(f);
+    TDMD_CHECK_MSG(tree.IsLeaf(flow.src),
+                   "DP requires flows sourced at leaves; flow " << f
+                       << " sources at internal vertex " << flow.src);
+    TDMD_CHECK_MSG(flow.dst == tree.root(),
+                   "DP requires flows sinking at the root");
+    leaf_rate_[static_cast<std::size_t>(flow.src)] += flow.rate;
+  }
+
+  tables_.resize(n);
+  for (VertexId v : tree.PostOrder()) {
+    if (tree.IsLeaf(v)) {
+      SolveLeaf(v);
+    } else {
+      SolveInternal(v);
+    }
+  }
+}
+
+void TreeDpSolver::SolveLeaf(VertexId v) {
+  NodeTables& node = tables_[static_cast<std::size_t>(v)];
+  const Rate rate = leaf_rate_[static_cast<std::size_t>(v)];
+  node.subtree_rate = rate;
+  node.kcap = std::min<std::size_t>(budget_, 1);
+  node.p.assign(node.kcap + 1,
+                std::vector<Bandwidth>(static_cast<std::size_t>(rate) + 1,
+                                       kInfiniteBandwidth));
+  node.use_box.assign(node.kcap + 1, 0);
+  node.box_residual_b.assign(node.kcap + 1, 0);
+
+  // There are no edges inside a leaf subtree, so every *achievable* state
+  // costs zero: b = 0 always; b = rate when a middlebox sits on the leaf.
+  for (std::size_t k = 0; k <= node.kcap; ++k) {
+    node.p[k][0] = 0.0;
+  }
+  if (rate > 0 && node.kcap >= 1) {
+    node.p[1][static_cast<std::size_t>(rate)] = 0.0;
+    node.use_box[1] = 1;
+    node.box_residual_b[1] = 0;
+  }
+}
+
+void TreeDpSolver::SolveInternal(VertexId v) {
+  NodeTables& node = tables_[static_cast<std::size_t>(v)];
+  const auto children = tree_->Children(v);
+
+  // Prefix knapsack over children.  prev covers children[0..j-1].
+  std::vector<std::vector<Bandwidth>> prev{{0.0}};  // (0 boxes, 0 mass) -> 0
+  std::size_t prev_kcap = 0;
+  Rate prev_rate = 0;
+  VertexId prev_size = 0;
+
+  node.stages.resize(children.size());
+  for (std::size_t j = 0; j < children.size(); ++j) {
+    const VertexId c = children[j];
+    const NodeTables& child = tables_[static_cast<std::size_t>(c)];
+    const Rate child_rate = child.subtree_rate;
+    const auto child_size = tree_->SubtreeSize(c);
+
+    const std::size_t cur_kcap = std::min<std::size_t>(
+        budget_, static_cast<std::size_t>(prev_size + child_size));
+    const Rate cur_rate = prev_rate + child_rate;
+
+    std::vector<std::vector<Bandwidth>> cur(
+        cur_kcap + 1,
+        std::vector<Bandwidth>(static_cast<std::size_t>(cur_rate) + 1,
+                               kInfiniteBandwidth));
+    auto& stage = node.stages[j];
+    stage.split.assign(
+        cur_kcap + 1,
+        std::vector<std::pair<std::int32_t, Rate>>(
+            static_cast<std::size_t>(cur_rate) + 1, {-1, -1}));
+
+    const double lambda = instance_->lambda();
+    for (std::size_t k = 0; k <= cur_kcap; ++k) {
+      const std::size_t kc_max = std::min(k, child.kcap);
+      for (std::size_t kc = 0; kc <= kc_max; ++kc) {
+        const std::size_t kp = std::min(k - kc, prev_kcap);
+        const auto& prev_row = prev[kp];
+        const auto& child_row = child.p[kc];
+        for (Rate bc = 0; bc <= child_rate; ++bc) {
+          const Bandwidth child_cost =
+              child_row[static_cast<std::size_t>(bc)];
+          if (child_cost == kInfiniteBandwidth) continue;
+          // Uplink c -> v: served mass at lambda rate, the rest at full.
+          const Bandwidth uplink =
+              lambda * static_cast<Bandwidth>(bc) +
+              static_cast<Bandwidth>(child_rate - bc);
+          const Bandwidth child_total = child_cost + uplink;
+          auto& cur_row = cur[k];
+          auto& split_row = stage.split[k];
+          for (Rate bp = 0; bp <= prev_rate; ++bp) {
+            const Bandwidth base = prev_row[static_cast<std::size_t>(bp)];
+            if (base == kInfiniteBandwidth) continue;
+            const auto b = static_cast<std::size_t>(bp + bc);
+            const Bandwidth total = base + child_total;
+            if (total < cur_row[b]) {
+              cur_row[b] = total;
+              split_row[b] = {static_cast<std::int32_t>(kc), bc};
+            }
+          }
+        }
+      }
+    }
+    prev = std::move(cur);
+    prev_kcap = cur_kcap;
+    prev_rate = cur_rate;
+    prev_size = static_cast<VertexId>(prev_size + child_size);
+  }
+
+  // Finalize P(v, ., .): no-box rows are the merged prefix; the b == S(v)
+  // column may instead use a middlebox on v (forcing full service).
+  node.subtree_rate = prev_rate;
+  node.kcap = std::min<std::size_t>(
+      budget_, static_cast<std::size_t>(tree_->SubtreeSize(v)));
+  node.p.assign(node.kcap + 1,
+                std::vector<Bandwidth>(static_cast<std::size_t>(prev_rate) + 1,
+                                       kInfiniteBandwidth));
+  node.use_box.assign(node.kcap + 1, 0);
+  node.box_residual_b.assign(node.kcap + 1, 0);
+  const auto full = static_cast<std::size_t>(prev_rate);
+  for (std::size_t k = 0; k <= node.kcap; ++k) {
+    for (std::size_t b = 0; b <= full; ++b) {
+      node.p[k][b] = ReadTable(prev, k, b);
+    }
+    if (k >= 1) {
+      // Option: middlebox on v; children may leave any residual mass b'
+      // unserved below, v catches it (no extra cost inside T_v).
+      Bandwidth best = node.p[k][full];
+      for (std::size_t b_prime = 0; b_prime <= full; ++b_prime) {
+        const Bandwidth candidate = ReadTable(prev, k - 1, b_prime);
+        if (candidate < best) {
+          best = candidate;
+          node.use_box[k] = 1;
+          node.box_residual_b[k] = static_cast<Rate>(b_prime);
+        }
+      }
+      node.p[k][full] = best;
+    }
+  }
+}
+
+Bandwidth TreeDpSolver::FullyServed(VertexId v, std::size_t k) const {
+  const NodeTables& tables = node(v);
+  return ReadTable(tables.p, k,
+                   static_cast<std::size_t>(tables.subtree_rate));
+}
+
+Bandwidth TreeDpSolver::PartiallyServed(VertexId v, std::size_t k,
+                                        Rate b) const {
+  const NodeTables& tables = node(v);
+  TDMD_CHECK_MSG(b >= 0 && b <= tables.subtree_rate,
+                 "b = " << b << " outside [0, " << tables.subtree_rate
+                        << "]");
+  return ReadTable(tables.p, k, static_cast<std::size_t>(b));
+}
+
+Rate TreeDpSolver::SubtreeRate(VertexId v) const {
+  return node(v).subtree_rate;
+}
+
+void TreeDpSolver::Trace(VertexId v, std::size_t k, Rate b,
+                         Deployment& out) const {
+  const NodeTables& tables = node(v);
+  k = std::min(k, tables.kcap);
+  if (tree_->IsLeaf(v)) {
+    if (b > 0) {
+      TDMD_DCHECK(k >= 1 && b == tables.subtree_rate);
+      out.Add(v);
+    }
+    return;
+  }
+  if (b == tables.subtree_rate && k >= 1 && tables.use_box[k]) {
+    out.Add(v);
+    b = tables.box_residual_b[k];  // mass served below v; v catches the rest
+    k -= 1;
+  }
+  // Walk children stages from last to first.
+  const auto children = tree_->Children(v);
+  for (std::size_t j = children.size(); j-- > 0;) {
+    const ChildStage& stage = tables.stages[j];
+    const std::size_t kk = std::min(k, stage.split.size() - 1);
+    TDMD_DCHECK(static_cast<std::size_t>(b) < stage.split[kk].size());
+    const auto [kc, bc] = stage.split[kk][static_cast<std::size_t>(b)];
+    TDMD_CHECK_MSG(kc >= 0 && bc >= 0,
+                   "DP traceback hit an unreachable state at vertex "
+                       << v << " (k=" << kk << ", b=" << b << ")");
+    Trace(children[j], static_cast<std::size_t>(kc), bc, out);
+    k = kk - static_cast<std::size_t>(kc);
+    b -= bc;
+  }
+  TDMD_DCHECK(b == 0);
+}
+
+PlacementResult TreeDpSolver::Solve() const {
+  PlacementResult result;
+  result.deployment = Deployment(instance_->num_vertices());
+  const VertexId root = tree_->root();
+  const Rate total = node(root).subtree_rate;
+  const Bandwidth optimum = FullyServed(root, budget_);
+  if (optimum == kInfiniteBandwidth) {
+    // Only possible with k == 0 and a non-empty flow set.
+    result.feasible = false;
+    result.bandwidth = instance_->UnprocessedBandwidth();
+    result.allocation = Allocate(*instance_, result.deployment);
+    return result;
+  }
+  Trace(root, budget_, total, result.deployment);
+  result.allocation = Allocate(*instance_, result.deployment);
+  result.bandwidth = EvaluateBandwidth(*instance_, result.deployment);
+  result.feasible = result.allocation.AllServed();
+  TDMD_CHECK_MSG(std::abs(result.bandwidth - optimum) <=
+                     1e-6 * (1.0 + optimum),
+                 "traceback deployment does not reproduce the DP optimum: "
+                     << result.bandwidth << " vs " << optimum);
+  return result;
+}
+
+PlacementResult DpTree(const Instance& instance, const graph::Tree& tree,
+                       std::size_t k) {
+  return TreeDpSolver(instance, tree, k).Solve();
+}
+
+}  // namespace tdmd::core

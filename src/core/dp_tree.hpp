@@ -1,0 +1,104 @@
+// Optimal dynamic program for tree topologies (Section 5.1).
+//
+// States, following the paper but generalized from binary to arbitrary
+// branching via sequential child-knapsack merging:
+//
+//   P(v, k, b) — minimum total occupied bandwidth on the edges *inside*
+//     the subtree T_v, using at most k middleboxes in T_v, when flows with
+//     total rate mass b (integral) are served at-or-below v.  Unserved
+//     flows cross T_v's internal edges at full rate and are served higher
+//     up.
+//   F(v, k) = P(v, k, S(v)) — all of T_v's flows served inside T_v
+//     (S(v) = total rate sourced in T_v).
+//
+// Recurrence at an internal vertex v with children c_1..c_m:
+//   Q_0 = {(0,0) -> 0};
+//   Q_j(k, b) = min over (kc, bc) of
+//       Q_{j-1}(k - kc, b - bc) + P(c_j, kc, bc)
+//         + lambda * bc + (S(c_j) - bc)           // uplink c_j -> v
+//   P(v, k, b) = Q_m(k, b)                         for b < S(v)
+//   P(v, k, S(v)) = min(Q_m(k, S(v)),
+//                       min_{b'} Q_m(k - 1, b'))   // middlebox on v itself
+// A middlebox on v forces b = S(v): the nearest-source allocation would
+// serve every hitherto-unserved flow of T_v at v.
+//
+// Semantics note: we use *at most* k (tables are monotone non-increasing
+// in k).  The paper's leaf initialization (Eqs. 9-10) and its own worked
+// tables disagree on whether an unused middlebox is allowed; at-most
+// semantics reproduces every consistent entry of Figs. 6-7 and is the
+// natural form for a budget constraint.  See EXPERIMENTS.md for the two
+// paper-table entries we identify as typos.
+//
+// Complexity: the child merges globally cost O(K^2) per pair of rate units
+// meeting at their LCA, i.e. O(|V| + K^2 * R^2) with R the total integral
+// rate — the pseudo-polynomial bound of Theorem 5 in different variables.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/deployment.hpp"
+#include "core/instance.hpp"
+#include "graph/tree.hpp"
+
+namespace tdmd::core {
+
+class TreeDpSolver {
+ public:
+  /// Solves the DP bottom-up for budget `k`.  Every flow must source at a
+  /// leaf of `tree` and sink at its root (CHECK-enforced).
+  TreeDpSolver(const Instance& instance, const graph::Tree& tree,
+               std::size_t k);
+
+  /// F(v, k'): min bandwidth inside T_v with all its flows served there,
+  /// using at most k' <= budget middleboxes.  +inf if infeasible.
+  Bandwidth FullyServed(VertexId v, std::size_t k) const;
+
+  /// P(v, k', b).  CHECK-fails if b exceeds S(v).
+  Bandwidth PartiallyServed(VertexId v, std::size_t k, Rate b) const;
+
+  /// Total rate sourced in T_v.
+  Rate SubtreeRate(VertexId v) const;
+
+  /// Optimal bandwidth for the whole instance (F at the root), and the
+  /// deployment achieving it via traceback.  `feasible` is false iff
+  /// k == 0 with a non-empty flow set.
+  PlacementResult Solve() const;
+
+ private:
+  struct ChildStage {
+    // split[k][b] = (boxes, rate mass) routed to this child; the remainder
+    // goes to the already-merged prefix of earlier children.
+    std::vector<std::vector<std::pair<std::int32_t, Rate>>> split;
+  };
+  struct NodeTables {
+    Rate subtree_rate = 0;
+    std::size_t kcap = 0;  // min(budget, subtree size)
+    // p[k][b], dims (kcap+1) x (subtree_rate+1), at-most-k semantics.
+    std::vector<std::vector<Bandwidth>> p;
+    std::vector<ChildStage> stages;     // one per child (internal nodes)
+    std::vector<char> use_box;          // per k, for the b == S(v) column
+    std::vector<Rate> box_residual_b;   // chosen b' when use_box[k]
+  };
+
+  const NodeTables& node(VertexId v) const {
+    return tables_[static_cast<std::size_t>(v)];
+  }
+
+  void SolveLeaf(VertexId v);
+  void SolveInternal(VertexId v);
+  void Trace(VertexId v, std::size_t k, Rate b, Deployment& out) const;
+
+  const Instance* instance_;
+  const graph::Tree* tree_;
+  std::size_t budget_;
+  std::vector<Rate> leaf_rate_;  // merged rate sourced at each vertex
+  std::vector<NodeTables> tables_;
+};
+
+/// Convenience wrapper: solve and return the placement result directly.
+PlacementResult DpTree(const Instance& instance, const graph::Tree& tree,
+                       std::size_t k);
+
+}  // namespace tdmd::core

@@ -1,0 +1,184 @@
+#include "core/gtp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <vector>
+
+#include "core/coverage.hpp"
+
+namespace tdmd::core {
+
+namespace {
+
+std::vector<char> ServedMask(const Instance& instance,
+                             const ServedState& state) {
+  std::vector<char> served(static_cast<std::size_t>(instance.num_flows()),
+                           0);
+  for (FlowId f = 0; f < instance.num_flows(); ++f) {
+    served[static_cast<std::size_t>(f)] =
+        state.ServingIndex(f) != kUnservedIndex ? 1 : 0;
+  }
+  return served;
+}
+
+struct Candidate {
+  Bandwidth gain;
+  VertexId vertex;
+  std::size_t round;  // round in which `gain` was computed (lazy mode)
+};
+
+struct CandidateLess {
+  bool operator()(const Candidate& a, const Candidate& b) const {
+    // Max-heap on gain; ties toward the lowest vertex id so lazy and plain
+    // modes pick identical deployments.
+    if (a.gain != b.gain) return a.gain < b.gain;
+    return a.vertex > b.vertex;
+  }
+};
+
+/// One plain round: scan all undeployed vertices for the max marginal
+/// decrement.  Optionally fanned out over a thread pool.
+Candidate BestCandidatePlain(const Instance& instance,
+                             const ServedState& state,
+                             const Deployment& deployment,
+                             parallel::ThreadPool* pool,
+                             std::size_t* oracle_calls) {
+  const VertexId n = instance.num_vertices();
+  std::vector<Bandwidth> gains(static_cast<std::size_t>(n), -1.0);
+  auto evaluate = [&](std::size_t v) {
+    const auto vertex = static_cast<VertexId>(v);
+    if (!deployment.Contains(vertex)) {
+      gains[v] = state.MarginalDecrement(vertex);
+    }
+  };
+  if (pool != nullptr) {
+    parallel::ParallelFor(*pool, 0, static_cast<std::size_t>(n), evaluate);
+  } else {
+    for (std::size_t v = 0; v < static_cast<std::size_t>(n); ++v) {
+      evaluate(v);
+    }
+  }
+  *oracle_calls += static_cast<std::size_t>(n) - deployment.size();
+
+  Candidate best{-1.0, kInvalidVertex, 0};
+  for (VertexId v = 0; v < n; ++v) {
+    const Bandwidth gain = gains[static_cast<std::size_t>(v)];
+    if (deployment.Contains(v)) continue;
+    if (gain > best.gain ||
+        (gain == best.gain && v < best.vertex)) {
+      best = Candidate{gain, v, 0};
+    }
+  }
+  return best;
+}
+
+PlacementResult RunGtp(const Instance& instance, const GtpOptions& options) {
+  TDMD_CHECK_MSG(!(options.lazy && options.feasibility_aware),
+                 "feasibility-aware selection requires full scans; disable "
+                 "lazy mode");
+  PlacementResult result;
+  result.deployment = Deployment(instance.num_vertices());
+  ServedState state(instance);
+
+  const std::size_t budget =
+      options.max_middleboxes == 0
+          ? static_cast<std::size_t>(instance.num_vertices())
+          : std::min<std::size_t>(options.max_middleboxes,
+                                  static_cast<std::size_t>(
+                                      instance.num_vertices()));
+
+  // Lazy mode: prime the heap with round-0 gains.
+  std::priority_queue<Candidate, std::vector<Candidate>, CandidateLess> heap;
+  if (options.lazy) {
+    for (VertexId v = 0; v < instance.num_vertices(); ++v) {
+      heap.push(Candidate{state.MarginalDecrement(v), v, 0});
+      ++result.oracle_calls;
+    }
+  }
+
+  for (std::size_t round = 1; result.deployment.size() < budget; ++round) {
+    Candidate chosen{-1.0, kInvalidVertex, 0};
+    if (options.lazy) {
+      // Pop until the top entry's gain is fresh (computed this round).
+      // Submodularity guarantees stale gains are upper bounds, so a fresh
+      // top is globally maximal.
+      while (!heap.empty()) {
+        Candidate top = heap.top();
+        heap.pop();
+        if (result.deployment.Contains(top.vertex)) continue;
+        if (top.round == round) {
+          chosen = top;
+          break;
+        }
+        top.gain = state.MarginalDecrement(top.vertex);
+        top.round = round;
+        ++result.oracle_calls;
+        heap.push(top);
+      }
+    } else if (options.feasibility_aware && options.max_middleboxes > 0 &&
+               !state.AllServed()) {
+      // Rank all candidates by gain, then take the best one that keeps the
+      // residual coverable within the remaining budget.
+      std::vector<Candidate> ranked;
+      for (VertexId v = 0; v < instance.num_vertices(); ++v) {
+        if (result.deployment.Contains(v)) continue;
+        ranked.push_back(Candidate{state.MarginalDecrement(v), v, round});
+        ++result.oracle_calls;
+      }
+      std::sort(ranked.begin(), ranked.end(),
+                [](const Candidate& a, const Candidate& b) {
+                  return CandidateLess{}(b, a);  // descending
+                });
+      const std::size_t remaining = budget - result.deployment.size() - 1;
+      const std::vector<char> served = ServedMask(instance, state);
+      for (const Candidate& candidate : ranked) {
+        if (ResidualCoverable(instance, served, result.deployment,
+                              candidate.vertex, remaining)) {
+          chosen = candidate;
+          break;
+        }
+      }
+      if (chosen.vertex == kInvalidVertex && !ranked.empty()) {
+        chosen = ranked.front();  // no feasible completion; best effort
+      }
+    } else {
+      chosen = BestCandidatePlain(instance, state, result.deployment,
+                                  options.pool, &result.oracle_calls);
+    }
+    if (chosen.vertex == kInvalidVertex) break;  // nothing left to deploy
+
+    if (options.stop_when_saturated && chosen.gain <= 0.0 &&
+        state.AllServed()) {
+      break;  // additional middleboxes cannot reduce bandwidth
+    }
+    state.Deploy(chosen.vertex);
+    result.deployment.Add(chosen.vertex);
+
+    // Algorithm 1's loop condition: stop as soon as all flows are served
+    // when running in unbudgeted (feasibility-driven) mode.
+    if (options.max_middleboxes == 0 && state.AllServed()) break;
+  }
+
+  result.allocation = Allocate(instance, result.deployment);
+  result.bandwidth = state.bandwidth();
+  result.feasible = state.AllServed();
+  // Incremental accounting must agree with a full rescan (up to fp
+  // accumulation).
+  TDMD_DCHECK(std::abs(result.bandwidth -
+                       EvaluateBandwidth(instance, result.deployment)) <
+              1e-6 * (1.0 + instance.UnprocessedBandwidth()));
+  return result;
+}
+
+}  // namespace
+
+PlacementResult Gtp(const Instance& instance) {
+  return RunGtp(instance, GtpOptions{});
+}
+
+PlacementResult Gtp(const Instance& instance, const GtpOptions& options) {
+  return RunGtp(instance, options);
+}
+
+}  // namespace tdmd::core

@@ -1,0 +1,54 @@
+// General Topology Placement (Algorithm 1) and its accelerations.
+//
+// GTP greedily deploys on the vertex with maximum marginal decrement
+// d_P(v) until every flow is processed; the number of middleboxes it ends
+// up using is the k for which Theorem 3's (1 - 1/e) guarantee holds.  A
+// budgeted variant stops after k rounds (possibly infeasible — the caller
+// checks `feasible`).
+//
+// Accelerations (ablations in bench/ablation_lazy_greedy):
+//   * Lazy greedy (CELF): submodularity (Theorem 2) implies cached gains
+//     only shrink, so a max-heap of stale gains revalidates only the top.
+//     Exact — returns the same deployment as the plain scan under the same
+//     deterministic tie-break (lowest vertex id).
+//   * Parallel oracle: evaluates all candidate gains per round across a
+//     ThreadPool; identical results, useful on large instances.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "core/deployment.hpp"
+#include "core/instance.hpp"
+#include "core/objective.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace tdmd::core {
+
+struct GtpOptions {
+  /// Stop after this many middleboxes even if flows remain unserved;
+  /// 0 means unlimited (run to feasibility, the paper's Algorithm 1).
+  std::size_t max_middleboxes = 0;
+  /// Use lazy (CELF) gain revalidation instead of full scans per round.
+  bool lazy = false;
+  /// With a finite budget, reject a max-gain vertex whose choice would make
+  /// the residual flows uncoverable within the remaining budget (checked
+  /// with a greedy set cover, so conservatively).  This reproduces the
+  /// paper's Fig. 1 walkthrough where k = 2 forces v2 over the higher-gain
+  /// v6.  Ignored when max_middleboxes == 0.
+  bool feasibility_aware = false;
+  /// Evaluate candidate gains in parallel on this pool (plain mode only).
+  parallel::ThreadPool* pool = nullptr;
+  /// Stop early once the marginal decrement hits zero AND all flows are
+  /// served (extra boxes would be useless).  Always on for correctness;
+  /// exposed for the ablation that measures wasted rounds.
+  bool stop_when_saturated = true;
+};
+
+/// Algorithm 1: runs until all flows are processed (derives k).
+PlacementResult Gtp(const Instance& instance);
+
+/// Budgeted / configured GTP.
+PlacementResult Gtp(const Instance& instance, const GtpOptions& options);
+
+}  // namespace tdmd::core

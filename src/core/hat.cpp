@@ -1,0 +1,162 @@
+#include "core/hat.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "core/objective.hpp"
+#include "graph/lca.hpp"
+
+namespace tdmd::core {
+
+namespace {
+
+struct MergeCandidate {
+  Bandwidth delta;  // Δb(i, j): bandwidth increase caused by the merge
+  VertexId vi;
+  VertexId vj;
+};
+
+struct MergeGreater {
+  bool operator()(const MergeCandidate& a, const MergeCandidate& b) const {
+    // Min-heap on delta; deterministic tie-break on the vertex pair.
+    if (a.delta != b.delta) return a.delta > b.delta;
+    if (a.vi != b.vi) return a.vi > b.vi;
+    return a.vj > b.vj;
+  }
+};
+
+/// Applies "merge (vi, vj) onto their LCA" to a copy of `deployment` and
+/// returns the resulting bandwidth.  The LCA may equal vi or vj (ancestor
+/// case) or already be deployed.
+Bandwidth MergedBandwidth(const Instance& instance,
+                          const graph::LcaIndex& lca, Deployment deployment,
+                          VertexId vi, VertexId vj) {
+  const VertexId target = lca.Query(vi, vj);
+  deployment.Remove(vi);
+  deployment.Remove(vj);
+  if (!deployment.Contains(target)) deployment.Add(target);
+  return EvaluateBandwidth(instance, deployment);
+}
+
+void ApplyMerge(Deployment& deployment, const graph::LcaIndex& lca,
+                VertexId vi, VertexId vj) {
+  const VertexId target = lca.Query(vi, vj);
+  deployment.Remove(vi);
+  deployment.Remove(vj);
+  if (!deployment.Contains(target)) deployment.Add(target);
+}
+
+}  // namespace
+
+PlacementResult Hat(const Instance& instance, const graph::Tree& tree,
+                    const HatOptions& options) {
+  TDMD_CHECK_MSG(options.k >= 1, "HAT needs k >= 1");
+  const graph::LcaIndex lca(tree);
+
+  PlacementResult result;
+  // Line 1: a middlebox on every leaf that sources at least one flow.
+  // (Leaves without flows would be wasted boxes; pruning them does not
+  // change any Δb.)
+  std::vector<char> sources_flow(
+      static_cast<std::size_t>(tree.num_vertices()), 0);
+  for (FlowId f = 0; f < instance.num_flows(); ++f) {
+    sources_flow[static_cast<std::size_t>(instance.flow(f).src)] = 1;
+  }
+  Deployment plan(instance.num_vertices());
+  for (VertexId leaf : tree.Leaves()) {
+    if (sources_flow[static_cast<std::size_t>(leaf)]) plan.Add(leaf);
+  }
+  if (plan.empty()) {  // no flows at all: trivially feasible, zero cost
+    result.deployment = std::move(plan);
+    result.allocation = Allocate(instance, result.deployment);
+    result.bandwidth = 0.0;
+    result.feasible = true;
+    return result;
+  }
+
+  Bandwidth current = EvaluateBandwidth(instance, plan);
+
+  auto evaluate_pair = [&](VertexId vi, VertexId vj) {
+    ++result.oracle_calls;
+    return MergedBandwidth(instance, lca, plan, vi, vj) - current;
+  };
+
+  if (options.naive_rescan) {
+    // Reference implementation: recompute every pair each round.
+    while (plan.size() > options.k) {
+      MergeCandidate best{kInfiniteBandwidth, kInvalidVertex,
+                          kInvalidVertex};
+      const std::vector<VertexId> members = plan.SortedVertices();
+      for (std::size_t a = 0; a < members.size(); ++a) {
+        for (std::size_t b = a + 1; b < members.size(); ++b) {
+          const Bandwidth delta = evaluate_pair(members[a], members[b]);
+          const MergeCandidate candidate{delta, members[a], members[b]};
+          if (MergeGreater{}(best, candidate)) best = candidate;
+        }
+      }
+      TDMD_CHECK(best.vi != kInvalidVertex);
+      ApplyMerge(plan, lca, best.vi, best.vj);
+      current += best.delta;
+    }
+  } else {
+    // Lines 2-3: heap over all pairs.
+    std::priority_queue<MergeCandidate, std::vector<MergeCandidate>,
+                        MergeGreater>
+        heap;
+    {
+      const std::vector<VertexId> members = plan.SortedVertices();
+      for (std::size_t a = 0; a < members.size(); ++a) {
+        for (std::size_t b = a + 1; b < members.size(); ++b) {
+          heap.push(MergeCandidate{evaluate_pair(members[a], members[b]),
+                                   members[a], members[b]});
+        }
+      }
+    }
+    // Lines 4-7: merge until the budget is met.
+    while (plan.size() > options.k) {
+      TDMD_CHECK_MSG(!heap.empty(), "HAT heap exhausted before |P| <= k");
+      MergeCandidate top = heap.top();
+      heap.pop();
+      if (!plan.Contains(top.vi) || !plan.Contains(top.vj)) {
+        continue;  // references a merged-away middlebox
+      }
+      // Lazy re-evaluation: Δb may have drifted as the plan changed.
+      const Bandwidth fresh = evaluate_pair(top.vi, top.vj);
+      if (fresh > top.delta &&
+          !heap.empty() &&
+          MergeGreater{}(MergeCandidate{fresh, top.vi, top.vj},
+                         heap.top())) {
+        top.delta = fresh;
+        heap.push(top);
+        continue;
+      }
+      top.delta = fresh;
+      const VertexId target = lca.Query(top.vi, top.vj);
+      ApplyMerge(plan, lca, top.vi, top.vj);
+      current += top.delta;
+      // Insert pairs between the new middlebox and the surviving plan.
+      for (VertexId other : plan.SortedVertices()) {
+        if (other == target) continue;
+        const auto lo = std::min(other, target);
+        const auto hi = std::max(other, target);
+        heap.push(MergeCandidate{evaluate_pair(lo, hi), lo, hi});
+      }
+    }
+  }
+
+  result.deployment = std::move(plan);
+  result.allocation = Allocate(instance, result.deployment);
+  result.bandwidth = EvaluateBandwidth(instance, result.deployment);
+  result.feasible = result.allocation.AllServed();
+  return result;
+}
+
+PlacementResult Hat(const Instance& instance, const graph::Tree& tree,
+                    std::size_t k) {
+  HatOptions options;
+  options.k = k;
+  return Hat(instance, tree, options);
+}
+
+}  // namespace tdmd::core

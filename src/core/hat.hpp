@@ -1,0 +1,42 @@
+// Heuristic Algorithm for Trees — HAT (Algorithm 2, Section 5.2).
+//
+// Start from the bandwidth-minimal deployment (one middlebox on every
+// leaf), then repeatedly *merge* the pair (v_i, v_j) in the current plan
+// whose replacement by a single middlebox on LCA(v_i, v_j) increases total
+// bandwidth the least (Δb(i, j)), until at most k middleboxes remain.
+//
+// Implementation notes:
+//   * Δb is evaluated against the full current deployment — when i is an
+//     ancestor of j the merge degenerates to deleting j, and flows may be
+//     caught by third middleboxes; the full evaluation handles all cases.
+//   * The min-heap holds possibly stale entries; a popped entry is
+//     re-evaluated and only accepted if it still beats the next-best
+//     (lazy re-evaluation).  Entries referencing vertices no longer in the
+//     plan are discarded.
+//   * If LCA(i, j) already hosts a middlebox the merge removes two boxes
+//     and adds none, shrinking |P| by two.
+#pragma once
+
+#include <cstddef>
+
+#include "core/deployment.hpp"
+#include "core/instance.hpp"
+#include "graph/tree.hpp"
+
+namespace tdmd::core {
+
+struct HatOptions {
+  std::size_t k = 1;
+  /// Disable lazy re-evaluation and rebuild all pair costs each round
+  /// (the naive O(|P|^2)-per-merge variant, for the ablation bench).
+  bool naive_rescan = false;
+};
+
+PlacementResult Hat(const Instance& instance, const graph::Tree& tree,
+                    const HatOptions& options);
+
+/// Convenience overload with just the budget.
+PlacementResult Hat(const Instance& instance, const graph::Tree& tree,
+                    std::size_t k);
+
+}  // namespace tdmd::core

@@ -1,0 +1,50 @@
+#include "core/instance.hpp"
+
+#include <algorithm>
+
+namespace tdmd::core {
+
+Instance::Instance(graph::Digraph network, traffic::FlowSet flows,
+                   double lambda)
+    : network_(std::move(network)),
+      flows_(std::move(flows)),
+      lambda_(lambda) {
+  TDMD_CHECK_MSG(lambda_ >= 0.0 && lambda_ <= 1.0,
+                 "traffic-diminishing ratio must be in [0, 1], got "
+                     << lambda_);
+  TDMD_CHECK_MSG(traffic::AllFlowsValid(network_, flows_),
+                 "flow set contains an invalid flow");
+
+  const auto n = static_cast<std::size_t>(network_.num_vertices());
+  path_index_.assign(flows_.size(), std::vector<std::int32_t>(n, -1));
+  flows_through_.assign(n, {});
+  for (std::size_t f = 0; f < flows_.size(); ++f) {
+    const auto& vertices = flows_[f].path.vertices;
+    for (std::size_t i = 0; i < vertices.size(); ++i) {
+      const auto v = static_cast<std::size_t>(vertices[i]);
+      path_index_[f][v] = static_cast<std::int32_t>(i);
+      flows_through_[v].push_back(
+          FlowVisit{static_cast<FlowId>(f), static_cast<std::int32_t>(i)});
+    }
+    unprocessed_bandwidth_ += static_cast<Bandwidth>(flows_[f].rate) *
+                              static_cast<Bandwidth>(flows_[f].PathEdges());
+  }
+}
+
+Instance MakeTreeInstance(const graph::Tree& tree,
+                          const traffic::FlowSet& flows, double lambda) {
+  for (const traffic::Flow& f : flows) {
+    TDMD_CHECK_MSG(tree.IsLeaf(f.src),
+                   "tree-model flow must source at a leaf, got " << f.src);
+    TDMD_CHECK_MSG(f.dst == tree.root(),
+                   "tree-model flow must terminate at the root");
+    // The unique leaf-to-root path must match the declared one.
+    const std::vector<VertexId> expected = tree.PathToRoot(f.src);
+    TDMD_CHECK_MSG(f.path.vertices == expected,
+                   "flow path deviates from the tree path for source "
+                       << f.src);
+  }
+  return Instance(tree.ToDigraph(), flows, lambda);
+}
+
+}  // namespace tdmd::core

@@ -1,0 +1,100 @@
+// TDMD problem instance (Section 3).
+//
+// Bundles the network, the flow set and the middlebox's traffic-changing
+// ratio lambda, and precomputes the two lookup structures every algorithm
+// needs:
+//   * PathIndex(f, v): 0-based position of v on f's path (-1 if absent).
+//     Serving f at position i diminishes the |p_f| - i downstream edges, so
+//     the paper's l_v(f) (edges carried at the diminished rate) equals
+//     |p_f| - i.
+//   * FlowsThrough(v): the flows whose paths visit v, with their position —
+//     the inverted index behind GTP's marginal-decrement oracle.
+//
+// Note on l_v(f): the paper's symbol table says "edges from v to src_f" but
+// every calculation in the paper (Table 2, the b(f) expansion in Section 5,
+// Fig. 1's totals) uses the number of *diminished* edges, i.e. the distance
+// from v to dst_f along the path.  We follow the calculations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "graph/digraph.hpp"
+#include "graph/tree.hpp"
+#include "traffic/flow.hpp"
+
+namespace tdmd::core {
+
+class Instance {
+ public:
+  /// Validates flows against the graph and builds the indices.  `lambda`
+  /// must lie in [0, 1] (traffic-diminishing middleboxes, Section 3.1).
+  Instance(graph::Digraph network, traffic::FlowSet flows, double lambda);
+
+  const graph::Digraph& network() const { return network_; }
+  const traffic::FlowSet& flows() const { return flows_; }
+  double lambda() const { return lambda_; }
+
+  VertexId num_vertices() const { return network_.num_vertices(); }
+  FlowId num_flows() const { return static_cast<FlowId>(flows_.size()); }
+
+  const traffic::Flow& flow(FlowId f) const {
+    TDMD_DCHECK(f >= 0 && f < num_flows());
+    return flows_[static_cast<std::size_t>(f)];
+  }
+
+  /// Position (0-based, from the source) of v on f's path; -1 if v is not
+  /// on the path.
+  std::int32_t PathIndex(FlowId f, VertexId v) const {
+    TDMD_DCHECK(network_.IsValidVertex(v));
+    return path_index_[static_cast<std::size_t>(f)]
+                      [static_cast<std::size_t>(v)];
+  }
+
+  /// Number of edges diminished when f is served at v (the operational
+  /// l_v(f)); CHECK-fails if v is not on f's path.
+  std::int32_t DiminishedEdges(FlowId f, VertexId v) const {
+    const std::int32_t idx = PathIndex(f, v);
+    TDMD_CHECK_MSG(idx >= 0, "vertex " << v << " not on flow " << f);
+    return static_cast<std::int32_t>(flow(f).PathEdges()) - idx;
+  }
+
+  struct FlowVisit {
+    FlowId flow;
+    std::int32_t path_index;  // position of the vertex on that flow's path
+  };
+
+  /// Flows whose path visits v (with positions); ascending by flow id.
+  const std::vector<FlowVisit>& FlowsThrough(VertexId v) const {
+    TDMD_DCHECK(network_.IsValidVertex(v));
+    return flows_through_[static_cast<std::size_t>(v)];
+  }
+
+  /// Sum over flows of r_f * |p_f| — bandwidth with no deployment, the
+  /// d(P) reference point of Lemma 1.
+  Bandwidth UnprocessedBandwidth() const { return unprocessed_bandwidth_; }
+
+  /// Lower bound lambda * UnprocessedBandwidth() — every flow served at its
+  /// source (Lemma 1 part 2).
+  Bandwidth MinimumPossibleBandwidth() const {
+    return lambda_ * unprocessed_bandwidth_;
+  }
+
+ private:
+  graph::Digraph network_;
+  traffic::FlowSet flows_;
+  double lambda_;
+  std::vector<std::vector<std::int32_t>> path_index_;
+  std::vector<std::vector<FlowVisit>> flows_through_;
+  Bandwidth unprocessed_bandwidth_ = 0.0;
+};
+
+/// Builds the tree-model instance of Section 5: every flow must source at
+/// a leaf of `tree` and terminate at its root along the tree path
+/// (CHECK-enforced).  The network is the child->parent digraph of `tree`.
+Instance MakeTreeInstance(const graph::Tree& tree,
+                          const traffic::FlowSet& flows, double lambda);
+
+}  // namespace tdmd::core

@@ -1,0 +1,87 @@
+#include "core/objective.hpp"
+
+#include <limits>
+
+namespace tdmd::core {
+
+Bandwidth FlowBandwidth(const Instance& instance, FlowId f,
+                        std::int32_t serving_index) {
+  const traffic::Flow& flow = instance.flow(f);
+  const auto edges = static_cast<Bandwidth>(flow.PathEdges());
+  const auto rate = static_cast<Bandwidth>(flow.rate);
+  if (serving_index == kUnservedIndex) {
+    return rate * edges;
+  }
+  TDMD_DCHECK(serving_index >= 0 &&
+              serving_index <= static_cast<std::int32_t>(flow.PathEdges()));
+  // Edges before the serving vertex carry r_f; the l = |p| - index edges
+  // after it carry lambda * r_f.
+  const auto diminished =
+      static_cast<Bandwidth>(flow.PathEdges()) - serving_index;
+  return rate * (edges - (1.0 - instance.lambda()) * diminished);
+}
+
+Bandwidth EvaluateBandwidth(const Instance& instance,
+                            const Deployment& deployment) {
+  Bandwidth total = 0.0;
+  for (FlowId f = 0; f < instance.num_flows(); ++f) {
+    std::int32_t serving_index = kUnservedIndex;
+    for (VertexId v : instance.flow(f).path.vertices) {
+      if (deployment.Contains(v)) {
+        serving_index = instance.PathIndex(f, v);
+        break;
+      }
+    }
+    total += FlowBandwidth(instance, f, serving_index);
+  }
+  return total;
+}
+
+Bandwidth EvaluateDecrement(const Instance& instance,
+                            const Deployment& deployment) {
+  return instance.UnprocessedBandwidth() -
+         EvaluateBandwidth(instance, deployment);
+}
+
+ServedState::ServedState(const Instance& instance)
+    : instance_(&instance),
+      best_index_(static_cast<std::size_t>(instance.num_flows()),
+                  kUnservedIndex),
+      bandwidth_(instance.UnprocessedBandwidth()),
+      unserved_count_(instance.num_flows()) {}
+
+Bandwidth ServedState::MarginalDecrement(VertexId v) const {
+  Bandwidth gain = 0.0;
+  const double one_minus_lambda = 1.0 - instance_->lambda();
+  for (const Instance::FlowVisit& visit : instance_->FlowsThrough(v)) {
+    const std::int32_t current =
+        best_index_[static_cast<std::size_t>(visit.flow)];
+    if (visit.path_index >= current) continue;  // no improvement
+    const traffic::Flow& flow = instance_->flow(visit.flow);
+    const auto edges = static_cast<std::int32_t>(flow.PathEdges());
+    const std::int32_t new_l = edges - visit.path_index;
+    const std::int32_t old_l = current == kUnservedIndex ? 0 : edges - current;
+    gain += static_cast<Bandwidth>(flow.rate) * one_minus_lambda *
+            static_cast<Bandwidth>(new_l - old_l);
+  }
+  return gain;
+}
+
+void ServedState::Deploy(VertexId v) {
+  const double one_minus_lambda = 1.0 - instance_->lambda();
+  for (const Instance::FlowVisit& visit : instance_->FlowsThrough(v)) {
+    auto& current = best_index_[static_cast<std::size_t>(visit.flow)];
+    if (visit.path_index >= current) continue;
+    const traffic::Flow& flow = instance_->flow(visit.flow);
+    const auto edges = static_cast<std::int32_t>(flow.PathEdges());
+    const std::int32_t new_l = edges - visit.path_index;
+    const std::int32_t old_l =
+        current == kUnservedIndex ? 0 : edges - current;
+    bandwidth_ -= static_cast<Bandwidth>(flow.rate) * one_minus_lambda *
+                  static_cast<Bandwidth>(new_l - old_l);
+    if (current == kUnservedIndex) --unserved_count_;
+    current = visit.path_index;
+  }
+}
+
+}  // namespace tdmd::core

@@ -1,0 +1,71 @@
+// Objective b(P, F), decrement d(P) and the marginal-decrement oracle.
+//
+// Definitions (Section 3.2 and Definitions 1-2):
+//   b(f)   = r_f * (|p_f| - (1 - lambda) * l_v(f))   for serving vertex v
+//   b(P)   = sum over flows (unserved flows pay r_f * |p_f|)
+//   d(P)   = sum r_f |p_f|  -  b(P)                   (decrement function)
+//   d_P(S) = d(P ∪ S) - d(P)                          (marginal decrement)
+//
+// ServedState is the incremental evaluation structure used by the greedy
+// algorithms: it tracks, per flow, the best (earliest) deployed path
+// position, so a marginal gain evaluates in O(flows through v) instead of
+// re-scoring the whole instance.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "core/deployment.hpp"
+#include "core/instance.hpp"
+
+namespace tdmd::core {
+
+/// Bandwidth of a single flow served at path position `index`
+/// (0 = source).  Pass kUnservedIndex for an unserved flow.
+inline constexpr std::int32_t kUnservedIndex =
+    std::numeric_limits<std::int32_t>::max();
+
+Bandwidth FlowBandwidth(const Instance& instance, FlowId f,
+                        std::int32_t serving_index);
+
+/// Full-scan objective: total bandwidth consumption under the forced
+/// nearest-source allocation.  Unserved flows count at full rate.
+Bandwidth EvaluateBandwidth(const Instance& instance,
+                            const Deployment& deployment);
+
+/// Decrement d(P) = UnprocessedBandwidth - b(P).
+Bandwidth EvaluateDecrement(const Instance& instance,
+                            const Deployment& deployment);
+
+/// Incremental per-flow serving state for greedy algorithms.
+class ServedState {
+ public:
+  explicit ServedState(const Instance& instance);
+
+  /// Best (smallest) deployed path position for flow f; kUnservedIndex if
+  /// unserved.
+  std::int32_t ServingIndex(FlowId f) const {
+    return best_index_[static_cast<std::size_t>(f)];
+  }
+
+  bool AllServed() const { return unserved_count_ == 0; }
+  FlowId unserved_count() const { return unserved_count_; }
+
+  /// Current total bandwidth consumption.
+  Bandwidth bandwidth() const { return bandwidth_; }
+
+  /// d_P({v}): bandwidth decrement if a middlebox were added at v.
+  /// Does not modify state.  O(|FlowsThrough(v)|).
+  Bandwidth MarginalDecrement(VertexId v) const;
+
+  /// Commits a middlebox at v, updating every flow it improves.
+  void Deploy(VertexId v);
+
+ private:
+  const Instance* instance_;
+  std::vector<std::int32_t> best_index_;
+  Bandwidth bandwidth_;
+  FlowId unserved_count_;
+};
+
+}  // namespace tdmd::core

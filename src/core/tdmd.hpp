@@ -1,0 +1,21 @@
+// Umbrella header: the public API of the TDMD library.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   auto tree  = tdmd::topology::RandomTree(22, rng);
+//   auto flows = tdmd::traffic::GenerateTreeWorkload(tree, params, rng);
+//   auto inst  = tdmd::core::MakeTreeInstance(tree, flows, /*lambda=*/0.5);
+//   auto best  = tdmd::core::DpTree(inst, tree, /*k=*/8);
+//   std::cout << best.deployment.ToString() << " -> " << best.bandwidth;
+#pragma once
+
+#include "core/baselines.hpp"    // IWYU pragma: export
+#include "core/brute_force.hpp"  // IWYU pragma: export
+#include "core/deployment.hpp"   // IWYU pragma: export
+#include "core/dp_scaled.hpp"    // IWYU pragma: export
+#include "core/dp_tree.hpp"      // IWYU pragma: export
+#include "core/exact_bnb.hpp"    // IWYU pragma: export
+#include "core/gtp.hpp"          // IWYU pragma: export
+#include "core/hat.hpp"          // IWYU pragma: export
+#include "core/instance.hpp"     // IWYU pragma: export
+#include "core/objective.hpp"    // IWYU pragma: export

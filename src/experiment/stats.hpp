@@ -1,0 +1,42 @@
+// Streaming statistics for repeated trials (the paper's error bars).
+//
+// Welford's online algorithm: numerically stable mean/variance without
+// storing samples, so a sweep can aggregate thousands of trials in O(1)
+// memory per cell.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace tdmd::experiment {
+
+class Stats {
+ public:
+  void Add(double sample);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n - 1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  /// Standard error of the mean — the half-height of the error bar.
+  double stderr_mean() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Merges another accumulator (used when trials are sharded across
+  /// threads).  Chan et al.'s parallel variance combination.
+  void Merge(const Stats& other);
+
+  /// "mean ± stderr" with sensible precision.
+  std::string ToString() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace tdmd::experiment

@@ -1,0 +1,125 @@
+#include "experiment/sweep.hpp"
+
+#include <mutex>
+#include <ostream>
+
+#include "common/check.hpp"
+#include "experiment/table.hpp"
+
+namespace tdmd::experiment {
+
+SweepResult RunSweep(const SweepConfig& config,
+                     const std::vector<std::string>& algorithm_names,
+                     const TrialFn& trial) {
+  TDMD_CHECK(!config.x_values.empty());
+  TDMD_CHECK(config.trials >= 1);
+  TDMD_CHECK(!algorithm_names.empty());
+
+  SweepResult result;
+  result.config = config;
+  result.series.resize(algorithm_names.size());
+  for (std::size_t a = 0; a < algorithm_names.size(); ++a) {
+    result.series[a].name = algorithm_names[a];
+    result.series[a].bandwidth.resize(config.x_values.size());
+    result.series[a].seconds.resize(config.x_values.size());
+    result.series[a].infeasible_trials.assign(config.x_values.size(), 0);
+  }
+
+  const std::size_t total_jobs = config.x_values.size() * config.trials;
+  std::mutex merge_mutex;
+
+  parallel::ThreadPool pool(config.threads);
+  parallel::ParallelFor(pool, 0, total_jobs, [&](std::size_t job) {
+    const std::size_t xi = job / config.trials;
+    const std::size_t t = job % config.trials;
+    // Stream derivation: a function of (seed, trial) only — NOT of the x
+    // index — so trial t sees the same generated scenario at every x
+    // value (a paired sweep: "each simulation tests one variable and
+    // keeps other variables constant", Section 6.2).  Scheduling cannot
+    // perturb it.
+    SplitMix64 seeder(config.seed);
+    SplitMix64 inner(seeder.Next() ^
+                     (0x9E3779B97F4A7C15ULL * (t + 1)));
+    Rng rng(inner.Next());
+
+    const std::vector<Measurement> measurements =
+        trial(config.x_values[xi], rng);
+    TDMD_CHECK_MSG(measurements.size() == algorithm_names.size(),
+                   "trial returned " << measurements.size()
+                                     << " measurements, expected "
+                                     << algorithm_names.size());
+    std::scoped_lock lock(merge_mutex);
+    for (std::size_t a = 0; a < measurements.size(); ++a) {
+      result.series[a].bandwidth[xi].Add(measurements[a].bandwidth);
+      result.series[a].seconds[xi].Add(measurements[a].seconds);
+      if (!measurements[a].feasible) {
+        ++result.series[a].infeasible_trials[xi];
+      }
+    }
+  });
+  return result;
+}
+
+namespace {
+
+Table BuildMetricTable(const std::string& title, const SweepResult& result,
+                       bool bandwidth) {
+  Table table(title);
+  std::vector<std::string> header{result.config.x_name};
+  for (const Series& s : result.series) header.push_back(s.name);
+  table.SetHeader(std::move(header));
+  for (std::size_t xi = 0; xi < result.config.x_values.size(); ++xi) {
+    std::vector<std::string> row{
+        FormatNumber(result.config.x_values[xi], 6)};
+    for (const Series& s : result.series) {
+      const Stats& stats = bandwidth ? s.bandwidth[xi] : s.seconds[xi];
+      row.push_back(stats.ToString());
+    }
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace
+
+void PrintSweepTables(std::ostream& os, const std::string& figure_name,
+                      const SweepResult& result) {
+  BuildMetricTable(figure_name + " — bandwidth consumption", result,
+                   /*bandwidth=*/true)
+      .Print(os);
+  BuildMetricTable(figure_name + " — execution time (s)", result,
+                   /*bandwidth=*/false)
+      .Print(os);
+  bool any_infeasible = false;
+  for (const Series& s : result.series) {
+    for (std::size_t xi = 0; xi < s.infeasible_trials.size(); ++xi) {
+      if (s.infeasible_trials[xi] > 0) {
+        if (!any_infeasible) {
+          os << "infeasible trials:";
+          any_infeasible = true;
+        }
+        os << "  [" << s.name << " @ " << result.config.x_name << '='
+           << result.config.x_values[xi] << ": "
+           << s.infeasible_trials[xi] << '/' << result.config.trials << ']';
+      }
+    }
+  }
+  if (any_infeasible) os << '\n';
+}
+
+void PrintSweepCsv(std::ostream& os, const SweepResult& result) {
+  os << "x,algorithm,metric,mean,stderr,count\n";
+  for (const Series& s : result.series) {
+    for (std::size_t xi = 0; xi < result.config.x_values.size(); ++xi) {
+      const double x = result.config.x_values[xi];
+      os << x << ',' << s.name << ",bandwidth,"
+         << s.bandwidth[xi].mean() << ',' << s.bandwidth[xi].stderr_mean()
+         << ',' << s.bandwidth[xi].count() << '\n';
+      os << x << ',' << s.name << ",seconds," << s.seconds[xi].mean() << ','
+         << s.seconds[xi].stderr_mean() << ',' << s.seconds[xi].count()
+         << '\n';
+    }
+  }
+}
+
+}  // namespace tdmd::experiment

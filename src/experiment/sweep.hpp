@@ -1,0 +1,69 @@
+// Sweep runner: the generic "vary one knob, hold the rest, average over
+// seeded trials" loop behind every figure in Section 6.
+//
+// Determinism: trial t always runs with the Rng stream derived from
+// (root_seed, t) — shared across all x values of the sweep so curves are
+// *paired* (the same topologies and workloads at every x, as in the
+// paper's one-variable-at-a-time methodology) and independent of thread
+// scheduling; a bench's output is a pure function of --seed even with
+// --threads > 1.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "experiment/stats.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace tdmd::experiment {
+
+/// One algorithm's outcome on one generated instance.
+struct Measurement {
+  double bandwidth = 0.0;
+  double seconds = 0.0;
+  bool feasible = false;
+};
+
+struct SweepConfig {
+  std::string x_name;            // e.g. "k", "lambda", "density", "size"
+  std::vector<double> x_values;  // swept values
+  std::size_t trials = 10;       // seeded repetitions per x value
+  std::uint64_t seed = 42;
+  std::size_t threads = 0;       // 0 = hardware concurrency
+};
+
+/// Aggregated series for one algorithm.
+struct Series {
+  std::string name;
+  std::vector<Stats> bandwidth;  // per x value
+  std::vector<Stats> seconds;    // per x value
+  std::vector<std::size_t> infeasible_trials;  // per x value
+};
+
+struct SweepResult {
+  SweepConfig config;
+  std::vector<Series> series;
+};
+
+/// The bench supplies: algorithm names, and a trial function mapping
+/// (x value, trial rng) to one Measurement per algorithm (same order as
+/// `algorithm_names`).  Trials are fanned out over a thread pool.
+using TrialFn =
+    std::function<std::vector<Measurement>(double x, Rng& rng)>;
+
+SweepResult RunSweep(const SweepConfig& config,
+                     const std::vector<std::string>& algorithm_names,
+                     const TrialFn& trial);
+
+/// Prints the two sub-figure tables (bandwidth, execution time) the paper
+/// plots, plus an infeasibility footnote when any trial failed.
+void PrintSweepTables(std::ostream& os, const std::string& figure_name,
+                      const SweepResult& result);
+
+/// CSV (long format: x,algorithm,metric,mean,stderr,count).
+void PrintSweepCsv(std::ostream& os, const SweepResult& result);
+
+}  // namespace tdmd::experiment

@@ -1,0 +1,72 @@
+#include "experiment/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace tdmd::experiment {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void Table::SetHeader(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  TDMD_CHECK_MSG(header_.empty() || cells.size() == header_.size(),
+                 "row width " << cells.size() << " != header width "
+                              << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    widths.resize(std::max(widths.size(), cells.size()), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  os << "== " << title_ << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) os << "  ";
+      os << std::left << std::setw(static_cast<int>(widths[i])) << cells[i];
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    print_row(header_);
+    std::size_t total = 0;
+    for (std::size_t w : widths) total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  }
+  for (const auto& row : rows_) print_row(row);
+  os << '\n';
+}
+
+void Table::PrintCsv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) os << ',';
+      os << cells[i];
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string FormatNumber(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::setprecision(precision) << value;
+  return oss.str();
+}
+
+}  // namespace tdmd::experiment

@@ -1,0 +1,36 @@
+// Column-aligned table and CSV emission for bench output.
+//
+// Every figure bench prints one table per sub-figure (bandwidth, time)
+// whose rows are the swept variable and whose columns are the algorithms —
+// the same series the paper plots.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tdmd::experiment {
+
+class Table {
+ public:
+  explicit Table(std::string title);
+
+  void SetHeader(std::vector<std::string> cells);
+  void AddRow(std::vector<std::string> cells);
+
+  /// Pads columns to equal width; title first, then header, rule, rows.
+  void Print(std::ostream& os) const;
+
+  /// Comma-separated form (header + rows, no title).
+  void PrintCsv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `precision` significant digits.
+std::string FormatNumber(double value, int precision = 4);
+
+}  // namespace tdmd::experiment

@@ -1,0 +1,91 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tdmd::graph {
+
+VertexId DigraphBuilder::AddVertices(VertexId count) {
+  TDMD_CHECK(count >= 0);
+  const VertexId first = num_vertices_;
+  num_vertices_ += count;
+  return first;
+}
+
+EdgeId DigraphBuilder::AddArc(VertexId tail, VertexId head) {
+  TDMD_CHECK_MSG(tail >= 0 && tail < num_vertices_,
+                 "arc tail " << tail << " out of range");
+  TDMD_CHECK_MSG(head >= 0 && head < num_vertices_,
+                 "arc head " << head << " out of range");
+  arcs_.push_back(Arc{tail, head});
+  return static_cast<EdgeId>(arcs_.size() - 1);
+}
+
+void DigraphBuilder::AddBidirectional(VertexId u, VertexId v) {
+  AddArc(u, v);
+  AddArc(v, u);
+}
+
+Digraph DigraphBuilder::Build() const {
+  Digraph g;
+  g.arcs_ = arcs_;
+  const auto n = static_cast<std::size_t>(num_vertices_);
+  const auto m = arcs_.size();
+
+  // Counting sort of arc ids by tail (out CSR) and head (in CSR).
+  g.out_offsets_.assign(n + 1, 0);
+  g.in_offsets_.assign(n + 1, 0);
+  for (const Arc& a : arcs_) {
+    ++g.out_offsets_[static_cast<std::size_t>(a.tail) + 1];
+    ++g.in_offsets_[static_cast<std::size_t>(a.head) + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    g.out_offsets_[v + 1] += g.out_offsets_[v];
+    g.in_offsets_[v + 1] += g.in_offsets_[v];
+  }
+  g.out_adjacency_.resize(m);
+  g.in_adjacency_.resize(m);
+  std::vector<std::size_t> out_cursor(g.out_offsets_.begin(),
+                                      g.out_offsets_.end() - 1);
+  std::vector<std::size_t> in_cursor(g.in_offsets_.begin(),
+                                     g.in_offsets_.end() - 1);
+  for (std::size_t e = 0; e < m; ++e) {
+    const Arc& a = arcs_[e];
+    g.out_adjacency_[out_cursor[static_cast<std::size_t>(a.tail)]++] =
+        static_cast<EdgeId>(e);
+    g.in_adjacency_[in_cursor[static_cast<std::size_t>(a.head)]++] =
+        static_cast<EdgeId>(e);
+  }
+  return g;
+}
+
+EdgeId Digraph::FindArc(VertexId u, VertexId v) const {
+  TDMD_CHECK(IsValidVertex(u) && IsValidVertex(v));
+  for (EdgeId e : OutArcs(u)) {
+    if (arc(e).head == v) return e;
+  }
+  return kInvalidEdge;
+}
+
+bool Digraph::IsSymmetric() const {
+  for (EdgeId e = 0; e < num_arcs(); ++e) {
+    const Arc& a = arc(e);
+    if (FindArc(a.head, a.tail) == kInvalidEdge) return false;
+  }
+  return true;
+}
+
+std::string Digraph::ToString() const {
+  std::ostringstream oss;
+  oss << "Digraph(|V|=" << num_vertices() << ", |E|=" << num_arcs() << ")\n";
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    oss << "  " << v << " ->";
+    for (EdgeId e : OutArcs(v)) {
+      oss << ' ' << arc(e).head;
+    }
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+}  // namespace tdmd::graph

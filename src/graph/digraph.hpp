@@ -1,0 +1,124 @@
+// Directed graph in compressed-sparse-row (CSR) form.
+//
+// The network model of the paper (Section 3.1): vertices are switches,
+// directed edges are links.  Links are physically bidirectional, so
+// topology generators normally add both arcs; the CSR representation keeps
+// out- and in-adjacency separately so path routing and reverse reachability
+// are both O(degree).
+//
+// Construction goes through DigraphBuilder (mutable edge list) and is then
+// frozen into an immutable Digraph — all algorithm code operates on frozen
+// graphs, which makes sharing across ThreadPool workers data-race free.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace tdmd::graph {
+
+/// One directed edge.  `head` / `tail` follow the convention
+/// tail --edge--> head.
+struct Arc {
+  VertexId tail = kInvalidVertex;
+  VertexId head = kInvalidVertex;
+};
+
+class Digraph;
+
+/// Mutable edge-list accumulator.
+class DigraphBuilder {
+ public:
+  explicit DigraphBuilder(VertexId num_vertices = 0)
+      : num_vertices_(num_vertices) {
+    TDMD_CHECK(num_vertices >= 0);
+  }
+
+  /// Adds vertices so that ids [0, n) are valid; returns first new id.
+  VertexId AddVertices(VertexId count);
+
+  /// Adds one directed arc tail -> head; returns its EdgeId.
+  EdgeId AddArc(VertexId tail, VertexId head);
+
+  /// Adds both directions (the paper's bidirectional links).
+  void AddBidirectional(VertexId u, VertexId v);
+
+  VertexId num_vertices() const { return num_vertices_; }
+  EdgeId num_arcs() const { return static_cast<EdgeId>(arcs_.size()); }
+
+  /// Freezes into an immutable Digraph.  The builder may be reused after.
+  Digraph Build() const;
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<Arc> arcs_;
+};
+
+/// Immutable CSR digraph.
+class Digraph {
+ public:
+  Digraph() = default;
+
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(out_offsets_.empty()
+                                     ? 0
+                                     : out_offsets_.size() - 1);
+  }
+  EdgeId num_arcs() const { return static_cast<EdgeId>(arcs_.size()); }
+
+  bool IsValidVertex(VertexId v) const {
+    return v >= 0 && v < num_vertices();
+  }
+
+  const Arc& arc(EdgeId e) const {
+    TDMD_DCHECK(e >= 0 && e < num_arcs());
+    return arcs_[static_cast<std::size_t>(e)];
+  }
+
+  /// EdgeIds of arcs leaving `v`.
+  std::span<const EdgeId> OutArcs(VertexId v) const {
+    TDMD_DCHECK(IsValidVertex(v));
+    return {out_adjacency_.data() + out_offsets_[static_cast<std::size_t>(v)],
+            out_adjacency_.data() +
+                out_offsets_[static_cast<std::size_t>(v) + 1]};
+  }
+
+  /// EdgeIds of arcs entering `v`.
+  std::span<const EdgeId> InArcs(VertexId v) const {
+    TDMD_DCHECK(IsValidVertex(v));
+    return {in_adjacency_.data() + in_offsets_[static_cast<std::size_t>(v)],
+            in_adjacency_.data() + in_offsets_[static_cast<std::size_t>(v) + 1]};
+  }
+
+  VertexId OutDegree(VertexId v) const {
+    return static_cast<VertexId>(OutArcs(v).size());
+  }
+  VertexId InDegree(VertexId v) const {
+    return static_cast<VertexId>(InArcs(v).size());
+  }
+
+  /// Looks up the arc u -> v; kInvalidEdge if absent.  O(out-degree of u).
+  EdgeId FindArc(VertexId u, VertexId v) const;
+
+  /// True if every pair of arcs (u,v) has a matching (v,u).
+  bool IsSymmetric() const;
+
+  /// Multi-line human-readable dump (for debugging and examples).
+  std::string ToString() const;
+
+ private:
+  friend class DigraphBuilder;
+
+  std::vector<Arc> arcs_;
+  // CSR over arc ids: out_adjacency_[out_offsets_[v] .. out_offsets_[v+1])
+  // are the arcs with tail v (and symmetrically for in_*).
+  std::vector<std::size_t> out_offsets_;
+  std::vector<EdgeId> out_adjacency_;
+  std::vector<std::size_t> in_offsets_;
+  std::vector<EdgeId> in_adjacency_;
+};
+
+}  // namespace tdmd::graph

@@ -1,0 +1,92 @@
+#include "graph/lca.hpp"
+
+#include <algorithm>
+
+namespace tdmd::graph {
+
+LcaIndex::LcaIndex(const Tree& tree) : tree_(&tree) {
+  const auto n = static_cast<std::size_t>(tree.num_vertices());
+  euler_.reserve(2 * n);
+  euler_depth_.reserve(2 * n);
+  first_occurrence_.assign(n, 0);
+
+  // Iterative Euler tour.  A vertex is recorded on first entry and again
+  // after returning from each child, yielding the classic 2n-1 entry tour.
+  struct Frame {
+    VertexId v;
+    std::size_t next_child;
+  };
+  std::vector<char> visited(n, 0);
+  auto record = [&](VertexId v) {
+    if (!visited[static_cast<std::size_t>(v)]) {
+      visited[static_cast<std::size_t>(v)] = 1;
+      first_occurrence_[static_cast<std::size_t>(v)] = euler_.size();
+    }
+    euler_.push_back(v);
+    euler_depth_.push_back(tree.Depth(v));
+  };
+  std::vector<Frame> stack;
+  stack.push_back({tree.root(), 0});
+  record(tree.root());
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const auto children = tree.Children(frame.v);
+    if (frame.next_child < children.size()) {
+      const VertexId child = children[frame.next_child++];
+      stack.push_back({child, 0});
+      record(child);
+    } else {
+      stack.pop_back();
+      if (!stack.empty()) {
+        record(stack.back().v);  // re-enter the parent
+      }
+    }
+  }
+
+  // Sparse table over tour indices for range-min-depth queries.
+  const std::size_t m = euler_.size();
+  log2_floor_.assign(m + 1, 0);
+  for (std::size_t i = 2; i <= m; ++i) {
+    log2_floor_[i] = log2_floor_[i / 2] + 1;
+  }
+  const std::size_t levels = static_cast<std::size_t>(log2_floor_[m]) + 1;
+  sparse_.assign(levels, std::vector<std::size_t>(m));
+  for (std::size_t i = 0; i < m; ++i) sparse_[0][i] = i;
+  for (std::size_t k = 1; k < levels; ++k) {
+    const std::size_t half = std::size_t{1} << (k - 1);
+    for (std::size_t i = 0; i + (std::size_t{1} << k) <= m; ++i) {
+      sparse_[k][i] = ArgMinDepth(sparse_[k - 1][i], sparse_[k - 1][i + half]);
+    }
+  }
+}
+
+VertexId LcaIndex::Query(VertexId u, VertexId v) const {
+  TDMD_CHECK(tree_->IsValid(u) && tree_->IsValid(v));
+  std::size_t a = first_occurrence_[static_cast<std::size_t>(u)];
+  std::size_t b = first_occurrence_[static_cast<std::size_t>(v)];
+  if (a > b) std::swap(a, b);
+  const std::size_t len = b - a + 1;
+  const auto k = static_cast<std::size_t>(log2_floor_[len]);
+  const std::size_t best =
+      ArgMinDepth(sparse_[k][a], sparse_[k][b + 1 - (std::size_t{1} << k)]);
+  return euler_[best];
+}
+
+std::int32_t LcaIndex::Distance(VertexId u, VertexId v) const {
+  const VertexId anc = Query(u, v);
+  return tree_->Depth(u) + tree_->Depth(v) - 2 * tree_->Depth(anc);
+}
+
+VertexId NaiveLca(const Tree& tree, VertexId u, VertexId v) {
+  TDMD_CHECK(tree.IsValid(u) && tree.IsValid(v));
+  while (u != v) {
+    if (tree.Depth(u) >= tree.Depth(v)) {
+      u = tree.Parent(u);
+    } else {
+      v = tree.Parent(v);
+    }
+  }
+  return u;
+}
+
+}  // namespace tdmd::graph

@@ -1,0 +1,46 @@
+// Lowest common ancestor with O(|V| log |V|) preprocessing and O(1) query.
+//
+// HAT (Algorithm 2) merges the middlebox pair (v_i, v_j) with minimum
+// Δb(i, j) onto LCA(i, j); with O(|V|²) candidate pairs per instance the
+// query cost matters, so we use the classic Euler-tour + sparse-table RMQ
+// construction (the sequential counterpart of Schieber–Vishkin [29], which
+// the paper cites).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/tree.hpp"
+
+namespace tdmd::graph {
+
+class LcaIndex {
+ public:
+  explicit LcaIndex(const Tree& tree);
+
+  /// Lowest common ancestor of u and v.  Each vertex is a descendant of
+  /// itself, so Query(v, v) == v and Query(parent, child) == parent.
+  VertexId Query(VertexId u, VertexId v) const;
+
+  /// Tree distance in edges between u and v.
+  std::int32_t Distance(VertexId u, VertexId v) const;
+
+ private:
+  const Tree* tree_;  // non-owning; index is valid while the tree lives
+  std::vector<VertexId> euler_;                 // Euler tour vertices
+  std::vector<std::int32_t> euler_depth_;       // depth of euler_[i]
+  std::vector<std::size_t> first_occurrence_;   // vertex -> tour index
+  // sparse_[k][i] = index (into euler_) of the min-depth entry in
+  // [i, i + 2^k).
+  std::vector<std::vector<std::size_t>> sparse_;
+  std::vector<std::int32_t> log2_floor_;
+
+  std::size_t ArgMinDepth(std::size_t a, std::size_t b) const {
+    return euler_depth_[a] <= euler_depth_[b] ? a : b;
+  }
+};
+
+/// Reference O(depth) LCA used by tests to validate LcaIndex.
+VertexId NaiveLca(const Tree& tree, VertexId u, VertexId v);
+
+}  // namespace tdmd::graph

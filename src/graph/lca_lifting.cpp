@@ -1,0 +1,71 @@
+#include "graph/lca_lifting.hpp"
+#include <algorithm>
+
+
+namespace tdmd::graph {
+
+BinaryLiftingLca::BinaryLiftingLca(const Tree& tree) : tree_(&tree) {
+  const auto n = static_cast<std::size_t>(tree.num_vertices());
+  std::int32_t max_depth = 0;
+  for (VertexId v = 0; v < tree.num_vertices(); ++v) {
+    max_depth = std::max(max_depth, tree.Depth(v));
+  }
+  levels_ = 1;
+  while ((1 << levels_) <= max_depth) ++levels_;
+
+  up_.assign(static_cast<std::size_t>(levels_),
+             std::vector<VertexId>(n, kInvalidVertex));
+  for (VertexId v = 0; v < tree.num_vertices(); ++v) {
+    up_[0][static_cast<std::size_t>(v)] = tree.Parent(v);
+  }
+  for (int l = 1; l < levels_; ++l) {
+    for (std::size_t v = 0; v < n; ++v) {
+      const VertexId half = up_[static_cast<std::size_t>(l - 1)][v];
+      up_[static_cast<std::size_t>(l)][v] =
+          half == kInvalidVertex
+              ? kInvalidVertex
+              : up_[static_cast<std::size_t>(l - 1)]
+                   [static_cast<std::size_t>(half)];
+    }
+  }
+}
+
+VertexId BinaryLiftingLca::KthAncestor(VertexId v,
+                                       std::int32_t steps) const {
+  TDMD_CHECK(tree_->IsValid(v));
+  TDMD_CHECK(steps >= 0);
+  for (int l = 0; l < levels_ && v != kInvalidVertex; ++l) {
+    if (steps & (1 << l)) {
+      v = up_[static_cast<std::size_t>(l)][static_cast<std::size_t>(v)];
+    }
+  }
+  if (steps >= (1 << levels_)) return kInvalidVertex;
+  return v;
+}
+
+VertexId BinaryLiftingLca::Query(VertexId u, VertexId v) const {
+  TDMD_CHECK(tree_->IsValid(u) && tree_->IsValid(v));
+  // Level the deeper vertex.
+  if (tree_->Depth(u) < tree_->Depth(v)) std::swap(u, v);
+  u = KthAncestor(u, tree_->Depth(u) - tree_->Depth(v));
+  if (u == v) return u;
+  // Lift both just below the LCA.
+  for (int l = levels_ - 1; l >= 0; --l) {
+    const VertexId pu =
+        up_[static_cast<std::size_t>(l)][static_cast<std::size_t>(u)];
+    const VertexId pv =
+        up_[static_cast<std::size_t>(l)][static_cast<std::size_t>(v)];
+    if (pu != pv) {
+      u = pu;
+      v = pv;
+    }
+  }
+  return tree_->Parent(u);
+}
+
+std::int32_t BinaryLiftingLca::Distance(VertexId u, VertexId v) const {
+  const VertexId anc = Query(u, v);
+  return tree_->Depth(u) + tree_->Depth(v) - 2 * tree_->Depth(anc);
+}
+
+}  // namespace tdmd::graph

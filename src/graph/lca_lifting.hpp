@@ -1,0 +1,40 @@
+// Binary-lifting LCA: the O(|V| log |V|) preprocessing / O(log |V|) query
+// alternative to the Euler-tour sparse table (graph/lca.hpp).
+//
+// Kept as a second implementation for three reasons: it additionally
+// answers k-th-ancestor queries (used by deployment visualizations), its
+// memory footprint is smaller on deep skinny trees, and the micro bench
+// quantifies the constant-factor trade-off the DESIGN.md ablation list
+// calls out.  Both implementations are cross-checked against each other
+// and against the naive walker in tests.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/tree.hpp"
+
+namespace tdmd::graph {
+
+class BinaryLiftingLca {
+ public:
+  explicit BinaryLiftingLca(const Tree& tree);
+
+  /// Lowest common ancestor (each vertex is its own ancestor).
+  VertexId Query(VertexId u, VertexId v) const;
+
+  /// The ancestor `steps` levels above v; kInvalidVertex if the walk
+  /// leaves the tree (steps > depth).
+  VertexId KthAncestor(VertexId v, std::int32_t steps) const;
+
+  /// Tree distance in edges.
+  std::int32_t Distance(VertexId u, VertexId v) const;
+
+ private:
+  const Tree* tree_;
+  int levels_ = 1;
+  // up_[l][v] = 2^l-th ancestor of v (kInvalidVertex above the root).
+  std::vector<std::vector<VertexId>> up_;
+};
+
+}  // namespace tdmd::graph

@@ -1,0 +1,111 @@
+#include "graph/traversal.hpp"
+
+#include <deque>
+
+namespace tdmd::graph {
+
+namespace {
+
+// Shared BFS body parameterized by adjacency direction.
+template <bool kReverse>
+BfsResult BfsImpl(const Digraph& g, VertexId source) {
+  TDMD_CHECK(g.IsValidVertex(source));
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  BfsResult result;
+  result.dist.assign(n, -1);
+  result.parent.assign(n, kInvalidVertex);
+  result.order.reserve(n);
+
+  std::deque<VertexId> queue;
+  result.dist[static_cast<std::size_t>(source)] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    result.order.push_back(u);
+    const auto arcs = kReverse ? g.InArcs(u) : g.OutArcs(u);
+    for (EdgeId e : arcs) {
+      const Arc& a = g.arc(e);
+      const VertexId w = kReverse ? a.tail : a.head;
+      auto& dw = result.dist[static_cast<std::size_t>(w)];
+      if (dw < 0) {
+        dw = result.dist[static_cast<std::size_t>(u)] + 1;
+        result.parent[static_cast<std::size_t>(w)] = u;
+        queue.push_back(w);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+BfsResult BreadthFirst(const Digraph& g, VertexId source) {
+  return BfsImpl<false>(g, source);
+}
+
+BfsResult BreadthFirstReverse(const Digraph& g, VertexId source) {
+  return BfsImpl<true>(g, source);
+}
+
+std::vector<VertexId> ReachableFrom(const Digraph& g, VertexId source) {
+  BfsResult bfs = BreadthFirst(g, source);
+  return std::move(bfs.order);
+}
+
+bool IsWeaklyConnected(const Digraph& g) {
+  const VertexId n = g.num_vertices();
+  if (n <= 1) return true;
+  // Undirected BFS: explore both out- and in-arcs.
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  std::deque<VertexId> queue;
+  seen[0] = 1;
+  queue.push_back(0);
+  VertexId visited = 1;
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    auto visit = [&](VertexId w) {
+      if (!seen[static_cast<std::size_t>(w)]) {
+        seen[static_cast<std::size_t>(w)] = 1;
+        ++visited;
+        queue.push_back(w);
+      }
+    };
+    for (EdgeId e : g.OutArcs(u)) visit(g.arc(e).head);
+    for (EdgeId e : g.InArcs(u)) visit(g.arc(e).tail);
+  }
+  return visited == n;
+}
+
+bool IsStronglyConnected(const Digraph& g) {
+  const VertexId n = g.num_vertices();
+  if (n <= 1) return true;
+  if (static_cast<VertexId>(BreadthFirst(g, 0).order.size()) != n)
+    return false;
+  return static_cast<VertexId>(BreadthFirstReverse(g, 0).order.size()) == n;
+}
+
+std::vector<VertexId> DepthFirstPreorder(const Digraph& g, VertexId source) {
+  TDMD_CHECK(g.IsValidVertex(source));
+  std::vector<char> seen(static_cast<std::size_t>(g.num_vertices()), 0);
+  std::vector<VertexId> order;
+  std::vector<VertexId> stack{source};
+  while (!stack.empty()) {
+    const VertexId u = stack.back();
+    stack.pop_back();
+    if (seen[static_cast<std::size_t>(u)]) continue;
+    seen[static_cast<std::size_t>(u)] = 1;
+    order.push_back(u);
+    // Push in reverse so the lowest-id neighbor is visited first — keeps
+    // preorder deterministic regardless of CSR construction order.
+    const auto arcs = g.OutArcs(u);
+    for (auto it = arcs.rbegin(); it != arcs.rend(); ++it) {
+      const VertexId w = g.arc(*it).head;
+      if (!seen[static_cast<std::size_t>(w)]) stack.push_back(w);
+    }
+  }
+  return order;
+}
+
+}  // namespace tdmd::graph

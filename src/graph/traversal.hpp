@@ -1,0 +1,45 @@
+// Breadth-first and depth-first traversals over frozen Digraphs.
+//
+// These back the topology extractors (BFS trees / connected subgraphs of
+// the Ark-like graph, Section 6.1) and the connectivity assertions the
+// generators make before handing a topology to an algorithm.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/digraph.hpp"
+
+namespace tdmd::graph {
+
+/// Result of a single-source BFS.
+struct BfsResult {
+  /// dist[v] = hop count from source, or -1 if unreachable.
+  std::vector<std::int32_t> dist;
+  /// parent[v] = predecessor on one shortest hop path, or kInvalidVertex.
+  std::vector<VertexId> parent;
+  /// Vertices in visit (layer) order; front() is the source.
+  std::vector<VertexId> order;
+};
+
+/// BFS along out-arcs from `source`.
+BfsResult BreadthFirst(const Digraph& g, VertexId source);
+
+/// BFS along in-arcs (i.e. over the reverse graph) from `source`.  Used to
+/// find which vertices can reach a destination.
+BfsResult BreadthFirstReverse(const Digraph& g, VertexId source);
+
+/// Vertices reachable from `source` along out-arcs (includes source).
+std::vector<VertexId> ReachableFrom(const Digraph& g, VertexId source);
+
+/// True if the graph, viewed as undirected, is a single connected component.
+/// (An empty graph is considered connected.)
+bool IsWeaklyConnected(const Digraph& g);
+
+/// True if every ordered pair of vertices is mutually reachable.
+bool IsStronglyConnected(const Digraph& g);
+
+/// Iterative DFS preorder from `source` along out-arcs.
+std::vector<VertexId> DepthFirstPreorder(const Digraph& g, VertexId source);
+
+}  // namespace tdmd::graph

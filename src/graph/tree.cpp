@@ -1,0 +1,156 @@
+#include "graph/tree.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace tdmd::graph {
+
+Tree::Tree(std::vector<VertexId> parent) : parent_(std::move(parent)) {
+  const auto n = parent_.size();
+  TDMD_CHECK_MSG(n > 0, "tree must have at least one vertex");
+  root_ = kInvalidVertex;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (parent_[v] == kInvalidVertex) {
+      TDMD_CHECK_MSG(root_ == kInvalidVertex,
+                     "multiple roots: " << root_ << " and " << v);
+      root_ = static_cast<VertexId>(v);
+    } else {
+      TDMD_CHECK_MSG(parent_[v] >= 0 && static_cast<std::size_t>(parent_[v]) < n,
+                     "parent of " << v << " out of range");
+      TDMD_CHECK_MSG(parent_[v] != static_cast<VertexId>(v),
+                     "self-loop at vertex " << v);
+    }
+  }
+  TDMD_CHECK_MSG(root_ != kInvalidVertex, "no root found");
+  BuildDerivedArrays();
+}
+
+void Tree::BuildDerivedArrays() {
+  const auto n = parent_.size();
+
+  // Children CSR.
+  child_offsets_.assign(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (parent_[v] != kInvalidVertex) {
+      ++child_offsets_[static_cast<std::size_t>(parent_[v]) + 1];
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    child_offsets_[v + 1] += child_offsets_[v];
+  }
+  children_flat_.resize(n - 1);
+  std::vector<std::size_t> cursor(child_offsets_.begin(),
+                                  child_offsets_.end() - 1);
+  // Iterate ascending so each child list is sorted — traversals stay
+  // deterministic.
+  for (std::size_t v = 0; v < n; ++v) {
+    if (parent_[v] != kInvalidVertex) {
+      children_flat_[cursor[static_cast<std::size_t>(parent_[v])]++] =
+          static_cast<VertexId>(v);
+    }
+  }
+
+  // Depth via BFS from the root; doubles as a cycle check (a cycle makes
+  // some vertex unreachable from the root).
+  depth_.assign(n, -1);
+  std::deque<VertexId> queue;
+  depth_[static_cast<std::size_t>(root_)] = 0;
+  queue.push_back(root_);
+  std::size_t visited = 0;
+  std::vector<VertexId> bfs_order;
+  bfs_order.reserve(n);
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    ++visited;
+    bfs_order.push_back(u);
+    for (VertexId c : Children(u)) {
+      depth_[static_cast<std::size_t>(c)] =
+          depth_[static_cast<std::size_t>(u)] + 1;
+      queue.push_back(c);
+    }
+  }
+  TDMD_CHECK_MSG(visited == n, "parent array contains a cycle");
+
+  leaves_.clear();
+  for (std::size_t v = 0; v < n; ++v) {
+    if (Children(static_cast<VertexId>(v)).empty()) {
+      leaves_.push_back(static_cast<VertexId>(v));
+    }
+  }
+
+  // Reverse BFS order is a valid post-order-like order (children before
+  // parents); store it as the DP evaluation order.
+  postorder_.assign(bfs_order.rbegin(), bfs_order.rend());
+
+  subtree_size_.assign(n, 1);
+  for (VertexId v : postorder_) {
+    if (parent_[static_cast<std::size_t>(v)] != kInvalidVertex) {
+      subtree_size_[static_cast<std::size_t>(
+          parent_[static_cast<std::size_t>(v)])] +=
+          subtree_size_[static_cast<std::size_t>(v)];
+    }
+  }
+}
+
+bool Tree::IsAncestorOf(VertexId ancestor, VertexId v) const {
+  TDMD_CHECK(IsValid(ancestor) && IsValid(v));
+  // Walk up from v; depth bound makes this O(depth).
+  while (v != kInvalidVertex && Depth(v) >= Depth(ancestor)) {
+    if (v == ancestor) return true;
+    v = Parent(v);
+  }
+  return false;
+}
+
+std::vector<VertexId> Tree::PathToRoot(VertexId v) const {
+  TDMD_CHECK(IsValid(v));
+  std::vector<VertexId> path;
+  for (; v != kInvalidVertex; v = Parent(v)) {
+    path.push_back(v);
+  }
+  return path;
+}
+
+Digraph Tree::ToDigraph() const {
+  DigraphBuilder builder(num_vertices());
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    if (parent_[static_cast<std::size_t>(v)] != kInvalidVertex) {
+      builder.AddArc(v, parent_[static_cast<std::size_t>(v)]);
+    }
+  }
+  return builder.Build();
+}
+
+Tree Tree::BfsTreeOf(const Digraph& g, VertexId root) {
+  TDMD_CHECK(g.IsValidVertex(root));
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  std::vector<VertexId> parent(n, kInvalidVertex);
+  std::vector<char> seen(n, 0);
+  std::deque<VertexId> queue;
+  seen[static_cast<std::size_t>(root)] = 1;
+  queue.push_back(root);
+  std::size_t visited = 0;
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    ++visited;
+    auto visit = [&](VertexId w) {
+      if (!seen[static_cast<std::size_t>(w)]) {
+        seen[static_cast<std::size_t>(w)] = 1;
+        parent[static_cast<std::size_t>(w)] = u;
+        queue.push_back(w);
+      }
+    };
+    // Treat links as undirected when extracting the spanning tree, matching
+    // the paper's bidirectional-link assumption.
+    for (EdgeId e : g.OutArcs(u)) visit(g.arc(e).head);
+    for (EdgeId e : g.InArcs(u)) visit(g.arc(e).tail);
+  }
+  TDMD_CHECK_MSG(visited == n,
+                 "BfsTreeOf requires a connected graph: visited "
+                     << visited << " of " << n);
+  return Tree(std::move(parent));
+}
+
+}  // namespace tdmd::graph

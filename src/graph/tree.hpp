@@ -1,0 +1,96 @@
+// Rooted tree structure used by the Section-5 algorithms (DP and HAT).
+//
+// The paper's tree model: flow sources are leaves, all destinations are the
+// tree root, and every flow path is the unique leaf-to-root path.  The Tree
+// class stores parent/children/depth arrays, exposes post-order iteration
+// (the DP evaluates children before parents), and converts to/from the
+// general Digraph representation so the same Instance type serves both
+// topology families.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "graph/digraph.hpp"
+
+namespace tdmd::graph {
+
+class Tree {
+ public:
+  Tree() = default;
+
+  /// Builds from a parent array: parent[root] == kInvalidVertex, exactly
+  /// one root, no cycles.  Aborts on malformed input.
+  explicit Tree(std::vector<VertexId> parent);
+
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(parent_.size());
+  }
+  VertexId root() const { return root_; }
+
+  VertexId Parent(VertexId v) const {
+    TDMD_DCHECK(IsValid(v));
+    return parent_[static_cast<std::size_t>(v)];
+  }
+
+  std::span<const VertexId> Children(VertexId v) const {
+    TDMD_DCHECK(IsValid(v));
+    return {children_flat_.data() + child_offsets_[static_cast<std::size_t>(v)],
+            children_flat_.data() +
+                child_offsets_[static_cast<std::size_t>(v) + 1]};
+  }
+
+  /// Depth of v: number of edges to the root (root has depth 0).
+  std::int32_t Depth(VertexId v) const {
+    TDMD_DCHECK(IsValid(v));
+    return depth_[static_cast<std::size_t>(v)];
+  }
+
+  bool IsLeaf(VertexId v) const { return Children(v).empty(); }
+
+  /// All leaves, ascending by id.
+  const std::vector<VertexId>& Leaves() const { return leaves_; }
+
+  /// Vertices in post-order (every child precedes its parent; the root is
+  /// last).  This is the DP's evaluation order.
+  const std::vector<VertexId>& PostOrder() const { return postorder_; }
+
+  /// True if `ancestor` lies on the path from `v` to the root (a vertex is
+  /// its own ancestor, matching the paper's LCA convention).
+  bool IsAncestorOf(VertexId ancestor, VertexId v) const;
+
+  /// Number of vertices in the subtree rooted at v (including v).
+  VertexId SubtreeSize(VertexId v) const {
+    TDMD_DCHECK(IsValid(v));
+    return subtree_size_[static_cast<std::size_t>(v)];
+  }
+
+  /// The leaf-to-root vertex path from `v` (inclusive of both endpoints).
+  std::vector<VertexId> PathToRoot(VertexId v) const;
+
+  /// Directed graph with arcs child -> parent (the direction flows travel).
+  Digraph ToDigraph() const;
+
+  /// Extracts the BFS tree of `g` rooted at `root`, re-rooted so that arcs
+  /// child->parent point toward `root`.  Requires all vertices reachable
+  /// from `root` in the undirected sense.  Vertex ids are preserved.
+  static Tree BfsTreeOf(const Digraph& g, VertexId root);
+
+  bool IsValid(VertexId v) const { return v >= 0 && v < num_vertices(); }
+
+ private:
+  void BuildDerivedArrays();
+
+  std::vector<VertexId> parent_;
+  VertexId root_ = kInvalidVertex;
+  std::vector<std::size_t> child_offsets_;
+  std::vector<VertexId> children_flat_;
+  std::vector<std::int32_t> depth_;
+  std::vector<VertexId> leaves_;
+  std::vector<VertexId> postorder_;
+  std::vector<VertexId> subtree_size_;
+};
+
+}  // namespace tdmd::graph

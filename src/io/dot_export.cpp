@@ -1,0 +1,58 @@
+#include "io/dot_export.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+#include "sim/link_sim.hpp"
+
+namespace tdmd::io {
+
+void WriteDot(std::ostream& os, const core::Instance& instance,
+              const core::Deployment& deployment,
+              const DotOptions& options) {
+  const graph::Digraph& g = instance.network();
+  const sim::LinkLoadReport report =
+      sim::SimulateLinkLoads(instance, deployment);
+
+  std::vector<char> is_source(static_cast<std::size_t>(g.num_vertices()),
+                              0);
+  std::vector<char> is_destination(
+      static_cast<std::size_t>(g.num_vertices()), 0);
+  for (FlowId f = 0; f < instance.num_flows(); ++f) {
+    is_source[static_cast<std::size_t>(instance.flow(f).src)] = 1;
+    is_destination[static_cast<std::size_t>(instance.flow(f).dst)] = 1;
+  }
+
+  os << "digraph tdmd {\n";
+  os << "  rankdir=" << options.rankdir << ";\n";
+  os << "  node [fontname=\"Helvetica\"];\n";
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    os << "  v" << v << " [label=\"v" << v << '"';
+    if (deployment.Contains(v)) {
+      os << ", shape=box, style=filled, fillcolor=\"#ffd27f\"";
+    } else if (is_destination[static_cast<std::size_t>(v)]) {
+      os << ", shape=doublecircle";
+    } else if (is_source[static_cast<std::size_t>(v)]) {
+      os << ", shape=diamond";
+    } else {
+      os << ", shape=circle";
+    }
+    os << "];\n";
+  }
+
+  const Bandwidth peak = std::max<Bandwidth>(report.peak, 1e-9);
+  for (EdgeId e = 0; e < g.num_arcs(); ++e) {
+    const Bandwidth load = report.arc_load[static_cast<std::size_t>(e)];
+    if (options.hide_idle_edges && load <= 0.0) continue;
+    const graph::Arc& a = g.arc(e);
+    os << "  v" << a.tail << " -> v" << a.head << " [";
+    if (options.edge_loads) {
+      os << "label=\"" << load << "\", ";
+    }
+    os << "penwidth=" << 0.5 + 3.5 * load / peak << "];\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace tdmd::io

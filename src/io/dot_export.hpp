@@ -1,0 +1,31 @@
+// Graphviz DOT export: topology + deployment + link loads, for the
+// figures a README or paper reproduction wants to render.
+//
+//   dot -Tsvg plan.dot -o plan.svg
+//
+// Middlebox vertices render as filled boxes, flow sources as diamonds,
+// destinations as double circles; edge labels carry the simulated
+// occupied bandwidth and edge thickness scales with load.
+#pragma once
+
+#include <iosfwd>
+
+#include "core/deployment.hpp"
+#include "core/instance.hpp"
+
+namespace tdmd::io {
+
+struct DotOptions {
+  /// Label edges with their simulated occupied bandwidth.
+  bool edge_loads = true;
+  /// Drop zero-load edges entirely (uncluttered spam-filter pictures).
+  bool hide_idle_edges = false;
+  /// Rankdir; "BT" puts tree roots on top.
+  const char* rankdir = "BT";
+};
+
+void WriteDot(std::ostream& os, const core::Instance& instance,
+              const core::Deployment& deployment,
+              const DotOptions& options = {});
+
+}  // namespace tdmd::io

@@ -1,0 +1,392 @@
+#include "io/text_format.hpp"
+
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <vector>
+
+namespace tdmd::io {
+
+namespace {
+
+/// Tokenizing line reader that skips blanks/comments and tracks line
+/// numbers for diagnostics.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& is) : is_(is) {}
+
+  /// Next meaningful line split into whitespace tokens; false at EOF.
+  bool Next(std::vector<std::string>& tokens) {
+    std::string line;
+    while (std::getline(is_, line)) {
+      ++line_number_;
+      // Strip comments.
+      if (auto hash = line.find('#'); hash != std::string::npos) {
+        line.resize(hash);
+      }
+      std::istringstream ss(line);
+      tokens.clear();
+      std::string token;
+      while (ss >> token) tokens.push_back(std::move(token));
+      if (!tokens.empty()) return true;
+    }
+    return false;
+  }
+
+  int line_number() const { return line_number_; }
+
+ private:
+  std::istream& is_;
+  int line_number_ = 0;
+};
+
+std::string AtLine(int line, const std::string& message) {
+  std::ostringstream oss;
+  oss << "line " << line << ": " << message;
+  return oss.str();
+}
+
+bool ParseInt(const std::string& token, std::int64_t& out) {
+  try {
+    std::size_t consumed = 0;
+    out = std::stoll(token, &consumed);
+    return consumed == token.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool ParseDouble(const std::string& token, double& out) {
+  try {
+    std::size_t consumed = 0;
+    out = std::stod(token, &consumed);
+    return consumed == token.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+// --- Writers ----------------------------------------------------------
+
+void WriteDigraph(std::ostream& os, const graph::Digraph& g) {
+  os << "digraph " << g.num_vertices() << '\n';
+  for (EdgeId e = 0; e < g.num_arcs(); ++e) {
+    const graph::Arc& a = g.arc(e);
+    os << "arc " << a.tail << ' ' << a.head << '\n';
+  }
+}
+
+void WriteTree(std::ostream& os, const graph::Tree& tree) {
+  os << "tree " << tree.num_vertices() << '\n';
+  for (VertexId v = 0; v < tree.num_vertices(); ++v) {
+    if (tree.Parent(v) != kInvalidVertex) {
+      os << "parent " << v << ' ' << tree.Parent(v) << '\n';
+    }
+  }
+}
+
+void WriteFlows(std::ostream& os, const traffic::FlowSet& flows) {
+  os << "flows " << flows.size() << '\n';
+  for (const traffic::Flow& f : flows) {
+    os << "flow " << f.rate;
+    for (VertexId v : f.path.vertices) os << ' ' << v;
+    os << '\n';
+  }
+}
+
+void WriteInstance(std::ostream& os, const core::Instance& instance) {
+  os << "tdmd-instance v1\n";
+  os << "lambda " << instance.lambda() << '\n';
+  WriteDigraph(os, instance.network());
+  WriteFlows(os, instance.flows());
+}
+
+void WriteDeployment(std::ostream& os, const core::Deployment& deployment) {
+  os << "deployment\n";
+  for (VertexId v : deployment.SortedVertices()) {
+    os << "box " << v << '\n';
+  }
+}
+
+// --- Readers -----------------------------------------------------------
+
+namespace {
+
+/// Shared body for digraph parsing once the header tokens are in hand.
+Parsed<graph::Digraph> ReadDigraphBody(LineReader& reader,
+                                       const std::vector<std::string>& header,
+                                       std::vector<std::string>& tokens,
+                                       bool& pending_tokens) {
+  Parsed<graph::Digraph> result;
+  std::int64_t n = 0;
+  if (header.size() != 2 || header[0] != "digraph" ||
+      !ParseInt(header[1], n) || n < 0) {
+    result.error = AtLine(reader.line_number(),
+                          "expected 'digraph <num_vertices>'");
+    return result;
+  }
+  graph::DigraphBuilder builder(static_cast<VertexId>(n));
+  pending_tokens = false;
+  while (reader.Next(tokens)) {
+    if (tokens[0] != "arc") {
+      pending_tokens = true;  // hand the line back to the caller
+      break;
+    }
+    std::int64_t tail = 0, head = 0;
+    if (tokens.size() != 3 || !ParseInt(tokens[1], tail) ||
+        !ParseInt(tokens[2], head) || tail < 0 || tail >= n || head < 0 ||
+        head >= n) {
+      result.error =
+          AtLine(reader.line_number(), "malformed 'arc <tail> <head>'");
+      return result;
+    }
+    builder.AddArc(static_cast<VertexId>(tail),
+                   static_cast<VertexId>(head));
+  }
+  result.value = builder.Build();
+  return result;
+}
+
+Parsed<traffic::FlowSet> ReadFlowsBody(LineReader& reader,
+                                       const std::vector<std::string>& header,
+                                       std::vector<std::string>& tokens) {
+  Parsed<traffic::FlowSet> result;
+  std::int64_t count = 0;
+  if (header.size() != 2 || header[0] != "flows" ||
+      !ParseInt(header[1], count) || count < 0) {
+    result.error =
+        AtLine(reader.line_number(), "expected 'flows <count>'");
+    return result;
+  }
+  traffic::FlowSet flows;
+  flows.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    if (!reader.Next(tokens) || tokens[0] != "flow" || tokens.size() < 3) {
+      result.error = AtLine(reader.line_number(),
+                            "expected 'flow <rate> <v0> ... <vk>'");
+      return result;
+    }
+    traffic::Flow f;
+    std::int64_t rate = 0;
+    if (!ParseInt(tokens[1], rate) || rate <= 0) {
+      result.error = AtLine(reader.line_number(), "flow rate must be a "
+                                                  "positive integer");
+      return result;
+    }
+    f.rate = rate;
+    for (std::size_t t = 2; t < tokens.size(); ++t) {
+      std::int64_t v = 0;
+      if (!ParseInt(tokens[t], v) || v < 0) {
+        result.error =
+            AtLine(reader.line_number(), "malformed path vertex");
+        return result;
+      }
+      f.path.vertices.push_back(static_cast<VertexId>(v));
+    }
+    f.src = f.path.vertices.front();
+    f.dst = f.path.vertices.back();
+    flows.push_back(std::move(f));
+  }
+  result.value = std::move(flows);
+  return result;
+}
+
+}  // namespace
+
+Parsed<graph::Digraph> ReadDigraph(std::istream& is) {
+  LineReader reader(is);
+  std::vector<std::string> tokens;
+  if (!reader.Next(tokens)) {
+    return {std::nullopt, "empty input, expected 'digraph'"};
+  }
+  std::vector<std::string> scratch;
+  bool pending = false;
+  return ReadDigraphBody(reader, tokens, scratch, pending);
+}
+
+Parsed<graph::Tree> ReadTree(std::istream& is) {
+  Parsed<graph::Tree> result;
+  LineReader reader(is);
+  std::vector<std::string> tokens;
+  if (!reader.Next(tokens) || tokens.size() != 2 || tokens[0] != "tree") {
+    result.error = AtLine(reader.line_number(),
+                          "expected 'tree <num_vertices>'");
+    return result;
+  }
+  std::int64_t n = 0;
+  if (!ParseInt(tokens[1], n) || n <= 0) {
+    result.error = AtLine(reader.line_number(), "bad vertex count");
+    return result;
+  }
+  std::vector<VertexId> parent(static_cast<std::size_t>(n),
+                               kInvalidVertex);
+  std::vector<char> assigned(static_cast<std::size_t>(n), 0);
+  while (reader.Next(tokens)) {
+    std::int64_t v = 0, p = 0;
+    if (tokens[0] != "parent" || tokens.size() != 3 ||
+        !ParseInt(tokens[1], v) || !ParseInt(tokens[2], p) || v < 0 ||
+        v >= n || p < 0 || p >= n) {
+      result.error =
+          AtLine(reader.line_number(), "malformed 'parent <v> <p>'");
+      return result;
+    }
+    if (assigned[static_cast<std::size_t>(v)]) {
+      result.error = AtLine(reader.line_number(),
+                            "duplicate parent record for vertex");
+      return result;
+    }
+    assigned[static_cast<std::size_t>(v)] = 1;
+    parent[static_cast<std::size_t>(v)] = static_cast<VertexId>(p);
+  }
+  // Tree's constructor validates root count and acyclicity but aborts on
+  // violation; pre-check here to return a parse error instead.
+  int roots = 0;
+  for (std::size_t v = 0; v < parent.size(); ++v) {
+    if (parent[v] == kInvalidVertex) ++roots;
+  }
+  if (roots != 1) {
+    result.error = "tree must have exactly one root (vertex with no "
+                   "'parent' record)";
+    return result;
+  }
+  // Cycle pre-check via parent-chain walking with a visit budget.
+  for (std::size_t v = 0; v < parent.size(); ++v) {
+    VertexId cursor = static_cast<VertexId>(v);
+    for (std::int64_t steps = 0; cursor != kInvalidVertex; ++steps) {
+      if (steps > n) {
+        result.error = "parent records contain a cycle";
+        return result;
+      }
+      cursor = parent[static_cast<std::size_t>(cursor)];
+    }
+  }
+  result.value = graph::Tree(std::move(parent));
+  return result;
+}
+
+Parsed<traffic::FlowSet> ReadFlows(std::istream& is) {
+  LineReader reader(is);
+  std::vector<std::string> tokens;
+  if (!reader.Next(tokens)) {
+    return {std::nullopt, "empty input, expected 'flows'"};
+  }
+  std::vector<std::string> scratch;
+  return ReadFlowsBody(reader, tokens, scratch);
+}
+
+Parsed<core::Instance> ReadInstance(std::istream& is) {
+  Parsed<core::Instance> result;
+  LineReader reader(is);
+  std::vector<std::string> tokens;
+
+  if (!reader.Next(tokens) || tokens.size() != 2 ||
+      tokens[0] != "tdmd-instance" || tokens[1] != "v1") {
+    result.error = AtLine(reader.line_number(),
+                          "expected header 'tdmd-instance v1'");
+    return result;
+  }
+  double lambda = 0.0;
+  if (!reader.Next(tokens) || tokens.size() != 2 || tokens[0] != "lambda" ||
+      !ParseDouble(tokens[1], lambda) || lambda < 0.0 || lambda > 1.0) {
+    result.error = AtLine(reader.line_number(),
+                          "expected 'lambda <value in [0,1]>'");
+    return result;
+  }
+  if (!reader.Next(tokens)) {
+    result.error = AtLine(reader.line_number(), "missing 'digraph' section");
+    return result;
+  }
+  std::vector<std::string> pending_line;
+  bool pending = false;
+  Parsed<graph::Digraph> g =
+      ReadDigraphBody(reader, tokens, pending_line, pending);
+  if (!g.ok()) {
+    result.error = g.error;
+    return result;
+  }
+  if (!pending) {
+    result.error = "missing 'flows' section";
+    return result;
+  }
+  Parsed<traffic::FlowSet> flows =
+      ReadFlowsBody(reader, pending_line, tokens);
+  if (!flows.ok()) {
+    result.error = flows.error;
+    return result;
+  }
+  // Semantic validation (paths exist in the graph) with a parse-style
+  // error rather than Instance's CHECK abort.
+  if (!traffic::AllFlowsValid(*g.value, *flows.value)) {
+    result.error = "flow set references paths that do not exist in the "
+                   "digraph";
+    return result;
+  }
+  result.value =
+      core::Instance(std::move(*g.value), std::move(*flows.value), lambda);
+  return result;
+}
+
+Parsed<core::Deployment> ReadDeployment(std::istream& is,
+                                        VertexId num_vertices) {
+  Parsed<core::Deployment> result;
+  LineReader reader(is);
+  std::vector<std::string> tokens;
+  if (!reader.Next(tokens) || tokens[0] != "deployment") {
+    result.error = AtLine(reader.line_number(), "expected 'deployment'");
+    return result;
+  }
+  core::Deployment deployment(num_vertices);
+  while (reader.Next(tokens)) {
+    std::int64_t v = 0;
+    if (tokens[0] != "box" || tokens.size() != 2 ||
+        !ParseInt(tokens[1], v) || v < 0 || v >= num_vertices) {
+      result.error = AtLine(reader.line_number(), "malformed 'box <v>'");
+      return result;
+    }
+    if (deployment.Contains(static_cast<VertexId>(v))) {
+      result.error = AtLine(reader.line_number(), "duplicate box");
+      return result;
+    }
+    deployment.Add(static_cast<VertexId>(v));
+  }
+  result.value = std::move(deployment);
+  return result;
+}
+
+// --- File helpers -------------------------------------------------------
+
+bool WriteFile(const std::string& path,
+               const std::function<void(std::ostream&)>& content_writer) {
+  std::ofstream os(path);
+  if (!os) return false;
+  content_writer(os);
+  return static_cast<bool>(os);
+}
+
+Parsed<core::Instance> ReadInstanceFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    return {std::nullopt, "cannot open '" + path + "'"};
+  }
+  Parsed<core::Instance> result = ReadInstance(is);
+  if (!result.ok()) {
+    result.error = path + ": " + result.error;
+  }
+  return result;
+}
+
+Parsed<graph::Tree> ReadTreeFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    return {std::nullopt, "cannot open '" + path + "'"};
+  }
+  Parsed<graph::Tree> result = ReadTree(is);
+  if (!result.ok()) {
+    result.error = path + ": " + result.error;
+  }
+  return result;
+}
+
+}  // namespace tdmd::io

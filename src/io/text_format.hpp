@@ -1,0 +1,79 @@
+// Line-oriented text serialization for topologies, flow sets and whole
+// TDMD instances — the interchange format of the tdmd_cli tool and the
+// regression corpus under tests/.
+//
+// Grammar (one record per line, '#' starts a comment, blank lines
+// ignored):
+//
+//   tdmd-instance v1
+//   lambda <double>
+//   digraph <num_vertices>
+//   arc <tail> <head>                 (repeated)
+//   flows <count>
+//   flow <rate> <v0> <v1> ... <vk>    (path as the vertex sequence)
+//
+// Trees serialize as:
+//
+//   tree <num_vertices>
+//   parent <v> <p>                    (root omitted; ids dense)
+//
+// Deployments serialize as:
+//
+//   deployment <num_vertices>
+//   box <v>                           (repeated)
+//
+// Parsing is strict: unknown records, wrong counts, or malformed numbers
+// produce an error message with the line number instead of a partially
+// filled object.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "core/deployment.hpp"
+#include "core/instance.hpp"
+#include "graph/digraph.hpp"
+#include "graph/tree.hpp"
+#include "traffic/flow.hpp"
+
+namespace tdmd::io {
+
+/// Parse outcome: either a value or a diagnostic.
+template <typename T>
+struct Parsed {
+  std::optional<T> value;
+  std::string error;  // empty on success
+
+  bool ok() const { return value.has_value(); }
+};
+
+// --- Writers (always succeed) -----------------------------------------
+
+void WriteDigraph(std::ostream& os, const graph::Digraph& g);
+void WriteTree(std::ostream& os, const graph::Tree& tree);
+void WriteFlows(std::ostream& os, const traffic::FlowSet& flows);
+void WriteInstance(std::ostream& os, const core::Instance& instance);
+void WriteDeployment(std::ostream& os, const core::Deployment& deployment);
+
+// --- Readers ------------------------------------------------------------
+
+Parsed<graph::Digraph> ReadDigraph(std::istream& is);
+Parsed<graph::Tree> ReadTree(std::istream& is);
+Parsed<traffic::FlowSet> ReadFlows(std::istream& is);
+Parsed<core::Instance> ReadInstance(std::istream& is);
+Parsed<core::Deployment> ReadDeployment(std::istream& is,
+                                        VertexId num_vertices);
+
+// --- File helpers ---------------------------------------------------------
+
+/// Writes `content_writer(os)` to `path`; false on filesystem failure.
+bool WriteFile(const std::string& path,
+               const std::function<void(std::ostream&)>& content_writer);
+
+/// Reads a whole instance file; the error mentions the path.
+Parsed<core::Instance> ReadInstanceFile(const std::string& path);
+Parsed<graph::Tree> ReadTreeFile(const std::string& path);
+
+}  // namespace tdmd::io

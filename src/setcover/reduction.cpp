@@ -1,0 +1,71 @@
+#include "setcover/reduction.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace tdmd::setcover {
+
+TdmdFeasibilityInstance ReduceSetCoverToTdmd(const SetCoverInstance& sc) {
+  // Vertices: one per set, plus one shared sink (the common destination).
+  const auto num_sets = static_cast<VertexId>(sc.sets.size());
+  const VertexId sink = num_sets;
+  graph::DigraphBuilder builder(num_sets + 1);
+
+  // Fully connected among set-vertices (the construction in the proof),
+  // plus arcs into the sink.
+  for (VertexId a = 0; a < num_sets; ++a) {
+    for (VertexId b = 0; b < num_sets; ++b) {
+      if (a != b) builder.AddArc(a, b);
+    }
+    builder.AddArc(a, sink);
+  }
+  TdmdFeasibilityInstance instance;
+  instance.graph = builder.Build();
+
+  // One flow per element: its path is the directed line through the
+  // vertices of the sets containing it (ascending set index), ending at
+  // the sink.
+  instance.flows.reserve(sc.universe_size);
+  for (std::size_t element = 0; element < sc.universe_size; ++element) {
+    traffic::Flow flow;
+    flow.rate = 1;
+    for (std::size_t j = 0; j < sc.sets.size(); ++j) {
+      const auto& members = sc.sets[j];
+      if (std::find(members.begin(), members.end(), element) !=
+          members.end()) {
+        flow.path.vertices.push_back(static_cast<VertexId>(j));
+      }
+    }
+    TDMD_CHECK_MSG(!flow.path.vertices.empty(),
+                   "element " << element << " is in no set; instance "
+                              << "uncoverable by construction");
+    flow.path.vertices.push_back(sink);
+    flow.src = flow.path.vertices.front();
+    flow.dst = sink;
+    instance.flows.push_back(std::move(flow));
+  }
+  return instance;
+}
+
+SetCoverInstance ReduceTdmdToSetCover(const graph::Digraph& g,
+                                      const traffic::FlowSet& flows) {
+  SetCoverInstance sc;
+  sc.universe_size = flows.size();
+  sc.sets.assign(static_cast<std::size_t>(g.num_vertices()), {});
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    for (VertexId v : flows[f].path.vertices) {
+      TDMD_CHECK(g.IsValidVertex(v));
+      sc.sets[static_cast<std::size_t>(v)].push_back(f);
+    }
+  }
+  return sc;
+}
+
+bool FeasibleWith(const graph::Digraph& g, const traffic::FlowSet& flows,
+                  std::size_t k) {
+  if (flows.empty()) return true;
+  return CoverableWith(ReduceTdmdToSetCover(g, flows), k);
+}
+
+}  // namespace tdmd::setcover

@@ -1,0 +1,45 @@
+// Theorem 1 reductions between TDMD feasibility and set cover.
+//
+// Forward direction (NP-hardness): a set-cover decision instance maps to a
+// TDMD instance on a fully connected topology — one vertex per set, one
+// flow per element whose path is a directed line through exactly the
+// vertices whose sets contain the element.  A k-cover exists iff k
+// middleboxes can process every flow.
+//
+// Backward direction (used by algorithms and tests): TDMD feasibility for a
+// concrete (graph, flows) pair maps to set cover with S_v = {flows whose
+// path visits v}.
+//
+// Both directions are implemented and the round-trip equivalence is
+// property-tested (tests/setcover_reduction_test.cpp).
+#pragma once
+
+#include "graph/digraph.hpp"
+#include "setcover/set_cover.hpp"
+#include "traffic/flow.hpp"
+
+namespace tdmd::setcover {
+
+/// TDMD feasibility instance produced by the forward reduction.
+struct TdmdFeasibilityInstance {
+  graph::Digraph graph;
+  traffic::FlowSet flows;
+};
+
+/// Set-cover -> TDMD (Theorem 1's construction).  Element i becomes flow i
+/// with unit rate; set j becomes vertex j.  An extra sink vertex serves as
+/// the common flow destination so paths are well-formed when a set is a
+/// singleton.
+TdmdFeasibilityInstance ReduceSetCoverToTdmd(const SetCoverInstance& sc);
+
+/// TDMD -> set-cover: S_v = flows through v.  Vertex v becomes set v.
+SetCoverInstance ReduceTdmdToSetCover(const graph::Digraph& g,
+                                      const traffic::FlowSet& flows);
+
+/// Direct feasibility check: is there a deployment of at most k vertices
+/// hitting every flow path?  Exact (via the set-cover exact solver), so
+/// only for small instances; algorithms use greedy covers instead.
+bool FeasibleWith(const graph::Digraph& g, const traffic::FlowSet& flows,
+                  std::size_t k);
+
+}  // namespace tdmd::setcover

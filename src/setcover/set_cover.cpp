@@ -1,0 +1,141 @@
+#include "setcover/set_cover.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace tdmd::setcover {
+
+namespace {
+
+/// Validates element ranges once at the API boundary.
+void ValidateInstance(const SetCoverInstance& instance) {
+  for (const auto& s : instance.sets) {
+    for (std::size_t element : s) {
+      TDMD_CHECK_MSG(element < instance.universe_size,
+                     "set element " << element << " outside universe of size "
+                                    << instance.universe_size);
+    }
+  }
+}
+
+}  // namespace
+
+bool IsCover(const SetCoverInstance& instance, const Cover& cover) {
+  std::vector<char> covered(instance.universe_size, 0);
+  std::size_t remaining = instance.universe_size;
+  for (std::size_t set_index : cover) {
+    TDMD_CHECK(set_index < instance.sets.size());
+    for (std::size_t element : instance.sets[set_index]) {
+      if (!covered[element]) {
+        covered[element] = 1;
+        --remaining;
+      }
+    }
+  }
+  return remaining == 0;
+}
+
+std::optional<Cover> GreedyCover(const SetCoverInstance& instance) {
+  ValidateInstance(instance);
+  std::vector<char> covered(instance.universe_size, 0);
+  std::size_t remaining = instance.universe_size;
+  Cover cover;
+  while (remaining > 0) {
+    std::size_t best_set = instance.sets.size();
+    std::size_t best_gain = 0;
+    for (std::size_t i = 0; i < instance.sets.size(); ++i) {
+      std::size_t gain = 0;
+      for (std::size_t element : instance.sets[i]) {
+        gain += covered[element] ? 0u : 1u;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_set = i;
+      }
+    }
+    if (best_gain == 0) return std::nullopt;  // uncoverable residue
+    cover.push_back(best_set);
+    for (std::size_t element : instance.sets[best_set]) {
+      if (!covered[element]) {
+        covered[element] = 1;
+        --remaining;
+      }
+    }
+  }
+  return cover;
+}
+
+namespace {
+
+struct BnbState {
+  const SetCoverInstance* instance;
+  std::vector<std::uint64_t> set_masks;  // universe <= 64 for exact solver
+  std::uint64_t full_mask;
+  std::size_t best_size;
+  Cover best_cover;
+};
+
+void Branch(BnbState& state, std::uint64_t covered, Cover& chosen,
+            std::size_t next_set) {
+  if (covered == state.full_mask) {
+    if (chosen.size() < state.best_size) {
+      state.best_size = chosen.size();
+      state.best_cover = chosen;
+    }
+    return;
+  }
+  if (chosen.size() + 1 >= state.best_size) return;  // cannot improve
+  if (next_set >= state.set_masks.size()) return;
+
+  // Bound: find the lowest uncovered element; some remaining set must cover
+  // it, so branch only on those sets (standard element-branching).
+  const std::uint64_t uncovered = state.full_mask & ~covered;
+  const int pivot = __builtin_ctzll(uncovered);
+  for (std::size_t i = 0; i < state.set_masks.size(); ++i) {
+    if ((state.set_masks[i] >> pivot) & 1ULL) {
+      chosen.push_back(i);
+      Branch(state, covered | state.set_masks[i], chosen, 0);
+      chosen.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<Cover> ExactMinimumCover(const SetCoverInstance& instance) {
+  ValidateInstance(instance);
+  TDMD_CHECK_MSG(instance.universe_size <= 64,
+                 "exact solver supports universes up to 64 elements");
+  if (instance.universe_size == 0) return Cover{};
+
+  BnbState state;
+  state.instance = &instance;
+  state.set_masks.reserve(instance.sets.size());
+  for (const auto& s : instance.sets) {
+    std::uint64_t mask = 0;
+    for (std::size_t element : s) mask |= 1ULL << element;
+    state.set_masks.push_back(mask);
+  }
+  state.full_mask = instance.universe_size == 64
+                        ? ~0ULL
+                        : ((1ULL << instance.universe_size) - 1);
+
+  // Feasibility first: union of all sets must be the universe.
+  std::uint64_t all = 0;
+  for (std::uint64_t mask : state.set_masks) all |= mask;
+  if (all != state.full_mask) return std::nullopt;
+
+  state.best_size = instance.sets.size() + 1;
+  Cover chosen;
+  Branch(state, 0, chosen, 0);
+  TDMD_CHECK(state.best_size <= instance.sets.size());
+  return state.best_cover;
+}
+
+bool CoverableWith(const SetCoverInstance& instance, std::size_t k) {
+  auto minimum = ExactMinimumCover(instance);
+  return minimum.has_value() && minimum->size() <= k;
+}
+
+}  // namespace tdmd::setcover

@@ -1,0 +1,39 @@
+// Set cover: the problem TDMD feasibility reduces to (Theorem 1).
+//
+// Provides the classic greedy H_n-approximation, an exact branch-and-bound
+// solver for test oracles, and the decision form ("is there a cover of
+// size <= k?") used by the reduction tests.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace tdmd::setcover {
+
+/// An instance over the universe {0, ..., universe_size - 1}.
+struct SetCoverInstance {
+  std::size_t universe_size = 0;
+  /// sets[i] lists the covered elements (each in [0, universe_size)).
+  std::vector<std::vector<std::size_t>> sets;
+};
+
+/// Indices of chosen sets.
+using Cover = std::vector<std::size_t>;
+
+/// True if `cover`'s sets union to the whole universe.
+bool IsCover(const SetCoverInstance& instance, const Cover& cover);
+
+/// Greedy: repeatedly pick the set covering the most uncovered elements
+/// (ties toward lower index).  Returns nullopt if the instance is not
+/// coverable at all.  ln(n)-approximate [Feige 98].
+std::optional<Cover> GreedyCover(const SetCoverInstance& instance);
+
+/// Exact minimum cover by branch and bound; exponential, test-oracle only.
+/// Returns nullopt if not coverable.
+std::optional<Cover> ExactMinimumCover(const SetCoverInstance& instance);
+
+/// Decision form: does a cover with at most k sets exist?  Exact.
+bool CoverableWith(const SetCoverInstance& instance, std::size_t k);
+
+}  // namespace tdmd::setcover

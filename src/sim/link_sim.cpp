@@ -1,0 +1,50 @@
+#include "sim/link_sim.hpp"
+
+#include <algorithm>
+
+namespace tdmd::sim {
+
+LinkLoadReport SimulateLinkLoads(const core::Instance& instance,
+                                 const core::Deployment& deployment) {
+  const graph::Digraph& g = instance.network();
+  LinkLoadReport report;
+  report.arc_load.assign(static_cast<std::size_t>(g.num_arcs()), 0.0);
+
+  for (FlowId f = 0; f < instance.num_flows(); ++f) {
+    const traffic::Flow& flow = instance.flow(f);
+    double rate = static_cast<double>(flow.rate);
+    bool served = false;
+    const auto& vertices = flow.path.vertices;
+    for (std::size_t i = 0; i < vertices.size(); ++i) {
+      const VertexId v = vertices[i];
+      // The middlebox acts at the vertex before the flow enters the next
+      // link; a box on the destination still "serves" the flow but
+      // diminishes nothing.
+      if (!served && deployment.Contains(v)) {
+        served = true;
+        rate *= instance.lambda();
+      }
+      if (i + 1 < vertices.size()) {
+        const EdgeId e = g.FindArc(v, vertices[i + 1]);
+        TDMD_CHECK_MSG(e != kInvalidEdge,
+                       "flow " << f << " path uses a missing arc " << v
+                               << " -> " << vertices[i + 1]);
+        report.arc_load[static_cast<std::size_t>(e)] += rate;
+      }
+    }
+    if (!served) ++report.unserved_flows;
+  }
+
+  for (Bandwidth load : report.arc_load) {
+    report.total += load;
+    report.peak = std::max(report.peak, load);
+  }
+  return report;
+}
+
+bool WithinCapacity(const core::Instance& instance,
+                    const core::Deployment& deployment, double capacity) {
+  return SimulateLinkLoads(instance, deployment).peak <= capacity;
+}
+
+}  // namespace tdmd::sim

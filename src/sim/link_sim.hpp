@@ -1,0 +1,42 @@
+// Link-level bandwidth simulator.
+//
+// Routes every flow edge-by-edge through the network, applying the
+// middlebox's traffic-changing ratio at the flow's serving vertex, and
+// accumulates per-link occupancy.  This is the "ground truth" the
+// closed-form objective of Section 3.2 abstracts; the property test
+// objective == sum of per-link occupancies cross-validates both.
+//
+// It also provides the utilization/congestion views the paper's setting
+// discussion references (links are provisioned so utilization stays below
+// 1 — we expose the check rather than assuming it).
+#pragma once
+
+#include <vector>
+
+#include "core/deployment.hpp"
+#include "core/instance.hpp"
+
+namespace tdmd::sim {
+
+struct LinkLoadReport {
+  /// Occupied bandwidth per arc (indexed by EdgeId).
+  std::vector<Bandwidth> arc_load;
+  /// Sum over all arcs — must equal core::EvaluateBandwidth.
+  Bandwidth total = 0.0;
+  /// Max per-arc load (for utilization checks).
+  Bandwidth peak = 0.0;
+  /// Count of flows that reached their destination unserved.
+  FlowId unserved_flows = 0;
+};
+
+/// Simulates all flows under `deployment` with the forced nearest-source
+/// allocation.  CHECK-fails if a flow's path uses an arc absent from the
+/// network (cannot happen for instances built through the public API).
+LinkLoadReport SimulateLinkLoads(const core::Instance& instance,
+                                 const core::Deployment& deployment);
+
+/// True iff no arc exceeds `capacity` under the deployment.
+bool WithinCapacity(const core::Instance& instance,
+                    const core::Deployment& deployment, double capacity);
+
+}  // namespace tdmd::sim

@@ -1,0 +1,327 @@
+// tdmd_cli — command-line front end for the library.
+//
+//   tdmd_cli generate --kind=tree --size=22 --density=0.5 --lambda=0.5 \
+//            --out=instance.tdmd [--tree-out=topology.tree]
+//       Generates an Ark-derived topology + CAIDA-like workload and
+//       writes a self-contained instance file.
+//
+//   tdmd_cli solve --instance=instance.tdmd --algorithm=dp --k=8 \
+//            [--tree=topology.tree] [--out=plan.tdmd]
+//       Runs one of: dp | hat | gtp | gtp-derive | best-effort | random
+//       and prints the placement, bandwidth and timing.  dp/hat need the
+//       tree file.
+//
+//   tdmd_cli simulate --instance=instance.tdmd --plan=plan.tdmd
+//       Replays the flows link-by-link under a saved deployment and
+//       prints per-arc occupancy.
+//
+//   tdmd_cli info --instance=instance.tdmd
+//       Prints instance statistics.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/args.hpp"
+#include "common/rng.hpp"
+#include "core/tdmd.hpp"
+#include "experiment/timer.hpp"
+#include "io/dot_export.hpp"
+#include "io/text_format.hpp"
+#include "sim/link_sim.hpp"
+#include "topology/ark.hpp"
+#include "traffic/generator.hpp"
+
+namespace tdmd::cli {
+namespace {
+
+[[noreturn]] void Die(const std::string& message) {
+  std::fprintf(stderr, "tdmd_cli: %s\n", message.c_str());
+  std::exit(1);
+}
+
+int Generate(int argc, char** argv) {
+  ArgParser parser("tdmd_cli generate", "generate an instance file");
+  const auto* kind =
+      parser.AddString("kind", "tree", "topology kind: tree | general");
+  const auto* size = parser.AddInt("size", 22, "topology size");
+  const auto* density = parser.AddDouble("density", 0.5, "flow density");
+  const auto* lambda =
+      parser.AddDouble("lambda", 0.5, "traffic-changing ratio");
+  const auto* capacity =
+      parser.AddDouble("capacity", 60.0, "per-link capacity");
+  const auto* max_rate = parser.AddInt("max-rate", 12, "rate ceiling");
+  const auto* seed = parser.AddInt("seed", 42, "rng seed");
+  const auto* out = parser.AddString("out", "instance.tdmd",
+                                     "output instance path");
+  const auto* tree_out = parser.AddString(
+      "tree-out", "", "also write the tree topology here (kind=tree)");
+  parser.Parse(argc, argv);
+
+  Rng rng(static_cast<std::uint64_t>(*seed));
+  topology::ArkParams ark_params;
+  ark_params.num_monitors =
+      std::max<VertexId>(static_cast<VertexId>(*size) * 3, 90);
+  const topology::ArkTopology ark = topology::GenerateArk(ark_params, rng);
+
+  traffic::WorkloadParams workload;
+  workload.flow_density = *density;
+  workload.link_capacity = *capacity;
+  workload.rates.max_rate = *max_rate;
+
+  if (*kind == "tree") {
+    const graph::Tree tree = topology::ExtractTreeSubgraph(
+        ark, static_cast<VertexId>(*size), rng);
+    const traffic::FlowSet flows = traffic::MergeSameSourceFlows(
+        traffic::GenerateTreeWorkload(tree, workload, rng));
+    const core::Instance instance =
+        core::MakeTreeInstance(tree, flows, *lambda);
+    if (!io::WriteFile(*out, [&](std::ostream& os) {
+          io::WriteInstance(os, instance);
+        })) {
+      Die("cannot write " + *out);
+    }
+    if (!tree_out->empty() &&
+        !io::WriteFile(*tree_out, [&](std::ostream& os) {
+          io::WriteTree(os, tree);
+        })) {
+      Die("cannot write " + *tree_out);
+    }
+    std::printf("wrote %s: tree, %d vertices, %d flows, lambda %.2f\n",
+                out->c_str(), instance.num_vertices(),
+                instance.num_flows(), instance.lambda());
+  } else if (*kind == "general") {
+    graph::Digraph g = topology::ExtractGeneralSubgraph(
+        ark, static_cast<VertexId>(*size), rng);
+    traffic::FlowSet flows =
+        traffic::GenerateGeneralWorkload(g, {0}, workload, rng);
+    const core::Instance instance(std::move(g), std::move(flows), *lambda);
+    if (!io::WriteFile(*out, [&](std::ostream& os) {
+          io::WriteInstance(os, instance);
+        })) {
+      Die("cannot write " + *out);
+    }
+    std::printf("wrote %s: general, %d vertices, %d flows, lambda %.2f\n",
+                out->c_str(), instance.num_vertices(),
+                instance.num_flows(), instance.lambda());
+  } else {
+    Die("unknown --kind '" + *kind + "' (tree | general)");
+  }
+  return 0;
+}
+
+int Solve(int argc, char** argv) {
+  ArgParser parser("tdmd_cli solve", "run a placement algorithm");
+  const auto* instance_path =
+      parser.AddString("instance", "instance.tdmd", "instance file");
+  const auto* algorithm = parser.AddString(
+      "algorithm", "gtp",
+      "dp | hat | gtp | gtp-derive | best-effort | random");
+  const auto* k = parser.AddInt("k", 8, "middlebox budget");
+  const auto* tree_path = parser.AddString(
+      "tree", "", "tree topology file (required for dp/hat)");
+  const auto* out =
+      parser.AddString("out", "", "write the deployment plan here");
+  const auto* seed = parser.AddInt("seed", 1, "rng seed (random)");
+  parser.Parse(argc, argv);
+
+  auto instance = io::ReadInstanceFile(*instance_path);
+  if (!instance.ok()) Die(instance.error);
+
+  core::PlacementResult result;
+  experiment::Timer timer;
+  if (*algorithm == "dp" || *algorithm == "hat") {
+    if (tree_path->empty()) {
+      Die("--tree is required for " + *algorithm);
+    }
+    auto tree = io::ReadTreeFile(*tree_path);
+    if (!tree.ok()) Die(tree.error);
+    timer.Restart();
+    result = *algorithm == "dp"
+                 ? core::DpTree(*instance.value, *tree.value,
+                                static_cast<std::size_t>(*k))
+                 : core::Hat(*instance.value, *tree.value,
+                             static_cast<std::size_t>(*k));
+  } else if (*algorithm == "gtp") {
+    core::GtpOptions options;
+    options.max_middleboxes = static_cast<std::size_t>(*k);
+    options.feasibility_aware = true;
+    timer.Restart();
+    result = core::Gtp(*instance.value, options);
+  } else if (*algorithm == "gtp-derive") {
+    timer.Restart();
+    result = core::Gtp(*instance.value);
+  } else if (*algorithm == "best-effort") {
+    timer.Restart();
+    result = core::BestEffort(*instance.value,
+                              static_cast<std::size_t>(*k));
+  } else if (*algorithm == "random") {
+    Rng rng(static_cast<std::uint64_t>(*seed));
+    core::RandomPlacementOptions options;
+    options.k = static_cast<std::size_t>(*k);
+    timer.Restart();
+    result = core::RandomPlacement(*instance.value, options, rng);
+  } else {
+    Die("unknown --algorithm '" + *algorithm + "'");
+  }
+  const double elapsed = timer.ElapsedSeconds();
+
+  std::printf("algorithm : %s\n", algorithm->c_str());
+  std::printf("placement : %s (%zu middleboxes)\n",
+              result.deployment.ToString().c_str(),
+              result.deployment.size());
+  std::printf("bandwidth : %.3f (no-deployment: %.3f, floor: %.3f)\n",
+              result.bandwidth, instance.value->UnprocessedBandwidth(),
+              instance.value->MinimumPossibleBandwidth());
+  std::printf("feasible  : %s\n", result.feasible ? "yes" : "NO");
+  std::printf("time      : %.6f s\n", elapsed);
+
+  if (!out->empty()) {
+    if (!io::WriteFile(*out, [&](std::ostream& os) {
+          io::WriteDeployment(os, result.deployment);
+        })) {
+      Die("cannot write " + *out);
+    }
+    std::printf("plan written to %s\n", out->c_str());
+  }
+  return result.feasible ? 0 : 3;
+}
+
+int Simulate(int argc, char** argv) {
+  ArgParser parser("tdmd_cli simulate",
+                   "replay flows under a saved deployment");
+  const auto* instance_path =
+      parser.AddString("instance", "instance.tdmd", "instance file");
+  const auto* plan_path =
+      parser.AddString("plan", "plan.tdmd", "deployment file");
+  const auto* top = parser.AddInt("top", 10, "show the N busiest links");
+  parser.Parse(argc, argv);
+
+  auto instance = io::ReadInstanceFile(*instance_path);
+  if (!instance.ok()) Die(instance.error);
+  std::ifstream plan_stream(*plan_path);
+  if (!plan_stream) Die("cannot open '" + *plan_path + "'");
+  auto plan = io::ReadDeployment(plan_stream,
+                                 instance.value->num_vertices());
+  if (!plan.ok()) Die(*plan_path + ": " + plan.error);
+
+  const sim::LinkLoadReport report =
+      sim::SimulateLinkLoads(*instance.value, *plan.value);
+  std::printf("total occupied bandwidth : %.3f\n", report.total);
+  std::printf("peak link load           : %.3f\n", report.peak);
+  std::printf("unserved flows           : %d\n", report.unserved_flows);
+
+  // Busiest links.
+  std::vector<std::pair<Bandwidth, EdgeId>> loads;
+  for (EdgeId e = 0;
+       e < static_cast<EdgeId>(report.arc_load.size()); ++e) {
+    loads.emplace_back(report.arc_load[static_cast<std::size_t>(e)], e);
+  }
+  std::sort(loads.rbegin(), loads.rend());
+  std::printf("\nbusiest links:\n");
+  for (std::size_t i = 0;
+       i < std::min<std::size_t>(loads.size(),
+                                 static_cast<std::size_t>(*top));
+       ++i) {
+    const graph::Arc& a = instance.value->network().arc(loads[i].second);
+    std::printf("  %d -> %d : %.3f\n", a.tail, a.head, loads[i].first);
+  }
+  return 0;
+}
+
+int Viz(int argc, char** argv) {
+  ArgParser parser("tdmd_cli viz",
+                   "export topology + deployment as Graphviz DOT");
+  const auto* instance_path =
+      parser.AddString("instance", "instance.tdmd", "instance file");
+  const auto* plan_path =
+      parser.AddString("plan", "", "deployment file (optional)");
+  const auto* out = parser.AddString("out", "plan.dot", "DOT output path");
+  const auto* hide_idle =
+      parser.AddBool("hide-idle", false, "drop zero-load edges");
+  parser.Parse(argc, argv);
+
+  auto instance = io::ReadInstanceFile(*instance_path);
+  if (!instance.ok()) Die(instance.error);
+  core::Deployment deployment(instance.value->num_vertices());
+  if (!plan_path->empty()) {
+    std::ifstream plan_stream(*plan_path);
+    if (!plan_stream) Die("cannot open '" + *plan_path + "'");
+    auto plan = io::ReadDeployment(plan_stream,
+                                   instance.value->num_vertices());
+    if (!plan.ok()) Die(*plan_path + ": " + plan.error);
+    deployment = std::move(*plan.value);
+  }
+  io::DotOptions options;
+  options.hide_idle_edges = *hide_idle;
+  if (!io::WriteFile(*out, [&](std::ostream& os) {
+        io::WriteDot(os, *instance.value, deployment, options);
+      })) {
+    Die("cannot write " + *out);
+  }
+  std::printf("wrote %s (render with: dot -Tsvg %s -o plan.svg)\n",
+              out->c_str(), out->c_str());
+  return 0;
+}
+
+int Info(int argc, char** argv) {
+  ArgParser parser("tdmd_cli info", "print instance statistics");
+  const auto* instance_path =
+      parser.AddString("instance", "instance.tdmd", "instance file");
+  parser.Parse(argc, argv);
+
+  auto instance = io::ReadInstanceFile(*instance_path);
+  if (!instance.ok()) Die(instance.error);
+  const core::Instance& inst = *instance.value;
+
+  std::size_t total_path_edges = 0;
+  Rate total_rate = 0;
+  std::size_t longest = 0;
+  for (FlowId f = 0; f < inst.num_flows(); ++f) {
+    total_path_edges += inst.flow(f).PathEdges();
+    total_rate += inst.flow(f).rate;
+    longest = std::max(longest, inst.flow(f).PathEdges());
+  }
+  std::printf("vertices   : %d\n", inst.num_vertices());
+  std::printf("arcs       : %d\n", inst.network().num_arcs());
+  std::printf("flows      : %d (total rate %lld, longest path %zu, "
+              "mean path %.2f)\n",
+              inst.num_flows(), static_cast<long long>(total_rate),
+              longest,
+              inst.num_flows() > 0
+                  ? static_cast<double>(total_path_edges) /
+                        static_cast<double>(inst.num_flows())
+                  : 0.0);
+  std::printf("lambda     : %.3f\n", inst.lambda());
+  std::printf("bandwidth  : %.3f unprocessed, %.3f floor\n",
+              inst.UnprocessedBandwidth(),
+              inst.MinimumPossibleBandwidth());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: tdmd_cli <generate|solve|simulate|viz|info> "
+                 "[flags]\n       tdmd_cli <command> --help\n");
+    return 2;
+  }
+  const std::string command = argv[1];
+  // Shift argv so each subcommand's parser sees its own flags.
+  argv[1] = argv[0];
+  if (command == "generate") return Generate(argc - 1, argv + 1);
+  if (command == "solve") return Solve(argc - 1, argv + 1);
+  if (command == "simulate") return Simulate(argc - 1, argv + 1);
+  if (command == "viz") return Viz(argc - 1, argv + 1);
+  if (command == "info") return Info(argc - 1, argv + 1);
+  std::fprintf(stderr, "tdmd_cli: unknown command '%s'\n", command.c_str());
+  return 2;
+}
+
+}  // namespace
+}  // namespace tdmd::cli
+
+int main(int argc, char** argv) { return tdmd::cli::Main(argc, argv); }

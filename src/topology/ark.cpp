@@ -1,0 +1,174 @@
+#include "topology/ark.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/traversal.hpp"
+
+namespace tdmd::topology {
+
+namespace {
+
+double Distance(const ArkTopology& ark, VertexId a, VertexId b) {
+  const double dx = ark.x[static_cast<std::size_t>(a)] -
+                    ark.x[static_cast<std::size_t>(b)];
+  const double dy = ark.y[static_cast<std::size_t>(a)] -
+                    ark.y[static_cast<std::size_t>(b)];
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+ArkTopology GenerateArk(const ArkParams& params, Rng& rng) {
+  TDMD_CHECK_MSG(params.num_monitors >= 2, "need at least two monitors");
+  TDMD_CHECK(params.num_clusters >= 1);
+
+  ArkTopology ark;
+  const auto n = static_cast<std::size_t>(params.num_monitors);
+  ark.x.resize(n);
+  ark.y.resize(n);
+
+  // Cluster centers, then monitors scattered around a random center each.
+  std::vector<double> cx(static_cast<std::size_t>(params.num_clusters));
+  std::vector<double> cy(static_cast<std::size_t>(params.num_clusters));
+  for (std::size_t c = 0; c < cx.size(); ++c) {
+    cx[c] = rng.NextDouble(0.1, 0.9);
+    cy[c] = rng.NextDouble(0.1, 0.9);
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto c = static_cast<std::size_t>(rng.NextBounded(cx.size()));
+    ark.x[v] = std::clamp(cx[c] + params.cluster_spread * rng.NextGaussian(),
+                          0.0, 1.0);
+    ark.y[v] = std::clamp(cy[c] + params.cluster_spread * rng.NextGaussian(),
+                          0.0, 1.0);
+  }
+
+  graph::DigraphBuilder builder(params.num_monitors);
+
+  // Deduplicate undirected pairs: Waxman trial for every pair, then a
+  // backbone spanning structure to guarantee connectivity.
+  std::vector<std::vector<char>> linked(
+      n, std::vector<char>(n, 0));
+  auto add_link = [&](VertexId a, VertexId b) {
+    const auto ua = static_cast<std::size_t>(a);
+    const auto ub = static_cast<std::size_t>(b);
+    if (a == b || linked[ua][ub]) return;
+    linked[ua][ub] = linked[ub][ua] = 1;
+    builder.AddBidirectional(a, b);
+  };
+
+  for (VertexId a = 0; a < params.num_monitors; ++a) {
+    for (VertexId b = a + 1; b < params.num_monitors; ++b) {
+      const double d = Distance(ark, a, b);
+      const double p =
+          params.waxman_alpha * std::exp(-d / params.waxman_beta);
+      if (rng.NextBool(p)) add_link(a, b);
+    }
+  }
+
+  // Backbone: connect each monitor to its geometrically nearest already-
+  // processed monitor (a greedy Euclidean spanning tree).  This mimics the
+  // real infrastructure's hierarchical attachment and guarantees weak
+  // connectivity.
+  std::vector<VertexId> order(n);
+  for (std::size_t v = 0; v < n; ++v) order[v] = static_cast<VertexId>(v);
+  rng.Shuffle(order);
+  for (std::size_t i = 1; i < n; ++i) {
+    const VertexId v = order[i];
+    VertexId best = order[0];
+    double best_dist = Distance(ark, v, best);
+    for (std::size_t j = 0; j < i; ++j) {
+      const double d = Distance(ark, v, order[j]);
+      if (d < best_dist) {
+        best_dist = d;
+        best = order[j];
+      }
+    }
+    add_link(v, best);
+  }
+
+  ark.graph = builder.Build();
+  TDMD_CHECK(graph::IsWeaklyConnected(ark.graph));
+  return ark;
+}
+
+namespace {
+
+/// Grows a connected vertex set of `size` vertices around `seed` by BFS,
+/// preferring geometrically close frontier vertices (regional slice).
+std::vector<VertexId> GrowRegion(const ArkTopology& ark, VertexId seed,
+                                 VertexId size) {
+  const graph::Digraph& g = ark.graph;
+  TDMD_CHECK_MSG(size >= 1 && size <= g.num_vertices(),
+                 "subgraph size " << size << " out of range [1, "
+                                  << g.num_vertices() << "]");
+  std::vector<char> in_region(static_cast<std::size_t>(g.num_vertices()), 0);
+  std::vector<VertexId> region{seed};
+  in_region[static_cast<std::size_t>(seed)] = 1;
+
+  while (static_cast<VertexId>(region.size()) < size) {
+    // Collect the frontier (neighbors of the region not yet inside).
+    VertexId best = kInvalidVertex;
+    double best_dist = 0.0;
+    for (VertexId u : region) {
+      for (EdgeId e : g.OutArcs(u)) {
+        const VertexId w = g.arc(e).head;
+        if (in_region[static_cast<std::size_t>(w)]) continue;
+        const double d = Distance(ark, seed, w);
+        if (best == kInvalidVertex || d < best_dist ||
+            (d == best_dist && w < best)) {
+          best = w;
+          best_dist = d;
+        }
+      }
+    }
+    TDMD_CHECK_MSG(best != kInvalidVertex,
+                   "region cannot grow: graph not connected enough");
+    in_region[static_cast<std::size_t>(best)] = 1;
+    region.push_back(best);
+  }
+  return region;
+}
+
+}  // namespace
+
+graph::Digraph ExtractGeneralSubgraph(const ArkTopology& ark, VertexId size,
+                                      Rng& rng) {
+  const graph::Digraph& g = ark.graph;
+  const VertexId seed =
+      static_cast<VertexId>(rng.NextBounded(
+          static_cast<std::uint64_t>(g.num_vertices())));
+  const std::vector<VertexId> region = GrowRegion(ark, seed, size);
+
+  // Dense relabeling, region order: seed becomes vertex 0.
+  std::unordered_map<VertexId, VertexId> relabel;
+  relabel.reserve(region.size());
+  for (std::size_t i = 0; i < region.size(); ++i) {
+    relabel[region[i]] = static_cast<VertexId>(i);
+  }
+  graph::DigraphBuilder builder(size);
+  for (VertexId old_u : region) {
+    for (EdgeId e : g.OutArcs(old_u)) {
+      const VertexId old_w = g.arc(e).head;
+      auto it = relabel.find(old_w);
+      if (it != relabel.end()) {
+        builder.AddArc(relabel[old_u], it->second);
+      }
+    }
+  }
+  graph::Digraph sub = builder.Build();
+  TDMD_CHECK(graph::IsWeaklyConnected(sub));
+  return sub;
+}
+
+graph::Tree ExtractTreeSubgraph(const ArkTopology& ark, VertexId size,
+                                Rng& rng) {
+  graph::Digraph sub = ExtractGeneralSubgraph(ark, size, rng);
+  // The seed monitor was relabeled to vertex 0; root the tree there.
+  return graph::Tree::BfsTreeOf(sub, /*root=*/0);
+}
+
+}  // namespace tdmd::topology

@@ -1,0 +1,59 @@
+// Synthetic stand-in for the CAIDA Archipelago (Ark) measurement topology.
+//
+// The paper evaluates on the Ark monitor-location graph (Fig. 8) and derives
+// a ~22-vertex tree and a ~30-vertex general topology from it.  The actual
+// monitor adjacency is not redistributable, so we synthesize a geometric
+// graph with the same qualitative shape: monitors scattered over a sphere-
+// like coordinate space with a few dense clusters (continents), connected by
+// a Waxman model (connection probability decays with distance) plus a
+// backbone spanning tree that guarantees connectivity.  The TDMD algorithms
+// are topology-agnostic; what the evaluation needs from "Ark" is a sparse,
+// clustered, connected graph whose size can be swept — which this preserves
+// (see DESIGN.md, substitution table).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/digraph.hpp"
+#include "graph/tree.hpp"
+
+namespace tdmd::topology {
+
+struct ArkParams {
+  /// Total synthetic monitor count (the full infrastructure graph).
+  VertexId num_monitors = 120;
+  /// Number of geographic clusters ("continents").
+  int num_clusters = 6;
+  /// Cluster radius relative to the unit square.
+  double cluster_spread = 0.08;
+  /// Waxman alpha (link density) and beta (distance decay scale).
+  double waxman_alpha = 0.25;
+  double waxman_beta = 0.18;
+};
+
+/// A generated Ark-like infrastructure: graph plus monitor coordinates
+/// (kept so subgraph extraction can prefer geographically close vertices,
+/// like cutting a regional slice of the real infrastructure).
+struct ArkTopology {
+  graph::Digraph graph;            // bidirectional arcs
+  std::vector<double> x, y;        // monitor coordinates in [0, 1]^2
+};
+
+/// Generates the full Ark-like infrastructure graph.  Always connected.
+ArkTopology GenerateArk(const ArkParams& params, Rng& rng);
+
+/// Extracts a connected induced general-topology subgraph with exactly
+/// `size` vertices (paper Fig. 8(c)): grows a BFS ball around a random seed
+/// monitor, then relabels vertices densely [0, size).
+graph::Digraph ExtractGeneralSubgraph(const ArkTopology& ark, VertexId size,
+                                      Rng& rng);
+
+/// Extracts a `size`-vertex tree (paper Fig. 8(b)): takes the BFS spanning
+/// tree of a connected subgraph, rooted at the subgraph's seed monitor
+/// (the red root vertex in the paper's figure).  Vertex 0 of the result is
+/// the root.
+graph::Tree ExtractTreeSubgraph(const ArkTopology& ark, VertexId size,
+                                Rng& rng);
+
+}  // namespace tdmd::topology

@@ -1,0 +1,195 @@
+#include "topology/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "graph/traversal.hpp"
+
+namespace tdmd::topology {
+
+namespace {
+
+/// Adds a uniformly random spanning tree (random attachment over a shuffled
+/// order) so the final graph is connected whatever the pairwise model does.
+void AddSpanningBackbone(graph::DigraphBuilder& builder, VertexId n,
+                         std::set<std::pair<VertexId, VertexId>>& links,
+                         Rng& rng) {
+  std::vector<VertexId> order(static_cast<std::size_t>(n));
+  for (std::size_t v = 0; v < order.size(); ++v) {
+    order[v] = static_cast<VertexId>(v);
+  }
+  rng.Shuffle(order);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const VertexId v = order[i];
+    const VertexId u =
+        order[static_cast<std::size_t>(rng.NextBounded(i))];
+    const auto key = std::minmax(u, v);
+    if (links.insert({key.first, key.second}).second) {
+      builder.AddBidirectional(u, v);
+    }
+  }
+}
+
+}  // namespace
+
+graph::Digraph ErdosRenyi(VertexId n, double p, Rng& rng) {
+  TDMD_CHECK(n >= 1);
+  TDMD_CHECK(p >= 0.0 && p <= 1.0);
+  graph::DigraphBuilder builder(n);
+  std::set<std::pair<VertexId, VertexId>> links;
+  AddSpanningBackbone(builder, n, links, rng);
+  for (VertexId a = 0; a < n; ++a) {
+    for (VertexId b = a + 1; b < n; ++b) {
+      if (rng.NextBool(p) && links.insert({a, b}).second) {
+        builder.AddBidirectional(a, b);
+      }
+    }
+  }
+  graph::Digraph g = builder.Build();
+  TDMD_DCHECK(graph::IsWeaklyConnected(g));
+  return g;
+}
+
+graph::Digraph Waxman(VertexId n, double alpha, double beta, Rng& rng) {
+  TDMD_CHECK(n >= 1);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  std::vector<double> y(static_cast<std::size_t>(n));
+  for (std::size_t v = 0; v < x.size(); ++v) {
+    x[v] = rng.NextDouble();
+    y[v] = rng.NextDouble();
+  }
+  graph::DigraphBuilder builder(n);
+  std::set<std::pair<VertexId, VertexId>> links;
+  AddSpanningBackbone(builder, n, links, rng);
+  const double max_dist = std::sqrt(2.0);
+  for (VertexId a = 0; a < n; ++a) {
+    for (VertexId b = a + 1; b < n; ++b) {
+      const auto ua = static_cast<std::size_t>(a);
+      const auto ub = static_cast<std::size_t>(b);
+      const double dx = x[ua] - x[ub];
+      const double dy = y[ua] - y[ub];
+      const double d = std::sqrt(dx * dx + dy * dy);
+      const double prob = alpha * std::exp(-d / (beta * max_dist));
+      if (rng.NextBool(prob) && links.insert({a, b}).second) {
+        builder.AddBidirectional(a, b);
+      }
+    }
+  }
+  graph::Digraph g = builder.Build();
+  TDMD_DCHECK(graph::IsWeaklyConnected(g));
+  return g;
+}
+
+graph::Tree RandomTree(VertexId n, Rng& rng) {
+  TDMD_CHECK(n >= 1);
+  std::vector<VertexId> parent(static_cast<std::size_t>(n), kInvalidVertex);
+  for (std::size_t v = 1; v < parent.size(); ++v) {
+    parent[v] = static_cast<VertexId>(rng.NextBounded(v));
+  }
+  return graph::Tree(std::move(parent));
+}
+
+graph::Tree RandomBoundedTree(VertexId n, VertexId max_children, Rng& rng) {
+  TDMD_CHECK(n >= 1);
+  TDMD_CHECK(max_children >= 1);
+  std::vector<VertexId> parent(static_cast<std::size_t>(n), kInvalidVertex);
+  std::vector<VertexId> child_count(static_cast<std::size_t>(n), 0);
+  std::vector<VertexId> eligible{0};  // vertices with spare child slots
+  for (VertexId v = 1; v < n; ++v) {
+    const auto pick = static_cast<std::size_t>(
+        rng.NextBounded(eligible.size()));
+    const VertexId p = eligible[pick];
+    parent[static_cast<std::size_t>(v)] = p;
+    if (++child_count[static_cast<std::size_t>(p)] >= max_children) {
+      eligible[pick] = eligible.back();
+      eligible.pop_back();
+    }
+    eligible.push_back(v);
+  }
+  return graph::Tree(std::move(parent));
+}
+
+graph::Tree CompleteBinaryTree(int levels) {
+  TDMD_CHECK(levels >= 1);
+  const auto n = static_cast<VertexId>((1 << levels) - 1);
+  std::vector<VertexId> parent(static_cast<std::size_t>(n), kInvalidVertex);
+  for (VertexId v = 1; v < n; ++v) {
+    parent[static_cast<std::size_t>(v)] = (v - 1) / 2;
+  }
+  return graph::Tree(std::move(parent));
+}
+
+graph::Tree FatTreeAggregation(int pods, int tors_per_pod,
+                               int hosts_per_tor) {
+  TDMD_CHECK(pods >= 1 && tors_per_pod >= 1 && hosts_per_tor >= 1);
+  const VertexId n = static_cast<VertexId>(
+      1 + pods + pods * tors_per_pod + pods * tors_per_pod * hosts_per_tor);
+  std::vector<VertexId> parent(static_cast<std::size_t>(n), kInvalidVertex);
+  VertexId next = 1;
+  // Layer 1: pod aggregation switches under the core root (vertex 0).
+  const VertexId first_pod = next;
+  for (int p = 0; p < pods; ++p) {
+    parent[static_cast<std::size_t>(next++)] = 0;
+  }
+  // Layer 2: ToR switches.
+  const VertexId first_tor = next;
+  for (int p = 0; p < pods; ++p) {
+    for (int t = 0; t < tors_per_pod; ++t) {
+      parent[static_cast<std::size_t>(next++)] =
+          first_pod + static_cast<VertexId>(p);
+    }
+  }
+  // Layer 3: hosts (leaves, the flow sources).
+  for (int p = 0; p < pods; ++p) {
+    for (int t = 0; t < tors_per_pod; ++t) {
+      const VertexId tor =
+          first_tor + static_cast<VertexId>(p * tors_per_pod + t);
+      for (int h = 0; h < hosts_per_tor; ++h) {
+        parent[static_cast<std::size_t>(next++)] = tor;
+      }
+    }
+  }
+  TDMD_CHECK(next == n);
+  return graph::Tree(std::move(parent));
+}
+
+graph::Digraph BCube(int n, int level) {
+  TDMD_CHECK(n >= 2 && level >= 0);
+  // Servers: n^(level+1); switches: (level+1) * n^level.
+  VertexId num_servers = 1;
+  for (int i = 0; i <= level; ++i) num_servers *= static_cast<VertexId>(n);
+  VertexId switches_per_level = num_servers / static_cast<VertexId>(n);
+  const VertexId num_switches =
+      static_cast<VertexId>(level + 1) * switches_per_level;
+  graph::DigraphBuilder builder(num_servers + num_switches);
+
+  // Server s (base-n digits d_level ... d_0) connects at level l to switch
+  // indexed by its digits with digit l removed.
+  for (VertexId s = 0; s < num_servers; ++s) {
+    for (int l = 0; l <= level; ++l) {
+      VertexId stripped = 0;
+      VertexId multiplier = 1;
+      VertexId rest = s;
+      for (int d = 0; d <= level; ++d) {
+        const VertexId digit = rest % static_cast<VertexId>(n);
+        rest /= static_cast<VertexId>(n);
+        if (d != l) {
+          stripped += digit * multiplier;
+          multiplier *= static_cast<VertexId>(n);
+        }
+      }
+      const VertexId switch_id = num_servers +
+                                 static_cast<VertexId>(l) *
+                                     switches_per_level +
+                                 stripped;
+      builder.AddBidirectional(s, switch_id);
+    }
+  }
+  graph::Digraph g = builder.Build();
+  TDMD_DCHECK(graph::IsWeaklyConnected(g));
+  return g;
+}
+
+}  // namespace tdmd::topology

@@ -1,0 +1,46 @@
+// Parametric topology generators beyond the Ark-like graph.
+//
+// These cover the topology families the paper motivates in Section 5
+// (streaming/CDN trees, Fat-tree and BCube-style data-center fabrics) plus
+// the standard random-graph models used for robustness testing.  All
+// general graphs use bidirectional arcs; all generators are deterministic
+// given the Rng state.
+#pragma once
+
+#include "common/rng.hpp"
+#include "graph/digraph.hpp"
+#include "graph/tree.hpp"
+
+namespace tdmd::topology {
+
+/// Erdős–Rényi G(n, p), conditioned on weak connectivity by adding a random
+/// spanning-tree backbone first.
+graph::Digraph ErdosRenyi(VertexId n, double p, Rng& rng);
+
+/// Waxman random geometric graph over uniform coordinates; connected.
+graph::Digraph Waxman(VertexId n, double alpha, double beta, Rng& rng);
+
+/// Uniform random recursive tree: vertex i attaches to a uniformly random
+/// earlier vertex.  Vertex 0 is the root.
+graph::Tree RandomTree(VertexId n, Rng& rng);
+
+/// Random tree with bounded branching factor (children per vertex
+/// <= max_children, chosen uniformly among eligible attach points).
+graph::Tree RandomBoundedTree(VertexId n, VertexId max_children, Rng& rng);
+
+/// Complete binary tree with `levels` levels (2^levels - 1 vertices),
+/// vertex 0 the root, heap-ordered ids.
+graph::Tree CompleteBinaryTree(int levels);
+
+/// Fat-tree-style aggregation tree for a k-ary pod fabric, collapsed to the
+/// single-destination tree model of the paper: one core root, `pods`
+/// aggregation vertices, `tors_per_pod` ToR vertices per pod, and
+/// `hosts_per_tor` leaf (server) vertices per ToR.
+graph::Tree FatTreeAggregation(int pods, int tors_per_pod, int hosts_per_tor);
+
+/// BCube-style server-centric recursive topology BCube(n, l) as a general
+/// graph: n^(l+1) servers plus (l+1) * n^l switches; servers connect to one
+/// switch per level.  Bidirectional links, connected.
+graph::Digraph BCube(int n, int level);
+
+}  // namespace tdmd::topology

@@ -1,0 +1,154 @@
+#include "topology/mutate.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "graph/traversal.hpp"
+
+namespace tdmd::topology {
+
+namespace {
+
+/// Rebuilds a digraph dropping vertex `victim` and relabeling densely.
+graph::Digraph RemoveVertex(const graph::Digraph& g, VertexId victim) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> relabel(static_cast<std::size_t>(n), kInvalidVertex);
+  VertexId next = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (v != victim) relabel[static_cast<std::size_t>(v)] = next++;
+  }
+  graph::DigraphBuilder builder(n - 1);
+  for (EdgeId e = 0; e < g.num_arcs(); ++e) {
+    const graph::Arc& a = g.arc(e);
+    if (a.tail == victim || a.head == victim) continue;
+    builder.AddArc(relabel[static_cast<std::size_t>(a.tail)],
+                   relabel[static_cast<std::size_t>(a.head)]);
+  }
+  return builder.Build();
+}
+
+}  // namespace
+
+graph::Digraph ResizeGeneral(const graph::Digraph& g, VertexId target_size,
+                             Rng& rng) {
+  TDMD_CHECK(target_size >= 2);
+  graph::Digraph current = g;
+  while (current.num_vertices() < target_size) {
+    const VertexId n = current.num_vertices();
+    graph::DigraphBuilder builder(n + 1);
+    std::set<std::pair<VertexId, VertexId>> links;
+    for (EdgeId e = 0; e < current.num_arcs(); ++e) {
+      const graph::Arc& a = current.arc(e);
+      builder.AddArc(a.tail, a.head);
+      links.insert(std::minmax(a.tail, a.head));
+    }
+    const VertexId fresh = n;
+    const int degree = static_cast<int>(rng.NextInt(1, 3));
+    int added = 0;
+    for (int attempt = 0; attempt < 16 && added < degree; ++attempt) {
+      const auto peer = static_cast<VertexId>(
+          rng.NextBounded(static_cast<std::uint64_t>(n)));
+      if (links.insert(std::minmax(fresh, peer)).second) {
+        builder.AddBidirectional(fresh, peer);
+        ++added;
+      }
+    }
+    TDMD_CHECK(added >= 1);
+    current = builder.Build();
+  }
+  while (current.num_vertices() > target_size) {
+    // Pick deletion candidates in random order; accept the first whose
+    // removal keeps the graph connected.
+    std::vector<VertexId> candidates(
+        static_cast<std::size_t>(current.num_vertices()));
+    for (std::size_t v = 0; v < candidates.size(); ++v) {
+      candidates[v] = static_cast<VertexId>(v);
+    }
+    rng.Shuffle(candidates);
+    bool removed = false;
+    for (VertexId victim : candidates) {
+      graph::Digraph pruned = RemoveVertex(current, victim);
+      if (graph::IsWeaklyConnected(pruned)) {
+        current = std::move(pruned);
+        removed = true;
+        break;
+      }
+    }
+    TDMD_CHECK_MSG(removed, "no vertex removable without disconnecting");
+  }
+  return current;
+}
+
+graph::Tree ResizeTree(const graph::Tree& tree, VertexId target_size,
+                       Rng& rng) {
+  TDMD_CHECK(target_size >= 1);
+  // Work on a parent array with the root relabeled to 0 at the end.
+  std::vector<VertexId> parent(static_cast<std::size_t>(tree.num_vertices()));
+  for (VertexId v = 0; v < tree.num_vertices(); ++v) {
+    parent[static_cast<std::size_t>(v)] = tree.Parent(v);
+  }
+
+  while (static_cast<VertexId>(parent.size()) < target_size) {
+    const auto attach = static_cast<VertexId>(
+        rng.NextBounded(parent.size()));
+    parent.push_back(attach);
+  }
+  while (static_cast<VertexId>(parent.size()) > target_size) {
+    // Collect leaves (vertices that are no one's parent).
+    std::vector<char> has_child(parent.size(), 0);
+    for (VertexId p : parent) {
+      if (p != kInvalidVertex) has_child[static_cast<std::size_t>(p)] = 1;
+    }
+    std::vector<VertexId> leaves;
+    for (std::size_t v = 0; v < parent.size(); ++v) {
+      if (!has_child[v] && parent[v] != kInvalidVertex) {
+        leaves.push_back(static_cast<VertexId>(v));
+      }
+    }
+    TDMD_CHECK(!leaves.empty());
+    const VertexId victim = leaves[static_cast<std::size_t>(
+        rng.NextBounded(leaves.size()))];
+    // Swap-remove: move the last vertex into the victim's slot.
+    const auto last = static_cast<VertexId>(parent.size() - 1);
+    if (victim != last) {
+      parent[static_cast<std::size_t>(victim)] =
+          parent[static_cast<std::size_t>(last)];
+      for (auto& p : parent) {
+        if (p == last) p = victim;
+      }
+    }
+    parent.pop_back();
+  }
+
+  // Relabel so the root is vertex 0 (benches treat vertex 0 as the
+  // destination).
+  VertexId root = kInvalidVertex;
+  for (std::size_t v = 0; v < parent.size(); ++v) {
+    if (parent[v] == kInvalidVertex) {
+      root = static_cast<VertexId>(v);
+      break;
+    }
+  }
+  TDMD_CHECK(root != kInvalidVertex);
+  if (root != 0) {
+    std::vector<VertexId> relabel(parent.size());
+    for (std::size_t v = 0; v < parent.size(); ++v) {
+      relabel[v] = static_cast<VertexId>(v);
+    }
+    relabel[static_cast<std::size_t>(root)] = 0;
+    relabel[0] = root;
+    std::vector<VertexId> remapped(parent.size());
+    for (std::size_t v = 0; v < parent.size(); ++v) {
+      const VertexId old_parent = parent[v];
+      remapped[static_cast<std::size_t>(relabel[v])] =
+          old_parent == kInvalidVertex
+              ? kInvalidVertex
+              : relabel[static_cast<std::size_t>(old_parent)];
+    }
+    parent = std::move(remapped);
+  }
+  return graph::Tree(std::move(parent));
+}
+
+}  // namespace tdmd::topology

@@ -1,0 +1,31 @@
+// Topology size mutation.
+//
+// The paper's size sweeps (Figs. 12 and 16) state that "the topology size
+// changes by randomly inserting and deleting vertices in the network".
+// These helpers implement exactly that while preserving the invariants the
+// algorithms rely on (connectivity; tree-ness with the same root).
+#pragma once
+
+#include "common/rng.hpp"
+#include "graph/digraph.hpp"
+#include "graph/tree.hpp"
+
+namespace tdmd::topology {
+
+/// Grows or shrinks `g` to exactly `target_size` vertices.
+///  * Insertion: new vertex linked bidirectionally to 1-3 random existing
+///    vertices.
+///  * Deletion: a random vertex whose removal keeps the graph weakly
+///    connected (retries until one is found); remaining vertices are
+///    relabeled densely.
+graph::Digraph ResizeGeneral(const graph::Digraph& g, VertexId target_size,
+                             Rng& rng);
+
+/// Grows or shrinks a tree to exactly `target_size` vertices.
+///  * Insertion: new leaf under a uniformly random existing vertex.
+///  * Deletion: a uniformly random leaf (never the root).
+/// The root keeps id 0 in the result.
+graph::Tree ResizeTree(const graph::Tree& tree, VertexId target_size,
+                       Rng& rng);
+
+}  // namespace tdmd::topology

@@ -1,0 +1,68 @@
+#include "topology/reference.hpp"
+
+#include <array>
+
+#include "common/check.hpp"
+
+namespace tdmd::topology {
+
+namespace {
+
+constexpr std::array<std::string_view, 11> kAbileneNames = {
+    "Seattle",      "Sunnyvale", "LosAngeles", "Denver",
+    "KansasCity",   "Houston",   "Chicago",    "Indianapolis",
+    "Atlanta",      "Washington", "NewYork"};
+
+// Vertex ids follow kAbileneNames order.
+constexpr std::pair<VertexId, VertexId> kAbileneLinks[] = {
+    {0, 1},   // Seattle - Sunnyvale
+    {0, 3},   // Seattle - Denver
+    {1, 2},   // Sunnyvale - Los Angeles
+    {1, 3},   // Sunnyvale - Denver
+    {2, 5},   // Los Angeles - Houston
+    {3, 4},   // Denver - Kansas City
+    {4, 5},   // Kansas City - Houston
+    {4, 7},   // Kansas City - Indianapolis
+    {5, 8},   // Houston - Atlanta
+    {6, 7},   // Chicago - Indianapolis
+    {6, 10},  // Chicago - New York
+    {7, 8},   // Indianapolis - Atlanta
+    {8, 9},   // Atlanta - Washington
+    {9, 10},  // Washington - New York
+};
+
+// The classic 14-node / 21-link NSFNET T1 backbone adjacency.
+constexpr std::pair<VertexId, VertexId> kNsfnetLinks[] = {
+    {0, 1},  {0, 2},  {0, 3},  {1, 2},  {1, 7},   {2, 5},
+    {3, 4},  {3, 10}, {4, 5},  {4, 6},  {5, 9},   {5, 13},
+    {6, 7},  {7, 8},  {8, 9},  {8, 11}, {8, 12},  {10, 11},
+    {10, 12}, {11, 13}, {12, 13},
+};
+
+}  // namespace
+
+graph::Digraph Abilene() {
+  graph::DigraphBuilder builder(
+      static_cast<VertexId>(kAbileneNames.size()));
+  for (const auto& [a, b] : kAbileneLinks) {
+    builder.AddBidirectional(a, b);
+  }
+  return builder.Build();
+}
+
+std::string_view AbileneNodeName(VertexId v) {
+  TDMD_CHECK_MSG(v >= 0 &&
+                     static_cast<std::size_t>(v) < kAbileneNames.size(),
+                 "Abilene vertex " << v << " out of range");
+  return kAbileneNames[static_cast<std::size_t>(v)];
+}
+
+graph::Digraph Nsfnet() {
+  graph::DigraphBuilder builder(14);
+  for (const auto& [a, b] : kNsfnetLinks) {
+    builder.AddBidirectional(a, b);
+  }
+  return builder.Build();
+}
+
+}  // namespace tdmd::topology

@@ -1,0 +1,30 @@
+// Reference research topologies.
+//
+// The synthetic Ark-like generator drives the paper's figures; these two
+// classic, publicly documented WAN topologies give the examples and
+// robustness tests a fixed, recognizable substrate (both are staples of
+// the NFV-placement literature the paper cites):
+//
+//   * Abilene / Internet2: 11 PoPs, 14 links.
+//   * NSFNET (T1 backbone): 14 nodes, 21 links.
+//
+// Both are returned as bidirectional digraphs with stable node order
+// (NodeName() gives the PoP city for display).
+#pragma once
+
+#include <string_view>
+
+#include "graph/digraph.hpp"
+
+namespace tdmd::topology {
+
+/// Abilene / Internet2 backbone (11 vertices, 14 bidirectional links).
+graph::Digraph Abilene();
+
+/// City name for an Abilene vertex id.
+std::string_view AbileneNodeName(VertexId v);
+
+/// NSFNET T1 backbone (14 vertices, 21 bidirectional links).
+graph::Digraph Nsfnet();
+
+}  // namespace tdmd::topology

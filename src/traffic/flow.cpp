@@ -1,0 +1,51 @@
+#include "traffic/flow.hpp"
+
+#include <map>
+
+namespace tdmd::traffic {
+
+Rate TotalRate(const FlowSet& flows) {
+  Rate total = 0;
+  for (const Flow& f : flows) total += f.rate;
+  return total;
+}
+
+Bandwidth TotalUnprocessedBandwidth(const FlowSet& flows) {
+  Bandwidth total = 0.0;
+  for (const Flow& f : flows) {
+    total += static_cast<Bandwidth>(f.rate) *
+             static_cast<Bandwidth>(f.PathEdges());
+  }
+  return total;
+}
+
+FlowSet MergeSameSourceFlows(const FlowSet& flows) {
+  // Key on the full vertex path: flows that traverse identical paths are
+  // interchangeable for the objective.
+  std::map<std::vector<VertexId>, Flow> merged;
+  for (const Flow& f : flows) {
+    auto [it, inserted] = merged.try_emplace(f.path.vertices, f);
+    if (!inserted) {
+      it->second.rate += f.rate;
+    }
+  }
+  FlowSet result;
+  result.reserve(merged.size());
+  for (auto& [key, flow] : merged) {
+    result.push_back(std::move(flow));
+  }
+  return result;
+}
+
+bool AllFlowsValid(const graph::Digraph& g, const FlowSet& flows) {
+  for (const Flow& f : flows) {
+    if (f.rate <= 0) return false;
+    if (f.path.empty()) return false;
+    if (f.path.vertices.front() != f.src) return false;
+    if (f.path.vertices.back() != f.dst) return false;
+    if (!graph::IsSimplePath(g, f.path)) return false;
+  }
+  return true;
+}
+
+}  // namespace tdmd::traffic

@@ -1,0 +1,44 @@
+// Flow model (Section 3.1).
+//
+// A flow is unsplittable, has an integral initial rate r_f and a
+// predetermined simple path from src to dst.  The TDMD objective only
+// depends on (rate, path), so the struct is deliberately plain data;
+// allocation state lives in core::Allocation, not here.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/shortest_path.hpp"
+
+namespace tdmd::traffic {
+
+struct Flow {
+  VertexId src = kInvalidVertex;
+  VertexId dst = kInvalidVertex;
+  Rate rate = 0;
+  /// Ordered vertex sequence src ... dst.  |p_f| = path.NumEdges().
+  graph::Path path;
+
+  std::size_t PathEdges() const { return path.NumEdges(); }
+};
+
+using FlowSet = std::vector<Flow>;
+
+/// Sum of r_f over all flows.
+Rate TotalRate(const FlowSet& flows);
+
+/// Sum of r_f * |p_f| — the bandwidth consumed with no middleboxes, and the
+/// paper's d(P) reference point (Lemma 1).
+Bandwidth TotalUnprocessedBandwidth(const FlowSet& flows);
+
+/// Merges flows that share (src, dst, path) into single flows with summed
+/// rates.  On trees all same-source flows share the leaf-to-root path, so
+/// this implements the paper's complexity-bound trick of treating flows
+/// from one leaf as a single flow; the objective is invariant (tested).
+FlowSet MergeSameSourceFlows(const FlowSet& flows);
+
+/// Validates every flow: positive rate, simple path in `g` from src to dst.
+bool AllFlowsValid(const graph::Digraph& g, const FlowSet& flows);
+
+}  // namespace tdmd::traffic

@@ -1,0 +1,103 @@
+#include "traffic/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tdmd::traffic {
+
+Rate SampleRate(const RateDistribution& dist, Rng& rng) {
+  double raw;
+  if (rng.NextBool(dist.tail_probability)) {
+    // Pareto tail via inverse CDF.
+    const double u = std::max(rng.NextDouble(), 1e-12);
+    raw = dist.pareto_scale / std::pow(u, 1.0 / dist.pareto_alpha);
+  } else {
+    raw = std::exp(dist.lognormal_mu +
+                   dist.lognormal_sigma * rng.NextGaussian());
+  }
+  const auto quantized = static_cast<Rate>(std::llround(std::ceil(raw)));
+  return std::clamp<Rate>(quantized, 1, dist.max_rate);
+}
+
+namespace {
+
+/// Shared generation loop: `draw_flow` produces a candidate flow (without
+/// rate); the loop assigns rates and stops at the density target.
+template <typename DrawFlow>
+FlowSet GenerateUntilDensity(const WorkloadParams& params, double capacity,
+                             Rng& rng, DrawFlow&& draw_flow) {
+  TDMD_CHECK_MSG(params.flow_density > 0.0, "flow density must be positive");
+  TDMD_CHECK(capacity > 0.0);
+  FlowSet flows;
+  double load = 0.0;
+  const double target = params.flow_density * capacity;
+  while (load < target && flows.size() < params.max_flows) {
+    Flow f = draw_flow();
+    f.rate = SampleRate(params.rates, rng);
+    load += static_cast<double>(f.rate) *
+            static_cast<double>(f.PathEdges());
+    flows.push_back(std::move(f));
+  }
+  return flows;
+}
+
+}  // namespace
+
+FlowSet GenerateTreeWorkload(const graph::Tree& tree,
+                             const WorkloadParams& params, Rng& rng) {
+  const auto& leaves = tree.Leaves();
+  TDMD_CHECK_MSG(!leaves.empty(), "tree has no leaves");
+  TDMD_CHECK_MSG(tree.num_vertices() >= 2, "tree too small for flows");
+  const double capacity =
+      params.link_capacity * static_cast<double>(tree.num_vertices() - 1);
+
+  return GenerateUntilDensity(params, capacity, rng, [&]() {
+    const VertexId leaf = leaves[static_cast<std::size_t>(
+        rng.NextBounded(leaves.size()))];
+    Flow f;
+    f.src = leaf;
+    f.dst = tree.root();
+    f.path.vertices = tree.PathToRoot(leaf);
+    return f;
+  });
+}
+
+FlowSet GenerateGeneralWorkload(const graph::Digraph& g,
+                                const std::vector<VertexId>& destinations,
+                                const WorkloadParams& params, Rng& rng) {
+  TDMD_CHECK(g.num_vertices() >= 2);
+  std::vector<VertexId> dsts = destinations;
+  if (dsts.empty()) dsts.push_back(0);
+  for (VertexId d : dsts) TDMD_CHECK(g.IsValidVertex(d));
+
+  const double capacity =
+      params.link_capacity * static_cast<double>(g.num_arcs());
+
+  return GenerateUntilDensity(params, capacity, rng, [&]() {
+    for (int attempt = 0; attempt < 256; ++attempt) {
+      const VertexId dst = dsts[static_cast<std::size_t>(
+          rng.NextBounded(dsts.size()))];
+      const auto src = static_cast<VertexId>(
+          rng.NextBounded(static_cast<std::uint64_t>(g.num_vertices())));
+      if (src == dst) continue;
+      auto path = graph::ShortestHopPath(g, src, dst);
+      if (!path.has_value()) continue;
+      Flow f;
+      f.src = src;
+      f.dst = dst;
+      f.path = std::move(*path);
+      return f;
+    }
+    TDMD_CHECK_MSG(false, "could not route any flow to a destination");
+    return Flow{};  // unreachable
+  });
+}
+
+double MeasureDensity(const graph::Digraph& g, const FlowSet& flows,
+                      double link_capacity) {
+  TDMD_CHECK(link_capacity > 0.0 && g.num_arcs() > 0);
+  return TotalUnprocessedBandwidth(flows) /
+         (link_capacity * static_cast<double>(g.num_arcs()));
+}
+
+}  // namespace tdmd::traffic

@@ -1,0 +1,71 @@
+// Workload generation with a CAIDA-like flow-size distribution.
+//
+// The paper draws flow rates from "the flow size distribution of the CAIDA
+// center ... collected in a 1-hour packet trace" (Section 6.1).  The trace
+// itself is not redistributable, so we synthesize rates from the
+// well-documented shape of Internet flow sizes: a lognormal body ("mice")
+// with a Pareto tail ("elephants").  Rates are quantized to integers in
+// [1, max_rate] because the tree DP's b-dimension requires integral rates
+// (Theorem 5 assumes integral r_max).
+//
+// Flow density (the paper's load knob) is the ratio of total traffic load
+// to total network capacity:
+//     density = Σ_f r_f·|p_f| / (link_capacity · |E|).
+// Generators add flows until the requested density is met.
+#pragma once
+
+#include <optional>
+
+#include "common/rng.hpp"
+#include "graph/digraph.hpp"
+#include "graph/tree.hpp"
+#include "traffic/flow.hpp"
+
+namespace tdmd::traffic {
+
+struct RateDistribution {
+  /// Lognormal body parameters (of the underlying normal).
+  double lognormal_mu = 1.1;
+  double lognormal_sigma = 0.8;
+  /// Pareto tail: P(tail) chance of drawing an elephant flow with shape
+  /// `pareto_alpha` and scale `pareto_scale`.
+  double tail_probability = 0.12;
+  double pareto_alpha = 1.6;
+  double pareto_scale = 8.0;
+  /// Quantization ceiling (r_max); keeps the DP pseudo-polynomial factor
+  /// bounded.
+  Rate max_rate = 40;
+};
+
+/// Draws one integral rate in [1, max_rate].
+Rate SampleRate(const RateDistribution& dist, Rng& rng);
+
+struct WorkloadParams {
+  RateDistribution rates;
+  /// Target flow density in (0, 1]; generation stops at the first flow that
+  /// reaches or crosses it.
+  double flow_density = 0.5;
+  /// Uniform per-link capacity used in the density denominator.
+  double link_capacity = 1000.0;
+  /// Hard cap to bound generation when density is unreachable.
+  std::size_t max_flows = 4096;
+};
+
+/// Tree workload (Sections 5-6): every flow sources at a uniformly random
+/// leaf and terminates at the root along the unique tree path.
+FlowSet GenerateTreeWorkload(const graph::Tree& tree,
+                             const WorkloadParams& params, Rng& rng);
+
+/// General-topology workload: flows source at random non-destination
+/// vertices and follow shortest hop paths to a destination drawn from
+/// `destinations` (the paper's red nodes).  If `destinations` is empty,
+/// vertex 0 is the single destination.
+FlowSet GenerateGeneralWorkload(const graph::Digraph& g,
+                                const std::vector<VertexId>& destinations,
+                                const WorkloadParams& params, Rng& rng);
+
+/// Measured density of an existing flow set under `params`' capacity model.
+double MeasureDensity(const graph::Digraph& g, const FlowSet& flows,
+                      double link_capacity);
+
+}  // namespace tdmd::traffic

@@ -1,0 +1,142 @@
+#include "traffic/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace tdmd::traffic {
+
+namespace {
+
+double SampleExponential(double mean, Rng& rng) {
+  TDMD_DCHECK(mean > 0.0);
+  return -mean * std::log(std::max(rng.NextDouble(), 1e-15));
+}
+
+std::int64_t SamplePacketCount(const TraceParams& params, Rng& rng) {
+  if (rng.NextBool(params.heavy_flow_probability)) {
+    const double u = std::max(rng.NextDouble(), 1e-12);
+    return static_cast<std::int64_t>(
+        params.heavy_packets_scale /
+        std::pow(u, 1.0 / params.heavy_packets_alpha));
+  }
+  // Geometric with the requested mean (>= 1 packet).
+  const double p = 1.0 / std::max(params.mean_packets_body, 1.0);
+  std::int64_t count = 1;
+  while (!rng.NextBool(p) && count < 100000) ++count;
+  return count;
+}
+
+}  // namespace
+
+PacketTrace GenerateTrace(const TraceParams& params, Rng& rng) {
+  TDMD_CHECK(params.duration_s > 0.0);
+  TDMD_CHECK(params.flow_arrival_rate > 0.0);
+
+  PacketTrace trace;
+  trace.duration_s = params.duration_s;
+
+  double arrival = 0.0;
+  std::int32_t flow_key = 0;
+  while (trace.packets.size() < params.max_packets) {
+    arrival += SampleExponential(1.0 / params.flow_arrival_rate, rng);
+    if (arrival >= params.duration_s) break;
+    const std::int64_t packets = SamplePacketCount(params, rng);
+    double t = arrival;
+    for (std::int64_t i = 0;
+         i < packets && trace.packets.size() < params.max_packets; ++i) {
+      PacketRecord record;
+      record.flow_key = flow_key;
+      record.timestamp_s = t;
+      record.bytes = rng.NextBool(params.large_packet_probability)
+                         ? params.large_packet_bytes
+                         : params.small_packet_bytes;
+      if (record.timestamp_s < params.duration_s) {
+        trace.packets.push_back(record);
+      }
+      t += SampleExponential(params.packet_gap_s, rng);
+    }
+    ++flow_key;
+  }
+  trace.num_flows = flow_key;
+  std::sort(trace.packets.begin(), trace.packets.end(),
+            [](const PacketRecord& a, const PacketRecord& b) {
+              if (a.timestamp_s != b.timestamp_s) {
+                return a.timestamp_s < b.timestamp_s;
+              }
+              return a.flow_key < b.flow_key;
+            });
+  return trace;
+}
+
+std::vector<std::int64_t> AggregateFlowBytes(const PacketTrace& trace) {
+  std::vector<std::int64_t> bytes(
+      static_cast<std::size_t>(trace.num_flows), 0);
+  for (const PacketRecord& record : trace.packets) {
+    TDMD_DCHECK(record.flow_key >= 0 && record.flow_key < trace.num_flows);
+    bytes[static_cast<std::size_t>(record.flow_key)] += record.bytes;
+  }
+  return bytes;
+}
+
+std::vector<Rate> QuantizeRates(const std::vector<std::int64_t>& flow_bytes,
+                                double duration_s, Rate max_rate) {
+  TDMD_CHECK(duration_s > 0.0);
+  TDMD_CHECK(max_rate >= 1);
+  std::vector<Rate> rates;
+  rates.reserve(flow_bytes.size());
+  if (flow_bytes.empty()) return rates;
+
+  // Normalize so the *median* active flow lands at a small rate, like
+  // the direct sampler's lognormal body; zero-byte keys (flows whose
+  // packets all fell past the horizon) are skipped.
+  std::vector<std::int64_t> nonzero;
+  for (std::int64_t b : flow_bytes) {
+    if (b > 0) nonzero.push_back(b);
+  }
+  if (nonzero.empty()) return rates;
+  std::nth_element(nonzero.begin(), nonzero.begin() + nonzero.size() / 2,
+                   nonzero.end());
+  const auto median = static_cast<double>(nonzero[nonzero.size() / 2]);
+  const double unit = std::max(median / 3.0, 1.0);
+
+  for (std::int64_t b : flow_bytes) {
+    if (b <= 0) continue;
+    const auto quantized = static_cast<Rate>(
+        std::llround(std::ceil(static_cast<double>(b) / unit)));
+    rates.push_back(std::clamp<Rate>(quantized, 1, max_rate));
+  }
+  return rates;
+}
+
+std::size_t RateHistogram::TotalFlows() const {
+  std::size_t total = 0;
+  for (std::size_t c : counts) total += c;
+  return total;
+}
+
+double RateHistogram::CumulativeFraction(Rate r) const {
+  const std::size_t total = TotalFlows();
+  if (total == 0) return 0.0;
+  std::size_t below = 0;
+  for (Rate i = 1; i <= std::min(r, max_rate); ++i) {
+    below += counts[static_cast<std::size_t>(i - 1)];
+  }
+  return static_cast<double>(below) / static_cast<double>(total);
+}
+
+RateHistogram BuildHistogram(const std::vector<Rate>& rates, Rate max_rate) {
+  TDMD_CHECK(max_rate >= 1);
+  RateHistogram histogram;
+  histogram.max_rate = max_rate;
+  histogram.counts.assign(static_cast<std::size_t>(max_rate), 0);
+  for (Rate r : rates) {
+    TDMD_CHECK_MSG(r >= 1 && r <= max_rate,
+                   "rate " << r << " outside [1, " << max_rate << "]");
+    ++histogram.counts[static_cast<std::size_t>(r - 1)];
+  }
+  return histogram;
+}
+
+}  // namespace tdmd::traffic

@@ -1,0 +1,183 @@
+#include "core/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/dp_tree.hpp"
+#include "core/gtp.hpp"
+#include "core/objective.hpp"
+#include "test_util.hpp"
+
+namespace tdmd::core {
+namespace {
+
+TEST(RandomPlacementTest, RespectsBudgetAndRetriesToFeasibility) {
+  Rng rng(1);
+  Instance instance = test::PaperInstance();
+  RandomPlacementOptions options;
+  options.k = 2;
+  for (int trial = 0; trial < 20; ++trial) {
+    PlacementResult result = RandomPlacement(instance, options, rng);
+    EXPECT_EQ(result.deployment.size(), 2u);
+    EXPECT_TRUE(result.feasible);
+    EXPECT_NEAR(result.bandwidth,
+                EvaluateBandwidth(instance, result.deployment), 1e-9);
+  }
+}
+
+TEST(RandomPlacementTest, KOneOnPaperTreeMustPickRoot) {
+  // The root is the only feasible single placement, so the retry loop (or
+  // the greedy-cover fallback) must land there.
+  Rng rng(2);
+  Instance instance = test::PaperInstance();
+  RandomPlacementOptions options;
+  options.k = 1;
+  PlacementResult result = RandomPlacement(instance, options, rng);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.deployment.SortedVertices(),
+            (std::vector<VertexId>{test::kV1}));
+}
+
+TEST(RandomPlacementTest, DifferentSeedsProduceDifferentPlans) {
+  Instance instance = test::PaperInstance();
+  RandomPlacementOptions options;
+  options.k = 3;
+  std::set<std::vector<VertexId>> plans;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    plans.insert(RandomPlacement(instance, options, rng)
+                     .deployment.SortedVertices());
+  }
+  EXPECT_GT(plans.size(), 1u);
+}
+
+TEST(RandomPlacementTest, KLargerThanVerticesClamps) {
+  Rng rng(3);
+  Instance instance = test::PaperInstance();
+  RandomPlacementOptions options;
+  options.k = 100;
+  PlacementResult result = RandomPlacement(instance, options, rng);
+  EXPECT_EQ(result.deployment.size(), 8u);
+  EXPECT_TRUE(result.feasible);
+}
+
+TEST(BestEffortTest, FirstPickIsTheBiggestImmediateReduction) {
+  Instance instance = test::PaperInstance();
+  // Budget 4 leaves room for coverage, so the max-gain vertex v7
+  // (gain 7.5 from f3) passes the lookahead and goes first.
+  PlacementResult result = BestEffort(instance, 4);
+  ASSERT_FALSE(result.deployment.vertices().empty());
+  EXPECT_EQ(result.deployment.vertices().front(), test::kV7);
+}
+
+TEST(BestEffortTest, KOneFeasibilityLookaheadPicksRoot) {
+  // Fig. 9's k = 1 remark: only one feasible plan exists on a tree, so
+  // every (feasible) algorithm coincides there.
+  Instance instance = test::PaperInstance();
+  PlacementResult result = BestEffort(instance, 1);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.deployment.SortedVertices(),
+            (std::vector<VertexId>{test::kV1}));
+  EXPECT_DOUBLE_EQ(result.bandwidth, 24.0);
+}
+
+TEST(BestEffortTest, MyopicVariantIgnoresCoverage) {
+  Instance instance = test::PaperInstance();
+  PlacementResult result =
+      BestEffort(instance, 1, /*feasibility_aware=*/false);
+  ASSERT_EQ(result.deployment.size(), 1u);
+  EXPECT_EQ(result.deployment.vertices().front(), test::kV7);
+  EXPECT_FALSE(result.feasible);  // v7 alone serves only f3
+}
+
+TEST(BestEffortTest, FrozenAllocationNeverUpgrades) {
+  // Deploy order on the paper tree: v7 (7.5), then v4 (2), v8 (1.5),
+  // v5 (1).  All end at sources here, so bandwidth reaches the floor.
+  Instance instance = test::PaperInstance();
+  PlacementResult result = BestEffort(instance, 4);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_DOUBLE_EQ(result.bandwidth, 12.0);
+}
+
+TEST(BestEffortTest, CanBeWorseThanGtpOnUpgrades) {
+  // Construct a path topology where best-effort's frozen allocation
+  // hurts: flow from leaf a through b; a second flow only through b.
+  // Best-effort first deploys where joint gain is max (b), freezing flow
+  // 1 at a mid-path box; GTP would later re-serve flow 1 at its source.
+  graph::DigraphBuilder builder(4);
+  builder.AddArc(1, 2);  // path: 1 -> 2 -> 0 and 3 -> 2 -> 0
+  builder.AddArc(2, 0);
+  builder.AddArc(3, 2);
+  traffic::FlowSet flows;
+  traffic::Flow f1;
+  f1.src = 1;
+  f1.dst = 0;
+  f1.rate = 3;
+  f1.path.vertices = {1, 2, 0};
+  traffic::Flow f2;
+  f2.src = 3;
+  f2.dst = 0;
+  f2.rate = 3;
+  f2.path.vertices = {3, 2, 0};
+  flows = {f1, f2};
+  Instance instance(builder.Build(), flows, 0.5);
+
+  const PlacementResult best_effort = BestEffort(instance, 3);
+  GtpOptions options;
+  options.max_middleboxes = 3;
+  const PlacementResult gtp = Gtp(instance, options);
+  EXPECT_LE(gtp.bandwidth, best_effort.bandwidth + 1e-9);
+}
+
+TEST(BestEffortTest, StopsWhenSaturated) {
+  Instance instance = test::PaperInstance();
+  PlacementResult result = BestEffort(instance, 8);
+  // 4 sources cover everything; further boxes are refused.
+  EXPECT_LE(result.deployment.size(), 5u);
+  EXPECT_DOUBLE_EQ(result.bandwidth, 12.0);
+}
+
+TEST(BestEffortTest, FeasibleAtEveryBudgetOnTrees) {
+  // With the coverage lookahead, trees always admit a feasible pick
+  // (worst case: the root).
+  Instance instance = test::PaperInstance();
+  for (std::size_t k = 1; k <= 4; ++k) {
+    EXPECT_TRUE(BestEffort(instance, k).feasible) << "k=" << k;
+  }
+}
+
+class BaselineOrdering : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BaselineOrdering, DpLowerBoundsHeuristicsOnTrees) {
+  // The paper's headline ordering: DP <= {GTP, HAT} <= Best-effort-ish
+  // <= Random (in expectation).  The guaranteed part is DP <= everything
+  // feasible; assert that, plus basic sanity of each baseline.
+  Rng rng(GetParam());
+  const auto size = static_cast<VertexId>(rng.NextInt(6, 30));
+  const double lambda = rng.NextDouble(0.0, 0.9);
+  const test::RandomTreeCase c = test::MakeRandomTreeCase(size, lambda, rng);
+  const std::size_t k = 1 + static_cast<std::size_t>(rng.NextBounded(5));
+
+  const PlacementResult dp = DpTree(c.instance, c.tree, k);
+  ASSERT_TRUE(dp.feasible);
+
+  RandomPlacementOptions random_options;
+  random_options.k = k;
+  const PlacementResult random =
+      RandomPlacement(c.instance, random_options, rng);
+  if (random.feasible) {
+    EXPECT_GE(random.bandwidth + 1e-9, dp.bandwidth);
+  }
+
+  const PlacementResult best_effort = BestEffort(c.instance, k);
+  if (best_effort.feasible) {
+    EXPECT_GE(best_effort.bandwidth + 1e-9, dp.bandwidth);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BaselineOrdering,
+                         ::testing::Range<std::uint64_t>(1, 31));
+
+}  // namespace
+}  // namespace tdmd::core

@@ -1,0 +1,71 @@
+#include "core/brute_force.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/objective.hpp"
+#include "test_util.hpp"
+
+namespace tdmd::core {
+namespace {
+
+TEST(BruteForceTest, PaperTreeOptimaMatchKnownValues) {
+  Instance instance = test::PaperInstance();
+  const double expected[] = {24.0, 16.5, 13.5, 12.0};
+  for (std::size_t k = 1; k <= 4; ++k) {
+    auto result = BruteForceOptimal(instance, k);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_DOUBLE_EQ(result->best.bandwidth, expected[k - 1]) << "k=" << k;
+    EXPECT_TRUE(result->best.feasible);
+    EXPECT_LE(result->best.deployment.size(), k);
+  }
+}
+
+TEST(BruteForceTest, InfeasibleBudgetReturnsNullopt) {
+  Instance instance = test::PaperInstance();
+  EXPECT_FALSE(BruteForceOptimal(instance, 0).has_value());
+}
+
+TEST(BruteForceTest, EmptyFlowSetOptimumIsEmptyPlan) {
+  const graph::Tree tree = test::PaperTree();
+  Instance instance = MakeTreeInstance(tree, {}, 0.5);
+  auto result = BruteForceOptimal(instance, 2);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->best.bandwidth, 0.0);
+  EXPECT_TRUE(result->best.deployment.empty());
+}
+
+TEST(BruteForceTest, EvaluationCountMatchesBinomialSums) {
+  Instance instance = test::PaperInstance();
+  auto result = BruteForceOptimal(instance, 2);
+  ASSERT_TRUE(result.has_value());
+  // C(8,0) + C(8,1) + C(8,2) = 1 + 8 + 28 = 37.
+  EXPECT_EQ(result->evaluated, 37u);
+}
+
+TEST(BruteForceTest, MaxDecrementIsMonotoneInK) {
+  Instance instance = test::PaperInstance();
+  double previous = -1.0;
+  for (std::size_t k = 1; k <= 5; ++k) {
+    const Bandwidth d = BruteForceMaxDecrement(instance, k);
+    EXPECT_GE(d + 1e-12, previous);
+    previous = d;
+  }
+  // Lemma 1: the max decrement saturates at (1 - lambda) sum r|p| = 12.
+  EXPECT_DOUBLE_EQ(BruteForceMaxDecrement(instance, 4), 12.0);
+  EXPECT_DOUBLE_EQ(BruteForceMaxDecrement(instance, 8), 12.0);
+}
+
+TEST(BruteForceTest, MaxDecrementSingleBox) {
+  // Best single vertex is v7: 0.5 * 5 * 3 = 7.5.
+  Instance instance = test::PaperInstance();
+  EXPECT_DOUBLE_EQ(BruteForceMaxDecrement(instance, 1), 7.5);
+}
+
+TEST(BruteForceDeathTest, GuardsHugeSearchSpaces) {
+  Rng rng(1);
+  Instance instance = test::MakeRandomGeneralCase(40, 0.5, 5, rng);
+  EXPECT_DEATH(BruteForceOptimal(instance, 20), "too large");
+}
+
+}  // namespace
+}  // namespace tdmd::core

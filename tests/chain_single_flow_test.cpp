@@ -1,0 +1,119 @@
+#include "core/chain_single_flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace tdmd::core {
+namespace {
+
+TEST(ChainDpTest, EmptyChainIsRawBandwidth) {
+  const ChainPlacementResult result = PlaceChainSingleFlow(4, 5, {});
+  EXPECT_DOUBLE_EQ(result.bandwidth, 20.0);
+  EXPECT_TRUE(result.stage_position.empty());
+}
+
+TEST(ChainDpTest, SingleDiminisherGoesToTheSource) {
+  // One 0.5x box on a 4-edge path: best at the source, cost 0.5*r*4.
+  const ChainPlacementResult result = PlaceChainSingleFlow(2, 4, {0.5});
+  EXPECT_DOUBLE_EQ(result.bandwidth, 4.0);
+  ASSERT_EQ(result.stage_position.size(), 1u);
+  EXPECT_EQ(result.stage_position[0], 0u);
+}
+
+TEST(ChainDpTest, SingleAmplifierGoesToTheDestination) {
+  // A 3x amplifier should act as late as possible.
+  const ChainPlacementResult result = PlaceChainSingleFlow(2, 4, {3.0});
+  EXPECT_DOUBLE_EQ(result.bandwidth, 8.0);  // untouched on all 4 edges
+  ASSERT_EQ(result.stage_position.size(), 1u);
+  EXPECT_EQ(result.stage_position[0], 4u);
+}
+
+TEST(ChainDpTest, DiminisherThenAmplifierSplits) {
+  // Chain (0.5, 3.0) in that order: diminish at the source, amplify at
+  // the destination: each edge carries 0.5 r.
+  const ChainPlacementResult result =
+      PlaceChainSingleFlow(2, 4, {0.5, 3.0});
+  EXPECT_DOUBLE_EQ(result.bandwidth, 4.0);
+  EXPECT_EQ(result.stage_position[0], 0u);
+  EXPECT_EQ(result.stage_position[1], 4u);
+}
+
+TEST(ChainDpTest, AmplifierThenDiminisherIsTheHardCase) {
+  // Chain (4.0, 0.25) — ordered amplify *before* dedup.  Net ratio is 1,
+  // so either both at the source or both at the destination keeps every
+  // edge at rate r; splitting them would carry 4r in between.
+  const ChainPlacementResult result =
+      PlaceChainSingleFlow(3, 4, {4.0, 0.25});
+  EXPECT_DOUBLE_EQ(result.bandwidth, 12.0);
+  EXPECT_EQ(result.stage_position[0], result.stage_position[1]);
+}
+
+TEST(ChainDpTest, OrderConstraintRespected) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto edges = static_cast<std::size_t>(rng.NextInt(1, 8));
+    const auto m = static_cast<std::size_t>(rng.NextInt(1, 5));
+    std::vector<double> ratios;
+    for (std::size_t j = 0; j < m; ++j) {
+      ratios.push_back(rng.NextDouble(0.2, 2.5));
+    }
+    const ChainPlacementResult result =
+        PlaceChainSingleFlow(rng.NextInt(1, 9), edges, ratios);
+    ASSERT_EQ(result.stage_position.size(), m);
+    for (std::size_t j = 1; j < m; ++j) {
+      EXPECT_LE(result.stage_position[j - 1], result.stage_position[j]);
+    }
+    for (std::size_t q : result.stage_position) {
+      EXPECT_LE(q, edges);
+    }
+  }
+}
+
+class ChainDpOptimality : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChainDpOptimality, MatchesBruteForce) {
+  Rng rng(GetParam());
+  const auto edges = static_cast<std::size_t>(rng.NextInt(1, 7));
+  const auto m = static_cast<std::size_t>(rng.NextInt(1, 4));
+  std::vector<double> ratios;
+  for (std::size_t j = 0; j < m; ++j) {
+    // Mix diminishers and amplifiers, the coupling that defeats greedy.
+    ratios.push_back(rng.NextBool(0.5) ? rng.NextDouble(0.1, 1.0)
+                                       : rng.NextDouble(1.0, 4.0));
+  }
+  const Rate rate = rng.NextInt(1, 10);
+  const ChainPlacementResult dp =
+      PlaceChainSingleFlow(rate, edges, ratios);
+  const ChainPlacementResult brute =
+      PlaceChainBruteForce(rate, edges, ratios);
+  EXPECT_NEAR(dp.bandwidth, brute.bandwidth, 1e-9)
+      << "edges=" << edges << " m=" << m;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChainDpOptimality,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+TEST(ChainDpTest, AllDiminishersCollapseToSource) {
+  const ChainPlacementResult result =
+      PlaceChainSingleFlow(8, 6, {0.9, 0.5, 0.8});
+  for (std::size_t q : result.stage_position) {
+    EXPECT_EQ(q, 0u);
+  }
+  EXPECT_DOUBLE_EQ(result.bandwidth, 8.0 * 0.9 * 0.5 * 0.8 * 6.0);
+}
+
+TEST(ChainDpTest, ZeroEdgePathCostsNothing) {
+  const ChainPlacementResult result =
+      PlaceChainSingleFlow(5, 0, {0.5, 2.0});
+  EXPECT_DOUBLE_EQ(result.bandwidth, 0.0);
+}
+
+TEST(ChainDpDeathTest, NonPositiveInputsRejected) {
+  EXPECT_DEATH(PlaceChainSingleFlow(0, 3, {0.5}), "rate");
+  EXPECT_DEATH(PlaceChainSingleFlow(2, 3, {0.0}), "positive");
+  EXPECT_DEATH(PlaceChainSingleFlow(2, 3, {-1.0}), "positive");
+}
+
+}  // namespace
+}  // namespace tdmd::core

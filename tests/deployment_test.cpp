@@ -1,0 +1,112 @@
+#include "core/deployment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/coverage.hpp"
+#include "test_util.hpp"
+
+namespace tdmd::core {
+namespace {
+
+TEST(DeploymentTest, AddRemoveContains) {
+  Deployment plan(8);
+  EXPECT_TRUE(plan.empty());
+  plan.Add(3);
+  plan.Add(5);
+  EXPECT_EQ(plan.size(), 2u);
+  EXPECT_TRUE(plan.Contains(3));
+  EXPECT_TRUE(plan.Contains(5));
+  EXPECT_FALSE(plan.Contains(4));
+  plan.Remove(3);
+  EXPECT_FALSE(plan.Contains(3));
+  EXPECT_EQ(plan.size(), 1u);
+}
+
+TEST(DeploymentTest, InsertionOrderPreservedSortedSeparate) {
+  Deployment plan(8, {7, 2, 5});
+  EXPECT_EQ(plan.vertices(), (std::vector<VertexId>{7, 2, 5}));
+  EXPECT_EQ(plan.SortedVertices(), (std::vector<VertexId>{2, 5, 7}));
+}
+
+TEST(DeploymentTest, EqualityIsSetEquality) {
+  Deployment a(8, {1, 4});
+  Deployment b(8, {4, 1});
+  Deployment c(8, {1, 5});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(DeploymentTest, ToStringSortedForm) {
+  Deployment plan(8, {5, 1});
+  EXPECT_EQ(plan.ToString(), "{v1, v5}");
+  EXPECT_EQ(Deployment(8).ToString(), "{}");
+}
+
+TEST(DeploymentTest, ContainsOutOfRangeIsFalse) {
+  Deployment plan(4, {1});
+  EXPECT_FALSE(plan.Contains(-1));
+  EXPECT_FALSE(plan.Contains(4));
+  EXPECT_FALSE(plan.Contains(100));
+}
+
+TEST(DeploymentDeathTest, DoubleAddAborts) {
+  // Section 3.1: at most one middlebox per vertex.
+  Deployment plan(4, {1});
+  EXPECT_DEATH(plan.Add(1), "already deployed");
+}
+
+TEST(DeploymentDeathTest, RemoveAbsentAborts) {
+  Deployment plan(4);
+  EXPECT_DEATH(plan.Remove(2), "not deployed");
+}
+
+TEST(DeploymentDeathTest, AddOutOfRangeAborts) {
+  Deployment plan(4);
+  EXPECT_DEATH(plan.Add(9), "out of range");
+}
+
+TEST(CoverageTest, EmptyResidualAlwaysCoverable) {
+  Instance instance = test::PaperInstance();
+  std::vector<char> all_served(4, 1);
+  Deployment plan(instance.num_vertices());
+  EXPECT_TRUE(
+      ResidualCoverable(instance, all_served, plan, kInvalidVertex, 0));
+}
+
+TEST(CoverageTest, ZeroBudgetWithResidualFails) {
+  Instance instance = test::PaperInstance();
+  std::vector<char> none_served(4, 0);
+  Deployment plan(instance.num_vertices());
+  EXPECT_FALSE(
+      ResidualCoverable(instance, none_served, plan, kInvalidVertex, 0));
+}
+
+TEST(CoverageTest, CandidateItselfCounts) {
+  // Choosing the root covers everything: residual empty even with zero
+  // remaining budget.
+  Instance instance = test::PaperInstance();
+  std::vector<char> none_served(4, 0);
+  Deployment plan(instance.num_vertices());
+  EXPECT_TRUE(ResidualCoverable(instance, none_served, plan, test::kV1, 0));
+  // v7 only covers f3; three flows remain for zero budget.
+  EXPECT_FALSE(
+      ResidualCoverable(instance, none_served, plan, test::kV7, 0));
+  // ... but one more box (v2 would do) suffices.
+  EXPECT_TRUE(ResidualCoverable(instance, none_served, plan, test::kV7, 1));
+}
+
+TEST(CoverageTest, DeployedVerticesExcludedFromCover) {
+  // With v1 already deployed, the cover may not reuse it; f1/f4's only
+  // other shared vertex is v2.
+  Instance instance = test::PaperInstance();
+  std::vector<char> served{0, 0, 1, 1};  // f3, f2 served
+  Deployment plan(instance.num_vertices());
+  plan.Add(test::kV1);
+  EXPECT_TRUE(
+      ResidualCoverable(instance, served, plan, kInvalidVertex, 1));
+  EXPECT_FALSE(
+      ResidualCoverable(instance, served, plan, kInvalidVertex, 0));
+}
+
+}  // namespace
+}  // namespace tdmd::core

@@ -1,0 +1,129 @@
+#include "graph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace tdmd::graph {
+namespace {
+
+TEST(DigraphBuilderTest, EmptyGraph) {
+  DigraphBuilder builder(0);
+  Digraph g = builder.Build();
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_arcs(), 0);
+}
+
+TEST(DigraphBuilderTest, AddVerticesReturnsFirstNewId) {
+  DigraphBuilder builder(2);
+  EXPECT_EQ(builder.AddVertices(3), 2);
+  EXPECT_EQ(builder.num_vertices(), 5);
+  EXPECT_EQ(builder.AddVertices(0), 5);
+}
+
+TEST(DigraphTest, OutAndInAdjacency) {
+  DigraphBuilder builder(4);
+  builder.AddArc(0, 1);
+  builder.AddArc(0, 2);
+  builder.AddArc(1, 2);
+  builder.AddArc(3, 0);
+  Digraph g = builder.Build();
+
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_arcs(), 4);
+  EXPECT_EQ(g.OutDegree(0), 2);
+  EXPECT_EQ(g.InDegree(0), 1);
+  EXPECT_EQ(g.OutDegree(2), 0);
+  EXPECT_EQ(g.InDegree(2), 2);
+
+  std::vector<VertexId> heads;
+  for (EdgeId e : g.OutArcs(0)) heads.push_back(g.arc(e).head);
+  std::sort(heads.begin(), heads.end());
+  EXPECT_EQ(heads, (std::vector<VertexId>{1, 2}));
+
+  std::vector<VertexId> tails;
+  for (EdgeId e : g.InArcs(2)) tails.push_back(g.arc(e).tail);
+  std::sort(tails.begin(), tails.end());
+  EXPECT_EQ(tails, (std::vector<VertexId>{0, 1}));
+}
+
+TEST(DigraphTest, ArcEndpointsPreserved) {
+  DigraphBuilder builder(3);
+  const EdgeId e = builder.AddArc(2, 1);
+  Digraph g = builder.Build();
+  EXPECT_EQ(g.arc(e).tail, 2);
+  EXPECT_EQ(g.arc(e).head, 1);
+}
+
+TEST(DigraphTest, FindArcPresentAndAbsent) {
+  DigraphBuilder builder(3);
+  builder.AddArc(0, 1);
+  builder.AddArc(1, 2);
+  Digraph g = builder.Build();
+  EXPECT_NE(g.FindArc(0, 1), kInvalidEdge);
+  EXPECT_EQ(g.FindArc(1, 0), kInvalidEdge);
+  EXPECT_EQ(g.FindArc(0, 2), kInvalidEdge);
+}
+
+TEST(DigraphTest, BidirectionalMakesSymmetric) {
+  DigraphBuilder builder(4);
+  builder.AddBidirectional(0, 1);
+  builder.AddBidirectional(1, 2);
+  builder.AddBidirectional(2, 3);
+  Digraph g = builder.Build();
+  EXPECT_TRUE(g.IsSymmetric());
+  EXPECT_EQ(g.num_arcs(), 6);
+}
+
+TEST(DigraphTest, AsymmetricDetected) {
+  DigraphBuilder builder(2);
+  builder.AddArc(0, 1);
+  Digraph g = builder.Build();
+  EXPECT_FALSE(g.IsSymmetric());
+}
+
+TEST(DigraphTest, ParallelArcsAllowedAndCounted) {
+  DigraphBuilder builder(2);
+  builder.AddArc(0, 1);
+  builder.AddArc(0, 1);
+  Digraph g = builder.Build();
+  EXPECT_EQ(g.num_arcs(), 2);
+  EXPECT_EQ(g.OutDegree(0), 2);
+}
+
+TEST(DigraphTest, IsValidVertexBounds) {
+  DigraphBuilder builder(3);
+  Digraph g = builder.Build();
+  EXPECT_TRUE(g.IsValidVertex(0));
+  EXPECT_TRUE(g.IsValidVertex(2));
+  EXPECT_FALSE(g.IsValidVertex(3));
+  EXPECT_FALSE(g.IsValidVertex(-1));
+}
+
+TEST(DigraphTest, ToStringMentionsCounts) {
+  DigraphBuilder builder(2);
+  builder.AddArc(0, 1);
+  const std::string s = builder.Build().ToString();
+  EXPECT_NE(s.find("|V|=2"), std::string::npos);
+  EXPECT_NE(s.find("|E|=1"), std::string::npos);
+}
+
+TEST(DigraphBuilderDeathTest, OutOfRangeArcAborts) {
+  DigraphBuilder builder(2);
+  EXPECT_DEATH(builder.AddArc(0, 5), "out of range");
+  EXPECT_DEATH(builder.AddArc(-1, 0), "out of range");
+}
+
+TEST(DigraphTest, BuilderReusableAfterBuild) {
+  DigraphBuilder builder(2);
+  builder.AddArc(0, 1);
+  Digraph g1 = builder.Build();
+  builder.AddArc(1, 0);
+  Digraph g2 = builder.Build();
+  EXPECT_EQ(g1.num_arcs(), 1);
+  EXPECT_EQ(g2.num_arcs(), 2);
+}
+
+}  // namespace
+}  // namespace tdmd::graph

@@ -1,0 +1,81 @@
+#include "io/dot_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_util.hpp"
+
+namespace tdmd::io {
+namespace {
+
+TEST(DotExportTest, ContainsEveryVertexAndArc) {
+  core::Instance instance = test::PaperInstance();
+  core::Deployment plan(instance.num_vertices(), {test::kV2, test::kV6});
+  std::ostringstream oss;
+  WriteDot(oss, instance, plan);
+  const std::string dot = oss.str();
+  EXPECT_NE(dot.find("digraph tdmd {"), std::string::npos);
+  for (VertexId v = 0; v < instance.num_vertices(); ++v) {
+    std::ostringstream label;
+    label << 'v' << v << " [";
+    EXPECT_NE(dot.find(label.str()), std::string::npos) << "vertex " << v;
+  }
+  // Tree arc: paper's v7 -> v6 is 0-based v6 -> v5.
+  EXPECT_NE(dot.find("v6 -> v5"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(DotExportTest, MiddleboxesRenderAsFilledBoxes) {
+  core::Instance instance = test::PaperInstance();
+  core::Deployment plan(instance.num_vertices(), {test::kV6});
+  std::ostringstream oss;
+  WriteDot(oss, instance, plan);
+  const std::string dot = oss.str();
+  // v5 is the paper's v6 (0-based), the deployed box.
+  EXPECT_NE(dot.find("v5 [label=\"v5\", shape=box"), std::string::npos);
+  // The root is the shared destination.
+  EXPECT_NE(dot.find("v0 [label=\"v0\", shape=doublecircle"),
+            std::string::npos);
+  // Leaves are flow sources.
+  EXPECT_NE(dot.find("v3 [label=\"v3\", shape=diamond"),
+            std::string::npos);
+}
+
+TEST(DotExportTest, EdgeLoadLabelsMatchSimulation) {
+  core::Instance instance = test::PaperInstance();
+  core::Deployment plan(instance.num_vertices(), {test::kV6});
+  std::ostringstream oss;
+  WriteDot(oss, instance, plan);
+  // Arc v6(paper) -> v3(paper) = v5 -> v2 carries 2.5 + 0.5 = 3.
+  EXPECT_NE(oss.str().find("v5 -> v2 [label=\"3\""), std::string::npos);
+}
+
+TEST(DotExportTest, HideIdleEdgesWithSpamFilter) {
+  const graph::Tree tree = test::PaperTree();
+  core::Instance instance =
+      core::MakeTreeInstance(tree, test::PaperFlows(tree), 0.0);
+  core::Deployment plan(instance.num_vertices(), {test::kV6});
+  DotOptions options;
+  options.hide_idle_edges = true;
+  std::ostringstream oss;
+  WriteDot(oss, instance, plan, options);
+  // Downstream of a spam filter the link is idle and must disappear.
+  EXPECT_EQ(oss.str().find("v5 -> v2"), std::string::npos);
+  // Upstream still shown.
+  EXPECT_NE(oss.str().find("v6 -> v5"), std::string::npos);
+}
+
+TEST(DotExportTest, NoLoadLabelsWhenDisabled) {
+  core::Instance instance = test::PaperInstance();
+  core::Deployment plan(instance.num_vertices(), {test::kV1});
+  DotOptions options;
+  options.edge_loads = false;
+  std::ostringstream oss;
+  WriteDot(oss, instance, plan, options);
+  EXPECT_EQ(oss.str().find("label=\"", oss.str().find("->")),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace tdmd::io

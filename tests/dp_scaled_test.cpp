@@ -1,0 +1,110 @@
+#include "core/dp_scaled.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/dp_tree.hpp"
+#include "test_util.hpp"
+#include "traffic/generator.hpp"
+
+namespace tdmd::core {
+namespace {
+
+TEST(DpScaledTest, EpsilonZeroIsExactDp) {
+  Instance instance = test::PaperInstance();
+  const graph::Tree tree = test::PaperTree();
+  for (std::size_t k = 1; k <= 4; ++k) {
+    const ScaledDpResult scaled = DpTreeScaled(instance, tree, k, 0.0);
+    const PlacementResult exact = DpTree(instance, tree, k);
+    EXPECT_EQ(scaled.scale, 1);
+    EXPECT_DOUBLE_EQ(scaled.error_bound, 0.0);
+    EXPECT_NEAR(scaled.result.bandwidth, exact.bandwidth, 1e-12);
+  }
+}
+
+TEST(DpScaledTest, SmallEpsilonKeepsScaleOne) {
+  // epsilon * r_max < 1 floors to scale 1 (exact).
+  Instance instance = test::PaperInstance();  // r_max = 5
+  const graph::Tree tree = test::PaperTree();
+  const ScaledDpResult scaled = DpTreeScaled(instance, tree, 2, 0.1);
+  EXPECT_EQ(scaled.scale, 1);
+  EXPECT_DOUBLE_EQ(scaled.result.bandwidth, 16.5);
+}
+
+TEST(DpScaledTest, ErrorBoundFormula) {
+  // Large rates so scaling engages: rates x100 on the paper tree.
+  const graph::Tree tree = test::PaperTree();
+  traffic::FlowSet flows = test::PaperFlows(tree);
+  for (auto& f : flows) f.rate *= 100;  // r_max = 500, sum |p| = 10
+  Instance instance = MakeTreeInstance(tree, flows, 0.5);
+  const ScaledDpResult scaled = DpTreeScaled(instance, tree, 2, 0.1);
+  EXPECT_EQ(scaled.scale, 50);  // floor(0.1 * 500)
+  EXPECT_DOUBLE_EQ(scaled.error_bound, 2.0 * 50 * 10);
+}
+
+class ScaledWithinBound : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScaledWithinBound, GapIsCertified) {
+  Rng rng(GetParam());
+  const graph::Tree tree = topology::RandomBoundedTree(
+      static_cast<VertexId>(rng.NextInt(6, 20)), 3, rng);
+  traffic::FlowSet flows;
+  for (VertexId leaf : tree.Leaves()) {
+    traffic::Flow f;
+    f.src = leaf;
+    f.dst = tree.root();
+    f.rate = rng.NextInt(50, 2000);  // large, precision-heavy rates
+    f.path.vertices = tree.PathToRoot(leaf);
+    flows.push_back(std::move(f));
+  }
+  const double lambda = rng.NextDouble(0.0, 1.0);
+  Instance instance = MakeTreeInstance(tree, flows, lambda);
+  const std::size_t k = 1 + static_cast<std::size_t>(rng.NextBounded(4));
+
+  const PlacementResult exact = DpTree(instance, tree, k);
+  for (double epsilon : {0.02, 0.1, 0.3}) {
+    const ScaledDpResult scaled = DpTreeScaled(instance, tree, k, epsilon);
+    EXPECT_TRUE(scaled.result.feasible);
+    EXPECT_LE(scaled.result.deployment.size(), k);
+    // Certified: scaled optimum within error_bound of the true optimum.
+    EXPECT_LE(scaled.result.bandwidth,
+              exact.bandwidth + scaled.error_bound + 1e-6)
+        << "epsilon=" << epsilon << " scale=" << scaled.scale;
+    // And never better than the true optimum (sanity).
+    EXPECT_GE(scaled.result.bandwidth + 1e-6, exact.bandwidth);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScaledWithinBound,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(DpScaledTest, ScalingShrinksRuntimeDimension) {
+  // Not a wall-clock test (flaky); assert the *scale* grows with epsilon,
+  // which is the dimension reduction itself.
+  Rng rng(5);
+  const graph::Tree tree = topology::RandomBoundedTree(15, 3, rng);
+  traffic::FlowSet flows;
+  for (VertexId leaf : tree.Leaves()) {
+    traffic::Flow f;
+    f.src = leaf;
+    f.dst = tree.root();
+    f.rate = 1000;
+    f.path.vertices = tree.PathToRoot(leaf);
+    flows.push_back(std::move(f));
+  }
+  Instance instance = MakeTreeInstance(tree, flows, 0.5);
+  const ScaledDpResult fine = DpTreeScaled(instance, tree, 3, 0.05);
+  const ScaledDpResult coarse = DpTreeScaled(instance, tree, 3, 0.5);
+  EXPECT_LT(fine.scale, coarse.scale);
+  EXPECT_LT(fine.error_bound, coarse.error_bound);
+}
+
+TEST(DpScaledTest, EmptyFlowSet) {
+  const graph::Tree tree = test::PaperTree();
+  Instance instance = MakeTreeInstance(tree, {}, 0.5);
+  const ScaledDpResult scaled = DpTreeScaled(instance, tree, 2, 0.5);
+  EXPECT_TRUE(scaled.result.feasible);
+  EXPECT_DOUBLE_EQ(scaled.result.bandwidth, 0.0);
+}
+
+}  // namespace
+}  // namespace tdmd::core

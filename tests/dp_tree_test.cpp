@@ -1,0 +1,256 @@
+#include "core/dp_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.hpp"
+#include "core/objective.hpp"
+#include "test_util.hpp"
+#include "traffic/generator.hpp"
+
+namespace tdmd::core {
+namespace {
+
+// ---------------------------------------------------------------------
+// Golden tests against the paper's worked example (Figs. 5-7).  Entries
+// marked inconsistent in the paper (see EXPERIMENTS.md) are not tested.
+// ---------------------------------------------------------------------
+
+TEST(TreeDpGolden, FullyServedAtRootMatchesFig6) {
+  Instance instance = test::PaperInstance();
+  const graph::Tree tree = test::PaperTree();
+  TreeDpSolver solver(instance, tree, /*k=*/4);
+  EXPECT_DOUBLE_EQ(solver.FullyServed(test::kV1, 1), 24.0);
+  EXPECT_DOUBLE_EQ(solver.FullyServed(test::kV1, 2), 16.5);
+  EXPECT_DOUBLE_EQ(solver.FullyServed(test::kV1, 3), 13.5);
+  EXPECT_DOUBLE_EQ(solver.FullyServed(test::kV1, 4), 12.0);
+}
+
+TEST(TreeDpGolden, LeftSubtreeValuesMatchFig6) {
+  Instance instance = test::PaperInstance();
+  const graph::Tree tree = test::PaperTree();
+  TreeDpSolver solver(instance, tree, 4);
+  // F(v2, 1) = 3 (middlebox on v2), F(v2, k>=2) = 1.5 (both leaves).
+  EXPECT_DOUBLE_EQ(solver.FullyServed(test::kV2, 1), 3.0);
+  EXPECT_DOUBLE_EQ(solver.FullyServed(test::kV2, 2), 1.5);
+  EXPECT_DOUBLE_EQ(solver.FullyServed(test::kV2, 3), 1.5);
+  // F on leaves is 0 whenever k >= 1 (Eq. 9).
+  for (VertexId leaf : {test::kV4, test::kV5, test::kV7, test::kV8}) {
+    EXPECT_DOUBLE_EQ(solver.FullyServed(leaf, 1), 0.0);
+  }
+  // F(v6, 1) = 6 (box on v6), F(v6, 2) = 3 (boxes on v7 and v8).
+  EXPECT_DOUBLE_EQ(solver.FullyServed(test::kV6, 1), 6.0);
+  EXPECT_DOUBLE_EQ(solver.FullyServed(test::kV6, 2), 3.0);
+}
+
+TEST(TreeDpGolden, PartialTableAtRootMatchesFig7a) {
+  Instance instance = test::PaperInstance();
+  const graph::Tree tree = test::PaperTree();
+  TreeDpSolver solver(instance, tree, 4);
+  EXPECT_EQ(solver.SubtreeRate(test::kV1), 9);
+  // Consistent entries from Fig. 7(a) (verified by hand; see
+  // EXPERIMENTS.md):
+  EXPECT_DOUBLE_EQ(solver.PartiallyServed(test::kV1, 0, 0), 24.0);
+  EXPECT_DOUBLE_EQ(solver.PartiallyServed(test::kV1, 1, 5), 16.5);
+  EXPECT_DOUBLE_EQ(solver.PartiallyServed(test::kV1, 1, 9), 24.0);
+  EXPECT_DOUBLE_EQ(solver.PartiallyServed(test::kV1, 2, 2), 21.5);
+  EXPECT_DOUBLE_EQ(solver.PartiallyServed(test::kV1, 2, 5), 16.5);
+  EXPECT_DOUBLE_EQ(solver.PartiallyServed(test::kV1, 2, 6), 15.0);
+  EXPECT_DOUBLE_EQ(solver.PartiallyServed(test::kV1, 2, 7), 14.5);
+  EXPECT_DOUBLE_EQ(solver.PartiallyServed(test::kV1, 2, 8), 15.0);
+  EXPECT_DOUBLE_EQ(solver.PartiallyServed(test::kV1, 2, 9), 16.5);
+  // The paper's Section 5.1 text: P(v1, 3, 8) = 13 < P(v1, 3, 9) = 13.5.
+  EXPECT_DOUBLE_EQ(solver.PartiallyServed(test::kV1, 3, 8), 13.0);
+  EXPECT_DOUBLE_EQ(solver.PartiallyServed(test::kV1, 3, 9), 13.5);
+  EXPECT_DOUBLE_EQ(solver.PartiallyServed(test::kV1, 4, 9), 12.0);
+}
+
+TEST(TreeDpGolden, PartialTableAtV3MatchesFig7c) {
+  Instance instance = test::PaperInstance();
+  const graph::Tree tree = test::PaperTree();
+  TreeDpSolver solver(instance, tree, 4);
+  EXPECT_EQ(solver.SubtreeRate(test::kV3), 6);
+  EXPECT_DOUBLE_EQ(solver.PartiallyServed(test::kV3, 0, 0), 12.0);
+  EXPECT_DOUBLE_EQ(solver.PartiallyServed(test::kV3, 1, 1), 11.0);
+  EXPECT_DOUBLE_EQ(solver.PartiallyServed(test::kV3, 1, 5), 7.0);
+  EXPECT_DOUBLE_EQ(solver.PartiallyServed(test::kV3, 2, 6), 6.0);
+}
+
+TEST(TreeDpGolden, LeafTablesMatchFig7d) {
+  Instance instance = test::PaperInstance();
+  const graph::Tree tree = test::PaperTree();
+  TreeDpSolver solver(instance, tree, 4);
+  EXPECT_EQ(solver.SubtreeRate(test::kV4), 2);
+  EXPECT_DOUBLE_EQ(solver.PartiallyServed(test::kV4, 0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(solver.PartiallyServed(test::kV4, 1, 2), 0.0);
+  // b = 2 with no middlebox is unreachable.
+  EXPECT_EQ(solver.PartiallyServed(test::kV4, 0, 2), kInfiniteBandwidth);
+}
+
+TEST(TreeDpGolden, OptimalDeploymentsFromSection51) {
+  Instance instance = test::PaperInstance();
+  const graph::Tree tree = test::PaperTree();
+  // k = 3: "the optimal deployment for k = 3 is {v2, v7, v8}".
+  PlacementResult k3 = DpTree(instance, tree, 3);
+  EXPECT_TRUE(k3.feasible);
+  EXPECT_DOUBLE_EQ(k3.bandwidth, 13.5);
+  EXPECT_EQ(k3.deployment.SortedVertices(),
+            (std::vector<VertexId>{test::kV2, test::kV7, test::kV8}));
+  // k = 2: "{v1, v7} or {v2, v6}".
+  PlacementResult k2 = DpTree(instance, tree, 2);
+  EXPECT_DOUBLE_EQ(k2.bandwidth, 16.5);
+  const auto plan = k2.deployment.SortedVertices();
+  EXPECT_TRUE(plan == (std::vector<VertexId>{test::kV1, test::kV7}) ||
+              plan == (std::vector<VertexId>{test::kV2, test::kV6}))
+      << "got " << k2.deployment.ToString();
+  // k = 1: only the root serves everything.
+  PlacementResult k1 = DpTree(instance, tree, 1);
+  EXPECT_DOUBLE_EQ(k1.bandwidth, 24.0);
+  EXPECT_EQ(k1.deployment.SortedVertices(),
+            (std::vector<VertexId>{test::kV1}));
+  // k = 4: every source leaf.
+  PlacementResult k4 = DpTree(instance, tree, 4);
+  EXPECT_DOUBLE_EQ(k4.bandwidth, 12.0);
+  EXPECT_EQ(k4.deployment.SortedVertices(),
+            (std::vector<VertexId>{test::kV4, test::kV5, test::kV7,
+                                   test::kV8}));
+}
+
+TEST(TreeDpTest, KZeroInfeasibleWithFlows) {
+  Instance instance = test::PaperInstance();
+  const graph::Tree tree = test::PaperTree();
+  PlacementResult result = DpTree(instance, tree, 0);
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(TreeDpTest, EmptyFlowSetCostsNothing) {
+  const graph::Tree tree = test::PaperTree();
+  Instance instance = MakeTreeInstance(tree, {}, 0.5);
+  PlacementResult result = DpTree(instance, tree, 2);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_DOUBLE_EQ(result.bandwidth, 0.0);
+  EXPECT_TRUE(result.deployment.empty());
+}
+
+TEST(TreeDpTest, BudgetBeyondLeavesSaturates) {
+  Instance instance = test::PaperInstance();
+  const graph::Tree tree = test::PaperTree();
+  PlacementResult result = DpTree(instance, tree, 8);
+  EXPECT_DOUBLE_EQ(result.bandwidth, 12.0);  // lambda * 24, the floor
+  EXPECT_LE(result.deployment.size(), 8u);
+}
+
+TEST(TreeDpTest, SpamFilterLambdaZero) {
+  const graph::Tree tree = test::PaperTree();
+  Instance instance = MakeTreeInstance(tree, test::PaperFlows(tree), 0.0);
+  // k = 4: all flows cut at their sources; zero bandwidth.
+  PlacementResult result = DpTree(instance, tree, 4);
+  EXPECT_DOUBLE_EQ(result.bandwidth, 0.0);
+  // k = 1: everything rides to the root at full rate.
+  PlacementResult root_only = DpTree(instance, tree, 1);
+  EXPECT_DOUBLE_EQ(root_only.bandwidth, 24.0);
+}
+
+TEST(TreeDpTest, LambdaOneBandwidthIndependentOfK) {
+  const graph::Tree tree = test::PaperTree();
+  Instance instance = MakeTreeInstance(tree, test::PaperFlows(tree), 1.0);
+  for (std::size_t k = 1; k <= 4; ++k) {
+    EXPECT_DOUBLE_EQ(DpTree(instance, tree, k).bandwidth, 24.0);
+  }
+}
+
+TEST(TreeDpTest, MonotoneInK) {
+  Rng rng(5);
+  const test::RandomTreeCase c = test::MakeRandomTreeCase(18, 0.5, rng);
+  double previous = kInfiniteBandwidth;
+  for (std::size_t k = 1; k <= 6; ++k) {
+    const PlacementResult r = DpTree(c.instance, c.tree, k);
+    EXPECT_LE(r.bandwidth, previous + 1e-9);
+    previous = r.bandwidth;
+  }
+}
+
+TEST(TreeDpTest, MultipleFlowsPerLeafHandled) {
+  // The DP merges same-leaf flows internally; the result must match an
+  // instance with pre-merged flows.
+  const graph::Tree tree = test::PaperTree();
+  traffic::FlowSet flows = test::PaperFlows(tree);
+  flows.push_back(flows[2]);  // second flow from v7 (rate 5 -> total 10)
+  Instance duplicated = MakeTreeInstance(tree, flows, 0.5);
+  Instance merged = MakeTreeInstance(
+      tree, traffic::MergeSameSourceFlows(flows), 0.5);
+  for (std::size_t k = 1; k <= 4; ++k) {
+    EXPECT_NEAR(DpTree(duplicated, tree, k).bandwidth,
+                DpTree(merged, tree, k).bandwidth, 1e-9);
+  }
+}
+
+class DpOptimality : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DpOptimality, MatchesBruteForceOnRandomTrees) {
+  // Theorem 4: the DP is optimal.  Verify against exhaustive search.
+  Rng rng(GetParam());
+  const auto size = static_cast<VertexId>(rng.NextInt(4, 14));
+  const double lambda = rng.NextDouble(0.0, 1.0);
+  const test::RandomTreeCase c =
+      test::MakeRandomTreeCase(size, lambda, rng);
+  for (std::size_t k : {1u, 2u, 3u}) {
+    const PlacementResult dp = DpTree(c.instance, c.tree, k);
+    const auto brute = BruteForceOptimal(c.instance, k);
+    ASSERT_TRUE(brute.has_value());
+    ASSERT_TRUE(dp.feasible);
+    EXPECT_NEAR(dp.bandwidth, brute->best.bandwidth, 1e-9)
+        << "size=" << size << " lambda=" << lambda << " k=" << k
+        << " dp=" << dp.deployment.ToString()
+        << " brute=" << brute->best.deployment.ToString();
+    EXPECT_LE(dp.deployment.size(), k);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DpOptimality,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+class DpTracebackConsistency
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DpTracebackConsistency, DeploymentReproducesTableValue) {
+  Rng rng(GetParam() * 7919);
+  const auto size = static_cast<VertexId>(rng.NextInt(5, 40));
+  const double lambda = rng.NextDouble(0.0, 1.0);
+  const test::RandomTreeCase c =
+      test::MakeRandomTreeCase(size, lambda, rng);
+  for (std::size_t k : {1u, 2u, 4u, 8u}) {
+    TreeDpSolver solver(c.instance, c.tree, k);
+    const PlacementResult result = solver.Solve();
+    ASSERT_TRUE(result.feasible);
+    // Solve() internally CHECKs table-vs-traceback agreement; here we
+    // assert the public invariants.
+    EXPECT_LE(result.deployment.size(), k);
+    EXPECT_NEAR(result.bandwidth,
+                EvaluateBandwidth(c.instance, result.deployment), 1e-9);
+    EXPECT_NEAR(result.bandwidth,
+                solver.FullyServed(c.tree.root(), k), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DpTracebackConsistency,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(TreeDpTest, GeneratedWorkloadEndToEnd) {
+  Rng rng(77);
+  const graph::Tree tree = topology::RandomBoundedTree(22, 3, rng);
+  traffic::WorkloadParams params;
+  params.flow_density = 0.5;
+  params.link_capacity = 50.0;
+  params.rates.max_rate = 10;
+  const traffic::FlowSet flows =
+      traffic::GenerateTreeWorkload(tree, params, rng);
+  Instance instance = MakeTreeInstance(
+      tree, traffic::MergeSameSourceFlows(flows), 0.5);
+  const PlacementResult result = DpTree(instance, tree, 8);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_GE(result.bandwidth, instance.MinimumPossibleBandwidth() - 1e-9);
+  EXPECT_LE(result.bandwidth, instance.UnprocessedBandwidth() + 1e-9);
+}
+
+}  // namespace
+}  // namespace tdmd::core

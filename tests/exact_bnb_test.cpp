@@ -1,0 +1,98 @@
+#include "core/exact_bnb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.hpp"
+#include "core/gtp.hpp"
+#include "test_util.hpp"
+
+namespace tdmd::core {
+namespace {
+
+TEST(ExactBnbTest, PaperTreeOptimaMatchKnownValues) {
+  Instance instance = test::PaperInstance();
+  const double expected[] = {24.0, 16.5, 13.5, 12.0};
+  for (std::size_t k = 1; k <= 4; ++k) {
+    auto result = ExactBranchAndBound(instance, k);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_DOUBLE_EQ(result->best.bandwidth, expected[k - 1]) << "k=" << k;
+    EXPECT_TRUE(result->best.feasible);
+    EXPECT_LE(result->best.deployment.size(), k);
+  }
+}
+
+TEST(ExactBnbTest, InfeasibleBudgetReturnsNullopt) {
+  Instance instance = test::PaperInstance();
+  EXPECT_FALSE(ExactBranchAndBound(instance, 0).has_value());
+}
+
+TEST(ExactBnbTest, EmptyFlowSetZeroCost) {
+  const graph::Tree tree = test::PaperTree();
+  Instance instance = MakeTreeInstance(tree, {}, 0.5);
+  auto result = ExactBranchAndBound(instance, 2);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->best.bandwidth, 0.0);
+}
+
+class BnbMatchesBruteForce : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(BnbMatchesBruteForce, OnRandomGeneralInstances) {
+  Rng rng(GetParam());
+  const auto size = static_cast<VertexId>(rng.NextInt(8, 16));
+  const double lambda = rng.NextDouble(0.0, 0.9);
+  Instance instance = test::MakeRandomGeneralCase(
+      size, lambda, static_cast<std::size_t>(rng.NextInt(5, 12)), rng);
+  for (std::size_t k : {2u, 3u, 4u}) {
+    const auto bnb = ExactBranchAndBound(instance, k);
+    const auto brute = BruteForceOptimal(instance, k);
+    ASSERT_EQ(bnb.has_value(), brute.has_value());
+    if (!bnb.has_value()) continue;
+    EXPECT_NEAR(bnb->best.bandwidth, brute->best.bandwidth, 1e-9)
+        << "size=" << size << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BnbMatchesBruteForce,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(ExactBnbTest, PruningBeatsExhaustiveEnumeration) {
+  Rng rng(99);
+  Instance instance = test::MakeRandomGeneralCase(16, 0.5, 10, rng);
+  const std::size_t k = 5;
+  const auto bnb = ExactBranchAndBound(instance, k);
+  const auto brute = BruteForceOptimal(instance, k);
+  ASSERT_TRUE(bnb.has_value() && brute.has_value());
+  EXPECT_NEAR(bnb->best.bandwidth, brute->best.bandwidth, 1e-9);
+  // The submodular bound + GTP warm start must beat the full
+  // C(16,0..5) = 6885 enumeration by a clear margin.
+  EXPECT_LT(bnb->nodes_explored, brute->evaluated / 2)
+      << "explored " << bnb->nodes_explored << " of "
+      << brute->evaluated;
+  EXPECT_GT(bnb->nodes_pruned, 0u);
+}
+
+TEST(ExactBnbTest, NeverWorseThanGreedy) {
+  for (std::uint64_t seed : {7ULL, 21ULL, 63ULL}) {
+    Rng rng(seed);
+    Instance instance = test::MakeRandomGeneralCase(14, 0.4, 8, rng);
+    GtpOptions options;
+    options.max_middleboxes = 4;
+    options.feasibility_aware = true;
+    const PlacementResult greedy = Gtp(instance, options);
+    const auto exact = ExactBranchAndBound(instance, 4);
+    if (greedy.feasible) {
+      ASSERT_TRUE(exact.has_value());
+      EXPECT_LE(exact->best.bandwidth, greedy.bandwidth + 1e-9);
+    }
+  }
+}
+
+TEST(ExactBnbDeathTest, GuardsLargeInstances) {
+  Rng rng(1);
+  Instance instance = test::MakeRandomGeneralCase(35, 0.5, 5, rng);
+  EXPECT_DEATH(ExactBranchAndBound(instance, 5), "up to 30");
+}
+
+}  // namespace
+}  // namespace tdmd::core

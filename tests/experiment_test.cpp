@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "experiment/stats.hpp"
+#include "experiment/sweep.hpp"
+#include "experiment/table.hpp"
+#include "experiment/timer.hpp"
+
+namespace tdmd::experiment {
+namespace {
+
+TEST(StatsTest, MeanAndVarianceOfKnownSamples) {
+  Stats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.Add(x);
+  }
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(StatsTest, SingleSampleHasZeroSpread) {
+  Stats stats;
+  stats.Add(3.5);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.stderr_mean(), 0.0);
+}
+
+TEST(StatsTest, StderrShrinksWithSamples) {
+  Stats small, large;
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) small.Add(rng.NextGaussian());
+  rng.Seed(1);
+  for (int i = 0; i < 1000; ++i) large.Add(rng.NextGaussian());
+  EXPECT_LT(large.stderr_mean(), small.stderr_mean());
+}
+
+TEST(StatsTest, MergeEqualsSequential) {
+  Rng rng(5);
+  Stats sequential, left, right;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.NextDouble(-10, 10);
+    sequential.Add(x);
+    (i % 2 == 0 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), sequential.count());
+  EXPECT_NEAR(left.mean(), sequential.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), sequential.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), sequential.min());
+  EXPECT_DOUBLE_EQ(left.max(), sequential.max());
+}
+
+TEST(StatsTest, MergeWithEmptySides) {
+  Stats a, b;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(b);  // empty rhs: no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.Merge(a);  // empty lhs: copy
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(TimerTest, ElapsedIsPositiveAndMonotone) {
+  Timer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + std::sqrt(i);
+  const double first = timer.ElapsedSeconds();
+  EXPECT_GT(first, 0.0);
+  for (int i = 0; i < 100000; ++i) sink = sink + std::sqrt(i);
+  EXPECT_GE(timer.ElapsedSeconds(), first);
+}
+
+TEST(TimerTest, RestartResetsTheOrigin) {
+  Timer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 200000; ++i) sink = sink + std::sqrt(i);
+  const double before = timer.ElapsedSeconds();
+  timer.Restart();
+  EXPECT_LT(timer.ElapsedSeconds(), before);
+}
+
+TEST(TableTest, AlignedOutputContainsEverything) {
+  Table table("demo");
+  table.SetHeader({"k", "DP", "HAT"});
+  table.AddRow({"1", "24", "24"});
+  table.AddRow({"2", "16.5", "16.5"});
+  std::ostringstream oss;
+  table.Print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("DP"), std::string::npos);
+  EXPECT_NE(out.find("16.5"), std::string::npos);
+}
+
+TEST(TableTest, CsvRoundTrip) {
+  Table table("demo");
+  table.SetHeader({"x", "y"});
+  table.AddRow({"1", "2"});
+  std::ostringstream oss;
+  table.PrintCsv(oss);
+  EXPECT_EQ(oss.str(), "x,y\n1,2\n");
+}
+
+TEST(TableDeathTest, RowWidthMismatchAborts) {
+  Table table("demo");
+  table.SetHeader({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "width");
+}
+
+TEST(FormatNumberTest, Precision) {
+  EXPECT_EQ(FormatNumber(3.14159, 3), "3.14");
+  EXPECT_EQ(FormatNumber(120000.0, 4), "1.2e+05");
+  EXPECT_EQ(FormatNumber(5.0, 4), "5");
+}
+
+TEST(SweepTest, RunsEveryCellWithRightCounts) {
+  SweepConfig config;
+  config.x_name = "k";
+  config.x_values = {1, 2, 3};
+  config.trials = 5;
+  config.threads = 2;
+  SweepResult result = RunSweep(
+      config, {"algoA", "algoB"}, [](double x, Rng& rng) {
+        std::vector<Measurement> ms(2);
+        ms[0].bandwidth = x * 10.0 + rng.NextDouble();
+        ms[0].feasible = true;
+        ms[1].bandwidth = x * 20.0;
+        ms[1].feasible = false;
+        return ms;
+      });
+  ASSERT_EQ(result.series.size(), 2u);
+  for (std::size_t xi = 0; xi < 3; ++xi) {
+    EXPECT_EQ(result.series[0].bandwidth[xi].count(), 5u);
+    EXPECT_NEAR(result.series[0].bandwidth[xi].mean(),
+                config.x_values[xi] * 10.0 + 0.5, 0.6);
+    EXPECT_EQ(result.series[1].infeasible_trials[xi], 5u);
+    EXPECT_EQ(result.series[0].infeasible_trials[xi], 0u);
+  }
+}
+
+TEST(SweepTest, DeterministicAcrossThreadCounts) {
+  // The (seed, x, trial) -> rng stream derivation must make results
+  // independent of scheduling.
+  auto run = [](std::size_t threads) {
+    SweepConfig config;
+    config.x_name = "x";
+    config.x_values = {1, 2};
+    config.trials = 8;
+    config.seed = 1234;
+    config.threads = threads;
+    return RunSweep(config, {"a"}, [](double x, Rng& rng) {
+      std::vector<Measurement> ms(1);
+      ms[0].bandwidth = x + rng.NextDouble();
+      ms[0].feasible = true;
+      return ms;
+    });
+  };
+  const SweepResult serial = run(1);
+  const SweepResult parallel = run(8);
+  for (std::size_t xi = 0; xi < 2; ++xi) {
+    EXPECT_DOUBLE_EQ(serial.series[0].bandwidth[xi].mean(),
+                     parallel.series[0].bandwidth[xi].mean());
+  }
+}
+
+TEST(SweepTest, TablesAndCsvRender) {
+  SweepConfig config;
+  config.x_name = "lambda";
+  config.x_values = {0.0, 0.5};
+  config.trials = 3;
+  config.threads = 1;
+  SweepResult result =
+      RunSweep(config, {"DP"}, [](double x, Rng&) {
+        std::vector<Measurement> ms(1);
+        ms[0].bandwidth = 100.0 * (1.0 + x);
+        ms[0].seconds = 0.001;
+        ms[0].feasible = x > 0.25;  // force an infeasible footnote
+        return ms;
+      });
+  std::ostringstream tables;
+  PrintSweepTables(tables, "Fig X", result);
+  EXPECT_NE(tables.str().find("Fig X — bandwidth"), std::string::npos);
+  EXPECT_NE(tables.str().find("execution time"), std::string::npos);
+  EXPECT_NE(tables.str().find("infeasible trials:"), std::string::npos);
+  std::ostringstream csv;
+  PrintSweepCsv(csv, result);
+  EXPECT_NE(csv.str().find("x,algorithm,metric,mean,stderr,count"),
+            std::string::npos);
+  EXPECT_NE(csv.str().find("DP,bandwidth,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tdmd::experiment

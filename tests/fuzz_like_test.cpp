@@ -1,0 +1,175 @@
+// Robustness / failure-injection suite: random and adversarial inputs
+// must produce diagnostics, never crashes or silent misparses, and the
+// objective stack must agree with itself on *every* deployment of the
+// paper instance (exhaustive, not sampled).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/objective.hpp"
+#include "io/text_format.hpp"
+#include "sim/link_sim.hpp"
+#include "test_util.hpp"
+
+namespace tdmd {
+namespace {
+
+// ---------------------------------------------------------------------
+// Parser fuzzing: random token soup.
+// ---------------------------------------------------------------------
+
+std::string RandomGarbageLine(Rng& rng) {
+  static const char* kWords[] = {"digraph", "arc",   "tree",  "parent",
+                                 "flows",   "flow",  "lambda", "box",
+                                 "-1",      "999999", "0",     "abc",
+                                 "1e309",   "#",      "v1",    ""};
+  std::string line;
+  const int tokens = static_cast<int>(rng.NextInt(0, 5));
+  for (int t = 0; t < tokens; ++t) {
+    if (t > 0) line += ' ';
+    line += kWords[rng.NextBounded(std::size(kWords))];
+  }
+  return line;
+}
+
+class ParserFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserFuzz, RandomInputNeverCrashes) {
+  Rng rng(GetParam());
+  for (int doc = 0; doc < 200; ++doc) {
+    std::string text;
+    const int lines = static_cast<int>(rng.NextInt(1, 12));
+    for (int l = 0; l < lines; ++l) {
+      text += RandomGarbageLine(rng);
+      text += '\n';
+    }
+    {
+      std::istringstream is(text);
+      const auto parsed = io::ReadInstance(is);
+      if (!parsed.ok()) {
+        EXPECT_FALSE(parsed.error.empty());
+      }
+    }
+    {
+      std::istringstream is(text);
+      const auto parsed = io::ReadDigraph(is);
+      if (!parsed.ok()) {
+        EXPECT_FALSE(parsed.error.empty());
+      }
+    }
+    {
+      std::istringstream is(text);
+      const auto parsed = io::ReadTree(is);
+      if (!parsed.ok()) {
+        EXPECT_FALSE(parsed.error.empty());
+      }
+    }
+    {
+      std::istringstream is(text);
+      const auto parsed = io::ReadFlows(is);
+      if (!parsed.ok()) {
+        EXPECT_FALSE(parsed.error.empty());
+      }
+    }
+    {
+      std::istringstream is(text);
+      const auto parsed = io::ReadDeployment(is, 8);
+      if (!parsed.ok()) {
+        EXPECT_FALSE(parsed.error.empty());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+TEST(ParserFuzzTest, MutatedValidInstanceDegradesGracefully) {
+  // Take a valid serialized instance, corrupt single characters, and
+  // require parse() to either succeed or produce a diagnostic.
+  std::ostringstream oss;
+  io::WriteInstance(oss, test::PaperInstance());
+  const std::string valid = oss.str();
+  Rng rng(42);
+  for (int mutation = 0; mutation < 300; ++mutation) {
+    std::string corrupted = valid;
+    const auto position = static_cast<std::size_t>(
+        rng.NextBounded(corrupted.size()));
+    corrupted[position] = static_cast<char>('0' + rng.NextBounded(10));
+    std::istringstream is(corrupted);
+    const auto parsed = io::ReadInstance(is);
+    if (!parsed.ok()) {
+      EXPECT_FALSE(parsed.error.empty());
+    } else {
+      // If it still parses, it must be a coherent instance.
+      EXPECT_GE(parsed.value->num_flows(), 0);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Exhaustive objective cross-validation: all 2^8 deployments of the
+// paper tree, three lambdas, three oracles (closed form, incremental
+// ServedState, link simulator).
+// ---------------------------------------------------------------------
+
+TEST(ExhaustiveObjective, AllDeploymentsAllOracles) {
+  const graph::Tree tree = test::PaperTree();
+  for (double lambda : {0.0, 0.5, 0.9}) {
+    const core::Instance instance =
+        core::MakeTreeInstance(tree, test::PaperFlows(tree), lambda);
+    for (unsigned mask = 0; mask < 256; ++mask) {
+      core::Deployment plan(instance.num_vertices());
+      core::ServedState state(instance);
+      for (VertexId v = 0; v < 8; ++v) {
+        if (mask & (1u << v)) {
+          plan.Add(v);
+          state.Deploy(v);
+        }
+      }
+      const Bandwidth closed_form =
+          core::EvaluateBandwidth(instance, plan);
+      ASSERT_NEAR(closed_form, state.bandwidth(), 1e-9)
+          << "mask=" << mask << " lambda=" << lambda;
+      const sim::LinkLoadReport report =
+          sim::SimulateLinkLoads(instance, plan);
+      ASSERT_NEAR(closed_form, report.total, 1e-9)
+          << "mask=" << mask << " lambda=" << lambda;
+      // Feasibility consistency across the stack.
+      ASSERT_EQ(core::IsFeasible(instance, plan),
+                report.unserved_flows == 0)
+          << "mask=" << mask;
+    }
+  }
+}
+
+TEST(ExhaustiveObjective, MarginalGainsConsistentOnAllPrefixes) {
+  // For every deployment subset P (as a prefix of a fixed order) and
+  // every next vertex v: MarginalDecrement(v) == d(P u {v}) - d(P).
+  const core::Instance instance = test::PaperInstance();
+  for (unsigned mask = 0; mask < 256; ++mask) {
+    core::Deployment plan(instance.num_vertices());
+    core::ServedState state(instance);
+    for (VertexId v = 0; v < 8; ++v) {
+      if (mask & (1u << v)) {
+        plan.Add(v);
+        state.Deploy(v);
+      }
+    }
+    for (VertexId v = 0; v < 8; ++v) {
+      if (mask & (1u << v)) continue;
+      core::Deployment with_v = plan;
+      with_v.Add(v);
+      const Bandwidth expected =
+          core::EvaluateBandwidth(instance, plan) -
+          core::EvaluateBandwidth(instance, with_v);
+      ASSERT_NEAR(state.MarginalDecrement(v), expected, 1e-9)
+          << "mask=" << mask << " v=" << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tdmd

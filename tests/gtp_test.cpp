@@ -1,0 +1,189 @@
+#include "core/gtp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/brute_force.hpp"
+#include "core/objective.hpp"
+#include "test_util.hpp"
+
+namespace tdmd::core {
+namespace {
+
+TEST(GtpTest, UnbudgetedRunsToFeasibility) {
+  Instance instance = test::PaperInstance();
+  PlacementResult result = Gtp(instance);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_TRUE(result.allocation.AllServed());
+  EXPECT_LE(result.bandwidth, instance.UnprocessedBandwidth());
+  EXPECT_GE(result.bandwidth, instance.MinimumPossibleBandwidth() - 1e-9);
+}
+
+TEST(GtpTest, GreedyPicksHighestGainFirst) {
+  // On the paper tree the best single vertex is v7 (gain
+  // 0.5 * 5 * 3 = 7.5 from f3); GTP must deploy it first.
+  Instance instance = test::PaperInstance();
+  PlacementResult result = Gtp(instance);
+  ASSERT_FALSE(result.deployment.vertices().empty());
+  EXPECT_EQ(result.deployment.vertices().front(), test::kV7);
+}
+
+TEST(GtpTest, BudgetedStopsAtK) {
+  Instance instance = test::PaperInstance();
+  GtpOptions options;
+  options.max_middleboxes = 2;
+  PlacementResult result = Gtp(instance, options);
+  EXPECT_LE(result.deployment.size(), 2u);
+}
+
+TEST(GtpTest, BudgetOneOnPaperTreeIsInfeasibleGreedily) {
+  // The only feasible single-vertex plan is {v1}, but greedy takes the
+  // max-gain v7 — the paper's motivation for the feasibility trade-off.
+  Instance instance = test::PaperInstance();
+  GtpOptions options;
+  options.max_middleboxes = 1;
+  PlacementResult result = Gtp(instance, options);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_EQ(result.deployment.vertices().front(), test::kV7);
+}
+
+TEST(GtpTest, FeasibilityAwareBudgetOnePicksRoot) {
+  Instance instance = test::PaperInstance();
+  GtpOptions options;
+  options.max_middleboxes = 1;
+  options.feasibility_aware = true;
+  PlacementResult result = Gtp(instance, options);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.deployment.SortedVertices(),
+            (std::vector<VertexId>{test::kV1}));
+  EXPECT_DOUBLE_EQ(result.bandwidth, 24.0);
+}
+
+TEST(GtpTest, FeasibilityAwareMatchesPlainWhenBudgetIsLoose) {
+  Rng rng(3);
+  Instance instance = test::MakeRandomGeneralCase(20, 0.5, 15, rng);
+  GtpOptions plain;
+  plain.max_middleboxes = 12;
+  GtpOptions aware = plain;
+  aware.feasibility_aware = true;
+  const PlacementResult a = Gtp(instance, plain);
+  const PlacementResult b = Gtp(instance, aware);
+  if (a.feasible) {
+    EXPECT_EQ(a.deployment.SortedVertices(), b.deployment.SortedVertices());
+  }
+}
+
+TEST(GtpTest, LazyMatchesPlainExactly) {
+  // CELF is exact under submodularity; same deployment, same bandwidth.
+  for (std::uint64_t seed : {1ULL, 7ULL, 42ULL, 99ULL}) {
+    Rng rng(seed);
+    const double lambda = rng.NextDouble(0.0, 0.9);
+    Instance instance = test::MakeRandomGeneralCase(24, lambda, 18, rng);
+    GtpOptions plain;
+    GtpOptions lazy;
+    lazy.lazy = true;
+    const PlacementResult a = Gtp(instance, plain);
+    const PlacementResult b = Gtp(instance, lazy);
+    EXPECT_EQ(a.deployment.SortedVertices(), b.deployment.SortedVertices())
+        << "seed " << seed;
+    EXPECT_NEAR(a.bandwidth, b.bandwidth, 1e-9);
+  }
+}
+
+TEST(GtpTest, LazyUsesFewerOracleCalls) {
+  Rng rng(11);
+  Instance instance = test::MakeRandomGeneralCase(40, 0.5, 30, rng);
+  GtpOptions plain;
+  GtpOptions lazy;
+  lazy.lazy = true;
+  const PlacementResult a = Gtp(instance, plain);
+  const PlacementResult b = Gtp(instance, lazy);
+  if (a.deployment.size() > 2) {
+    EXPECT_LT(b.oracle_calls, a.oracle_calls);
+  }
+}
+
+TEST(GtpTest, ParallelOracleMatchesSerial) {
+  Rng rng(13);
+  Instance instance = test::MakeRandomGeneralCase(30, 0.4, 20, rng);
+  parallel::ThreadPool pool(4);
+  GtpOptions serial;
+  GtpOptions parallel_opts;
+  parallel_opts.pool = &pool;
+  const PlacementResult a = Gtp(instance, serial);
+  const PlacementResult b = Gtp(instance, parallel_opts);
+  EXPECT_EQ(a.deployment.SortedVertices(), b.deployment.SortedVertices());
+  EXPECT_NEAR(a.bandwidth, b.bandwidth, 1e-9);
+}
+
+TEST(GtpTest, SaturationStopsUselessDeployments) {
+  // Once every flow is served at its source, more boxes add nothing.
+  Instance instance = test::PaperInstance();
+  GtpOptions options;
+  options.max_middleboxes = 8;  // more than the 4 sources
+  PlacementResult result = Gtp(instance, options);
+  EXPECT_LE(result.deployment.size(), 4u);
+  EXPECT_DOUBLE_EQ(result.bandwidth, 12.0);  // lambda * 24
+}
+
+TEST(GtpTest, EmptyFlowSetDeploysNothing) {
+  const graph::Tree tree = test::PaperTree();
+  Instance instance = MakeTreeInstance(tree, {}, 0.5);
+  PlacementResult result = Gtp(instance);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_TRUE(result.deployment.empty());
+  EXPECT_DOUBLE_EQ(result.bandwidth, 0.0);
+}
+
+TEST(GtpTest, LambdaOneStillServesAllFlows) {
+  // A no-op middlebox (lambda = 1) saves no bandwidth, but Algorithm 1
+  // must still produce a feasible plan (flows *require* processing).
+  const graph::Tree tree = test::PaperTree();
+  Instance instance =
+      MakeTreeInstance(tree, test::PaperFlows(tree), 1.0);
+  PlacementResult result = Gtp(instance);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_DOUBLE_EQ(result.bandwidth, 24.0);
+}
+
+class GtpApproximationRatio : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(GtpApproximationRatio, DecrementWithinOneMinusOneOverE) {
+  // Theorem 3: for the k that GTP derives, its decrement is at least
+  // (1 - 1/e) of the best decrement achievable with k middleboxes.
+  Rng rng(GetParam());
+  const double lambda = rng.NextDouble(0.0, 0.9);
+  Instance instance = test::MakeRandomGeneralCase(14, lambda, 8, rng);
+  PlacementResult greedy = Gtp(instance);
+  const std::size_t k = greedy.deployment.size();
+  if (k == 0) return;  // empty flow set edge case
+  const Bandwidth optimal = BruteForceMaxDecrement(instance, k);
+  const Bandwidth achieved = EvaluateDecrement(instance, greedy.deployment);
+  constexpr double kRatio = 1.0 - 1.0 / 2.718281828459045;
+  EXPECT_GE(achieved + 1e-9, kRatio * optimal)
+      << "k=" << k << " achieved=" << achieved << " opt=" << optimal;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GtpApproximationRatio,
+                         ::testing::Range<std::uint64_t>(1, 31));
+
+class GtpFeasibilityProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GtpFeasibilityProperty, UnbudgetedAlwaysFeasible) {
+  Rng rng(GetParam());
+  const double lambda = rng.NextDouble(0.0, 1.0);
+  Instance instance = test::MakeRandomGeneralCase(25, lambda, 20, rng);
+  PlacementResult result = Gtp(instance);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_NEAR(result.bandwidth,
+              EvaluateBandwidth(instance, result.deployment), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GtpFeasibilityProperty,
+                         ::testing::Range<std::uint64_t>(50, 70));
+
+}  // namespace
+}  // namespace tdmd::core

@@ -1,0 +1,176 @@
+#include "core/hat.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/dp_tree.hpp"
+#include "core/objective.hpp"
+#include "test_util.hpp"
+#include "traffic/generator.hpp"
+
+namespace tdmd::core {
+namespace {
+
+TEST(HatGolden, BudgetAtLeastLeavesKeepsLeafPlan) {
+  // Section 5.2: "If k >= 4 ... the deployment plan returned by Alg. HAT
+  // is P = {v4, v5, v7, v8}."
+  Instance instance = test::PaperInstance();
+  const graph::Tree tree = test::PaperTree();
+  for (std::size_t k : {4u, 5u, 10u}) {
+    PlacementResult result = Hat(instance, tree, k);
+    EXPECT_EQ(result.deployment.SortedVertices(),
+              (std::vector<VertexId>{test::kV4, test::kV5, test::kV7,
+                                     test::kV8}));
+    EXPECT_DOUBLE_EQ(result.bandwidth, 12.0);
+  }
+}
+
+TEST(HatGolden, KThreeMergesTheCheapestPair) {
+  // "If k = 3 ... Δb(4,5) has the minimum value, 1.5 ... the plan is
+  // {v2, v7, v8}."
+  Instance instance = test::PaperInstance();
+  const graph::Tree tree = test::PaperTree();
+  PlacementResult result = Hat(instance, tree, 3);
+  EXPECT_EQ(result.deployment.SortedVertices(),
+            (std::vector<VertexId>{test::kV2, test::kV7, test::kV8}));
+  EXPECT_DOUBLE_EQ(result.bandwidth, 13.5);
+}
+
+TEST(HatGolden, KTwoReachesEitherOptimalPlan) {
+  // "If we select to delete v7 and v8 ... P = {v2, v6}; otherwise
+  // P = {v1, v7}."  Both cost 16.5.
+  Instance instance = test::PaperInstance();
+  const graph::Tree tree = test::PaperTree();
+  PlacementResult result = Hat(instance, tree, 2);
+  const auto plan = result.deployment.SortedVertices();
+  EXPECT_TRUE(plan == (std::vector<VertexId>{test::kV2, test::kV6}) ||
+              plan == (std::vector<VertexId>{test::kV1, test::kV7}))
+      << "got " << result.deployment.ToString();
+  EXPECT_DOUBLE_EQ(result.bandwidth, 16.5);
+}
+
+TEST(HatGolden, KOneCollapsesToRoot) {
+  // "Similarly, P = {v1} when k = 1."
+  Instance instance = test::PaperInstance();
+  const graph::Tree tree = test::PaperTree();
+  PlacementResult result = Hat(instance, tree, 1);
+  EXPECT_EQ(result.deployment.SortedVertices(),
+            (std::vector<VertexId>{test::kV1}));
+  EXPECT_DOUBLE_EQ(result.bandwidth, 24.0);
+}
+
+TEST(HatGolden, DeltaBValuesFromTheWalkthrough) {
+  // Δb(4,5) = 1.5, Δb(7,8) = 3, Δb(4,7) = 9.5 against the initial
+  // all-leaves plan.
+  Instance instance = test::PaperInstance();
+  const graph::Tree tree = test::PaperTree();
+  Deployment leaves(instance.num_vertices(),
+                    {test::kV4, test::kV5, test::kV7, test::kV8});
+  const Bandwidth base = EvaluateBandwidth(instance, leaves);
+  ASSERT_DOUBLE_EQ(base, 12.0);
+
+  auto merged_cost = [&](VertexId a, VertexId b, VertexId lca) {
+    Deployment plan = leaves;
+    plan.Remove(a);
+    plan.Remove(b);
+    plan.Add(lca);
+    return EvaluateBandwidth(instance, plan) - base;
+  };
+  EXPECT_DOUBLE_EQ(merged_cost(test::kV4, test::kV5, test::kV2), 1.5);
+  EXPECT_DOUBLE_EQ(merged_cost(test::kV7, test::kV8, test::kV6), 3.0);
+  EXPECT_DOUBLE_EQ(merged_cost(test::kV4, test::kV7, test::kV1), 9.5);
+}
+
+TEST(HatTest, NaiveRescanMatchesHeapVersion) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto size = static_cast<VertexId>(rng.NextInt(6, 30));
+    const double lambda = rng.NextDouble(0.0, 1.0);
+    const test::RandomTreeCase c =
+        test::MakeRandomTreeCase(size, lambda, rng);
+    const std::size_t k =
+        1 + static_cast<std::size_t>(rng.NextBounded(4));
+    HatOptions heap_opts;
+    heap_opts.k = k;
+    HatOptions naive_opts;
+    naive_opts.k = k;
+    naive_opts.naive_rescan = true;
+    const PlacementResult a = Hat(c.instance, c.tree, heap_opts);
+    const PlacementResult b = Hat(c.instance, c.tree, naive_opts);
+    // Both are greedy merge policies; tie-breaking can differ, but the
+    // achieved bandwidth of equal-quality merges must match.
+    EXPECT_NEAR(a.bandwidth, b.bandwidth, 1e-6)
+        << "size=" << size << " k=" << k;
+  }
+}
+
+TEST(HatTest, EmptyFlowSetTriviallyFeasible) {
+  const graph::Tree tree = test::PaperTree();
+  Instance instance = MakeTreeInstance(tree, {}, 0.5);
+  PlacementResult result = Hat(instance, tree, 2);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_TRUE(result.deployment.empty());
+}
+
+TEST(HatTest, SilentLeavesGetNoMiddlebox) {
+  // Only v7 sources a flow: HAT should start from {v7}, not all leaves.
+  const graph::Tree tree = test::PaperTree();
+  traffic::FlowSet flows;
+  traffic::Flow f;
+  f.src = test::kV7;
+  f.dst = tree.root();
+  f.rate = 5;
+  f.path.vertices = tree.PathToRoot(test::kV7);
+  flows.push_back(f);
+  Instance instance = MakeTreeInstance(tree, flows, 0.5);
+  PlacementResult result = Hat(instance, tree, 3);
+  EXPECT_EQ(result.deployment.SortedVertices(),
+            (std::vector<VertexId>{test::kV7}));
+  EXPECT_DOUBLE_EQ(result.bandwidth, 7.5);
+}
+
+class HatProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HatProperties, FeasibleWithinBudgetAndBounded) {
+  Rng rng(GetParam());
+  const auto size = static_cast<VertexId>(rng.NextInt(5, 40));
+  const double lambda = rng.NextDouble(0.0, 1.0);
+  const test::RandomTreeCase c = test::MakeRandomTreeCase(size, lambda, rng);
+  for (std::size_t k : {1u, 2u, 3u, 6u}) {
+    const PlacementResult hat = Hat(c.instance, c.tree, k);
+    EXPECT_TRUE(hat.feasible);
+    EXPECT_LE(hat.deployment.size(), k)
+        << "HAT exceeded budget: " << hat.deployment.size() << " > " << k;
+    // Sandwich: optimal <= HAT <= unprocessed.
+    const PlacementResult dp = DpTree(c.instance, c.tree, k);
+    EXPECT_GE(hat.bandwidth + 1e-9, dp.bandwidth)
+        << "HAT beat the optimal DP?!";
+    EXPECT_LE(hat.bandwidth, c.instance.UnprocessedBandwidth() + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HatProperties,
+                         ::testing::Range<std::uint64_t>(1, 31));
+
+TEST(HatTest, MatchesDpWhenBudgetEqualsSourceLeaves) {
+  // With k = #source leaves both HAT (no merges) and DP (all sources)
+  // reach the lambda * sum r|p| floor.
+  Rng rng(123);
+  const test::RandomTreeCase c = test::MakeRandomTreeCase(25, 0.5, rng);
+  std::size_t source_leaves = 0;
+  std::vector<char> seen(static_cast<std::size_t>(c.tree.num_vertices()),
+                         0);
+  for (FlowId f = 0; f < c.instance.num_flows(); ++f) {
+    const VertexId src = c.instance.flow(f).src;
+    if (!seen[static_cast<std::size_t>(src)]) {
+      seen[static_cast<std::size_t>(src)] = 1;
+      ++source_leaves;
+    }
+  }
+  const PlacementResult hat = Hat(c.instance, c.tree, source_leaves);
+  const PlacementResult dp = DpTree(c.instance, c.tree, source_leaves);
+  EXPECT_NEAR(hat.bandwidth, dp.bandwidth, 1e-9);
+  EXPECT_NEAR(hat.bandwidth, c.instance.MinimumPossibleBandwidth(), 1e-9);
+}
+
+}  // namespace
+}  // namespace tdmd::core

@@ -1,0 +1,108 @@
+#include "core/instance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace tdmd::core {
+namespace {
+
+TEST(InstanceTest, PathIndexAlongPaperFlow3) {
+  Instance instance = test::PaperInstance();
+  // Flow 2 (the paper's f3): v7 -> v6 -> v3 -> v1.
+  EXPECT_EQ(instance.PathIndex(2, test::kV7), 0);
+  EXPECT_EQ(instance.PathIndex(2, test::kV6), 1);
+  EXPECT_EQ(instance.PathIndex(2, test::kV3), 2);
+  EXPECT_EQ(instance.PathIndex(2, test::kV1), 3);
+  EXPECT_EQ(instance.PathIndex(2, test::kV4), -1);  // off-path
+}
+
+TEST(InstanceTest, DiminishedEdgesIsDownstreamCount) {
+  Instance instance = test::PaperInstance();
+  // Serving f3 at its source diminishes all 3 edges; at the root, none.
+  EXPECT_EQ(instance.DiminishedEdges(2, test::kV7), 3);
+  EXPECT_EQ(instance.DiminishedEdges(2, test::kV6), 2);
+  EXPECT_EQ(instance.DiminishedEdges(2, test::kV1), 0);
+}
+
+TEST(InstanceTest, FlowsThroughInvertedIndex) {
+  Instance instance = test::PaperInstance();
+  // Root sees all four flows.
+  EXPECT_EQ(instance.FlowsThrough(test::kV1).size(), 4u);
+  // v2 sees flows 0 (f1) and 1 (f4).
+  const auto& through_v2 = instance.FlowsThrough(test::kV2);
+  ASSERT_EQ(through_v2.size(), 2u);
+  EXPECT_EQ(through_v2[0].flow, 0);
+  EXPECT_EQ(through_v2[0].path_index, 1);
+  EXPECT_EQ(through_v2[1].flow, 1);
+  // Leaves see exactly their own flow at index 0.
+  const auto& through_v7 = instance.FlowsThrough(test::kV7);
+  ASSERT_EQ(through_v7.size(), 1u);
+  EXPECT_EQ(through_v7[0].flow, 2);
+  EXPECT_EQ(through_v7[0].path_index, 0);
+}
+
+TEST(InstanceTest, UnprocessedBandwidthAndLowerBound) {
+  Instance instance = test::PaperInstance();
+  EXPECT_DOUBLE_EQ(instance.UnprocessedBandwidth(), 24.0);
+  EXPECT_DOUBLE_EQ(instance.MinimumPossibleBandwidth(), 12.0);
+}
+
+TEST(InstanceTest, LambdaBoundaries) {
+  const graph::Tree tree = test::PaperTree();
+  const traffic::FlowSet flows = test::PaperFlows(tree);
+  Instance spam = MakeTreeInstance(tree, flows, 0.0);   // spam filter
+  Instance noop = MakeTreeInstance(tree, flows, 1.0);   // no-op middlebox
+  EXPECT_DOUBLE_EQ(spam.MinimumPossibleBandwidth(), 0.0);
+  EXPECT_DOUBLE_EQ(noop.MinimumPossibleBandwidth(), 24.0);
+}
+
+TEST(InstanceTest, EmptyFlowSet) {
+  const graph::Tree tree = test::PaperTree();
+  Instance instance = MakeTreeInstance(tree, {}, 0.5);
+  EXPECT_EQ(instance.num_flows(), 0);
+  EXPECT_DOUBLE_EQ(instance.UnprocessedBandwidth(), 0.0);
+}
+
+TEST(InstanceDeathTest, LambdaOutOfRangeAborts) {
+  const graph::Tree tree = test::PaperTree();
+  const traffic::FlowSet flows = test::PaperFlows(tree);
+  EXPECT_DEATH(MakeTreeInstance(tree, flows, -0.1), "\\[0, 1\\]");
+  EXPECT_DEATH(MakeTreeInstance(tree, flows, 1.5), "\\[0, 1\\]");
+}
+
+TEST(InstanceDeathTest, TreeModelValidation) {
+  const graph::Tree tree = test::PaperTree();
+  traffic::FlowSet internal_src = test::PaperFlows(tree);
+  internal_src[0].src = test::kV2;  // not a leaf
+  internal_src[0].path.vertices = tree.PathToRoot(test::kV2);
+  EXPECT_DEATH(MakeTreeInstance(tree, internal_src, 0.5), "leaf");
+
+  traffic::FlowSet wrong_dst = test::PaperFlows(tree);
+  wrong_dst[0].dst = test::kV2;
+  wrong_dst[0].path.vertices = {test::kV4, test::kV2};
+  EXPECT_DEATH(MakeTreeInstance(tree, wrong_dst, 0.5), "root");
+}
+
+TEST(InstanceDeathTest, InvalidFlowRejected) {
+  const graph::Tree tree = test::PaperTree();
+  traffic::FlowSet flows = test::PaperFlows(tree);
+  flows[0].rate = 0;
+  EXPECT_DEATH(MakeTreeInstance(tree, flows, 0.5), "invalid flow");
+}
+
+TEST(InstanceTest, GeneralTopologyFlowsIndexed) {
+  Rng rng(3);
+  Instance instance = test::MakeRandomGeneralCase(20, 0.5, 10, rng);
+  EXPECT_EQ(instance.num_flows(), 10);
+  for (FlowId f = 0; f < instance.num_flows(); ++f) {
+    const auto& path = instance.flow(f).path.vertices;
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      EXPECT_EQ(instance.PathIndex(f, path[i]),
+                static_cast<std::int32_t>(i));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tdmd::core

@@ -1,0 +1,172 @@
+// End-to-end integration: Ark-like topology -> extraction -> CAIDA-like
+// workload -> all five algorithms -> cross-checks and orderings, i.e. one
+// full evaluation pipeline per seed.
+#include <gtest/gtest.h>
+
+#include "core/tdmd.hpp"
+#include "experiment/timer.hpp"
+#include "sim/link_sim.hpp"
+#include "test_util.hpp"
+#include "topology/ark.hpp"
+#include "topology/mutate.hpp"
+#include "traffic/generator.hpp"
+
+namespace tdmd {
+namespace {
+
+struct Pipeline {
+  graph::Tree tree;
+  core::Instance tree_instance;
+  core::Instance general_instance;
+
+  static Pipeline Build(std::uint64_t seed, double lambda) {
+    Rng rng(seed);
+    topology::ArkParams ark_params;
+    ark_params.num_monitors = 90;
+    const topology::ArkTopology ark =
+        topology::GenerateArk(ark_params, rng);
+
+    graph::Tree tree = topology::ExtractTreeSubgraph(ark, 22, rng);
+    traffic::WorkloadParams tree_params;
+    tree_params.flow_density = 0.5;
+    tree_params.link_capacity = 60.0;
+    tree_params.rates.max_rate = 12;
+    traffic::FlowSet tree_flows = traffic::MergeSameSourceFlows(
+        traffic::GenerateTreeWorkload(tree, tree_params, rng));
+    core::Instance tree_instance =
+        core::MakeTreeInstance(tree, tree_flows, lambda);
+
+    graph::Digraph general = topology::ExtractGeneralSubgraph(ark, 30, rng);
+    traffic::WorkloadParams gen_params;
+    gen_params.flow_density = 0.5;
+    gen_params.link_capacity = 30.0;
+    traffic::FlowSet gen_flows =
+        traffic::GenerateGeneralWorkload(general, {0}, gen_params, rng);
+    core::Instance general_instance(std::move(general),
+                                    std::move(gen_flows), lambda);
+
+    return Pipeline{std::move(tree), std::move(tree_instance),
+                    std::move(general_instance)};
+  }
+};
+
+class EndToEnd : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EndToEnd, TreePipelineOrderingsHold) {
+  Pipeline p = Pipeline::Build(GetParam(), 0.5);
+  constexpr std::size_t k = 8;
+
+  const core::PlacementResult dp = core::DpTree(p.tree_instance, p.tree, k);
+  const core::PlacementResult hat = core::Hat(p.tree_instance, p.tree, k);
+  core::GtpOptions gtp_options;
+  gtp_options.max_middleboxes = k;
+  gtp_options.feasibility_aware = true;
+  const core::PlacementResult gtp = core::Gtp(p.tree_instance, gtp_options);
+  const core::PlacementResult best_effort =
+      core::BestEffort(p.tree_instance, k);
+  Rng rng(GetParam() + 999);
+  core::RandomPlacementOptions random_options;
+  random_options.k = k;
+  const core::PlacementResult random =
+      core::RandomPlacement(p.tree_instance, random_options, rng);
+
+  ASSERT_TRUE(dp.feasible);
+  // DP is optimal: lower-bounds every feasible plan.
+  for (const auto* result : {&hat, &gtp, &best_effort, &random}) {
+    if (result->feasible) {
+      EXPECT_GE(result->bandwidth + 1e-6, dp.bandwidth);
+    }
+  }
+  // Everything sits inside the theoretical sandwich.
+  for (const auto* result : {&dp, &hat, &gtp}) {
+    EXPECT_GE(result->bandwidth + 1e-6,
+              p.tree_instance.MinimumPossibleBandwidth());
+    EXPECT_LE(result->bandwidth,
+              p.tree_instance.UnprocessedBandwidth() + 1e-6);
+  }
+  // The closed form matches the link-level simulation for every plan.
+  for (const auto* result : {&dp, &hat, &gtp, &best_effort, &random}) {
+    const sim::LinkLoadReport report =
+        sim::SimulateLinkLoads(p.tree_instance, result->deployment);
+    EXPECT_NEAR(report.total,
+                core::EvaluateBandwidth(p.tree_instance,
+                                        result->deployment),
+                1e-6);
+  }
+}
+
+TEST_P(EndToEnd, GeneralPipelineGtpBeatsBaselinesUsually) {
+  Pipeline p = Pipeline::Build(GetParam(), 0.5);
+  constexpr std::size_t k = 10;
+
+  core::GtpOptions gtp_options;
+  gtp_options.max_middleboxes = k;
+  gtp_options.feasibility_aware = true;
+  const core::PlacementResult gtp =
+      core::Gtp(p.general_instance, gtp_options);
+  const core::PlacementResult best_effort =
+      core::BestEffort(p.general_instance, k);
+  EXPECT_LE(gtp.deployment.size(), k);
+  EXPECT_LE(best_effort.deployment.size(), k);
+  // GTP re-allocates flows to later, source-nearer middleboxes, so with
+  // the same budget it never does worse than frozen-allocation
+  // best-effort.
+  EXPECT_LE(gtp.bandwidth, best_effort.bandwidth + 1e-6);
+}
+
+TEST_P(EndToEnd, LambdaMonotonicity) {
+  // A stronger diminisher (smaller lambda) can only help.
+  Pipeline strong = Pipeline::Build(GetParam(), 0.1);
+  Pipeline weak = Pipeline::Build(GetParam(), 0.9);
+  const core::PlacementResult dp_strong =
+      core::DpTree(strong.tree_instance, strong.tree, 8);
+  const core::PlacementResult dp_weak =
+      core::DpTree(weak.tree_instance, weak.tree, 8);
+  // Same seed -> same topology and flows, different lambda only.
+  EXPECT_LE(dp_strong.bandwidth, dp_weak.bandwidth + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EndToEnd,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+TEST(IntegrationTest, SizeSweepStaysHealthy) {
+  // Miniature of Figs. 12/16: resize topologies and re-run GTP.
+  Rng rng(7);
+  topology::ArkParams params;
+  params.num_monitors = 80;
+  const topology::ArkTopology ark = topology::GenerateArk(params, rng);
+  graph::Digraph general = topology::ExtractGeneralSubgraph(ark, 20, rng);
+  for (VertexId size : {12, 20, 28, 36}) {
+    graph::Digraph resized = topology::ResizeGeneral(general, size, rng);
+    traffic::WorkloadParams workload;
+    workload.flow_density = 0.4;
+    workload.link_capacity = 20.0;
+    traffic::FlowSet flows =
+        traffic::GenerateGeneralWorkload(resized, {0}, workload, rng);
+    core::Instance instance(std::move(resized), std::move(flows), 0.5);
+    const core::PlacementResult gtp = core::Gtp(instance);
+    EXPECT_TRUE(gtp.feasible) << "size " << size;
+  }
+}
+
+TEST(IntegrationTest, DpScalesOnFatTree) {
+  // DC-style topology from the paper's motivation (Fat-tree/BCube cites).
+  const graph::Tree tree = topology::FatTreeAggregation(4, 2, 2);
+  Rng rng(3);
+  traffic::WorkloadParams params;
+  params.flow_density = 0.4;
+  params.link_capacity = 30.0;
+  params.rates.max_rate = 8;
+  const traffic::FlowSet flows = traffic::MergeSameSourceFlows(
+      traffic::GenerateTreeWorkload(tree, params, rng));
+  core::Instance instance = core::MakeTreeInstance(tree, flows, 0.5);
+  experiment::Timer timer;
+  const core::PlacementResult dp = core::DpTree(instance, tree, 6);
+  EXPECT_TRUE(dp.feasible);
+  EXPECT_LT(timer.ElapsedSeconds(), 10.0);
+  const core::PlacementResult hat = core::Hat(instance, tree, 6);
+  EXPECT_GE(hat.bandwidth + 1e-6, dp.bandwidth);
+}
+
+}  // namespace
+}  // namespace tdmd

@@ -1,0 +1,184 @@
+#include "io/text_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/objective.hpp"
+#include "test_util.hpp"
+
+namespace tdmd::io {
+namespace {
+
+TEST(DigraphRoundTrip, PreservesStructure) {
+  const graph::Tree tree = test::PaperTree();
+  const graph::Digraph original = tree.ToDigraph();
+  std::stringstream buffer;
+  WriteDigraph(buffer, original);
+  Parsed<graph::Digraph> parsed = ReadDigraph(buffer);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(parsed.value->num_vertices(), original.num_vertices());
+  EXPECT_EQ(parsed.value->num_arcs(), original.num_arcs());
+  for (EdgeId e = 0; e < original.num_arcs(); ++e) {
+    EXPECT_EQ(parsed.value->arc(e).tail, original.arc(e).tail);
+    EXPECT_EQ(parsed.value->arc(e).head, original.arc(e).head);
+  }
+}
+
+TEST(TreeRoundTrip, PreservesParents) {
+  const graph::Tree original = test::PaperTree();
+  std::stringstream buffer;
+  WriteTree(buffer, original);
+  Parsed<graph::Tree> parsed = ReadTree(buffer);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(parsed.value->num_vertices(), original.num_vertices());
+  EXPECT_EQ(parsed.value->root(), original.root());
+  for (VertexId v = 0; v < original.num_vertices(); ++v) {
+    EXPECT_EQ(parsed.value->Parent(v), original.Parent(v));
+  }
+}
+
+TEST(FlowsRoundTrip, PreservesRatesAndPaths) {
+  const graph::Tree tree = test::PaperTree();
+  const traffic::FlowSet original = test::PaperFlows(tree);
+  std::stringstream buffer;
+  WriteFlows(buffer, original);
+  Parsed<traffic::FlowSet> parsed = ReadFlows(buffer);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  ASSERT_EQ(parsed.value->size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ((*parsed.value)[i].rate, original[i].rate);
+    EXPECT_EQ((*parsed.value)[i].src, original[i].src);
+    EXPECT_EQ((*parsed.value)[i].dst, original[i].dst);
+    EXPECT_EQ((*parsed.value)[i].path.vertices, original[i].path.vertices);
+  }
+}
+
+TEST(InstanceRoundTrip, PreservesEverythingObservable) {
+  const core::Instance original = test::PaperInstance();
+  std::stringstream buffer;
+  WriteInstance(buffer, original);
+  Parsed<core::Instance> parsed = ReadInstance(buffer);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(parsed.value->num_vertices(), original.num_vertices());
+  EXPECT_EQ(parsed.value->num_flows(), original.num_flows());
+  EXPECT_DOUBLE_EQ(parsed.value->lambda(), original.lambda());
+  EXPECT_DOUBLE_EQ(parsed.value->UnprocessedBandwidth(),
+                   original.UnprocessedBandwidth());
+}
+
+TEST(InstanceRoundTrip, RandomGeneralInstances) {
+  for (std::uint64_t seed : {3ULL, 5ULL, 7ULL}) {
+    Rng rng(seed);
+    const core::Instance original =
+        test::MakeRandomGeneralCase(18, 0.35, 12, rng);
+    std::stringstream buffer;
+    WriteInstance(buffer, original);
+    Parsed<core::Instance> parsed = ReadInstance(buffer);
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    // The objective under any deployment must agree.
+    Rng probe(seed + 1);
+    for (int trial = 0; trial < 5; ++trial) {
+      core::Deployment plan(original.num_vertices());
+      for (VertexId v = 0; v < original.num_vertices(); ++v) {
+        if (probe.NextBool(0.3)) plan.Add(v);
+      }
+      EXPECT_NEAR(core::EvaluateBandwidth(original, plan),
+                  core::EvaluateBandwidth(*parsed.value, plan), 1e-12);
+    }
+  }
+}
+
+TEST(DeploymentRoundTrip, PreservesBoxes) {
+  core::Deployment original(8, {1, 5, 7});
+  std::stringstream buffer;
+  WriteDeployment(buffer, original);
+  Parsed<core::Deployment> parsed = ReadDeployment(buffer, 8);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(parsed.value->SortedVertices(), original.SortedVertices());
+}
+
+TEST(CommentsAndBlanks, AreIgnored) {
+  std::stringstream buffer(
+      "# a comment\n\n"
+      "digraph 2  # trailing comment\n"
+      "\n"
+      "arc 0 1\n");
+  Parsed<graph::Digraph> parsed = ReadDigraph(buffer);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(parsed.value->num_arcs(), 1);
+}
+
+TEST(ParseErrors, ReportLineNumbers) {
+  std::stringstream bad_arc("digraph 2\narc 0 5\n");
+  Parsed<graph::Digraph> parsed = ReadDigraph(bad_arc);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error.find("line 2"), std::string::npos);
+}
+
+TEST(ParseErrors, BadHeaderRejected) {
+  std::stringstream wrong("tdmd-instance v2\n");
+  EXPECT_FALSE(ReadInstance(wrong).ok());
+  std::stringstream missing("lambda 0.5\n");
+  EXPECT_FALSE(ReadInstance(missing).ok());
+}
+
+TEST(ParseErrors, LambdaOutOfRange) {
+  std::stringstream bad(
+      "tdmd-instance v1\nlambda 1.5\ndigraph 1\nflows 0\n");
+  Parsed<core::Instance> parsed = ReadInstance(bad);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error.find("lambda"), std::string::npos);
+}
+
+TEST(ParseErrors, FlowPathMustExistInGraph) {
+  std::stringstream bad(
+      "tdmd-instance v1\nlambda 0.5\ndigraph 3\narc 0 1\n"
+      "flows 1\nflow 2 0 2\n");  // arc 0 -> 2 does not exist
+  Parsed<core::Instance> parsed = ReadInstance(bad);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error.find("paths"), std::string::npos);
+}
+
+TEST(ParseErrors, TreeValidation) {
+  std::stringstream two_roots("tree 3\nparent 1 0\n");  // vertex 2 rootless
+  EXPECT_FALSE(ReadTree(two_roots).ok());
+  std::stringstream cycle("tree 3\nparent 1 2\nparent 2 1\n");
+  EXPECT_FALSE(ReadTree(cycle).ok());
+  std::stringstream duplicate("tree 2\nparent 1 0\nparent 1 0\n");
+  EXPECT_FALSE(ReadTree(duplicate).ok());
+}
+
+TEST(ParseErrors, DeploymentValidation) {
+  std::stringstream out_of_range("deployment\nbox 9\n");
+  EXPECT_FALSE(ReadDeployment(out_of_range, 4).ok());
+  std::stringstream duplicate("deployment\nbox 1\nbox 1\n");
+  EXPECT_FALSE(ReadDeployment(duplicate, 4).ok());
+}
+
+TEST(ParseErrors, NonNumericTokens) {
+  std::stringstream bad("digraph two\n");
+  EXPECT_FALSE(ReadDigraph(bad).ok());
+  std::stringstream bad_rate("flows 1\nflow -3 0 1\n");
+  EXPECT_FALSE(ReadFlows(bad_rate).ok());
+}
+
+TEST(FileHelpers, MissingFileGivesPathInError) {
+  Parsed<core::Instance> parsed =
+      ReadInstanceFile("/nonexistent/path/file.tdmd");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error.find("/nonexistent/path"), std::string::npos);
+}
+
+TEST(FileHelpers, WriteAndReadBack) {
+  const std::string path = ::testing::TempDir() + "/io_test_instance.tdmd";
+  const core::Instance original = test::PaperInstance();
+  ASSERT_TRUE(WriteFile(
+      path, [&](std::ostream& os) { WriteInstance(os, original); }));
+  Parsed<core::Instance> parsed = ReadInstanceFile(path);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(parsed.value->num_flows(), 4);
+}
+
+}  // namespace
+}  // namespace tdmd::io

@@ -1,0 +1,91 @@
+#include "graph/lca_lifting.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/lca.hpp"
+#include "test_util.hpp"
+#include "topology/generators.hpp"
+
+namespace tdmd::graph {
+namespace {
+
+TEST(BinaryLiftingLcaTest, PaperExamples) {
+  Tree tree = test::PaperTree();
+  BinaryLiftingLca lca(tree);
+  EXPECT_EQ(lca.Query(test::kV4, test::kV5), test::kV2);
+  EXPECT_EQ(lca.Query(test::kV1, test::kV6), test::kV1);
+  EXPECT_EQ(lca.Query(test::kV7, test::kV8), test::kV6);
+  EXPECT_EQ(lca.Query(test::kV6, test::kV6), test::kV6);
+  EXPECT_EQ(lca.Query(test::kV3, test::kV7), test::kV3);
+}
+
+TEST(BinaryLiftingLcaTest, KthAncestorWalks) {
+  Tree tree = test::PaperTree();
+  BinaryLiftingLca lca(tree);
+  EXPECT_EQ(lca.KthAncestor(test::kV7, 0), test::kV7);
+  EXPECT_EQ(lca.KthAncestor(test::kV7, 1), test::kV6);
+  EXPECT_EQ(lca.KthAncestor(test::kV7, 2), test::kV3);
+  EXPECT_EQ(lca.KthAncestor(test::kV7, 3), test::kV1);
+  EXPECT_EQ(lca.KthAncestor(test::kV7, 4), kInvalidVertex);
+  EXPECT_EQ(lca.KthAncestor(test::kV1, 1), kInvalidVertex);
+}
+
+TEST(BinaryLiftingLcaTest, KthAncestorBeyondRangeOnDeepChain) {
+  std::vector<VertexId> parent(40);
+  parent[0] = kInvalidVertex;
+  for (VertexId v = 1; v < 40; ++v) {
+    parent[static_cast<std::size_t>(v)] = v - 1;
+  }
+  Tree tree(std::move(parent));
+  BinaryLiftingLca lca(tree);
+  EXPECT_EQ(lca.KthAncestor(39, 39), 0);
+  EXPECT_EQ(lca.KthAncestor(39, 40), kInvalidVertex);
+  EXPECT_EQ(lca.KthAncestor(39, 1000), kInvalidVertex);
+  EXPECT_EQ(lca.KthAncestor(20, 5), 15);
+}
+
+TEST(BinaryLiftingLcaTest, DistanceMatchesSparseTable) {
+  Tree tree = test::PaperTree();
+  BinaryLiftingLca lifting(tree);
+  LcaIndex sparse(tree);
+  for (VertexId u = 0; u < tree.num_vertices(); ++u) {
+    for (VertexId v = 0; v < tree.num_vertices(); ++v) {
+      EXPECT_EQ(lifting.Distance(u, v), sparse.Distance(u, v));
+    }
+  }
+}
+
+TEST(BinaryLiftingLcaTest, SingleVertexTree) {
+  Tree tree(std::vector<VertexId>{kInvalidVertex});
+  BinaryLiftingLca lca(tree);
+  EXPECT_EQ(lca.Query(0, 0), 0);
+  EXPECT_EQ(lca.KthAncestor(0, 0), 0);
+  EXPECT_EQ(lca.KthAncestor(0, 1), kInvalidVertex);
+}
+
+class LiftingMatchesSparse : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(LiftingMatchesSparse, OnRandomTrees) {
+  Rng rng(GetParam());
+  const auto n = static_cast<VertexId>(rng.NextInt(2, 150));
+  Tree tree = topology::RandomTree(n, rng);
+  BinaryLiftingLca lifting(tree);
+  LcaIndex sparse(tree);
+  for (int trial = 0; trial < 250; ++trial) {
+    const auto u = static_cast<VertexId>(
+        rng.NextBounded(static_cast<std::uint64_t>(n)));
+    const auto v = static_cast<VertexId>(
+        rng.NextBounded(static_cast<std::uint64_t>(n)));
+    ASSERT_EQ(lifting.Query(u, v), sparse.Query(u, v))
+        << "u=" << u << " v=" << v << " n=" << n;
+    ASSERT_EQ(lifting.Query(u, v), NaiveLca(tree, u, v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LiftingMatchesSparse,
+                         ::testing::Values(11, 23, 37, 41, 59, 67, 73, 83));
+
+}  // namespace
+}  // namespace tdmd::graph

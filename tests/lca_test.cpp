@@ -1,0 +1,106 @@
+#include "graph/lca.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "test_util.hpp"
+#include "topology/generators.hpp"
+
+namespace tdmd::graph {
+namespace {
+
+TEST(LcaTest, PaperExamples) {
+  // Section 5.2: "LCA of vertices v4 and v5 is v2 and LCA of vertices v1
+  // and v6 is v1."
+  Tree tree = test::PaperTree();
+  LcaIndex lca(tree);
+  EXPECT_EQ(lca.Query(test::kV4, test::kV5), test::kV2);
+  EXPECT_EQ(lca.Query(test::kV1, test::kV6), test::kV1);
+  EXPECT_EQ(lca.Query(test::kV7, test::kV8), test::kV6);
+  EXPECT_EQ(lca.Query(test::kV4, test::kV8), test::kV1);
+}
+
+TEST(LcaTest, SelfAndAncestorConventions) {
+  Tree tree = test::PaperTree();
+  LcaIndex lca(tree);
+  // "We define each vertex to be a descendant of itself."
+  EXPECT_EQ(lca.Query(test::kV6, test::kV6), test::kV6);
+  EXPECT_EQ(lca.Query(test::kV3, test::kV7), test::kV3);
+  EXPECT_EQ(lca.Query(test::kV7, test::kV3), test::kV3);
+}
+
+TEST(LcaTest, QueryIsSymmetric) {
+  Tree tree = test::PaperTree();
+  LcaIndex lca(tree);
+  for (VertexId u = 0; u < tree.num_vertices(); ++u) {
+    for (VertexId v = 0; v < tree.num_vertices(); ++v) {
+      EXPECT_EQ(lca.Query(u, v), lca.Query(v, u));
+    }
+  }
+}
+
+TEST(LcaTest, DistanceOnPaperTree) {
+  Tree tree = test::PaperTree();
+  LcaIndex lca(tree);
+  EXPECT_EQ(lca.Distance(test::kV4, test::kV5), 2);
+  EXPECT_EQ(lca.Distance(test::kV4, test::kV7), 5);
+  EXPECT_EQ(lca.Distance(test::kV1, test::kV1), 0);
+  EXPECT_EQ(lca.Distance(test::kV1, test::kV7), 3);
+}
+
+TEST(LcaTest, SingleVertexTree) {
+  Tree tree(std::vector<VertexId>{kInvalidVertex});
+  LcaIndex lca(tree);
+  EXPECT_EQ(lca.Query(0, 0), 0);
+  EXPECT_EQ(lca.Distance(0, 0), 0);
+}
+
+TEST(LcaTest, DeepChainTree) {
+  // Path tree 0 <- 1 <- 2 <- ... <- 63.
+  std::vector<VertexId> parent(64);
+  parent[0] = kInvalidVertex;
+  for (VertexId v = 1; v < 64; ++v) parent[static_cast<std::size_t>(v)] =
+      v - 1;
+  Tree tree(std::move(parent));
+  LcaIndex lca(tree);
+  EXPECT_EQ(lca.Query(63, 10), 10);
+  EXPECT_EQ(lca.Query(5, 40), 5);
+  EXPECT_EQ(lca.Distance(63, 0), 63);
+}
+
+class LcaMatchesNaive : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LcaMatchesNaive, OnRandomTrees) {
+  Rng rng(GetParam());
+  const auto n = static_cast<VertexId>(rng.NextInt(2, 120));
+  Tree tree = topology::RandomTree(n, rng);
+  LcaIndex lca(tree);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto u = static_cast<VertexId>(
+        rng.NextBounded(static_cast<std::uint64_t>(n)));
+    const auto v = static_cast<VertexId>(
+        rng.NextBounded(static_cast<std::uint64_t>(n)));
+    ASSERT_EQ(lca.Query(u, v), NaiveLca(tree, u, v))
+        << "u=" << u << " v=" << v << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LcaMatchesNaive,
+                         ::testing::Values(101, 202, 303, 404, 505, 606,
+                                           707, 808));
+
+TEST(LcaTest, BoundedBranchingTrees) {
+  Rng rng(999);
+  for (VertexId max_children : {1, 2, 5}) {
+    Tree tree = topology::RandomBoundedTree(50, max_children, rng);
+    LcaIndex lca(tree);
+    for (int trial = 0; trial < 100; ++trial) {
+      const auto u = static_cast<VertexId>(rng.NextBounded(50));
+      const auto v = static_cast<VertexId>(rng.NextBounded(50));
+      ASSERT_EQ(lca.Query(u, v), NaiveLca(tree, u, v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tdmd::graph

@@ -1,0 +1,184 @@
+#include "core/objective.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.hpp"
+#include "test_util.hpp"
+
+namespace tdmd::core {
+namespace {
+
+TEST(FlowBandwidthTest, ServedAtSourceDiminishesEverything) {
+  Instance instance = test::PaperInstance();
+  // f3: rate 5, 3 edges, lambda 0.5; served at source: 0.5 * 5 * 3 = 7.5.
+  EXPECT_DOUBLE_EQ(FlowBandwidth(instance, 2, 0), 7.5);
+}
+
+TEST(FlowBandwidthTest, ServedAtDestinationDiminishesNothing) {
+  Instance instance = test::PaperInstance();
+  EXPECT_DOUBLE_EQ(FlowBandwidth(instance, 2, 3), 15.0);
+}
+
+TEST(FlowBandwidthTest, UnservedPaysFullRate) {
+  Instance instance = test::PaperInstance();
+  EXPECT_DOUBLE_EQ(FlowBandwidth(instance, 2, kUnservedIndex), 15.0);
+  EXPECT_DOUBLE_EQ(FlowBandwidth(instance, 0, kUnservedIndex), 4.0);
+}
+
+TEST(FlowBandwidthTest, MidPathServing) {
+  Instance instance = test::PaperInstance();
+  // f3 served at v6 (index 1): 1 full edge + 2 diminished:
+  // 5 + 2.5 + 2.5 = 10.
+  EXPECT_DOUBLE_EQ(FlowBandwidth(instance, 2, 1), 10.0);
+}
+
+TEST(EvaluateBandwidthTest, EmptyDeploymentIsUnprocessed) {
+  Instance instance = test::PaperInstance();
+  Deployment empty(instance.num_vertices());
+  EXPECT_DOUBLE_EQ(EvaluateBandwidth(instance, empty), 24.0);
+  EXPECT_DOUBLE_EQ(EvaluateDecrement(instance, empty), 0.0);
+}
+
+TEST(EvaluateBandwidthTest, AllLeavesIsTheMinimum) {
+  // Lemma 1(2): serving every flow at its source reaches
+  // lambda * sum r|p|.
+  Instance instance = test::PaperInstance();
+  Deployment leaves(instance.num_vertices(),
+                    {test::kV4, test::kV5, test::kV7, test::kV8});
+  EXPECT_DOUBLE_EQ(EvaluateBandwidth(instance, leaves), 12.0);
+  EXPECT_DOUBLE_EQ(EvaluateDecrement(instance, leaves), 12.0);
+}
+
+TEST(EvaluateBandwidthTest, FullDeploymentEqualsLeafDeployment) {
+  // Lemma 1(1): d(V) = (1 - lambda) sum r|p| — every flow served at its
+  // source even when every vertex hosts a middlebox.
+  Instance instance = test::PaperInstance();
+  std::vector<VertexId> all;
+  for (VertexId v = 0; v < instance.num_vertices(); ++v) all.push_back(v);
+  Deployment everything(instance.num_vertices(), all);
+  EXPECT_DOUBLE_EQ(EvaluateDecrement(instance, everything), 12.0);
+}
+
+TEST(EvaluateBandwidthTest, PaperK2OptimalPlan) {
+  // Fig. 6 / Section 5.1: {v2, v6} achieves F(v1, 2) = 16.5.
+  Instance instance = test::PaperInstance();
+  Deployment plan(instance.num_vertices(), {test::kV2, test::kV6});
+  EXPECT_DOUBLE_EQ(EvaluateBandwidth(instance, plan), 16.5);
+  Deployment alt(instance.num_vertices(), {test::kV1, test::kV7});
+  EXPECT_DOUBLE_EQ(EvaluateBandwidth(instance, alt), 16.5);
+}
+
+TEST(EvaluateBandwidthTest, PaperK3OptimalPlan) {
+  Instance instance = test::PaperInstance();
+  Deployment plan(instance.num_vertices(),
+                  {test::kV2, test::kV7, test::kV8});
+  EXPECT_DOUBLE_EQ(EvaluateBandwidth(instance, plan), 13.5);
+}
+
+TEST(AllocateTest, NearestSourceWins) {
+  Instance instance = test::PaperInstance();
+  // Boxes on both v6 and v7: f3 must be served at v7 (nearer its source).
+  Deployment plan(instance.num_vertices(), {test::kV6, test::kV7});
+  Allocation allocation = Allocate(instance, plan);
+  EXPECT_EQ(allocation.serving_vertex[2], test::kV7);
+  // f2 (flow 3) sources at v8; its nearest box is v6.
+  EXPECT_EQ(allocation.serving_vertex[3], test::kV6);
+  // f1/f4 see no box on their paths.
+  EXPECT_EQ(allocation.serving_vertex[0], kInvalidVertex);
+  EXPECT_FALSE(allocation.AllServed());
+}
+
+TEST(FeasibilityTest, RootCoversEverythingOnTrees) {
+  Instance instance = test::PaperInstance();
+  Deployment root_only(instance.num_vertices(), {test::kV1});
+  EXPECT_TRUE(IsFeasible(instance, root_only));
+  Deployment partial(instance.num_vertices(), {test::kV2});
+  EXPECT_FALSE(IsFeasible(instance, partial));
+}
+
+TEST(ServedStateTest, MarginalMatchesFullRecomputation) {
+  Rng rng(5);
+  Instance instance = test::MakeRandomGeneralCase(18, 0.3, 12, rng);
+  ServedState state(instance);
+  Deployment plan(instance.num_vertices());
+  for (VertexId v : {2, 7, 11}) {
+    // Marginal decrement must equal d(P u {v}) - d(P) computed from
+    // scratch.
+    Deployment with_v = plan;
+    with_v.Add(v);
+    const Bandwidth expected = EvaluateDecrement(instance, with_v) -
+                               EvaluateDecrement(instance, plan);
+    EXPECT_NEAR(state.MarginalDecrement(v), expected, 1e-9);
+    state.Deploy(v);
+    plan.Add(v);
+    EXPECT_NEAR(state.bandwidth(), EvaluateBandwidth(instance, plan), 1e-9);
+  }
+}
+
+TEST(ServedStateTest, DeployIsIdempotentOnWorsePositions) {
+  Instance instance = test::PaperInstance();
+  ServedState state(instance);
+  state.Deploy(test::kV7);
+  const Bandwidth after_leaf = state.bandwidth();
+  state.Deploy(test::kV6);  // worse for f3, serves f2
+  EXPECT_LT(state.bandwidth(), after_leaf);
+  const Bandwidth after_v6 = state.bandwidth();
+  state.Deploy(test::kV3);  // no flow improves: v7/v6 already better
+  EXPECT_DOUBLE_EQ(state.bandwidth(), after_v6);
+}
+
+TEST(ServedStateTest, UnservedCountTracksCoverage) {
+  Instance instance = test::PaperInstance();
+  ServedState state(instance);
+  EXPECT_EQ(state.unserved_count(), 4);
+  state.Deploy(test::kV6);
+  EXPECT_EQ(state.unserved_count(), 2);
+  state.Deploy(test::kV2);
+  EXPECT_EQ(state.unserved_count(), 0);
+  EXPECT_TRUE(state.AllServed());
+}
+
+class SubmodularityProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SubmodularityProperty, DecrementIsMonotoneAndSubmodular) {
+  // Theorem 2: for P subset P', d_P({v}) >= d_P'({v}), and d is monotone.
+  Rng rng(GetParam());
+  const double lambda = rng.NextDouble(0.0, 1.0);
+  Instance instance = test::MakeRandomGeneralCase(16, lambda, 10, rng);
+
+  // Build nested P subset P'.
+  std::vector<VertexId> all;
+  for (VertexId v = 0; v < instance.num_vertices(); ++v) all.push_back(v);
+  rng.Shuffle(all);
+  Deployment small(instance.num_vertices());
+  Deployment large(instance.num_vertices());
+  for (std::size_t i = 0; i < 3; ++i) {
+    small.Add(all[i]);
+    large.Add(all[i]);
+  }
+  for (std::size_t i = 3; i < 6; ++i) large.Add(all[i]);
+
+  EXPECT_GE(EvaluateDecrement(instance, large) + 1e-9,
+            EvaluateDecrement(instance, small));  // monotone
+
+  for (std::size_t i = 6; i < all.size(); ++i) {
+    const VertexId v = all[i];
+    Deployment small_v = small;
+    small_v.Add(v);
+    Deployment large_v = large;
+    large_v.Add(v);
+    const Bandwidth gain_small = EvaluateDecrement(instance, small_v) -
+                                 EvaluateDecrement(instance, small);
+    const Bandwidth gain_large = EvaluateDecrement(instance, large_v) -
+                                 EvaluateDecrement(instance, large);
+    EXPECT_GE(gain_small + 1e-9, gain_large)
+        << "submodularity violated at v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubmodularityProperty,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace tdmd::core

@@ -1,0 +1,119 @@
+// Theorem 1 round-trip: a set-cover instance is coverable with k sets iff
+// the reduced TDMD instance is feasible with k middleboxes, and vice versa.
+#include "setcover/reduction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "setcover/set_cover.hpp"
+#include "test_util.hpp"
+
+namespace tdmd::setcover {
+namespace {
+
+SetCoverInstance PaperFigure2() {
+  SetCoverInstance sc;
+  sc.universe_size = 4;
+  sc.sets = {{0, 1, 3}, {0, 1}, {2}};
+  return sc;
+}
+
+TEST(ForwardReductionTest, StructureOfPaperFigure2) {
+  const SetCoverInstance sc = PaperFigure2();
+  const TdmdFeasibilityInstance tdmd = ReduceSetCoverToTdmd(sc);
+  // 3 set-vertices + sink.
+  EXPECT_EQ(tdmd.graph.num_vertices(), 4);
+  ASSERT_EQ(tdmd.flows.size(), 4u);
+  // Flow 0 (= element f1) passes v0 (S1) and v1 (S2), then the sink.
+  EXPECT_EQ(tdmd.flows[0].path.vertices,
+            (std::vector<VertexId>{0, 1, 3}));
+  // Flow 2 (= f3) only passes v2 (S3).
+  EXPECT_EQ(tdmd.flows[2].path.vertices, (std::vector<VertexId>{2, 3}));
+  EXPECT_TRUE(traffic::AllFlowsValid(tdmd.graph, tdmd.flows));
+}
+
+TEST(ForwardReductionTest, FeasibilityMatchesCoverDecision) {
+  const SetCoverInstance sc = PaperFigure2();
+  const TdmdFeasibilityInstance tdmd = ReduceSetCoverToTdmd(sc);
+  // Deploying on the sink alone serves everything (every path ends
+  // there), so exclude it the way the proof does: feasibility *via
+  // set-vertices only* is what mirrors the cover.  Check via the
+  // backward reduction restricted to set-vertices.
+  SetCoverInstance back = ReduceTdmdToSetCover(tdmd.graph, tdmd.flows);
+  back.sets.resize(sc.sets.size());  // drop the sink's set
+  EXPECT_FALSE(CoverableWith(back, 1));
+  EXPECT_TRUE(CoverableWith(back, 2));
+}
+
+TEST(BackwardReductionTest, SetsAreFlowsThroughVertex) {
+  const graph::Tree tree = test::PaperTree();
+  const traffic::FlowSet flows = test::PaperFlows(tree);
+  const graph::Digraph g = tree.ToDigraph();
+  const SetCoverInstance sc = ReduceTdmdToSetCover(g, flows);
+  EXPECT_EQ(sc.universe_size, 4u);
+  ASSERT_EQ(sc.sets.size(), 8u);
+  // v1 (root) lies on every path.
+  EXPECT_EQ(sc.sets[static_cast<std::size_t>(test::kV1)].size(), 4u);
+  // v6 lies on the two right-subtree paths (flows 2 and 3).
+  EXPECT_EQ(sc.sets[static_cast<std::size_t>(test::kV6)],
+            (std::vector<std::size_t>{2, 3}));
+  // Leaf v4 only sees its own flow.
+  EXPECT_EQ(sc.sets[static_cast<std::size_t>(test::kV4)],
+            (std::vector<std::size_t>{0}));
+}
+
+TEST(FeasibilityTest, PaperTreeThresholds) {
+  const graph::Tree tree = test::PaperTree();
+  const traffic::FlowSet flows = test::PaperFlows(tree);
+  const graph::Digraph g = tree.ToDigraph();
+  // One box at the root always suffices on trees.
+  EXPECT_TRUE(FeasibleWith(g, flows, 1));
+  EXPECT_TRUE(FeasibleWith(g, flows, 4));
+  EXPECT_FALSE(FeasibleWith(g, flows, 0));
+}
+
+TEST(FeasibilityTest, EmptyFlowSetAlwaysFeasible) {
+  const graph::Tree tree = test::PaperTree();
+  EXPECT_TRUE(FeasibleWith(tree.ToDigraph(), {}, 0));
+}
+
+class RoundTripEquivalence : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(RoundTripEquivalence, CoverSizeSurvivesTheReduction) {
+  Rng rng(GetParam());
+  SetCoverInstance sc;
+  sc.universe_size = static_cast<std::size_t>(rng.NextInt(3, 10));
+  const auto num_sets = static_cast<std::size_t>(rng.NextInt(2, 7));
+  sc.sets.resize(num_sets);
+  for (std::size_t e = 0; e < sc.universe_size; ++e) {
+    sc.sets[e % num_sets].push_back(e);
+    for (std::size_t s = 0; s < num_sets; ++s) {
+      if (rng.NextBool(0.25)) {
+        auto& members = sc.sets[s];
+        if (std::find(members.begin(), members.end(), e) == members.end()) {
+          members.push_back(e);
+        }
+      }
+    }
+  }
+  const auto exact_before = ExactMinimumCover(sc);
+  ASSERT_TRUE(exact_before.has_value());
+
+  // Forward: build TDMD, then reduce back (excluding the sink vertex) and
+  // re-solve.  Minimum cover size must be preserved.
+  const TdmdFeasibilityInstance tdmd = ReduceSetCoverToTdmd(sc);
+  SetCoverInstance back = ReduceTdmdToSetCover(tdmd.graph, tdmd.flows);
+  back.sets.resize(num_sets);
+  const auto exact_after = ExactMinimumCover(back);
+  ASSERT_TRUE(exact_after.has_value());
+  EXPECT_EQ(exact_before->size(), exact_after->size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace tdmd::setcover

@@ -1,0 +1,83 @@
+#include "topology/reference.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/tdmd.hpp"
+#include "graph/traversal.hpp"
+#include "test_util.hpp"
+#include "traffic/generator.hpp"
+
+namespace tdmd::topology {
+namespace {
+
+TEST(AbileneTest, StructureMatchesThePublishedBackbone) {
+  graph::Digraph g = Abilene();
+  EXPECT_EQ(g.num_vertices(), 11);
+  EXPECT_EQ(g.num_arcs(), 28);  // 14 links * 2 directions
+  EXPECT_TRUE(g.IsSymmetric());
+  EXPECT_TRUE(graph::IsStronglyConnected(g));
+  // Spot checks: Denver <-> Kansas City, no LA <-> New York shortcut.
+  EXPECT_NE(g.FindArc(3, 4), kInvalidEdge);
+  EXPECT_EQ(g.FindArc(2, 10), kInvalidEdge);
+}
+
+TEST(AbileneTest, NodeNames) {
+  EXPECT_EQ(AbileneNodeName(0), "Seattle");
+  EXPECT_EQ(AbileneNodeName(10), "NewYork");
+  EXPECT_DEATH(AbileneNodeName(11), "out of range");
+}
+
+TEST(NsfnetTest, StructureMatchesTheT1Backbone) {
+  graph::Digraph g = Nsfnet();
+  EXPECT_EQ(g.num_vertices(), 14);
+  EXPECT_EQ(g.num_arcs(), 42);  // 21 links * 2 directions
+  EXPECT_TRUE(g.IsSymmetric());
+  EXPECT_TRUE(graph::IsStronglyConnected(g));
+}
+
+TEST(ReferenceTopologyTest, TdmdPipelineRunsOnBoth) {
+  // End-to-end: workload + GTP + exact B&B agree on the fixed backbones.
+  for (int which = 0; which < 2; ++which) {
+    graph::Digraph g = which == 0 ? Abilene() : Nsfnet();
+    Rng rng(100 + which);
+    traffic::WorkloadParams params;
+    params.flow_density = 0.4;
+    params.link_capacity = 20.0;
+    traffic::FlowSet flows =
+        traffic::GenerateGeneralWorkload(g, {0}, params, rng);
+    core::Instance instance(std::move(g), std::move(flows), 0.5);
+
+    core::GtpOptions options;
+    options.max_middleboxes = 4;
+    options.feasibility_aware = true;
+    const core::PlacementResult gtp = core::Gtp(instance, options);
+    const auto exact = core::ExactBranchAndBound(instance, 4);
+    if (exact.has_value()) {
+      EXPECT_LE(exact->best.bandwidth, gtp.bandwidth + 1e-9);
+      // GTP stays within the usual few percent on these backbones too.
+      EXPECT_LE(gtp.bandwidth, 1.15 * exact->best.bandwidth)
+          << (which == 0 ? "Abilene" : "NSFNET");
+    }
+  }
+}
+
+TEST(ReferenceTopologyTest, TreeModelFromAbilene) {
+  // The Section-5 tree model applies to a BFS tree of the backbone.
+  graph::Digraph g = Abilene();
+  const graph::Tree tree = graph::Tree::BfsTreeOf(g, /*root=*/10);  // NYC
+  EXPECT_EQ(tree.root(), 10);
+  Rng rng(7);
+  traffic::WorkloadParams params;
+  params.flow_density = 0.4;
+  params.link_capacity = 30.0;
+  const traffic::FlowSet flows = traffic::MergeSameSourceFlows(
+      traffic::GenerateTreeWorkload(tree, params, rng));
+  core::Instance instance = core::MakeTreeInstance(tree, flows, 0.5);
+  const core::PlacementResult dp = core::DpTree(instance, tree, 4);
+  const core::PlacementResult hat = core::Hat(instance, tree, 4);
+  EXPECT_TRUE(dp.feasible);
+  EXPECT_GE(hat.bandwidth + 1e-9, dp.bandwidth);
+}
+
+}  // namespace
+}  // namespace tdmd::topology

@@ -1,0 +1,127 @@
+#include "setcover/set_cover.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace tdmd::setcover {
+namespace {
+
+SetCoverInstance PaperFigure2() {
+  // Fig. 2: universe {f1..f4}; S1 = {f1, f2, f4}, S2 = {f1, f2},
+  // S3 = {f3}.  Minimum cover is {S1, S3}.
+  SetCoverInstance sc;
+  sc.universe_size = 4;
+  sc.sets = {{0, 1, 3}, {0, 1}, {2}};
+  return sc;
+}
+
+TEST(IsCoverTest, DetectsCompleteAndIncomplete) {
+  const SetCoverInstance sc = PaperFigure2();
+  EXPECT_TRUE(IsCover(sc, {0, 2}));
+  EXPECT_TRUE(IsCover(sc, {0, 1, 2}));
+  EXPECT_FALSE(IsCover(sc, {0}));
+  EXPECT_FALSE(IsCover(sc, {1, 2}));
+  EXPECT_FALSE(IsCover(sc, {}));
+}
+
+TEST(GreedyCoverTest, SolvesPaperFigure2) {
+  const SetCoverInstance sc = PaperFigure2();
+  auto cover = GreedyCover(sc);
+  ASSERT_TRUE(cover.has_value());
+  EXPECT_TRUE(IsCover(sc, *cover));
+  EXPECT_EQ(cover->size(), 2u);  // greedy is optimal here
+}
+
+TEST(GreedyCoverTest, UncoverableReturnsNullopt) {
+  SetCoverInstance sc;
+  sc.universe_size = 3;
+  sc.sets = {{0}, {1}};  // element 2 uncovered
+  EXPECT_FALSE(GreedyCover(sc).has_value());
+}
+
+TEST(GreedyCoverTest, EmptyUniverseNeedsNoSets) {
+  SetCoverInstance sc;
+  sc.universe_size = 0;
+  sc.sets = {{}, {}};
+  auto cover = GreedyCover(sc);
+  ASSERT_TRUE(cover.has_value());
+  EXPECT_TRUE(cover->empty());
+}
+
+TEST(ExactCoverTest, MatchesKnownMinimum) {
+  const SetCoverInstance sc = PaperFigure2();
+  auto minimum = ExactMinimumCover(sc);
+  ASSERT_TRUE(minimum.has_value());
+  EXPECT_EQ(minimum->size(), 2u);
+  EXPECT_TRUE(IsCover(sc, *minimum));
+}
+
+TEST(ExactCoverTest, GreedyCanBeBeaten) {
+  // Classic greedy-trap: greedy picks the big set first and needs 3 sets;
+  // the optimum is the 2 disjoint halves.
+  SetCoverInstance sc;
+  sc.universe_size = 4;
+  sc.sets = {{0, 1, 2}, {0, 1}, {2, 3}};
+  auto greedy = GreedyCover(sc);
+  auto exact = ExactMinimumCover(sc);
+  ASSERT_TRUE(greedy.has_value());
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_EQ(exact->size(), 2u);
+  EXPECT_GE(greedy->size(), exact->size());
+}
+
+TEST(ExactCoverTest, UncoverableReturnsNullopt) {
+  SetCoverInstance sc;
+  sc.universe_size = 2;
+  sc.sets = {{0}};
+  EXPECT_FALSE(ExactMinimumCover(sc).has_value());
+}
+
+TEST(CoverableWithTest, ThresholdBehaviour) {
+  const SetCoverInstance sc = PaperFigure2();
+  EXPECT_FALSE(CoverableWith(sc, 1));
+  EXPECT_TRUE(CoverableWith(sc, 2));
+  EXPECT_TRUE(CoverableWith(sc, 3));
+}
+
+class GreedyVsExact : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GreedyVsExact, GreedyIsFeasibleAndWithinLnBound) {
+  Rng rng(GetParam());
+  SetCoverInstance sc;
+  sc.universe_size = static_cast<std::size_t>(rng.NextInt(4, 14));
+  const auto num_sets = static_cast<std::size_t>(rng.NextInt(3, 10));
+  sc.sets.resize(num_sets);
+  // Ensure coverability: element i is forced into set i % num_sets.
+  for (std::size_t e = 0; e < sc.universe_size; ++e) {
+    sc.sets[e % num_sets].push_back(e);
+  }
+  for (auto& s : sc.sets) {
+    for (std::size_t e = 0; e < sc.universe_size; ++e) {
+      if (rng.NextBool(0.3)) s.push_back(e);
+    }
+  }
+  auto greedy = GreedyCover(sc);
+  auto exact = ExactMinimumCover(sc);
+  ASSERT_TRUE(greedy.has_value());
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_TRUE(IsCover(sc, *greedy));
+  EXPECT_GE(greedy->size(), exact->size());
+  // H_n bound for n <= 14 is < 3.3x.
+  EXPECT_LE(static_cast<double>(greedy->size()),
+            3.3 * static_cast<double>(exact->size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyVsExact,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+TEST(SetCoverDeathTest, ElementOutOfUniverseAborts) {
+  SetCoverInstance sc;
+  sc.universe_size = 2;
+  sc.sets = {{0, 5}};
+  EXPECT_DEATH(GreedyCover(sc), "outside universe");
+}
+
+}  // namespace
+}  // namespace tdmd::setcover

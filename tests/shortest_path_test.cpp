@@ -1,0 +1,138 @@
+#include "graph/shortest_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "graph/traversal.hpp"
+#include "topology/generators.hpp"
+
+namespace tdmd::graph {
+namespace {
+
+TEST(ShortestHopPathTest, TrivialSelfPath) {
+  DigraphBuilder builder(2);
+  builder.AddArc(0, 1);
+  Digraph g = builder.Build();
+  auto path = ShortestHopPath(g, 0, 0);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->NumEdges(), 0u);
+  EXPECT_EQ(path->vertices, std::vector<VertexId>{0});
+}
+
+TEST(ShortestHopPathTest, PicksFewerHops) {
+  // 0 -> 1 -> 2 -> 3 and a shortcut 0 -> 3.
+  DigraphBuilder builder(4);
+  builder.AddArc(0, 1);
+  builder.AddArc(1, 2);
+  builder.AddArc(2, 3);
+  builder.AddArc(0, 3);
+  Digraph g = builder.Build();
+  auto path = ShortestHopPath(g, 0, 3);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->NumEdges(), 1u);
+}
+
+TEST(ShortestHopPathTest, UnreachableReturnsNullopt) {
+  DigraphBuilder builder(3);
+  builder.AddArc(0, 1);
+  Digraph g = builder.Build();
+  EXPECT_FALSE(ShortestHopPath(g, 0, 2).has_value());
+  EXPECT_FALSE(ShortestHopPath(g, 1, 0).has_value());  // directed
+}
+
+TEST(ShortestHopPathTest, PathIsSimpleAndValid) {
+  Rng rng(13);
+  Digraph g = topology::Waxman(40, 0.4, 0.4, rng);
+  int found = 0;
+  for (VertexId target = 1; target < 40; ++target) {
+    auto path = ShortestHopPath(g, 0, target);
+    if (!path.has_value()) continue;
+    ++found;
+    EXPECT_TRUE(IsSimplePath(g, *path));
+    EXPECT_EQ(path->vertices.front(), 0);
+    EXPECT_EQ(path->vertices.back(), target);
+  }
+  EXPECT_GT(found, 0);
+}
+
+TEST(ShortestHopPathTest, LengthMatchesBfsDistance) {
+  Rng rng(17);
+  Digraph g = topology::ErdosRenyi(35, 0.12, rng);
+  BfsResult bfs = BreadthFirst(g, 0);
+  for (VertexId v = 0; v < 35; ++v) {
+    auto path = ShortestHopPath(g, 0, v);
+    const auto dist = bfs.dist[static_cast<std::size_t>(v)];
+    if (dist < 0) {
+      EXPECT_FALSE(path.has_value());
+    } else {
+      ASSERT_TRUE(path.has_value());
+      EXPECT_EQ(static_cast<std::int32_t>(path->NumEdges()), dist);
+    }
+  }
+}
+
+TEST(DijkstraTest, UnitWeightsMatchBfs) {
+  Rng rng(19);
+  Digraph g = topology::Waxman(30, 0.5, 0.4, rng);
+  std::vector<double> weights(static_cast<std::size_t>(g.num_arcs()), 1.0);
+  WeightedSsspResult sssp = Dijkstra(g, 0, weights);
+  BfsResult bfs = BreadthFirst(g, 0);
+  for (VertexId v = 0; v < 30; ++v) {
+    const auto dist = bfs.dist[static_cast<std::size_t>(v)];
+    if (dist < 0) {
+      EXPECT_TRUE(std::isinf(sssp.dist[static_cast<std::size_t>(v)]));
+    } else {
+      EXPECT_DOUBLE_EQ(sssp.dist[static_cast<std::size_t>(v)],
+                       static_cast<double>(dist));
+    }
+  }
+}
+
+TEST(DijkstraTest, WeightedShortcutBeatsFewHops) {
+  // 0 -> 1 -> 2 cheap (0.1 each) vs direct 0 -> 2 expensive (5).
+  DigraphBuilder builder(3);
+  const EdgeId e01 = builder.AddArc(0, 1);
+  const EdgeId e12 = builder.AddArc(1, 2);
+  const EdgeId e02 = builder.AddArc(0, 2);
+  Digraph g = builder.Build();
+  std::vector<double> weights(3);
+  weights[static_cast<std::size_t>(e01)] = 0.1;
+  weights[static_cast<std::size_t>(e12)] = 0.1;
+  weights[static_cast<std::size_t>(e02)] = 5.0;
+  WeightedSsspResult sssp = Dijkstra(g, 0, weights);
+  EXPECT_DOUBLE_EQ(sssp.dist[2], 0.2);
+  auto path = RecoverPath(g, sssp, 0, 2);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->vertices, (std::vector<VertexId>{0, 1, 2}));
+}
+
+TEST(DijkstraTest, RecoverPathUnreachable) {
+  DigraphBuilder builder(2);
+  Digraph g = builder.Build();
+  std::vector<double> weights;
+  WeightedSsspResult sssp = Dijkstra(g, 0, weights);
+  EXPECT_FALSE(RecoverPath(g, sssp, 0, 1).has_value());
+}
+
+TEST(IsSimplePathTest, RejectsRepeatsGapsAndEmpty) {
+  DigraphBuilder builder(3);
+  builder.AddArc(0, 1);
+  builder.AddArc(1, 2);
+  Digraph g = builder.Build();
+  Path ok;
+  ok.vertices = {0, 1, 2};
+  EXPECT_TRUE(IsSimplePath(g, ok));
+  Path repeat;
+  repeat.vertices = {0, 1, 0};
+  EXPECT_FALSE(IsSimplePath(g, repeat));
+  Path gap;
+  gap.vertices = {0, 2};
+  EXPECT_FALSE(IsSimplePath(g, gap));
+  Path empty;
+  EXPECT_FALSE(IsSimplePath(g, empty));
+}
+
+}  // namespace
+}  // namespace tdmd::graph

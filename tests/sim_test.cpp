@@ -1,0 +1,141 @@
+#include "sim/link_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/gtp.hpp"
+#include "core/objective.hpp"
+#include "test_util.hpp"
+
+namespace tdmd::sim {
+namespace {
+
+using core::Deployment;
+using core::EvaluateBandwidth;
+
+TEST(LinkSimTest, EmptyDeploymentFullRateEverywhere) {
+  core::Instance instance = test::PaperInstance();
+  Deployment empty(instance.num_vertices());
+  LinkLoadReport report = SimulateLinkLoads(instance, empty);
+  EXPECT_DOUBLE_EQ(report.total, 24.0);
+  EXPECT_EQ(report.unserved_flows, 4);
+  // Heaviest arc is v7 -> v6 ... actually v3 -> v1 carries f3 + f2 = 6.
+  EXPECT_DOUBLE_EQ(report.peak, 6.0);
+}
+
+TEST(LinkSimTest, PerArcLoadsOnPaperPlan) {
+  core::Instance instance = test::PaperInstance();
+  const graph::Tree tree = test::PaperTree();
+  Deployment plan(instance.num_vertices(), {test::kV2, test::kV6});
+  LinkLoadReport report = SimulateLinkLoads(instance, plan);
+  EXPECT_DOUBLE_EQ(report.total, 16.5);
+  EXPECT_EQ(report.unserved_flows, 0);
+
+  const graph::Digraph& g = instance.network();
+  // v7 -> v6 still carries f3 at full rate 5 (box is at v6).
+  EXPECT_DOUBLE_EQ(
+      report.arc_load[static_cast<std::size_t>(
+          g.FindArc(test::kV7, test::kV6))],
+      5.0);
+  // v6 -> v3 carries f3 and f2 both diminished: 2.5 + 0.5.
+  EXPECT_DOUBLE_EQ(
+      report.arc_load[static_cast<std::size_t>(
+          g.FindArc(test::kV6, test::kV3))],
+      3.0);
+  // v4 -> v2 carries f1 at full rate 2.
+  EXPECT_DOUBLE_EQ(
+      report.arc_load[static_cast<std::size_t>(
+          g.FindArc(test::kV4, test::kV2))],
+      2.0);
+}
+
+TEST(LinkSimTest, WithinCapacityThresholds) {
+  core::Instance instance = test::PaperInstance();
+  Deployment empty(instance.num_vertices());
+  EXPECT_TRUE(WithinCapacity(instance, empty, 6.0));
+  EXPECT_FALSE(WithinCapacity(instance, empty, 5.9));
+}
+
+class SimCrossValidation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimCrossValidation, LinkSumEqualsClosedFormObjective) {
+  // The core property: the analytic objective of Section 3.2 equals the
+  // per-link simulation, for arbitrary deployments, lambdas and
+  // topologies.
+  Rng rng(GetParam());
+  const double lambda = rng.NextDouble(0.0, 1.0);
+
+  // Tree case.
+  const test::RandomTreeCase tree_case =
+      test::MakeRandomTreeCase(static_cast<VertexId>(rng.NextInt(4, 30)),
+                               lambda, rng);
+  for (int trial = 0; trial < 10; ++trial) {
+    Deployment plan(tree_case.instance.num_vertices());
+    for (VertexId v = 0; v < tree_case.instance.num_vertices(); ++v) {
+      if (rng.NextBool(0.25)) plan.Add(v);
+    }
+    const LinkLoadReport report =
+        SimulateLinkLoads(tree_case.instance, plan);
+    EXPECT_NEAR(report.total, EvaluateBandwidth(tree_case.instance, plan),
+                1e-9);
+  }
+
+  // General case.
+  core::Instance general = test::MakeRandomGeneralCase(
+      static_cast<VertexId>(rng.NextInt(6, 25)), lambda, 12, rng);
+  for (int trial = 0; trial < 10; ++trial) {
+    Deployment plan(general.num_vertices());
+    for (VertexId v = 0; v < general.num_vertices(); ++v) {
+      if (rng.NextBool(0.25)) plan.Add(v);
+    }
+    const LinkLoadReport report = SimulateLinkLoads(general, plan);
+    EXPECT_NEAR(report.total, EvaluateBandwidth(general, plan), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimCrossValidation,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+TEST(LinkSimTest, UnservedCountMatchesAllocation) {
+  Rng rng(3);
+  core::Instance instance = test::MakeRandomGeneralCase(20, 0.5, 15, rng);
+  Deployment plan(instance.num_vertices());
+  plan.Add(5);
+  plan.Add(11);
+  const LinkLoadReport report = SimulateLinkLoads(instance, plan);
+  const core::Allocation allocation = core::Allocate(instance, plan);
+  FlowId expected = 0;
+  for (VertexId v : allocation.serving_vertex) {
+    if (v == kInvalidVertex) ++expected;
+  }
+  EXPECT_EQ(report.unserved_flows, expected);
+}
+
+TEST(LinkSimTest, GtpDeploymentServesEverything) {
+  Rng rng(7);
+  core::Instance instance = test::MakeRandomGeneralCase(22, 0.3, 18, rng);
+  const core::PlacementResult gtp = core::Gtp(instance);
+  const LinkLoadReport report =
+      SimulateLinkLoads(instance, gtp.deployment);
+  EXPECT_EQ(report.unserved_flows, 0);
+  EXPECT_NEAR(report.total, gtp.bandwidth, 1e-9);
+}
+
+TEST(LinkSimTest, SpamFilterZeroesDownstreamLinks) {
+  const graph::Tree tree = test::PaperTree();
+  core::Instance instance =
+      core::MakeTreeInstance(tree, test::PaperFlows(tree), 0.0);
+  Deployment plan(instance.num_vertices(), {test::kV6});
+  const LinkLoadReport report = SimulateLinkLoads(instance, plan);
+  const graph::Digraph& g = instance.network();
+  // Downstream of the filter, f3/f2 traffic is gone.
+  EXPECT_DOUBLE_EQ(report.arc_load[static_cast<std::size_t>(
+                       g.FindArc(test::kV6, test::kV3))],
+                   0.0);
+  // Upstream it still flows.
+  EXPECT_DOUBLE_EQ(report.arc_load[static_cast<std::size_t>(
+                       g.FindArc(test::kV7, test::kV6))],
+                   5.0);
+}
+
+}  // namespace
+}  // namespace tdmd::sim

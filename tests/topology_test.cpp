@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "graph/traversal.hpp"
+#include "topology/ark.hpp"
+#include "topology/generators.hpp"
+#include "topology/mutate.hpp"
+
+namespace tdmd::topology {
+namespace {
+
+TEST(ArkTest, FullGraphIsConnectedAndSized) {
+  Rng rng(1);
+  ArkParams params;
+  params.num_monitors = 80;
+  ArkTopology ark = GenerateArk(params, rng);
+  EXPECT_EQ(ark.graph.num_vertices(), 80);
+  EXPECT_TRUE(graph::IsWeaklyConnected(ark.graph));
+  EXPECT_TRUE(ark.graph.IsSymmetric());
+  EXPECT_EQ(ark.x.size(), 80u);
+  for (double coord : ark.x) {
+    EXPECT_GE(coord, 0.0);
+    EXPECT_LE(coord, 1.0);
+  }
+}
+
+TEST(ArkTest, DeterministicGivenSeed) {
+  ArkParams params;
+  params.num_monitors = 50;
+  Rng rng_a(77), rng_b(77);
+  ArkTopology a = GenerateArk(params, rng_a);
+  ArkTopology b = GenerateArk(params, rng_b);
+  EXPECT_EQ(a.graph.num_arcs(), b.graph.num_arcs());
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_EQ(a.y, b.y);
+}
+
+TEST(ArkTest, GeneralSubgraphExactSizeConnected) {
+  Rng rng(5);
+  ArkTopology ark = GenerateArk(ArkParams{}, rng);
+  for (VertexId size : {10, 22, 30, 52}) {
+    graph::Digraph sub = ExtractGeneralSubgraph(ark, size, rng);
+    EXPECT_EQ(sub.num_vertices(), size);
+    EXPECT_TRUE(graph::IsWeaklyConnected(sub));
+    EXPECT_TRUE(sub.IsSymmetric());
+  }
+}
+
+TEST(ArkTest, TreeSubgraphRootedAtZero) {
+  Rng rng(9);
+  ArkTopology ark = GenerateArk(ArkParams{}, rng);
+  graph::Tree tree = ExtractTreeSubgraph(ark, 22, rng);
+  EXPECT_EQ(tree.num_vertices(), 22);
+  EXPECT_EQ(tree.root(), 0);
+  EXPECT_FALSE(tree.Leaves().empty());
+}
+
+TEST(ErdosRenyiTest, ConnectedAtAnyDensity) {
+  Rng rng(13);
+  for (double p : {0.0, 0.05, 0.3, 1.0}) {
+    graph::Digraph g = ErdosRenyi(25, p, rng);
+    EXPECT_EQ(g.num_vertices(), 25);
+    EXPECT_TRUE(graph::IsWeaklyConnected(g)) << "p=" << p;
+    EXPECT_TRUE(g.IsSymmetric());
+  }
+}
+
+TEST(ErdosRenyiTest, FullDensityIsComplete) {
+  Rng rng(15);
+  graph::Digraph g = ErdosRenyi(10, 1.0, rng);
+  EXPECT_EQ(g.num_arcs(), 10 * 9);  // both directions of all pairs
+}
+
+TEST(WaxmanTest, ConnectedAndSymmetric) {
+  Rng rng(17);
+  graph::Digraph g = Waxman(40, 0.4, 0.3, rng);
+  EXPECT_TRUE(graph::IsWeaklyConnected(g));
+  EXPECT_TRUE(g.IsSymmetric());
+}
+
+TEST(RandomTreeTest, SizesFromOne) {
+  Rng rng(19);
+  for (VertexId n : {1, 2, 3, 10, 100}) {
+    graph::Tree tree = RandomTree(n, rng);
+    EXPECT_EQ(tree.num_vertices(), n);
+    EXPECT_EQ(tree.root(), 0);
+  }
+}
+
+TEST(RandomBoundedTreeTest, RespectsBranchingBound) {
+  Rng rng(21);
+  for (VertexId max_children : {1, 2, 4}) {
+    graph::Tree tree = RandomBoundedTree(64, max_children, rng);
+    for (VertexId v = 0; v < 64; ++v) {
+      EXPECT_LE(static_cast<VertexId>(tree.Children(v).size()),
+                max_children);
+    }
+  }
+}
+
+TEST(RandomBoundedTreeTest, UnaryBoundGivesAPath) {
+  Rng rng(23);
+  graph::Tree tree = RandomBoundedTree(20, 1, rng);
+  EXPECT_EQ(tree.Leaves().size(), 1u);
+}
+
+TEST(CompleteBinaryTreeTest, HeapShape) {
+  graph::Tree tree = CompleteBinaryTree(4);
+  EXPECT_EQ(tree.num_vertices(), 15);
+  EXPECT_EQ(tree.Leaves().size(), 8u);
+  for (VertexId v = 1; v < 15; ++v) {
+    EXPECT_EQ(tree.Parent(v), (v - 1) / 2);
+  }
+}
+
+TEST(FatTreeTest, LayerCountsAndDepth) {
+  graph::Tree tree = FatTreeAggregation(4, 2, 3);
+  // 1 core + 4 pods + 8 ToRs + 24 hosts.
+  EXPECT_EQ(tree.num_vertices(), 37);
+  EXPECT_EQ(tree.Leaves().size(), 24u);
+  for (VertexId leaf : tree.Leaves()) {
+    EXPECT_EQ(tree.Depth(leaf), 3);
+  }
+}
+
+TEST(BCubeTest, StructureOfBCube41) {
+  graph::Digraph g = BCube(4, 1);
+  // 16 servers + 2 levels * 4 switches.
+  EXPECT_EQ(g.num_vertices(), 24);
+  EXPECT_TRUE(graph::IsWeaklyConnected(g));
+  EXPECT_TRUE(g.IsSymmetric());
+  // Every server has exactly level+1 = 2 switch links (4 arcs).
+  for (VertexId s = 0; s < 16; ++s) {
+    EXPECT_EQ(g.OutDegree(s), 2);
+  }
+  // Every switch hosts n = 4 servers.
+  for (VertexId sw = 16; sw < 24; ++sw) {
+    EXPECT_EQ(g.OutDegree(sw), 4);
+  }
+}
+
+TEST(ResizeGeneralTest, GrowAndShrinkKeepConnectivity) {
+  Rng rng(29);
+  graph::Digraph g = ErdosRenyi(20, 0.15, rng);
+  graph::Digraph grown = ResizeGeneral(g, 35, rng);
+  EXPECT_EQ(grown.num_vertices(), 35);
+  EXPECT_TRUE(graph::IsWeaklyConnected(grown));
+  graph::Digraph shrunk = ResizeGeneral(g, 8, rng);
+  EXPECT_EQ(shrunk.num_vertices(), 8);
+  EXPECT_TRUE(graph::IsWeaklyConnected(shrunk));
+}
+
+TEST(ResizeGeneralTest, NoopWhenAlreadyTargetSize) {
+  Rng rng(31);
+  graph::Digraph g = ErdosRenyi(15, 0.2, rng);
+  graph::Digraph same = ResizeGeneral(g, 15, rng);
+  EXPECT_EQ(same.num_vertices(), 15);
+  EXPECT_EQ(same.num_arcs(), g.num_arcs());
+}
+
+TEST(ResizeTreeTest, GrowAndShrinkStayTrees) {
+  Rng rng(37);
+  graph::Tree tree = RandomTree(12, rng);
+  graph::Tree grown = ResizeTree(tree, 30, rng);
+  EXPECT_EQ(grown.num_vertices(), 30);
+  EXPECT_EQ(grown.root(), 0);
+  graph::Tree shrunk = ResizeTree(tree, 5, rng);
+  EXPECT_EQ(shrunk.num_vertices(), 5);
+  EXPECT_EQ(shrunk.root(), 0);
+}
+
+TEST(ResizeTreeTest, ShrinkToSingleVertex) {
+  Rng rng(41);
+  graph::Tree tree = RandomTree(10, rng);
+  graph::Tree tiny = ResizeTree(tree, 1, rng);
+  EXPECT_EQ(tiny.num_vertices(), 1);
+  EXPECT_EQ(tiny.root(), 0);
+}
+
+class SizeSweepInvariant : public ::testing::TestWithParam<VertexId> {};
+
+TEST_P(SizeSweepInvariant, PaperSizeRangeStaysValid) {
+  // The paper sweeps 12..32 (tree) and 12..52 (general).
+  Rng rng(1000 + static_cast<std::uint64_t>(GetParam()));
+  ArkTopology ark = GenerateArk(ArkParams{}, rng);
+  graph::Digraph g = ExtractGeneralSubgraph(ark, GetParam(), rng);
+  EXPECT_EQ(g.num_vertices(), GetParam());
+  EXPECT_TRUE(graph::IsWeaklyConnected(g));
+  graph::Tree tree = ExtractTreeSubgraph(ark, GetParam(), rng);
+  EXPECT_EQ(tree.num_vertices(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperSizes, SizeSweepInvariant,
+                         ::testing::Values(12, 16, 20, 24, 28, 32, 40, 52));
+
+}  // namespace
+}  // namespace tdmd::topology

@@ -1,0 +1,138 @@
+#include "traffic/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace tdmd::traffic {
+namespace {
+
+TraceParams SmallTrace() {
+  TraceParams params;
+  params.duration_s = 20.0;
+  params.flow_arrival_rate = 25.0;
+  return params;
+}
+
+TEST(TraceTest, PacketsSortedAndWithinHorizon) {
+  Rng rng(1);
+  const PacketTrace trace = GenerateTrace(SmallTrace(), rng);
+  ASSERT_FALSE(trace.packets.empty());
+  EXPECT_GT(trace.num_flows, 0);
+  for (std::size_t i = 1; i < trace.packets.size(); ++i) {
+    EXPECT_LE(trace.packets[i - 1].timestamp_s,
+              trace.packets[i].timestamp_s);
+  }
+  for (const PacketRecord& record : trace.packets) {
+    EXPECT_GE(record.timestamp_s, 0.0);
+    EXPECT_LT(record.timestamp_s, trace.duration_s);
+    EXPECT_TRUE(record.bytes == 64 || record.bytes == 1500);
+    EXPECT_GE(record.flow_key, 0);
+    EXPECT_LT(record.flow_key, trace.num_flows);
+  }
+}
+
+TEST(TraceTest, DeterministicGivenSeed) {
+  Rng a(7), b(7);
+  const PacketTrace t1 = GenerateTrace(SmallTrace(), a);
+  const PacketTrace t2 = GenerateTrace(SmallTrace(), b);
+  ASSERT_EQ(t1.packets.size(), t2.packets.size());
+  EXPECT_EQ(t1.num_flows, t2.num_flows);
+  for (std::size_t i = 0; i < t1.packets.size(); ++i) {
+    EXPECT_EQ(t1.packets[i].flow_key, t2.packets[i].flow_key);
+    EXPECT_DOUBLE_EQ(t1.packets[i].timestamp_s, t2.packets[i].timestamp_s);
+  }
+}
+
+TEST(TraceTest, FlowArrivalCountNearPoissonMean) {
+  Rng rng(3);
+  TraceParams params = SmallTrace();
+  params.duration_s = 40.0;
+  params.flow_arrival_rate = 30.0;
+  const PacketTrace trace = GenerateTrace(params, rng);
+  // Poisson(1200): stddev ~ 35, allow 5 sigma.
+  EXPECT_NEAR(trace.num_flows, 1200, 175);
+}
+
+TEST(TraceTest, MaxPacketsCapRespected) {
+  Rng rng(5);
+  TraceParams params = SmallTrace();
+  params.max_packets = 500;
+  const PacketTrace trace = GenerateTrace(params, rng);
+  EXPECT_LE(trace.packets.size(), 500u);
+}
+
+TEST(AggregateTest, BytesSumToTraceTotal) {
+  Rng rng(9);
+  const PacketTrace trace = GenerateTrace(SmallTrace(), rng);
+  const std::vector<std::int64_t> bytes = AggregateFlowBytes(trace);
+  std::int64_t from_flows = 0;
+  for (std::int64_t b : bytes) from_flows += b;
+  std::int64_t from_packets = 0;
+  for (const PacketRecord& record : trace.packets) {
+    from_packets += record.bytes;
+  }
+  EXPECT_EQ(from_flows, from_packets);
+}
+
+TEST(QuantizeTest, RatesWithinBounds) {
+  Rng rng(11);
+  const PacketTrace trace = GenerateTrace(SmallTrace(), rng);
+  const std::vector<Rate> rates =
+      QuantizeRates(AggregateFlowBytes(trace), trace.duration_s, 40);
+  ASSERT_FALSE(rates.empty());
+  for (Rate r : rates) {
+    EXPECT_GE(r, 1);
+    EXPECT_LE(r, 40);
+  }
+}
+
+TEST(QuantizeTest, EmptyAndZeroInputs) {
+  EXPECT_TRUE(QuantizeRates({}, 10.0, 40).empty());
+  EXPECT_TRUE(QuantizeRates({0, 0}, 10.0, 40).empty());
+}
+
+TEST(PipelineTest, DerivedDistributionHasMiceAndElephants) {
+  // The property the evaluation depends on: the trace-derived rate
+  // distribution has a mice-dominated body and a non-empty heavy tail —
+  // the same shape RateDistribution samples directly.
+  Rng rng(13);
+  TraceParams params = SmallTrace();
+  params.duration_s = 60.0;
+  const PacketTrace trace = GenerateTrace(params, rng);
+  const std::vector<Rate> rates =
+      QuantizeRates(AggregateFlowBytes(trace), trace.duration_s, 40);
+  const RateHistogram histogram = BuildHistogram(rates, 40);
+  ASSERT_GT(histogram.TotalFlows(), 300u);
+  // Mice: most flows in the bottom fifth of the rate range.
+  EXPECT_GT(histogram.CumulativeFraction(8), 0.5);
+  // Elephants: a visible minority at the cap.
+  const double heavy = 1.0 - histogram.CumulativeFraction(20);
+  EXPECT_GT(heavy, 0.01);
+  EXPECT_LT(heavy, 0.4);
+}
+
+TEST(HistogramTest, CountsAndCumulative) {
+  const RateHistogram histogram = BuildHistogram({1, 1, 2, 5, 5, 5}, 5);
+  EXPECT_EQ(histogram.TotalFlows(), 6u);
+  EXPECT_EQ(histogram.counts[0], 2u);
+  EXPECT_EQ(histogram.counts[4], 3u);
+  EXPECT_DOUBLE_EQ(histogram.CumulativeFraction(1), 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(histogram.CumulativeFraction(2), 3.0 / 6.0);
+  EXPECT_DOUBLE_EQ(histogram.CumulativeFraction(5), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.CumulativeFraction(99), 1.0);
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  const RateHistogram histogram = BuildHistogram({}, 10);
+  EXPECT_EQ(histogram.TotalFlows(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.CumulativeFraction(5), 0.0);
+}
+
+TEST(HistogramDeathTest, OutOfRangeRateAborts) {
+  EXPECT_DEATH(BuildHistogram({0}, 5), "outside");
+  EXPECT_DEATH(BuildHistogram({9}, 5), "outside");
+}
+
+}  // namespace
+}  // namespace tdmd::traffic

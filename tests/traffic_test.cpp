@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/instance.hpp"
+#include "core/objective.hpp"
+#include "test_util.hpp"
+#include "topology/generators.hpp"
+#include "traffic/flow.hpp"
+#include "traffic/generator.hpp"
+
+namespace tdmd::traffic {
+namespace {
+
+TEST(RateDistributionTest, SamplesWithinBounds) {
+  Rng rng(1);
+  RateDistribution dist;
+  for (int i = 0; i < 5000; ++i) {
+    const Rate r = SampleRate(dist, rng);
+    ASSERT_GE(r, 1);
+    ASSERT_LE(r, dist.max_rate);
+  }
+}
+
+TEST(RateDistributionTest, HeavyTailPresent) {
+  Rng rng(2);
+  RateDistribution dist;
+  int elephants = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (SampleRate(dist, rng) >= dist.max_rate / 2) ++elephants;
+  }
+  // Pareto tail with 12% tail probability: a visible but minority share
+  // of samples land in the upper half of the rate range.
+  EXPECT_GT(elephants, kSamples / 100);
+  EXPECT_LT(elephants, kSamples / 3);
+}
+
+TEST(RateDistributionTest, MiceDominate) {
+  Rng rng(3);
+  RateDistribution dist;
+  int mice = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (SampleRate(dist, rng) <= 8) ++mice;
+  }
+  EXPECT_GT(mice, kSamples / 2);  // lognormal body = most flows are small
+}
+
+TEST(FlowTest, TotalsOnPaperFlows) {
+  const graph::Tree tree = test::PaperTree();
+  const FlowSet flows = test::PaperFlows(tree);
+  EXPECT_EQ(TotalRate(flows), 9);
+  // r|p|: 2*2 + 1*2 + 5*3 + 1*3 = 24 (the paper's F(v1,1)).
+  EXPECT_DOUBLE_EQ(TotalUnprocessedBandwidth(flows), 24.0);
+}
+
+TEST(FlowTest, MergeSameSourceCombinesRates) {
+  const graph::Tree tree = test::PaperTree();
+  FlowSet flows = test::PaperFlows(tree);
+  // Duplicate the v7 flow twice.
+  flows.push_back(flows[2]);
+  flows.push_back(flows[2]);
+  const FlowSet merged = MergeSameSourceFlows(flows);
+  EXPECT_EQ(merged.size(), 4u);
+  Rate v7_rate = 0;
+  for (const Flow& f : merged) {
+    if (f.src == test::kV7) v7_rate = f.rate;
+  }
+  EXPECT_EQ(v7_rate, 15);
+  EXPECT_EQ(TotalRate(merged), TotalRate(flows));
+  EXPECT_DOUBLE_EQ(TotalUnprocessedBandwidth(merged),
+                   TotalUnprocessedBandwidth(flows));
+}
+
+TEST(FlowTest, MergePreservesObjectiveUnderAnyDeployment) {
+  // The paper treats same-leaf flows as one flow (Theorem 5's complexity
+  // argument); the objective must be invariant.
+  Rng rng(7);
+  const graph::Tree tree = topology::RandomBoundedTree(20, 3, rng);
+  FlowSet flows;
+  for (int i = 0; i < 12; ++i) {
+    const auto& leaves = tree.Leaves();
+    Flow f;
+    f.src = leaves[static_cast<std::size_t>(rng.NextBounded(leaves.size()))];
+    f.dst = tree.root();
+    f.rate = rng.NextInt(1, 5);
+    f.path.vertices = tree.PathToRoot(f.src);
+    flows.push_back(std::move(f));
+  }
+  core::Instance original = core::MakeTreeInstance(tree, flows, 0.4);
+  core::Instance merged =
+      core::MakeTreeInstance(tree, MergeSameSourceFlows(flows), 0.4);
+  for (int trial = 0; trial < 20; ++trial) {
+    core::Deployment plan(tree.num_vertices());
+    for (VertexId v = 0; v < tree.num_vertices(); ++v) {
+      if (rng.NextBool(0.3)) plan.Add(v);
+    }
+    EXPECT_NEAR(core::EvaluateBandwidth(original, plan),
+                core::EvaluateBandwidth(merged, plan), 1e-9);
+  }
+}
+
+TEST(TreeWorkloadTest, FlowsAreValidLeafToRoot) {
+  Rng rng(11);
+  const graph::Tree tree = topology::RandomBoundedTree(22, 3, rng);
+  WorkloadParams params;
+  params.flow_density = 0.5;
+  params.link_capacity = 100.0;
+  const FlowSet flows = GenerateTreeWorkload(tree, params, rng);
+  ASSERT_FALSE(flows.empty());
+  const graph::Digraph g = tree.ToDigraph();
+  EXPECT_TRUE(AllFlowsValid(g, flows));
+  for (const Flow& f : flows) {
+    EXPECT_TRUE(tree.IsLeaf(f.src));
+    EXPECT_EQ(f.dst, tree.root());
+  }
+}
+
+TEST(TreeWorkloadTest, DensityTargetReached) {
+  Rng rng(13);
+  const graph::Tree tree = topology::RandomBoundedTree(22, 3, rng);
+  for (double density : {0.3, 0.5, 0.8}) {
+    WorkloadParams params;
+    params.flow_density = density;
+    params.link_capacity = 200.0;
+    const FlowSet flows = GenerateTreeWorkload(tree, params, rng);
+    const double measured =
+        MeasureDensity(tree.ToDigraph(), flows, params.link_capacity);
+    // Generation stops at the first flow crossing the target, so the
+    // measured density is >= target but within one flow's contribution.
+    EXPECT_GE(measured, density);
+    EXPECT_LT(measured, density + 0.15);
+  }
+}
+
+TEST(TreeWorkloadTest, HigherDensityMoreLoad) {
+  Rng rng_a(17), rng_b(17);
+  const graph::Tree tree = topology::RandomBoundedTree(22, 3, rng_a);
+  Rng tree_rng(17);
+  const graph::Tree same_tree = topology::RandomBoundedTree(22, 3, rng_b);
+  WorkloadParams low, high;
+  low.flow_density = 0.3;
+  high.flow_density = 0.8;
+  Rng rng_low(19), rng_high(19);
+  const double load_low =
+      TotalUnprocessedBandwidth(GenerateTreeWorkload(tree, low, rng_low));
+  const double load_high = TotalUnprocessedBandwidth(
+      GenerateTreeWorkload(same_tree, high, rng_high));
+  EXPECT_LT(load_low, load_high);
+}
+
+TEST(GeneralWorkloadTest, FlowsRouteToDestinations) {
+  Rng rng(23);
+  const graph::Digraph g = topology::Waxman(30, 0.5, 0.4, rng);
+  WorkloadParams params;
+  params.flow_density = 0.4;
+  params.link_capacity = 50.0;
+  const std::vector<VertexId> destinations{0, 5};
+  const FlowSet flows =
+      GenerateGeneralWorkload(g, destinations, params, rng);
+  ASSERT_FALSE(flows.empty());
+  EXPECT_TRUE(AllFlowsValid(g, flows));
+  for (const Flow& f : flows) {
+    EXPECT_TRUE(f.dst == 0 || f.dst == 5);
+    EXPECT_NE(f.src, f.dst);
+  }
+}
+
+TEST(GeneralWorkloadTest, DefaultDestinationIsVertexZero) {
+  Rng rng(29);
+  const graph::Digraph g = topology::Waxman(20, 0.5, 0.4, rng);
+  WorkloadParams params;
+  params.flow_density = 0.2;
+  params.link_capacity = 50.0;
+  const FlowSet flows = GenerateGeneralWorkload(g, {}, params, rng);
+  for (const Flow& f : flows) {
+    EXPECT_EQ(f.dst, 0);
+  }
+}
+
+TEST(GeneralWorkloadTest, MaxFlowsCapRespected) {
+  Rng rng(31);
+  const graph::Digraph g = topology::Waxman(15, 0.5, 0.4, rng);
+  WorkloadParams params;
+  params.flow_density = 50.0;  // unreachable target
+  params.link_capacity = 1.0;
+  params.max_flows = 64;
+  const FlowSet flows = GenerateGeneralWorkload(g, {}, params, rng);
+  EXPECT_EQ(flows.size(), 64u);
+}
+
+TEST(AllFlowsValidTest, RejectsBrokenFlows) {
+  const graph::Tree tree = test::PaperTree();
+  const graph::Digraph g = tree.ToDigraph();
+  FlowSet flows = test::PaperFlows(tree);
+  FlowSet zero_rate = flows;
+  zero_rate[0].rate = 0;
+  EXPECT_FALSE(AllFlowsValid(g, zero_rate));
+  FlowSet wrong_src = flows;
+  wrong_src[0].src = test::kV5;
+  EXPECT_FALSE(AllFlowsValid(g, wrong_src));
+  FlowSet broken_path = flows;
+  broken_path[0].path.vertices = {test::kV4, test::kV3, test::kV1};
+  EXPECT_FALSE(AllFlowsValid(g, broken_path));
+  EXPECT_TRUE(AllFlowsValid(g, flows));
+}
+
+}  // namespace
+}  // namespace tdmd::traffic

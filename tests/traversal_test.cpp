@@ -1,0 +1,115 @@
+#include "graph/traversal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "topology/generators.hpp"
+
+namespace tdmd::graph {
+namespace {
+
+Digraph LineGraph(VertexId n) {
+  DigraphBuilder builder(n);
+  for (VertexId v = 0; v + 1 < n; ++v) builder.AddArc(v, v + 1);
+  return builder.Build();
+}
+
+TEST(BfsTest, DistancesOnALine) {
+  Digraph g = LineGraph(5);
+  BfsResult bfs = BreadthFirst(g, 0);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_EQ(bfs.dist[static_cast<std::size_t>(v)], v);
+  }
+  EXPECT_EQ(bfs.order.front(), 0);
+  EXPECT_EQ(bfs.order.size(), 5u);
+}
+
+TEST(BfsTest, UnreachableMarkedMinusOne) {
+  Digraph g = LineGraph(4);
+  BfsResult bfs = BreadthFirst(g, 2);
+  EXPECT_EQ(bfs.dist[0], -1);
+  EXPECT_EQ(bfs.dist[1], -1);
+  EXPECT_EQ(bfs.dist[2], 0);
+  EXPECT_EQ(bfs.dist[3], 1);
+}
+
+TEST(BfsTest, ParentChainLeadsBackToSource) {
+  DigraphBuilder builder(6);
+  builder.AddBidirectional(0, 1);
+  builder.AddBidirectional(1, 2);
+  builder.AddBidirectional(0, 3);
+  builder.AddBidirectional(3, 4);
+  builder.AddBidirectional(4, 5);
+  Digraph g = builder.Build();
+  BfsResult bfs = BreadthFirst(g, 0);
+  VertexId v = 5;
+  int hops = 0;
+  while (v != 0) {
+    v = bfs.parent[static_cast<std::size_t>(v)];
+    ASSERT_NE(v, kInvalidVertex);
+    ++hops;
+  }
+  EXPECT_EQ(hops, bfs.dist[5]);
+}
+
+TEST(BfsTest, ReverseBfsFollowsInArcs) {
+  Digraph g = LineGraph(4);
+  BfsResult bfs = BreadthFirstReverse(g, 3);
+  EXPECT_EQ(bfs.dist[0], 3);
+  EXPECT_EQ(bfs.dist[3], 0);
+}
+
+TEST(ReachabilityTest, ReachableFromCountsDownstream) {
+  Digraph g = LineGraph(5);
+  EXPECT_EQ(ReachableFrom(g, 0).size(), 5u);
+  EXPECT_EQ(ReachableFrom(g, 3).size(), 2u);
+}
+
+TEST(ConnectivityTest, WeaklyConnectedLine) {
+  EXPECT_TRUE(IsWeaklyConnected(LineGraph(6)));
+}
+
+TEST(ConnectivityTest, DisconnectedDetected) {
+  DigraphBuilder builder(4);
+  builder.AddBidirectional(0, 1);
+  builder.AddBidirectional(2, 3);
+  EXPECT_FALSE(IsWeaklyConnected(builder.Build()));
+}
+
+TEST(ConnectivityTest, SingletonAndEmptyAreConnected) {
+  EXPECT_TRUE(IsWeaklyConnected(DigraphBuilder(0).Build()));
+  EXPECT_TRUE(IsWeaklyConnected(DigraphBuilder(1).Build()));
+}
+
+TEST(ConnectivityTest, DirectedLineNotStronglyConnected) {
+  EXPECT_FALSE(IsStronglyConnected(LineGraph(3)));
+}
+
+TEST(ConnectivityTest, BidirectionalRingStronglyConnected) {
+  DigraphBuilder builder(5);
+  for (VertexId v = 0; v < 5; ++v) {
+    builder.AddBidirectional(v, (v + 1) % 5);
+  }
+  EXPECT_TRUE(IsStronglyConnected(builder.Build()));
+}
+
+TEST(DfsTest, PreorderVisitsReachableOnce) {
+  Rng rng(7);
+  Digraph g = topology::ErdosRenyi(30, 0.1, rng);
+  const std::vector<VertexId> order = DepthFirstPreorder(g, 0);
+  std::vector<char> seen(30, 0);
+  for (VertexId v : order) {
+    EXPECT_FALSE(seen[static_cast<std::size_t>(v)]) << "revisited " << v;
+    seen[static_cast<std::size_t>(v)] = 1;
+  }
+  EXPECT_EQ(order.front(), 0);
+}
+
+TEST(DfsTest, PreorderDeterministic) {
+  Rng rng(9);
+  Digraph g = topology::Waxman(25, 0.5, 0.4, rng);
+  EXPECT_EQ(DepthFirstPreorder(g, 0), DepthFirstPreorder(g, 0));
+}
+
+}  // namespace
+}  // namespace tdmd::graph

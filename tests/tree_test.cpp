@@ -1,0 +1,171 @@
+#include "graph/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "graph/traversal.hpp"
+#include "test_util.hpp"
+#include "topology/generators.hpp"
+
+namespace tdmd::graph {
+namespace {
+
+TEST(TreeTest, PaperTreeStructure) {
+  Tree tree = test::PaperTree();
+  EXPECT_EQ(tree.num_vertices(), 8);
+  EXPECT_EQ(tree.root(), test::kV1);
+  EXPECT_EQ(tree.Parent(test::kV4), test::kV2);
+  EXPECT_EQ(tree.Parent(test::kV7), test::kV6);
+  EXPECT_EQ(tree.Depth(test::kV1), 0);
+  EXPECT_EQ(tree.Depth(test::kV4), 2);
+  EXPECT_EQ(tree.Depth(test::kV7), 3);
+  EXPECT_TRUE(tree.IsLeaf(test::kV4));
+  EXPECT_FALSE(tree.IsLeaf(test::kV6));
+  EXPECT_EQ(tree.Leaves(),
+            (std::vector<VertexId>{test::kV4, test::kV5, test::kV7,
+                                   test::kV8}));
+}
+
+TEST(TreeTest, ChildrenAreSortedAndComplete) {
+  Tree tree = test::PaperTree();
+  const auto kids = tree.Children(test::kV1);
+  EXPECT_EQ(std::vector<VertexId>(kids.begin(), kids.end()),
+            (std::vector<VertexId>{test::kV2, test::kV3}));
+  EXPECT_TRUE(tree.Children(test::kV8).empty());
+}
+
+TEST(TreeTest, PostOrderPutsChildrenBeforeParents) {
+  Rng rng(3);
+  Tree tree = topology::RandomTree(60, rng);
+  std::vector<int> position(60, -1);
+  const auto& order = tree.PostOrder();
+  ASSERT_EQ(order.size(), 60u);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    position[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+  for (VertexId v = 0; v < 60; ++v) {
+    if (v == tree.root()) continue;
+    EXPECT_LT(position[static_cast<std::size_t>(v)],
+              position[static_cast<std::size_t>(tree.Parent(v))]);
+  }
+  EXPECT_EQ(order.back(), tree.root());
+}
+
+TEST(TreeTest, SubtreeSizesSumCorrectly) {
+  Tree tree = test::PaperTree();
+  EXPECT_EQ(tree.SubtreeSize(test::kV1), 8);
+  EXPECT_EQ(tree.SubtreeSize(test::kV2), 3);
+  EXPECT_EQ(tree.SubtreeSize(test::kV3), 4);
+  EXPECT_EQ(tree.SubtreeSize(test::kV6), 3);
+  EXPECT_EQ(tree.SubtreeSize(test::kV7), 1);
+}
+
+TEST(TreeTest, AncestorRelation) {
+  Tree tree = test::PaperTree();
+  EXPECT_TRUE(tree.IsAncestorOf(test::kV1, test::kV8));
+  EXPECT_TRUE(tree.IsAncestorOf(test::kV6, test::kV7));
+  EXPECT_TRUE(tree.IsAncestorOf(test::kV4, test::kV4));  // self
+  EXPECT_FALSE(tree.IsAncestorOf(test::kV7, test::kV6));
+  EXPECT_FALSE(tree.IsAncestorOf(test::kV2, test::kV8));
+}
+
+TEST(TreeTest, PathToRootWalksParents) {
+  Tree tree = test::PaperTree();
+  EXPECT_EQ(tree.PathToRoot(test::kV7),
+            (std::vector<VertexId>{test::kV7, test::kV6, test::kV3,
+                                   test::kV1}));
+  EXPECT_EQ(tree.PathToRoot(test::kV1),
+            (std::vector<VertexId>{test::kV1}));
+}
+
+TEST(TreeTest, ToDigraphPointsTowardRoot) {
+  Tree tree = test::PaperTree();
+  Digraph g = tree.ToDigraph();
+  EXPECT_EQ(g.num_arcs(), 7);
+  EXPECT_NE(g.FindArc(test::kV4, test::kV2), kInvalidEdge);
+  EXPECT_EQ(g.FindArc(test::kV2, test::kV4), kInvalidEdge);
+  EXPECT_EQ(g.OutDegree(test::kV1), 0);  // root emits nothing
+}
+
+TEST(TreeTest, BfsTreeOfPreservesIdsAndRoot) {
+  Rng rng(11);
+  Digraph g = topology::Waxman(25, 0.5, 0.4, rng);
+  Tree tree = Tree::BfsTreeOf(g, 4);
+  EXPECT_EQ(tree.root(), 4);
+  EXPECT_EQ(tree.num_vertices(), 25);
+  // Each tree edge must exist (in either direction) in the base graph.
+  for (VertexId v = 0; v < 25; ++v) {
+    if (v == tree.root()) continue;
+    const VertexId p = tree.Parent(v);
+    EXPECT_TRUE(g.FindArc(v, p) != kInvalidEdge ||
+                g.FindArc(p, v) != kInvalidEdge);
+  }
+}
+
+TEST(TreeTest, BfsTreeDepthsAreShortest) {
+  Rng rng(23);
+  Digraph g = topology::ErdosRenyi(30, 0.15, rng);
+  Tree tree = Tree::BfsTreeOf(g, 0);
+  BfsResult bfs = BreadthFirst(g, 0);
+  for (VertexId v = 0; v < 30; ++v) {
+    // g is symmetric (bidirectional links), so undirected BFS == BFS.
+    EXPECT_EQ(tree.Depth(v), bfs.dist[static_cast<std::size_t>(v)]);
+  }
+}
+
+TEST(TreeTest, SingleVertexTree) {
+  Tree tree(std::vector<VertexId>{kInvalidVertex});
+  EXPECT_EQ(tree.num_vertices(), 1);
+  EXPECT_EQ(tree.root(), 0);
+  EXPECT_TRUE(tree.IsLeaf(0));
+  EXPECT_EQ(tree.Leaves(), std::vector<VertexId>{0});
+}
+
+TEST(TreeDeathTest, RejectsMalformedParentArrays) {
+  EXPECT_DEATH(Tree(std::vector<VertexId>{}), "at least one vertex");
+  EXPECT_DEATH(Tree(std::vector<VertexId>{kInvalidVertex, kInvalidVertex}),
+               "multiple roots");
+  EXPECT_DEATH(Tree(std::vector<VertexId>{0, kInvalidVertex}), "self-loop");
+  EXPECT_DEATH(Tree(std::vector<VertexId>{1, 0}), "root");
+  EXPECT_DEATH(Tree(std::vector<VertexId>{kInvalidVertex, 9}),
+               "out of range");
+}
+
+TEST(TreeDeathTest, CycleDetected) {
+  // 0 is root; 1 -> 2 -> 1 cycle unreachable from root.
+  EXPECT_DEATH(Tree(std::vector<VertexId>{kInvalidVertex, 2, 1}), "cycle");
+}
+
+class RandomTreeInvariants : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(RandomTreeInvariants, DepthLeavesAndSizesConsistent) {
+  Rng rng(GetParam());
+  const auto n = static_cast<VertexId>(rng.NextInt(1, 80));
+  Tree tree = topology::RandomTree(n, rng);
+
+  // Depth of child = depth of parent + 1.
+  for (VertexId v = 0; v < n; ++v) {
+    if (v == tree.root()) continue;
+    EXPECT_EQ(tree.Depth(v), tree.Depth(tree.Parent(v)) + 1);
+  }
+  // Leaves are exactly the childless vertices.
+  std::set<VertexId> leaves(tree.Leaves().begin(), tree.Leaves().end());
+  for (VertexId v = 0; v < n; ++v) {
+    EXPECT_EQ(leaves.count(v) == 1, tree.Children(v).empty());
+  }
+  // Subtree sizes: root covers everything; leaves are 1.
+  EXPECT_EQ(tree.SubtreeSize(tree.root()), n);
+  for (VertexId leaf : tree.Leaves()) {
+    EXPECT_EQ(tree.SubtreeSize(leaf), 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTreeInvariants,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+}  // namespace
+}  // namespace tdmd::graph
