@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lazy_greedy.dir/ablation_lazy_greedy.cpp.o"
+  "CMakeFiles/ablation_lazy_greedy.dir/ablation_lazy_greedy.cpp.o.d"
+  "ablation_lazy_greedy"
+  "ablation_lazy_greedy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lazy_greedy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_tree_k.dir/fig09_tree_k.cpp.o"
+  "CMakeFiles/fig09_tree_k.dir/fig09_tree_k.cpp.o.d"
+  "fig09_tree_k"
+  "fig09_tree_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_tree_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

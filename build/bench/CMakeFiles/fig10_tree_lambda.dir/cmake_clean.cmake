@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_tree_lambda.dir/fig10_tree_lambda.cpp.o"
+  "CMakeFiles/fig10_tree_lambda.dir/fig10_tree_lambda.cpp.o.d"
+  "fig10_tree_lambda"
+  "fig10_tree_lambda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_tree_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

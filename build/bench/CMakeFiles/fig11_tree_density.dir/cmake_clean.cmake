@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_tree_density.dir/fig11_tree_density.cpp.o"
+  "CMakeFiles/fig11_tree_density.dir/fig11_tree_density.cpp.o.d"
+  "fig11_tree_density"
+  "fig11_tree_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_tree_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

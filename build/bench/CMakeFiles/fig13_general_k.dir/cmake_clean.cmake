@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_general_k.dir/fig13_general_k.cpp.o"
+  "CMakeFiles/fig13_general_k.dir/fig13_general_k.cpp.o.d"
+  "fig13_general_k"
+  "fig13_general_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_general_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

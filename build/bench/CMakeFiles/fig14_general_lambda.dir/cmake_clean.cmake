@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_general_lambda.dir/fig14_general_lambda.cpp.o"
+  "CMakeFiles/fig14_general_lambda.dir/fig14_general_lambda.cpp.o.d"
+  "fig14_general_lambda"
+  "fig14_general_lambda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_general_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig15_general_density.cpp" "bench/CMakeFiles/fig15_general_density.dir/fig15_general_density.cpp.o" "gcc" "bench/CMakeFiles/fig15_general_density.dir/fig15_general_density.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/tdmd_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tdmd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/tdmd_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/experiment/CMakeFiles/tdmd_experiment.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tdmd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/setcover/CMakeFiles/tdmd_setcover.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/tdmd_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tdmd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/tdmd_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tdmd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_general_density.dir/fig15_general_density.cpp.o"
+  "CMakeFiles/fig15_general_density.dir/fig15_general_density.cpp.o.d"
+  "fig15_general_density"
+  "fig15_general_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_general_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

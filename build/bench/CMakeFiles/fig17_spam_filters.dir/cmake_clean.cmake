@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_spam_filters.dir/fig17_spam_filters.cpp.o"
+  "CMakeFiles/fig17_spam_filters.dir/fig17_spam_filters.cpp.o.d"
+  "fig17_spam_filters"
+  "fig17_spam_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_spam_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

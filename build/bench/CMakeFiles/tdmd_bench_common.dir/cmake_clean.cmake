@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdmd_bench_common.dir/scenario.cpp.o"
+  "CMakeFiles/tdmd_bench_common.dir/scenario.cpp.o.d"
+  "lib/libtdmd_bench_common.a"
+  "lib/libtdmd_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdmd_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

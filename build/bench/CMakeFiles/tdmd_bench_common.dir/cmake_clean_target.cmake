@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "lib/libtdmd_bench_common.a"
+)

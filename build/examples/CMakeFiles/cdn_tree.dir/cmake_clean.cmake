@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdn_tree.dir/cdn_tree.cpp.o"
+  "CMakeFiles/cdn_tree.dir/cdn_tree.cpp.o.d"
+  "cdn_tree"
+  "cdn_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdn_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

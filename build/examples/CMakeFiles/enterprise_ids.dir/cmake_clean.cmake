@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enterprise_ids.dir/enterprise_ids.cpp.o"
+  "CMakeFiles/enterprise_ids.dir/enterprise_ids.cpp.o.d"
+  "enterprise_ids"
+  "enterprise_ids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enterprise_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spam_filter_campus.dir/spam_filter_campus.cpp.o"
+  "CMakeFiles/spam_filter_campus.dir/spam_filter_campus.cpp.o.d"
+  "spam_filter_campus"
+  "spam_filter_campus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spam_filter_campus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

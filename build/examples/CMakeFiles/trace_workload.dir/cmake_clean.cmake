@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_workload.dir/trace_workload.cpp.o"
+  "CMakeFiles/trace_workload.dir/trace_workload.cpp.o.d"
+  "trace_workload"
+  "trace_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_optimizer.dir/wan_optimizer.cpp.o"
+  "CMakeFiles/wan_optimizer.dir/wan_optimizer.cpp.o.d"
+  "wan_optimizer"
+  "wan_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdmd_common.dir/args.cpp.o"
+  "CMakeFiles/tdmd_common.dir/args.cpp.o.d"
+  "CMakeFiles/tdmd_common.dir/check.cpp.o"
+  "CMakeFiles/tdmd_common.dir/check.cpp.o.d"
+  "CMakeFiles/tdmd_common.dir/rng.cpp.o"
+  "CMakeFiles/tdmd_common.dir/rng.cpp.o.d"
+  "libtdmd_common.a"
+  "libtdmd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdmd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

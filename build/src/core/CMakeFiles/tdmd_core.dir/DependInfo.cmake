@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/tdmd_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/tdmd_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/brute_force.cpp" "src/core/CMakeFiles/tdmd_core.dir/brute_force.cpp.o" "gcc" "src/core/CMakeFiles/tdmd_core.dir/brute_force.cpp.o.d"
+  "/root/repo/src/core/chain_single_flow.cpp" "src/core/CMakeFiles/tdmd_core.dir/chain_single_flow.cpp.o" "gcc" "src/core/CMakeFiles/tdmd_core.dir/chain_single_flow.cpp.o.d"
+  "/root/repo/src/core/coverage.cpp" "src/core/CMakeFiles/tdmd_core.dir/coverage.cpp.o" "gcc" "src/core/CMakeFiles/tdmd_core.dir/coverage.cpp.o.d"
+  "/root/repo/src/core/deployment.cpp" "src/core/CMakeFiles/tdmd_core.dir/deployment.cpp.o" "gcc" "src/core/CMakeFiles/tdmd_core.dir/deployment.cpp.o.d"
+  "/root/repo/src/core/dp_scaled.cpp" "src/core/CMakeFiles/tdmd_core.dir/dp_scaled.cpp.o" "gcc" "src/core/CMakeFiles/tdmd_core.dir/dp_scaled.cpp.o.d"
+  "/root/repo/src/core/dp_tree.cpp" "src/core/CMakeFiles/tdmd_core.dir/dp_tree.cpp.o" "gcc" "src/core/CMakeFiles/tdmd_core.dir/dp_tree.cpp.o.d"
+  "/root/repo/src/core/dynamic.cpp" "src/core/CMakeFiles/tdmd_core.dir/dynamic.cpp.o" "gcc" "src/core/CMakeFiles/tdmd_core.dir/dynamic.cpp.o.d"
+  "/root/repo/src/core/exact_bnb.cpp" "src/core/CMakeFiles/tdmd_core.dir/exact_bnb.cpp.o" "gcc" "src/core/CMakeFiles/tdmd_core.dir/exact_bnb.cpp.o.d"
+  "/root/repo/src/core/gtp.cpp" "src/core/CMakeFiles/tdmd_core.dir/gtp.cpp.o" "gcc" "src/core/CMakeFiles/tdmd_core.dir/gtp.cpp.o.d"
+  "/root/repo/src/core/hat.cpp" "src/core/CMakeFiles/tdmd_core.dir/hat.cpp.o" "gcc" "src/core/CMakeFiles/tdmd_core.dir/hat.cpp.o.d"
+  "/root/repo/src/core/instance.cpp" "src/core/CMakeFiles/tdmd_core.dir/instance.cpp.o" "gcc" "src/core/CMakeFiles/tdmd_core.dir/instance.cpp.o.d"
+  "/root/repo/src/core/objective.cpp" "src/core/CMakeFiles/tdmd_core.dir/objective.cpp.o" "gcc" "src/core/CMakeFiles/tdmd_core.dir/objective.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/tdmd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/tdmd_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/setcover/CMakeFiles/tdmd_setcover.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/tdmd_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tdmd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

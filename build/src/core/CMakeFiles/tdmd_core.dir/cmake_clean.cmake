@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdmd_core.dir/baselines.cpp.o"
+  "CMakeFiles/tdmd_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/tdmd_core.dir/brute_force.cpp.o"
+  "CMakeFiles/tdmd_core.dir/brute_force.cpp.o.d"
+  "CMakeFiles/tdmd_core.dir/chain_single_flow.cpp.o"
+  "CMakeFiles/tdmd_core.dir/chain_single_flow.cpp.o.d"
+  "CMakeFiles/tdmd_core.dir/coverage.cpp.o"
+  "CMakeFiles/tdmd_core.dir/coverage.cpp.o.d"
+  "CMakeFiles/tdmd_core.dir/deployment.cpp.o"
+  "CMakeFiles/tdmd_core.dir/deployment.cpp.o.d"
+  "CMakeFiles/tdmd_core.dir/dp_scaled.cpp.o"
+  "CMakeFiles/tdmd_core.dir/dp_scaled.cpp.o.d"
+  "CMakeFiles/tdmd_core.dir/dp_tree.cpp.o"
+  "CMakeFiles/tdmd_core.dir/dp_tree.cpp.o.d"
+  "CMakeFiles/tdmd_core.dir/dynamic.cpp.o"
+  "CMakeFiles/tdmd_core.dir/dynamic.cpp.o.d"
+  "CMakeFiles/tdmd_core.dir/exact_bnb.cpp.o"
+  "CMakeFiles/tdmd_core.dir/exact_bnb.cpp.o.d"
+  "CMakeFiles/tdmd_core.dir/gtp.cpp.o"
+  "CMakeFiles/tdmd_core.dir/gtp.cpp.o.d"
+  "CMakeFiles/tdmd_core.dir/hat.cpp.o"
+  "CMakeFiles/tdmd_core.dir/hat.cpp.o.d"
+  "CMakeFiles/tdmd_core.dir/instance.cpp.o"
+  "CMakeFiles/tdmd_core.dir/instance.cpp.o.d"
+  "CMakeFiles/tdmd_core.dir/objective.cpp.o"
+  "CMakeFiles/tdmd_core.dir/objective.cpp.o.d"
+  "libtdmd_core.a"
+  "libtdmd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdmd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdmd_experiment.dir/stats.cpp.o"
+  "CMakeFiles/tdmd_experiment.dir/stats.cpp.o.d"
+  "CMakeFiles/tdmd_experiment.dir/sweep.cpp.o"
+  "CMakeFiles/tdmd_experiment.dir/sweep.cpp.o.d"
+  "CMakeFiles/tdmd_experiment.dir/table.cpp.o"
+  "CMakeFiles/tdmd_experiment.dir/table.cpp.o.d"
+  "libtdmd_experiment.a"
+  "libtdmd_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdmd_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

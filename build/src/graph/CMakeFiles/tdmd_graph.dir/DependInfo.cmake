@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/digraph.cpp" "src/graph/CMakeFiles/tdmd_graph.dir/digraph.cpp.o" "gcc" "src/graph/CMakeFiles/tdmd_graph.dir/digraph.cpp.o.d"
+  "/root/repo/src/graph/lca.cpp" "src/graph/CMakeFiles/tdmd_graph.dir/lca.cpp.o" "gcc" "src/graph/CMakeFiles/tdmd_graph.dir/lca.cpp.o.d"
+  "/root/repo/src/graph/lca_lifting.cpp" "src/graph/CMakeFiles/tdmd_graph.dir/lca_lifting.cpp.o" "gcc" "src/graph/CMakeFiles/tdmd_graph.dir/lca_lifting.cpp.o.d"
+  "/root/repo/src/graph/shortest_path.cpp" "src/graph/CMakeFiles/tdmd_graph.dir/shortest_path.cpp.o" "gcc" "src/graph/CMakeFiles/tdmd_graph.dir/shortest_path.cpp.o.d"
+  "/root/repo/src/graph/traversal.cpp" "src/graph/CMakeFiles/tdmd_graph.dir/traversal.cpp.o" "gcc" "src/graph/CMakeFiles/tdmd_graph.dir/traversal.cpp.o.d"
+  "/root/repo/src/graph/tree.cpp" "src/graph/CMakeFiles/tdmd_graph.dir/tree.cpp.o" "gcc" "src/graph/CMakeFiles/tdmd_graph.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tdmd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

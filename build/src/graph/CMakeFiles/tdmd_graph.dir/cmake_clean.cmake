@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdmd_graph.dir/digraph.cpp.o"
+  "CMakeFiles/tdmd_graph.dir/digraph.cpp.o.d"
+  "CMakeFiles/tdmd_graph.dir/lca.cpp.o"
+  "CMakeFiles/tdmd_graph.dir/lca.cpp.o.d"
+  "CMakeFiles/tdmd_graph.dir/lca_lifting.cpp.o"
+  "CMakeFiles/tdmd_graph.dir/lca_lifting.cpp.o.d"
+  "CMakeFiles/tdmd_graph.dir/shortest_path.cpp.o"
+  "CMakeFiles/tdmd_graph.dir/shortest_path.cpp.o.d"
+  "CMakeFiles/tdmd_graph.dir/traversal.cpp.o"
+  "CMakeFiles/tdmd_graph.dir/traversal.cpp.o.d"
+  "CMakeFiles/tdmd_graph.dir/tree.cpp.o"
+  "CMakeFiles/tdmd_graph.dir/tree.cpp.o.d"
+  "libtdmd_graph.a"
+  "libtdmd_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdmd_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

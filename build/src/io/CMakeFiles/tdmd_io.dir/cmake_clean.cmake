@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdmd_io.dir/dot_export.cpp.o"
+  "CMakeFiles/tdmd_io.dir/dot_export.cpp.o.d"
+  "CMakeFiles/tdmd_io.dir/text_format.cpp.o"
+  "CMakeFiles/tdmd_io.dir/text_format.cpp.o.d"
+  "libtdmd_io.a"
+  "libtdmd_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdmd_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

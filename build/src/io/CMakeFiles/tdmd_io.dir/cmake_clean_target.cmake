@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtdmd_io.a"
+)

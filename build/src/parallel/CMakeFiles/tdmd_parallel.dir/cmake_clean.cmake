@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdmd_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/tdmd_parallel.dir/thread_pool.cpp.o.d"
+  "libtdmd_parallel.a"
+  "libtdmd_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdmd_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdmd_setcover.dir/reduction.cpp.o"
+  "CMakeFiles/tdmd_setcover.dir/reduction.cpp.o.d"
+  "CMakeFiles/tdmd_setcover.dir/set_cover.cpp.o"
+  "CMakeFiles/tdmd_setcover.dir/set_cover.cpp.o.d"
+  "libtdmd_setcover.a"
+  "libtdmd_setcover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdmd_setcover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

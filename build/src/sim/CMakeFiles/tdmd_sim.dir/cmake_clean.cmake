@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdmd_sim.dir/link_sim.cpp.o"
+  "CMakeFiles/tdmd_sim.dir/link_sim.cpp.o.d"
+  "libtdmd_sim.a"
+  "libtdmd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdmd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdmd_cli.dir/tdmd_cli.cpp.o"
+  "CMakeFiles/tdmd_cli.dir/tdmd_cli.cpp.o.d"
+  "tdmd_cli"
+  "tdmd_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdmd_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

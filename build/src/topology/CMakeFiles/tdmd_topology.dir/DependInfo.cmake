@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/ark.cpp" "src/topology/CMakeFiles/tdmd_topology.dir/ark.cpp.o" "gcc" "src/topology/CMakeFiles/tdmd_topology.dir/ark.cpp.o.d"
+  "/root/repo/src/topology/generators.cpp" "src/topology/CMakeFiles/tdmd_topology.dir/generators.cpp.o" "gcc" "src/topology/CMakeFiles/tdmd_topology.dir/generators.cpp.o.d"
+  "/root/repo/src/topology/mutate.cpp" "src/topology/CMakeFiles/tdmd_topology.dir/mutate.cpp.o" "gcc" "src/topology/CMakeFiles/tdmd_topology.dir/mutate.cpp.o.d"
+  "/root/repo/src/topology/reference.cpp" "src/topology/CMakeFiles/tdmd_topology.dir/reference.cpp.o" "gcc" "src/topology/CMakeFiles/tdmd_topology.dir/reference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/tdmd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tdmd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdmd_topology.dir/ark.cpp.o"
+  "CMakeFiles/tdmd_topology.dir/ark.cpp.o.d"
+  "CMakeFiles/tdmd_topology.dir/generators.cpp.o"
+  "CMakeFiles/tdmd_topology.dir/generators.cpp.o.d"
+  "CMakeFiles/tdmd_topology.dir/mutate.cpp.o"
+  "CMakeFiles/tdmd_topology.dir/mutate.cpp.o.d"
+  "CMakeFiles/tdmd_topology.dir/reference.cpp.o"
+  "CMakeFiles/tdmd_topology.dir/reference.cpp.o.d"
+  "libtdmd_topology.a"
+  "libtdmd_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdmd_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/flow.cpp" "src/traffic/CMakeFiles/tdmd_traffic.dir/flow.cpp.o" "gcc" "src/traffic/CMakeFiles/tdmd_traffic.dir/flow.cpp.o.d"
+  "/root/repo/src/traffic/generator.cpp" "src/traffic/CMakeFiles/tdmd_traffic.dir/generator.cpp.o" "gcc" "src/traffic/CMakeFiles/tdmd_traffic.dir/generator.cpp.o.d"
+  "/root/repo/src/traffic/trace.cpp" "src/traffic/CMakeFiles/tdmd_traffic.dir/trace.cpp.o" "gcc" "src/traffic/CMakeFiles/tdmd_traffic.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/tdmd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tdmd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

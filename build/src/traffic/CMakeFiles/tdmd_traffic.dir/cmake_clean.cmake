@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdmd_traffic.dir/flow.cpp.o"
+  "CMakeFiles/tdmd_traffic.dir/flow.cpp.o.d"
+  "CMakeFiles/tdmd_traffic.dir/generator.cpp.o"
+  "CMakeFiles/tdmd_traffic.dir/generator.cpp.o.d"
+  "CMakeFiles/tdmd_traffic.dir/trace.cpp.o"
+  "CMakeFiles/tdmd_traffic.dir/trace.cpp.o.d"
+  "libtdmd_traffic.a"
+  "libtdmd_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdmd_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_single_flow_test.dir/chain_single_flow_test.cpp.o"
+  "CMakeFiles/chain_single_flow_test.dir/chain_single_flow_test.cpp.o.d"
+  "chain_single_flow_test"
+  "chain_single_flow_test.pdb"
+  "chain_single_flow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_single_flow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

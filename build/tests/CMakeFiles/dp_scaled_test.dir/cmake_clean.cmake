@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_scaled_test.dir/dp_scaled_test.cpp.o"
+  "CMakeFiles/dp_scaled_test.dir/dp_scaled_test.cpp.o.d"
+  "dp_scaled_test"
+  "dp_scaled_test.pdb"
+  "dp_scaled_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_scaled_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_bnb_test.dir/exact_bnb_test.cpp.o"
+  "CMakeFiles/exact_bnb_test.dir/exact_bnb_test.cpp.o.d"
+  "exact_bnb_test"
+  "exact_bnb_test.pdb"
+  "exact_bnb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_bnb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

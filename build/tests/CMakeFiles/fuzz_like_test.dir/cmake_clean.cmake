@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_like_test.dir/fuzz_like_test.cpp.o"
+  "CMakeFiles/fuzz_like_test.dir/fuzz_like_test.cpp.o.d"
+  "fuzz_like_test"
+  "fuzz_like_test.pdb"
+  "fuzz_like_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_like_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

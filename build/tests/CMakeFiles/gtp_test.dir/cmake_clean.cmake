@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtp_test.dir/gtp_test.cpp.o"
+  "CMakeFiles/gtp_test.dir/gtp_test.cpp.o.d"
+  "gtp_test"
+  "gtp_test.pdb"
+  "gtp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hat_test.dir/hat_test.cpp.o"
+  "CMakeFiles/hat_test.dir/hat_test.cpp.o.d"
+  "hat_test"
+  "hat_test.pdb"
+  "hat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lca_lifting_test.dir/lca_lifting_test.cpp.o"
+  "CMakeFiles/lca_lifting_test.dir/lca_lifting_test.cpp.o.d"
+  "lca_lifting_test"
+  "lca_lifting_test.pdb"
+  "lca_lifting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lca_lifting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reference_topology_test.dir/reference_topology_test.cpp.o"
+  "CMakeFiles/reference_topology_test.dir/reference_topology_test.cpp.o.d"
+  "reference_topology_test"
+  "reference_topology_test.pdb"
+  "reference_topology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reference_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
