@@ -1,0 +1,273 @@
+#include "analysis/audit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace tdmd::analysis {
+
+namespace {
+
+/// Position of `v` on `f`'s path by direct scan (deliberately not
+/// Instance::PathIndex, which is the precomputed structure under audit);
+/// -1 if absent.
+std::int32_t ScanPathIndex(const core::Instance& instance, FlowId f,
+                           VertexId v) {
+  const auto& path = instance.flow(f).path.vertices;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (path[i] == v) return static_cast<std::int32_t>(i);
+  }
+  return -1;
+}
+
+/// Earliest path position among deployed vertices; -1 if none is deployed.
+std::int32_t NearestDeployedIndex(const core::Instance& instance,
+                                  const core::Deployment& deployment,
+                                  FlowId f) {
+  const auto& path = instance.flow(f).path.vertices;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (deployment.Contains(path[i])) return static_cast<std::int32_t>(i);
+  }
+  return -1;
+}
+
+bool ObjectivesDiffer(Bandwidth reported, Bandwidth recomputed,
+                      Bandwidth scale, double tolerance) {
+  return std::abs(reported - recomputed) > tolerance * (1.0 + scale);
+}
+
+}  // namespace
+
+bool AuditReport::Has(std::string_view code) const {
+  return std::any_of(issues.begin(), issues.end(),
+                     [code](const AuditIssue& i) { return i.code == code; });
+}
+
+void AuditReport::Add(std::string_view code, std::string detail) {
+  issues.push_back(AuditIssue{std::string(code), std::move(detail)});
+}
+
+std::string AuditReport::ToString() const {
+  if (ok()) return "audit ok";
+  std::ostringstream oss;
+  oss << "audit failed with " << issues.size() << " issue(s):";
+  for (const AuditIssue& i : issues) {
+    oss << "\n  [" << i.code << "] " << i.detail;
+  }
+  return oss.str();
+}
+
+void AuditReport::Merge(AuditReport other) {
+  for (AuditIssue& i : other.issues) issues.push_back(std::move(i));
+}
+
+Bandwidth RecomputeBandwidth(const core::Instance& instance,
+                             const core::Allocation& allocation) {
+  Bandwidth total = 0.0;
+  const double lambda = instance.lambda();
+  const auto num_flows = static_cast<std::size_t>(instance.num_flows());
+  for (std::size_t f = 0; f < num_flows; ++f) {
+    const traffic::Flow& flow = instance.flow(static_cast<FlowId>(f));
+    const VertexId serving = f < allocation.serving_vertex.size()
+                                 ? allocation.serving_vertex[f]
+                                 : kInvalidVertex;
+    const auto rate = static_cast<Bandwidth>(flow.rate);
+    const auto& path = flow.path.vertices;
+    bool diminished = false;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      // The edge leaving the serving vertex, and everything downstream,
+      // carries the diminished rate lambda * r_f.
+      if (path[i] == serving) diminished = true;
+      total += diminished ? lambda * rate : rate;
+    }
+  }
+  return total;
+}
+
+AuditReport AuditDeployment(const core::Instance& instance,
+                            const core::Deployment& deployment,
+                            const core::Allocation& allocation,
+                            const AuditOptions& options) {
+  AuditReport report;
+  const VertexId n = instance.num_vertices();
+
+  // --- Deployment well-formedness ---------------------------------------
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  for (VertexId v : deployment.vertices()) {
+    if (v < 0 || v >= n) {
+      std::ostringstream oss;
+      oss << "deployed vertex " << v << " outside [0, " << n << ")";
+      report.Add(issue::kInvalidDeployVertex, oss.str());
+      continue;
+    }
+    auto& slot = seen[static_cast<std::size_t>(v)];
+    if (slot != 0) {
+      std::ostringstream oss;
+      oss << "vertex " << v << " appears twice in the deployment";
+      report.Add(issue::kDuplicateDeployment, oss.str());
+    }
+    slot = 1;
+    if (!deployment.Contains(v)) {
+      std::ostringstream oss;
+      oss << "vertex " << v
+          << " is in the vertex list but not the membership bitmap";
+      report.Add(issue::kMembershipDesync, oss.str());
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (deployment.Contains(v) && seen[static_cast<std::size_t>(v)] == 0) {
+      std::ostringstream oss;
+      oss << "vertex " << v
+          << " is in the membership bitmap but not the vertex list";
+      report.Add(issue::kMembershipDesync, oss.str());
+    }
+  }
+  if (options.max_middleboxes > 0 &&
+      deployment.size() > options.max_middleboxes) {
+    std::ostringstream oss;
+    oss << "|P| = " << deployment.size() << " exceeds budget k = "
+        << options.max_middleboxes;
+    report.Add(issue::kBudgetExceeded, oss.str());
+  }
+
+  // --- Allocation: every flow served exactly once, on-path, nearest -----
+  const auto num_flows = static_cast<std::size_t>(instance.num_flows());
+  if (allocation.serving_vertex.size() != num_flows) {
+    std::ostringstream oss;
+    oss << "allocation has " << allocation.serving_vertex.size()
+        << " entries for " << num_flows
+        << " flows (a flow must be served exactly once)";
+    report.Add(issue::kAllocationSize, oss.str());
+  }
+  for (std::size_t f = 0; f < num_flows; ++f) {
+    const auto flow_id = static_cast<FlowId>(f);
+    const VertexId serving = f < allocation.serving_vertex.size()
+                                 ? allocation.serving_vertex[f]
+                                 : kInvalidVertex;
+    const std::int32_t nearest =
+        NearestDeployedIndex(instance, deployment, flow_id);
+    if (serving == kInvalidVertex) {
+      if (nearest >= 0) {
+        std::ostringstream oss;
+        oss << "flow " << flow_id
+            << " is unserved although deployed vertex "
+            << instance.flow(flow_id)
+                   .path.vertices[static_cast<std::size_t>(nearest)]
+            << " lies on its path";
+        report.Add(issue::kUnservedFlow, oss.str());
+      } else if (options.require_feasible) {
+        std::ostringstream oss;
+        oss << "flow " << flow_id << " has no deployed vertex on its path";
+        report.Add(issue::kInfeasible, oss.str());
+      }
+      continue;
+    }
+    if (!deployment.Contains(serving)) {
+      std::ostringstream oss;
+      oss << "flow " << flow_id << " claims serving vertex " << serving
+          << ", which hosts no middlebox";
+      report.Add(issue::kPhantomServer, oss.str());
+      continue;
+    }
+    const std::int32_t index = ScanPathIndex(instance, flow_id, serving);
+    if (index < 0) {
+      std::ostringstream oss;
+      oss << "flow " << flow_id << " claims serving vertex " << serving
+          << ", which is not on its path";
+      report.Add(issue::kOffPathServer, oss.str());
+      continue;
+    }
+    if (options.require_nearest_allocation && index != nearest) {
+      std::ostringstream oss;
+      oss << "flow " << flow_id << " is served at path position " << index
+          << " but the nearest deployed vertex sits at position " << nearest;
+      report.Add(issue::kNonNearestServer, oss.str());
+    }
+  }
+  return report;
+}
+
+AuditReport AuditPlacementResult(const core::Instance& instance,
+                                 const core::PlacementResult& result,
+                                 const AuditOptions& options) {
+  AuditReport report =
+      AuditDeployment(instance, result.deployment, result.allocation,
+                      options);
+
+  const Bandwidth recomputed =
+      RecomputeBandwidth(instance, result.allocation);
+  if (ObjectivesDiffer(result.bandwidth, recomputed,
+                       instance.UnprocessedBandwidth(),
+                       options.tolerance)) {
+    std::ostringstream oss;
+    oss << "reported objective " << result.bandwidth
+        << " disagrees with independent recomputation " << recomputed;
+    report.Add(issue::kStaleObjective, oss.str());
+  }
+
+  bool all_served = true;
+  for (std::size_t f = 0; f < result.allocation.serving_vertex.size(); ++f) {
+    if (result.allocation.serving_vertex[f] == kInvalidVertex) {
+      all_served = false;
+      break;
+    }
+  }
+  all_served = all_served &&
+               result.allocation.serving_vertex.size() ==
+                   static_cast<std::size_t>(instance.num_flows());
+  if (result.feasible != all_served) {
+    std::ostringstream oss;
+    oss << "feasible flag is " << (result.feasible ? "true" : "false")
+        << " but the allocation says " << (all_served ? "true" : "false");
+    report.Add(issue::kFeasibleFlag, oss.str());
+  }
+  return report;
+}
+
+AuditReport AuditGreedyGainSequence(const std::vector<Bandwidth>& gains,
+                                    double tolerance) {
+  AuditReport report;
+  for (std::size_t i = 0; i < gains.size(); ++i) {
+    if (gains[i] < -tolerance) {
+      std::ostringstream oss;
+      oss << "round " << i << " gain " << gains[i] << " is negative";
+      report.Add(issue::kGainNegative, oss.str());
+    }
+    if (i > 0 && gains[i] > gains[i - 1] + tolerance) {
+      std::ostringstream oss;
+      oss << "round " << i << " gain " << gains[i]
+          << " exceeds round " << i - 1 << " gain " << gains[i - 1]
+          << " (violates submodular decrease)";
+      report.Add(issue::kGainNotMonotone, oss.str());
+    }
+  }
+  return report;
+}
+
+AuditReport AuditTreePlacement(const core::Instance& instance,
+                               const graph::Tree& tree,
+                               const core::PlacementResult& result,
+                               const AuditOptions& options) {
+  AuditReport report = AuditPlacementResult(instance, result, options);
+  if (instance.num_vertices() != tree.num_vertices()) {
+    std::ostringstream oss;
+    oss << "instance has " << instance.num_vertices()
+        << " vertices but the tree has " << tree.num_vertices();
+    report.Add(issue::kTreeMismatch, oss.str());
+    return report;
+  }
+  for (VertexId v : result.deployment.vertices()) {
+    if (!tree.IsValid(v)) {
+      std::ostringstream oss;
+      oss << "deployed vertex " << v << " is not a tree vertex";
+      report.Add(issue::kTreeMismatch, oss.str());
+    }
+  }
+  return report;
+}
+
+void CheckAudit(const AuditReport& report) {
+  TDMD_CHECK_MSG(report.ok(), report.ToString());
+}
+
+}  // namespace tdmd::analysis

@@ -1,0 +1,150 @@
+// Invariant-audit library: independent validators for placement results.
+//
+// Every placement algorithm in the repo (GTP, tree DP, HAT, the baselines)
+// maintains its objective incrementally for speed.  The auditors here are
+// the slow, obviously-correct counterparts: they recompute everything from
+// first principles — edge-by-edge bandwidth, nearest-source allocation by
+// path scan — and report every disagreement.  They share no code with the
+// incremental paths (in particular they do not call EvaluateBandwidth or
+// Allocate), so a bug must be introduced twice, independently, to slip
+// through.
+//
+// Audited contracts, mirroring the paper's Section 3 model:
+//   * the deployment is a well-formed vertex set with |P| <= k;
+//   * every flow is served exactly once, at a deployed vertex on its path,
+//     and (for algorithms using the forced-optimal F) at the deployed
+//     vertex nearest its source;
+//   * the reported objective b(P, F) matches an independent recomputation;
+//   * GTP's greedy gain sequence is non-negative and non-increasing
+//     (submodularity, Theorem 2);
+//   * tree algorithms only deploy on tree vertices.
+//
+// Reports are data, not aborts: tests assert on individual issue codes.
+// CheckAudit() converts a failed report into a TDMD_CHECK failure and is
+// what the debug/sanitizer hooks inside the algorithms call.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/contracts.hpp"
+#include "common/types.hpp"
+#include "core/deployment.hpp"
+#include "core/instance.hpp"
+#include "graph/tree.hpp"
+
+namespace tdmd::analysis {
+
+/// One violated invariant.  `code` is a stable machine-readable identifier
+/// (tests match on it); `detail` is human-readable context.
+struct AuditIssue {
+  std::string code;
+  std::string detail;
+};
+
+/// Stable issue codes emitted by the auditors.
+namespace issue {
+inline constexpr std::string_view kInvalidDeployVertex =
+    "invalid-deploy-vertex";
+inline constexpr std::string_view kDuplicateDeployment =
+    "duplicate-deployment";
+inline constexpr std::string_view kMembershipDesync = "membership-desync";
+inline constexpr std::string_view kBudgetExceeded = "budget-exceeded";
+inline constexpr std::string_view kAllocationSize = "allocation-size";
+inline constexpr std::string_view kUnservedFlow = "unserved-flow";
+inline constexpr std::string_view kInfeasible = "infeasible";
+inline constexpr std::string_view kPhantomServer = "phantom-server";
+inline constexpr std::string_view kOffPathServer = "off-path-server";
+inline constexpr std::string_view kNonNearestServer = "non-nearest-server";
+inline constexpr std::string_view kStaleObjective = "stale-objective";
+inline constexpr std::string_view kFeasibleFlag = "feasible-flag";
+inline constexpr std::string_view kGainNegative = "gain-negative";
+inline constexpr std::string_view kGainNotMonotone = "gain-not-monotone";
+inline constexpr std::string_view kTreeMismatch = "tree-mismatch";
+}  // namespace issue
+
+struct AuditReport {
+  std::vector<AuditIssue> issues;
+
+  bool ok() const { return issues.empty(); }
+  bool Has(std::string_view code) const;
+  void Add(std::string_view code, std::string detail);
+  /// Multi-line summary suitable for a CHECK failure message.
+  std::string ToString() const;
+  /// Appends another report's issues to this one.
+  void Merge(AuditReport other);
+};
+
+struct AuditOptions {
+  /// Enforce |P| <= max_middleboxes; 0 disables the budget check.
+  std::size_t max_middleboxes = 0;
+  /// Require the forced-optimal allocation: each flow served at the
+  /// deployed vertex nearest its source.  Disable for algorithms with
+  /// deliberately different allocations (best-effort's frozen F).
+  bool require_nearest_allocation = true;
+  /// Treat a flow with no deployed vertex on its path as an issue (for
+  /// algorithms that guarantee feasibility).
+  bool require_feasible = false;
+  /// Relative floating-point tolerance for objective cross-checks.
+  double tolerance = 1e-6;
+};
+
+/// Independent objective recomputation: walks every flow's path edge by
+/// edge, charging the full rate before the serving vertex and the
+/// diminished rate after it.  Out-of-range allocation entries are ignored
+/// (AuditDeployment reports them separately).
+Bandwidth RecomputeBandwidth(const core::Instance& instance,
+                             const core::Allocation& allocation);
+
+/// Validates a deployment/allocation pair against the Section 3 contracts.
+AuditReport AuditDeployment(const core::Instance& instance,
+                            const core::Deployment& deployment,
+                            const core::Allocation& allocation,
+                            const AuditOptions& options = {});
+
+/// AuditDeployment plus objective and feasibility-flag cross-checks on the
+/// full result bundle.
+AuditReport AuditPlacementResult(const core::Instance& instance,
+                                 const core::PlacementResult& result,
+                                 const AuditOptions& options = {});
+
+/// Checks a greedy selection's gain sequence: non-negative and (by
+/// submodularity of the decrement function, Theorem 2) non-increasing.
+AuditReport AuditGreedyGainSequence(const std::vector<Bandwidth>& gains,
+                                    double tolerance = 1e-9);
+
+/// AuditPlacementResult plus tree-model checks: the instance and tree agree
+/// on the vertex universe and every deployed vertex is a valid tree vertex.
+AuditReport AuditTreePlacement(const core::Instance& instance,
+                               const graph::Tree& tree,
+                               const core::PlacementResult& result,
+                               const AuditOptions& options = {});
+
+/// Aborts (TDMD_CHECK) with the full report when it is not ok().
+void CheckAudit(const AuditReport& report);
+
+/// Hook used inside the algorithms: full result audit in debug/sanitizer
+/// builds, no-op otherwise.  Keep calls at function exits, off hot loops.
+inline void DebugAuditPlacement(
+    [[maybe_unused]] const core::Instance& instance,
+    [[maybe_unused]] const core::PlacementResult& result,
+    [[maybe_unused]] const AuditOptions& options = {}) {
+#if TDMD_AUDITS_ENABLED
+  CheckAudit(AuditPlacementResult(instance, result, options));
+#endif
+}
+
+/// Tree-placement variant of DebugAuditPlacement.
+inline void DebugAuditTreePlacement(
+    [[maybe_unused]] const core::Instance& instance,
+    [[maybe_unused]] const graph::Tree& tree,
+    [[maybe_unused]] const core::PlacementResult& result,
+    [[maybe_unused]] const AuditOptions& options = {}) {
+#if TDMD_AUDITS_ENABLED
+  CheckAudit(AuditTreePlacement(instance, tree, result, options));
+#endif
+}
+
+}  // namespace tdmd::analysis

@@ -1,0 +1,32 @@
+// Contract macros for the invariant-audit layer (src/analysis).
+//
+// TDMD_AUDITS_ENABLED is 1 in debug builds and in any build configured with
+// -DTDMD_FORCE_AUDITS (the asan-ubsan and tsan presets set it so sanitizer
+// runs exercise the full audit surface even when NDEBUG is defined).
+//
+// TDMD_CONTRACT is a TDMD_CHECK that compiles out when audits are disabled.
+// Use it for algorithm-internal invariants that are too expensive for
+// release hot paths — full-deployment re-evaluations, heap-order
+// cross-checks — but cheap enough for instrumented builds.  Like
+// TDMD_DCHECK, the disabled form does not evaluate its arguments.
+#pragma once
+
+#include "common/check.hpp"
+
+#if !defined(NDEBUG) || defined(TDMD_FORCE_AUDITS)
+#define TDMD_AUDITS_ENABLED 1
+#else
+#define TDMD_AUDITS_ENABLED 0
+#endif
+
+#if TDMD_AUDITS_ENABLED
+#define TDMD_CONTRACT(cond) TDMD_CHECK(cond)
+#define TDMD_CONTRACT_MSG(cond, msg) TDMD_CHECK_MSG(cond, msg)
+#else
+#define TDMD_CONTRACT(cond) \
+  do {                      \
+  } while (false)
+#define TDMD_CONTRACT_MSG(cond, msg) \
+  do {                               \
+  } while (false)
+#endif

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "analysis/audit.hpp"
 #include "core/coverage.hpp"
 #include "core/objective.hpp"
 #include "setcover/reduction.hpp"
@@ -12,12 +13,16 @@ namespace tdmd::core {
 
 namespace {
 
-PlacementResult Finish(const Instance& instance, Deployment deployment) {
+PlacementResult Finish(const Instance& instance, Deployment deployment,
+                       std::size_t max_middleboxes) {
   PlacementResult result;
   result.deployment = std::move(deployment);
   result.allocation = Allocate(instance, result.deployment);
   result.bandwidth = EvaluateBandwidth(instance, result.deployment);
   result.feasible = result.allocation.AllServed();
+  analysis::AuditOptions audit_options;
+  audit_options.max_middleboxes = max_middleboxes;
+  analysis::DebugAuditPlacement(instance, result, audit_options);
   return result;
 }
 
@@ -38,7 +43,7 @@ PlacementResult RandomPlacement(const Instance& instance,
     Deployment candidate(instance.num_vertices(),
                          {all.begin(), all.begin() + static_cast<long>(k)});
     if (IsFeasible(instance, candidate)) {
-      return Finish(instance, std::move(candidate));
+      return Finish(instance, std::move(candidate), k);
     }
   }
 
@@ -63,7 +68,7 @@ PlacementResult RandomPlacement(const Instance& instance,
     rng.Shuffle(all);
     for (std::size_t i = 0; i < k; ++i) fallback.Add(all[i]);
   }
-  return Finish(instance, std::move(fallback));
+  return Finish(instance, std::move(fallback), k);
 }
 
 PlacementResult BestEffort(const Instance& instance, std::size_t k,
@@ -107,20 +112,17 @@ PlacementResult BestEffort(const Instance& instance, std::size_t k,
                 return a.second < b.second;
               });
     VertexId best_vertex = kInvalidVertex;
-    Bandwidth best_gain = -1.0;
     if (feasibility_aware) {
       const std::size_t remaining = budget - result.deployment.size() - 1;
       for (const auto& [gain, v] : ranked) {
         if (ResidualCoverable(instance, served, result.deployment, v,
                               remaining)) {
-          best_gain = gain;
           best_vertex = v;
           break;
         }
       }
     }
     if (best_vertex == kInvalidVertex && !ranked.empty()) {
-      best_gain = ranked.front().first;
       best_vertex = ranked.front().second;
     }
     if (best_vertex == kInvalidVertex) break;
@@ -161,6 +163,14 @@ PlacementResult BestEffort(const Instance& instance, std::size_t k,
     }
   }
   result.feasible = result.allocation.AllServed();
+  {
+    analysis::AuditOptions audit_options;
+    audit_options.max_middleboxes = budget;
+    // Best-effort freezes each flow on the first middlebox deployed on its
+    // path, which is deliberately not the nearest-source allocation.
+    audit_options.require_nearest_allocation = false;
+    analysis::DebugAuditPlacement(instance, result, audit_options);
+  }
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "analysis/audit.hpp"
 #include "core/objective.hpp"
 
 namespace tdmd::core {
@@ -85,6 +86,12 @@ std::optional<BruteForceResult> BruteForceOptimal(const Instance& instance,
   result.best.allocation = Allocate(instance, result.best.deployment);
   result.best.feasible = true;
   result.best.oracle_calls = result.evaluated;
+  {
+    analysis::AuditOptions audit_options;
+    audit_options.max_middleboxes = k;
+    audit_options.require_feasible = true;
+    analysis::DebugAuditPlacement(instance, result.best, audit_options);
+  }
   return result;
 }
 

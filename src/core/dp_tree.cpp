@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "analysis/audit.hpp"
 #include "core/objective.hpp"
 
 namespace tdmd::core {
@@ -238,10 +239,25 @@ PlacementResult TreeDpSolver::Solve() const {
   result.allocation = Allocate(*instance_, result.deployment);
   result.bandwidth = EvaluateBandwidth(*instance_, result.deployment);
   result.feasible = result.allocation.AllServed();
+  // Traceback consistency: the deployment reconstructed from the split
+  // tables must reproduce the table optimum exactly (this is the always-on
+  // half of the DP audit; the structural half runs under TDMD_AUDITS).
   TDMD_CHECK_MSG(std::abs(result.bandwidth - optimum) <=
                      1e-6 * (1.0 + optimum),
                  "traceback deployment does not reproduce the DP optimum: "
                      << result.bandwidth << " vs " << optimum);
+#if TDMD_AUDITS_ENABLED
+  {
+    analysis::AuditOptions audit_options;
+    audit_options.max_middleboxes = budget_;
+    // With at-most-k semantics and k >= 1, a box on the root always serves
+    // everything, so a finite optimum implies a feasible deployment.
+    audit_options.require_feasible = true;
+    analysis::CheckAudit(
+        analysis::AuditTreePlacement(*instance_, *tree_, result,
+                                     audit_options));
+  }
+#endif
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <functional>
 #include <vector>
 
+#include "analysis/audit.hpp"
 #include "core/gtp.hpp"
 #include "core/objective.hpp"
 
@@ -145,6 +146,12 @@ std::optional<BnbResult> ExactBranchAndBound(const Instance& instance,
   result.best.oracle_calls = ctx.explored;
   result.nodes_explored = ctx.explored;
   result.nodes_pruned = ctx.pruned;
+  {
+    analysis::AuditOptions audit_options;
+    audit_options.max_middleboxes = k;
+    audit_options.require_feasible = true;
+    analysis::DebugAuditPlacement(instance, result.best, audit_options);
+  }
   return result;
 }
 

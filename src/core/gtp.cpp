@@ -5,6 +5,7 @@
 #include <queue>
 #include <vector>
 
+#include "analysis/audit.hpp"
 #include "core/coverage.hpp"
 
 namespace tdmd::core {
@@ -97,6 +98,10 @@ PlacementResult RunGtp(const Instance& instance, const GtpOptions& options) {
     }
   }
 
+#if TDMD_AUDITS_ENABLED
+  std::vector<Bandwidth> chosen_gains;
+#endif
+
   for (std::size_t round = 1; result.deployment.size() < budget; ++round) {
     Candidate chosen{-1.0, kInvalidVertex, 0};
     if (options.lazy) {
@@ -154,6 +159,9 @@ PlacementResult RunGtp(const Instance& instance, const GtpOptions& options) {
     }
     state.Deploy(chosen.vertex);
     result.deployment.Add(chosen.vertex);
+#if TDMD_AUDITS_ENABLED
+    chosen_gains.push_back(chosen.gain);
+#endif
 
     // Algorithm 1's loop condition: stop as soon as all flows are served
     // when running in unbudgeted (feasibility-driven) mode.
@@ -163,11 +171,17 @@ PlacementResult RunGtp(const Instance& instance, const GtpOptions& options) {
   result.allocation = Allocate(instance, result.deployment);
   result.bandwidth = state.bandwidth();
   result.feasible = state.AllServed();
-  // Incremental accounting must agree with a full rescan (up to fp
-  // accumulation).
-  TDMD_DCHECK(std::abs(result.bandwidth -
-                       EvaluateBandwidth(instance, result.deployment)) <
-              1e-6 * (1.0 + instance.UnprocessedBandwidth()));
+#if TDMD_AUDITS_ENABLED
+  // Feasibility-aware selection deliberately skips max-gain vertices, so
+  // only the pure greedy modes promise Theorem 2's non-increasing gains.
+  if (!options.feasibility_aware) {
+    analysis::CheckAudit(analysis::AuditGreedyGainSequence(chosen_gains));
+  }
+  analysis::AuditOptions audit_options;
+  audit_options.max_middleboxes = options.max_middleboxes;
+  analysis::CheckAudit(
+      analysis::AuditPlacementResult(instance, result, audit_options));
+#endif
   return result;
 }
 

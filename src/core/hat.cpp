@@ -1,9 +1,11 @@
 #include "core/hat.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <queue>
 #include <vector>
 
+#include "analysis/audit.hpp"
 #include "core/objective.hpp"
 #include "graph/lca.hpp"
 
@@ -96,8 +98,11 @@ PlacementResult Hat(const Instance& instance, const graph::Tree& tree,
         }
       }
       TDMD_CHECK(best.vi != kInvalidVertex);
+      [[maybe_unused]] const std::size_t size_before = plan.size();
       ApplyMerge(plan, lca, best.vi, best.vj);
       current += best.delta;
+      TDMD_CONTRACT_MSG(plan.size() < size_before,
+                        "HAT merge did not shrink the plan");
     }
   } else {
     // Lines 2-3: heap over all pairs.
@@ -132,9 +137,20 @@ PlacementResult Hat(const Instance& instance, const graph::Tree& tree,
         continue;
       }
       top.delta = fresh;
+      // Heap-order invariant of the lazy re-evaluation: an accepted merge
+      // must not be dominated by any cached (upper-estimate) heap entry.
+      TDMD_CONTRACT_MSG(heap.empty() || !MergeGreater{}(top, heap.top()),
+                        "HAT lazy heap accepted a dominated merge");
       const VertexId target = lca.Query(top.vi, top.vj);
+      // The merge target is the paper's LCA(v_i, v_j): a common ancestor
+      // of both replaced middleboxes (possibly one of them).
+      TDMD_CONTRACT(tree.IsAncestorOf(target, top.vi) &&
+                    tree.IsAncestorOf(target, top.vj));
+      [[maybe_unused]] const std::size_t size_before = plan.size();
       ApplyMerge(plan, lca, top.vi, top.vj);
       current += top.delta;
+      TDMD_CONTRACT_MSG(plan.size() < size_before,
+                        "HAT merge did not shrink the plan");
       // Insert pairs between the new middlebox and the surviving plan.
       for (VertexId other : plan.SortedVertices()) {
         if (other == target) continue;
@@ -145,10 +161,23 @@ PlacementResult Hat(const Instance& instance, const graph::Tree& tree,
     }
   }
 
+  // The incrementally tracked objective must agree with a full rescan (up
+  // to fp accumulation across merges).
+  TDMD_CONTRACT_MSG(
+      std::abs(current - EvaluateBandwidth(instance, plan)) <=
+          1e-6 * (1.0 + instance.UnprocessedBandwidth()),
+      "HAT incremental objective drifted from a full re-evaluation");
+
   result.deployment = std::move(plan);
   result.allocation = Allocate(instance, result.deployment);
   result.bandwidth = EvaluateBandwidth(instance, result.deployment);
   result.feasible = result.allocation.AllServed();
+  {
+    analysis::AuditOptions audit_options;
+    audit_options.max_middleboxes = options.k;
+    analysis::DebugAuditTreePlacement(instance, tree, result,
+                                      audit_options);
+  }
   return result;
 }
 

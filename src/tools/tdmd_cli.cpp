@@ -1,11 +1,11 @@
 // tdmd_cli — command-line front end for the library.
 //
-//   tdmd_cli generate --kind=tree --size=22 --density=0.5 --lambda=0.5 \
+//   tdmd_cli generate --kind=tree --size=22 --density=0.5 --lambda=0.5
 //            --out=instance.tdmd [--tree-out=topology.tree]
 //       Generates an Ark-derived topology + CAIDA-like workload and
 //       writes a self-contained instance file.
 //
-//   tdmd_cli solve --instance=instance.tdmd --algorithm=dp --k=8 \
+//   tdmd_cli solve --instance=instance.tdmd --algorithm=dp --k=8
 //            [--tree=topology.tree] [--out=plan.tdmd]
 //       Runs one of: dp | hat | gtp | gtp-derive | best-effort | random
 //       and prints the placement, bandwidth and timing.  dp/hat need the

@@ -1,0 +1,228 @@
+// Tests for the invariant-audit library (src/analysis).
+//
+// The core of the suite is a corruption matrix: start from a known-valid
+// placement on the paper's Fig. 5 instance, break it in one specific way,
+// and assert the auditor reports exactly that class of violation.  A
+// validator that cannot reject seeded corruptions proves nothing when it
+// accepts real results.
+#include "analysis/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/dp_tree.hpp"
+#include "core/gtp.hpp"
+#include "core/hat.hpp"
+#include "core/objective.hpp"
+#include "test_util.hpp"
+
+namespace tdmd {
+namespace {
+
+using analysis::AuditOptions;
+using analysis::AuditReport;
+
+/// Valid placement on the paper instance with two middleboxes, chosen so
+/// that flows f3/f4 (paths through v6) see *two* deployed vertices — the
+/// non-nearest corruption needs an alternative server to point at.
+core::PlacementResult MakeValidResult(const core::Instance& instance) {
+  core::PlacementResult result;
+  result.deployment =
+      core::Deployment(instance.num_vertices(), {test::kV6, test::kV1});
+  result.allocation = core::Allocate(instance, result.deployment);
+  result.bandwidth = core::EvaluateBandwidth(instance, result.deployment);
+  result.feasible = result.allocation.AllServed();
+  return result;
+}
+
+class AuditTest : public ::testing::Test {
+ protected:
+  core::Instance instance_ = test::PaperInstance();
+  core::PlacementResult valid_ = MakeValidResult(instance_);
+};
+
+TEST_F(AuditTest, ValidResultPassesAllChecks) {
+  const AuditReport report =
+      analysis::AuditPlacementResult(instance_, valid_);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST_F(AuditTest, ValidResultPassesWithBudgetAndFeasibility) {
+  AuditOptions options;
+  options.max_middleboxes = 2;
+  options.require_feasible = true;
+  const AuditReport report =
+      analysis::AuditPlacementResult(instance_, valid_, options);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST_F(AuditTest, DetectsUnservedFlow) {
+  core::PlacementResult corrupted = valid_;
+  // Flow f3 (index 2) has v6 on its path but claims to be unserved.
+  corrupted.allocation.serving_vertex[2] = kInvalidVertex;
+  const AuditReport report =
+      analysis::AuditPlacementResult(instance_, corrupted);
+  EXPECT_TRUE(report.Has(analysis::issue::kUnservedFlow))
+      << report.ToString();
+}
+
+TEST_F(AuditTest, DetectsDoubleServe) {
+  core::PlacementResult corrupted = valid_;
+  // A fifth allocation entry means some flow is served twice: the
+  // serving-vertex list no longer bijects onto the flow set.
+  corrupted.allocation.serving_vertex.push_back(test::kV6);
+  const AuditReport report =
+      analysis::AuditPlacementResult(instance_, corrupted);
+  EXPECT_TRUE(report.Has(analysis::issue::kAllocationSize))
+      << report.ToString();
+}
+
+TEST_F(AuditTest, DetectsNonNearestServingVertex) {
+  core::PlacementResult corrupted = valid_;
+  // Flow f3's path visits deployed v6 (position 1) before deployed v1
+  // (position 3); serving at the root violates the forced-optimal F.
+  corrupted.allocation.serving_vertex[2] = test::kV1;
+  const AuditReport report =
+      analysis::AuditPlacementResult(instance_, corrupted);
+  EXPECT_TRUE(report.Has(analysis::issue::kNonNearestServer))
+      << report.ToString();
+}
+
+TEST_F(AuditTest, DetectsPhantomServer) {
+  core::PlacementResult corrupted = valid_;
+  // v2 is on flow f1's path but hosts no middlebox.
+  corrupted.allocation.serving_vertex[0] = test::kV2;
+  const AuditReport report =
+      analysis::AuditPlacementResult(instance_, corrupted);
+  EXPECT_TRUE(report.Has(analysis::issue::kPhantomServer))
+      << report.ToString();
+}
+
+TEST_F(AuditTest, DetectsOffPathServer) {
+  core::PlacementResult corrupted = valid_;
+  // v6 hosts a middlebox but is nowhere on flow f1's path (v4-v2-v1).
+  corrupted.allocation.serving_vertex[0] = test::kV6;
+  const AuditReport report =
+      analysis::AuditPlacementResult(instance_, corrupted);
+  EXPECT_TRUE(report.Has(analysis::issue::kOffPathServer))
+      << report.ToString();
+}
+
+TEST_F(AuditTest, DetectsStaleObjective) {
+  core::PlacementResult corrupted = valid_;
+  corrupted.bandwidth += 3.0;
+  const AuditReport report =
+      analysis::AuditPlacementResult(instance_, corrupted);
+  EXPECT_TRUE(report.Has(analysis::issue::kStaleObjective))
+      << report.ToString();
+  // Nothing else should trip: the deployment/allocation remain valid.
+  EXPECT_EQ(report.issues.size(), 1u) << report.ToString();
+}
+
+TEST_F(AuditTest, DetectsBudgetViolation) {
+  AuditOptions options;
+  options.max_middleboxes = 1;  // valid_ deploys two middleboxes
+  const AuditReport report =
+      analysis::AuditPlacementResult(instance_, valid_, options);
+  EXPECT_TRUE(report.Has(analysis::issue::kBudgetExceeded))
+      << report.ToString();
+}
+
+TEST_F(AuditTest, DetectsWrongFeasibleFlag) {
+  core::PlacementResult corrupted = valid_;
+  corrupted.feasible = false;  // allocation says every flow is served
+  const AuditReport report =
+      analysis::AuditPlacementResult(instance_, corrupted);
+  EXPECT_TRUE(report.Has(analysis::issue::kFeasibleFlag))
+      << report.ToString();
+}
+
+TEST_F(AuditTest, FlagsInfeasibilityOnlyWhenRequired) {
+  core::PlacementResult partial;
+  partial.deployment =
+      core::Deployment(instance_.num_vertices(), {test::kV6});
+  partial.allocation = core::Allocate(instance_, partial.deployment);
+  partial.bandwidth = core::EvaluateBandwidth(instance_, partial.deployment);
+  partial.feasible = false;  // f1/f4 have no middlebox on their paths
+  EXPECT_TRUE(analysis::AuditPlacementResult(instance_, partial).ok());
+
+  AuditOptions options;
+  options.require_feasible = true;
+  const AuditReport report =
+      analysis::AuditPlacementResult(instance_, partial, options);
+  EXPECT_TRUE(report.Has(analysis::issue::kInfeasible))
+      << report.ToString();
+}
+
+TEST_F(AuditTest, GainSequenceAudit) {
+  EXPECT_TRUE(analysis::AuditGreedyGainSequence({5.0, 3.0, 3.0, 0.5}).ok());
+  EXPECT_TRUE(analysis::AuditGreedyGainSequence({}).ok());
+  EXPECT_TRUE(analysis::AuditGreedyGainSequence({3.0, 5.0})
+                  .Has(analysis::issue::kGainNotMonotone));
+  EXPECT_TRUE(analysis::AuditGreedyGainSequence({-1.0})
+                  .Has(analysis::issue::kGainNegative));
+}
+
+TEST_F(AuditTest, TreePlacementAuditRejectsMismatchedTree) {
+  // A tree over a different vertex universe cannot validate this result.
+  const graph::Tree small(
+      std::vector<VertexId>{kInvalidVertex, 0, 0});
+  const AuditReport report =
+      analysis::AuditTreePlacement(instance_, small, valid_);
+  EXPECT_TRUE(report.Has(analysis::issue::kTreeMismatch))
+      << report.ToString();
+}
+
+TEST_F(AuditTest, CheckAuditAbortsOnCorruption) {
+  core::PlacementResult corrupted = valid_;
+  corrupted.bandwidth += 100.0;
+  const AuditReport report =
+      analysis::AuditPlacementResult(instance_, corrupted);
+  EXPECT_DEATH(analysis::CheckAudit(report), "stale-objective");
+}
+
+TEST_F(AuditTest, RecomputeBandwidthMatchesEvaluateBandwidth) {
+  // Two independent objective implementations (edge-walk vs per-flow
+  // formula) must agree on arbitrary deployments.
+  Rng rng(20260805);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto tree_case = test::MakeRandomTreeCase(18, 0.4, rng);
+    core::Deployment deployment(tree_case.instance.num_vertices());
+    for (VertexId v = 0; v < tree_case.instance.num_vertices(); ++v) {
+      if (rng.NextBool(0.3)) deployment.Add(v);
+    }
+    const core::Allocation allocation =
+        core::Allocate(tree_case.instance, deployment);
+    EXPECT_NEAR(
+        analysis::RecomputeBandwidth(tree_case.instance, allocation),
+        core::EvaluateBandwidth(tree_case.instance, deployment), 1e-9);
+  }
+}
+
+TEST_F(AuditTest, AlgorithmOutputsPassTheAuditor) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto tree_case = test::MakeRandomTreeCase(20, 0.5, rng);
+    const auto gtp = core::Gtp(tree_case.instance);
+    EXPECT_TRUE(
+        analysis::AuditPlacementResult(tree_case.instance, gtp).ok());
+
+    const auto hat = core::Hat(tree_case.instance, tree_case.tree, 2);
+    EXPECT_TRUE(analysis::AuditTreePlacement(tree_case.instance,
+                                             tree_case.tree, hat)
+                    .ok());
+
+    const auto dp = core::DpTree(tree_case.instance, tree_case.tree, 3);
+    AuditOptions options;
+    options.max_middleboxes = 3;
+    options.require_feasible = true;
+    EXPECT_TRUE(analysis::AuditTreePlacement(tree_case.instance,
+                                             tree_case.tree, dp, options)
+                    .ok());
+  }
+}
+
+}  // namespace
+}  // namespace tdmd

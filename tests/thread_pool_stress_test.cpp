@@ -1,0 +1,164 @@
+// Contention-focused stress tests for parallel::ThreadPool.
+//
+// These exist primarily for the tsan preset: each scenario drives the
+// queue/condition-variable protocol through the interleavings where a
+// data race or missed notification would hide — many concurrent
+// producers, tasks that throw, destruction with a loaded queue, Wait()
+// racing Submit(), and worker-side resubmission.  Assertions double as
+// liveness checks: a lost wakeup turns into a test timeout.
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace tdmd::parallel {
+namespace {
+
+TEST(ThreadPoolStressTest, ManyProducersManyTasks) {
+  ThreadPool pool(4);
+  constexpr int kProducers = 8;
+  constexpr int kTasksPerProducer = 250;
+  std::atomic<int> executed{0};
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  std::vector<std::vector<std::future<int>>> futures(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &executed, &futures, p]() {
+      futures[p].reserve(kTasksPerProducer);
+      for (int t = 0; t < kTasksPerProducer; ++t) {
+        futures[p].push_back(pool.Submit([&executed, p, t]() {
+          executed.fetch_add(1, std::memory_order_relaxed);
+          return p * kTasksPerProducer + t;
+        }));
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+
+  int sum = 0;
+  for (auto& per_producer : futures) {
+    for (auto& future : per_producer) sum += future.get();
+  }
+  const int total = kProducers * kTasksPerProducer;
+  EXPECT_EQ(executed.load(), total);
+  EXPECT_EQ(sum, total * (total - 1) / 2);
+}
+
+TEST(ThreadPoolStressTest, ExceptionsInTasksReachFuturesAndPoolSurvives) {
+  ThreadPool pool(3);
+  constexpr int kTasks = 120;
+  std::vector<std::future<int>> futures;
+  futures.reserve(kTasks);
+  for (int t = 0; t < kTasks; ++t) {
+    futures.push_back(pool.Submit([t]() -> int {
+      if (t % 3 == 0) throw std::runtime_error("task failed");
+      return t;
+    }));
+  }
+  int failures = 0;
+  for (int t = 0; t < kTasks; ++t) {
+    try {
+      EXPECT_EQ(futures[static_cast<std::size_t>(t)].get(), t);
+    } catch (const std::runtime_error&) {
+      ++failures;
+    }
+  }
+  EXPECT_EQ(failures, (kTasks + 2) / 3);
+
+  // The workers must have survived every exception.
+  EXPECT_EQ(pool.Submit([]() { return 41 + 1; }).get(), 42);
+}
+
+TEST(ThreadPoolStressTest, ShutdownWhileBusyDrainsQueuedTasks) {
+  std::atomic<int> executed{0};
+  constexpr int kTasks = 200;
+  {
+    ThreadPool pool(2);
+    for (int t = 0; t < kTasks; ++t) {
+      pool.Submit([&executed]() {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        executed.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    // Destructor runs with most of the queue still pending; the contract
+    // is drain-then-join, not drop.
+  }
+  EXPECT_EQ(executed.load(), kTasks);
+}
+
+TEST(ThreadPoolStressTest, WaitRacesSubmissions) {
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  constexpr int kRounds = 50;
+  constexpr int kTasksPerRound = 20;
+
+  std::thread producer([&pool, &executed]() {
+    for (int r = 0; r < kRounds; ++r) {
+      for (int t = 0; t < kTasksPerRound; ++t) {
+        pool.Submit([&executed]() {
+          executed.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+      std::this_thread::yield();
+    }
+  });
+  // Wait() concurrently with the producer: it may observe any prefix of
+  // the submissions but must never hang or miss its wakeup.
+  for (int i = 0; i < 20; ++i) {
+    pool.Wait();
+    std::this_thread::yield();
+  }
+  producer.join();
+  pool.Wait();
+  EXPECT_EQ(executed.load(), kRounds * kTasksPerRound);
+}
+
+TEST(ThreadPoolStressTest, WorkersCanResubmit) {
+  ThreadPool pool(3);
+  std::atomic<int> executed{0};
+  constexpr int kRoots = 40;
+  constexpr int kChildrenPerRoot = 5;
+  for (int r = 0; r < kRoots; ++r) {
+    pool.Submit([&pool, &executed]() {
+      for (int c = 0; c < kChildrenPerRoot; ++c) {
+        pool.Submit([&executed]() {
+          executed.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  // The children are enqueued before their parent leaves the in-flight
+  // count, so a single Wait() covers the whole tree.
+  pool.Wait();
+  EXPECT_EQ(executed.load(), kRoots * kChildrenPerRoot);
+}
+
+TEST(ThreadPoolStressTest, ParallelForFromCompetingThreads) {
+  ThreadPool pool(4);
+  constexpr std::size_t kRange = 2000;
+  std::vector<std::atomic<int>> hits(kRange);
+  for (auto& h : hits) h.store(0);
+
+  std::vector<std::thread> drivers;
+  drivers.reserve(3);
+  for (int d = 0; d < 3; ++d) {
+    drivers.emplace_back([&pool, &hits]() {
+      ParallelFor(pool, 0, kRange, [&hits](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+  }
+  for (std::thread& driver : drivers) driver.join();
+  for (std::size_t i = 0; i < kRange; ++i) {
+    ASSERT_EQ(hits[i].load(), 3) << "index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace tdmd::parallel

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Repo lint: header hygiene and banned patterns.
+#
+# Checks (all over src/, tests/, bench/, examples/):
+#   1. every .hpp starts its include story with #pragma once
+#   2. every library .cpp includes its own header first (include order)
+#   3. banned patterns: std::rand/srand (non-deterministic; use common/rng),
+#      gets, <bits/stdc++.h>, "using namespace std" at file scope in headers
+#   4. no CRLF line endings, no trailing whitespace
+#
+# Exit status is the number of files with findings (0 = clean), so CI can
+# gate on it directly.  Run from anywhere; paths resolve relative to the
+# repo root.
+set -u
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+dirs=(src tests bench examples)
+failures=0
+
+note() {
+  echo "lint: $*" >&2
+}
+
+fail_file() {
+  failures=$((failures + 1))
+}
+
+# --- 1. #pragma once in every header ---------------------------------------
+while IFS= read -r header; do
+  if ! grep -q '^#pragma once$' "${header}"; then
+    note "${header}: missing '#pragma once'"
+    fail_file
+  fi
+done < <(find "${dirs[@]}" -name '*.hpp' -type f | sort)
+
+# --- 2. self-include-first for library sources ------------------------------
+# A foo.cpp sitting next to foo.hpp must include "its/path/foo.hpp" before
+# any other include, pinning the header's self-sufficiency.
+while IFS= read -r source; do
+  header="${source%.cpp}.hpp"
+  [ -f "${header}" ] || continue  # mains and test drivers are exempt
+  rel_header="${header#src/}"
+  first_include="$(grep -m 1 '^#include' "${source}")"
+  if [ "${first_include}" != "#include \"${rel_header}\"" ]; then
+    note "${source}: first include is '${first_include}', expected '#include \"${rel_header}\"'"
+    fail_file
+  fi
+done < <(find src -name '*.cpp' -type f | sort)
+
+# --- 3. banned patterns ------------------------------------------------------
+ban() {
+  local pattern="$1" why="$2"
+  local hits
+  hits="$(grep -rnE --include='*.hpp' --include='*.cpp' "${pattern}" "${dirs[@]}" || true)"
+  if [ -n "${hits}" ]; then
+    note "banned pattern (${why}):"
+    echo "${hits}" >&2
+    fail_file
+  fi
+}
+
+ban '\bstd::rand\b|\bsrand\s*\(' 'non-deterministic; use common/rng.hpp'
+ban '\bgets\s*\(' 'unbounded read'
+ban '<bits/stdc\+\+\.h>' 'non-standard catch-all header'
+
+hits="$(grep -rn --include='*.hpp' '^using namespace std' "${dirs[@]}" || true)"
+if [ -n "${hits}" ]; then
+  note 'banned pattern (namespace pollution in headers):'
+  echo "${hits}" >&2
+  fail_file
+fi
+
+# --- 4. line hygiene ---------------------------------------------------------
+while IFS= read -r file; do
+  if grep -q $'\r' "${file}"; then
+    note "${file}: CRLF line endings"
+    fail_file
+  fi
+  if grep -qE ' +$' "${file}"; then
+    note "${file}: trailing whitespace"
+    fail_file
+  fi
+done < <(find "${dirs[@]}" -type f \( -name '*.hpp' -o -name '*.cpp' \) | sort)
+
+if [ "${failures}" -eq 0 ]; then
+  echo "lint: clean"
+else
+  note "${failures} finding(s)"
+fi
+exit "${failures}"
