@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "core/dynamic.hpp"
+#include "engine/churn_trace.hpp"
 #include "experiment/stats.hpp"
 #include "experiment/table.hpp"
 #include "scenario.hpp"
@@ -43,14 +44,15 @@ void RunChurn(std::size_t trials, std::size_t epochs, std::uint64_t seed,
       core::ChurnModel churn;
       churn.arrival_count = 8;
       churn.departure_probability = 0.2;
+      // Pre-draw the whole trace through the shared generator so this
+      // bench and engine_churn replay identical workloads from one seed
+      // (the draw order matches the historical inline loop exactly).
+      const engine::ChurnTrace trace =
+          engine::BuildChurnTrace(network, churn, epochs, 0, rng);
 
-      for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
-        const traffic::FlowSet arrivals =
-            core::DrawArrivals(network, churn, rng);
-        const std::vector<std::size_t> departures = core::DrawDepartures(
-            placer.active_flows().size(), churn, rng);
+      for (const engine::ChurnEpoch& epoch : trace.epochs) {
         const core::EpochReport report =
-            placer.Step(arrivals, departures);
+            placer.Step(epoch.arrivals, epoch.departures);
         if (!report.feasible) ++infeasible;
         if (report.resolve_bandwidth > 0.0) {
           regret.Add(100.0 *
@@ -77,7 +79,10 @@ int main(int argc, char** argv) {
   using namespace tdmd;
   ArgParser parser("dynamic_churn",
                    "Incremental re-placement under flow churn "
-                   "(stability vs optimality)");
+                   "(stability vs optimality).  The churn trace derives "
+                   "deterministically from --seed via the generator "
+                   "engine_churn shares, so equal seeds replay identical "
+                   "workloads across both benches.");
   const bench::BenchFlags flags = bench::AddBenchFlags(parser);
   const auto* epochs = parser.AddInt("epochs", 20, "churn epochs per trial");
   parser.Parse(argc, argv);

@@ -71,4 +71,16 @@ bool IsFeasible(const Instance& instance, const Deployment& deployment) {
   return Allocate(instance, deployment).AllServed();
 }
 
+std::size_t DeploymentMoveCount(const Deployment& from,
+                                const Deployment& to) {
+  std::size_t moves = 0;
+  for (VertexId v : from.vertices()) {
+    if (!to.Contains(v)) ++moves;
+  }
+  for (VertexId v : to.vertices()) {
+    if (!from.Contains(v)) ++moves;
+  }
+  return moves;
+}
+
 }  // namespace tdmd::core

@@ -63,6 +63,11 @@ struct Allocation {
 /// vertex with the smallest path index (nearest its source).
 Allocation Allocate(const Instance& instance, const Deployment& deployment);
 
+/// Number of vertices differing between two deployments (adds + removes) —
+/// the operational move cost charged by the hysteresis policies in
+/// DynamicPlacer and engine::Engine.
+std::size_t DeploymentMoveCount(const Deployment& from, const Deployment& to);
+
 /// True iff every flow has at least one deployed vertex on its path.
 bool IsFeasible(const Instance& instance, const Deployment& deployment);
 

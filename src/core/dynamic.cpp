@@ -26,18 +26,6 @@ DynamicPlacer::DynamicPlacer(graph::Digraph network, DynamicOptions options)
   }
 }
 
-std::size_t DynamicPlacer::MoveCount(const Deployment& from,
-                                     const Deployment& to) {
-  std::size_t moves = 0;
-  for (VertexId v : from.vertices()) {
-    if (!to.Contains(v)) ++moves;
-  }
-  for (VertexId v : to.vertices()) {
-    if (!from.Contains(v)) ++moves;
-  }
-  return moves;
-}
-
 std::size_t DynamicPlacer::PatchFeasibility(const Instance& instance) {
   const Allocation allocation = Allocate(instance, deployment_);
   std::vector<FlowId> unserved;
@@ -103,7 +91,8 @@ EpochReport DynamicPlacer::Step(const traffic::FlowSet& arrivals,
   // Adopt the re-solve if it pays for its moves — or unconditionally if
   // the patched plan could not regain feasibility (budget exhausted).
   const bool maintained_feasible = IsFeasible(instance, deployment_);
-  const std::size_t switch_moves = MoveCount(deployment_, resolved.deployment);
+  const std::size_t switch_moves =
+      DeploymentMoveCount(deployment_, resolved.deployment);
   const double required =
       options_.move_threshold * static_cast<double>(switch_moves);
   if (resolved.feasible &&

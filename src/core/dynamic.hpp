@@ -70,9 +70,6 @@ class DynamicPlacer {
   const Deployment& deployment() const { return deployment_; }
 
  private:
-  /// Number of vertices differing between two deployments (adds+removes).
-  static std::size_t MoveCount(const Deployment& from, const Deployment& to);
-
   /// Ensures every active flow is covered, spending spare budget via
   /// greedy cover; returns boxes added.
   std::size_t PatchFeasibility(const Instance& instance);

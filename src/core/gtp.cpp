@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 #include <vector>
 
 #include "analysis/audit.hpp"
+#include "core/celf.hpp"
 #include "core/coverage.hpp"
 
 namespace tdmd::core {
@@ -23,20 +23,7 @@ std::vector<char> ServedMask(const Instance& instance,
   return served;
 }
 
-struct Candidate {
-  Bandwidth gain;
-  VertexId vertex;
-  std::size_t round;  // round in which `gain` was computed (lazy mode)
-};
-
-struct CandidateLess {
-  bool operator()(const Candidate& a, const Candidate& b) const {
-    // Max-heap on gain; ties toward the lowest vertex id so lazy and plain
-    // modes pick identical deployments.
-    if (a.gain != b.gain) return a.gain < b.gain;
-    return a.vertex > b.vertex;
-  }
-};
+using Candidate = CelfCandidate;
 
 /// One plain round: scan all undeployed vertices for the max marginal
 /// decrement.  Optionally fanned out over a thread pool.
@@ -89,13 +76,13 @@ PlacementResult RunGtp(const Instance& instance, const GtpOptions& options) {
                                   static_cast<std::size_t>(
                                       instance.num_vertices()));
 
-  // Lazy mode: prime the heap with round-0 gains.
-  std::priority_queue<Candidate, std::vector<Candidate>, CandidateLess> heap;
+  // Lazy mode: prime the CELF heap with round-0 gains.
+  CelfQueue celf;
+  const auto gain_oracle = [&state](VertexId v) {
+    return state.MarginalDecrement(v);
+  };
   if (options.lazy) {
-    for (VertexId v = 0; v < instance.num_vertices(); ++v) {
-      heap.push(Candidate{state.MarginalDecrement(v), v, 0});
-      ++result.oracle_calls;
-    }
+    celf.Prime(instance.num_vertices(), gain_oracle, &result.oracle_calls);
   }
 
 #if TDMD_AUDITS_ENABLED
@@ -105,22 +92,8 @@ PlacementResult RunGtp(const Instance& instance, const GtpOptions& options) {
   for (std::size_t round = 1; result.deployment.size() < budget; ++round) {
     Candidate chosen{-1.0, kInvalidVertex, 0};
     if (options.lazy) {
-      // Pop until the top entry's gain is fresh (computed this round).
-      // Submodularity guarantees stale gains are upper bounds, so a fresh
-      // top is globally maximal.
-      while (!heap.empty()) {
-        Candidate top = heap.top();
-        heap.pop();
-        if (result.deployment.Contains(top.vertex)) continue;
-        if (top.round == round) {
-          chosen = top;
-          break;
-        }
-        top.gain = state.MarginalDecrement(top.vertex);
-        top.round = round;
-        ++result.oracle_calls;
-        heap.push(top);
-      }
+      chosen = celf.PopBest(round, result.deployment, gain_oracle,
+                            &result.oracle_calls);
     } else if (options.feasibility_aware && options.max_middleboxes > 0 &&
                !state.AllServed()) {
       // Rank all candidates by gain, then take the best one that keeps the
@@ -133,7 +106,7 @@ PlacementResult RunGtp(const Instance& instance, const GtpOptions& options) {
       }
       std::sort(ranked.begin(), ranked.end(),
                 [](const Candidate& a, const Candidate& b) {
-                  return CandidateLess{}(b, a);  // descending
+                  return CelfCandidateLess{}(b, a);  // descending
                 });
       const std::size_t remaining = budget - result.deployment.size() - 1;
       const std::vector<char> served = ServedMask(instance, state);

@@ -1,0 +1,40 @@
+#include "engine/churn_trace.hpp"
+
+namespace tdmd::engine {
+
+std::size_t ChurnTrace::FinalActiveCount(std::size_t initial_active) const {
+  std::size_t active = initial_active;
+  for (const ChurnEpoch& epoch : epochs) {
+    active -= epoch.departures.size();
+    active += epoch.arrivals.size();
+  }
+  return active;
+}
+
+ChurnTrace BuildChurnTrace(const graph::Digraph& network,
+                           const core::ChurnModel& model,
+                           std::size_t epochs, std::size_t initial_active,
+                           Rng& rng) {
+  ChurnTrace trace;
+  trace.epochs.reserve(epochs);
+  std::size_t active = initial_active;
+  for (std::size_t e = 0; e < epochs; ++e) {
+    ChurnEpoch epoch;
+    epoch.arrivals = core::DrawArrivals(network, model, rng);
+    epoch.departures = core::DrawDepartures(active, model, rng);
+    active -= epoch.departures.size();
+    active += epoch.arrivals.size();
+    trace.epochs.push_back(std::move(epoch));
+  }
+  return trace;
+}
+
+ChurnTrace BuildChurnTrace(const graph::Digraph& network,
+                           const core::ChurnModel& model,
+                           std::size_t epochs, std::size_t initial_active,
+                           std::uint64_t seed) {
+  Rng rng(seed);
+  return BuildChurnTrace(network, model, epochs, initial_active, rng);
+}
+
+}  // namespace tdmd::engine

@@ -1,0 +1,162 @@
+#include "engine/coverage_index.hpp"
+
+#include <utility>
+
+namespace tdmd::engine {
+
+namespace {
+
+constexpr std::uint32_t kSlotMask32 = 0xFFFFFFFFu;
+
+FlowTicket MakeTicket(std::uint32_t slot, std::uint32_t generation) {
+  return static_cast<FlowTicket>(
+      (static_cast<std::uint64_t>(generation) << 32) |
+      static_cast<std::uint64_t>(slot));
+}
+
+std::uint32_t TicketSlot(FlowTicket ticket) {
+  return static_cast<std::uint32_t>(static_cast<std::uint64_t>(ticket) &
+                                    kSlotMask32);
+}
+
+std::uint32_t TicketGeneration(FlowTicket ticket) {
+  return static_cast<std::uint32_t>(static_cast<std::uint64_t>(ticket) >>
+                                    32);
+}
+
+}  // namespace
+
+FlowCoverageIndex::FlowCoverageIndex(graph::Digraph network, double lambda)
+    : network_(std::move(network)),
+      lambda_(lambda),
+      flows_through_(static_cast<std::size_t>(network_.num_vertices())) {
+  TDMD_CHECK_MSG(lambda >= 0.0 && lambda <= 1.0,
+                 "lambda " << lambda << " outside [0, 1] (Section 3.1)");
+}
+
+FlowTicket FlowCoverageIndex::AddFlow(traffic::Flow flow) {
+  TDMD_CHECK_MSG(flow.rate > 0, "flow rate must be positive");
+  TDMD_CHECK_MSG(graph::IsSimplePath(network_, flow.path),
+                 "flow path is not a simple path in the network");
+  TDMD_CHECK_MSG(!flow.path.vertices.empty() &&
+                     flow.path.vertices.front() == flow.src &&
+                     flow.path.vertices.back() == flow.dst,
+                 "flow path endpoints disagree with src/dst");
+
+  std::uint32_t slot = 0;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& entry = slots_[slot];
+  entry.flow = std::move(flow);
+  entry.active = true;
+  // Generation was bumped at removal time; slot 0 of a fresh index starts
+  // at generation 0, which is fine — the ticket is unique while active.
+
+  const std::vector<VertexId>& path = entry.flow.path.vertices;
+  const auto edges = static_cast<std::int32_t>(entry.flow.PathEdges());
+  const auto rate = static_cast<Bandwidth>(entry.flow.rate);
+  entry.visit_pos.assign(path.size(), 0);
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    auto& list = flows_through_[static_cast<std::size_t>(path[i])];
+    entry.visit_pos[i] = static_cast<std::uint32_t>(list.size());
+    list.push_back(Visit{slot, static_cast<std::int32_t>(i), edges, rate});
+    ++stats_.delta_ops;
+  }
+
+  const auto [it, inserted] = class_by_path_.try_emplace(
+      path, static_cast<std::uint32_t>(classes_.size()));
+  if (inserted) classes_.push_back(PathClass{path, 0});
+  entry.path_class = it->second;
+  ++classes_[entry.path_class].active_flows;
+
+  ++active_count_;
+  unprocessed_bandwidth_ +=
+      static_cast<Bandwidth>(entry.flow.rate) *
+      static_cast<Bandwidth>(entry.flow.PathEdges());
+  ++stats_.arrivals;
+  return MakeTicket(slot, entry.generation);
+}
+
+bool FlowCoverageIndex::RemoveFlow(FlowTicket ticket) {
+  if (ticket < 0) return false;
+  const std::uint32_t slot = TicketSlot(ticket);
+  if (slot >= slots_.size()) return false;
+  Slot& entry = slots_[slot];
+  if (!entry.active || entry.generation != TicketGeneration(ticket)) {
+    return false;
+  }
+
+  const std::vector<VertexId>& path = entry.flow.path.vertices;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    auto& list = flows_through_[static_cast<std::size_t>(path[i])];
+    const std::uint32_t pos = entry.visit_pos[i];
+    TDMD_DCHECK(pos < list.size() && list[pos].slot == slot);
+    const Visit moved = list.back();
+    list[pos] = moved;
+    list.pop_back();
+    if (moved.slot != slot) {
+      // Fix the moved entry's back-pointer: its path_index tells us which
+      // position of its own path this vertex is.
+      slots_[moved.slot]
+          .visit_pos[static_cast<std::size_t>(moved.path_index)] = pos;
+    }
+    ++stats_.delta_ops;
+  }
+
+  TDMD_DCHECK(classes_[entry.path_class].active_flows > 0);
+  --classes_[entry.path_class].active_flows;
+  unprocessed_bandwidth_ -=
+      static_cast<Bandwidth>(entry.flow.rate) *
+      static_cast<Bandwidth>(entry.flow.PathEdges());
+  entry.active = false;
+  ++entry.generation;  // invalidates outstanding tickets for this slot
+  entry.flow = traffic::Flow{};
+  entry.visit_pos.clear();
+  free_slots_.push_back(slot);
+  --active_count_;
+  ++stats_.departures;
+  return true;
+}
+
+FlowTicket FlowCoverageIndex::TicketAt(std::uint32_t slot) const {
+  TDMD_CHECK(SlotActive(slot));
+  return MakeTicket(slot, slots_[slot].generation);
+}
+
+const traffic::Flow* FlowCoverageIndex::Find(FlowTicket ticket) const {
+  if (ticket < 0) return nullptr;
+  const std::uint32_t slot = TicketSlot(ticket);
+  if (slot >= slots_.size()) return nullptr;
+  const Slot& entry = slots_[slot];
+  if (!entry.active || entry.generation != TicketGeneration(ticket)) {
+    return nullptr;
+  }
+  return &entry.flow;
+}
+
+std::vector<FlowTicket> FlowCoverageIndex::ActiveTickets() const {
+  std::vector<FlowTicket> tickets;
+  tickets.reserve(active_count_);
+  for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
+    if (slots_[slot].active) {
+      tickets.push_back(MakeTicket(slot, slots_[slot].generation));
+    }
+  }
+  return tickets;
+}
+
+core::Instance FlowCoverageIndex::BuildInstance() const {
+  traffic::FlowSet flows;
+  flows.reserve(active_count_);
+  for (const Slot& entry : slots_) {
+    if (entry.active) flows.push_back(entry.flow);
+  }
+  return core::Instance(network_, std::move(flows), lambda_);
+}
+
+}  // namespace tdmd::engine

@@ -1,0 +1,284 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "analysis/audit.hpp"
+#include "core/objective.hpp"
+
+namespace tdmd::engine {
+
+namespace {
+
+struct FlowEval {
+  Bandwidth contribution = 0.0;
+  bool covered = false;
+};
+
+/// One flow's term of b(P, F) under the forced nearest-source allocation,
+/// plus whether any deployed vertex lies on its path.  O(|p|).
+FlowEval EvaluateFlow(const traffic::Flow& flow,
+                      const core::Deployment& deployment, double lambda) {
+  const auto edges = static_cast<Bandwidth>(flow.PathEdges());
+  FlowEval eval;
+  Bandwidth diminished = 0.0;
+  for (std::size_t i = 0; i < flow.path.vertices.size(); ++i) {
+    if (deployment.Contains(flow.path.vertices[i])) {
+      diminished = edges - static_cast<Bandwidth>(i);
+      eval.covered = true;
+      break;
+    }
+  }
+  eval.contribution = static_cast<Bandwidth>(flow.rate) *
+                      (edges - (1.0 - lambda) * diminished);
+  return eval;
+}
+
+}  // namespace
+
+Engine::Engine(graph::Digraph network, EngineOptions options)
+    : options_(options),
+      index_(std::move(network), options.lambda),
+      deployment_(index_.num_vertices()) {
+  TDMD_CHECK_MSG(options_.k >= 1, "middlebox budget k must be >= 1");
+  if (!options_.synchronous) {
+    pool_ = std::make_unique<parallel::ThreadPool>(
+        std::max<std::size_t>(1, options_.solver_threads));
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    PublishLocked();  // version 1: the empty deployment, trivially feasible
+  }
+}
+
+Engine::~Engine() {
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (current_cancel_) {
+      current_cancel_->store(true, std::memory_order_relaxed);
+    }
+  }
+  pool_.reset();  // drains and joins; tasks may still lock state_mu_
+}
+
+Engine::BatchResult Engine::SubmitBatch(
+    const traffic::FlowSet& arrivals,
+    const std::vector<FlowTicket>& departures) {
+  BatchResult result;
+  std::lock_guard<std::mutex> lock(state_mu_);
+
+  // A newer epoch makes any in-flight re-solve stale; cancel it
+  // cooperatively before touching the index.
+  if (current_cancel_) {
+    current_cancel_->store(true, std::memory_order_relaxed);
+    current_cancel_.reset();
+  }
+
+  ++epoch_;
+  ++stats_.epochs;
+  result.epoch = epoch_;
+
+  for (FlowTicket ticket : departures) {
+    const traffic::Flow* flow = index_.Find(ticket);
+    if (flow == nullptr) continue;  // stale ticket
+    maintained_bandwidth_ -=
+        EvaluateFlow(*flow, deployment_, options_.lambda).contribution;
+    index_.RemoveFlow(ticket);
+    ++stats_.departures;
+  }
+  result.tickets.reserve(arrivals.size());
+  for (const traffic::Flow& flow : arrivals) {
+    const FlowTicket ticket = index_.AddFlow(flow);
+    result.tickets.push_back(ticket);
+    ++stats_.arrivals;
+    const FlowEval eval =
+        EvaluateFlow(flow, deployment_, options_.lambda);
+    maintained_bandwidth_ += eval.contribution;
+    if (!eval.covered) uncovered_.push_back(ticket);
+  }
+
+  result.patch_boxes = PatchFeasibilityLocked();
+  if (result.patch_boxes > 0) {
+    ++stats_.patches;
+    stats_.patch_boxes += result.patch_boxes;
+    // The patched boxes also serve (or serve earlier) flows that were
+    // already covered, so the incremental total is stale; resync once.
+    maintained_bandwidth_ = EvaluateBandwidth(index_, deployment_);
+  }
+  PublishLocked();
+
+  if (index_.active_flows() > 0) {
+    ScheduleResolveLocked();
+  }
+  return result;
+}
+
+std::size_t Engine::PatchFeasibilityLocked() {
+  // Refresh the uncovered list: drop tickets that departed or gained
+  // coverage since they were recorded.  O(|uncovered|), not O(|F|).
+  std::vector<FlowTicket> unserved;
+  for (FlowTicket ticket : uncovered_) {
+    const traffic::Flow* flow = index_.Find(ticket);
+    if (flow == nullptr) continue;
+    bool served = false;
+    for (VertexId v : flow->path.vertices) {
+      if (deployment_.Contains(v)) {
+        served = true;
+        break;
+      }
+    }
+    if (!served) unserved.push_back(ticket);
+  }
+
+  // Greedy cover with spare budget: repeatedly deploy the vertex covering
+  // the most unserved flows (ties toward the lowest id).
+  std::size_t added = 0;
+  std::vector<std::size_t> cover(
+      static_cast<std::size_t>(index_.num_vertices()));
+  while (!unserved.empty() && deployment_.size() < options_.k) {
+    std::fill(cover.begin(), cover.end(), 0);
+    for (FlowTicket ticket : unserved) {
+      for (VertexId v : index_.Find(ticket)->path.vertices) {
+        if (!deployment_.Contains(v)) {
+          ++cover[static_cast<std::size_t>(v)];
+        }
+      }
+    }
+    VertexId best = kInvalidVertex;
+    std::size_t best_cover = 0;
+    for (VertexId v = 0; v < index_.num_vertices(); ++v) {
+      if (cover[static_cast<std::size_t>(v)] > best_cover) {
+        best = v;
+        best_cover = cover[static_cast<std::size_t>(v)];
+      }
+    }
+    if (best == kInvalidVertex) break;  // remaining flows are uncoverable
+    deployment_.Add(best);
+    ++added;
+    unserved.erase(
+        std::remove_if(unserved.begin(), unserved.end(),
+                       [&](FlowTicket ticket) {
+                         const auto& vertices =
+                             index_.Find(ticket)->path.vertices;
+                         return std::find(vertices.begin(), vertices.end(),
+                                          best) != vertices.end();
+                       }),
+        unserved.end());
+  }
+  uncovered_ = std::move(unserved);  // only the uncoverable remainder
+  maintained_feasible_ = uncovered_.empty();
+  return added;
+}
+
+void Engine::PublishLocked() {
+  auto snapshot = std::make_shared<DeploymentSnapshot>();
+  snapshot->epoch = epoch_;
+  snapshot->deployment = deployment_;
+  snapshot->bandwidth = maintained_bandwidth_;
+  snapshot->feasible = maintained_feasible_;
+  ++stats_.snapshots_published;
+
+#if TDMD_AUDITS_ENABLED
+  // Every published snapshot must satisfy the Section 3 contracts: the
+  // auditors rebuild the instance and recompute b(P, F) independently of
+  // the index's incremental bookkeeping.
+  {
+    const core::Instance instance = index_.BuildInstance();
+    core::PlacementResult as_placement;
+    as_placement.deployment = deployment_;
+    as_placement.allocation = core::Allocate(instance, deployment_);
+    as_placement.bandwidth = snapshot->bandwidth;
+    as_placement.feasible = snapshot->feasible;
+    analysis::AuditOptions audit_options;
+    audit_options.max_middleboxes = options_.k;
+    analysis::CheckAudit(
+        analysis::AuditPlacementResult(instance, as_placement,
+                                       audit_options));
+  }
+#endif
+
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  snapshot->version =
+      (snapshot_ == nullptr ? 0 : snapshot_->version) + 1;
+  snapshot_ = std::move(snapshot);
+}
+
+void Engine::ApplyResolveLocked(const IncrementalGtpResult& result,
+                                std::uint64_t epoch) {
+  stats_.gain_reevals += result.oracle_calls;
+  stats_.reevals_saved += result.reevals_saved;
+  if (result.cancelled || epoch != epoch_) {
+    // Either the solver observed the cancel flag, or it finished after a
+    // newer batch already changed the flow set under it.
+    ++stats_.resolves_cancelled;
+    return;
+  }
+  ++stats_.resolves_completed;
+
+  // maintained_bandwidth_/maintained_feasible_ are current for this
+  // epoch's flow set: they were refreshed by the SubmitBatch that started
+  // this re-solve, and epoch == epoch_ means no batch ran since.
+  const std::size_t moves =
+      core::DeploymentMoveCount(deployment_, result.deployment);
+  const double required =
+      options_.move_threshold * static_cast<double>(moves);
+  if (result.feasible &&
+      (!maintained_feasible_ ||
+       (moves > 0 && maintained_bandwidth_ - result.bandwidth >= required))) {
+    deployment_ = result.deployment;
+    maintained_bandwidth_ = result.bandwidth;
+    maintained_feasible_ = result.feasible;
+    uncovered_.clear();  // a feasible re-solve covers every current flow
+    ++stats_.adoptions;
+    stats_.middlebox_moves += moves;
+    PublishLocked();
+  }
+}
+
+void Engine::ScheduleResolveLocked() {
+  auto cancel = std::make_shared<std::atomic<bool>>(false);
+  current_cancel_ = cancel;
+  ++stats_.resolves_started;
+  const std::uint64_t epoch = epoch_;
+
+  IncrementalGtpOptions solve_options;
+  solve_options.max_middleboxes = options_.k;
+  solve_options.feasibility_aware = true;  // adoptable whenever coverable
+  solve_options.cancel = cancel.get();
+
+  if (options_.synchronous) {
+    // Solve inline against the live index; the lock is already held and
+    // nothing can mutate the index mid-solve.
+    ApplyResolveLocked(SolveIncrementalGtp(index_, solve_options), epoch);
+    return;
+  }
+
+  // Freeze a consistent copy for the worker; the live index keeps
+  // mutating under subsequent batches.
+  pool_->Submit([this, frozen = index_, epoch, cancel,
+                 solve_options]() mutable {
+    solve_options.cancel = cancel.get();
+    const IncrementalGtpResult result =
+        SolveIncrementalGtp(frozen, solve_options);
+    std::lock_guard<std::mutex> lock(state_mu_);
+    ApplyResolveLocked(result, epoch);
+  });
+}
+
+std::shared_ptr<const DeploymentSnapshot> Engine::CurrentSnapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+void Engine::WaitIdle() {
+  if (pool_ != nullptr) pool_->Wait();
+}
+
+EngineStats Engine::stats() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  EngineStats stats = stats_;
+  stats.index_delta_ops = index_.stats().delta_ops;
+  return stats;
+}
+
+}  // namespace tdmd::engine

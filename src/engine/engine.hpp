@@ -1,0 +1,183 @@
+// Engine: the online placement front end (serving layer).
+//
+// Clients submit batched flow arrivals/departures; the engine keeps a
+// middlebox deployment continuously good under that churn:
+//
+//   1. Deltas are applied to the FlowCoverageIndex in O(churn), not
+//      O(|F| * |V|) rebuild.
+//   2. Feasibility is restored synchronously: newly unserved flows are
+//      greedy-covered with spare budget (the DynamicPlacer patch policy),
+//      so a snapshot published right after SubmitBatch already serves
+//      every coverable flow.
+//   3. A full re-solve (IncrementalGtp, CELF) runs asynchronously on a
+//      thread pool against a frozen copy of the index.  A newer batch
+//      cancels a stale re-solve cooperatively; a completed re-solve is
+//      adopted only under the DynamicPlacer hysteresis rule (bandwidth
+//      saved >= move_threshold per middlebox moved — or unconditionally
+//      when the patched plan is infeasible).
+//
+// Deployments are published as immutable, versioned snapshots behind
+// shared_ptr: readers on any thread grab CurrentSnapshot() and keep using
+// it without locks while newer versions supersede it.  In debug/sanitizer
+// builds every published snapshot is validated by the src/analysis
+// invariant auditors.
+//
+// Threading contract: SubmitBatch/WaitIdle/stats/index must be called
+// from one client thread (the serving loop); CurrentSnapshot is safe from
+// any thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/deployment.hpp"
+#include "engine/coverage_index.hpp"
+#include "engine/incremental_gtp.hpp"
+#include "graph/digraph.hpp"
+#include "parallel/thread_pool.hpp"
+#include "traffic/flow.hpp"
+
+namespace tdmd::engine {
+
+struct EngineOptions {
+  /// Middlebox budget k (Section 3.1); the engine never deploys more.
+  std::size_t k = 8;
+  /// Traffic-changing ratio lambda in [0, 1].
+  double lambda = 0.5;
+  /// Hysteresis: minimum bandwidth saving per moved middlebox before a
+  /// completed re-solve replaces the maintained deployment.
+  double move_threshold = 0.0;
+  /// Worker threads for async re-solves (ignored when synchronous).
+  std::size_t solver_threads = 1;
+  /// Run re-solves inline inside SubmitBatch instead of on the pool.
+  /// Deterministic; used by benches measuring per-epoch latency and by
+  /// tests.
+  bool synchronous = false;
+};
+
+/// Immutable published deployment.  Readers hold the shared_ptr as long
+/// as they need; the engine never mutates a published snapshot.
+struct DeploymentSnapshot {
+  /// Monotonically increasing publish counter (unique per snapshot).
+  std::uint64_t version = 0;
+  /// Epoch whose flow set this snapshot was evaluated against.
+  std::uint64_t epoch = 0;
+  core::Deployment deployment;
+  Bandwidth bandwidth = 0.0;
+  bool feasible = false;
+};
+
+/// Counter block; all values since engine construction.
+struct EngineStats {
+  std::uint64_t epochs = 0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t departures = 0;
+  std::uint64_t index_delta_ops = 0;
+  /// Epochs where the synchronous patch added at least one middlebox.
+  std::uint64_t patches = 0;
+  std::uint64_t patch_boxes = 0;
+  /// Completed re-solves adopted under the hysteresis rule.
+  std::uint64_t adoptions = 0;
+  std::uint64_t middlebox_moves = 0;
+  std::uint64_t resolves_started = 0;
+  std::uint64_t resolves_completed = 0;
+  /// Re-solves abandoned: cancelled mid-run by a newer epoch, or completed
+  /// against a flow set that was already stale on arrival.
+  std::uint64_t resolves_cancelled = 0;
+  /// CELF marginal-gain evaluations performed across all re-solves.
+  std::uint64_t gain_reevals = 0;
+  /// Evaluations a plain full-scan greedy would have performed but the
+  /// lazy heap skipped (Theorem 2's dividend).
+  std::uint64_t reevals_saved = 0;
+  std::uint64_t snapshots_published = 0;
+};
+
+class Engine {
+ public:
+  Engine(graph::Digraph network, EngineOptions options);
+
+  /// Cancels any in-flight re-solve and drains the pool.
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  struct BatchResult {
+    std::uint64_t epoch = 0;
+    /// One ticket per arrival, in submission order; pass them back as
+    /// departures later.
+    std::vector<FlowTicket> tickets;
+    /// Middleboxes added by the synchronous feasibility patch.
+    std::size_t patch_boxes = 0;
+  };
+
+  /// Applies one epoch of churn: departures (stale tickets are ignored)
+  /// then arrivals; patches feasibility; publishes a snapshot; schedules
+  /// the async re-solve (cancelling any stale one).
+  BatchResult SubmitBatch(const traffic::FlowSet& arrivals,
+                          const std::vector<FlowTicket>& departures);
+
+  /// Latest published snapshot (never null).  Thread-safe.
+  std::shared_ptr<const DeploymentSnapshot> CurrentSnapshot() const;
+
+  /// Blocks until all scheduled re-solves finished (adopted or discarded).
+  void WaitIdle();
+
+  EngineStats stats() const;
+
+  /// Live coverage index (client-thread only; see threading contract).
+  const FlowCoverageIndex& index() const { return index_; }
+
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  /// Greedy-covers currently unserved flows with spare budget; returns
+  /// middleboxes added and refreshes maintained_feasible_.  Requires
+  /// state_mu_.
+  std::size_t PatchFeasibilityLocked();
+
+  /// Publishes the current deployment as a new snapshot (and audits it in
+  /// debug/sanitizer builds).  Requires state_mu_.
+  void PublishLocked();
+
+  /// Hysteresis: applies a completed re-solve for `epoch`.  Requires
+  /// state_mu_.
+  void ApplyResolveLocked(const IncrementalGtpResult& result,
+                          std::uint64_t epoch);
+
+  /// Launches the re-solve for the current epoch.  Requires state_mu_.
+  void ScheduleResolveLocked();
+
+  EngineOptions options_;
+
+  mutable std::mutex state_mu_;
+  FlowCoverageIndex index_;
+  core::Deployment deployment_;
+  /// b(P) and feasibility of deployment_ against the index's current flow
+  /// set, maintained incrementally (O(|p|) per arrival/departure, reset
+  /// exactly on adoption) so no per-epoch full index sweep is needed.
+  Bandwidth maintained_bandwidth_ = 0.0;
+  bool maintained_feasible_ = true;
+  /// Active flows with no deployed vertex on their path.  Arrivals are the
+  /// only way coverage is lost (departures and adoptions of a feasible
+  /// re-solve never unserve a survivor), so this is maintained by
+  /// appending uncovered arrivals and clearing on feasible adoption;
+  /// departed tickets are filtered out lazily by the patch.
+  std::vector<FlowTicket> uncovered_;
+  std::uint64_t epoch_ = 0;
+  std::shared_ptr<std::atomic<bool>> current_cancel_;
+  EngineStats stats_;
+
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const DeploymentSnapshot> snapshot_;
+
+  /// Declared last so workers join (and all tasks finish touching the
+  /// members above) before anything else is destroyed.
+  std::unique_ptr<parallel::ThreadPool> pool_;
+};
+
+}  // namespace tdmd::engine

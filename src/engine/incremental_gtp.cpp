@@ -1,0 +1,338 @@
+#include "engine/incremental_gtp.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "analysis/audit.hpp"
+#include "core/celf.hpp"
+#include "core/objective.hpp"
+
+namespace tdmd::engine {
+
+namespace {
+
+/// Per-slot serving state: the engine-side counterpart of
+/// core::ServedState, reading the coverage index instead of an Instance.
+/// Same arithmetic, so gains match batch GTP's bit for bit whenever the
+/// per-flow terms are exactly representable (integral rates, dyadic
+/// lambda) and to rounding order otherwise.
+class SlotServedState {
+ public:
+  explicit SlotServedState(const FlowCoverageIndex& index)
+      : index_(&index),
+        best_index_(index.num_slots(), core::kUnservedIndex),
+        bandwidth_(index.unprocessed_bandwidth()),
+        unserved_count_(index.active_flows()) {}
+
+  bool AllServed() const { return unserved_count_ == 0; }
+  Bandwidth bandwidth() const { return bandwidth_; }
+
+  // The gain loops read only the Visit entries (rate and edges are
+  // denormalized into them), so each candidate's evaluation streams one
+  // contiguous vector — no FlowAt(slot) dereference per visit.  The
+  // arithmetic is expression-for-expression the batch solver's, so the
+  // bit-exactness claim above is unaffected.
+  Bandwidth MarginalDecrement(VertexId v) const {
+    Bandwidth gain = 0.0;
+    const double one_minus_lambda = 1.0 - index_->lambda();
+    for (const FlowCoverageIndex::Visit& visit : index_->FlowsThrough(v)) {
+      const std::int32_t current = best_index_[visit.slot];
+      if (visit.path_index >= current) continue;  // no improvement
+      const std::int32_t new_l = visit.edges - visit.path_index;
+      const std::int32_t old_l =
+          current == core::kUnservedIndex ? 0 : visit.edges - current;
+      gain += visit.rate * one_minus_lambda *
+              static_cast<Bandwidth>(new_l - old_l);
+    }
+    return gain;
+  }
+
+  void Deploy(VertexId v) {
+    const double one_minus_lambda = 1.0 - index_->lambda();
+    for (const FlowCoverageIndex::Visit& visit : index_->FlowsThrough(v)) {
+      std::int32_t& current = best_index_[visit.slot];
+      if (visit.path_index >= current) continue;
+      const std::int32_t new_l = visit.edges - visit.path_index;
+      const std::int32_t old_l =
+          current == core::kUnservedIndex ? 0 : visit.edges - current;
+      bandwidth_ -= visit.rate * one_minus_lambda *
+                    static_cast<Bandwidth>(new_l - old_l);
+      if (current == core::kUnservedIndex) --unserved_count_;
+      current = visit.path_index;
+    }
+  }
+
+ private:
+  const FlowCoverageIndex* index_;
+  std::vector<std::int32_t> best_index_;
+  Bandwidth bandwidth_;
+  std::size_t unserved_count_;
+};
+
+/// Index-native counterpart of core::ResidualCoverable: if `candidate` is
+/// deployed now, can the still-unserved flows be covered by the remaining
+/// budget?  Replicates setcover::GreedyCover's selection rule directly
+/// over the coverage index — repeatedly pick the vertex covering the most
+/// uncovered residual flows, ties toward the lowest vertex id (the set
+/// index in the materialized reduction), fail if some residual flow is
+/// uncoverable — so the accept/reject decision is exactly batch GTP's:
+/// the residual universes are the same flow multiset under a monotone
+/// slot <-> flow-id bijection, the per-vertex sets have identical
+/// membership, and greedy ties break on vertex id only.  (Deployed
+/// vertices need no explicit exclusion: an unserved flow by definition
+/// has no deployed vertex on its path, so their counts are zero.)
+///
+/// Two things make the probe cheap enough for the re-solve hot path:
+///
+///   * Flows sharing one path are served by exactly the same deployments,
+///     so the probe works on the index's distinct path classes with
+///     flow-count weights.  The weighted greedy computes exactly the
+///     per-set element counts GreedyCover computes over individual flows
+///     (each class contributes its multiplicity to every count it appears
+///     in, and is covered all-or-nothing), hence identical selections and
+///     an identical verdict, at cost O(distinct paths), not O(|F|).
+///   * Scratch persists across calls: the unserved-class snapshot, the
+///     per-vertex weights, and the vertex -> unserved classes lists are
+///     built once per CELF round (BeginRound) and shared by every
+///     candidate probed that round; covered marks are invalidated by a
+///     probe counter instead of clearing.  A probe also rejects as soon
+///     as its cover provably exceeds the remaining budget.
+class FeasibilityProbe {
+ public:
+  explicit FeasibilityProbe(const FlowCoverageIndex& index)
+      : index_(&index),
+        classes_through_(static_cast<std::size_t>(index.num_vertices())),
+        base_count_(static_cast<std::size_t>(index.num_vertices()), 0),
+        count_(static_cast<std::size_t>(index.num_vertices()), 0) {}
+
+  /// Snapshots the round's unserved path classes and the per-vertex
+  /// residual flow counts.  O(sum of unserved-class path lengths).
+  void BeginRound(const core::Deployment& deployment) {
+    const std::size_t num_classes = index_->num_path_classes();
+    if (covered_stamp_.size() < num_classes) {
+      covered_stamp_.resize(num_classes, 0);
+    }
+    for (auto& list : classes_through_) list.clear();
+    std::fill(base_count_.begin(), base_count_.end(), 0);
+    base_residual_ = 0;
+    for (std::uint32_t c = 0; c < num_classes; ++c) {
+      const FlowCoverageIndex::PathClass& cls = index_->PathClassAt(c);
+      if (cls.active_flows == 0) continue;
+      bool served = false;
+      for (VertexId v : cls.vertices) {
+        if (deployment.Contains(v)) {
+          served = true;
+          break;
+        }
+      }
+      if (served) continue;
+      base_residual_ += cls.active_flows;
+      for (VertexId v : cls.vertices) {
+        base_count_[static_cast<std::size_t>(v)] += cls.active_flows;
+        classes_through_[static_cast<std::size_t>(v)].push_back(c);
+      }
+    }
+  }
+
+  /// The coverability verdict for one candidate.  Requires BeginRound for
+  /// the round's deployment.
+  bool Coverable(VertexId candidate, std::size_t remaining_budget) {
+    ++probe_;  // invalidates all covered marks from earlier probes
+    count_ = base_count_;
+    std::size_t residual = base_residual_;
+    CoverClassesThrough(candidate, &residual);
+    if (residual == 0) return true;
+    if (remaining_budget == 0) return false;
+
+    std::size_t chosen_sets = 0;
+    while (residual > 0) {
+      VertexId best = kInvalidVertex;
+      std::size_t best_gain = 0;
+      const VertexId num_vertices = index_->num_vertices();
+      for (VertexId v = 0; v < num_vertices; ++v) {
+        if (v == candidate) continue;
+        if (count_[static_cast<std::size_t>(v)] > best_gain) {
+          best_gain = count_[static_cast<std::size_t>(v)];
+          best = v;
+        }
+      }
+      if (best_gain == 0) return false;  // uncoverable residue
+      if (++chosen_sets > remaining_budget) return false;
+      CoverClassesThrough(best, &residual);
+    }
+    return true;
+  }
+
+ private:
+  /// Marks every not-yet-covered unserved class through `v` covered for
+  /// this probe and retires its flows from the per-vertex counts.
+  void CoverClassesThrough(VertexId v, std::size_t* residual) {
+    for (std::uint32_t c : classes_through_[static_cast<std::size_t>(v)]) {
+      if (covered_stamp_[c] == probe_) continue;
+      covered_stamp_[c] = probe_;
+      const FlowCoverageIndex::PathClass& cls = index_->PathClassAt(c);
+      *residual -= cls.active_flows;
+      for (VertexId u : cls.vertices) {
+        count_[static_cast<std::size_t>(u)] -= cls.active_flows;
+      }
+    }
+  }
+
+  const FlowCoverageIndex* index_;
+  /// covered_stamp_[c] == probe_  <=>  class c covered in this probe.
+  std::vector<std::uint64_t> covered_stamp_;
+  std::uint64_t probe_ = 0;
+  /// classes_through_[v] = unserved classes through v as of BeginRound.
+  std::vector<std::vector<std::uint32_t>> classes_through_;
+  /// base_count_[v] = unserved flows through v; count_ is the working copy
+  /// consumed by each probe's greedy run.  base_residual_ = total unserved.
+  std::vector<std::size_t> base_count_;
+  std::vector<std::size_t> count_;
+  std::size_t base_residual_ = 0;
+};
+
+}  // namespace
+
+IncrementalGtpResult SolveIncrementalGtp(
+    const FlowCoverageIndex& index, const IncrementalGtpOptions& options) {
+  IncrementalGtpResult result;
+  result.deployment = core::Deployment(index.num_vertices());
+  SlotServedState state(index);
+  FeasibilityProbe probe(index);
+
+  const auto num_vertices = static_cast<std::size_t>(index.num_vertices());
+  const std::size_t budget =
+      options.max_middleboxes == 0
+          ? num_vertices
+          : std::min<std::size_t>(options.max_middleboxes, num_vertices);
+
+  core::CelfQueue celf;
+  const auto gain_oracle = [&state](VertexId v) {
+    return state.MarginalDecrement(v);
+  };
+  celf.Prime(index.num_vertices(), gain_oracle, &result.oracle_calls);
+
+#if TDMD_AUDITS_ENABLED
+  std::vector<Bandwidth> chosen_gains;
+#endif
+
+  for (std::size_t round = 1; result.deployment.size() < budget; ++round) {
+    if (options.cancel != nullptr &&
+        options.cancel->load(std::memory_order_relaxed)) {
+      result.cancelled = true;
+      break;
+    }
+    core::CelfCandidate chosen{-1.0, kInvalidVertex, 0};
+    if (options.feasibility_aware && options.max_middleboxes > 0 &&
+        !state.AllServed()) {
+      // Lazy counterpart of batch GTP's feasibility-aware round: batch
+      // ranks every candidate by fresh gain and takes the best one that
+      // keeps the residual coverable.  PopBest already yields candidates
+      // in exactly that fresh-gain order (identical tie-break), so we pop,
+      // test coverability, and set rejects aside — same selection, no full
+      // scan.  Rejected fresh gains go back on the heap afterwards; they
+      // remain upper bounds for later rounds by submodularity.
+      const std::size_t remaining = budget - result.deployment.size() - 1;
+      probe.BeginRound(result.deployment);
+      std::vector<core::CelfCandidate> rejected;
+      while (true) {
+        const core::CelfCandidate candidate =
+            celf.PopBest(round, result.deployment, gain_oracle,
+                         &result.oracle_calls, &result.reevals_saved);
+        if (candidate.vertex == kInvalidVertex) break;  // queue ran dry
+        if (probe.Coverable(candidate.vertex, remaining)) {
+          chosen = candidate;
+          break;
+        }
+        rejected.push_back(candidate);
+      }
+      if (chosen.vertex == kInvalidVertex && !rejected.empty()) {
+        chosen = rejected.front();  // no feasible completion; best effort
+      }
+      for (const core::CelfCandidate& candidate : rejected) {
+        celf.Push(candidate);  // deployed entries are skipped on later pops
+      }
+    } else {
+      chosen = celf.PopBest(round, result.deployment, gain_oracle,
+                            &result.oracle_calls, &result.reevals_saved);
+    }
+    if (chosen.vertex == kInvalidVertex) break;  // nothing left to deploy
+    if (chosen.gain <= 0.0 && state.AllServed()) {
+      break;  // additional middleboxes cannot reduce bandwidth
+    }
+    state.Deploy(chosen.vertex);
+    result.deployment.Add(chosen.vertex);
+#if TDMD_AUDITS_ENABLED
+    chosen_gains.push_back(chosen.gain);
+#endif
+    // Algorithm 1's loop condition: in unbudgeted mode, stop as soon as
+    // every flow is served.
+    if (options.max_middleboxes == 0 && state.AllServed()) break;
+  }
+
+  result.bandwidth = state.bandwidth();
+  result.feasible = state.AllServed();
+#if TDMD_AUDITS_ENABLED
+  if (!result.cancelled) {
+    // Feasibility-aware selection deliberately skips max-gain vertices, so
+    // only the pure lazy-greedy mode promises Theorem 2's monotone gains.
+    if (!options.feasibility_aware) {
+      analysis::CheckAudit(analysis::AuditGreedyGainSequence(chosen_gains));
+    }
+    const core::Instance instance = index.BuildInstance();
+    core::PlacementResult as_placement;
+    as_placement.deployment = result.deployment;
+    as_placement.allocation = core::Allocate(instance, result.deployment);
+    as_placement.bandwidth = result.bandwidth;
+    as_placement.feasible = result.feasible;
+    analysis::AuditOptions audit_options;
+    audit_options.max_middleboxes = options.max_middleboxes;
+    analysis::CheckAudit(
+        analysis::AuditPlacementResult(instance, as_placement,
+                                       audit_options));
+  }
+#endif
+  return result;
+}
+
+Bandwidth EvaluateBandwidth(const FlowCoverageIndex& index,
+                            const core::Deployment& deployment) {
+  Bandwidth total = 0.0;
+  const double one_minus_lambda = 1.0 - index.lambda();
+  for (std::uint32_t slot = 0;
+       slot < static_cast<std::uint32_t>(index.num_slots()); ++slot) {
+    if (!index.SlotActive(slot)) continue;
+    const traffic::Flow& flow = index.FlowAt(slot);
+    const auto edges = static_cast<Bandwidth>(flow.PathEdges());
+    Bandwidth diminished = 0.0;
+    for (std::size_t i = 0; i < flow.path.vertices.size(); ++i) {
+      if (deployment.Contains(flow.path.vertices[i])) {
+        diminished = edges - static_cast<Bandwidth>(i);
+        break;
+      }
+    }
+    total += static_cast<Bandwidth>(flow.rate) *
+             (edges - one_minus_lambda * diminished);
+  }
+  return total;
+}
+
+bool IsFeasible(const FlowCoverageIndex& index,
+                const core::Deployment& deployment) {
+  for (std::uint32_t slot = 0;
+       slot < static_cast<std::uint32_t>(index.num_slots()); ++slot) {
+    if (!index.SlotActive(slot)) continue;
+    const traffic::Flow& flow = index.FlowAt(slot);
+    bool served = false;
+    for (VertexId v : flow.path.vertices) {
+      if (deployment.Contains(v)) {
+        served = true;
+        break;
+      }
+    }
+    if (!served) return false;
+  }
+  return true;
+}
+
+}  // namespace tdmd::engine

@@ -1,0 +1,77 @@
+// IncrementalGtp: CELF lazy-greedy GTP over a FlowCoverageIndex.
+//
+// Batch GTP answers "where do k middleboxes go" for one frozen
+// core::Instance; this solver answers the same question directly against
+// the serving layer's live coverage index, with three differences that
+// matter online:
+//
+//   * No instance rebuild.  The gain oracle reads the index's reverse
+//     vertex -> flows lists, so a re-solve costs O(evaluated gains), not
+//     O(|F| * |V|) table construction up front.
+//   * Lazy (CELF) evaluation via core::CelfQueue — the *same* selection
+//     code batch GTP's lazy mode runs, so the chosen deployment and final
+//     b(P) are exactly those of batch GTP under the identical
+//     deterministic tie-break (Theorem 2 makes the laziness safe; the
+//     property tests in tests/engine_gtp_test.cpp pin the equivalence on
+//     random trees and general digraphs).
+//   * Cooperative cancellation: the engine's re-solve pipeline passes an
+//     atomic flag that a newer epoch sets; the solver checks it once per
+//     greedy round and returns a partial, `cancelled` result.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "common/types.hpp"
+#include "core/deployment.hpp"
+#include "engine/coverage_index.hpp"
+
+namespace tdmd::engine {
+
+struct IncrementalGtpOptions {
+  /// Stop after this many middleboxes; 0 means run to feasibility (the
+  /// paper's Algorithm 1, deriving k).
+  std::size_t max_middleboxes = 0;
+  /// Budgeted mode only: while flows remain unserved, pick the best-gain
+  /// vertex whose selection keeps the residual coverable within the
+  /// remaining budget (the paper's Fig. 1 walkthrough; same rule as batch
+  /// GTP's feasibility_aware).  Those rounds are full scans; once every
+  /// flow is served the solver drops back to the lazy CELF heap, whose
+  /// round-0 gains are still valid upper bounds by submodularity.  The
+  /// engine's re-solve pipeline enables this so a completed re-solve is
+  /// adoptable (feasible) whenever coverage is possible at all.
+  bool feasibility_aware = false;
+  /// Checked at every greedy round; when it reads true the solver stops
+  /// and marks the result cancelled.  May be null.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+struct IncrementalGtpResult {
+  core::Deployment deployment;
+  Bandwidth bandwidth = 0.0;
+  bool feasible = false;
+  /// True if the solve was abandoned via the cancel flag; the deployment
+  /// is a valid prefix of the full greedy run but must not be adopted.
+  bool cancelled = false;
+  /// Marginal-gain evaluations performed (heap priming + revalidations).
+  std::size_t oracle_calls = 0;
+  /// Gain evaluations a plain full-scan greedy would have performed but
+  /// CELF skipped — the "heap re-evaluations saved" engine counter.
+  std::size_t reevals_saved = 0;
+};
+
+/// Runs budgeted lazy-greedy GTP against the index's current flow set.
+IncrementalGtpResult SolveIncrementalGtp(
+    const FlowCoverageIndex& index, const IncrementalGtpOptions& options);
+
+/// Bandwidth b(P) of `deployment` for the index's current flow set under
+/// the forced nearest-source allocation; unserved flows pay full rate.
+/// O(sum of path lengths).
+Bandwidth EvaluateBandwidth(const FlowCoverageIndex& index,
+                            const core::Deployment& deployment);
+
+/// True iff every active flow has a deployed vertex on its path.
+bool IsFeasible(const FlowCoverageIndex& index,
+                const core::Deployment& deployment);
+
+}  // namespace tdmd::engine

@@ -15,6 +15,12 @@
 //       Replays the flows link-by-link under a saved deployment and
 //       prints per-arc occupancy.
 //
+//   tdmd_cli serve-trace --instance=instance.tdmd --k=8 --epochs=20
+//            [--seed=1] [--async --threads=2]
+//       Feeds the instance's flows to the online placement engine, then
+//       serves a seeded churn trace through it epoch by epoch, printing
+//       each published snapshot and the engine counters.
+//
 //   tdmd_cli info --instance=instance.tdmd
 //       Prints instance statistics.
 #include <algorithm>
@@ -27,7 +33,10 @@
 
 #include "common/args.hpp"
 #include "common/rng.hpp"
+#include "core/dynamic.hpp"
 #include "core/tdmd.hpp"
+#include "engine/churn_trace.hpp"
+#include "engine/engine.hpp"
 #include "experiment/timer.hpp"
 #include "io/dot_export.hpp"
 #include "io/text_format.hpp"
@@ -267,6 +276,129 @@ int Viz(int argc, char** argv) {
   return 0;
 }
 
+int ServeTrace(int argc, char** argv) {
+  ArgParser parser("tdmd_cli serve-trace",
+                   "serve a seeded churn trace through the online engine");
+  const auto* instance_path = parser.AddString(
+      "instance", "instance.tdmd",
+      "instance file: network + the flows live before the first epoch");
+  const auto* k = parser.AddInt("k", 8, "middlebox budget");
+  const auto* epochs = parser.AddInt("epochs", 20, "churn epochs to serve");
+  const auto* arrival_count =
+      parser.AddInt("arrivals", 5, "flow arrivals per epoch");
+  const auto* departure_probability = parser.AddDouble(
+      "departure-probability", 0.15,
+      "per-flow departure probability per epoch");
+  const auto* move_threshold = parser.AddDouble(
+      "move-threshold", 0.0,
+      "hysteresis: min bandwidth saving per moved middlebox before a "
+      "re-solve is adopted");
+  const auto* async = parser.AddBool(
+      "async", false, "run re-solves on a worker pool instead of inline");
+  const auto* threads =
+      parser.AddInt("threads", 2, "worker threads (with --async)");
+  const auto* seed = parser.AddInt(
+      "seed", 1,
+      "rng seed; the churn trace derives deterministically from it via "
+      "the generator bench/engine_churn and bench/dynamic_churn share, so "
+      "equal seeds replay identical workloads everywhere");
+  parser.Parse(argc, argv);
+
+  auto instance = io::ReadInstanceFile(*instance_path);
+  if (!instance.ok()) Die(instance.error);
+  const core::Instance& inst = *instance.value;
+
+  core::ChurnModel churn;
+  churn.arrival_count = static_cast<std::size_t>(*arrival_count);
+  churn.departure_probability = *departure_probability;
+  const engine::ChurnTrace trace = engine::BuildChurnTrace(
+      inst.network(), churn, static_cast<std::size_t>(*epochs),
+      static_cast<std::size_t>(inst.num_flows()),
+      static_cast<std::uint64_t>(*seed));
+
+  engine::EngineOptions options;
+  options.k = static_cast<std::size_t>(*k);
+  options.lambda = inst.lambda();
+  options.move_threshold = *move_threshold;
+  options.synchronous = !*async;
+  options.solver_threads = static_cast<std::size_t>(*threads);
+  engine::Engine eng(inst.network(), options);
+
+  const auto print_snapshot = [&eng](std::size_t arrived,
+                                     std::size_t departed,
+                                     std::size_t patch_boxes) {
+    const auto snapshot = eng.CurrentSnapshot();
+    std::printf("epoch %3llu  +%-3zu -%-3zu  active %-5zu  boxes %-2zu  "
+                "patch %-2zu  bandwidth %10.3f  feasible %s  (v%llu)\n",
+                static_cast<unsigned long long>(snapshot->epoch), arrived,
+                departed, eng.index().active_flows(),
+                snapshot->deployment.size(), patch_boxes,
+                snapshot->bandwidth, snapshot->feasible ? "yes" : "NO",
+                static_cast<unsigned long long>(snapshot->version));
+  };
+
+  // Epoch 1: the instance's own flow set arrives in one batch.
+  traffic::FlowSet prefill;
+  prefill.reserve(static_cast<std::size_t>(inst.num_flows()));
+  for (FlowId f = 0; f < inst.num_flows(); ++f) {
+    prefill.push_back(inst.flow(f));
+  }
+  std::vector<engine::FlowTicket> active =
+      eng.SubmitBatch(prefill, {}).tickets;
+  print_snapshot(prefill.size(), 0, 0);
+
+  for (const engine::ChurnEpoch& epoch : trace.epochs) {
+    // Positional departures index the pre-arrival active list (the
+    // DynamicPlacer convention); translate them to tickets.
+    std::vector<engine::FlowTicket> departing;
+    departing.reserve(epoch.departures.size());
+    for (std::size_t position : epoch.departures) {
+      departing.push_back(active[position]);
+    }
+    for (auto it = epoch.departures.rbegin(); it != epoch.departures.rend();
+         ++it) {
+      active.erase(active.begin() + static_cast<std::ptrdiff_t>(*it));
+    }
+    const engine::Engine::BatchResult batch =
+        eng.SubmitBatch(epoch.arrivals, departing);
+    active.insert(active.end(), batch.tickets.begin(),
+                  batch.tickets.end());
+    print_snapshot(epoch.arrivals.size(), departing.size(),
+                   batch.patch_boxes);
+  }
+  eng.WaitIdle();
+
+  const auto snapshot = eng.CurrentSnapshot();
+  const engine::EngineStats stats = eng.stats();
+  std::printf("\nfinal      : %s (%zu middleboxes, bandwidth %.3f, "
+              "feasible %s)\n",
+              snapshot->deployment.ToString().c_str(),
+              snapshot->deployment.size(), snapshot->bandwidth,
+              snapshot->feasible ? "yes" : "NO");
+  std::printf("churn      : %llu epochs, %llu arrivals, %llu departures, "
+              "%llu index delta ops\n",
+              static_cast<unsigned long long>(stats.epochs),
+              static_cast<unsigned long long>(stats.arrivals),
+              static_cast<unsigned long long>(stats.departures),
+              static_cast<unsigned long long>(stats.index_delta_ops));
+  std::printf("patches    : %llu epochs patched, %llu middleboxes added\n",
+              static_cast<unsigned long long>(stats.patches),
+              static_cast<unsigned long long>(stats.patch_boxes));
+  std::printf("re-solves  : %llu started, %llu completed, %llu cancelled, "
+              "%llu adopted (%llu middlebox moves)\n",
+              static_cast<unsigned long long>(stats.resolves_started),
+              static_cast<unsigned long long>(stats.resolves_completed),
+              static_cast<unsigned long long>(stats.resolves_cancelled),
+              static_cast<unsigned long long>(stats.adoptions),
+              static_cast<unsigned long long>(stats.middlebox_moves));
+  std::printf("celf       : %llu gain re-evals, %llu re-evals saved, "
+              "%llu snapshots published\n",
+              static_cast<unsigned long long>(stats.gain_reevals),
+              static_cast<unsigned long long>(stats.reevals_saved),
+              static_cast<unsigned long long>(stats.snapshots_published));
+  return snapshot->feasible ? 0 : 3;
+}
+
 int Info(int argc, char** argv) {
   ArgParser parser("tdmd_cli info", "print instance statistics");
   const auto* instance_path =
@@ -305,7 +437,8 @@ int Info(int argc, char** argv) {
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: tdmd_cli <generate|solve|simulate|viz|info> "
+                 "usage: tdmd_cli "
+                 "<generate|solve|simulate|viz|serve-trace|info> "
                  "[flags]\n       tdmd_cli <command> --help\n");
     return 2;
   }
@@ -316,6 +449,7 @@ int Main(int argc, char** argv) {
   if (command == "solve") return Solve(argc - 1, argv + 1);
   if (command == "simulate") return Simulate(argc - 1, argv + 1);
   if (command == "viz") return Viz(argc - 1, argv + 1);
+  if (command == "serve-trace") return ServeTrace(argc - 1, argv + 1);
   if (command == "info") return Info(argc - 1, argv + 1);
   std::fprintf(stderr, "tdmd_cli: unknown command '%s'\n", command.c_str());
   return 2;
