@@ -244,6 +244,61 @@ AuditReport AuditGreedyGainSequence(const std::vector<Bandwidth>& gains,
   return report;
 }
 
+AuditReport AuditEngineSnapshot(const core::Instance& instance,
+                                const core::Deployment& deployment,
+                                Bandwidth reported_bandwidth,
+                                bool reported_feasible,
+                                const AuditOptions& options) {
+  // Forced nearest-source allocation, derived by direct path scan so the
+  // audit stays independent of core::Allocate.
+  const auto num_flows = static_cast<std::size_t>(instance.num_flows());
+  core::Allocation allocation;
+  allocation.serving_vertex.assign(num_flows, kInvalidVertex);
+  bool all_served = true;
+  for (std::size_t f = 0; f < num_flows; ++f) {
+    const auto flow_id = static_cast<FlowId>(f);
+    const std::int32_t nearest =
+        NearestDeployedIndex(instance, deployment, flow_id);
+    if (nearest >= 0) {
+      allocation.serving_vertex[f] =
+          instance.flow(flow_id)
+              .path.vertices[static_cast<std::size_t>(nearest)];
+    } else {
+      all_served = false;
+    }
+  }
+
+  AuditReport report =
+      AuditDeployment(instance, deployment, allocation, options);
+
+  const Bandwidth recomputed = RecomputeBandwidth(instance, allocation);
+  if (ObjectivesDiffer(reported_bandwidth, recomputed,
+                       instance.UnprocessedBandwidth(), options.tolerance)) {
+    std::ostringstream oss;
+    oss << "snapshot bandwidth " << reported_bandwidth
+        << " disagrees with independent recomputation " << recomputed;
+    report.Add(issue::kStaleObjective, oss.str());
+  }
+  if (reported_feasible != all_served) {
+    std::ostringstream oss;
+    oss << "snapshot feasible flag is "
+        << (reported_feasible ? "true" : "false")
+        << " but the nearest-source allocation says "
+        << (all_served ? "true" : "false");
+    report.Add(issue::kFeasibleFlag, oss.str());
+  }
+  if (!all_served && options.max_middleboxes > 0 &&
+      deployment.size() < options.max_middleboxes) {
+    std::ostringstream oss;
+    oss << "snapshot is infeasible with only |P| = " << deployment.size()
+        << " of k = " << options.max_middleboxes
+        << " middleboxes deployed (the patch must exhaust the budget "
+           "before giving up)";
+    report.Add(issue::kPatchShortfall, oss.str());
+  }
+  return report;
+}
+
 AuditReport AuditTreePlacement(const core::Instance& instance,
                                const graph::Tree& tree,
                                const core::PlacementResult& result,

@@ -63,6 +63,7 @@ inline constexpr std::string_view kFeasibleFlag = "feasible-flag";
 inline constexpr std::string_view kGainNegative = "gain-negative";
 inline constexpr std::string_view kGainNotMonotone = "gain-not-monotone";
 inline constexpr std::string_view kTreeMismatch = "tree-mismatch";
+inline constexpr std::string_view kPatchShortfall = "patch-shortfall";
 }  // namespace issue
 
 struct AuditReport {
@@ -114,6 +115,18 @@ AuditReport AuditPlacementResult(const core::Instance& instance,
 /// submodularity of the decrement function, Theorem 2) non-increasing.
 AuditReport AuditGreedyGainSequence(const std::vector<Bandwidth>& gains,
                                     double tolerance = 1e-9);
+
+/// Audits a serving-engine snapshot: derives the forced nearest-source
+/// allocation by direct path scan (independent of core::Allocate), runs
+/// AuditDeployment, cross-checks the reported objective and feasible flag,
+/// and enforces the patch invariant — an infeasible snapshot must have
+/// exhausted the budget (|P| == max_middleboxes), because the synchronous
+/// patch only gives up when no spare budget remains (kPatchShortfall).
+AuditReport AuditEngineSnapshot(const core::Instance& instance,
+                                const core::Deployment& deployment,
+                                Bandwidth reported_bandwidth,
+                                bool reported_feasible,
+                                const AuditOptions& options = {});
 
 /// AuditPlacementResult plus tree-model checks: the instance and tree agree
 /// on the vertex universe and every deployed vertex is a valid tree vertex.

@@ -1,0 +1,37 @@
+// Capped exponential backoff schedule for retry loops.
+//
+// Deterministic (no jitter): retry pacing must be reproducible under the
+// seeded fault-injection tests, and the engine's re-solve retries are
+// uncontended (one retry chain per epoch), so thundering-herd jitter buys
+// nothing here.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+
+namespace tdmd {
+
+class ExponentialBackoff {
+ public:
+  ExponentialBackoff(std::chrono::milliseconds initial,
+                     std::chrono::milliseconds cap)
+      : initial_(initial), cap_(cap) {}
+
+  /// Delay before retry `attempt` (0-based): min(cap, initial << attempt),
+  /// saturating instead of overflowing for large attempt numbers.
+  std::chrono::milliseconds Delay(std::size_t attempt) const {
+    if (initial_.count() <= 0) return std::chrono::milliseconds{0};
+    // initial << attempt would overflow past ~2^63 ms; cap applies long
+    // before that for any sane configuration.
+    if (attempt >= 63) return cap_;
+    const auto scaled = initial_.count() << attempt;
+    if (scaled < initial_.count() || scaled > cap_.count()) return cap_;
+    return std::chrono::milliseconds{scaled};
+  }
+
+ private:
+  std::chrono::milliseconds initial_;
+  std::chrono::milliseconds cap_;
+};
+
+}  // namespace tdmd

@@ -1,5 +1,6 @@
 #include "engine/coverage_index.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace tdmd::engine {
@@ -8,23 +9,24 @@ namespace {
 
 constexpr std::uint32_t kSlotMask32 = 0xFFFFFFFFu;
 
-FlowTicket MakeTicket(std::uint32_t slot, std::uint32_t generation) {
+}  // namespace
+
+FlowTicket FlowCoverageIndex::ComposeTicket(std::uint32_t slot,
+                                            std::uint32_t generation) {
   return static_cast<FlowTicket>(
       (static_cast<std::uint64_t>(generation) << 32) |
       static_cast<std::uint64_t>(slot));
 }
 
-std::uint32_t TicketSlot(FlowTicket ticket) {
+std::uint32_t FlowCoverageIndex::TicketSlot(FlowTicket ticket) {
   return static_cast<std::uint32_t>(static_cast<std::uint64_t>(ticket) &
                                     kSlotMask32);
 }
 
-std::uint32_t TicketGeneration(FlowTicket ticket) {
+std::uint32_t FlowCoverageIndex::TicketGeneration(FlowTicket ticket) {
   return static_cast<std::uint32_t>(static_cast<std::uint64_t>(ticket) >>
                                     32);
 }
-
-}  // namespace
 
 FlowCoverageIndex::FlowCoverageIndex(graph::Digraph network, double lambda)
     : network_(std::move(network)),
@@ -34,28 +36,11 @@ FlowCoverageIndex::FlowCoverageIndex(graph::Digraph network, double lambda)
                  "lambda " << lambda << " outside [0, 1] (Section 3.1)");
 }
 
-FlowTicket FlowCoverageIndex::AddFlow(traffic::Flow flow) {
-  TDMD_CHECK_MSG(flow.rate > 0, "flow rate must be positive");
-  TDMD_CHECK_MSG(graph::IsSimplePath(network_, flow.path),
-                 "flow path is not a simple path in the network");
-  TDMD_CHECK_MSG(!flow.path.vertices.empty() &&
-                     flow.path.vertices.front() == flow.src &&
-                     flow.path.vertices.back() == flow.dst,
-                 "flow path endpoints disagree with src/dst");
-
-  std::uint32_t slot = 0;
-  if (!free_slots_.empty()) {
-    slot = free_slots_.back();
-    free_slots_.pop_back();
-  } else {
-    slot = static_cast<std::uint32_t>(slots_.size());
-    slots_.emplace_back();
-  }
+void FlowCoverageIndex::IndexFlowIntoSlot(std::uint32_t slot,
+                                          traffic::Flow flow) {
   Slot& entry = slots_[slot];
   entry.flow = std::move(flow);
   entry.active = true;
-  // Generation was bumped at removal time; slot 0 of a fresh index starts
-  // at generation 0, which is fine — the ticket is unique while active.
 
   const std::vector<VertexId>& path = entry.flow.path.vertices;
   const auto edges = static_cast<std::int32_t>(entry.flow.PathEdges());
@@ -79,7 +64,34 @@ FlowTicket FlowCoverageIndex::AddFlow(traffic::Flow flow) {
       static_cast<Bandwidth>(entry.flow.rate) *
       static_cast<Bandwidth>(entry.flow.PathEdges());
   ++stats_.arrivals;
-  return MakeTicket(slot, entry.generation);
+}
+
+FlowTicket FlowCoverageIndex::AddFlow(traffic::Flow flow) {
+  TDMD_CHECK_MSG(flow.rate > 0, "flow rate must be positive");
+  TDMD_CHECK_MSG(graph::IsSimplePath(network_, flow.path),
+                 "flow path is not a simple path in the network");
+  TDMD_CHECK_MSG(!flow.path.vertices.empty() &&
+                     flow.path.vertices.front() == flow.src &&
+                     flow.path.vertices.back() == flow.dst,
+                 "flow path endpoints disagree with src/dst");
+  if (fault_injector_ != nullptr) {
+    // Before any mutation: an injected throw leaves the index untouched,
+    // so the engine's retry loop can simply call AddFlow again.
+    fault_injector_->MaybeInject(faults::FaultSite::kIndexDelta);
+  }
+
+  std::uint32_t slot = 0;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  // Generation was bumped at removal time; slot 0 of a fresh index starts
+  // at generation 0, which is fine — the ticket is unique while active.
+  IndexFlowIntoSlot(slot, std::move(flow));
+  return ComposeTicket(slot, slots_[slot].generation);
 }
 
 bool FlowCoverageIndex::RemoveFlow(FlowTicket ticket) {
@@ -89,6 +101,12 @@ bool FlowCoverageIndex::RemoveFlow(FlowTicket ticket) {
   Slot& entry = slots_[slot];
   if (!entry.active || entry.generation != TicketGeneration(ticket)) {
     return false;
+  }
+  if (fault_injector_ != nullptr) {
+    // After the staleness check (stale removals are no-ops, not fault
+    // sites) but before any mutation, for the same retry contract as
+    // AddFlow.
+    fault_injector_->MaybeInject(faults::FaultSite::kIndexDelta);
   }
 
   const std::vector<VertexId>& path = entry.flow.path.vertices;
@@ -123,9 +141,64 @@ bool FlowCoverageIndex::RemoveFlow(FlowTicket ticket) {
   return true;
 }
 
+void FlowCoverageIndex::RestoreSlots(
+    const std::vector<SlotRecord>& active,
+    const std::vector<FlowTicket>& free_slots) {
+  TDMD_CHECK_MSG(slots_.empty() && active_count_ == 0,
+                 "RestoreSlots requires a freshly constructed index");
+
+  const std::size_t num_slots = active.size() + free_slots.size();
+  slots_.resize(num_slots);
+  std::vector<char> seen(num_slots, 0);
+  const auto claim = [&](FlowTicket ticket) -> std::uint32_t {
+    TDMD_CHECK_MSG(ticket >= 0, "checkpoint ticket is negative");
+    const std::uint32_t slot = TicketSlot(ticket);
+    TDMD_CHECK_MSG(slot < num_slots,
+                   "checkpoint slot " << slot << " exceeds the slot table ("
+                                      << num_slots << " entries)");
+    TDMD_CHECK_MSG(!seen[slot],
+                   "checkpoint repeats slot " << slot);
+    seen[slot] = 1;
+    return slot;
+  };
+
+  for (const SlotRecord& record : active) {
+    const traffic::Flow& flow = record.flow;
+    TDMD_CHECK_MSG(flow.rate > 0, "checkpoint flow rate must be positive");
+    TDMD_CHECK_MSG(graph::IsSimplePath(network_, flow.path),
+                   "checkpoint flow path is not a simple path in the "
+                   "network");
+    TDMD_CHECK_MSG(!flow.path.vertices.empty() &&
+                       flow.path.vertices.front() == flow.src &&
+                       flow.path.vertices.back() == flow.dst,
+                   "checkpoint flow path endpoints disagree with src/dst");
+    const std::uint32_t slot = claim(record.ticket);
+    slots_[slot].generation = TicketGeneration(record.ticket);
+    IndexFlowIntoSlot(slot, flow);
+  }
+  // stats_.arrivals counted the restored flows as fresh arrivals; the
+  // caller re-seats the counters via RestoreStats afterwards.
+  free_slots_.reserve(free_slots.size());
+  for (FlowTicket ticket : free_slots) {
+    const std::uint32_t slot = claim(ticket);
+    slots_[slot].generation = TicketGeneration(ticket);
+    slots_[slot].active = false;
+    free_slots_.push_back(slot);
+  }
+}
+
+std::vector<FlowTicket> FlowCoverageIndex::FreeSlotTickets() const {
+  std::vector<FlowTicket> tickets;
+  tickets.reserve(free_slots_.size());
+  for (std::uint32_t slot : free_slots_) {
+    tickets.push_back(ComposeTicket(slot, slots_[slot].generation));
+  }
+  return tickets;
+}
+
 FlowTicket FlowCoverageIndex::TicketAt(std::uint32_t slot) const {
   TDMD_CHECK(SlotActive(slot));
-  return MakeTicket(slot, slots_[slot].generation);
+  return ComposeTicket(slot, slots_[slot].generation);
 }
 
 const traffic::Flow* FlowCoverageIndex::Find(FlowTicket ticket) const {
@@ -144,7 +217,7 @@ std::vector<FlowTicket> FlowCoverageIndex::ActiveTickets() const {
   tickets.reserve(active_count_);
   for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
     if (slots_[slot].active) {
-      tickets.push_back(MakeTicket(slot, slots_[slot].generation));
+      tickets.push_back(ComposeTicket(slot, slots_[slot].generation));
     }
   }
   return tickets;

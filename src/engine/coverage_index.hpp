@@ -30,6 +30,7 @@
 #include "common/check.hpp"
 #include "common/types.hpp"
 #include "core/instance.hpp"
+#include "faults/faults.hpp"
 #include "graph/digraph.hpp"
 #include "traffic/flow.hpp"
 
@@ -130,7 +131,53 @@ class FlowCoverageIndex {
   /// Tickets of all active flows, ascending by slot.
   std::vector<FlowTicket> ActiveTickets() const;
 
+  // --- ticket packing (exposed for checkpoint serialization) ------------
+
+  static FlowTicket ComposeTicket(std::uint32_t slot,
+                                  std::uint32_t generation);
+  static std::uint32_t TicketSlot(FlowTicket ticket);
+  static std::uint32_t TicketGeneration(FlowTicket ticket);
+
+  // --- fault injection ---------------------------------------------------
+
+  /// Installs a fault injector fired (site kIndexDelta) at the top of
+  /// AddFlow/RemoveFlow, *before* any mutation, so an injected throw
+  /// leaves the index exactly as it was (strong exception safety — the
+  /// caller can simply retry).  The injector must outlive the index and
+  /// every copy of it; pass nullptr to uninstall.
+  void set_fault_injector(faults::FaultInjector* injector) {
+    fault_injector_ = injector;
+  }
+
+  // --- checkpoint/restore -------------------------------------------------
+
+  /// One active flow pinned to its exact (slot, generation) pair.
+  struct SlotRecord {
+    FlowTicket ticket = kInvalidTicket;
+    traffic::Flow flow;
+  };
+
+  /// Rebuilds the slot table of a checkpointed index: `active` re-occupies
+  /// the recorded slots (same tickets, so client-held handles survive a
+  /// restore) and `free_slots` (bottom-to-top of the recorded free stack,
+  /// encoded as tickets carrying each free slot's next generation minus
+  /// nothing — i.e. its current generation) restores the recycling order so
+  /// post-restore arrivals draw the same tickets the uninterrupted run
+  /// would have drawn.  Requires an empty index; every slot below the
+  /// implied table size must appear exactly once across the two lists.
+  /// Flows are validated exactly as in AddFlow.
+  void RestoreSlots(const std::vector<SlotRecord>& active,
+                    const std::vector<FlowTicket>& free_slots);
+
+  /// The free-slot stack bottom-to-top, as tickets carrying each free
+  /// slot's current (post-bump) generation — the exact shape RestoreSlots
+  /// consumes.
+  std::vector<FlowTicket> FreeSlotTickets() const;
+
   const IndexStats& stats() const { return stats_; }
+
+  /// Overwrites the delta counters (checkpoint restore only).
+  void RestoreStats(const IndexStats& stats) { stats_ = stats; }
 
   /// Materializes the current flow set as a core::Instance (flows ordered
   /// by ascending slot).  O(|F| * |V|) — this is exactly the rebuild the
@@ -149,8 +196,13 @@ class FlowCoverageIndex {
     bool active = false;
   };
 
+  /// Indexes one validated flow into `slot` (shared by AddFlow and
+  /// RestoreSlots).
+  void IndexFlowIntoSlot(std::uint32_t slot, traffic::Flow flow);
+
   graph::Digraph network_;
   double lambda_;
+  faults::FaultInjector* fault_injector_ = nullptr;
   std::vector<std::vector<Visit>> flows_through_;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;

@@ -1,10 +1,13 @@
 #include "engine/engine.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "analysis/audit.hpp"
+#include "common/backoff.hpp"
 #include "core/objective.hpp"
+#include "engine/checkpoint.hpp"
 
 namespace tdmd::engine {
 
@@ -34,16 +37,46 @@ FlowEval EvaluateFlow(const traffic::Flow& flow,
   return eval;
 }
 
+/// Injected kIndexDelta throws fire before any index mutation, so a
+/// bounded retry loop is safe; the bound only guards against a
+/// misconfigured injector with throw probability 1.
+constexpr std::size_t kMaxIndexDeltaRetries = 64;
+
 }  // namespace
+
+const char* EngineModeName(EngineMode mode) {
+  switch (mode) {
+    case EngineMode::kNormal:
+      return "normal";
+    case EngineMode::kDegraded:
+      return "degraded";
+    case EngineMode::kPatchOnly:
+      return "patch-only";
+  }
+  return "unknown";
+}
 
 Engine::Engine(graph::Digraph network, EngineOptions options)
     : options_(options),
       index_(std::move(network), options.lambda),
       deployment_(index_.num_vertices()) {
   TDMD_CHECK_MSG(options_.k >= 1, "middlebox budget k must be >= 1");
+  TDMD_CHECK_MSG(options_.degrade_after_failures >= 1 &&
+                     options_.degrade_after_failures <=
+                         options_.patch_only_after_failures,
+                 "degradation thresholds must satisfy 1 <= degrade <= "
+                 "patch_only");
+  TDMD_CHECK_MSG(options_.probe_interval_epochs >= 1,
+                 "probe_interval_epochs must be >= 1");
+  if (options_.fault_injector != nullptr) {
+    index_.set_fault_injector(options_.fault_injector);
+  }
   if (!options_.synchronous) {
     pool_ = std::make_unique<parallel::ThreadPool>(
         std::max<std::size_t>(1, options_.solver_threads));
+    if (options_.watchdog_interval.count() > 0) {
+      watchdog_ = std::thread([this]() { WatchdogLoop(); });
+    }
   }
   {
     std::lock_guard<std::mutex> lock(state_mu_);
@@ -54,11 +87,26 @@ Engine::Engine(graph::Digraph network, EngineOptions options)
 Engine::~Engine() {
   {
     std::lock_guard<std::mutex> lock(state_mu_);
+    stopping_ = true;
     if (current_cancel_) {
       current_cancel_->store(true, std::memory_order_relaxed);
     }
   }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
   pool_.reset();  // drains and joins; tasks may still lock state_mu_
+}
+
+template <typename Fn>
+decltype(auto) Engine::RetryIndexDeltaLocked(Fn&& fn) {
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      return fn();
+    } catch (const faults::FaultInjectedError&) {
+      if (attempt + 1 >= kMaxIndexDeltaRetries) throw;
+      ++stats_.index_fault_retries;
+    }
+  }
 }
 
 Engine::BatchResult Engine::SubmitBatch(
@@ -67,28 +115,39 @@ Engine::BatchResult Engine::SubmitBatch(
   BatchResult result;
   std::lock_guard<std::mutex> lock(state_mu_);
 
-  // A newer epoch makes any in-flight re-solve stale; cancel it
-  // cooperatively before touching the index.
-  if (current_cancel_) {
-    current_cancel_->store(true, std::memory_order_relaxed);
-    current_cancel_.reset();
-  }
+  // NORMAL: a newer epoch makes the in-flight re-solve stale, so cancel
+  // it cooperatively before touching the index.  The degraded modes keep
+  // it running: its deployment will be discarded as stale when it lands,
+  // but its completion is the recovery signal.
+  if (mode_ == EngineMode::kNormal) CancelInflightLocked();
 
   ++epoch_;
   ++stats_.epochs;
   result.epoch = epoch_;
+  if (mode_ == EngineMode::kDegraded) ++stats_.degraded_epochs;
+  if (mode_ == EngineMode::kPatchOnly) ++stats_.patch_only_epochs;
 
   for (FlowTicket ticket : departures) {
     const traffic::Flow* flow = index_.Find(ticket);
-    if (flow == nullptr) continue;  // stale ticket
-    maintained_bandwidth_ -=
+    if (flow == nullptr) {
+      // Duplicate, already-departed or never-issued ticket: a counted
+      // no-op, so departure submission is idempotent.
+      ++stats_.stale_departures;
+      continue;
+    }
+    // Compute the contribution before the (fault-injectable) removal: an
+    // injected throw leaves both the index and the maintained objective
+    // untouched, and the two are only updated together once it succeeds.
+    const Bandwidth contribution =
         EvaluateFlow(*flow, deployment_, options_.lambda).contribution;
-    index_.RemoveFlow(ticket);
+    RetryIndexDeltaLocked([&]() { index_.RemoveFlow(ticket); });
+    maintained_bandwidth_ -= contribution;
     ++stats_.departures;
   }
   result.tickets.reserve(arrivals.size());
   for (const traffic::Flow& flow : arrivals) {
-    const FlowTicket ticket = index_.AddFlow(flow);
+    const FlowTicket ticket =
+        RetryIndexDeltaLocked([&]() { return index_.AddFlow(flow); });
     result.tickets.push_back(ticket);
     ++stats_.arrivals;
     const FlowEval eval =
@@ -108,7 +167,26 @@ Engine::BatchResult Engine::SubmitBatch(
   PublishLocked();
 
   if (index_.active_flows() > 0) {
-    ScheduleResolveLocked();
+    if (mode_ == EngineMode::kPatchOnly) {
+      ++epochs_since_probe_;
+      if (epochs_since_probe_ >= options_.probe_interval_epochs &&
+          !inflight_.active) {
+        epochs_since_probe_ = 0;
+        ScheduleResolveLocked();  // probe: detects pipeline recovery
+      }
+    } else if (mode_ == EngineMode::kDegraded && inflight_.active) {
+      // Overload posture: let the in-flight re-solve finish; fold this
+      // epoch's re-solve request into a bounded pending count drained
+      // when the chain ends.
+      if (pending_resolves_ < options_.max_pending_resolves) {
+        ++pending_resolves_;
+      } else {
+        ++stats_.resolves_coalesced;
+      }
+    } else {
+      CancelInflightLocked();
+      ScheduleResolveLocked();
+    }
   }
   return result;
 }
@@ -179,21 +257,16 @@ void Engine::PublishLocked() {
   ++stats_.snapshots_published;
 
 #if TDMD_AUDITS_ENABLED
-  // Every published snapshot must satisfy the Section 3 contracts: the
-  // auditors rebuild the instance and recompute b(P, F) independently of
-  // the index's incremental bookkeeping.
+  // Every published snapshot must satisfy the Section 3 contracts plus
+  // the patch invariant: the auditor rebuilds the instance and recomputes
+  // b(P, F) independently of the index's incremental bookkeeping.
   {
     const core::Instance instance = index_.BuildInstance();
-    core::PlacementResult as_placement;
-    as_placement.deployment = deployment_;
-    as_placement.allocation = core::Allocate(instance, deployment_);
-    as_placement.bandwidth = snapshot->bandwidth;
-    as_placement.feasible = snapshot->feasible;
     analysis::AuditOptions audit_options;
     audit_options.max_middleboxes = options_.k;
-    analysis::CheckAudit(
-        analysis::AuditPlacementResult(instance, as_placement,
-                                       audit_options));
+    analysis::CheckAudit(analysis::AuditEngineSnapshot(
+        instance, deployment_, snapshot->bandwidth, snapshot->feasible,
+        audit_options));
   }
 #endif
 
@@ -203,21 +276,11 @@ void Engine::PublishLocked() {
   snapshot_ = std::move(snapshot);
 }
 
-void Engine::ApplyResolveLocked(const IncrementalGtpResult& result,
-                                std::uint64_t epoch) {
-  stats_.gain_reevals += result.oracle_calls;
-  stats_.reevals_saved += result.reevals_saved;
-  if (result.cancelled || epoch != epoch_) {
-    // Either the solver observed the cancel flag, or it finished after a
-    // newer batch already changed the flow set under it.
-    ++stats_.resolves_cancelled;
-    return;
-  }
-  ++stats_.resolves_completed;
-
+void Engine::MaybeAdoptLocked(const IncrementalGtpResult& result,
+                              bool expired) {
   // maintained_bandwidth_/maintained_feasible_ are current for this
   // epoch's flow set: they were refreshed by the SubmitBatch that started
-  // this re-solve, and epoch == epoch_ means no batch ran since.
+  // this re-solve chain, and the caller verified the epoch is current.
   const std::size_t moves =
       core::DeploymentMoveCount(deployment_, result.deployment);
   const double required =
@@ -230,39 +293,252 @@ void Engine::ApplyResolveLocked(const IncrementalGtpResult& result,
     maintained_feasible_ = result.feasible;
     uncovered_.clear();  // a feasible re-solve covers every current flow
     ++stats_.adoptions;
+    if (expired) ++stats_.resolves_expired_adopted;
     stats_.middlebox_moves += moves;
     PublishLocked();
   }
 }
 
+void Engine::RecordResolveFailureLocked() {
+  ++consecutive_failures_;
+  stats_.consecutive_failures = consecutive_failures_;
+  EngineMode target = mode_;
+  if (consecutive_failures_ >= options_.patch_only_after_failures) {
+    target = EngineMode::kPatchOnly;
+  } else if (consecutive_failures_ >= options_.degrade_after_failures) {
+    target = EngineMode::kDegraded;
+  }
+  TransitionLocked(target);
+}
+
+void Engine::RecordResolveSuccessLocked() {
+  consecutive_failures_ = 0;
+  stats_.consecutive_failures = 0;
+  TransitionLocked(EngineMode::kNormal);
+}
+
+void Engine::TransitionLocked(EngineMode target) {
+  if (target == mode_) return;
+  mode_ = target;
+  stats_.mode = mode_;
+  ++stats_.mode_transitions;
+  if (mode_ == EngineMode::kPatchOnly) epochs_since_probe_ = 0;
+}
+
+void Engine::CancelInflightLocked() {
+  if (current_cancel_) {
+    current_cancel_->store(true, std::memory_order_relaxed);
+    current_cancel_.reset();
+  }
+  inflight_.active = false;
+}
+
+void Engine::FinishChainLocked() {
+  if (pending_resolves_ == 0) return;
+  pending_resolves_ = 0;  // coalesced requests collapse into one re-solve
+  if (!stopping_ && mode_ != EngineMode::kPatchOnly &&
+      index_.active_flows() > 0) {
+    ScheduleResolveLocked();
+  }
+}
+
+bool Engine::HandleResolveOutcomeLocked(
+    const IncrementalGtpResult& result, bool threw, std::uint64_t epoch,
+    const std::shared_ptr<std::atomic<bool>>& cancel, std::size_t attempt) {
+  stats_.gain_reevals += result.oracle_calls;
+  stats_.reevals_saved += result.reevals_saved;
+  if (cancel == abandoned_token_) {
+    // Straggler of an attempt the watchdog already declared lost (and
+    // counted as a timeout); drop it instead of double-counting.
+    abandoned_token_.reset();
+    return false;
+  }
+  bool watchdog_kill = false;
+  if (inflight_.active && inflight_.cancel == cancel) {
+    watchdog_kill = inflight_.killed_by_watchdog;
+    inflight_.active = false;
+  }
+  if (stopping_ || epoch != epoch_) {
+    // Superseded by a newer epoch (or shutdown): the deployment answers a
+    // stale question.  In the degraded modes a *clean* stale completion is
+    // still the recovery signal — the pipeline can finish solves again.
+    ++stats_.resolves_cancelled;
+    if (!stopping_) {
+      if (!threw && !result.cancelled && !result.deadline_expired) {
+        RecordResolveSuccessLocked();
+      }
+      FinishChainLocked();
+    }
+    return false;
+  }
+
+  bool abnormal = false;
+  if (threw) {
+    ++stats_.resolve_failures;
+    abnormal = true;
+  } else if (result.cancelled) {
+    if (watchdog_kill) {
+      ++stats_.resolve_timeouts;  // stalled past stall_timeout
+      abnormal = true;
+    } else if (cancel->load(std::memory_order_relaxed)) {
+      ++stats_.resolves_cancelled;  // benign external cancel
+    } else {
+      ++stats_.resolve_failures;  // injected cancellation
+      abnormal = true;
+    }
+  } else if (result.deadline_expired) {
+    ++stats_.resolve_timeouts;
+    abnormal = true;
+    // Theorem 2: every greedy prefix is a valid deployment of <= k
+    // middleboxes with a truthfully evaluated objective, so a feasible
+    // expired prefix is adoptable as a degraded answer.
+    if (result.feasible) MaybeAdoptLocked(result, /*expired=*/true);
+  } else {
+    ++stats_.resolves_completed;
+    MaybeAdoptLocked(result, /*expired=*/false);
+    RecordResolveSuccessLocked();
+  }
+
+  if (abnormal) {
+    RecordResolveFailureLocked();
+    if (attempt < options_.max_resolve_retries && !stopping_ &&
+        mode_ != EngineMode::kPatchOnly) {
+      ++stats_.resolve_retries;
+      return true;
+    }
+  }
+  FinishChainLocked();
+  return false;
+}
+
+IncrementalGtpOptions Engine::MakeSolveOptions(
+    const std::atomic<bool>* cancel) const {
+  IncrementalGtpOptions solve_options;
+  solve_options.max_middleboxes = options_.k;
+  solve_options.feasibility_aware = true;  // adoptable whenever coverable
+  solve_options.cancel = cancel;
+  solve_options.fault_injector = options_.fault_injector;
+  if (options_.solve_deadline.count() > 0) {
+    solve_options.deadline =
+        std::chrono::steady_clock::now() + options_.solve_deadline;
+  }
+  return solve_options;
+}
+
 void Engine::ScheduleResolveLocked() {
+  if (stopping_) return;
   auto cancel = std::make_shared<std::atomic<bool>>(false);
   current_cancel_ = cancel;
   ++stats_.resolves_started;
   const std::uint64_t epoch = epoch_;
 
-  IncrementalGtpOptions solve_options;
-  solve_options.max_middleboxes = options_.k;
-  solve_options.feasibility_aware = true;  // adoptable whenever coverable
-  solve_options.cancel = cancel.get();
-
   if (options_.synchronous) {
     // Solve inline against the live index; the lock is already held and
-    // nothing can mutate the index mid-solve.
-    ApplyResolveLocked(SolveIncrementalGtp(index_, solve_options), epoch);
+    // nothing can mutate the index mid-solve.  Retries loop without
+    // backoff sleeps so synchronous runs stay deterministic.
+    for (std::size_t attempt = 0;; ++attempt) {
+      if (attempt > 0) ++stats_.resolves_started;
+      IncrementalGtpResult result;
+      bool threw = false;
+      try {
+        result = SolveIncrementalGtp(index_, MakeSolveOptions(cancel.get()));
+      } catch (const faults::FaultInjectedError&) {
+        threw = true;
+      }
+      if (!HandleResolveOutcomeLocked(result, threw, epoch, cancel,
+                                      attempt)) {
+        break;
+      }
+    }
     return;
   }
 
+  inflight_ = Inflight{true, epoch, cancel,
+                       std::chrono::steady_clock::now(), false, 0};
   // Freeze a consistent copy for the worker; the live index keeps
   // mutating under subsequent batches.
-  pool_->Submit([this, frozen = index_, epoch, cancel,
-                 solve_options]() mutable {
-    solve_options.cancel = cancel.get();
-    const IncrementalGtpResult result =
-        SolveIncrementalGtp(frozen, solve_options);
-    std::lock_guard<std::mutex> lock(state_mu_);
-    ApplyResolveLocked(result, epoch);
+  pool_->Submit([this, cancel, epoch, frozen = index_]() mutable {
+    RunResolveAttempt(std::move(cancel), epoch, 0, std::move(frozen));
   });
+}
+
+void Engine::ScheduleRetryLocked(std::uint64_t epoch, std::size_t attempt) {
+  if (stopping_) return;
+  auto cancel = std::make_shared<std::atomic<bool>>(false);
+  current_cancel_ = cancel;
+  ++stats_.resolves_started;
+  inflight_ = Inflight{true, epoch, cancel,
+                       std::chrono::steady_clock::now(), false, attempt};
+  const ExponentialBackoff backoff(options_.retry_backoff_initial,
+                                   options_.retry_backoff_cap);
+  const auto delay = backoff.Delay(attempt - 1);
+  pool_->Submit([this, cancel, epoch, attempt, delay]() mutable {
+    if (delay.count() > 0) std::this_thread::sleep_for(delay);
+    std::optional<FlowCoverageIndex> frozen;
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      if (cancel == abandoned_token_) {
+        abandoned_token_.reset();  // watchdog already counted this attempt
+        return;
+      }
+      if (stopping_ || epoch != epoch_ ||
+          cancel->load(std::memory_order_relaxed)) {
+        if (inflight_.active && inflight_.cancel == cancel) {
+          inflight_.active = false;
+        }
+        ++stats_.resolves_cancelled;  // superseded while backing off
+        return;
+      }
+      // Same epoch, so the flow set is unchanged: re-freezing the live
+      // index reads exactly the state the first attempt froze.
+      frozen.emplace(index_);
+    }
+    RunResolveAttempt(std::move(cancel), epoch, attempt,
+                      std::move(*frozen));
+  });
+}
+
+void Engine::RunResolveAttempt(std::shared_ptr<std::atomic<bool>> cancel,
+                               std::uint64_t epoch, std::size_t attempt,
+                               FlowCoverageIndex frozen) {
+  IncrementalGtpResult result;
+  bool threw = false;
+  try {
+    result = SolveIncrementalGtp(frozen, MakeSolveOptions(cancel.get()));
+  } catch (const faults::FaultInjectedError&) {
+    threw = true;
+  }
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (HandleResolveOutcomeLocked(result, threw, epoch, cancel, attempt)) {
+    ScheduleRetryLocked(epoch, attempt + 1);
+  }
+}
+
+void Engine::WatchdogLoop() {
+  std::unique_lock<std::mutex> lock(state_mu_);
+  while (!stopping_) {
+    watchdog_cv_.wait_for(lock, options_.watchdog_interval);
+    if (stopping_) break;
+    if (!inflight_.active) continue;
+    const auto now = std::chrono::steady_clock::now();
+    if (now - inflight_.started < options_.stall_timeout) continue;
+    if (!inflight_.killed_by_watchdog) {
+      inflight_.killed_by_watchdog = true;
+      inflight_.cancel->store(true, std::memory_order_relaxed);
+      ++stats_.watchdog_cancels;
+      inflight_.started = now;  // grace period before declaring it lost
+    } else {
+      // Cancelled a full stall_timeout ago and still no report: the task
+      // was likely dropped outright (kPoolTask fault).  Declare it dead
+      // so the pipeline can progress; a merely-slow straggler is ignored
+      // on arrival via abandoned_token_.
+      abandoned_token_ = inflight_.cancel;
+      inflight_.active = false;
+      ++stats_.resolve_timeouts;
+      RecordResolveFailureLocked();
+      FinishChainLocked();
+    }
+  }
 }
 
 std::shared_ptr<const DeploymentSnapshot> Engine::CurrentSnapshot() const {
@@ -278,7 +554,104 @@ EngineStats Engine::stats() const {
   std::lock_guard<std::mutex> lock(state_mu_);
   EngineStats stats = stats_;
   stats.index_delta_ops = index_.stats().delta_ops;
+  stats.mode = mode_;
+  stats.consecutive_failures = consecutive_failures_;
   return stats;
+}
+
+EngineMode Engine::mode() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return mode_;
+}
+
+EngineCheckpoint Engine::Checkpoint() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  EngineCheckpoint checkpoint;
+  checkpoint.epoch = epoch_;
+  {
+    std::lock_guard<std::mutex> snapshot_lock(snapshot_mu_);
+    checkpoint.snapshot_version = snapshot_->version;
+  }
+  checkpoint.mode = mode_;
+  checkpoint.consecutive_failures = consecutive_failures_;
+  checkpoint.epochs_since_probe = epochs_since_probe_;
+  checkpoint.k = options_.k;
+  checkpoint.lambda = options_.lambda;
+  checkpoint.num_vertices = index_.num_vertices();
+  checkpoint.maintained_bandwidth = maintained_bandwidth_;
+  checkpoint.maintained_feasible = maintained_feasible_;
+  checkpoint.stats = stats_;
+  checkpoint.stats.index_delta_ops = index_.stats().delta_ops;
+  checkpoint.stats.mode = mode_;
+  checkpoint.stats.consecutive_failures = consecutive_failures_;
+  checkpoint.deployment = deployment_.vertices();  // insertion order
+  checkpoint.uncovered = uncovered_;
+  const std::vector<FlowTicket> tickets = index_.ActiveTickets();
+  checkpoint.active_flows.reserve(tickets.size());
+  for (FlowTicket ticket : tickets) {
+    checkpoint.active_flows.push_back(
+        EngineCheckpoint::ActiveFlow{ticket, *index_.Find(ticket)});
+  }
+  checkpoint.free_slots = index_.FreeSlotTickets();
+  return checkpoint;
+}
+
+void Engine::Restore(const EngineCheckpoint& checkpoint) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  TDMD_CHECK_MSG(epoch_ == 0 && index_.active_flows() == 0,
+                 "Restore requires a freshly constructed engine");
+  TDMD_CHECK_MSG(checkpoint.k == options_.k,
+                 "checkpoint k " << checkpoint.k
+                                 << " != engine k " << options_.k);
+  TDMD_CHECK_MSG(checkpoint.lambda == options_.lambda,
+                 "checkpoint lambda " << checkpoint.lambda
+                                      << " != engine lambda "
+                                      << options_.lambda);
+  TDMD_CHECK_MSG(checkpoint.num_vertices == index_.num_vertices(),
+                 "checkpoint network has " << checkpoint.num_vertices
+                                           << " vertices, engine has "
+                                           << index_.num_vertices());
+
+  std::vector<FlowCoverageIndex::SlotRecord> active;
+  active.reserve(checkpoint.active_flows.size());
+  for (const EngineCheckpoint::ActiveFlow& record :
+       checkpoint.active_flows) {
+    active.push_back(
+        FlowCoverageIndex::SlotRecord{record.ticket, record.flow});
+  }
+  index_.RestoreSlots(active, checkpoint.free_slots);
+  IndexStats index_stats;
+  index_stats.delta_ops = checkpoint.stats.index_delta_ops;
+  index_stats.arrivals = checkpoint.stats.arrivals;
+  index_stats.departures = checkpoint.stats.departures;
+  index_.RestoreStats(index_stats);
+
+  deployment_ = core::Deployment(index_.num_vertices());
+  for (VertexId v : checkpoint.deployment) deployment_.Add(v);
+  maintained_bandwidth_ = checkpoint.maintained_bandwidth;
+  maintained_feasible_ = checkpoint.maintained_feasible;
+  uncovered_ = checkpoint.uncovered;
+  epoch_ = checkpoint.epoch;
+  mode_ = checkpoint.mode;
+  consecutive_failures_ = checkpoint.consecutive_failures;
+  epochs_since_probe_ = checkpoint.epochs_since_probe;
+  stats_ = checkpoint.stats;
+  stats_.mode = mode_;
+  stats_.consecutive_failures = consecutive_failures_;
+
+  // Re-seat the published snapshot wholesale (not via PublishLocked): the
+  // version sequence must continue from the checkpointed value so replay
+  // after restore is byte-identical to the uninterrupted run.
+  auto snapshot = std::make_shared<DeploymentSnapshot>();
+  snapshot->version = checkpoint.snapshot_version;
+  snapshot->epoch = checkpoint.epoch;
+  snapshot->deployment = deployment_;
+  snapshot->bandwidth = maintained_bandwidth_;
+  snapshot->feasible = maintained_feasible_;
+  {
+    std::lock_guard<std::mutex> snapshot_lock(snapshot_mu_);
+    snapshot_ = std::move(snapshot);
+  }
 }
 
 }  // namespace tdmd::engine

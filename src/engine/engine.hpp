@@ -16,32 +16,76 @@
 //      saved >= move_threshold per middlebox moved — or unconditionally
 //      when the patched plan is infeasible).
 //
+// Fault tolerance (DESIGN.md Section 9).  The re-solve pipeline is the
+// engine's only best-effort component — the synchronous patch keeps every
+// coverable flow served no matter what — so all degradation machinery
+// wraps re-solves:
+//
+//   * Re-solve attempts carry an optional per-attempt deadline; an expired
+//     attempt returns its greedy prefix flagged deadline_expired.  By
+//     Theorem 2 every greedy prefix is a valid deployment of at most k
+//     middleboxes, so a feasible expired prefix may still be adopted (a
+//     degraded answer now beats a perfect answer never).
+//   * Failed / expired / injected-cancel attempts are retried with capped
+//     exponential backoff, up to max_resolve_retries per epoch.
+//   * Consecutive re-solve failures drive a degradation state machine
+//     NORMAL -> DEGRADED -> PATCH_ONLY.  DEGRADED keeps the in-flight
+//     re-solve alive across batches (instead of cancel-and-restart) and
+//     coalesces the deferred work into a bounded pending count; PATCH_ONLY
+//     stops re-solving except for a probe attempt every
+//     probe_interval_epochs.  Any clean completion resets the machine to
+//     NORMAL.
+//   * An optional watchdog thread cancels re-solve attempts stalled past
+//     stall_timeout, and declares attempts that never report back (lost
+//     pool tasks under fault injection) dead so the pipeline can progress.
+//
 // Deployments are published as immutable, versioned snapshots behind
 // shared_ptr: readers on any thread grab CurrentSnapshot() and keep using
 // it without locks while newer versions supersede it.  In debug/sanitizer
 // builds every published snapshot is validated by the src/analysis
 // invariant auditors.
 //
-// Threading contract: SubmitBatch/WaitIdle/stats/index must be called
-// from one client thread (the serving loop); CurrentSnapshot is safe from
-// any thread.
+// Threading contract: SubmitBatch/WaitIdle/stats/index/Checkpoint/Restore
+// must be called from one client thread (the serving loop);
+// CurrentSnapshot is safe from any thread.
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "common/types.hpp"
 #include "core/deployment.hpp"
 #include "engine/coverage_index.hpp"
 #include "engine/incremental_gtp.hpp"
+#include "faults/faults.hpp"
 #include "graph/digraph.hpp"
 #include "parallel/thread_pool.hpp"
 #include "traffic/flow.hpp"
 
 namespace tdmd::engine {
+
+/// Degradation state machine (DESIGN.md Section 9.2).  The underlying
+/// type is fixed so EngineStats stays a flat block of 64-bit words (see
+/// the static_assert next to the checkpoint serializer).
+enum class EngineMode : std::uint64_t {
+  /// Healthy: every batch cancels the stale re-solve and starts a fresh
+  /// one.
+  kNormal = 0,
+  /// Re-solves keep failing: in-flight work is kept alive across batches
+  /// and deferred re-solve requests coalesce into a bounded pending count.
+  kDegraded = 1,
+  /// Re-solves presumed useless: only the synchronous patch runs, plus a
+  /// probe re-solve every probe_interval_epochs to detect recovery.
+  kPatchOnly = 2,
+};
+
+const char* EngineModeName(EngineMode mode);
 
 struct EngineOptions {
   /// Middlebox budget k (Section 3.1); the engine never deploys more.
@@ -57,6 +101,37 @@ struct EngineOptions {
   /// Deterministic; used by benches measuring per-epoch latency and by
   /// tests.
   bool synchronous = false;
+
+  // --- fault tolerance ----------------------------------------------------
+
+  /// Optional fault injector wired into the coverage index (site
+  /// kIndexDelta) and every re-solve attempt (site kGreedyRound).  The
+  /// kPoolTask site must be installed separately on the pool by the test
+  /// harness (the engine exposes no pool hook of its own).  Must outlive
+  /// the engine.
+  faults::FaultInjector* fault_injector = nullptr;
+  /// Per-attempt re-solve deadline; zero means none.
+  std::chrono::milliseconds solve_deadline{0};
+  /// Retries per epoch after a failed/expired first attempt.
+  std::size_t max_resolve_retries = 3;
+  /// Capped exponential backoff between retry attempts (async mode only;
+  /// synchronous retries never sleep, keeping tests deterministic).
+  std::chrono::milliseconds retry_backoff_initial{1};
+  std::chrono::milliseconds retry_backoff_cap{64};
+  /// Consecutive re-solve failures before NORMAL -> DEGRADED and before
+  /// DEGRADED -> PATCH_ONLY.  Must satisfy 1 <= degrade <= patch_only.
+  std::uint64_t degrade_after_failures = 2;
+  std::uint64_t patch_only_after_failures = 4;
+  /// In PATCH_ONLY, probe with one re-solve every this many epochs.
+  std::uint64_t probe_interval_epochs = 4;
+  /// DEGRADED: bound on coalesced-but-pending re-solve requests.
+  std::size_t max_pending_resolves = 1;
+  /// Watchdog poll period; zero disables the watchdog thread.
+  std::chrono::milliseconds watchdog_interval{0};
+  /// An in-flight re-solve older than this is cancelled by the watchdog;
+  /// if it still has not reported back after another stall_timeout it is
+  /// declared lost (the fault injector can drop pool tasks outright).
+  std::chrono::milliseconds stall_timeout{1000};
 };
 
 /// Immutable published deployment.  Readers hold the shared_ptr as long
@@ -71,12 +146,56 @@ struct DeploymentSnapshot {
   bool feasible = false;
 };
 
-/// Counter block; all values since engine construction.
+/// The uint64 counters of EngineStats, in declaration order.  The
+/// checkpoint serializer iterates this list, and a static_assert ties it
+/// to sizeof(EngineStats) so adding a counter without updating both is a
+/// compile error.
+#define TDMD_ENGINE_STATS_COUNTERS(X) \
+  X(epochs)                           \
+  X(arrivals)                         \
+  X(departures)                       \
+  X(stale_departures)                 \
+  X(index_delta_ops)                  \
+  X(index_fault_retries)              \
+  X(patches)                          \
+  X(patch_boxes)                      \
+  X(adoptions)                        \
+  X(middlebox_moves)                  \
+  X(resolves_started)                 \
+  X(resolves_completed)               \
+  X(resolves_cancelled)               \
+  X(resolve_failures)                 \
+  X(resolve_timeouts)                 \
+  X(resolve_retries)                  \
+  X(resolves_expired_adopted)         \
+  X(resolves_coalesced)               \
+  X(watchdog_cancels)                 \
+  X(mode_transitions)                 \
+  X(degraded_epochs)                  \
+  X(patch_only_epochs)                \
+  X(consecutive_failures)             \
+  X(gain_reevals)                     \
+  X(reevals_saved)                    \
+  X(snapshots_published)
+
+/// Counter block; all values since engine construction.  Every started
+/// re-solve attempt lands in exactly one terminal bucket, so
+///   resolves_started == resolves_completed + resolves_cancelled
+///                       + resolve_failures + resolve_timeouts
+/// holds whenever no attempt is in flight (WaitIdle) — except under
+/// kPoolTask drop faults, where a lost attempt is declared dead by the
+/// watchdog (counted resolve_timeouts) and a late straggler may add a
+/// spurious cancelled tick.
 struct EngineStats {
   std::uint64_t epochs = 0;
   std::uint64_t arrivals = 0;
   std::uint64_t departures = 0;
+  /// Departure tickets that were already stale (departed or never issued);
+  /// counted, not an error — SubmitBatch departures are idempotent.
+  std::uint64_t stale_departures = 0;
   std::uint64_t index_delta_ops = 0;
+  /// Index mutations retried after an injected kIndexDelta fault.
+  std::uint64_t index_fault_retries = 0;
   /// Epochs where the synchronous patch added at least one middlebox.
   std::uint64_t patches = 0;
   std::uint64_t patch_boxes = 0;
@@ -85,22 +204,45 @@ struct EngineStats {
   std::uint64_t middlebox_moves = 0;
   std::uint64_t resolves_started = 0;
   std::uint64_t resolves_completed = 0;
-  /// Re-solves abandoned: cancelled mid-run by a newer epoch, or completed
-  /// against a flow set that was already stale on arrival.
+  /// Re-solves abandoned benignly: cancelled mid-run by a newer epoch,
+  /// completed against a flow set already stale on arrival, or shut down.
   std::uint64_t resolves_cancelled = 0;
+  /// Attempts that threw or were cancelled by an injected fault.
+  std::uint64_t resolve_failures = 0;
+  /// Attempts that hit their deadline, were stalled past stall_timeout,
+  /// or were declared lost by the watchdog.
+  std::uint64_t resolve_timeouts = 0;
+  /// Retry attempts scheduled after an abnormal outcome.
+  std::uint64_t resolve_retries = 0;
+  /// Deadline-expired greedy prefixes adopted as degraded answers.
+  std::uint64_t resolves_expired_adopted = 0;
+  /// DEGRADED-mode re-solve requests folded into an already-pending one.
+  std::uint64_t resolves_coalesced = 0;
+  /// Stalled attempts cancelled by the watchdog.
+  std::uint64_t watchdog_cancels = 0;
+  std::uint64_t mode_transitions = 0;
+  /// Epochs served while in the respective degraded mode.
+  std::uint64_t degraded_epochs = 0;
+  std::uint64_t patch_only_epochs = 0;
+  /// Current failure streak (resets to zero on any clean completion).
+  std::uint64_t consecutive_failures = 0;
   /// CELF marginal-gain evaluations performed across all re-solves.
   std::uint64_t gain_reevals = 0;
   /// Evaluations a plain full-scan greedy would have performed but the
   /// lazy heap skipped (Theorem 2's dividend).
   std::uint64_t reevals_saved = 0;
   std::uint64_t snapshots_published = 0;
+  /// Degradation mode at the time stats() was taken.
+  EngineMode mode = EngineMode::kNormal;
 };
+
+struct EngineCheckpoint;
 
 class Engine {
  public:
   Engine(graph::Digraph network, EngineOptions options);
 
-  /// Cancels any in-flight re-solve and drains the pool.
+  /// Cancels any in-flight re-solve, stops the watchdog, drains the pool.
   ~Engine();
 
   Engine(const Engine&) = delete;
@@ -115,9 +257,9 @@ class Engine {
     std::size_t patch_boxes = 0;
   };
 
-  /// Applies one epoch of churn: departures (stale tickets are ignored)
-  /// then arrivals; patches feasibility; publishes a snapshot; schedules
-  /// the async re-solve (cancelling any stale one).
+  /// Applies one epoch of churn: departures (stale tickets are counted
+  /// and ignored) then arrivals; patches feasibility; publishes a
+  /// snapshot; schedules the re-solve the current mode calls for.
   BatchResult SubmitBatch(const traffic::FlowSet& arrivals,
                           const std::vector<FlowTicket>& departures);
 
@@ -129,12 +271,42 @@ class Engine {
 
   EngineStats stats() const;
 
+  /// Current degradation mode.
+  EngineMode mode() const;
+
   /// Live coverage index (client-thread only; see threading contract).
   const FlowCoverageIndex& index() const { return index_; }
 
   const EngineOptions& options() const { return options_; }
 
+  // --- checkpoint/restore -------------------------------------------------
+
+  /// Captures the complete client-visible state: flow set with exact
+  /// tickets (and the free-slot stack, so post-restore arrivals draw the
+  /// same tickets), deployment, maintained objective, epoch, snapshot
+  /// version, mode and counters.  In-flight re-solve work is deliberately
+  /// not captured — it is recomputable, and a restored engine simply
+  /// schedules a fresh re-solve on its next batch.
+  EngineCheckpoint Checkpoint() const;
+
+  /// Rebuilds this engine from `checkpoint`.  Must be called on a freshly
+  /// constructed engine (no batches yet) whose network and options (k,
+  /// lambda) match the checkpointed ones.  After Restore, replaying the
+  /// post-checkpoint churn yields byte-identical snapshots to the
+  /// uninterrupted run (pinned by tests/engine_checkpoint_test.cpp).
+  void Restore(const EngineCheckpoint& checkpoint);
+
  private:
+  /// One re-solve attempt currently owned by the pool.
+  struct Inflight {
+    bool active = false;
+    std::uint64_t epoch = 0;
+    std::shared_ptr<std::atomic<bool>> cancel;
+    std::chrono::steady_clock::time_point started{};
+    bool killed_by_watchdog = false;
+    std::size_t attempt = 0;
+  };
+
   /// Greedy-covers currently unserved flows with spare budget; returns
   /// middleboxes added and refreshes maintained_feasible_.  Requires
   /// state_mu_.
@@ -144,13 +316,52 @@ class Engine {
   /// debug/sanitizer builds).  Requires state_mu_.
   void PublishLocked();
 
-  /// Hysteresis: applies a completed re-solve for `epoch`.  Requires
-  /// state_mu_.
-  void ApplyResolveLocked(const IncrementalGtpResult& result,
-                          std::uint64_t epoch);
+  /// Adopts `result` under the hysteresis rule (unconditionally when the
+  /// maintained plan is infeasible).  Requires state_mu_.
+  void MaybeAdoptLocked(const IncrementalGtpResult& result, bool expired);
 
-  /// Launches the re-solve for the current epoch.  Requires state_mu_.
+  /// Classifies one finished attempt into its terminal bucket, applies
+  /// adoption / failure-streak / mode effects, and returns true when a
+  /// retry should be scheduled.  Requires state_mu_.
+  bool HandleResolveOutcomeLocked(
+      const IncrementalGtpResult& result, bool threw, std::uint64_t epoch,
+      const std::shared_ptr<std::atomic<bool>>& cancel, std::size_t attempt);
+
+  void RecordResolveFailureLocked();
+  void RecordResolveSuccessLocked();
+  void TransitionLocked(EngineMode target);
+
+  /// Cancels the in-flight re-solve (benign: a newer epoch supersedes
+  /// it).  Requires state_mu_.
+  void CancelInflightLocked();
+
+  /// Ends a re-solve chain: drains coalesced pending requests into one
+  /// fresh re-solve when the mode allows it.  Requires state_mu_.
+  void FinishChainLocked();
+
+  /// Launches attempt 0 of the re-solve chain for the current epoch
+  /// (inline when synchronous).  Requires state_mu_.
   void ScheduleResolveLocked();
+
+  /// Schedules retry `attempt` (>= 1) after backoff.  Requires state_mu_.
+  void ScheduleRetryLocked(std::uint64_t epoch, std::size_t attempt);
+
+  /// Pool-side body of one asynchronous attempt.
+  void RunResolveAttempt(std::shared_ptr<std::atomic<bool>> cancel,
+                         std::uint64_t epoch, std::size_t attempt,
+                         FlowCoverageIndex frozen);
+
+  /// Solver options for one attempt (deadline stamped now).
+  IncrementalGtpOptions MakeSolveOptions(
+      const std::atomic<bool>* cancel) const;
+
+  /// Runs `fn`, retrying on injected kIndexDelta faults (the injector
+  /// fires before any index mutation, so a retry is safe).  Requires
+  /// state_mu_.
+  template <typename Fn>
+  decltype(auto) RetryIndexDeltaLocked(Fn&& fn);
+
+  void WatchdogLoop();
 
   EngineOptions options_;
 
@@ -170,10 +381,23 @@ class Engine {
   std::vector<FlowTicket> uncovered_;
   std::uint64_t epoch_ = 0;
   std::shared_ptr<std::atomic<bool>> current_cancel_;
+  Inflight inflight_;
+  /// Token of an attempt the watchdog declared lost; its straggler (if
+  /// the task was slow rather than dropped) is ignored on arrival instead
+  /// of double-counted.
+  std::shared_ptr<std::atomic<bool>> abandoned_token_;
+  EngineMode mode_ = EngineMode::kNormal;
+  std::uint64_t consecutive_failures_ = 0;
+  std::uint64_t epochs_since_probe_ = 0;
+  std::size_t pending_resolves_ = 0;
+  bool stopping_ = false;
   EngineStats stats_;
 
   mutable std::mutex snapshot_mu_;
   std::shared_ptr<const DeploymentSnapshot> snapshot_;
+
+  std::condition_variable watchdog_cv_;
+  std::thread watchdog_;
 
   /// Declared last so workers join (and all tasks finish touching the
   /// members above) before anything else is destroyed.

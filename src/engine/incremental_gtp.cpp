@@ -216,10 +216,28 @@ IncrementalGtpResult SolveIncrementalGtp(
   std::vector<Bandwidth> chosen_gains;
 #endif
 
+  const bool has_deadline =
+      options.deadline != std::chrono::steady_clock::time_point{};
+
   for (std::size_t round = 1; result.deployment.size() < budget; ++round) {
     if (options.cancel != nullptr &&
         options.cancel->load(std::memory_order_relaxed)) {
       result.cancelled = true;
+      break;
+    }
+    if (has_deadline &&
+        std::chrono::steady_clock::now() >= options.deadline) {
+      result.deadline_expired = true;
+      break;
+    }
+    // Injection sits after the deadline check: a delay injected here
+    // stalls the round but the selection still completes (expiry is only
+    // observed at the top of the next round), so a solve whose very first
+    // round overruns the deadline still returns a 1-box prefix — the
+    // deterministic deadline tests rely on that.
+    if (options.fault_injector != nullptr &&
+        options.fault_injector->MaybeInject(faults::FaultSite::kGreedyRound)) {
+      result.cancelled = true;  // injected cancellation
       break;
     }
     core::CelfCandidate chosen{-1.0, kInvalidVertex, 0};

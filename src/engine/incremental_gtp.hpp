@@ -20,11 +20,13 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 
 #include "common/types.hpp"
 #include "core/deployment.hpp"
 #include "engine/coverage_index.hpp"
+#include "faults/faults.hpp"
 
 namespace tdmd::engine {
 
@@ -44,6 +46,18 @@ struct IncrementalGtpOptions {
   /// Checked at every greedy round; when it reads true the solver stops
   /// and marks the result cancelled.  May be null.
   const std::atomic<bool>* cancel = nullptr;
+  /// Absolute deadline checked once per greedy round (after the cancel
+  /// check, before fault injection).  A default-constructed time_point
+  /// means "no deadline".  An expired solve stops and returns the greedy
+  /// prefix built so far with `deadline_expired` set — still a valid
+  /// deployment of at most k middleboxes by Theorem 2 (every greedy
+  /// prefix is), so the engine may adopt it as a degraded answer.
+  std::chrono::steady_clock::time_point deadline{};
+  /// When set, fired (site kGreedyRound) once per greedy round.  An
+  /// injected throw propagates out of the solve; an injected cancel marks
+  /// the result cancelled; a delay stalls the round (which is how the
+  /// deadline tests force expiry deterministically).
+  faults::FaultInjector* fault_injector = nullptr;
 };
 
 struct IncrementalGtpResult {
@@ -53,6 +67,10 @@ struct IncrementalGtpResult {
   /// True if the solve was abandoned via the cancel flag; the deployment
   /// is a valid prefix of the full greedy run but must not be adopted.
   bool cancelled = false;
+  /// True if the solve stopped because options.deadline passed.  Unlike
+  /// cancellation the prefix is a candidate answer: the engine may adopt
+  /// it (counted as resolves_expired_adopted) when it is feasible.
+  bool deadline_expired = false;
   /// Marginal-gain evaluations performed (heap priming + revalidations).
   std::size_t oracle_calls = 0;
   /// Gain evaluations a plain full-scan greedy would have performed but

@@ -1,7 +1,9 @@
 #include "io/text_format.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <functional>
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -66,6 +68,12 @@ bool ParseDouble(const std::string& token, double& out) {
   }
 }
 
+/// Vertex ids parse as int64 but are stored as VertexId (int32); an
+/// unchecked cast would silently wrap, so every reader bounds ids here.
+bool FitsVertexId(std::int64_t v) {
+  return v >= 0 && v <= std::numeric_limits<VertexId>::max();
+}
+
 }  // namespace
 
 // --- Writers ----------------------------------------------------------
@@ -110,6 +118,48 @@ void WriteDeployment(std::ostream& os, const core::Deployment& deployment) {
   }
 }
 
+void WriteEngineCheckpoint(std::ostream& os,
+                           const engine::EngineCheckpoint& checkpoint) {
+  os << "engine-checkpoint v1\n";
+  os << "epoch " << checkpoint.epoch << '\n';
+  os << "snapshot-version " << checkpoint.snapshot_version << '\n';
+  os << "mode " << engine::EngineModeName(checkpoint.mode) << '\n';
+  os << "consecutive-failures " << checkpoint.consecutive_failures << '\n';
+  os << "epochs-since-probe " << checkpoint.epochs_since_probe << '\n';
+  os << "k " << checkpoint.k << '\n';
+  // Hexfloat so the incrementally maintained doubles round-trip bit-exactly
+  // (decimal shortest-round-trip would need max_digits10 and is easier to
+  // get subtly wrong).
+  os << "lambda " << std::hexfloat << checkpoint.lambda << std::defaultfloat
+     << '\n';
+  os << "num-vertices " << checkpoint.num_vertices << '\n';
+  os << "bandwidth " << std::hexfloat << checkpoint.maintained_bandwidth
+     << std::defaultfloat << '\n';
+  os << "feasible " << (checkpoint.maintained_feasible ? 1 : 0) << '\n';
+#define TDMD_WRITE_COUNTER(field) \
+  os << "counter " #field " " << checkpoint.stats.field << '\n';
+  TDMD_ENGINE_STATS_COUNTERS(TDMD_WRITE_COUNTER)
+#undef TDMD_WRITE_COUNTER
+  os << "deployment " << checkpoint.deployment.size() << '\n';
+  for (VertexId v : checkpoint.deployment) os << "box " << v << '\n';
+  os << "uncovered " << checkpoint.uncovered.size() << '\n';
+  for (engine::FlowTicket t : checkpoint.uncovered) {
+    os << "ticket " << t << '\n';
+  }
+  os << "flows " << checkpoint.active_flows.size() << '\n';
+  for (const engine::EngineCheckpoint::ActiveFlow& af :
+       checkpoint.active_flows) {
+    os << "flow " << af.ticket << ' ' << af.flow.rate;
+    for (VertexId v : af.flow.path.vertices) os << ' ' << v;
+    os << '\n';
+  }
+  os << "free-slots " << checkpoint.free_slots.size() << '\n';
+  for (engine::FlowTicket t : checkpoint.free_slots) {
+    os << "free " << t << '\n';
+  }
+  os << "end engine-checkpoint\n";
+}
+
 // --- Readers -----------------------------------------------------------
 
 namespace {
@@ -122,7 +172,7 @@ Parsed<graph::Digraph> ReadDigraphBody(LineReader& reader,
   Parsed<graph::Digraph> result;
   std::int64_t n = 0;
   if (header.size() != 2 || header[0] != "digraph" ||
-      !ParseInt(header[1], n) || n < 0) {
+      !ParseInt(header[1], n) || n < 0 || !FitsVertexId(n)) {
     result.error = AtLine(reader.line_number(),
                           "expected 'digraph <num_vertices>'");
     return result;
@@ -178,7 +228,7 @@ Parsed<traffic::FlowSet> ReadFlowsBody(LineReader& reader,
     f.rate = rate;
     for (std::size_t t = 2; t < tokens.size(); ++t) {
       std::int64_t v = 0;
-      if (!ParseInt(tokens[t], v) || v < 0) {
+      if (!ParseInt(tokens[t], v) || !FitsVertexId(v)) {
         result.error =
             AtLine(reader.line_number(), "malformed path vertex");
         return result;
@@ -216,7 +266,7 @@ Parsed<graph::Tree> ReadTree(std::istream& is) {
     return result;
   }
   std::int64_t n = 0;
-  if (!ParseInt(tokens[1], n) || n <= 0) {
+  if (!ParseInt(tokens[1], n) || n <= 0 || !FitsVertexId(n)) {
     result.error = AtLine(reader.line_number(), "bad vertex count");
     return result;
   }
@@ -288,8 +338,12 @@ Parsed<core::Instance> ReadInstance(std::istream& is) {
     return result;
   }
   double lambda = 0.0;
+  // The containment test is written positively so NaN (for which both
+  // `lambda < 0.0` and `lambda > 1.0` are false) is rejected here with a
+  // line number instead of aborting later in Instance's CHECK.
   if (!reader.Next(tokens) || tokens.size() != 2 || tokens[0] != "lambda" ||
-      !ParseDouble(tokens[1], lambda) || lambda < 0.0 || lambda > 1.0) {
+      !ParseDouble(tokens[1], lambda) || !std::isfinite(lambda) ||
+      !(lambda >= 0.0 && lambda <= 1.0)) {
     result.error = AtLine(reader.line_number(),
                           "expected 'lambda <value in [0,1]>'");
     return result;
@@ -314,6 +368,12 @@ Parsed<core::Instance> ReadInstance(std::istream& is) {
       ReadFlowsBody(reader, pending_line, tokens);
   if (!flows.ok()) {
     result.error = flows.error;
+    return result;
+  }
+  if (reader.Next(tokens)) {
+    result.error = AtLine(reader.line_number(),
+                          "unexpected record after the flow section (wrong "
+                          "'flows' count?)");
     return result;
   }
   // Semantic validation (paths exist in the graph) with a parse-style
@@ -355,6 +415,259 @@ Parsed<core::Deployment> ReadDeployment(std::istream& is,
   return result;
 }
 
+namespace {
+
+bool ParseU64(const std::string& token, std::uint64_t& out) {
+  // stoull silently wraps "-1"; reject signs up front.
+  if (token.empty() || token[0] == '-' || token[0] == '+') return false;
+  try {
+    std::size_t consumed = 0;
+    out = std::stoull(token, &consumed);
+    return consumed == token.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+/// Strictly ordered `<key> <u64>` line.
+bool ReadKeyedU64(LineReader& reader, std::vector<std::string>& tokens,
+                  const char* key, std::uint64_t& out, std::string& error) {
+  if (!reader.Next(tokens) || tokens.size() != 2 || tokens[0] != key ||
+      !ParseU64(tokens[1], out)) {
+    error = AtLine(reader.line_number(),
+                   std::string("expected '") + key + " <u64>'");
+    return false;
+  }
+  return true;
+}
+
+/// `counter <name> <u64>` line; the name must match, which pins the file
+/// to TDMD_ENGINE_STATS_COUNTERS order.
+bool ReadCounterLine(LineReader& reader, std::vector<std::string>& tokens,
+                     const char* name, std::uint64_t& out,
+                     std::string& error) {
+  if (!reader.Next(tokens) || tokens.size() != 3 || tokens[0] != "counter" ||
+      tokens[1] != name || !ParseU64(tokens[2], out)) {
+    error = AtLine(reader.line_number(),
+                   std::string("expected 'counter ") + name + " <u64>'");
+    return false;
+  }
+  return true;
+}
+
+/// `<key> <hexfloat>` line; requires a finite value.
+bool ReadKeyedDouble(LineReader& reader, std::vector<std::string>& tokens,
+                     const char* key, double& out, std::string& error) {
+  if (!reader.Next(tokens) || tokens.size() != 2 || tokens[0] != key ||
+      !ParseDouble(tokens[1], out) || !std::isfinite(out)) {
+    error = AtLine(reader.line_number(),
+                   std::string("expected '") + key + " <finite double>'");
+    return false;
+  }
+  return true;
+}
+
+/// Non-negative ticket from `<keyword> <t>` lines.
+bool ParseTicket(const std::string& token, engine::FlowTicket& out) {
+  std::int64_t value = 0;
+  if (!ParseInt(token, value) || value < 0) return false;
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+Parsed<engine::EngineCheckpoint> ReadEngineCheckpoint(std::istream& is) {
+  Parsed<engine::EngineCheckpoint> result;
+  engine::EngineCheckpoint cp;
+  LineReader reader(is);
+  std::vector<std::string> tokens;
+
+  if (!reader.Next(tokens) || tokens.size() != 2 ||
+      tokens[0] != "engine-checkpoint" || tokens[1] != "v1") {
+    result.error = AtLine(reader.line_number(),
+                          "expected header 'engine-checkpoint v1'");
+    return result;
+  }
+  if (!ReadKeyedU64(reader, tokens, "epoch", cp.epoch, result.error) ||
+      !ReadKeyedU64(reader, tokens, "snapshot-version", cp.snapshot_version,
+                    result.error)) {
+    return result;
+  }
+  if (!reader.Next(tokens) || tokens.size() != 2 || tokens[0] != "mode") {
+    result.error = AtLine(reader.line_number(),
+                          "expected 'mode <normal|degraded|patch-only>'");
+    return result;
+  }
+  bool mode_matched = false;
+  for (engine::EngineMode m :
+       {engine::EngineMode::kNormal, engine::EngineMode::kDegraded,
+        engine::EngineMode::kPatchOnly}) {
+    if (tokens[1] == engine::EngineModeName(m)) {
+      cp.mode = m;
+      mode_matched = true;
+      break;
+    }
+  }
+  if (!mode_matched) {
+    result.error = AtLine(reader.line_number(),
+                          "unknown engine mode '" + tokens[1] + "'");
+    return result;
+  }
+  if (!ReadKeyedU64(reader, tokens, "consecutive-failures",
+                    cp.consecutive_failures, result.error) ||
+      !ReadKeyedU64(reader, tokens, "epochs-since-probe",
+                    cp.epochs_since_probe, result.error) ||
+      !ReadKeyedU64(reader, tokens, "k", cp.k, result.error)) {
+    return result;
+  }
+  if (!ReadKeyedDouble(reader, tokens, "lambda", cp.lambda, result.error)) {
+    return result;
+  }
+  if (!(cp.lambda >= 0.0 && cp.lambda <= 1.0)) {
+    result.error =
+        AtLine(reader.line_number(), "lambda outside [0,1]");
+    return result;
+  }
+  std::int64_t num_vertices = 0;
+  if (!reader.Next(tokens) || tokens.size() != 2 ||
+      tokens[0] != "num-vertices" || !ParseInt(tokens[1], num_vertices) ||
+      !FitsVertexId(num_vertices)) {
+    result.error =
+        AtLine(reader.line_number(), "expected 'num-vertices <v>'");
+    return result;
+  }
+  cp.num_vertices = static_cast<VertexId>(num_vertices);
+  if (!ReadKeyedDouble(reader, tokens, "bandwidth", cp.maintained_bandwidth,
+                       result.error)) {
+    return result;
+  }
+  std::uint64_t feasible = 0;
+  if (!ReadKeyedU64(reader, tokens, "feasible", feasible, result.error)) {
+    return result;
+  }
+  if (feasible > 1) {
+    result.error = AtLine(reader.line_number(), "feasible must be 0 or 1");
+    return result;
+  }
+  cp.maintained_feasible = feasible == 1;
+
+#define TDMD_READ_COUNTER(field)                                     \
+  if (!ReadCounterLine(reader, tokens, #field, cp.stats.field,       \
+                       result.error)) {                              \
+    return result;                                                   \
+  }
+  TDMD_ENGINE_STATS_COUNTERS(TDMD_READ_COUNTER)
+#undef TDMD_READ_COUNTER
+  // The mode rides in the dedicated `mode` record, not the counter block.
+  cp.stats.mode = cp.mode;
+
+  std::uint64_t count = 0;
+  if (!ReadKeyedU64(reader, tokens, "deployment", count, result.error)) {
+    return result;
+  }
+  if (count > static_cast<std::uint64_t>(num_vertices)) {
+    result.error = AtLine(reader.line_number(),
+                          "deployment count exceeds num-vertices");
+    return result;
+  }
+  std::vector<char> deployed(static_cast<std::size_t>(num_vertices), 0);
+  cp.deployment.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::int64_t v = 0;
+    if (!reader.Next(tokens) || tokens.size() != 2 || tokens[0] != "box" ||
+        !ParseInt(tokens[1], v) || v < 0 || v >= num_vertices) {
+      result.error = AtLine(reader.line_number(), "malformed 'box <v>'");
+      return result;
+    }
+    if (deployed[static_cast<std::size_t>(v)]) {
+      result.error = AtLine(reader.line_number(), "duplicate box");
+      return result;
+    }
+    deployed[static_cast<std::size_t>(v)] = 1;
+    cp.deployment.push_back(static_cast<VertexId>(v));
+  }
+
+  if (!ReadKeyedU64(reader, tokens, "uncovered", count, result.error)) {
+    return result;
+  }
+  cp.uncovered.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    engine::FlowTicket t = engine::kInvalidTicket;
+    if (!reader.Next(tokens) || tokens.size() != 2 ||
+        tokens[0] != "ticket" || !ParseTicket(tokens[1], t)) {
+      result.error =
+          AtLine(reader.line_number(), "malformed 'ticket <t>'");
+      return result;
+    }
+    cp.uncovered.push_back(t);
+  }
+
+  if (!ReadKeyedU64(reader, tokens, "flows", count, result.error)) {
+    return result;
+  }
+  cp.active_flows.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (!reader.Next(tokens) || tokens.size() < 4 || tokens[0] != "flow") {
+      result.error = AtLine(
+          reader.line_number(),
+          "expected 'flow <ticket> <rate> <v0> ... <vk>'");
+      return result;
+    }
+    engine::EngineCheckpoint::ActiveFlow af;
+    std::int64_t rate = 0;
+    if (!ParseTicket(tokens[1], af.ticket) || !ParseInt(tokens[2], rate) ||
+        rate <= 0) {
+      result.error = AtLine(reader.line_number(),
+                            "flow ticket must be non-negative and rate a "
+                            "positive integer");
+      return result;
+    }
+    af.flow.rate = rate;
+    for (std::size_t t = 3; t < tokens.size(); ++t) {
+      std::int64_t v = 0;
+      if (!ParseInt(tokens[t], v) || !FitsVertexId(v) ||
+          v >= num_vertices) {
+        result.error =
+            AtLine(reader.line_number(), "malformed path vertex");
+        return result;
+      }
+      af.flow.path.vertices.push_back(static_cast<VertexId>(v));
+    }
+    af.flow.src = af.flow.path.vertices.front();
+    af.flow.dst = af.flow.path.vertices.back();
+    cp.active_flows.push_back(std::move(af));
+  }
+
+  if (!ReadKeyedU64(reader, tokens, "free-slots", count, result.error)) {
+    return result;
+  }
+  cp.free_slots.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    engine::FlowTicket t = engine::kInvalidTicket;
+    if (!reader.Next(tokens) || tokens.size() != 2 || tokens[0] != "free" ||
+        !ParseTicket(tokens[1], t)) {
+      result.error = AtLine(reader.line_number(), "malformed 'free <t>'");
+      return result;
+    }
+    cp.free_slots.push_back(t);
+  }
+
+  if (!reader.Next(tokens) || tokens.size() != 2 || tokens[0] != "end" ||
+      tokens[1] != "engine-checkpoint") {
+    result.error = AtLine(reader.line_number(),
+                          "expected terminator 'end engine-checkpoint'");
+    return result;
+  }
+  if (reader.Next(tokens)) {
+    result.error = AtLine(reader.line_number(),
+                          "unexpected record after 'end engine-checkpoint'");
+    return result;
+  }
+  result.value = std::move(cp);
+  return result;
+}
+
 // --- File helpers -------------------------------------------------------
 
 bool WriteFile(const std::string& path,
@@ -383,6 +696,19 @@ Parsed<graph::Tree> ReadTreeFile(const std::string& path) {
     return {std::nullopt, "cannot open '" + path + "'"};
   }
   Parsed<graph::Tree> result = ReadTree(is);
+  if (!result.ok()) {
+    result.error = path + ": " + result.error;
+  }
+  return result;
+}
+
+Parsed<engine::EngineCheckpoint> ReadEngineCheckpointFile(
+    const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    return {std::nullopt, "cannot open '" + path + "'"};
+  }
+  Parsed<engine::EngineCheckpoint> result = ReadEngineCheckpoint(is);
   if (!result.ok()) {
     result.error = path + ": " + result.error;
   }

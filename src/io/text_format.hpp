@@ -22,6 +22,31 @@
 //   deployment <num_vertices>
 //   box <v>                           (repeated)
 //
+// Engine checkpoints (DESIGN.md Section 9.4) serialize as:
+//
+//   engine-checkpoint v1
+//   epoch <u64>
+//   snapshot-version <u64>
+//   mode <normal|degraded|patch-only>
+//   consecutive-failures <u64>
+//   epochs-since-probe <u64>
+//   k <u64>
+//   lambda <hexfloat>
+//   num-vertices <v>
+//   bandwidth <hexfloat>              (bit-exact round trip)
+//   feasible <0|1>
+//   counter <name> <u64>              (one per EngineStats counter, in
+//                                      TDMD_ENGINE_STATS_COUNTERS order)
+//   deployment <count>
+//   box <v>                           (repeated; insertion order)
+//   uncovered <count>
+//   ticket <t>                        (repeated)
+//   flows <count>
+//   flow <ticket> <rate> <v0> ... <vk>  (ascending by slot)
+//   free-slots <count>
+//   free <ticket>                     (repeated; stack bottom-to-top)
+//   end engine-checkpoint
+//
 // Parsing is strict: unknown records, wrong counts, or malformed numbers
 // produce an error message with the line number instead of a partially
 // filled object.
@@ -34,6 +59,7 @@
 
 #include "core/deployment.hpp"
 #include "core/instance.hpp"
+#include "engine/checkpoint.hpp"
 #include "graph/digraph.hpp"
 #include "graph/tree.hpp"
 #include "traffic/flow.hpp"
@@ -56,6 +82,8 @@ void WriteTree(std::ostream& os, const graph::Tree& tree);
 void WriteFlows(std::ostream& os, const traffic::FlowSet& flows);
 void WriteInstance(std::ostream& os, const core::Instance& instance);
 void WriteDeployment(std::ostream& os, const core::Deployment& deployment);
+void WriteEngineCheckpoint(std::ostream& os,
+                           const engine::EngineCheckpoint& checkpoint);
 
 // --- Readers ------------------------------------------------------------
 
@@ -65,6 +93,7 @@ Parsed<traffic::FlowSet> ReadFlows(std::istream& is);
 Parsed<core::Instance> ReadInstance(std::istream& is);
 Parsed<core::Deployment> ReadDeployment(std::istream& is,
                                         VertexId num_vertices);
+Parsed<engine::EngineCheckpoint> ReadEngineCheckpoint(std::istream& is);
 
 // --- File helpers ---------------------------------------------------------
 
@@ -75,5 +104,7 @@ bool WriteFile(const std::string& path,
 /// Reads a whole instance file; the error mentions the path.
 Parsed<core::Instance> ReadInstanceFile(const std::string& path);
 Parsed<graph::Tree> ReadTreeFile(const std::string& path);
+Parsed<engine::EngineCheckpoint> ReadEngineCheckpointFile(
+    const std::string& path);
 
 }  // namespace tdmd::io

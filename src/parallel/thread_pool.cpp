@@ -38,9 +38,22 @@ void ThreadPool::Wait() {
   all_idle_.wait(lock, [this]() { return in_flight_ == 0; });
 }
 
+ThreadPool::PoolStats ThreadPool::stats() const {
+  std::unique_lock lock(mutex_);
+  return stats_;
+}
+
+void ThreadPool::SetTaskHook(std::function<void()> hook) {
+  std::unique_lock lock(mutex_);
+  task_hook_ = hook ? std::make_shared<const std::function<void()>>(
+                          std::move(hook))
+                    : nullptr;
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
+    std::shared_ptr<const std::function<void()>> hook;
     {
       std::unique_lock lock(mutex_);
       work_available_.wait(
@@ -53,10 +66,25 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(queue_.front());
       queue_.pop();
+      hook = task_hook_;
     }
-    task();  // packaged_task captures exceptions into the future
+    bool dropped = false;
+    if (hook != nullptr) {
+      try {
+        (*hook)();
+      } catch (...) {
+        // A throwing hook models a lost task: destroying the unrun
+        // packaged_task makes its future report broken_promise.
+        dropped = true;
+        task = nullptr;
+      }
+    }
+    if (!dropped) {
+      task();  // packaged_task captures exceptions into the future
+    }
     {
       std::unique_lock lock(mutex_);
+      ++(dropped ? stats_.tasks_dropped : stats_.tasks_executed);
       if (--in_flight_ == 0) {
         all_idle_.notify_all();
       }

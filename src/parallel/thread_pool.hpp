@@ -13,8 +13,10 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -53,17 +55,34 @@ class ThreadPool {
   /// Blocks until all currently queued and running tasks finish.
   void Wait();
 
+  /// Counters for the fault-tolerance layer: how many tasks ran, and how
+  /// many were dropped because the task hook threw.
+  struct PoolStats {
+    std::uint64_t tasks_executed = 0;
+    std::uint64_t tasks_dropped = 0;
+  };
+  PoolStats stats() const;
+
+  /// Installs a hook invoked by the worker immediately before each task.
+  /// A throwing hook *drops* the task (it never runs; its future reports
+  /// broken_promise) and bumps tasks_dropped — the fault-injection layer
+  /// uses this to model lost pool tasks, and a sleeping hook to model
+  /// scheduler stalls.  Pass nullptr to uninstall.  Thread-safe.
+  void SetTaskHook(std::function<void()> hook);
+
  private:
   void Enqueue(std::function<void()> task);
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_idle_;
   std::size_t in_flight_ = 0;  // queued + executing
   bool shutting_down_ = false;
+  std::shared_ptr<const std::function<void()>> task_hook_;
+  PoolStats stats_;
 };
 
 /// Runs fn(i) for i in [begin, end), partitioned into contiguous chunks

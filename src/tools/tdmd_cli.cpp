@@ -17,16 +17,23 @@
 //
 //   tdmd_cli serve-trace --instance=instance.tdmd --k=8 --epochs=20
 //            [--seed=1] [--async --threads=2]
+//            [--fault-seed=7 --fault-throw-p=0.1 --deadline-ms=50]
+//            [--checkpoint-every=5 --checkpoint-out=engine.ckpt]
+//            [--restore=engine.ckpt]
 //       Feeds the instance's flows to the online placement engine, then
 //       serves a seeded churn trace through it epoch by epoch, printing
-//       each published snapshot and the engine counters.
+//       each published snapshot and the engine counters.  Optional fault
+//       injection, re-solve deadlines, periodic checkpoints and restart
+//       from a checkpoint (DESIGN.md Section 9).
 //
 //   tdmd_cli info --instance=instance.tdmd
 //       Prints instance statistics.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -35,8 +42,10 @@
 #include "common/rng.hpp"
 #include "core/dynamic.hpp"
 #include "core/tdmd.hpp"
+#include "engine/checkpoint.hpp"
 #include "engine/churn_trace.hpp"
 #include "engine/engine.hpp"
+#include "faults/faults.hpp"
 #include "experiment/timer.hpp"
 #include "io/dot_export.hpp"
 #include "io/text_format.hpp"
@@ -302,19 +311,37 @@ int ServeTrace(int argc, char** argv) {
       "rng seed; the churn trace derives deterministically from it via "
       "the generator bench/engine_churn and bench/dynamic_churn share, so "
       "equal seeds replay identical workloads everywhere");
+  const auto* fault_seed = parser.AddInt(
+      "fault-seed", 0,
+      "seed for deterministic fault injection (DESIGN.md Section 9.1); "
+      "0 disables the injector entirely");
+  const auto* fault_throw_p = parser.AddDouble(
+      "fault-throw-p", 0.0, "per-visit injected-exception probability");
+  const auto* fault_delay_p = parser.AddDouble(
+      "fault-delay-p", 0.0, "per-visit injected-stall probability");
+  const auto* fault_delay_ms = parser.AddInt(
+      "fault-delay-ms", 1, "injected stall length in milliseconds");
+  const auto* fault_cancel_p = parser.AddDouble(
+      "fault-cancel-p", 0.0, "per-visit injected-cancellation probability");
+  const auto* deadline_ms = parser.AddInt(
+      "deadline-ms", 0,
+      "per-attempt re-solve deadline in milliseconds; an expired attempt "
+      "returns its greedy prefix as a degraded answer (0 = none)");
+  const auto* checkpoint_every = parser.AddInt(
+      "checkpoint-every", 0,
+      "write an engine checkpoint every N epochs (0 disables)");
+  const auto* checkpoint_out = parser.AddString(
+      "checkpoint-out", "engine.ckpt",
+      "engine-checkpoint v1 file rewritten by --checkpoint-every");
+  const auto* restore = parser.AddString(
+      "restore", "",
+      "restore the engine from this checkpoint instead of replaying the "
+      "instance's flow set as a prefill batch");
   parser.Parse(argc, argv);
 
   auto instance = io::ReadInstanceFile(*instance_path);
   if (!instance.ok()) Die(instance.error);
   const core::Instance& inst = *instance.value;
-
-  core::ChurnModel churn;
-  churn.arrival_count = static_cast<std::size_t>(*arrival_count);
-  churn.departure_probability = *departure_probability;
-  const engine::ChurnTrace trace = engine::BuildChurnTrace(
-      inst.network(), churn, static_cast<std::size_t>(*epochs),
-      static_cast<std::size_t>(inst.num_flows()),
-      static_cast<std::uint64_t>(*seed));
 
   engine::EngineOptions options;
   options.k = static_cast<std::size_t>(*k);
@@ -322,6 +349,24 @@ int ServeTrace(int argc, char** argv) {
   options.move_threshold = *move_threshold;
   options.synchronous = !*async;
   options.solver_threads = static_cast<std::size_t>(*threads);
+  options.solve_deadline = std::chrono::milliseconds(*deadline_ms);
+
+  // The injector must outlive the engine (the engine keeps a raw pointer
+  // and its worker pool hook calls into it during teardown).
+  std::optional<faults::FaultInjector> injector;
+  if (*fault_seed != 0) {
+    faults::FaultSpec spec;
+    spec.seed = static_cast<std::uint64_t>(*fault_seed);
+    spec.at(faults::FaultSite::kIndexDelta).throw_probability =
+        *fault_throw_p;
+    faults::SiteSpec& round = spec.at(faults::FaultSite::kGreedyRound);
+    round.throw_probability = *fault_throw_p;
+    round.delay_probability = *fault_delay_p;
+    round.delay = std::chrono::milliseconds(*fault_delay_ms);
+    round.cancel_probability = *fault_cancel_p;
+    injector.emplace(spec);
+    options.fault_injector = &*injector;
+  }
   engine::Engine eng(inst.network(), options);
 
   const auto print_snapshot = [&eng](std::size_t arrived,
@@ -337,16 +382,61 @@ int ServeTrace(int argc, char** argv) {
                 static_cast<unsigned long long>(snapshot->version));
   };
 
-  // Epoch 1: the instance's own flow set arrives in one batch.
-  traffic::FlowSet prefill;
-  prefill.reserve(static_cast<std::size_t>(inst.num_flows()));
-  for (FlowId f = 0; f < inst.num_flows(); ++f) {
-    prefill.push_back(inst.flow(f));
+  std::vector<engine::FlowTicket> active;
+  if (!restore->empty()) {
+    // Resume from a checkpoint instead of replaying the prefill batch.
+    auto checkpoint = io::ReadEngineCheckpointFile(*restore);
+    if (!checkpoint.ok()) Die(checkpoint.error);
+    const engine::EngineCheckpoint& cp = *checkpoint.value;
+    if (cp.k != options.k) {
+      Die("checkpoint k " + std::to_string(cp.k) + " != --k " +
+          std::to_string(options.k));
+    }
+    if (cp.lambda != options.lambda) {
+      Die("checkpoint lambda does not match the instance's lambda");
+    }
+    if (cp.num_vertices != inst.num_vertices()) {
+      Die("checkpoint network size " + std::to_string(cp.num_vertices) +
+          " != instance network size " +
+          std::to_string(inst.num_vertices()));
+    }
+    eng.Restore(cp);
+    active.reserve(cp.active_flows.size());
+    for (const engine::EngineCheckpoint::ActiveFlow& f : cp.active_flows) {
+      active.push_back(f.ticket);
+    }
+    std::printf("restored %s: epoch %llu, %zu active flows, mode %s\n",
+                restore->c_str(),
+                static_cast<unsigned long long>(cp.epoch), active.size(),
+                engine::EngineModeName(cp.mode));
+  } else {
+    // Epoch 1: the instance's own flow set arrives in one batch.
+    traffic::FlowSet prefill;
+    prefill.reserve(static_cast<std::size_t>(inst.num_flows()));
+    for (FlowId f = 0; f < inst.num_flows(); ++f) {
+      prefill.push_back(inst.flow(f));
+    }
+    active = eng.SubmitBatch(prefill, {}).tickets;
+    print_snapshot(prefill.size(), 0, 0);
   }
-  std::vector<engine::FlowTicket> active =
-      eng.SubmitBatch(prefill, {}).tickets;
-  print_snapshot(prefill.size(), 0, 0);
 
+  core::ChurnModel churn;
+  churn.arrival_count = static_cast<std::size_t>(*arrival_count);
+  churn.departure_probability = *departure_probability;
+  const engine::ChurnTrace trace = engine::BuildChurnTrace(
+      inst.network(), churn, static_cast<std::size_t>(*epochs),
+      active.size(), static_cast<std::uint64_t>(*seed));
+
+  const auto write_checkpoint = [&]() {
+    const engine::EngineCheckpoint cp = eng.Checkpoint();
+    if (!io::WriteFile(*checkpoint_out, [&](std::ostream& os) {
+          io::WriteEngineCheckpoint(os, cp);
+        })) {
+      Die("cannot write " + *checkpoint_out);
+    }
+  };
+
+  std::size_t epochs_served = 0;
   for (const engine::ChurnEpoch& epoch : trace.epochs) {
     // Positional departures index the pre-arrival active list (the
     // DynamicPlacer convention); translate them to tickets.
@@ -365,6 +455,12 @@ int ServeTrace(int argc, char** argv) {
                   batch.tickets.end());
     print_snapshot(epoch.arrivals.size(), departing.size(),
                    batch.patch_boxes);
+    ++epochs_served;
+    if (*checkpoint_every > 0 &&
+        epochs_served % static_cast<std::size_t>(*checkpoint_every) == 0) {
+      eng.WaitIdle();  // checkpoint the settled state, not a mid-solve one
+      write_checkpoint();
+    }
   }
   eng.WaitIdle();
 
@@ -396,6 +492,24 @@ int ServeTrace(int argc, char** argv) {
               static_cast<unsigned long long>(stats.gain_reevals),
               static_cast<unsigned long long>(stats.reevals_saved),
               static_cast<unsigned long long>(stats.snapshots_published));
+  std::printf("resilience : mode %s, %llu transitions, %llu degraded + "
+              "%llu patch-only epochs\n",
+              engine::EngineModeName(eng.mode()),
+              static_cast<unsigned long long>(stats.mode_transitions),
+              static_cast<unsigned long long>(stats.degraded_epochs),
+              static_cast<unsigned long long>(stats.patch_only_epochs));
+  std::printf("faults     : %llu index retries, %llu resolve failures, "
+              "%llu timeouts, %llu retries, %llu expired adopted, "
+              "%llu coalesced, %llu watchdog cancels\n",
+              static_cast<unsigned long long>(stats.index_fault_retries),
+              static_cast<unsigned long long>(stats.resolve_failures),
+              static_cast<unsigned long long>(stats.resolve_timeouts),
+              static_cast<unsigned long long>(stats.resolve_retries),
+              static_cast<unsigned long long>(
+                  stats.resolves_expired_adopted),
+              static_cast<unsigned long long>(stats.resolves_coalesced),
+              static_cast<unsigned long long>(stats.watchdog_cancels));
+  if (*checkpoint_every > 0) write_checkpoint();
   return snapshot->feasible ? 0 : 3;
 }
 

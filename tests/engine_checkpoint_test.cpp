@@ -1,0 +1,217 @@
+// Checkpoint/restore (DESIGN.md Section 9.4): text round trip of the
+// `engine-checkpoint v1` record, byte-identical crash recovery, and
+// strict rejection of corrupted records.
+#include "engine/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/churn_trace.hpp"
+#include "engine/engine.hpp"
+#include "io/text_format.hpp"
+#include "topology/generators.hpp"
+
+namespace tdmd::engine {
+namespace {
+
+graph::Digraph TestNetwork(std::uint64_t seed, VertexId n = 20) {
+  Rng rng(seed);
+  return topology::Waxman(n, 0.5, 0.4, rng);
+}
+
+ChurnTrace MakeTrace(const graph::Digraph& network, std::size_t epochs,
+                     std::uint64_t seed) {
+  core::ChurnModel churn;
+  churn.arrival_count = 6;
+  churn.departure_probability = 0.3;
+  Rng rng(seed);
+  return BuildChurnTrace(network, churn, epochs, 0, rng);
+}
+
+/// Replays epochs [from, to) of `trace`, maintaining the client-side
+/// ticket bookkeeping in `active` (which persists across engines — the
+/// whole point of ticket-exact restore).
+void ReplayRange(Engine& engine, const ChurnTrace& trace, std::size_t from,
+                 std::size_t to, std::vector<FlowTicket>& active) {
+  for (std::size_t e = from; e < to; ++e) {
+    const ChurnEpoch& epoch = trace.epochs[e];
+    std::vector<FlowTicket> departing;
+    for (std::size_t position : epoch.departures) {
+      ASSERT_LT(position, active.size());
+      departing.push_back(active[position]);
+    }
+    for (auto it = epoch.departures.rbegin(); it != epoch.departures.rend();
+         ++it) {
+      active.erase(active.begin() + static_cast<std::ptrdiff_t>(*it));
+    }
+    const Engine::BatchResult result =
+        engine.SubmitBatch(epoch.arrivals, departing);
+    active.insert(active.end(), result.tickets.begin(),
+                  result.tickets.end());
+  }
+}
+
+std::string Serialize(const EngineCheckpoint& checkpoint) {
+  std::ostringstream oss;
+  io::WriteEngineCheckpoint(oss, checkpoint);
+  return oss.str();
+}
+
+EngineOptions SyncOptions() {
+  EngineOptions options;
+  options.k = 5;
+  options.synchronous = true;
+  return options;
+}
+
+TEST(EngineCheckpointTest, TextRoundTripIsByteExact) {
+  Engine engine(TestNetwork(61), SyncOptions());
+  const ChurnTrace trace = MakeTrace(engine.index().network(), 8, 71);
+  std::vector<FlowTicket> active;
+  ReplayRange(engine, trace, 0, trace.epochs.size(), active);
+
+  const EngineCheckpoint checkpoint = engine.Checkpoint();
+  const std::string text = Serialize(checkpoint);
+  std::istringstream iss(text);
+  const io::Parsed<EngineCheckpoint> parsed = io::ReadEngineCheckpoint(iss);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  // Re-serializing the parsed record reproduces the original bytes —
+  // in particular the hexfloat bandwidth survives bit-exactly.
+  EXPECT_EQ(Serialize(*parsed.value), text);
+  EXPECT_EQ(parsed.value->maintained_bandwidth,
+            checkpoint.maintained_bandwidth);
+  EXPECT_EQ(parsed.value->stats.mode, checkpoint.mode);
+}
+
+// The ISSUE acceptance test: run N epochs; separately run N/2 epochs,
+// checkpoint through the text format (simulating a crash + cold restart),
+// restore into a fresh engine and replay the rest.  Final checkpoints —
+// deployment, maintained objective, tickets, free-slot stack, counters,
+// snapshot version — must be byte-identical.
+TEST(EngineCheckpointTest, CrashRecoveryReplaysByteIdentically) {
+  const graph::Digraph network = TestNetwork(62);
+  const ChurnTrace trace = MakeTrace(network, 12, 72);
+  const std::size_t half = trace.epochs.size() / 2;
+
+  // Uninterrupted reference run.
+  Engine reference(network, SyncOptions());
+  std::vector<FlowTicket> reference_active;
+  ReplayRange(reference, trace, 0, trace.epochs.size(), reference_active);
+
+  // Crashed run: first half, checkpoint to text, restore, second half.
+  std::string checkpoint_text;
+  std::vector<FlowTicket> active;
+  {
+    Engine first_half(network, SyncOptions());
+    ReplayRange(first_half, trace, 0, half, active);
+    checkpoint_text = Serialize(first_half.Checkpoint());
+  }  // first engine is gone — the text record is all that survives
+
+  std::istringstream iss(checkpoint_text);
+  const io::Parsed<EngineCheckpoint> parsed = io::ReadEngineCheckpoint(iss);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  Engine restored(network, SyncOptions());
+  restored.Restore(*parsed.value);
+  ReplayRange(restored, trace, half, trace.epochs.size(), active);
+
+  EXPECT_EQ(Serialize(restored.Checkpoint()),
+            Serialize(reference.Checkpoint()));
+  // Client-held tickets drawn after the restore match the uninterrupted
+  // run's tickets (the free-slot stack round-tripped).
+  EXPECT_EQ(active, reference_active);
+  const auto restored_snapshot = restored.CurrentSnapshot();
+  const auto reference_snapshot = reference.CurrentSnapshot();
+  EXPECT_EQ(restored_snapshot->version, reference_snapshot->version);
+  EXPECT_EQ(restored_snapshot->deployment.ToString(),
+            reference_snapshot->deployment.ToString());
+  EXPECT_EQ(restored_snapshot->bandwidth, reference_snapshot->bandwidth);
+}
+
+TEST(EngineCheckpointTest, RestoredEngineKeepsServingUnderChurn) {
+  const graph::Digraph network = TestNetwork(63);
+  const ChurnTrace trace = MakeTrace(network, 10, 73);
+  std::vector<FlowTicket> active;
+  Engine engine(network, SyncOptions());
+  ReplayRange(engine, trace, 0, 5, active);
+  const EngineCheckpoint checkpoint = engine.Checkpoint();
+
+  Engine restored(network, SyncOptions());
+  restored.Restore(checkpoint);
+  ReplayRange(restored, trace, 5, trace.epochs.size(), active);
+  EXPECT_TRUE(restored.CurrentSnapshot()->feasible);
+  EXPECT_LE(restored.CurrentSnapshot()->deployment.size(),
+            SyncOptions().k);
+  EXPECT_EQ(restored.index().active_flows(), active.size());
+}
+
+TEST(EngineCheckpointTest, CorruptRecordsAreRejectedWithLineNumbers) {
+  Engine engine(TestNetwork(64), SyncOptions());
+  const ChurnTrace trace = MakeTrace(engine.index().network(), 4, 74);
+  std::vector<FlowTicket> active;
+  ReplayRange(engine, trace, 0, trace.epochs.size(), active);
+  const std::string good = Serialize(engine.Checkpoint());
+
+  const auto reject = [](const std::string& text) {
+    std::istringstream iss(text);
+    const io::Parsed<EngineCheckpoint> parsed =
+        io::ReadEngineCheckpoint(iss);
+    EXPECT_FALSE(parsed.ok()) << "accepted corrupt record:\n" << text;
+    EXPECT_FALSE(parsed.error.empty());
+    EXPECT_FALSE(parsed.value.has_value());  // never a partial object
+  };
+
+  // Truncation: drop the terminator (and anything after the flows line).
+  reject(good.substr(0, good.find("end engine-checkpoint")));
+  // Unknown mode.
+  std::string bad_mode = good;
+  bad_mode.replace(bad_mode.find("mode "), 11, "mode panicked");
+  reject(bad_mode);
+  // Counter renamed: order/name binding is strict.
+  std::string bad_counter = good;
+  bad_counter.replace(bad_counter.find("counter epochs"), 14,
+                      "counter epoches");
+  reject(bad_counter);
+  // Trailing garbage after the terminator.
+  reject(good + "counter epochs 1\n");
+  // Header typo.
+  reject("engine-checkpoint v2\n" +
+         good.substr(good.find('\n') + 1));
+}
+
+TEST(EngineCheckpointTest, RejectsOutOfRangeValues) {
+  const auto reject = [](const std::string& text,
+                         const std::string& what) {
+    std::istringstream iss(text);
+    const io::Parsed<EngineCheckpoint> parsed =
+        io::ReadEngineCheckpoint(iss);
+    EXPECT_FALSE(parsed.ok()) << what;
+    EXPECT_FALSE(parsed.value.has_value());
+  };
+  // A minimal well-formed prefix helper.
+  const auto record = [](const std::string& lambda,
+                         const std::string& tail) {
+    std::string text = "engine-checkpoint v1\n"
+                       "epoch 1\n"
+                       "snapshot-version 2\n"
+                       "mode normal\n"
+                       "consecutive-failures 0\n"
+                       "epochs-since-probe 0\n"
+                       "k 3\n";
+    text += "lambda " + lambda + "\n";
+    text += tail;
+    return text;
+  };
+  reject(record("nan", ""), "NaN lambda");
+  reject(record("1.5", ""), "lambda above 1");
+  reject(record("-0.25", ""), "negative lambda");
+  reject(record("0.5", "num-vertices 99999999999\n"),
+         "num-vertices overflowing VertexId");
+  reject(record("0.5", "num-vertices -4\n"), "negative num-vertices");
+}
+
+}  // namespace
+}  // namespace tdmd::engine

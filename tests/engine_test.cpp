@@ -198,6 +198,45 @@ TEST(EngineTest, DepartingEveryFlowReturnsToEmptyFeasibility) {
   EXPECT_EQ(third.epoch, 3u);
 }
 
+// Departures are idempotent: a ticket departed twice — in a later batch
+// or twice within one batch — is a counted no-op (stale_departures), and
+// the engine's state is exactly what a single departure leaves behind.
+TEST(EngineTest, DuplicateDeparturesAreCountedNoOps) {
+  EngineOptions options;
+  options.k = 4;
+  options.synchronous = true;
+  Engine engine(TestNetwork(18), options);
+
+  Rng rng(31);
+  core::ChurnModel churn;
+  churn.arrival_count = 6;
+  const traffic::FlowSet arrivals =
+      core::DrawArrivals(engine.index().network(), churn, rng);
+  const Engine::BatchResult first = engine.SubmitBatch(arrivals, {});
+  ASSERT_EQ(first.tickets.size(), arrivals.size());
+
+  // The same ticket twice within one batch: second occurrence is stale.
+  const FlowTicket victim = first.tickets.front();
+  engine.SubmitBatch({}, {victim, victim});
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.departures, 1u);
+  EXPECT_EQ(stats.stale_departures, 1u);
+  EXPECT_EQ(engine.index().active_flows(), arrivals.size() - 1);
+
+  const Bandwidth bandwidth_after = engine.CurrentSnapshot()->bandwidth;
+  // Departing it again in a later batch changes nothing but the counter.
+  engine.SubmitBatch({}, {victim});
+  stats = engine.stats();
+  EXPECT_EQ(stats.departures, 1u);
+  EXPECT_EQ(stats.stale_departures, 2u);
+  EXPECT_EQ(engine.index().active_flows(), arrivals.size() - 1);
+  EXPECT_EQ(engine.CurrentSnapshot()->bandwidth, bandwidth_after);
+  EXPECT_TRUE(engine.CurrentSnapshot()->feasible);
+  // A never-issued ticket is equally harmless.
+  engine.SubmitBatch({}, {kInvalidTicket});
+  EXPECT_EQ(engine.stats().stale_departures, 3u);
+}
+
 // The ISSUE's audit requirement, asserted explicitly (not just via the
 // debug hooks): every snapshot the engine publishes during a 20-epoch
 // churn run passes the src/analysis invariant audit against an

@@ -1,0 +1,153 @@
+// Malformed-input corpus for the text formats: every record here must
+// produce an error (with a line number where applicable) and never a
+// partially filled object.
+#include "io/text_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace tdmd::io {
+namespace {
+
+template <typename T>
+void ExpectRejected(const Parsed<T>& parsed, const std::string& what) {
+  EXPECT_FALSE(parsed.ok()) << "accepted: " << what;
+  EXPECT_FALSE(parsed.error.empty()) << what;
+  EXPECT_FALSE(parsed.value.has_value()) << what;
+}
+
+Parsed<core::Instance> ParseInstance(const std::string& text) {
+  std::istringstream iss(text);
+  return ReadInstance(iss);
+}
+
+Parsed<graph::Tree> ParseTree(const std::string& text) {
+  std::istringstream iss(text);
+  return ReadTree(iss);
+}
+
+constexpr char kGoodInstance[] =
+    "tdmd-instance v1\n"
+    "lambda 0.5\n"
+    "digraph 3\n"
+    "arc 0 1\n"
+    "arc 1 2\n"
+    "flows 1\n"
+    "flow 4 0 1 2\n";
+
+TEST(TextFormatCorpusTest, AcceptsTheReferenceInstance) {
+  const Parsed<core::Instance> parsed = ParseInstance(kGoodInstance);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(parsed.value->flows().size(), 1u);
+}
+
+TEST(TextFormatCorpusTest, TruncatedRecordsAreRejected) {
+  ExpectRejected(ParseInstance(""), "empty file");
+  ExpectRejected(ParseInstance("tdmd-instance v1\n"), "header only");
+  ExpectRejected(ParseInstance("tdmd-instance v1\nlambda 0.5\n"),
+                 "missing digraph");
+  ExpectRejected(
+      ParseInstance("tdmd-instance v1\nlambda 0.5\ndigraph 3\narc 0 1\n"),
+      "missing flows section");
+  ExpectRejected(
+      ParseInstance("tdmd-instance v1\nlambda 0.5\ndigraph 3\n"
+                    "arc 0 1\narc 1 2\nflows 2\nflow 4 0 1 2\n"),
+      "flow count larger than flow lines");
+}
+
+TEST(TextFormatCorpusTest, WrongCountsAreRejected) {
+  // Count smaller than the number of flow lines: the surplus line is a
+  // trailing record, not silently dropped.
+  ExpectRejected(
+      ParseInstance("tdmd-instance v1\nlambda 0.5\ndigraph 3\n"
+                    "arc 0 1\narc 1 2\nflows 1\nflow 4 0 1 2\n"
+                    "flow 2 0 1\n"),
+      "flow count smaller than flow lines");
+  ExpectRejected(ParseInstance(std::string(kGoodInstance) + "box 0\n"),
+                 "trailing foreign record");
+}
+
+TEST(TextFormatCorpusTest, NonFiniteOrOutOfRangeLambdaIsRejected) {
+  const auto with_lambda = [](const std::string& lambda) {
+    return "tdmd-instance v1\nlambda " + lambda +
+           "\ndigraph 3\narc 0 1\narc 1 2\nflows 1\nflow 4 0 1 2\n";
+  };
+  // std::stod happily parses "nan" and "inf"; the reader must not.
+  ExpectRejected(ParseInstance(with_lambda("nan")), "NaN lambda");
+  ExpectRejected(ParseInstance(with_lambda("inf")), "inf lambda");
+  ExpectRejected(ParseInstance(with_lambda("-inf")), "-inf lambda");
+  ExpectRejected(ParseInstance(with_lambda("-0.1")), "negative lambda");
+  ExpectRejected(ParseInstance(with_lambda("1.0001")), "lambda above 1");
+  ExpectRejected(ParseInstance(with_lambda("half")), "non-numeric lambda");
+}
+
+TEST(TextFormatCorpusTest, OverflowingVertexIdsAreRejected) {
+  // 2^33 fits int64 (so stoll succeeds) but not VertexId (int32); an
+  // unchecked cast would silently truncate to vertex 0.
+  ExpectRejected(
+      ParseInstance("tdmd-instance v1\nlambda 0.5\ndigraph 8589934592\n"),
+      "digraph vertex count overflows VertexId");
+  ExpectRejected(
+      ParseInstance("tdmd-instance v1\nlambda 0.5\ndigraph 3\n"
+                    "arc 0 1\narc 1 2\nflows 1\n"
+                    "flow 4 0 1 8589934592\n"),
+      "flow path vertex overflows VertexId");
+  ExpectRejected(ParseTree("tree 8589934592\n"),
+                 "tree vertex count overflows VertexId");
+}
+
+TEST(TextFormatCorpusTest, MalformedFlowsAreRejected) {
+  const auto with_flow = [](const std::string& flow_line) {
+    return "tdmd-instance v1\nlambda 0.5\ndigraph 3\narc 0 1\narc 1 2\n"
+           "flows 1\n" +
+           flow_line;
+  };
+  ExpectRejected(ParseInstance(with_flow("flow 0 0 1 2\n")), "zero rate");
+  ExpectRejected(ParseInstance(with_flow("flow -3 0 1 2\n")),
+                 "negative rate");
+  ExpectRejected(ParseInstance(with_flow("flow 2.5 0 1 2\n")),
+                 "fractional rate");
+  ExpectRejected(ParseInstance(with_flow("flow 4\n")), "flow with no path");
+  ExpectRejected(ParseInstance(with_flow("flow 4 0 2\n")),
+                 "path not present in the digraph");
+  ExpectRejected(ParseInstance(with_flow("flow 4 0 -1 2\n")),
+                 "negative path vertex");
+}
+
+TEST(TextFormatCorpusTest, MalformedTreesAreRejected) {
+  ExpectRejected(ParseTree(""), "empty tree file");
+  ExpectRejected(ParseTree("tree 0\n"), "zero-vertex tree");
+  ExpectRejected(ParseTree("tree 3\nparent 1 0\nparent 1 2\n"),
+                 "duplicate parent line");
+  ExpectRejected(ParseTree("tree 3\nparent 1 0\n"),
+                 "two roots (0 and 2)");
+  ExpectRejected(ParseTree("tree 3\nparent 0 1\nparent 1 0\nparent 2 0\n"),
+                 "parent cycle");
+  ExpectRejected(ParseTree("tree 3\nparent 5 0\nparent 1 0\n"),
+                 "parent vertex out of range");
+}
+
+TEST(TextFormatCorpusTest, MalformedDeploymentsAreRejected) {
+  const auto parse = [](const std::string& text) {
+    std::istringstream iss(text);
+    return ReadDeployment(iss, 4);
+  };
+  ExpectRejected(parse("deployment\nbox 1\nbox 1\n"), "duplicate box");
+  ExpectRejected(parse("deployment\nbox 9\n"), "box out of range");
+  ExpectRejected(parse("deployment\nbox -1\n"), "negative box");
+  ExpectRejected(parse("boxes\n"), "wrong header");
+}
+
+TEST(TextFormatCorpusTest, ErrorsCarryLineNumbers) {
+  const Parsed<core::Instance> parsed =
+      ParseInstance("tdmd-instance v1\nlambda 0.5\ndigraph 3\n"
+                    "arc 0 1\narc 9 2\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error.find("line 5"), std::string::npos)
+      << parsed.error;
+}
+
+}  // namespace
+}  // namespace tdmd::io
