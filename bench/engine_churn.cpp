@@ -14,9 +14,10 @@
 // comparison is workload-for-workload; the trace derives from --seed via
 // engine::BuildChurnTrace, the same path bench/dynamic_churn uses.
 //
-// Emits a JSON summary (wall_ms, epochs, gain_reevals, speedup, plus
-// context) to --json-out for the CI artifact.
-#include <algorithm>
+// Emits a JSON summary (wall_ms, per-epoch latency quantiles, epochs,
+// gain_reevals, speedup, plus context) to --json-out for the CI
+// artifact.  The workload builder and the JSON emitter live in
+// bench/scenario.{hpp,cpp}, shared with fault_recovery and obs_overhead.
 #include <fstream>
 #include <iostream>
 #include <utility>
@@ -24,52 +25,19 @@
 
 #include "common/args.hpp"
 #include "core/gtp.hpp"
-#include "engine/churn_trace.hpp"
 #include "engine/engine.hpp"
-#include "experiment/timer.hpp"
-#include "topology/ark.hpp"
+#include "scenario.hpp"
 
 namespace tdmd::bench {
 namespace {
-
-struct ChurnWorkload {
-  graph::Digraph network;
-  traffic::FlowSet prefill;
-  engine::ChurnTrace trace;
-};
-
-ChurnWorkload BuildWorkload(VertexId size, std::size_t flows,
-                            std::size_t epochs, double churn_fraction,
-                            std::uint64_t seed) {
-  Rng rng(seed);
-  topology::ArkParams ark_params;
-  ark_params.num_monitors =
-      std::max<std::size_t>(3 * static_cast<std::size_t>(size), 90);
-  const topology::ArkTopology ark = topology::GenerateArk(ark_params, rng);
-
-  ChurnWorkload workload;
-  workload.network = topology::ExtractGeneralSubgraph(ark, size, rng);
-
-  core::ChurnModel prefill_model;
-  prefill_model.arrival_count = flows;
-  workload.prefill =
-      core::DrawArrivals(workload.network, prefill_model, rng);
-
-  core::ChurnModel churn;
-  churn.arrival_count =
-      std::max<std::size_t>(1, static_cast<std::size_t>(
-                                   static_cast<double>(flows) *
-                                   churn_fraction));
-  churn.departure_probability = churn_fraction;
-  workload.trace = engine::BuildChurnTrace(workload.network, churn, epochs,
-                                           workload.prefill.size(), rng);
-  return workload;
-}
 
 struct ReplayResult {
   double wall_ms = 0.0;  // churn epochs only; prefill is warm-up
   Bandwidth final_bandwidth = 0.0;
   bool always_feasible = true;
+  /// Per-epoch SubmitBatch (engine) / rebuild-and-solve (baseline) wall
+  /// time, for p50/p95/p99 tail reporting alongside the totals.
+  obs::LatencyHistogram epoch_ns;
 };
 
 ReplayResult ReplayEngine(engine::Engine& eng, const ChurnWorkload& w) {
@@ -86,10 +54,12 @@ ReplayResult ReplayEngine(engine::Engine& eng, const ChurnWorkload& w) {
          it != epoch.departures.rend(); ++it) {
       active.erase(active.begin() + static_cast<std::ptrdiff_t>(*it));
     }
-    experiment::Timer timer;
+    const std::uint64_t start_ns = obs::MonotonicNanos();
     const engine::Engine::BatchResult batch =
         eng.SubmitBatch(epoch.arrivals, departing);
-    r.wall_ms += timer.ElapsedMillis();
+    const std::uint64_t elapsed_ns = obs::MonotonicNanos() - start_ns;
+    r.epoch_ns.Record(elapsed_ns);
+    r.wall_ms += static_cast<double>(elapsed_ns) / 1e6;
     active.insert(active.end(), batch.tickets.begin(),
                   batch.tickets.end());
     const auto snapshot = eng.CurrentSnapshot();
@@ -113,10 +83,12 @@ ReplayResult ReplayBaseline(const ChurnWorkload& w, std::size_t k,
     }
     flows.insert(flows.end(), epoch.arrivals.begin(),
                  epoch.arrivals.end());
-    experiment::Timer timer;
+    const std::uint64_t start_ns = obs::MonotonicNanos();
     const core::Instance instance(w.network, flows, lambda);
     const core::PlacementResult result = core::Gtp(instance, options);
-    r.wall_ms += timer.ElapsedMillis();
+    const std::uint64_t elapsed_ns = obs::MonotonicNanos() - start_ns;
+    r.epoch_ns.Record(elapsed_ns);
+    r.wall_ms += static_cast<double>(elapsed_ns) / 1e6;
     r.final_bandwidth = result.bandwidth;
     r.always_feasible = r.always_feasible && result.feasible;
   }
@@ -127,7 +99,8 @@ void WriteJson(const std::string& path, std::size_t flows,
                std::size_t epochs, std::size_t k, double lambda,
                std::uint64_t seed, const ReplayResult& eng_result,
                const ReplayResult& base_result,
-               const engine::EngineStats& stats) {
+               const engine::EngineStats& stats,
+               const engine::EngineHistograms& histograms) {
   std::ofstream out(path);
   if (!out) {
     std::cerr << "engine_churn: cannot write " << path << "\n";
@@ -136,35 +109,36 @@ void WriteJson(const std::string& path, std::size_t flows,
   const double speedup = eng_result.wall_ms > 0.0
                              ? base_result.wall_ms / eng_result.wall_ms
                              : 0.0;
-  out << "{\n"
-      << "  \"bench\": \"engine_churn\",\n"
-      << "  \"flows\": " << flows << ",\n"
-      << "  \"epochs\": " << epochs << ",\n"
-      << "  \"k\": " << k << ",\n"
-      << "  \"lambda\": " << lambda << ",\n"
-      << "  \"seed\": " << seed << ",\n"
-      << "  \"wall_ms\": " << eng_result.wall_ms << ",\n"
-      << "  \"baseline_wall_ms\": " << base_result.wall_ms << ",\n"
-      << "  \"speedup\": " << speedup << ",\n"
-      << "  \"gain_reevals\": " << stats.gain_reevals << ",\n"
-      << "  \"reevals_saved\": " << stats.reevals_saved << ",\n"
-      << "  \"index_delta_ops\": " << stats.index_delta_ops << ",\n"
-      << "  \"adoptions\": " << stats.adoptions << ",\n"
-      << "  \"engine_bandwidth\": " << eng_result.final_bandwidth << ",\n"
-      << "  \"baseline_bandwidth\": " << base_result.final_bandwidth
-      << ",\n"
-      << "  \"engine_always_feasible\": "
-      << (eng_result.always_feasible ? "true" : "false") << ",\n"
-      << "  \"baseline_always_feasible\": "
-      << (base_result.always_feasible ? "true" : "false") << "\n"
-      << "}\n";
+  JsonWriter json(out);
+  json.Field("bench", "engine_churn");
+  json.Field("flows", flows);
+  json.Field("epochs", epochs);
+  json.Field("k", k);
+  json.Field("lambda", lambda);
+  json.Field("seed", seed);
+  json.Field("wall_ms", eng_result.wall_ms);
+  json.Field("baseline_wall_ms", base_result.wall_ms);
+  json.Field("speedup", speedup);
+  EmitHistogramMs(json, "engine_epoch", eng_result.epoch_ns);
+  EmitHistogramMs(json, "baseline_epoch", base_result.epoch_ns);
+  EmitHistogramMs(json, "engine_patch", histograms.patch_ns);
+  EmitHistogramMs(json, "engine_resolve", histograms.resolve_ns);
+  EmitHistogramMs(json, "engine_greedy_round", histograms.greedy_round_ns);
+  json.Field("gain_reevals", stats.gain_reevals);
+  json.Field("reevals_saved", stats.reevals_saved);
+  json.Field("index_delta_ops", stats.index_delta_ops);
+  json.Field("adoptions", stats.adoptions);
+  json.Field("engine_bandwidth", eng_result.final_bandwidth);
+  json.Field("baseline_bandwidth", base_result.final_bandwidth);
+  json.Field("engine_always_feasible", eng_result.always_feasible);
+  json.Field("baseline_always_feasible", base_result.always_feasible);
 }
 
 void Run(VertexId size, std::size_t flows, std::size_t epochs,
          std::size_t k, double lambda, double churn_fraction,
          std::uint64_t seed, const std::string& json_out) {
   const ChurnWorkload workload =
-      BuildWorkload(size, flows, epochs, churn_fraction, seed);
+      BuildChurnWorkload(size, flows, epochs, churn_fraction, seed);
 
   engine::EngineOptions options;
   options.k = k;
@@ -195,7 +169,7 @@ void Run(VertexId size, std::size_t flows, std::size_t epochs,
             << stats.index_delta_ops << "\n";
   if (!json_out.empty()) {
     WriteJson(json_out, flows, epochs, k, lambda, seed, eng_result,
-              base_result, stats);
+              base_result, stats, eng.histograms());
   }
 }
 

@@ -26,53 +26,20 @@
 #include <vector>
 
 #include "common/args.hpp"
-#include "engine/churn_trace.hpp"
 #include "engine/engine.hpp"
 #include "faults/faults.hpp"
-#include "topology/ark.hpp"
+#include "scenario.hpp"
 
 namespace tdmd::bench {
 namespace {
-
-struct ChurnWorkload {
-  graph::Digraph network;
-  traffic::FlowSet prefill;
-  engine::ChurnTrace trace;
-};
-
-ChurnWorkload BuildWorkload(VertexId size, std::size_t flows,
-                            std::size_t epochs, double churn_fraction,
-                            std::uint64_t seed) {
-  Rng rng(seed);
-  topology::ArkParams ark_params;
-  ark_params.num_monitors =
-      std::max<std::size_t>(3 * static_cast<std::size_t>(size), 90);
-  const topology::ArkTopology ark = topology::GenerateArk(ark_params, rng);
-
-  ChurnWorkload workload;
-  workload.network = topology::ExtractGeneralSubgraph(ark, size, rng);
-
-  core::ChurnModel prefill_model;
-  prefill_model.arrival_count = flows;
-  workload.prefill =
-      core::DrawArrivals(workload.network, prefill_model, rng);
-
-  core::ChurnModel churn;
-  churn.arrival_count =
-      std::max<std::size_t>(1, static_cast<std::size_t>(
-                                   static_cast<double>(flows) *
-                                   churn_fraction));
-  churn.departure_probability = churn_fraction;
-  workload.trace = engine::BuildChurnTrace(workload.network, churn, epochs,
-                                           workload.prefill.size(), rng);
-  return workload;
-}
 
 struct ReplayResult {
   std::vector<Bandwidth> bandwidth_per_epoch;
   std::vector<engine::EngineMode> mode_per_epoch;
   bool always_feasible = true;
   engine::EngineStats stats;
+  /// Per-epoch SubmitBatch wall time (tail latency under fault bursts).
+  obs::LatencyHistogram epoch_ns;
 };
 
 /// Replays the whole trace; arms `injector` before epoch `burst_start`
@@ -101,8 +68,10 @@ ReplayResult Replay(const ChurnWorkload& w,
          it != epoch.departures.rend(); ++it) {
       active.erase(active.begin() + static_cast<std::ptrdiff_t>(*it));
     }
+    const std::uint64_t start_ns = obs::MonotonicNanos();
     const engine::Engine::BatchResult batch =
         eng.SubmitBatch(epoch.arrivals, departing);
+    r.epoch_ns.Record(obs::MonotonicNanos() - start_ns);
     active.insert(active.end(), batch.tickets.begin(),
                   batch.tickets.end());
     const auto snapshot = eng.CurrentSnapshot();
@@ -120,7 +89,7 @@ void Run(VertexId size, std::size_t flows, std::size_t epochs,
          std::size_t burst_start, std::size_t burst_epochs,
          const std::string& json_out) {
   const ChurnWorkload workload =
-      BuildWorkload(size, flows, epochs, churn_fraction, seed);
+      BuildChurnWorkload(size, flows, epochs, churn_fraction, seed);
   burst_start = std::min(burst_start, epochs);
   burst_epochs = std::min(burst_epochs, epochs - burst_start);
 
@@ -199,31 +168,27 @@ void Run(VertexId size, std::size_t flows, std::size_t epochs,
       std::cerr << "fault_recovery: cannot write " << json_out << "\n";
       return;
     }
-    out << "{\n"
-        << "  \"bench\": \"fault_recovery\",\n"
-        << "  \"flows\": " << flows << ",\n"
-        << "  \"epochs\": " << epochs << ",\n"
-        << "  \"k\": " << k << ",\n"
-        << "  \"lambda\": " << lambda << ",\n"
-        << "  \"seed\": " << seed << ",\n"
-        << "  \"fault_seed\": " << fault_seed << ",\n"
-        << "  \"burst_start\": " << burst_start << ",\n"
-        << "  \"burst_epochs\": " << burst_epochs << ",\n"
-        << "  \"patch_only_reached\": "
-        << (patch_only_reached ? "true" : "false") << ",\n"
-        << "  \"degraded_epochs\": " << degraded_epochs << ",\n"
-        << "  \"degraded_bandwidth_overhead\": " << overhead << ",\n"
-        << "  \"recovery_epochs\": " << recovery_epochs << ",\n"
-        << "  \"recovered\": " << (recovered ? "true" : "false") << ",\n"
-        << "  \"always_feasible\": "
-        << (faulted.always_feasible ? "true" : "false") << ",\n"
-        << "  \"resolve_failures\": " << faulted.stats.resolve_failures
-        << ",\n"
-        << "  \"resolve_retries\": " << faulted.stats.resolve_retries
-        << ",\n"
-        << "  \"mode_transitions\": " << faulted.stats.mode_transitions
-        << "\n"
-        << "}\n";
+    JsonWriter json(out);
+    json.Field("bench", "fault_recovery");
+    json.Field("flows", flows);
+    json.Field("epochs", epochs);
+    json.Field("k", k);
+    json.Field("lambda", lambda);
+    json.Field("seed", seed);
+    json.Field("fault_seed", fault_seed);
+    json.Field("burst_start", burst_start);
+    json.Field("burst_epochs", burst_epochs);
+    json.Field("patch_only_reached", patch_only_reached);
+    json.Field("degraded_epochs", degraded_epochs);
+    json.Field("degraded_bandwidth_overhead", overhead);
+    json.Field("recovery_epochs", recovery_epochs);
+    json.Field("recovered", recovered);
+    json.Field("always_feasible", faulted.always_feasible);
+    json.Field("resolve_failures", faulted.stats.resolve_failures);
+    json.Field("resolve_retries", faulted.stats.resolve_retries);
+    json.Field("mode_transitions", faulted.stats.mode_transitions);
+    EmitHistogramMs(json, "clean_epoch", clean.epoch_ns);
+    EmitHistogramMs(json, "faulted_epoch", faulted.epoch_ns);
   }
 }
 

@@ -1,0 +1,172 @@
+// Tracing-overhead bench (ISSUE: observability layer).
+//
+// Replays the same seeded churn workload through the synchronous engine
+// with and without a Tracer installed.  The untraced side exercises the
+// no-op path (each hook collapses to one relaxed atomic load plus the
+// always-on latency histograms); the traced side additionally timestamps
+// and ring-buffers every span.  Each side runs --repeats times and keeps
+// its minimum churn-phase wall time, so one scheduler hiccup cannot fake
+// an overhead; the budget is overhead_fraction < 0.05 per epoch
+// (DESIGN.md Section 10.4).
+//
+// Emits BENCH_obs.json (wall times, overhead_fraction, trace volume) for
+// the CI artifact.  --max-overhead turns the budget into a hard gate for
+// local runs (exit 1 when exceeded); CI uploads the artifact instead of
+// gating, because shared runners are too noisy for a 5% latency bound.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/args.hpp"
+#include "engine/engine.hpp"
+#include "obs/trace.hpp"
+#include "scenario.hpp"
+
+namespace tdmd::bench {
+namespace {
+
+/// Churn-phase wall time of one full replay; the prefill batch is
+/// warm-up.  Constructs a fresh engine so repeats are independent.
+double ReplayMs(const ChurnWorkload& w,
+                const engine::EngineOptions& options) {
+  engine::Engine eng(w.network, options);
+  std::vector<engine::FlowTicket> active =
+      eng.SubmitBatch(w.prefill, {}).tickets;
+  double wall_ms = 0.0;
+  for (const engine::ChurnEpoch& epoch : w.trace.epochs) {
+    std::vector<engine::FlowTicket> departing;
+    departing.reserve(epoch.departures.size());
+    for (std::size_t position : epoch.departures) {
+      departing.push_back(active[position]);
+    }
+    for (auto it = epoch.departures.rbegin();
+         it != epoch.departures.rend(); ++it) {
+      active.erase(active.begin() + static_cast<std::ptrdiff_t>(*it));
+    }
+    const std::uint64_t start_ns = obs::MonotonicNanos();
+    const engine::Engine::BatchResult batch =
+        eng.SubmitBatch(epoch.arrivals, departing);
+    wall_ms += static_cast<double>(obs::MonotonicNanos() - start_ns) / 1e6;
+    active.insert(active.end(), batch.tickets.begin(),
+                  batch.tickets.end());
+  }
+  return wall_ms;
+}
+
+void Run(VertexId size, std::size_t flows, std::size_t epochs,
+         std::size_t k, double lambda, double churn_fraction,
+         std::uint64_t seed, std::size_t repeats, double max_overhead,
+         const std::string& json_out) {
+  const ChurnWorkload workload =
+      BuildChurnWorkload(size, flows, epochs, churn_fraction, seed);
+
+  engine::EngineOptions options;
+  options.k = k;
+  options.lambda = lambda;
+  options.move_threshold = 0.0;
+  options.synchronous = true;  // per-epoch latency, no pool jitter
+
+  double untraced_ms = 0.0;
+  double traced_ms = 0.0;
+  std::size_t trace_events = 0;
+  std::uint64_t trace_dropped = 0;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    // Alternate which side runs first so cache/frequency warm-up cannot
+    // systematically favour one of them.
+    for (int leg = 0; leg < 2; ++leg) {
+      const bool traced = (leg == 0) == (r % 2 == 0);
+      if (traced) {
+        obs::Tracer tracer;
+        obs::InstallTracer(&tracer);
+        const double ms = ReplayMs(workload, options);
+        obs::InstallTracer(nullptr);
+        const obs::TraceDrainResult drained = tracer.Drain();
+        trace_events = drained.events.size();
+        trace_dropped = drained.dropped;
+        traced_ms = traced_ms == 0.0 ? ms : std::min(traced_ms, ms);
+      } else {
+        const double ms = ReplayMs(workload, options);
+        untraced_ms =
+            untraced_ms == 0.0 ? ms : std::min(untraced_ms, ms);
+      }
+    }
+  }
+
+  const double overhead =
+      untraced_ms > 0.0 ? traced_ms / untraced_ms - 1.0 : 0.0;
+  std::cout << "obs_overhead: " << flows << " prefill flows, " << epochs
+            << " epochs, k=" << k << ", seed=" << seed << ", repeats="
+            << repeats << "\n"
+            << "  untraced  " << untraced_ms << " ms (min of " << repeats
+            << ")\n"
+            << "  traced    " << traced_ms << " ms (" << trace_events
+            << " events, " << trace_dropped << " dropped)\n"
+            << "  overhead  " << overhead * 100.0 << "%\n";
+
+  if (!json_out.empty()) {
+    std::ofstream out(json_out);
+    if (!out) {
+      std::cerr << "obs_overhead: cannot write " << json_out << "\n";
+    } else {
+      JsonWriter json(out);
+      json.Field("bench", "obs_overhead");
+      json.Field("flows", flows);
+      json.Field("epochs", epochs);
+      json.Field("k", k);
+      json.Field("lambda", lambda);
+      json.Field("seed", seed);
+      json.Field("repeats", repeats);
+      json.Field("untraced_wall_ms", untraced_ms);
+      json.Field("traced_wall_ms", traced_ms);
+      json.Field("overhead_fraction", overhead);
+      json.Field("overhead_budget", 0.05);
+      json.Field("trace_events", trace_events);
+      json.Field("trace_dropped", trace_dropped);
+    }
+  }
+  if (max_overhead > 0.0 && overhead > max_overhead) {
+    std::cerr << "obs_overhead: overhead " << overhead
+              << " exceeds --max-overhead " << max_overhead << "\n";
+    std::exit(1);
+  }
+}
+
+}  // namespace
+}  // namespace tdmd::bench
+
+int main(int argc, char** argv) {
+  using namespace tdmd;
+  ArgParser parser(
+      "obs_overhead",
+      "Tracing overhead on the synchronous engine churn replay: the same "
+      "workload with and without a Tracer installed, min wall time over "
+      "--repeats runs per side.");
+  const auto* size = parser.AddInt("size", 30, "general topology size");
+  const auto* flows = parser.AddInt("flows", 2000, "prefill flow count");
+  const auto* epochs = parser.AddInt("epochs", 10, "churn epochs");
+  const auto* k = parser.AddInt("k", 10, "middlebox budget");
+  const auto* lambda = parser.AddDouble("lambda", 0.5, "traffic ratio");
+  const auto* churn = parser.AddDouble(
+      "churn-fraction", 0.05,
+      "per-epoch arrivals (fraction of --flows) and departure probability");
+  const auto* seed = parser.AddInt(
+      "seed", 1, "workload seed (same generator as bench/engine_churn)");
+  const auto* repeats = parser.AddInt(
+      "repeats", 3, "replays per side; each side keeps its minimum");
+  const auto* max_overhead = parser.AddDouble(
+      "max-overhead", 0.0,
+      "exit 1 when overhead_fraction exceeds this (0 disables the gate)");
+  const auto* json_out = parser.AddString(
+      "json-out", "BENCH_obs.json",
+      "path for the JSON summary (empty string disables)");
+  parser.Parse(argc, argv);
+  bench::Run(static_cast<VertexId>(*size),
+             static_cast<std::size_t>(*flows),
+             static_cast<std::size_t>(*epochs),
+             static_cast<std::size_t>(*k), *lambda, *churn,
+             static_cast<std::uint64_t>(*seed),
+             static_cast<std::size_t>(*repeats), *max_overhead, *json_out);
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "scenario.hpp"
 
+#include <algorithm>
 #include <iostream>
 
 #include "topology/ark.hpp"
@@ -123,6 +124,34 @@ void Emit(const std::string& figure, const experiment::SweepResult& result,
   if (csv) {
     experiment::PrintSweepCsv(std::cout, result);
   }
+}
+
+ChurnWorkload BuildChurnWorkload(VertexId size, std::size_t flows,
+                                 std::size_t epochs, double churn_fraction,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  topology::ArkParams ark_params;
+  ark_params.num_monitors =
+      std::max<std::size_t>(3 * static_cast<std::size_t>(size), 90);
+  const topology::ArkTopology ark = topology::GenerateArk(ark_params, rng);
+
+  ChurnWorkload workload;
+  workload.network = topology::ExtractGeneralSubgraph(ark, size, rng);
+
+  core::ChurnModel prefill_model;
+  prefill_model.arrival_count = flows;
+  workload.prefill =
+      core::DrawArrivals(workload.network, prefill_model, rng);
+
+  core::ChurnModel churn;
+  churn.arrival_count =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   static_cast<double>(flows) *
+                                   churn_fraction));
+  churn.departure_probability = churn_fraction;
+  workload.trace = engine::BuildChurnTrace(workload.network, churn, epochs,
+                                           workload.prefill.size(), rng);
+  return workload;
 }
 
 }  // namespace tdmd::bench

@@ -7,15 +7,19 @@
 // and keeps other variables constant").
 #pragma once
 
+#include <ostream>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "common/args.hpp"
 #include "common/rng.hpp"
 #include "core/tdmd.hpp"
+#include "engine/churn_trace.hpp"
 #include "experiment/sweep.hpp"
 #include "experiment/timer.hpp"
 #include "graph/tree.hpp"
+#include "obs/histogram.hpp"
 #include "traffic/generator.hpp"
 
 namespace tdmd::bench {
@@ -92,5 +96,82 @@ experiment::SweepConfig MakeSweepConfig(const BenchFlags& flags,
 /// Prints tables (and CSV when --csv) for a finished sweep.
 void Emit(const std::string& figure, const experiment::SweepResult& result,
           bool csv);
+
+/// One seeded engine-bench workload: an Ark-derived general topology, a
+/// prefill batch, and a pre-drawn churn trace over it.  Shared by
+/// bench/engine_churn, bench/fault_recovery and bench/obs_overhead so
+/// equal seeds replay identical workloads across all three.
+struct ChurnWorkload {
+  graph::Digraph network;
+  traffic::FlowSet prefill;
+  engine::ChurnTrace trace;
+};
+
+/// `churn_fraction` sets both the per-epoch arrival count (as a fraction
+/// of `flows`) and the per-flow departure probability.
+ChurnWorkload BuildChurnWorkload(VertexId size, std::size_t flows,
+                                 std::size_t epochs, double churn_fraction,
+                                 std::uint64_t seed);
+
+/// Flat single-object JSON emitter for the BENCH_*.json CI artifacts.
+/// Writes `{` on construction, one `"key": value` pair per Field call,
+/// and the closing `}` on destruction.  Keys and string values must not
+/// need escaping (bench identifiers only).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) { os_ << "{"; }
+  ~JsonWriter() { os_ << "\n}\n"; }
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void Field(const std::string& key, const std::string& value) {
+    Key(key);
+    os_ << '"' << value << '"';
+  }
+  void Field(const std::string& key, const char* value) {
+    Field(key, std::string(value));
+  }
+  void Field(const std::string& key, bool value) {
+    Key(key);
+    os_ << (value ? "true" : "false");
+  }
+  void Field(const std::string& key, double value) {
+    Key(key);
+    os_ << value;
+  }
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> &&
+                                 !std::is_same_v<T, bool>,
+                             int> = 0>
+  void Field(const std::string& key, T value) {
+    Key(key);
+    if constexpr (std::is_signed_v<T>) {
+      os_ << static_cast<long long>(value);
+    } else {
+      os_ << static_cast<unsigned long long>(value);
+    }
+  }
+
+ private:
+  void Key(const std::string& key) {
+    os_ << (first_ ? "\n  " : ",\n  ") << '"' << key << "\": ";
+    first_ = false;
+  }
+
+  std::ostream& os_;
+  bool first_ = true;
+};
+
+/// Emits a latency histogram as `<prefix>_count` plus
+/// `<prefix>_{p50,p95,p99,max}_ms` fields.
+inline void EmitHistogramMs(JsonWriter& json, const std::string& prefix,
+                            const obs::LatencyHistogram& histogram) {
+  const obs::HistogramSummary summary = histogram.Summarize();
+  json.Field(prefix + "_count", summary.count);
+  json.Field(prefix + "_p50_ms", static_cast<double>(summary.p50) / 1e6);
+  json.Field(prefix + "_p95_ms", static_cast<double>(summary.p95) / 1e6);
+  json.Field(prefix + "_p99_ms", static_cast<double>(summary.p99) / 1e6);
+  json.Field(prefix + "_max_ms", static_cast<double>(summary.max) / 1e6);
+}
 
 }  // namespace tdmd::bench

@@ -18,6 +18,7 @@
 
 #include "common/types.hpp"
 #include "core/deployment.hpp"
+#include "obs/trace.hpp"
 
 namespace tdmd::core {
 
@@ -74,6 +75,9 @@ class CelfQueue {
       ++evals_this_round;
       if (oracle_calls != nullptr) ++(*oracle_calls);
       heap_.push(top);
+    }
+    if (chosen.vertex != kInvalidVertex) {
+      obs::TraceInstant(obs::TracePhase::kCelfPop, evals_this_round);
     }
     if (reevals_saved != nullptr && chosen.vertex != kInvalidVertex) {
       // A full scan would have evaluated every undeployed vertex.  The

@@ -5,6 +5,7 @@
 
 #include "analysis/audit.hpp"
 #include "core/objective.hpp"
+#include "obs/trace.hpp"
 
 namespace tdmd::core {
 
@@ -71,6 +72,8 @@ void TreeDpSolver::SolveLeaf(VertexId v) {
 }
 
 void TreeDpSolver::SolveInternal(VertexId v) {
+  obs::ScopedSpan merge_span(obs::TracePhase::kDpNodeMerge,
+                             static_cast<std::uint64_t>(v));
   NodeTables& node = tables_[static_cast<std::size_t>(v)];
   const auto children = tree_->Children(v);
 

@@ -7,6 +7,7 @@
 #include "analysis/audit.hpp"
 #include "core/celf.hpp"
 #include "core/coverage.hpp"
+#include "obs/trace.hpp"
 
 namespace tdmd::core {
 
@@ -90,6 +91,7 @@ PlacementResult RunGtp(const Instance& instance, const GtpOptions& options) {
 #endif
 
   for (std::size_t round = 1; result.deployment.size() < budget; ++round) {
+    obs::ScopedSpan round_span(obs::TracePhase::kGtpRound, round);
     Candidate chosen{-1.0, kInvalidVertex, 0};
     if (options.lazy) {
       chosen = celf.PopBest(round, result.deployment, gain_oracle,

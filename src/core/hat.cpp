@@ -8,6 +8,7 @@
 #include "analysis/audit.hpp"
 #include "core/objective.hpp"
 #include "graph/lca.hpp"
+#include "obs/trace.hpp"
 
 namespace tdmd::core {
 
@@ -123,6 +124,7 @@ PlacementResult Hat(const Instance& instance, const graph::Tree& tree,
       TDMD_CHECK_MSG(!heap.empty(), "HAT heap exhausted before |P| <= k");
       MergeCandidate top = heap.top();
       heap.pop();
+      obs::TraceInstant(obs::TracePhase::kHatExtract);
       if (!plan.Contains(top.vi) || !plan.Contains(top.vj)) {
         continue;  // references a merged-away middlebox
       }

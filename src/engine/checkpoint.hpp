@@ -24,6 +24,7 @@
 
 #include "common/types.hpp"
 #include "engine/engine.hpp"
+#include "obs/histogram.hpp"
 #include "traffic/flow.hpp"
 
 namespace tdmd::engine {
@@ -59,6 +60,17 @@ struct EngineCheckpoint {
   /// Free-slot stack bottom-to-top, as tickets carrying each free slot's
   /// current (post-bump) generation.
   std::vector<FlowTicket> free_slots;
+  /// Latency-histogram state (EngineHistograms) at checkpoint time, so
+  /// post-restore metrics keep accumulating instead of restarting from
+  /// empty.  Serialized as the *optional* trailing histograms section of
+  /// the v1 record — records written before this section existed restore
+  /// with empty histograms, and WriteEngineCheckpoint can omit it
+  /// (EngineCheckpointWriteOptions) because timing samples are not
+  /// deterministic and would break byte-identical-replay comparisons.
+  obs::HistogramSnapshot patch_histogram;
+  obs::HistogramSnapshot resolve_histogram;
+  obs::HistogramSnapshot index_delta_histogram;
+  obs::HistogramSnapshot greedy_round_histogram;
 };
 
 namespace internal {

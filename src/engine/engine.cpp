@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <optional>
+#include <ostream>
 #include <utility>
 
 #include "analysis/audit.hpp"
 #include "common/backoff.hpp"
 #include "core/objective.hpp"
 #include "engine/checkpoint.hpp"
+#include "obs/trace.hpp"
 
 namespace tdmd::engine {
 
@@ -113,6 +115,7 @@ Engine::BatchResult Engine::SubmitBatch(
     const traffic::FlowSet& arrivals,
     const std::vector<FlowTicket>& departures) {
   BatchResult result;
+  obs::ScopedSpan epoch_span(obs::TracePhase::kEpoch);
   std::lock_guard<std::mutex> lock(state_mu_);
 
   // NORMAL: a newer epoch makes the in-flight re-solve stale, so cancel
@@ -124,45 +127,58 @@ Engine::BatchResult Engine::SubmitBatch(
   ++epoch_;
   ++stats_.epochs;
   result.epoch = epoch_;
+  epoch_span.set_arg(epoch_);
   if (mode_ == EngineMode::kDegraded) ++stats_.degraded_epochs;
   if (mode_ == EngineMode::kPatchOnly) ++stats_.patch_only_epochs;
 
-  for (FlowTicket ticket : departures) {
-    const traffic::Flow* flow = index_.Find(ticket);
-    if (flow == nullptr) {
-      // Duplicate, already-departed or never-issued ticket: a counted
-      // no-op, so departure submission is idempotent.
-      ++stats_.stale_departures;
-      continue;
+  {
+    // One batched index-delta sample per epoch (not per op) keeps the
+    // histogram cost off the per-flow hot path.
+    obs::ScopedSpan delta_span(obs::TracePhase::kIndexDelta,
+                               departures.size() + arrivals.size());
+    obs::ScopedHistogramTimer delta_timer(&histograms_.index_delta_ns);
+    for (FlowTicket ticket : departures) {
+      const traffic::Flow* flow = index_.Find(ticket);
+      if (flow == nullptr) {
+        // Duplicate, already-departed or never-issued ticket: a counted
+        // no-op, so departure submission is idempotent.
+        ++stats_.stale_departures;
+        continue;
+      }
+      // Compute the contribution before the (fault-injectable) removal: an
+      // injected throw leaves both the index and the maintained objective
+      // untouched, and the two are only updated together once it succeeds.
+      const Bandwidth contribution =
+          EvaluateFlow(*flow, deployment_, options_.lambda).contribution;
+      RetryIndexDeltaLocked([&]() { index_.RemoveFlow(ticket); });
+      maintained_bandwidth_ -= contribution;
+      ++stats_.departures;
     }
-    // Compute the contribution before the (fault-injectable) removal: an
-    // injected throw leaves both the index and the maintained objective
-    // untouched, and the two are only updated together once it succeeds.
-    const Bandwidth contribution =
-        EvaluateFlow(*flow, deployment_, options_.lambda).contribution;
-    RetryIndexDeltaLocked([&]() { index_.RemoveFlow(ticket); });
-    maintained_bandwidth_ -= contribution;
-    ++stats_.departures;
-  }
-  result.tickets.reserve(arrivals.size());
-  for (const traffic::Flow& flow : arrivals) {
-    const FlowTicket ticket =
-        RetryIndexDeltaLocked([&]() { return index_.AddFlow(flow); });
-    result.tickets.push_back(ticket);
-    ++stats_.arrivals;
-    const FlowEval eval =
-        EvaluateFlow(flow, deployment_, options_.lambda);
-    maintained_bandwidth_ += eval.contribution;
-    if (!eval.covered) uncovered_.push_back(ticket);
+    result.tickets.reserve(arrivals.size());
+    for (const traffic::Flow& flow : arrivals) {
+      const FlowTicket ticket =
+          RetryIndexDeltaLocked([&]() { return index_.AddFlow(flow); });
+      result.tickets.push_back(ticket);
+      ++stats_.arrivals;
+      const FlowEval eval =
+          EvaluateFlow(flow, deployment_, options_.lambda);
+      maintained_bandwidth_ += eval.contribution;
+      if (!eval.covered) uncovered_.push_back(ticket);
+    }
   }
 
-  result.patch_boxes = PatchFeasibilityLocked();
-  if (result.patch_boxes > 0) {
-    ++stats_.patches;
-    stats_.patch_boxes += result.patch_boxes;
-    // The patched boxes also serve (or serve earlier) flows that were
-    // already covered, so the incremental total is stale; resync once.
-    maintained_bandwidth_ = EvaluateBandwidth(index_, deployment_);
+  {
+    obs::ScopedSpan patch_span(obs::TracePhase::kPatch);
+    obs::ScopedHistogramTimer patch_timer(&histograms_.patch_ns);
+    result.patch_boxes = PatchFeasibilityLocked();
+    if (result.patch_boxes > 0) {
+      ++stats_.patches;
+      stats_.patch_boxes += result.patch_boxes;
+      // The patched boxes also serve (or serve earlier) flows that were
+      // already covered, so the incremental total is stale; resync once.
+      maintained_bandwidth_ = EvaluateBandwidth(index_, deployment_);
+    }
+    patch_span.set_arg(result.patch_boxes);
   }
   PublishLocked();
 
@@ -295,6 +311,7 @@ void Engine::MaybeAdoptLocked(const IncrementalGtpResult& result,
     ++stats_.adoptions;
     if (expired) ++stats_.resolves_expired_adopted;
     stats_.middlebox_moves += moves;
+    obs::TraceInstant(obs::TracePhase::kAdoption, moves);
     PublishLocked();
   }
 }
@@ -322,6 +339,8 @@ void Engine::TransitionLocked(EngineMode target) {
   mode_ = target;
   stats_.mode = mode_;
   ++stats_.mode_transitions;
+  obs::TraceInstant(obs::TracePhase::kModeTransition,
+                    static_cast<std::uint64_t>(target));
   if (mode_ == EngineMode::kPatchOnly) epochs_since_probe_ = 0;
 }
 
@@ -440,10 +459,19 @@ void Engine::ScheduleResolveLocked() {
       if (attempt > 0) ++stats_.resolves_started;
       IncrementalGtpResult result;
       bool threw = false;
-      try {
-        result = SolveIncrementalGtp(index_, MakeSolveOptions(cancel.get()));
-      } catch (const faults::FaultInjectedError&) {
-        threw = true;
+      IncrementalGtpOptions solve_options = MakeSolveOptions(cancel.get());
+      // The lock is held, so greedy rounds record straight into the
+      // engine histogram (async attempts use a worker-local one).
+      solve_options.round_histogram = &histograms_.greedy_round_ns;
+      {
+        obs::ScopedSpan solve_span(obs::TracePhase::kResolveAttempt,
+                                   attempt);
+        obs::ScopedHistogramTimer solve_timer(&histograms_.resolve_ns);
+        try {
+          result = SolveIncrementalGtp(index_, solve_options);
+        } catch (const faults::FaultInjectedError&) {
+          threw = true;
+        }
       }
       if (!HandleResolveOutcomeLocked(result, threw, epoch, cancel,
                                       attempt)) {
@@ -503,12 +531,24 @@ void Engine::RunResolveAttempt(std::shared_ptr<std::atomic<bool>> cancel,
                                FlowCoverageIndex frozen) {
   IncrementalGtpResult result;
   bool threw = false;
-  try {
-    result = SolveIncrementalGtp(frozen, MakeSolveOptions(cancel.get()));
-  } catch (const faults::FaultInjectedError&) {
-    threw = true;
+  // Worker-local round histogram, merged under state_mu_ below, so the
+  // solve itself never touches engine state.
+  obs::LatencyHistogram round_histogram;
+  IncrementalGtpOptions solve_options = MakeSolveOptions(cancel.get());
+  solve_options.round_histogram = &round_histogram;
+  const std::uint64_t solve_start = obs::MonotonicNanos();
+  {
+    obs::ScopedSpan solve_span(obs::TracePhase::kResolveAttempt, attempt);
+    try {
+      result = SolveIncrementalGtp(frozen, solve_options);
+    } catch (const faults::FaultInjectedError&) {
+      threw = true;
+    }
   }
+  const std::uint64_t solve_ns = obs::MonotonicNanos() - solve_start;
   std::lock_guard<std::mutex> lock(state_mu_);
+  histograms_.resolve_ns.Record(solve_ns);
+  histograms_.greedy_round_ns.Merge(round_histogram);
   if (HandleResolveOutcomeLocked(result, threw, epoch, cancel, attempt)) {
     ScheduleRetryLocked(epoch, attempt + 1);
   }
@@ -564,7 +604,46 @@ EngineMode Engine::mode() const {
   return mode_;
 }
 
+EngineHistograms Engine::histograms() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return histograms_;
+}
+
+obs::MetricsRegistry Engine::Metrics() const {
+  const EngineStats counters = stats();
+  const EngineHistograms latencies = histograms();
+  obs::MetricsRegistry registry;
+  // Iterating the X-macro guarantees every counter is exposed; adding a
+  // counter to the block adds it here with no further wiring.
+#define TDMD_EXPOSE_COUNTER(name) \
+  registry.AddCounter("tdmd_engine_" #name, counters.name, \
+                      "EngineStats counter " #name);
+  TDMD_ENGINE_STATS_COUNTERS(TDMD_EXPOSE_COUNTER)
+#undef TDMD_EXPOSE_COUNTER
+  registry.AddCounter("tdmd_engine_mode",
+                      static_cast<std::uint64_t>(counters.mode),
+                      "degradation mode (0 normal, 1 degraded, 2 "
+                      "patch-only)");
+  registry.AddHistogramNs("tdmd_engine_patch_latency", latencies.patch_ns,
+                          "synchronous feasibility patch per epoch");
+  registry.AddHistogramNs("tdmd_engine_resolve_latency",
+                          latencies.resolve_ns,
+                          "one re-solve attempt's solve wall time");
+  registry.AddHistogramNs("tdmd_engine_index_delta_cost",
+                          latencies.index_delta_ns,
+                          "coverage-index churn delta per epoch");
+  registry.AddHistogramNs("tdmd_engine_greedy_round",
+                          latencies.greedy_round_ns,
+                          "one CELF greedy round inside a re-solve");
+  return registry;
+}
+
+void Engine::DumpMetrics(std::ostream& os, obs::MetricsFormat format) const {
+  Metrics().Render(os, format);
+}
+
 EngineCheckpoint Engine::Checkpoint() const {
+  obs::ScopedSpan checkpoint_span(obs::TracePhase::kCheckpoint);
   std::lock_guard<std::mutex> lock(state_mu_);
   EngineCheckpoint checkpoint;
   checkpoint.epoch = epoch_;
@@ -593,10 +672,16 @@ EngineCheckpoint Engine::Checkpoint() const {
         EngineCheckpoint::ActiveFlow{ticket, *index_.Find(ticket)});
   }
   checkpoint.free_slots = index_.FreeSlotTickets();
+  checkpoint.patch_histogram = histograms_.patch_ns.Snapshot();
+  checkpoint.resolve_histogram = histograms_.resolve_ns.Snapshot();
+  checkpoint.index_delta_histogram = histograms_.index_delta_ns.Snapshot();
+  checkpoint.greedy_round_histogram =
+      histograms_.greedy_round_ns.Snapshot();
   return checkpoint;
 }
 
 void Engine::Restore(const EngineCheckpoint& checkpoint) {
+  obs::ScopedSpan restore_span(obs::TracePhase::kRestore);
   std::lock_guard<std::mutex> lock(state_mu_);
   TDMD_CHECK_MSG(epoch_ == 0 && index_.active_flows() == 0,
                  "Restore requires a freshly constructed engine");
@@ -638,6 +723,14 @@ void Engine::Restore(const EngineCheckpoint& checkpoint) {
   stats_ = checkpoint.stats;
   stats_.mode = mode_;
   stats_.consecutive_failures = consecutive_failures_;
+  TDMD_CHECK_MSG(
+      histograms_.patch_ns.Restore(checkpoint.patch_histogram) &&
+          histograms_.resolve_ns.Restore(checkpoint.resolve_histogram) &&
+          histograms_.index_delta_ns.Restore(
+              checkpoint.index_delta_histogram) &&
+          histograms_.greedy_round_ns.Restore(
+              checkpoint.greedy_round_histogram),
+      "checkpoint histogram state is incoherent");
 
   // Re-seat the published snapshot wholesale (not via PublishLocked): the
   // version sequence must continue from the checkpointed value so replay

@@ -54,6 +54,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -65,6 +66,8 @@
 #include "engine/incremental_gtp.hpp"
 #include "faults/faults.hpp"
 #include "graph/digraph.hpp"
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
 #include "parallel/thread_pool.hpp"
 #include "traffic/flow.hpp"
 
@@ -236,6 +239,23 @@ struct EngineStats {
   EngineMode mode = EngineMode::kNormal;
 };
 
+/// Latency distributions (nanosecond samples) recorded unconditionally —
+/// the cost is a handful of steady-clock reads per epoch, independent of
+/// whether a tracer is installed.  Checkpointed alongside EngineStats (as
+/// the optional histograms section of the engine-checkpoint record) and
+/// exposed through Engine::Metrics / DumpMetrics.
+struct EngineHistograms {
+  /// Synchronous feasibility patch, one sample per epoch.
+  obs::LatencyHistogram patch_ns;
+  /// One re-solve attempt's solve wall time (queueing/backoff excluded).
+  obs::LatencyHistogram resolve_ns;
+  /// Coverage-index churn delta (departures + arrivals), one sample per
+  /// epoch.
+  obs::LatencyHistogram index_delta_ns;
+  /// One CELF greedy round inside a re-solve.
+  obs::LatencyHistogram greedy_round_ns;
+};
+
 struct EngineCheckpoint;
 
 class Engine {
@@ -270,6 +290,17 @@ class Engine {
   void WaitIdle();
 
   EngineStats stats() const;
+
+  /// Copy of the latency histograms accumulated so far.
+  EngineHistograms histograms() const;
+
+  /// Counters + histograms as a flat metrics registry: every
+  /// TDMD_ENGINE_STATS_COUNTERS counter as `tdmd_engine_<name>`, the
+  /// current mode as `tdmd_engine_mode`, and the four latency histograms.
+  obs::MetricsRegistry Metrics() const;
+
+  /// Renders Metrics() in the requested exposition format.
+  void DumpMetrics(std::ostream& os, obs::MetricsFormat format) const;
 
   /// Current degradation mode.
   EngineMode mode() const;
@@ -392,6 +423,7 @@ class Engine {
   std::size_t pending_resolves_ = 0;
   bool stopping_ = false;
   EngineStats stats_;
+  EngineHistograms histograms_;
 
   mutable std::mutex snapshot_mu_;
   std::shared_ptr<const DeploymentSnapshot> snapshot_;

@@ -6,6 +6,7 @@
 #include "analysis/audit.hpp"
 #include "core/celf.hpp"
 #include "core/objective.hpp"
+#include "obs/trace.hpp"
 
 namespace tdmd::engine {
 
@@ -220,6 +221,8 @@ IncrementalGtpResult SolveIncrementalGtp(
       options.deadline != std::chrono::steady_clock::time_point{};
 
   for (std::size_t round = 1; result.deployment.size() < budget; ++round) {
+    obs::ScopedSpan round_span(obs::TracePhase::kGtpRound, round);
+    obs::ScopedHistogramTimer round_timer(options.round_histogram);
     if (options.cancel != nullptr &&
         options.cancel->load(std::memory_order_relaxed)) {
       result.cancelled = true;

@@ -27,6 +27,7 @@
 #include "core/deployment.hpp"
 #include "engine/coverage_index.hpp"
 #include "faults/faults.hpp"
+#include "obs/histogram.hpp"
 
 namespace tdmd::engine {
 
@@ -58,6 +59,11 @@ struct IncrementalGtpOptions {
   /// the result cancelled; a delay stalls the round (which is how the
   /// deadline tests force expiry deterministically).
   faults::FaultInjector* fault_injector = nullptr;
+  /// When non-null, every greedy round's duration (nanoseconds, including
+  /// rounds that end early on cancel/deadline) is recorded here.  The
+  /// histogram is caller-owned and not synchronized — async re-solves pass
+  /// a worker-local histogram and merge it under the engine lock.
+  obs::LatencyHistogram* round_histogram = nullptr;
 };
 
 struct IncrementalGtpResult {

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <vector>
 
+#include "obs/histogram.hpp"
+
 namespace tdmd::io {
 
 namespace {
@@ -120,6 +122,12 @@ void WriteDeployment(std::ostream& os, const core::Deployment& deployment) {
 
 void WriteEngineCheckpoint(std::ostream& os,
                            const engine::EngineCheckpoint& checkpoint) {
+  WriteEngineCheckpoint(os, checkpoint, EngineCheckpointWriteOptions{});
+}
+
+void WriteEngineCheckpoint(std::ostream& os,
+                           const engine::EngineCheckpoint& checkpoint,
+                           const EngineCheckpointWriteOptions& options) {
   os << "engine-checkpoint v1\n";
   os << "epoch " << checkpoint.epoch << '\n';
   os << "snapshot-version " << checkpoint.snapshot_version << '\n';
@@ -156,6 +164,23 @@ void WriteEngineCheckpoint(std::ostream& os,
   os << "free-slots " << checkpoint.free_slots.size() << '\n';
   for (engine::FlowTicket t : checkpoint.free_slots) {
     os << "free " << t << '\n';
+  }
+  if (options.include_histograms) {
+    // Optional section (readers accept records that end right here):
+    // sparse nonzero buckets ascending by index, totals up front.
+    const auto write_histogram = [&os](const char* name,
+                                       const obs::HistogramSnapshot& h) {
+      os << "histogram " << name << ' ' << h.count << ' ' << h.sum << ' '
+         << h.min << ' ' << h.max << ' ' << h.buckets.size() << '\n';
+      for (const auto& [index, bucket_count] : h.buckets) {
+        os << "bucket " << index << ' ' << bucket_count << '\n';
+      }
+    };
+    os << "histograms 4\n";
+    write_histogram("patch", checkpoint.patch_histogram);
+    write_histogram("resolve", checkpoint.resolve_histogram);
+    write_histogram("index-delta", checkpoint.index_delta_histogram);
+    write_histogram("greedy-round", checkpoint.greedy_round_histogram);
   }
   os << "end engine-checkpoint\n";
 }
@@ -475,6 +500,57 @@ bool ParseTicket(const std::string& token, engine::FlowTicket& out) {
   return true;
 }
 
+/// One `histogram <name> <count> <sum> <min> <max> <buckets>` block of the
+/// optional histograms section, followed by its `bucket <index> <count>`
+/// lines.  Coherence (ascending in-range indices, counts summing to
+/// `count`, min <= max) is delegated to LatencyHistogram::Restore so the
+/// parser and the engine enforce the same invariants.
+bool ReadHistogramBlock(LineReader& reader, std::vector<std::string>& tokens,
+                        const char* name, obs::HistogramSnapshot& out,
+                        std::string& error) {
+  std::uint64_t num_buckets = 0;
+  if (!reader.Next(tokens) || tokens.size() != 7 ||
+      tokens[0] != "histogram" || tokens[1] != name ||
+      !ParseU64(tokens[2], out.count) || !ParseU64(tokens[3], out.sum) ||
+      !ParseU64(tokens[4], out.min) || !ParseU64(tokens[5], out.max) ||
+      !ParseU64(tokens[6], num_buckets)) {
+    error = AtLine(reader.line_number(),
+                   std::string("expected 'histogram ") + name +
+                       " <count> <sum> <min> <max> <buckets>'");
+    return false;
+  }
+  if (num_buckets > obs::kNumBuckets) {
+    error = AtLine(reader.line_number(),
+                   "histogram bucket count out of range");
+    return false;
+  }
+  out.buckets.reserve(static_cast<std::size_t>(num_buckets));
+  for (std::uint64_t i = 0; i < num_buckets; ++i) {
+    std::uint64_t index = 0;
+    std::uint64_t bucket_count = 0;
+    if (!reader.Next(tokens) || tokens.size() != 3 ||
+        tokens[0] != "bucket" || !ParseU64(tokens[1], index) ||
+        !ParseU64(tokens[2], bucket_count)) {
+      error = AtLine(reader.line_number(),
+                     "expected 'bucket <index> <count>'");
+      return false;
+    }
+    if (index >= obs::kNumBuckets) {
+      error = AtLine(reader.line_number(), "bucket index out of range");
+      return false;
+    }
+    out.buckets.emplace_back(static_cast<std::uint32_t>(index),
+                             bucket_count);
+  }
+  obs::LatencyHistogram probe;
+  if (!probe.Restore(out)) {
+    error = AtLine(reader.line_number(),
+                   std::string("incoherent histogram '") + name + "'");
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 Parsed<engine::EngineCheckpoint> ReadEngineCheckpoint(std::istream& is) {
@@ -653,7 +729,36 @@ Parsed<engine::EngineCheckpoint> ReadEngineCheckpoint(std::istream& is) {
     cp.free_slots.push_back(t);
   }
 
-  if (!reader.Next(tokens) || tokens.size() != 2 || tokens[0] != "end" ||
+  if (!reader.Next(tokens)) {
+    result.error = AtLine(reader.line_number(),
+                          "expected terminator 'end engine-checkpoint'");
+    return result;
+  }
+  if (!tokens.empty() && tokens[0] == "histograms") {
+    // Optional latency-histogram section; records written before it
+    // existed (or with include_histograms off) end right at the
+    // terminator instead and restore with empty histograms.
+    if (tokens.size() != 2 || tokens[1] != "4") {
+      result.error = AtLine(reader.line_number(), "expected 'histograms 4'");
+      return result;
+    }
+    if (!ReadHistogramBlock(reader, tokens, "patch", cp.patch_histogram,
+                            result.error) ||
+        !ReadHistogramBlock(reader, tokens, "resolve", cp.resolve_histogram,
+                            result.error) ||
+        !ReadHistogramBlock(reader, tokens, "index-delta",
+                            cp.index_delta_histogram, result.error) ||
+        !ReadHistogramBlock(reader, tokens, "greedy-round",
+                            cp.greedy_round_histogram, result.error)) {
+      return result;
+    }
+    if (!reader.Next(tokens)) {
+      result.error = AtLine(reader.line_number(),
+                            "expected terminator 'end engine-checkpoint'");
+      return result;
+    }
+  }
+  if (tokens.size() != 2 || tokens[0] != "end" ||
       tokens[1] != "engine-checkpoint") {
     result.error = AtLine(reader.line_number(),
                           "expected terminator 'end engine-checkpoint'");

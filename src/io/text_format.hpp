@@ -45,6 +45,11 @@
 //   flow <ticket> <rate> <v0> ... <vk>  (ascending by slot)
 //   free-slots <count>
 //   free <ticket>                     (repeated; stack bottom-to-top)
+//   histograms 4                      (optional latency-histogram section)
+//   histogram <name> <count> <sum> <min> <max> <buckets>
+//   bucket <index> <count>            (repeated per histogram; names are
+//                                      patch, resolve, index-delta,
+//                                      greedy-round, in that order)
 //   end engine-checkpoint
 //
 // Parsing is strict: unknown records, wrong counts, or malformed numbers
@@ -82,8 +87,20 @@ void WriteTree(std::ostream& os, const graph::Tree& tree);
 void WriteFlows(std::ostream& os, const traffic::FlowSet& flows);
 void WriteInstance(std::ostream& os, const core::Instance& instance);
 void WriteDeployment(std::ostream& os, const core::Deployment& deployment);
+
+struct EngineCheckpointWriteOptions {
+  /// The latency-histogram section is optional in the record.  Tests that
+  /// pin byte-identical deterministic replay compare records written
+  /// without it (timing samples differ run to run); everything else keeps
+  /// the default.
+  bool include_histograms = true;
+};
+
 void WriteEngineCheckpoint(std::ostream& os,
                            const engine::EngineCheckpoint& checkpoint);
+void WriteEngineCheckpoint(std::ostream& os,
+                           const engine::EngineCheckpoint& checkpoint,
+                           const EngineCheckpointWriteOptions& options);
 
 // --- Readers ------------------------------------------------------------
 

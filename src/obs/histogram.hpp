@@ -1,0 +1,128 @@
+#pragma once
+
+// Fixed-bucket log-scale latency histograms (HDR-style).
+//
+// Buckets are log-linear: values below 16 get one bucket each (exact), and
+// every power-of-two range above that is split into 8 sub-buckets, bounding
+// the relative quantile error at 12.5%.  The bucket array is a fixed
+// std::array, so Record is branch-light and allocation-free, Merge is a
+// per-bucket add (associative and commutative, safe for combining per-thread
+// histograms in any order), and the whole state serializes as a sparse
+// (index, count) list for the engine checkpoint.
+//
+// Instances are NOT internally synchronized.  The intended pattern is one
+// histogram per thread (or per lock domain) merged under the owner's lock;
+// the engine records under state_mu_ and re-solve workers merge worker-local
+// histograms back under the same lock.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace tdmd::obs {
+
+/// Nanoseconds on the steady clock with an arbitrary process-local origin.
+/// Differences are meaningful; absolute values are not.
+std::uint64_t MonotonicNanos();
+
+/// Sub-buckets per power-of-two range (8 = 2^3).
+inline constexpr std::uint32_t kSubBucketBits = 3;
+
+/// Total bucket count: 16 exact buckets for values < 16, then 8 sub-buckets
+/// for each of the 60 power-of-two groups up to 2^64.
+inline constexpr std::uint32_t kNumBuckets = 496;
+
+/// Serialized histogram state: totals plus the sparse nonzero buckets in
+/// ascending index order.  This is what the engine checkpoint carries.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> buckets;
+};
+
+/// Summary statistics for reporting: quantiles are bucket lower bounds
+/// clamped into [min, max], so a single-sample histogram reports that
+/// sample exactly and quantile error is bounded by the bucket width.
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p95 = 0;
+  std::uint64_t p99 = 0;
+  double mean = 0.0;
+};
+
+class LatencyHistogram {
+ public:
+  LatencyHistogram() { counts_.fill(0); }
+
+  /// Bucket index for a value; total order is preserved up to bucket
+  /// granularity (v1 <= v2 implies BucketIndex(v1) <= BucketIndex(v2)).
+  static std::uint32_t BucketIndex(std::uint64_t value);
+
+  /// Smallest value mapping to bucket `index`.
+  static std::uint64_t BucketLowerBound(std::uint32_t index);
+
+  void Record(std::uint64_t value);
+
+  /// Adds `other`'s samples to this histogram.
+  void Merge(const LatencyHistogram& other);
+
+  void Reset();
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  /// Min/max of recorded values; 0 when empty.
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+
+  /// Value at quantile q in [0, 1]: the lower bound of the bucket holding
+  /// the ceil(q * count)-th sample, clamped into [min, max].  0 when empty.
+  std::uint64_t Quantile(double q) const;
+
+  HistogramSummary Summarize() const;
+
+  HistogramSnapshot Snapshot() const;
+
+  /// Replaces this histogram's state with `snapshot`.  Returns false (and
+  /// leaves the histogram unchanged) if the snapshot is incoherent: bucket
+  /// indices out of range or not strictly ascending, zero bucket counts,
+  /// bucket counts not summing to `count`, min > max, or nonzero
+  /// min/max/sum/buckets on an empty snapshot.
+  bool Restore(const HistogramSnapshot& snapshot);
+
+ private:
+  std::array<std::uint64_t, kNumBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// RAII timer: records the elapsed nanoseconds into `histogram` on scope
+/// exit.  A null histogram disables the timer (no clock reads).
+class ScopedHistogramTimer {
+ public:
+  explicit ScopedHistogramTimer(LatencyHistogram* histogram)
+      : histogram_(histogram),
+        start_ns_(histogram != nullptr ? MonotonicNanos() : 0) {}
+  ScopedHistogramTimer(const ScopedHistogramTimer&) = delete;
+  ScopedHistogramTimer& operator=(const ScopedHistogramTimer&) = delete;
+  ~ScopedHistogramTimer() {
+    if (histogram_ != nullptr) {
+      histogram_->Record(MonotonicNanos() - start_ns_);
+    }
+  }
+
+ private:
+  LatencyHistogram* histogram_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace tdmd::obs

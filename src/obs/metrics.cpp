@@ -1,0 +1,90 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace tdmd::obs {
+
+namespace {
+
+// Seconds with nanosecond resolution, fixed notation (Prometheus values).
+std::string NsAsSeconds(std::uint64_t ns) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.9f",
+                static_cast<double>(ns) / 1e9);
+  return buffer;
+}
+
+std::string MeanString(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", value);
+  return buffer;
+}
+
+}  // namespace
+
+void MetricsRegistry::AddCounter(const std::string& name, std::uint64_t value,
+                                 const std::string& help) {
+  counters_.push_back(Counter{name, value, help});
+}
+
+void MetricsRegistry::AddHistogramNs(const std::string& name,
+                                     const LatencyHistogram& histogram,
+                                     const std::string& help) {
+  histograms_.push_back(Histogram{name, histogram.Summarize(), help});
+}
+
+void MetricsRegistry::Render(std::ostream& os, MetricsFormat format) const {
+  switch (format) {
+    case MetricsFormat::kPrometheus:
+      RenderPrometheus(os);
+      break;
+    case MetricsFormat::kJson:
+      RenderJson(os);
+      break;
+  }
+}
+
+void MetricsRegistry::RenderPrometheus(std::ostream& os) const {
+  for (const Counter& counter : counters_) {
+    os << "# HELP " << counter.name << " " << counter.help << "\n";
+    os << "# TYPE " << counter.name << " counter\n";
+    os << counter.name << " " << counter.value << "\n";
+  }
+  for (const Histogram& histogram : histograms_) {
+    const std::string name = histogram.name + "_seconds";
+    const HistogramSummary& s = histogram.summary;
+    os << "# HELP " << name << " " << histogram.help << "\n";
+    os << "# TYPE " << name << " summary\n";
+    os << name << "{quantile=\"0.5\"} " << NsAsSeconds(s.p50) << "\n";
+    os << name << "{quantile=\"0.95\"} " << NsAsSeconds(s.p95) << "\n";
+    os << name << "{quantile=\"0.99\"} " << NsAsSeconds(s.p99) << "\n";
+    os << name << "_sum " << NsAsSeconds(s.sum) << "\n";
+    os << name << "_count " << s.count << "\n";
+  }
+}
+
+void MetricsRegistry::RenderJson(std::ostream& os) const {
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const Counter& counter : counters_) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    \"" << counter.name << "\": " << counter.value;
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const Histogram& histogram : histograms_) {
+    const HistogramSummary& s = histogram.summary;
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    \"" << histogram.name << "\": {\"count\": " << s.count
+       << ", \"sum_ns\": " << s.sum << ", \"min_ns\": " << s.min
+       << ", \"max_ns\": " << s.max << ", \"p50_ns\": " << s.p50
+       << ", \"p95_ns\": " << s.p95 << ", \"p99_ns\": " << s.p99
+       << ", \"mean_ns\": " << MeanString(s.mean) << "}";
+  }
+  os << "\n  }\n}\n";
+}
+
+}  // namespace tdmd::obs

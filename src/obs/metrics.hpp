@@ -1,0 +1,57 @@
+#pragma once
+
+// Metrics exposition surface: a flat registry of named counters and latency
+// histograms rendered as Prometheus text format or JSON.  The engine builds
+// one from its TDMD_ENGINE_STATS_COUNTERS block plus its histograms (see
+// Engine::Metrics), and serve-trace --metrics-out dumps both renderings.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace tdmd::obs {
+
+enum class MetricsFormat : std::uint8_t {
+  kPrometheus,  // text exposition format, histograms as summaries in seconds
+  kJson,        // single JSON object, histogram quantiles in nanoseconds
+};
+
+class MetricsRegistry {
+ public:
+  /// Registers a monotonic counter.  Names must be unique and already in
+  /// exposition form (e.g. "tdmd_engine_epochs").
+  void AddCounter(const std::string& name, std::uint64_t value,
+                  const std::string& help);
+
+  /// Registers a histogram of nanosecond samples.  Rendered as a Prometheus
+  /// summary named `<name>_seconds` with p50/p95/p99 quantiles, and as a
+  /// JSON object with nanosecond-valued fields.
+  void AddHistogramNs(const std::string& name,
+                      const LatencyHistogram& histogram,
+                      const std::string& help);
+
+  void Render(std::ostream& os, MetricsFormat format) const;
+
+ private:
+  struct Counter {
+    std::string name;
+    std::uint64_t value = 0;
+    std::string help;
+  };
+  struct Histogram {
+    std::string name;
+    HistogramSummary summary;
+    std::string help;
+  };
+
+  void RenderPrometheus(std::ostream& os) const;
+  void RenderJson(std::ostream& os) const;
+
+  std::vector<Counter> counters_;
+  std::vector<Histogram> histograms_;
+};
+
+}  // namespace tdmd::obs

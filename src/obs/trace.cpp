@@ -1,0 +1,197 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <iomanip>
+#include <ostream>
+
+namespace tdmd::obs {
+
+namespace {
+
+std::atomic<Tracer*> g_current_tracer{nullptr};
+
+// Monotonically increasing tracer id.  The per-thread ring cache is keyed by
+// it, so a thread whose cached ring belongs to a destroyed tracer re-registers
+// with the new one instead of writing through a stale pointer (generations are
+// never reused, so there is no ABA window).
+std::atomic<std::uint64_t> g_tracer_generation{0};
+
+struct ThreadRingCache {
+  std::uint64_t generation = 0;
+  void* ring = nullptr;
+};
+
+thread_local ThreadRingCache t_ring_cache;
+
+}  // namespace
+
+const char* TracePhaseName(TracePhase phase) {
+  switch (phase) {
+    case TracePhase::kEpoch:
+      return "epoch";
+    case TracePhase::kIndexDelta:
+      return "index-delta";
+    case TracePhase::kPatch:
+      return "patch";
+    case TracePhase::kResolveAttempt:
+      return "resolve-attempt";
+    case TracePhase::kAdoption:
+      return "adoption";
+    case TracePhase::kModeTransition:
+      return "mode-transition";
+    case TracePhase::kCheckpoint:
+      return "checkpoint";
+    case TracePhase::kRestore:
+      return "restore";
+    case TracePhase::kPoolTaskQueued:
+      return "pool-task-queued";
+    case TracePhase::kPoolTaskRun:
+      return "pool-task-run";
+    case TracePhase::kGtpRound:
+      return "gtp-round";
+    case TracePhase::kCelfPop:
+      return "celf-pop";
+    case TracePhase::kDpNodeMerge:
+      return "dp-node-merge";
+    case TracePhase::kHatExtract:
+      return "hat-extract";
+  }
+  return "unknown";
+}
+
+Tracer::Tracer(std::size_t ring_capacity)
+    : ring_capacity_(ring_capacity == 0 ? 1 : ring_capacity),
+      origin_ns_(MonotonicNanos()),
+      generation_(g_tracer_generation.fetch_add(1,
+                                                std::memory_order_relaxed) +
+                  1) {}
+
+Tracer::~Tracer() = default;
+
+Tracer::Ring& Tracer::ThreadRing() {
+  if (t_ring_cache.generation == generation_ &&
+      t_ring_cache.ring != nullptr) {
+    return *static_cast<Ring*>(t_ring_cache.ring);
+  }
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  rings_.push_back(std::make_unique<Ring>());
+  Ring& ring = *rings_.back();
+  ring.tid = static_cast<std::uint32_t>(rings_.size() - 1);
+  ring.events.resize(ring_capacity_);
+  t_ring_cache.generation = generation_;
+  t_ring_cache.ring = &ring;
+  return ring;
+}
+
+void Tracer::Emit(TracePhase phase, bool is_span, std::uint64_t start_ns,
+                  std::uint64_t duration_ns, std::uint64_t arg) {
+  Ring& ring = ThreadRing();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  TraceEvent& slot = ring.events[ring.next];
+  slot.phase = phase;
+  slot.is_span = is_span;
+  slot.tid = ring.tid;
+  slot.start_ns = start_ns;
+  slot.duration_ns = duration_ns;
+  slot.arg = arg;
+  ring.next = (ring.next + 1) % ring_capacity_;
+  if (ring.size < ring_capacity_) {
+    ++ring.size;
+  } else {
+    ++ring.overwritten;
+  }
+}
+
+TraceDrainResult Tracer::Drain() {
+  TraceDrainResult result;
+  std::lock_guard<std::mutex> rings_lock(rings_mu_);
+  result.num_threads = rings_.size();
+  for (const auto& ring_ptr : rings_) {
+    Ring& ring = *ring_ptr;
+    std::lock_guard<std::mutex> lock(ring.mu);
+    // Oldest-first: a full ring's oldest entry sits at the write cursor.
+    const std::size_t begin =
+        ring.size == ring_capacity_ ? ring.next : 0;
+    for (std::size_t i = 0; i < ring.size; ++i) {
+      result.events.push_back(ring.events[(begin + i) % ring_capacity_]);
+    }
+    result.dropped += ring.overwritten;
+    ring.next = 0;
+    ring.size = 0;
+  }
+  std::sort(result.events.begin(), result.events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_ns != b.start_ns) {
+                return a.start_ns < b.start_ns;
+              }
+              return a.tid < b.tid;
+            });
+  return result;
+}
+
+void InstallTracer(Tracer* tracer) {
+  g_current_tracer.store(tracer, std::memory_order_release);
+}
+
+Tracer* CurrentTracer() {
+  return g_current_tracer.load(std::memory_order_acquire);
+}
+
+namespace {
+
+void WriteChromeEvent(std::ostream& os, const TraceEvent& event) {
+  os << "{\"name\":\"" << TracePhaseName(event.phase) << "\",\"ph\":\""
+     << (event.is_span ? "X" : "i") << "\"";
+  if (!event.is_span) {
+    os << ",\"s\":\"t\"";
+  }
+  os << ",\"pid\":1,\"tid\":" << event.tid << ",\"ts\":"
+     << static_cast<double>(event.start_ns) / 1000.0;
+  if (event.is_span) {
+    os << ",\"dur\":" << static_cast<double>(event.duration_ns) / 1000.0;
+  }
+  os << ",\"args\":{\"arg\":" << event.arg << "}}";
+}
+
+}  // namespace
+
+void WriteChromeTrace(std::ostream& os, const TraceDrainResult& drained) {
+  const std::streamsize saved_precision = os.precision();
+  const auto saved_flags = os.flags();
+  os << std::fixed << std::setprecision(3);
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : drained.events) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    WriteChromeEvent(os, event);
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":\""
+     << drained.dropped << "\"}}\n";
+  os.flags(saved_flags);
+  os.precision(saved_precision);
+}
+
+void WriteTraceLog(std::ostream& os, const TraceDrainResult& drained) {
+  const std::streamsize saved_precision = os.precision();
+  const auto saved_flags = os.flags();
+  os << std::fixed << std::setprecision(3);
+  os << "# tdmd-trace events=" << drained.events.size()
+     << " threads=" << drained.num_threads << " dropped=" << drained.dropped
+     << "\n";
+  for (const TraceEvent& event : drained.events) {
+    os << static_cast<double>(event.start_ns) / 1000.0 << "us tid="
+       << event.tid << " " << (event.is_span ? "span" : "inst") << " "
+       << TracePhaseName(event.phase);
+    if (event.is_span) {
+      os << " dur=" << static_cast<double>(event.duration_ns) / 1000.0
+         << "us";
+    }
+    os << " arg=" << event.arg << "\n";
+  }
+  os.flags(saved_flags);
+  os.precision(saved_precision);
+}
+
+}  // namespace tdmd::obs

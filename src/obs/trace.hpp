@@ -1,0 +1,166 @@
+#pragma once
+
+// Lock-light structured event tracer.
+//
+// Each thread that emits gets its own fixed-capacity ring buffer of
+// TraceEvents; rings overwrite their oldest entries when full and count the
+// overwritten events as drops.  Every ring has its own mutex, which is
+// uncontended on the hot path (only the owning thread writes it) and exists
+// so Drain() can read concurrently with emission — so the steady-state cost
+// of an enabled span is a clock read plus an uncontended lock per endpoint,
+// and the cost with no tracer installed is a single relaxed atomic load.
+//
+// Lifecycle contract: the tracer must outlive every thread that may emit
+// into it.  Install with InstallTracer(&tracer), and before destroying the
+// tracer call InstallTracer(nullptr) and quiesce the instrumented threads
+// (e.g. Engine::WaitIdle + engine destruction).  ScopedSpan captures the
+// installed tracer at construction, so a span that straddles an uninstall
+// still writes into the tracer it started with.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace tdmd::obs {
+
+/// Instrumented phases across the engine, thread pool, and batch solvers.
+enum class TracePhase : std::uint8_t {
+  kEpoch,           // engine: one SubmitBatch call (arg: epoch)
+  kIndexDelta,      // engine: coverage-index churn delta (arg: ops)
+  kPatch,           // engine: synchronous feasibility patch (arg: boxes)
+  kResolveAttempt,  // engine: one incremental-GTP solve (arg: attempt)
+  kAdoption,        // engine: re-solve adoption instant (arg: moves)
+  kModeTransition,  // engine: degradation transition (arg: target mode)
+  kCheckpoint,      // engine: checkpoint capture
+  kRestore,         // engine: checkpoint restore
+  kPoolTaskQueued,  // thread pool: task enqueued
+  kPoolTaskRun,     // thread pool: task execution (arg: queue wait ns)
+  kGtpRound,        // GTP/incremental-GTP greedy round (arg: round)
+  kCelfPop,         // CELF lazy-greedy pop (arg: gain re-evaluations)
+  kDpNodeMerge,     // tree-DP per-node table merge (arg: vertex)
+  kHatExtract,      // HAT lazy heap extraction
+};
+
+inline constexpr std::size_t kNumTracePhases = 14;
+
+/// Stable dash-separated name used in trace output and reports.
+const char* TracePhaseName(TracePhase phase);
+
+struct TraceEvent {
+  TracePhase phase = TracePhase::kEpoch;
+  bool is_span = false;  // span (has duration) vs instant
+  std::uint32_t tid = 0;  // dense per-tracer thread index
+  std::uint64_t start_ns = 0;  // steady-clock ns since tracer construction
+  std::uint64_t duration_ns = 0;  // 0 for instants
+  std::uint64_t arg = 0;  // phase-specific payload (see TracePhase)
+};
+
+struct TraceDrainResult {
+  /// All buffered events, sorted by (start_ns, tid).
+  std::vector<TraceEvent> events;
+  /// Events overwritten by ring wrap-around since construction.
+  std::uint64_t dropped = 0;
+  /// Number of distinct emitting threads seen.
+  std::size_t num_threads = 0;
+};
+
+class Tracer {
+ public:
+  /// `ring_capacity` is the per-thread buffer size in events.
+  explicit Tracer(std::size_t ring_capacity = kDefaultRingCapacity);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+  ~Tracer();
+
+  /// Nanoseconds since this tracer was constructed.
+  std::uint64_t NowNs() const { return MonotonicNanos() - origin_ns_; }
+
+  /// Appends one event to the calling thread's ring (overwriting the
+  /// oldest buffered event when full).  Thread-safe.
+  void Emit(TracePhase phase, bool is_span, std::uint64_t start_ns,
+            std::uint64_t duration_ns, std::uint64_t arg);
+
+  /// Collects and clears every ring.  Safe to call concurrently with
+  /// emission; concurrent events land in the next drain.
+  TraceDrainResult Drain();
+
+  static constexpr std::size_t kDefaultRingCapacity = 1U << 14;
+
+ private:
+  struct Ring {
+    std::mutex mu;
+    std::vector<TraceEvent> events;  // fixed at ring_capacity slots
+    std::size_t next = 0;            // write cursor
+    std::size_t size = 0;            // filled slots, <= capacity
+    std::uint64_t overwritten = 0;
+    std::uint32_t tid = 0;
+  };
+
+  Ring& ThreadRing();
+
+  const std::size_t ring_capacity_;
+  const std::uint64_t origin_ns_;
+  const std::uint64_t generation_;
+  std::mutex rings_mu_;  // guards rings_ growth; ring contents use Ring::mu
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+/// Installs `tracer` as the process-wide current tracer (nullptr to
+/// disable).  The caller keeps ownership and must respect the lifecycle
+/// contract above.
+void InstallTracer(Tracer* tracer);
+
+/// The installed tracer, or nullptr.  One atomic load; this is the whole
+/// cost of an instrumentation hook when tracing is off.
+Tracer* CurrentTracer();
+
+/// RAII span: captures the current tracer and start time at construction,
+/// emits a span with the elapsed duration at destruction.  Inert (no clock
+/// reads) when no tracer is installed.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(TracePhase phase, std::uint64_t arg = 0)
+      : tracer_(CurrentTracer()), phase_(phase), arg_(arg) {
+    if (tracer_ != nullptr) {
+      start_ns_ = tracer_->NowNs();
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) {
+      tracer_->Emit(phase_, /*is_span=*/true, start_ns_,
+                    tracer_->NowNs() - start_ns_, arg_);
+    }
+  }
+
+  void set_arg(std::uint64_t arg) { arg_ = arg; }
+
+ private:
+  Tracer* tracer_;
+  TracePhase phase_;
+  std::uint64_t arg_;
+  std::uint64_t start_ns_ = 0;
+};
+
+/// Emits a zero-duration instant event; no-op when no tracer is installed.
+inline void TraceInstant(TracePhase phase, std::uint64_t arg = 0) {
+  if (Tracer* tracer = CurrentTracer(); tracer != nullptr) {
+    tracer->Emit(phase, /*is_span=*/false, tracer->NowNs(), 0, arg);
+  }
+}
+
+/// Writes events as Chrome trace_event JSON (load in chrome://tracing or
+/// Perfetto): spans as "ph":"X" complete events, instants as "ph":"i",
+/// timestamps in microseconds.
+void WriteChromeTrace(std::ostream& os, const TraceDrainResult& drained);
+
+/// Writes events as a compact line-oriented text log.
+void WriteTraceLog(std::ostream& os, const TraceDrainResult& drained);
+
+}  // namespace tdmd::obs

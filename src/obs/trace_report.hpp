@@ -1,0 +1,41 @@
+#pragma once
+
+// Per-phase breakdown of a Chrome trace_event JSON file, as written by
+// WriteChromeTrace / serve-trace --trace-out.  BuildTraceReport parses the
+// narrow JSON subset those writers produce (a "traceEvents" array of flat
+// objects) without pulling in a general JSON dependency, tolerating
+// arbitrary key order inside each event object.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tdmd::obs {
+
+struct TraceReportRow {
+  std::string name;
+  bool is_span = false;
+  std::uint64_t count = 0;
+  double total_us = 0.0;  // 0 for instants
+  double max_us = 0.0;    // 0 for instants
+};
+
+struct TraceReport {
+  bool ok = false;
+  std::string error;
+  std::size_t num_events = 0;
+  std::size_t num_threads = 0;
+  double wall_us = 0.0;  // span of timestamps covered by the trace
+  /// Spans first (by total time descending), then instants (by count).
+  std::vector<TraceReportRow> rows;
+};
+
+TraceReport BuildTraceReport(std::istream& is);
+
+/// Prints the per-phase table: count, total, mean, max, and share of wall
+/// time for spans; count for instants.
+void WriteTraceReport(std::ostream& os, const TraceReport& report);
+
+}  // namespace tdmd::obs

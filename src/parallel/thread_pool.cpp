@@ -24,10 +24,15 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Enqueue(std::function<void()> task) {
+  QueuedTask queued{std::move(task), 0};
+  if (obs::CurrentTracer() != nullptr) {
+    queued.queued_ns = obs::MonotonicNanos();
+    obs::TraceInstant(obs::TracePhase::kPoolTaskQueued);
+  }
   {
     std::unique_lock lock(mutex_);
     TDMD_CHECK_MSG(!shutting_down_, "Submit after ThreadPool destruction");
-    queue_.push(std::move(task));
+    queue_.push(std::move(queued));
     ++in_flight_;
   }
   work_available_.notify_one();
@@ -52,7 +57,7 @@ void ThreadPool::SetTaskHook(std::function<void()> hook) {
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     std::shared_ptr<const std::function<void()>> hook;
     {
       std::unique_lock lock(mutex_);
@@ -76,11 +81,16 @@ void ThreadPool::WorkerLoop() {
         // A throwing hook models a lost task: destroying the unrun
         // packaged_task makes its future report broken_promise.
         dropped = true;
-        task = nullptr;
+        task.fn = nullptr;
       }
     }
     if (!dropped) {
-      task();  // packaged_task captures exceptions into the future
+      // Span arg: how long the task sat in the queue (0 when the tracer
+      // was off at enqueue time).
+      obs::ScopedSpan run_span(
+          obs::TracePhase::kPoolTaskRun,
+          task.queued_ns != 0 ? obs::MonotonicNanos() - task.queued_ns : 0);
+      task.fn();  // packaged_task captures exceptions into the future
     }
     {
       std::unique_lock lock(mutex_);

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 
 namespace tdmd::parallel {
 
@@ -71,11 +72,18 @@ class ThreadPool {
   void SetTaskHook(std::function<void()> hook);
 
  private:
+  // Tasks carry their enqueue timestamp when a tracer is installed, so the
+  // pool-task-run span can report queue wait time as its arg.
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::uint64_t queued_ns = 0;  // obs::MonotonicNanos at enqueue; 0 = off
+  };
+
   void Enqueue(std::function<void()> task);
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<QueuedTask> queue_;
   mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_idle_;

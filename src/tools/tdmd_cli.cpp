@@ -20,11 +20,20 @@
 //            [--fault-seed=7 --fault-throw-p=0.1 --deadline-ms=50]
 //            [--checkpoint-every=5 --checkpoint-out=engine.ckpt]
 //            [--restore=engine.ckpt]
+//            [--metrics-out=metrics.prom] [--trace-out=trace.json]
 //       Feeds the instance's flows to the online placement engine, then
 //       serves a seeded churn trace through it epoch by epoch, printing
 //       each published snapshot and the engine counters.  Optional fault
 //       injection, re-solve deadlines, periodic checkpoints and restart
-//       from a checkpoint (DESIGN.md Section 9).
+//       from a checkpoint (DESIGN.md Section 9).  --metrics-out writes
+//       the counters + latency quantiles as Prometheus text (and the
+//       same data as <path>.json); --trace-out records structured spans
+//       into a Chrome trace_event JSON (plus a plain-text <path>.log).
+//
+//   tdmd_cli trace-report --trace=trace.json
+//       Aggregates a --trace-out file into a per-phase table: event
+//       counts, total/mean/max span time, and each phase's share of the
+//       run's wall time.
 //
 //   tdmd_cli info --instance=instance.tdmd
 //       Prints instance statistics.
@@ -49,6 +58,9 @@
 #include "experiment/timer.hpp"
 #include "io/dot_export.hpp"
 #include "io/text_format.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_report.hpp"
 #include "sim/link_sim.hpp"
 #include "topology/ark.hpp"
 #include "traffic/generator.hpp"
@@ -337,6 +349,15 @@ int ServeTrace(int argc, char** argv) {
       "restore", "",
       "restore the engine from this checkpoint instead of replaying the "
       "instance's flow set as a prefill batch");
+  const auto* metrics_out = parser.AddString(
+      "metrics-out", "",
+      "write final engine metrics (counters + latency quantiles) as "
+      "Prometheus text here and as JSON to <path>.json");
+  const auto* trace_out = parser.AddString(
+      "trace-out", "",
+      "record structured spans and write a Chrome trace_event JSON here "
+      "(load via chrome://tracing or feed to tdmd_cli trace-report); a "
+      "plain-text event log lands next to it as <path>.log");
   parser.Parse(argc, argv);
 
   auto instance = io::ReadInstanceFile(*instance_path);
@@ -366,6 +387,13 @@ int ServeTrace(int argc, char** argv) {
     round.cancel_probability = *fault_cancel_p;
     injector.emplace(spec);
     options.fault_injector = &*injector;
+  }
+  // Declared before the engine so the engine's worker threads are joined
+  // before the tracer's rings go away (the tracer lifecycle contract).
+  std::optional<obs::Tracer> tracer;
+  if (!trace_out->empty()) {
+    tracer.emplace();
+    obs::InstallTracer(&*tracer);
   }
   engine::Engine eng(inst.network(), options);
 
@@ -510,7 +538,59 @@ int ServeTrace(int argc, char** argv) {
               static_cast<unsigned long long>(stats.resolves_coalesced),
               static_cast<unsigned long long>(stats.watchdog_cancels));
   if (*checkpoint_every > 0) write_checkpoint();
+
+  if (tracer.has_value()) {
+    obs::InstallTracer(nullptr);  // hooks no-op from here on
+    const obs::TraceDrainResult drained = tracer->Drain();
+    if (!io::WriteFile(*trace_out, [&](std::ostream& os) {
+          obs::WriteChromeTrace(os, drained);
+        })) {
+      Die("cannot write " + *trace_out);
+    }
+    const std::string log_path = *trace_out + ".log";
+    if (!io::WriteFile(log_path, [&](std::ostream& os) {
+          obs::WriteTraceLog(os, drained);
+        })) {
+      Die("cannot write " + log_path);
+    }
+    std::printf("trace      : %zu events from %zu threads (%llu dropped) "
+                "-> %s\n",
+                drained.events.size(), drained.num_threads,
+                static_cast<unsigned long long>(drained.dropped),
+                trace_out->c_str());
+  }
+  if (!metrics_out->empty()) {
+    if (!io::WriteFile(*metrics_out, [&](std::ostream& os) {
+          eng.DumpMetrics(os, obs::MetricsFormat::kPrometheus);
+        })) {
+      Die("cannot write " + *metrics_out);
+    }
+    const std::string json_path = *metrics_out + ".json";
+    if (!io::WriteFile(json_path, [&](std::ostream& os) {
+          eng.DumpMetrics(os, obs::MetricsFormat::kJson);
+        })) {
+      Die("cannot write " + json_path);
+    }
+    std::printf("metrics    : %s (JSON: %s)\n", metrics_out->c_str(),
+                json_path.c_str());
+  }
   return snapshot->feasible ? 0 : 3;
+}
+
+int TraceReportCommand(int argc, char** argv) {
+  ArgParser parser("tdmd_cli trace-report",
+                   "aggregate a serve-trace --trace-out file per phase");
+  const auto* trace_path = parser.AddString(
+      "trace", "trace.json",
+      "Chrome trace_event JSON written by serve-trace --trace-out");
+  parser.Parse(argc, argv);
+
+  std::ifstream in(*trace_path);
+  if (!in) Die("cannot open '" + *trace_path + "'");
+  const obs::TraceReport report = obs::BuildTraceReport(in);
+  if (!report.ok) Die(*trace_path + ": " + report.error);
+  obs::WriteTraceReport(std::cout, report);
+  return 0;
 }
 
 int Info(int argc, char** argv) {
@@ -552,8 +632,8 @@ int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: tdmd_cli "
-                 "<generate|solve|simulate|viz|serve-trace|info> "
-                 "[flags]\n       tdmd_cli <command> --help\n");
+                 "<generate|solve|simulate|viz|serve-trace|trace-report"
+                 "|info> [flags]\n       tdmd_cli <command> --help\n");
     return 2;
   }
   const std::string command = argv[1];
@@ -564,6 +644,9 @@ int Main(int argc, char** argv) {
   if (command == "simulate") return Simulate(argc - 1, argv + 1);
   if (command == "viz") return Viz(argc - 1, argv + 1);
   if (command == "serve-trace") return ServeTrace(argc - 1, argv + 1);
+  if (command == "trace-report") {
+    return TraceReportCommand(argc - 1, argv + 1);
+  }
   if (command == "info") return Info(argc - 1, argv + 1);
   std::fprintf(stderr, "tdmd_cli: unknown command '%s'\n", command.c_str());
   return 2;

@@ -55,9 +55,12 @@ void ReplayRange(Engine& engine, const ChurnTrace& trace, std::size_t from,
   }
 }
 
-std::string Serialize(const EngineCheckpoint& checkpoint) {
+std::string Serialize(const EngineCheckpoint& checkpoint,
+                      bool include_histograms = true) {
   std::ostringstream oss;
-  io::WriteEngineCheckpoint(oss, checkpoint);
+  io::EngineCheckpointWriteOptions options;
+  options.include_histograms = include_histograms;
+  io::WriteEngineCheckpoint(oss, checkpoint, options);
   return oss.str();
 }
 
@@ -118,8 +121,21 @@ TEST(EngineCheckpointTest, CrashRecoveryReplaysByteIdentically) {
   restored.Restore(*parsed.value);
   ReplayRange(restored, trace, half, trace.epochs.size(), active);
 
-  EXPECT_EQ(Serialize(restored.Checkpoint()),
-            Serialize(reference.Checkpoint()));
+  // Byte-compare without the histogram section: latency samples are wall
+  // times, not replayed state.  Sample *counts* are deterministic, though
+  // — the restored run must keep accumulating where the first half left
+  // off instead of restarting from empty.
+  const EngineCheckpoint restored_cp = restored.Checkpoint();
+  const EngineCheckpoint reference_cp = reference.Checkpoint();
+  EXPECT_EQ(Serialize(restored_cp, false), Serialize(reference_cp, false));
+  EXPECT_EQ(restored_cp.patch_histogram.count,
+            reference_cp.patch_histogram.count);
+  EXPECT_EQ(restored_cp.resolve_histogram.count,
+            reference_cp.resolve_histogram.count);
+  EXPECT_EQ(restored_cp.index_delta_histogram.count,
+            reference_cp.index_delta_histogram.count);
+  EXPECT_EQ(restored_cp.greedy_round_histogram.count,
+            reference_cp.greedy_round_histogram.count);
   // Client-held tickets drawn after the restore match the uninterrupted
   // run's tickets (the free-slot stack round-tripped).
   EXPECT_EQ(active, reference_active);
@@ -146,6 +162,108 @@ TEST(EngineCheckpointTest, RestoredEngineKeepsServingUnderChurn) {
   EXPECT_LE(restored.CurrentSnapshot()->deployment.size(),
             SyncOptions().k);
   EXPECT_EQ(restored.index().active_flows(), active.size());
+}
+
+TEST(EngineCheckpointTest, HistogramSectionRoundTrips) {
+  Engine engine(TestNetwork(65), SyncOptions());
+  const ChurnTrace trace = MakeTrace(engine.index().network(), 6, 75);
+  std::vector<FlowTicket> active;
+  ReplayRange(engine, trace, 0, trace.epochs.size(), active);
+
+  const EngineCheckpoint checkpoint = engine.Checkpoint();
+  // A synchronous engine records one patch and one index-delta sample per
+  // epoch, so the section is exercised with real data.
+  ASSERT_EQ(checkpoint.patch_histogram.count, trace.epochs.size());
+  ASSERT_EQ(checkpoint.index_delta_histogram.count, trace.epochs.size());
+
+  std::istringstream iss(Serialize(checkpoint));
+  const io::Parsed<EngineCheckpoint> parsed = io::ReadEngineCheckpoint(iss);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(parsed.value->patch_histogram.count,
+            checkpoint.patch_histogram.count);
+  EXPECT_EQ(parsed.value->patch_histogram.sum,
+            checkpoint.patch_histogram.sum);
+  EXPECT_EQ(parsed.value->patch_histogram.buckets,
+            checkpoint.patch_histogram.buckets);
+  EXPECT_EQ(parsed.value->resolve_histogram.buckets,
+            checkpoint.resolve_histogram.buckets);
+  EXPECT_EQ(parsed.value->index_delta_histogram.buckets,
+            checkpoint.index_delta_histogram.buckets);
+  EXPECT_EQ(parsed.value->greedy_round_histogram.buckets,
+            checkpoint.greedy_round_histogram.buckets);
+}
+
+TEST(EngineCheckpointTest, RecordWithoutHistogramSectionStillParses) {
+  Engine engine(TestNetwork(66), SyncOptions());
+  const ChurnTrace trace = MakeTrace(engine.index().network(), 4, 76);
+  std::vector<FlowTicket> active;
+  ReplayRange(engine, trace, 0, trace.epochs.size(), active);
+
+  // A record written before the section existed (or with the section
+  // omitted) restores with empty histograms rather than failing.
+  std::istringstream iss(Serialize(engine.Checkpoint(), false));
+  const io::Parsed<EngineCheckpoint> parsed = io::ReadEngineCheckpoint(iss);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(parsed.value->patch_histogram.count, 0u);
+  EXPECT_EQ(parsed.value->resolve_histogram.count, 0u);
+  EXPECT_TRUE(parsed.value->patch_histogram.buckets.empty());
+
+  Engine restored(engine.index().network(), SyncOptions());
+  restored.Restore(*parsed.value);
+  EXPECT_EQ(restored.histograms().patch_ns.count(), 0u);
+}
+
+TEST(EngineCheckpointTest, CorruptHistogramSectionsAreRejected) {
+  Engine engine(TestNetwork(67), SyncOptions());
+  const ChurnTrace trace = MakeTrace(engine.index().network(), 4, 77);
+  std::vector<FlowTicket> active;
+  ReplayRange(engine, trace, 0, trace.epochs.size(), active);
+  const std::string good = Serialize(engine.Checkpoint());
+  ASSERT_NE(good.find("histograms 4"), std::string::npos);
+
+  const auto reject = [](const std::string& text, const std::string& what) {
+    std::istringstream iss(text);
+    const io::Parsed<EngineCheckpoint> parsed =
+        io::ReadEngineCheckpoint(iss);
+    EXPECT_FALSE(parsed.ok()) << what;
+    EXPECT_FALSE(parsed.error.empty()) << what;
+    EXPECT_FALSE(parsed.value.has_value()) << what;
+  };
+  const auto mutate = [&good](const std::string& from,
+                              const std::string& to) {
+    std::string text = good;
+    const std::size_t at = text.find(from);
+    EXPECT_NE(at, std::string::npos) << from;
+    text.replace(at, from.size(), to);
+    return text;
+  };
+
+  reject(mutate("histograms 4", "histograms 3"), "wrong section count");
+  reject(mutate("histogram patch", "histogram punch"),
+         "unknown histogram name");
+  reject(mutate("histogram resolve", "histogram patch"),
+         "histograms out of order");
+  // Claiming one more bucket than is present makes the parser consume the
+  // next histogram header as a bucket line.
+  const std::string patch_line = "histogram patch ";
+  const std::size_t header = good.find(patch_line);
+  ASSERT_NE(header, std::string::npos);
+  const std::size_t line_end = good.find('\n', header);
+  std::string inflated = good;
+  inflated.replace(
+      header, line_end - header,
+      "histogram patch 1 50 50 50 2\nbucket 44 1");
+  reject(inflated, "bucket count mismatch");
+  // Structural corruption inside a histogram: an out-of-range index and a
+  // total that disagrees with the advertised sample count.
+  reject(mutate("histogram patch ",
+                "histogram patch 1 50 50 50 1\nbucket 9999 1\n"
+                "histogram patch "),
+         "bucket index out of range");
+  reject(mutate("histogram patch ",
+                "histogram patch 2 50 50 50 1\nbucket 44 1\n"
+                "histogram patch "),
+         "bucket totals disagree with count");
 }
 
 TEST(EngineCheckpointTest, CorruptRecordsAreRejectedWithLineNumbers) {

@@ -1,0 +1,224 @@
+// Latency-histogram edge cases: empty/single-sample summaries, bucket
+// boundary mapping, the 12.5% relative-error bound, merge associativity,
+// quantile clamping, and snapshot round trips with strict Restore
+// validation.
+#include "obs/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace tdmd::obs {
+namespace {
+
+TEST(ObsHistogramTest, EmptyHistogramReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+  const HistogramSummary summary = h.Summarize();
+  EXPECT_EQ(summary.count, 0u);
+  EXPECT_EQ(summary.p50, 0u);
+  EXPECT_EQ(summary.p99, 0u);
+  EXPECT_EQ(summary.mean, 0.0);
+  EXPECT_TRUE(h.Snapshot().buckets.empty());
+}
+
+TEST(ObsHistogramTest, SingleSampleIsReportedExactly) {
+  LatencyHistogram h;
+  h.Record(12345);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 12345u);
+  EXPECT_EQ(h.min(), 12345u);
+  EXPECT_EQ(h.max(), 12345u);
+  // The bucket lower bound (12288) clamps up into [min, max], so every
+  // quantile of a one-sample histogram is that sample.
+  EXPECT_EQ(h.Quantile(0.0), 12345u);
+  EXPECT_EQ(h.Quantile(0.5), 12345u);
+  EXPECT_EQ(h.Quantile(1.0), 12345u);
+}
+
+TEST(ObsHistogramTest, SmallValuesGetExactBuckets) {
+  for (std::uint64_t v = 0; v < 16; ++v) {
+    EXPECT_EQ(LatencyHistogram::BucketIndex(v), v);
+    EXPECT_EQ(LatencyHistogram::BucketLowerBound(
+                  static_cast<std::uint32_t>(v)),
+              v);
+  }
+}
+
+TEST(ObsHistogramTest, BucketBoundaries) {
+  // 15 is the last exact bucket; 16 starts the first log-linear group.
+  EXPECT_EQ(LatencyHistogram::BucketIndex(15), 15u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(16), 16u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(17), 16u);
+  EXPECT_EQ(LatencyHistogram::BucketLowerBound(16), 16u);
+  // 127 and 128 land on opposite sides of a power-of-two boundary.
+  const std::uint32_t below = LatencyHistogram::BucketIndex(127);
+  const std::uint32_t at = LatencyHistogram::BucketIndex(128);
+  EXPECT_EQ(at, below + 1);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(129), at);
+  EXPECT_EQ(LatencyHistogram::BucketLowerBound(at), 128u);
+}
+
+TEST(ObsHistogramTest, BucketIndexIsMonotoneWithBoundedError) {
+  // Deterministic pseudo-random walk over several decades.
+  std::uint64_t v = 1;
+  std::uint32_t last_index = 0;
+  for (int i = 0; i < 2000; ++i) {
+    v = v * 6364136223846793005ULL + 1442695040888963407ULL;
+    const std::uint64_t value = v >> (8 + (i % 40));  // vary the scale
+    const std::uint32_t index = LatencyHistogram::BucketIndex(value);
+    ASSERT_LT(index, kNumBuckets);
+    const std::uint64_t lb = LatencyHistogram::BucketLowerBound(index);
+    ASSERT_LE(lb, value);
+    // Relative under-estimate of at most 1/8 of the value.
+    ASSERT_LE((value - lb) * 8, value) << "value " << value;
+    if (i > 0 && value >= 1) {
+      // Order preservation spot check against the previous value.
+      const std::uint32_t smaller = LatencyHistogram::BucketIndex(value / 2);
+      ASSERT_LE(smaller, index);
+    }
+    last_index = index;
+  }
+  (void)last_index;
+}
+
+TEST(ObsHistogramTest, MergeMatchesRecordingTheUnion) {
+  const std::vector<std::uint64_t> a = {1, 7, 300, 4096, 99999};
+  const std::vector<std::uint64_t> b = {0, 16, 300, 1u << 20};
+  LatencyHistogram ha;
+  LatencyHistogram hb;
+  LatencyHistogram hu;
+  for (std::uint64_t v : a) {
+    ha.Record(v);
+    hu.Record(v);
+  }
+  for (std::uint64_t v : b) {
+    hb.Record(v);
+    hu.Record(v);
+  }
+  ha.Merge(hb);
+  const HistogramSnapshot merged = ha.Snapshot();
+  const HistogramSnapshot together = hu.Snapshot();
+  EXPECT_EQ(merged.count, together.count);
+  EXPECT_EQ(merged.sum, together.sum);
+  EXPECT_EQ(merged.min, together.min);
+  EXPECT_EQ(merged.max, together.max);
+  EXPECT_EQ(merged.buckets, together.buckets);
+}
+
+TEST(ObsHistogramTest, MergeIsAssociative) {
+  LatencyHistogram h1;
+  LatencyHistogram h2;
+  LatencyHistogram h3;
+  for (std::uint64_t v = 1; v <= 64; ++v) {
+    if (v % 3 == 0) h1.Record(v * 17);
+    if (v % 3 == 1) h2.Record(v * 333);
+    if (v % 3 == 2) h3.Record(v);
+  }
+  // (h1 + h2) + h3
+  LatencyHistogram left = h1;
+  left.Merge(h2);
+  left.Merge(h3);
+  // h1 + (h2 + h3)
+  LatencyHistogram inner = h2;
+  inner.Merge(h3);
+  LatencyHistogram right = h1;
+  right.Merge(inner);
+  EXPECT_EQ(left.Snapshot().buckets, right.Snapshot().buckets);
+  EXPECT_EQ(left.sum(), right.sum());
+  EXPECT_EQ(left.min(), right.min());
+  EXPECT_EQ(left.max(), right.max());
+}
+
+TEST(ObsHistogramTest, QuantilesClampIntoObservedRange) {
+  LatencyHistogram h;
+  for (int i = 0; i < 9; ++i) h.Record(100);
+  h.Record(1000000);
+  // The p50 bucket's lower bound (96) is below the smallest sample, so
+  // the clamp pulls it up to min.
+  EXPECT_EQ(h.Quantile(0.5), 100u);
+  // The top quantile lands in the outlier's bucket: below max, within
+  // the 12.5% bucket error.
+  const std::uint64_t p99 = h.Quantile(0.99);
+  EXPECT_LE(p99, 1000000u);
+  EXPECT_GE(p99 * 8, 7u * 1000000u);
+}
+
+TEST(ObsHistogramTest, SummarizeSixteenDistinctValues) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 16; ++v) h.Record(v);
+  const HistogramSummary s = h.Summarize();
+  EXPECT_EQ(s.count, 16u);
+  EXPECT_EQ(s.sum, 136u);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 16u);
+  EXPECT_EQ(s.p50, 8u);   // exact buckets below 16
+  EXPECT_EQ(s.p95, 16u);  // ceil(0.95 * 16) = 16th sample
+  EXPECT_EQ(s.p99, 16u);
+  EXPECT_DOUBLE_EQ(s.mean, 8.5);
+}
+
+TEST(ObsHistogramTest, SnapshotRoundTrips) {
+  LatencyHistogram h;
+  for (std::uint64_t v : {5u, 5u, 70u, 900u, 1u << 30}) h.Record(v);
+  const HistogramSnapshot snapshot = h.Snapshot();
+  LatencyHistogram restored;
+  ASSERT_TRUE(restored.Restore(snapshot));
+  EXPECT_EQ(restored.count(), h.count());
+  EXPECT_EQ(restored.sum(), h.sum());
+  EXPECT_EQ(restored.min(), h.min());
+  EXPECT_EQ(restored.max(), h.max());
+  EXPECT_EQ(restored.Snapshot().buckets, snapshot.buckets);
+  EXPECT_EQ(restored.Quantile(0.5), h.Quantile(0.5));
+}
+
+TEST(ObsHistogramTest, RestoreRejectsIncoherentSnapshots) {
+  LatencyHistogram h;
+  h.Record(42);
+  const HistogramSnapshot before = h.Snapshot();
+
+  HistogramSnapshot bad = before;
+  bad.buckets[0].first = kNumBuckets;  // index out of range
+  EXPECT_FALSE(h.Restore(bad));
+
+  bad = before;
+  bad.buckets.push_back(bad.buckets[0]);  // not strictly ascending
+  EXPECT_FALSE(h.Restore(bad));
+
+  bad = before;
+  bad.buckets[0].second = 0;  // zero bucket count
+  EXPECT_FALSE(h.Restore(bad));
+
+  bad = before;
+  bad.count = 7;  // bucket totals disagree
+  EXPECT_FALSE(h.Restore(bad));
+
+  bad = before;
+  bad.min = bad.max + 1;
+  EXPECT_FALSE(h.Restore(bad));
+
+  bad = HistogramSnapshot{};
+  bad.sum = 1;  // nonzero totals on an empty snapshot
+  EXPECT_FALSE(h.Restore(bad));
+
+  // Every failed Restore left the histogram untouched.
+  EXPECT_EQ(h.Snapshot().buckets, before.buckets);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 42u);
+}
+
+TEST(ObsHistogramTest, ScopedTimerRecordsOnceAndNullIsInert) {
+  LatencyHistogram h;
+  { ScopedHistogramTimer timer(&h); }
+  EXPECT_EQ(h.count(), 1u);
+  { ScopedHistogramTimer inert(nullptr); }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+}  // namespace
+}  // namespace tdmd::obs

@@ -1,0 +1,202 @@
+// Tracer behavior: install/uninstall, span and instant emission, ring
+// overwrite accounting, drain ordering, and the Chrome-JSON / text-log
+// writers (validated by feeding the JSON back through BuildTraceReport).
+// Ends with an engine-integration check that a traced synchronous run
+// emits the expected phases.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/checkpoint.hpp"
+#include "engine/churn_trace.hpp"
+#include "engine/engine.hpp"
+#include "obs/trace_report.hpp"
+#include "topology/generators.hpp"
+
+namespace tdmd::obs {
+namespace {
+
+/// Installs `tracer` for the test's scope; uninstalls on exit even if an
+/// assertion fails mid-test.
+class ScopedInstall {
+ public:
+  explicit ScopedInstall(Tracer* tracer) { InstallTracer(tracer); }
+  ~ScopedInstall() { InstallTracer(nullptr); }
+};
+
+TEST(ObsTraceTest, NoTracerInstalledIsInert) {
+  ASSERT_EQ(CurrentTracer(), nullptr);
+  // Hooks must be callable with no tracer; nothing to observe but the
+  // absence of a crash.
+  TraceInstant(TracePhase::kAdoption, 3);
+  { ScopedSpan span(TracePhase::kEpoch, 1); }
+  EXPECT_EQ(CurrentTracer(), nullptr);
+}
+
+TEST(ObsTraceTest, EmitAndDrainRoundTrip) {
+  Tracer tracer;
+  ScopedInstall install(&tracer);
+  EXPECT_EQ(CurrentTracer(), &tracer);
+
+  TraceInstant(TracePhase::kAdoption, 7);
+  {
+    ScopedSpan span(TracePhase::kEpoch, 0);
+    span.set_arg(42);
+  }
+  const TraceDrainResult drained = tracer.Drain();
+  ASSERT_EQ(drained.events.size(), 2u);
+  EXPECT_EQ(drained.dropped, 0u);
+  EXPECT_EQ(drained.num_threads, 1u);
+
+  const TraceEvent& instant = drained.events[0];
+  EXPECT_EQ(instant.phase, TracePhase::kAdoption);
+  EXPECT_FALSE(instant.is_span);
+  EXPECT_EQ(instant.arg, 7u);
+  EXPECT_EQ(instant.duration_ns, 0u);
+
+  const TraceEvent& span = drained.events[1];
+  EXPECT_EQ(span.phase, TracePhase::kEpoch);
+  EXPECT_TRUE(span.is_span);
+  EXPECT_EQ(span.arg, 42u);
+  EXPECT_GE(span.start_ns, instant.start_ns);
+
+  // A second drain starts empty.
+  EXPECT_TRUE(tracer.Drain().events.empty());
+}
+
+TEST(ObsTraceTest, FullRingOverwritesOldestAndCountsDrops) {
+  Tracer tracer(/*ring_capacity=*/4);
+  ScopedInstall install(&tracer);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    TraceInstant(TracePhase::kCelfPop, i);
+  }
+  const TraceDrainResult drained = tracer.Drain();
+  ASSERT_EQ(drained.events.size(), 4u);
+  EXPECT_EQ(drained.dropped, 6u);
+  // The survivors are the newest four, oldest-first.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(drained.events[i].arg, 6 + i);
+  }
+}
+
+TEST(ObsTraceTest, DrainMergesThreadsSortedByTimestamp) {
+  Tracer tracer;
+  ScopedInstall install(&tracer);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        tracer.Emit(TracePhase::kPoolTaskRun, /*is_span=*/true,
+                    tracer.NowNs(), 1, i);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const TraceDrainResult drained = tracer.Drain();
+  EXPECT_EQ(drained.events.size(), kThreads * kPerThread);
+  EXPECT_EQ(drained.num_threads, static_cast<std::size_t>(kThreads));
+  for (std::size_t i = 1; i < drained.events.size(); ++i) {
+    EXPECT_GE(drained.events[i].start_ns,
+              drained.events[i - 1].start_ns);
+  }
+}
+
+TEST(ObsTraceTest, ChromeTraceParsesBackThroughTraceReport) {
+  Tracer tracer;
+  ScopedInstall install(&tracer);
+  { ScopedSpan span(TracePhase::kGtpRound, 1); }
+  { ScopedSpan span(TracePhase::kGtpRound, 2); }
+  TraceInstant(TracePhase::kHatExtract);
+
+  std::ostringstream json;
+  WriteChromeTrace(json, tracer.Drain());
+
+  std::istringstream in(json.str());
+  const TraceReport report = BuildTraceReport(in);
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_EQ(report.num_events, 3u);
+  EXPECT_EQ(report.num_threads, 1u);
+  std::map<std::string, std::uint64_t> counts;
+  for (const TraceReportRow& row : report.rows) {
+    counts[row.name] = row.count;
+  }
+  EXPECT_EQ(counts["gtp-round"], 2u);
+  EXPECT_EQ(counts["hat-extract"], 1u);
+
+  std::ostringstream table;
+  WriteTraceReport(table, report);
+  EXPECT_NE(table.str().find("gtp-round"), std::string::npos);
+}
+
+TEST(ObsTraceTest, TextLogNamesEveryEvent) {
+  Tracer tracer;
+  ScopedInstall install(&tracer);
+  TraceInstant(TracePhase::kModeTransition, 2);
+  { ScopedSpan span(TracePhase::kCheckpoint); }
+
+  std::ostringstream log;
+  WriteTraceLog(log, tracer.Drain());
+  const std::string text = log.str();
+  EXPECT_NE(text.find("# tdmd-trace events=2"), std::string::npos);
+  EXPECT_NE(text.find("mode-transition"), std::string::npos);
+  EXPECT_NE(text.find("checkpoint"), std::string::npos);
+}
+
+TEST(ObsTraceTest, TracedEngineRunEmitsExpectedPhases) {
+  Rng rng(91);
+  const graph::Digraph network = topology::Waxman(20, 0.5, 0.4, rng);
+  core::ChurnModel churn;
+  churn.arrival_count = 6;
+  churn.departure_probability = 0.2;
+  Rng trace_rng(92);
+  const engine::ChurnTrace trace =
+      engine::BuildChurnTrace(network, churn, 6, 0, trace_rng);
+
+  Tracer tracer;
+  ScopedInstall install(&tracer);
+  engine::EngineOptions options;
+  options.k = 4;
+  options.synchronous = true;
+  engine::Engine eng(network, options);
+  std::vector<engine::FlowTicket> active;
+  for (const engine::ChurnEpoch& epoch : trace.epochs) {
+    std::vector<engine::FlowTicket> departing;
+    for (std::size_t position : epoch.departures) {
+      departing.push_back(active[position]);
+    }
+    for (auto it = epoch.departures.rbegin();
+         it != epoch.departures.rend(); ++it) {
+      active.erase(active.begin() + static_cast<std::ptrdiff_t>(*it));
+    }
+    const auto result = eng.SubmitBatch(epoch.arrivals, departing);
+    active.insert(active.end(), result.tickets.begin(),
+                  result.tickets.end());
+  }
+  (void)eng.Checkpoint();
+
+  const TraceDrainResult drained = tracer.Drain();
+  std::map<TracePhase, std::uint64_t> counts;
+  for (const TraceEvent& event : drained.events) {
+    ++counts[event.phase];
+  }
+  EXPECT_EQ(counts[TracePhase::kEpoch], trace.epochs.size());
+  EXPECT_EQ(counts[TracePhase::kIndexDelta], trace.epochs.size());
+  EXPECT_EQ(counts[TracePhase::kPatch], trace.epochs.size());
+  EXPECT_GE(counts[TracePhase::kResolveAttempt], 1u);
+  EXPECT_GE(counts[TracePhase::kGtpRound], 1u);
+  EXPECT_GE(counts[TracePhase::kCelfPop], 1u);
+  EXPECT_EQ(counts[TracePhase::kCheckpoint], 1u);
+}
+
+}  // namespace
+}  // namespace tdmd::obs
