@@ -12,6 +12,7 @@
 // the equivalence the engine's property tests pin down.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <queue>
 #include <vector>
@@ -95,6 +96,36 @@ class CelfQueue {
   /// be a valid upper bound on its current marginal gain — true for any
   /// value PopBest returned this round or earlier, by submodularity.
   void Push(const CelfCandidate& candidate) { heap_.push(candidate); }
+
+  /// Sum of the `k` largest positive cached gains among vertices not in
+  /// `deployed` — the data-dependent optimality certificate: every cached
+  /// gain upper-bounds that vertex's current marginal decrement (Theorem
+  /// 2), so for any deployment S with |S| <= k,
+  ///   d(S) <= d(S ∪ P) <= d(P) + ResidualUpperBound(k, P).
+  /// O(heap) copy + pops; called once per solve, off the round hot path.
+  Bandwidth ResidualUpperBound(std::size_t k,
+                               const Deployment& deployed) const {
+    auto heap = heap_;
+    std::vector<VertexId> taken;
+    taken.reserve(k);
+    Bandwidth sum = 0.0;
+    while (!heap.empty() && taken.size() < k) {
+      const CelfCandidate top = heap.top();
+      heap.pop();
+      if (top.gain <= 0.0) break;  // max-heap: the rest are no larger
+      if (deployed.Contains(top.vertex)) continue;
+      // A vertex normally has one live entry, but a stale duplicate (from
+      // a caller-side re-push) must not be double-counted; k is small, so
+      // the linear scan is cheap.
+      if (std::find(taken.begin(), taken.end(), top.vertex) !=
+          taken.end()) {
+        continue;
+      }
+      taken.push_back(top.vertex);
+      sum += top.gain;
+    }
+    return sum;
+  }
 
   bool empty() const { return heap_.empty(); }
 

@@ -71,6 +71,17 @@ struct EngineCheckpoint {
   obs::HistogramSnapshot resolve_histogram;
   obs::HistogramSnapshot index_delta_histogram;
   obs::HistogramSnapshot greedy_round_histogram;
+  /// Quality-observability state (tracker certificate, attribution ledger,
+  /// timeline ring + detectors), serialized as the optional `quality v1`
+  /// section after the histograms.  Unlike the histograms this state *is*
+  /// deterministic in the churn stream, so restoring it keeps replayed
+  /// timelines byte-identical; the write option to omit it exists for
+  /// async runs (sample count depends on adoption timing) and for
+  /// byte-comparisons against pre-quality records.
+  bool has_quality = false;
+  obs::QualityTrackerState quality_tracker;
+  std::vector<obs::VertexAttribution> quality_attribution;
+  obs::QualityTimelineSnapshot quality;
 };
 
 namespace internal {

@@ -61,7 +61,9 @@ const char* EngineModeName(EngineMode mode) {
 Engine::Engine(graph::Digraph network, EngineOptions options)
     : options_(options),
       index_(std::move(network), options.lambda),
-      deployment_(index_.num_vertices()) {
+      deployment_(index_.num_vertices()),
+      quality_timeline_(options.quality_capacity, options.quality_detectors),
+      quality_prev_deployment_(index_.num_vertices()) {
   TDMD_CHECK_MSG(options_.k >= 1, "middlebox budget k must be >= 1");
   TDMD_CHECK_MSG(options_.degrade_after_failures >= 1 &&
                      options_.degrade_after_failures <=
@@ -128,6 +130,8 @@ Engine::BatchResult Engine::SubmitBatch(
   ++stats_.epochs;
   result.epoch = epoch_;
   epoch_span.set_arg(epoch_);
+  // Adoption-staleness clock ticks once per epoch, before any sampling.
+  if (options_.quality_sampling) quality_tracker_.OnEpoch();
   if (mode_ == EngineMode::kDegraded) ++stats_.degraded_epochs;
   if (mode_ == EngineMode::kPatchOnly) ++stats_.patch_only_epochs;
 
@@ -163,6 +167,14 @@ Engine::BatchResult Engine::SubmitBatch(
       const FlowEval eval =
           EvaluateFlow(flow, deployment_, options_.lambda);
       maintained_bandwidth_ += eval.contribution;
+      if (options_.quality_sampling) {
+        // The arrival can add at most rate * (1 - lambda) * |p| to any
+        // deployment's decrement (serve at source), so inflating the
+        // certificate by that potential keeps it a valid bound.
+        quality_tracker_.OnArrival(
+            static_cast<Bandwidth>(flow.rate) * (1.0 - options_.lambda) *
+            static_cast<Bandwidth>(flow.PathEdges()));
+      }
       if (!eval.covered) uncovered_.push_back(ticket);
     }
   }
@@ -247,6 +259,32 @@ std::size_t Engine::PatchFeasibilityLocked() {
       }
     }
     if (best == kInvalidVertex) break;  // remaining flows are uncoverable
+    if (options_.quality_sampling) {
+      // Attribute the patch box its marginal decrement at deploy time,
+      // mirroring SlotServedState::MarginalDecrement over the live index
+      // (the CELF chosen gain is the same quantity for adopted solves).
+      Bandwidth marginal = 0.0;
+      const double one_minus_lambda = 1.0 - options_.lambda;
+      for (const FlowCoverageIndex::Visit& visit :
+           index_.FlowsThrough(best)) {
+        const traffic::Flow& flow = index_.FlowAt(visit.slot);
+        std::int32_t current = core::kUnservedIndex;
+        for (std::size_t i = 0; i < flow.path.vertices.size(); ++i) {
+          if (deployment_.Contains(flow.path.vertices[i])) {
+            current = static_cast<std::int32_t>(i);
+            break;
+          }
+        }
+        if (visit.path_index >= current) continue;  // no improvement
+        const std::int32_t new_l = visit.edges - visit.path_index;
+        const std::int32_t old_l =
+            current == core::kUnservedIndex ? 0 : visit.edges - current;
+        marginal += visit.rate * one_minus_lambda *
+                    static_cast<Bandwidth>(new_l - old_l);
+      }
+      quality_attribution_.push_back(
+          obs::VertexAttribution{best, marginal});
+    }
     deployment_.Add(best);
     ++added;
     unserved.erase(
@@ -286,10 +324,45 @@ void Engine::PublishLocked() {
   }
 #endif
 
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
-  snapshot->version =
-      (snapshot_ == nullptr ? 0 : snapshot_->version) + 1;
-  snapshot_ = std::move(snapshot);
+  std::uint64_t version = 0;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot->version =
+        (snapshot_ == nullptr ? 0 : snapshot_->version) + 1;
+    version = snapshot->version;
+    snapshot_ = std::move(snapshot);
+  }
+
+  // Quality sampling rides every publish except the constructor's empty
+  // one (epoch 0): in sync mode that is two samples per epoch (post-patch
+  // and, on adoption, post-adoption), all deterministic in the churn
+  // stream so checkpoint replay reproduces the timeline byte-identically.
+  if (options_.quality_sampling && epoch_ > 0) {
+    obs::QualitySampleInputs inputs;
+    inputs.epoch = epoch_;
+    inputs.version = version;
+    inputs.mode = static_cast<std::uint64_t>(mode_);
+    inputs.feasible = maintained_feasible_;
+    inputs.deployed = static_cast<std::uint32_t>(deployment_.size());
+    inputs.budget = static_cast<std::uint32_t>(options_.k);
+    inputs.churn_moves = static_cast<std::uint32_t>(
+        core::DeploymentMoveCount(quality_prev_deployment_, deployment_));
+    inputs.bandwidth = maintained_bandwidth_;
+    inputs.unprocessed = index_.unprocessed_bandwidth();
+    inputs.lambda = options_.lambda;
+    inputs.attribution = &quality_attribution_;
+    const obs::QualitySample sample = quality_tracker_.MakeSample(inputs);
+    const std::vector<obs::QualityAlert> fired =
+        quality_timeline_.Push(sample);
+    obs::TraceInstant(
+        obs::TracePhase::kQualitySample,
+        obs::PackQualitySampleArg(sample.epoch, sample.realized_ratio));
+    for (const obs::QualityAlert& alert : fired) {
+      obs::TraceInstant(obs::TracePhase::kQualityAlert,
+                        obs::PackQualityAlertArg(alert));
+    }
+    quality_prev_deployment_ = deployment_;
+  }
 }
 
 void Engine::MaybeAdoptLocked(const IncrementalGtpResult& result,
@@ -312,6 +385,19 @@ void Engine::MaybeAdoptLocked(const IncrementalGtpResult& result,
     if (expired) ++stats_.resolves_expired_adopted;
     stats_.middlebox_moves += moves;
     obs::TraceInstant(obs::TracePhase::kAdoption, moves);
+    if (options_.quality_sampling) {
+      // The adopted deployment replaces the attribution ledger wholesale:
+      // chosen_gains[i] is the CELF marginal of deployment.vertices()[i]
+      // at its selection, exactly "what that middlebox bought".
+      quality_attribution_.clear();
+      quality_attribution_.reserve(result.chosen_gains.size());
+      const std::vector<VertexId>& vertices = result.deployment.vertices();
+      for (std::size_t i = 0; i < result.chosen_gains.size(); ++i) {
+        quality_attribution_.push_back(
+            obs::VertexAttribution{vertices[i], result.chosen_gains[i]});
+      }
+      quality_tracker_.OnAdoption();
+    }
     PublishLocked();
   }
 }
@@ -389,6 +475,14 @@ bool Engine::HandleResolveOutcomeLocked(
       FinishChainLocked();
     }
     return false;
+  }
+
+  // Any solve that ran (did not throw) against the current epoch's flow
+  // set yields a valid certificate — even cancelled/expired prefixes, whose
+  // leftover heap gains still upper-bound marginals wrt the prefix — and
+  // a fresh one must be active before any adoption publish samples below.
+  if (options_.quality_sampling && !threw) {
+    quality_tracker_.OnCertificate(result.opt_decrement_bound);
   }
 
   bool abnormal = false;
@@ -604,6 +698,11 @@ EngineMode Engine::mode() const {
   return mode_;
 }
 
+obs::QualityTimelineSnapshot Engine::QualityTimeline() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return quality_timeline_.Snapshot();
+}
+
 EngineHistograms Engine::histograms() const {
   std::lock_guard<std::mutex> lock(state_mu_);
   return histograms_;
@@ -635,6 +734,40 @@ obs::MetricsRegistry Engine::Metrics() const {
   registry.AddHistogramNs("tdmd_engine_greedy_round",
                           latencies.greedy_round_ns,
                           "one CELF greedy round inside a re-solve");
+  const obs::QualityTimelineSnapshot quality = QualityTimeline();
+  registry.AddCounter("tdmd_quality_samples_total", quality.samples_total,
+                      "quality samples recorded");
+  registry.AddCounter("tdmd_quality_alerts_raised_total",
+                      quality.alerts_raised_total,
+                      "quality alert raise edges");
+  registry.AddCounter("tdmd_quality_alerts_cleared_total",
+                      quality.alerts_cleared_total,
+                      "quality alert clear edges");
+  registry.AddCounter("tdmd_quality_alerts_active", quality.active_alerts,
+                      "active quality alert bitmask (bit per "
+                      "QualityAlertKind)");
+  if (!quality.samples.empty()) {
+    const obs::QualitySample& latest = quality.samples.back();
+    registry.AddGauge("tdmd_quality_realized_ratio", latest.realized_ratio,
+                      "realized decrement over the certified optimum "
+                      "bound; Theorem 3 floor is 1 - 1/e");
+    registry.AddGauge("tdmd_quality_decrement", latest.decrement,
+                      "realized bandwidth decrement d(P)");
+    registry.AddGauge("tdmd_quality_opt_bound", latest.opt_bound,
+                      "certified upper bound on d(OPT_k)");
+    registry.AddGauge("tdmd_quality_feasibility_margin",
+                      latest.feasibility_margin,
+                      "spare budget fraction (k - |P|) / k");
+    registry.AddGauge("tdmd_quality_ewma_ratio", quality.ewma,
+                      "EWMA-smoothed realized ratio");
+    registry.AddGauge("tdmd_quality_cusum", quality.cusum,
+                      "one-sided CUSUM statistic on the quality gap");
+  }
+  if (obs::Tracer* tracer = obs::CurrentTracer(); tracer != nullptr) {
+    registry.AddCounter(
+        "tdmd_trace_dropped_total", tracer->DroppedTotal(),
+        "trace events overwritten in per-thread rings before draining");
+  }
   return registry;
 }
 
@@ -677,6 +810,12 @@ EngineCheckpoint Engine::Checkpoint() const {
   checkpoint.index_delta_histogram = histograms_.index_delta_ns.Snapshot();
   checkpoint.greedy_round_histogram =
       histograms_.greedy_round_ns.Snapshot();
+  checkpoint.has_quality = options_.quality_sampling;
+  if (checkpoint.has_quality) {
+    checkpoint.quality_tracker = quality_tracker_.state();
+    checkpoint.quality_attribution = quality_attribution_;
+    checkpoint.quality = quality_timeline_.Snapshot();
+  }
   return checkpoint;
 }
 
@@ -731,6 +870,15 @@ void Engine::Restore(const EngineCheckpoint& checkpoint) {
           histograms_.greedy_round_ns.Restore(
               checkpoint.greedy_round_histogram),
       "checkpoint histogram state is incoherent");
+  if (checkpoint.has_quality) {
+    quality_tracker_.RestoreState(checkpoint.quality_tracker);
+    quality_attribution_ = checkpoint.quality_attribution;
+    TDMD_CHECK_MSG(quality_timeline_.Restore(checkpoint.quality),
+                   "checkpoint quality state is incoherent");
+  }
+  // The previous publish left prev == deployment, so replayed churn
+  // computes the same churn_moves the uninterrupted run would.
+  quality_prev_deployment_ = deployment_;
 
   // Re-seat the published snapshot wholesale (not via PublishLocked): the
   // version sequence must continue from the checkpointed value so replay

@@ -68,6 +68,8 @@
 #include "graph/digraph.hpp"
 #include "obs/histogram.hpp"
 #include "obs/metrics.hpp"
+#include "obs/quality.hpp"
+#include "obs/timeseries.hpp"
 #include "parallel/thread_pool.hpp"
 #include "traffic/flow.hpp"
 
@@ -104,6 +106,18 @@ struct EngineOptions {
   /// Deterministic; used by benches measuring per-epoch latency and by
   /// tests.
   bool synchronous = false;
+
+  // --- quality observability ----------------------------------------------
+
+  /// Record a QualitySample on every snapshot publish (skipping the
+  /// constructor's empty-deployment publish) and run the regression
+  /// detectors over the stream.  O(|P| + |churn|) per epoch; the
+  /// bench/quality_overhead leg pins the cost under the 5% budget.
+  bool quality_sampling = true;
+  /// Epoch ring capacity of the quality timeline.
+  std::size_t quality_capacity = 512;
+  /// Detector tuning (EWMA / CUSUM / SLO burn rates).
+  obs::QualityDetectorOptions quality_detectors;
 
   // --- fault tolerance ----------------------------------------------------
 
@@ -305,6 +319,11 @@ class Engine {
   /// Current degradation mode.
   EngineMode mode() const;
 
+  /// Copy of the quality timeline: the epoch ring (oldest first), the
+  /// alert log and the detector state.  Empty when quality_sampling is
+  /// off.
+  obs::QualityTimelineSnapshot QualityTimeline() const;
+
   /// Live coverage index (client-thread only; see threading contract).
   const FlowCoverageIndex& index() const { return index_; }
 
@@ -424,6 +443,16 @@ class Engine {
   bool stopping_ = false;
   EngineStats stats_;
   EngineHistograms histograms_;
+  /// Quality observability (all guarded by state_mu_).  The tracker owns
+  /// the optimality-certificate bookkeeping, the timeline the epoch ring
+  /// and detectors; quality_prev_deployment_ is the deployment at the
+  /// previous publish (for churn_moves) and quality_attribution_ the live
+  /// per-vertex marginal-decrement ledger (rebuilt on adoption from the
+  /// solver's chosen gains, appended to by the feasibility patch).
+  obs::QualityTracker quality_tracker_;
+  obs::QualityTimeline quality_timeline_;
+  core::Deployment quality_prev_deployment_;
+  std::vector<obs::VertexAttribution> quality_attribution_;
 
   mutable std::mutex snapshot_mu_;
   std::shared_ptr<const DeploymentSnapshot> snapshot_;

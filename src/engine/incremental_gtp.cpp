@@ -213,10 +213,6 @@ IncrementalGtpResult SolveIncrementalGtp(
   };
   celf.Prime(index.num_vertices(), gain_oracle, &result.oracle_calls);
 
-#if TDMD_AUDITS_ENABLED
-  std::vector<Bandwidth> chosen_gains;
-#endif
-
   const bool has_deadline =
       options.deadline != std::chrono::steady_clock::time_point{};
 
@@ -283,9 +279,7 @@ IncrementalGtpResult SolveIncrementalGtp(
     }
     state.Deploy(chosen.vertex);
     result.deployment.Add(chosen.vertex);
-#if TDMD_AUDITS_ENABLED
-    chosen_gains.push_back(chosen.gain);
-#endif
+    result.chosen_gains.push_back(chosen.gain);
     // Algorithm 1's loop condition: in unbudgeted mode, stop as soon as
     // every flow is served.
     if (options.max_middleboxes == 0 && state.AllServed()) break;
@@ -293,12 +287,22 @@ IncrementalGtpResult SolveIncrementalGtp(
 
   result.bandwidth = state.bandwidth();
   result.feasible = state.AllServed();
+  // Optimality certificate: d(P) plus the top-`budget` residual stale
+  // gains.  The heap entries left behind (including re-pushed feasibility
+  // rejects) all upper-bound their vertices' marginals wrt P, so for any
+  // |S| <= budget, d(S) <= d(P) + that sum.  The candidate dropped on the
+  // `gain <= 0 && AllServed` break had a non-positive bound and
+  // contributes nothing.
+  result.opt_decrement_bound =
+      (index.unprocessed_bandwidth() - state.bandwidth()) +
+      celf.ResidualUpperBound(budget, result.deployment);
 #if TDMD_AUDITS_ENABLED
   if (!result.cancelled) {
     // Feasibility-aware selection deliberately skips max-gain vertices, so
     // only the pure lazy-greedy mode promises Theorem 2's monotone gains.
     if (!options.feasibility_aware) {
-      analysis::CheckAudit(analysis::AuditGreedyGainSequence(chosen_gains));
+      analysis::CheckAudit(
+          analysis::AuditGreedyGainSequence(result.chosen_gains));
     }
     const core::Instance instance = index.BuildInstance();
     core::PlacementResult as_placement;

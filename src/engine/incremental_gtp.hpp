@@ -22,6 +22,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <vector>
 
 #include "common/types.hpp"
 #include "core/deployment.hpp"
@@ -82,6 +83,17 @@ struct IncrementalGtpResult {
   /// Gain evaluations a plain full-scan greedy would have performed but
   /// CELF skipped — the "heap re-evaluations saved" engine counter.
   std::size_t reevals_saved = 0;
+  /// Certified upper bound on d(S) for any deployment S with |S| <= the
+  /// effective budget: d(P) plus the CELF heap's residual top-k stale-gain
+  /// sum (CelfQueue::ResidualUpperBound).  Valid by submodularity even for
+  /// cancelled / deadline-expired prefixes — their stale gains still
+  /// upper-bound marginals wrt the prefix.  Feeds obs::QualityTracker.
+  Bandwidth opt_decrement_bound = 0.0;
+  /// Marginal gain of each chosen vertex, in selection order — the
+  /// per-vertex decrement attribution the engine republishes on adoption
+  /// (obs::VertexAttribution) and the audit layer's gain-monotonicity
+  /// input.  chosen_gains[i] belongs to deployment.vertices()[i].
+  std::vector<Bandwidth> chosen_gains;
 };
 
 /// Runs budgeted lazy-greedy GTP against the index's current flow set.

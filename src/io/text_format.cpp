@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "obs/histogram.hpp"
+#include "obs/quality.hpp"
+#include "obs/timeseries.hpp"
 
 namespace tdmd::io {
 
@@ -181,6 +183,53 @@ void WriteEngineCheckpoint(std::ostream& os,
     write_histogram("resolve", checkpoint.resolve_histogram);
     write_histogram("index-delta", checkpoint.index_delta_histogram);
     write_histogram("greedy-round", checkpoint.greedy_round_histogram);
+  }
+  if (options.include_quality && checkpoint.has_quality) {
+    // Optional quality-observability section.  Samples serialize only
+    // their primaries (hexfloat, bit-exact); the reader re-derives
+    // decrement/ratio/margin via obs::DeriveQualityFields so writer and
+    // restorer share one arithmetic.
+    const auto write_attr = [&os](const obs::VertexAttribution& attr) {
+      os << "qv " << attr.vertex << ' ' << std::hexfloat
+         << attr.marginal_decrement << std::defaultfloat << '\n';
+    };
+    os << "quality v1\n";
+    os << "qbound " << (checkpoint.quality_tracker.cert_valid ? 1 : 0)
+       << ' ' << std::hexfloat << checkpoint.quality_tracker.cert_bound
+       << std::defaultfloat << '\n';
+    os << "qadoption-age "
+       << checkpoint.quality_tracker.epochs_since_adoption << '\n';
+    os << "qattr " << checkpoint.quality_attribution.size() << '\n';
+    for (const obs::VertexAttribution& attr :
+         checkpoint.quality_attribution) {
+      write_attr(attr);
+    }
+    const obs::QualityTimelineSnapshot& q = checkpoint.quality;
+    os << "qdetector " << std::hexfloat << q.ewma << std::defaultfloat
+       << ' ' << (q.ewma_primed ? 1 : 0) << ' ' << std::hexfloat << q.cusum
+       << std::defaultfloat << ' ' << q.active_alerts << ' '
+       << q.samples_total << ' ' << q.alerts_raised_total << ' '
+       << q.alerts_cleared_total << '\n';
+    os << "qsamples " << q.samples.size() << '\n';
+    for (const obs::QualitySample& s : q.samples) {
+      os << "qsample " << s.epoch << ' ' << s.version << ' ' << s.mode
+         << ' ' << (s.feasible ? 1 : 0) << ' ' << s.deployed << ' '
+         << s.budget << ' ' << s.churn_moves << ' '
+         << s.epochs_since_adoption << ' ' << (s.certified ? 1 : 0) << ' '
+         << std::hexfloat << s.bandwidth << ' ' << s.unprocessed << ' '
+         << s.opt_bound << std::defaultfloat << ' ' << s.attribution.size()
+         << '\n';
+      for (const obs::VertexAttribution& attr : s.attribution) {
+        write_attr(attr);
+      }
+    }
+    os << "qalerts " << q.alerts.size() << '\n';
+    for (const obs::QualityAlert& a : q.alerts) {
+      os << "qalert " << static_cast<std::uint32_t>(a.kind) << ' '
+         << (a.raised ? 1 : 0) << ' ' << a.epoch << ' ' << std::hexfloat
+         << a.value << ' ' << a.threshold << std::defaultfloat << '\n';
+    }
+    os << "end quality\n";
   }
   os << "end engine-checkpoint\n";
 }
@@ -750,6 +799,172 @@ Parsed<engine::EngineCheckpoint> ReadEngineCheckpoint(std::istream& is) {
                             cp.index_delta_histogram, result.error) ||
         !ReadHistogramBlock(reader, tokens, "greedy-round",
                             cp.greedy_round_histogram, result.error)) {
+      return result;
+    }
+    if (!reader.Next(tokens)) {
+      result.error = AtLine(reader.line_number(),
+                            "expected terminator 'end engine-checkpoint'");
+      return result;
+    }
+  }
+  if (!tokens.empty() && tokens[0] == "quality") {
+    // Optional quality-observability section (also absent from records
+    // written with include_quality off or before the section existed).
+    if (tokens.size() != 2 || tokens[1] != "v1") {
+      result.error = AtLine(reader.line_number(), "expected 'quality v1'");
+      return result;
+    }
+    cp.has_quality = true;
+    const auto read_attr = [&](obs::VertexAttribution& out) {
+      std::int64_t v = 0;
+      double marginal = 0.0;
+      if (!reader.Next(tokens) || tokens.size() != 3 || tokens[0] != "qv" ||
+          !ParseInt(tokens[1], v) || v < 0 || v >= num_vertices ||
+          !ParseDouble(tokens[2], marginal) || !std::isfinite(marginal)) {
+        result.error = AtLine(reader.line_number(),
+                              "malformed 'qv <vertex> <marginal>'");
+        return false;
+      }
+      out.vertex = static_cast<VertexId>(v);
+      out.marginal_decrement = marginal;
+      return true;
+    };
+    std::uint64_t flag = 0;
+    if (!reader.Next(tokens) || tokens.size() != 3 ||
+        tokens[0] != "qbound" || !ParseU64(tokens[1], flag) || flag > 1 ||
+        !ParseDouble(tokens[2], cp.quality_tracker.cert_bound) ||
+        !std::isfinite(cp.quality_tracker.cert_bound)) {
+      result.error = AtLine(reader.line_number(),
+                            "expected 'qbound <0|1> <bound>'");
+      return result;
+    }
+    cp.quality_tracker.cert_valid = flag == 1;
+    if (!ReadKeyedU64(reader, tokens, "qadoption-age",
+                      cp.quality_tracker.epochs_since_adoption,
+                      result.error)) {
+      return result;
+    }
+    std::uint64_t qcount = 0;
+    if (!ReadKeyedU64(reader, tokens, "qattr", qcount, result.error)) {
+      return result;
+    }
+    if (qcount > static_cast<std::uint64_t>(num_vertices)) {
+      result.error = AtLine(reader.line_number(),
+                            "qattr count exceeds num-vertices");
+      return result;
+    }
+    cp.quality_attribution.reserve(static_cast<std::size_t>(qcount));
+    for (std::uint64_t i = 0; i < qcount; ++i) {
+      obs::VertexAttribution attr;
+      if (!read_attr(attr)) return result;
+      cp.quality_attribution.push_back(attr);
+    }
+    obs::QualityTimelineSnapshot& q = cp.quality;
+    std::uint64_t primed = 0;
+    std::uint64_t active_bits = 0;
+    if (!reader.Next(tokens) || tokens.size() != 8 ||
+        tokens[0] != "qdetector" || !ParseDouble(tokens[1], q.ewma) ||
+        !std::isfinite(q.ewma) || !ParseU64(tokens[2], primed) ||
+        primed > 1 || !ParseDouble(tokens[3], q.cusum) ||
+        !std::isfinite(q.cusum) || !ParseU64(tokens[4], active_bits) ||
+        active_bits >= (1ULL << obs::kNumQualityAlertKinds) ||
+        !ParseU64(tokens[5], q.samples_total) ||
+        !ParseU64(tokens[6], q.alerts_raised_total) ||
+        !ParseU64(tokens[7], q.alerts_cleared_total)) {
+      result.error = AtLine(reader.line_number(),
+                            "malformed 'qdetector' record");
+      return result;
+    }
+    q.ewma_primed = primed == 1;
+    q.active_alerts = static_cast<std::uint32_t>(active_bits);
+    if (!ReadKeyedU64(reader, tokens, "qsamples", qcount, result.error)) {
+      return result;
+    }
+    if (qcount > q.samples_total) {
+      result.error = AtLine(reader.line_number(),
+                            "qsamples exceeds samples-total");
+      return result;
+    }
+    q.samples.reserve(static_cast<std::size_t>(qcount));
+    for (std::uint64_t i = 0; i < qcount; ++i) {
+      obs::QualitySample s;
+      std::uint64_t s_feasible = 0;
+      std::uint64_t s_deployed = 0;
+      std::uint64_t s_budget = 0;
+      std::uint64_t s_moves = 0;
+      std::uint64_t s_certified = 0;
+      std::uint64_t s_nattr = 0;
+      if (!reader.Next(tokens) || tokens.size() != 14 ||
+          tokens[0] != "qsample" || !ParseU64(tokens[1], s.epoch) ||
+          !ParseU64(tokens[2], s.version) || !ParseU64(tokens[3], s.mode) ||
+          s.mode > 2 || !ParseU64(tokens[4], s_feasible) ||
+          s_feasible > 1 || !ParseU64(tokens[5], s_deployed) ||
+          s_deployed > static_cast<std::uint64_t>(num_vertices) ||
+          !ParseU64(tokens[6], s_budget) ||
+          s_budget > std::numeric_limits<std::uint32_t>::max() ||
+          !ParseU64(tokens[7], s_moves) ||
+          s_moves > std::numeric_limits<std::uint32_t>::max() ||
+          !ParseU64(tokens[8], s.epochs_since_adoption) ||
+          !ParseU64(tokens[9], s_certified) || s_certified > 1 ||
+          !ParseDouble(tokens[10], s.bandwidth) ||
+          !std::isfinite(s.bandwidth) ||
+          !ParseDouble(tokens[11], s.unprocessed) ||
+          !std::isfinite(s.unprocessed) ||
+          !ParseDouble(tokens[12], s.opt_bound) ||
+          !std::isfinite(s.opt_bound) || !ParseU64(tokens[13], s_nattr) ||
+          s_nattr > static_cast<std::uint64_t>(num_vertices)) {
+        result.error =
+            AtLine(reader.line_number(), "malformed 'qsample' record");
+        return result;
+      }
+      s.feasible = s_feasible == 1;
+      s.certified = s_certified == 1;
+      s.deployed = static_cast<std::uint32_t>(s_deployed);
+      s.budget = static_cast<std::uint32_t>(s_budget);
+      s.churn_moves = static_cast<std::uint32_t>(s_moves);
+      s.attribution.reserve(static_cast<std::size_t>(s_nattr));
+      for (std::uint64_t a = 0; a < s_nattr; ++a) {
+        obs::VertexAttribution attr;
+        if (!read_attr(attr)) return result;
+        s.attribution.push_back(attr);
+      }
+      obs::DeriveQualityFields(&s);  // derived fields are never trusted
+      q.samples.push_back(std::move(s));
+    }
+    if (!ReadKeyedU64(reader, tokens, "qalerts", qcount, result.error)) {
+      return result;
+    }
+    if (qcount > obs::QualityTimeline::kMaxAlertLog) {
+      result.error =
+          AtLine(reader.line_number(), "qalerts count out of range");
+      return result;
+    }
+    q.alerts.reserve(static_cast<std::size_t>(qcount));
+    for (std::uint64_t i = 0; i < qcount; ++i) {
+      obs::QualityAlert alert;
+      std::uint64_t kind = 0;
+      std::uint64_t raised = 0;
+      if (!reader.Next(tokens) || tokens.size() != 6 ||
+          tokens[0] != "qalert" || !ParseU64(tokens[1], kind) ||
+          kind >= obs::kNumQualityAlertKinds ||
+          !ParseU64(tokens[2], raised) || raised > 1 ||
+          !ParseU64(tokens[3], alert.epoch) ||
+          !ParseDouble(tokens[4], alert.value) ||
+          !std::isfinite(alert.value) ||
+          !ParseDouble(tokens[5], alert.threshold) ||
+          !std::isfinite(alert.threshold)) {
+        result.error =
+            AtLine(reader.line_number(), "malformed 'qalert' record");
+        return result;
+      }
+      alert.kind = static_cast<obs::QualityAlertKind>(kind);
+      alert.raised = raised == 1;
+      q.alerts.push_back(alert);
+    }
+    if (!reader.Next(tokens) || tokens.size() != 2 || tokens[0] != "end" ||
+        tokens[1] != "quality") {
+      result.error =
+          AtLine(reader.line_number(), "expected terminator 'end quality'");
       return result;
     }
     if (!reader.Next(tokens)) {

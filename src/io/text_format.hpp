@@ -50,6 +50,25 @@
 //   bucket <index> <count>            (repeated per histogram; names are
 //                                      patch, resolve, index-delta,
 //                                      greedy-round, in that order)
+//   quality v1                        (optional quality-observability
+//                                      section)
+//   qbound <0|1> <hexfloat>           (certificate valid flag + bound)
+//   qadoption-age <u64>
+//   qattr <count>
+//   qv <vertex> <hexfloat>            (repeated; attribution ledger)
+//   qdetector <ewma-hexfloat> <primed 0|1> <cusum-hexfloat>
+//             <active-bits> <samples-total> <raised-total> <cleared-total>
+//   qsamples <count>
+//   qsample <epoch> <version> <mode> <feasible 0|1> <deployed> <budget>
+//           <moves> <since-adoption> <certified 0|1> <bandwidth-hexfloat>
+//           <unprocessed-hexfloat> <bound-hexfloat> <num-attr>
+//   qv <vertex> <hexfloat>            (repeated num-attr times per sample;
+//                                      derived fields are re-derived, not
+//                                      serialized)
+//   qalerts <count>
+//   qalert <kind> <raised 0|1> <epoch> <value-hexfloat>
+//          <threshold-hexfloat>
+//   end quality
 //   end engine-checkpoint
 //
 // Parsing is strict: unknown records, wrong counts, or malformed numbers
@@ -94,6 +113,11 @@ struct EngineCheckpointWriteOptions {
   /// without it (timing samples differ run to run); everything else keeps
   /// the default.
   bool include_histograms = true;
+  /// The quality section is likewise optional.  Quality state is
+  /// deterministic under synchronous replay, but async runs sample on
+  /// adoption timing, and byte-comparisons against records written before
+  /// the section existed need it off.
+  bool include_quality = true;
 };
 
 void WriteEngineCheckpoint(std::ostream& os,

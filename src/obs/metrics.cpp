@@ -21,6 +21,13 @@ std::string MeanString(double value) {
   return buffer;
 }
 
+// Gauge values: shortest form that round-trips typical ratios/bandwidths.
+std::string GaugeString(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
 }  // namespace
 
 void MetricsRegistry::AddCounter(const std::string& name, std::uint64_t value,
@@ -32,6 +39,11 @@ void MetricsRegistry::AddHistogramNs(const std::string& name,
                                      const LatencyHistogram& histogram,
                                      const std::string& help) {
   histograms_.push_back(Histogram{name, histogram.Summarize(), help});
+}
+
+void MetricsRegistry::AddGauge(const std::string& name, double value,
+                               const std::string& help) {
+  gauges_.push_back(Gauge{name, value, help});
 }
 
 void MetricsRegistry::Render(std::ostream& os, MetricsFormat format) const {
@@ -50,6 +62,11 @@ void MetricsRegistry::RenderPrometheus(std::ostream& os) const {
     os << "# HELP " << counter.name << " " << counter.help << "\n";
     os << "# TYPE " << counter.name << " counter\n";
     os << counter.name << " " << counter.value << "\n";
+  }
+  for (const Gauge& gauge : gauges_) {
+    os << "# HELP " << gauge.name << " " << gauge.help << "\n";
+    os << "# TYPE " << gauge.name << " gauge\n";
+    os << gauge.name << " " << GaugeString(gauge.value) << "\n";
   }
   for (const Histogram& histogram : histograms_) {
     const std::string name = histogram.name + "_seconds";
@@ -72,7 +89,18 @@ void MetricsRegistry::RenderJson(std::ostream& os) const {
     first = false;
     os << "    \"" << counter.name << "\": " << counter.value;
   }
-  os << "\n  },\n  \"histograms\": {";
+  os << "\n  },\n";
+  if (!gauges_.empty()) {
+    os << "  \"gauges\": {";
+    first = true;
+    for (const Gauge& gauge : gauges_) {
+      os << (first ? "\n" : ",\n");
+      first = false;
+      os << "    \"" << gauge.name << "\": " << GaugeString(gauge.value);
+    }
+    os << "\n  },\n";
+  }
+  os << "  \"histograms\": {";
   first = true;
   for (const Histogram& histogram : histograms_) {
     const HistogramSummary& s = histogram.summary;

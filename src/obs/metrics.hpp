@@ -33,6 +33,13 @@ class MetricsRegistry {
                       const LatencyHistogram& histogram,
                       const std::string& help);
 
+  /// Registers an instantaneous double-valued gauge (e.g. the realized
+  /// quality ratio).  The JSON rendering adds a "gauges" object only when
+  /// at least one gauge is registered, so counter/histogram-only output is
+  /// unchanged.
+  void AddGauge(const std::string& name, double value,
+                const std::string& help);
+
   void Render(std::ostream& os, MetricsFormat format) const;
 
  private:
@@ -46,12 +53,18 @@ class MetricsRegistry {
     HistogramSummary summary;
     std::string help;
   };
+  struct Gauge {
+    std::string name;
+    double value = 0.0;
+    std::string help;
+  };
 
   void RenderPrometheus(std::ostream& os) const;
   void RenderJson(std::ostream& os) const;
 
   std::vector<Counter> counters_;
   std::vector<Histogram> histograms_;
+  std::vector<Gauge> gauges_;
 };
 
 }  // namespace tdmd::obs

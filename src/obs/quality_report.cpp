@@ -1,0 +1,131 @@
+#include "obs/quality_report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <istream>
+#include <iterator>
+#include <ostream>
+
+#include "obs/quality.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/trace_report.hpp"
+
+namespace tdmd::obs {
+
+namespace {
+
+QualityReport Fail(const std::string& error) {
+  QualityReport report;
+  report.error = error;
+  return report;
+}
+
+}  // namespace
+
+QualityReport BuildQualityReport(std::istream& is) {
+  const std::string text((std::istreambuf_iterator<char>(is)),
+                         std::istreambuf_iterator<char>());
+  const std::size_t events_key = text.find("\"traceEvents\"");
+  if (events_key == std::string::npos) {
+    return Fail("no \"traceEvents\" key — not a Chrome trace JSON file");
+  }
+  std::size_t pos = text.find('[', events_key);
+  if (pos == std::string::npos) {
+    return Fail("\"traceEvents\" is not followed by an array");
+  }
+  ++pos;
+
+  QualityReport report;
+  bool saw_event = false;
+  double ratio_sum = 0.0;
+  for (;;) {
+    std::string object;
+    bool done = false;
+    if (!internal::NextArrayObject(text, &pos, &object, &done)) {
+      return Fail("malformed traceEvents array (unbalanced object)");
+    }
+    if (done) break;
+    std::string name;
+    std::string ph;
+    double ts = 0.0;
+    if (!internal::FindStringField(object, "name", &name) ||
+        !internal::FindStringField(object, "ph", &ph) ||
+        !internal::FindNumberField(object, "ts", &ts)) {
+      return Fail("trace event missing name/ph/ts: " + object);
+    }
+    saw_event = true;
+    if (name != "quality-sample" && name != "quality-alert") continue;
+    double arg_value = 0.0;
+    if (!internal::FindNumberField(object, "arg", &arg_value) ||
+        arg_value < 0.0) {
+      return Fail("quality event missing args.arg: " + object);
+    }
+    // Packed args stay below 2^53 for any epoch count a trace can hold,
+    // so the double round-trip through JSON is exact.
+    const auto arg = static_cast<std::uint64_t>(arg_value);
+    if (name == "quality-sample") {
+      QualityReportPoint point;
+      UnpackQualitySampleArg(arg, &point.epoch, &point.ratio);
+      ratio_sum += point.ratio;
+      if (point.ratio < kQualityRatioFloor) ++report.below_floor;
+      report.min_ratio = report.points.empty()
+                             ? point.ratio
+                             : std::min(report.min_ratio, point.ratio);
+      report.last_ratio = point.ratio;
+      report.points.push_back(point);
+    } else {
+      QualityAlert alert;
+      if (!UnpackQualityAlertArg(arg, &alert)) {
+        return Fail("quality-alert event with unknown kind: " + object);
+      }
+      QualityReportAlertRow row;
+      row.kind = QualityAlertKindName(alert.kind);
+      row.raised = alert.raised;
+      row.epoch = alert.epoch;
+      report.alerts.push_back(row);
+    }
+  }
+  if (!saw_event) {
+    return Fail("trace contains no events");
+  }
+  if (report.points.empty()) {
+    return Fail(
+        "trace contains no quality-sample events — was the serve traced "
+        "with quality sampling enabled?");
+  }
+  report.num_samples = report.points.size();
+  report.num_alert_events = report.alerts.size();
+  report.mean_ratio =
+      ratio_sum / static_cast<double>(report.points.size());
+  report.ok = true;
+  return report;
+}
+
+void WriteQualityReport(std::ostream& os, const QualityReport& report) {
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "quality: %zu samples, %zu alert events, floor %.4f\n",
+                report.num_samples, report.num_alert_events,
+                kQualityRatioFloor);
+  os << line;
+  std::snprintf(line, sizeof(line),
+                "ratio: min %.4f mean %.4f last %.4f, %zu below floor\n",
+                report.min_ratio, report.mean_ratio, report.last_ratio,
+                report.below_floor);
+  os << line;
+  for (const QualityReportAlertRow& row : report.alerts) {
+    std::snprintf(line, sizeof(line), "alert %-30s %-7s epoch %llu\n",
+                  row.kind.c_str(), row.raised ? "RAISED" : "cleared",
+                  static_cast<unsigned long long>(row.epoch));
+    os << line;
+  }
+  for (const QualityReportPoint& point : report.points) {
+    std::snprintf(line, sizeof(line), "epoch %6llu ratio %.4f %s\n",
+                  static_cast<unsigned long long>(point.epoch),
+                  point.ratio,
+                  point.ratio < kQualityRatioFloor ? "<floor" : "");
+    os << line;
+  }
+}
+
+}  // namespace tdmd::obs

@@ -1,0 +1,192 @@
+#include "obs/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tdmd::obs {
+
+const char* QualityAlertKindName(QualityAlertKind kind) {
+  switch (kind) {
+    case QualityAlertKind::kQualityGapCusum:
+      return "quality-gap-cusum";
+    case QualityAlertKind::kQualityGapBurnRate:
+      return "quality-gap-burn-rate";
+    case QualityAlertKind::kAdoptionStalenessBurnRate:
+      return "adoption-staleness-burn-rate";
+  }
+  return "unknown";
+}
+
+QualityTimeline::QualityTimeline(std::size_t capacity,
+                                 const QualityDetectorOptions& detectors)
+    : capacity_(capacity == 0 ? 1 : capacity), detectors_(detectors) {}
+
+std::size_t QualityTimeline::CountWindowViolations(
+    QualityAlertKind kind) const {
+  const std::size_t window = std::min(detectors_.burn_window,
+                                      samples_.size());
+  std::size_t violations = 0;
+  for (std::size_t i = samples_.size() - window; i < samples_.size(); ++i) {
+    const QualitySample& s = samples_[i];
+    const bool violating =
+        kind == QualityAlertKind::kAdoptionStalenessBurnRate
+            ? s.epochs_since_adoption > detectors_.adoption_slo_epochs
+            : s.realized_ratio < detectors_.ratio_floor;
+    if (violating) ++violations;
+  }
+  return violations;
+}
+
+void QualityTimeline::Emit(QualityAlertKind kind, bool raised,
+                           std::uint64_t epoch, double value,
+                           double threshold,
+                           std::vector<QualityAlert>* fired) {
+  QualityAlert alert;
+  alert.kind = kind;
+  alert.raised = raised;
+  alert.epoch = epoch;
+  alert.value = value;
+  alert.threshold = threshold;
+  if (raised) {
+    active_alerts_ |= KindBit(kind);
+    ++alerts_raised_total_;
+  } else {
+    active_alerts_ &= ~KindBit(kind);
+    ++alerts_cleared_total_;
+  }
+  alerts_.push_back(alert);
+  if (alerts_.size() > kMaxAlertLog) {
+    alerts_.erase(alerts_.begin());
+  }
+  fired->push_back(alert);
+}
+
+void QualityTimeline::RunBurnDetector(QualityAlertKind kind,
+                                      std::uint64_t epoch,
+                                      std::vector<QualityAlert>* fired) {
+  // Burn rates need a full window; until then the detector stays silent
+  // (and an already-active alert from a restored timeline holds).
+  if (samples_.size() < detectors_.burn_window ||
+      detectors_.burn_window == 0 || detectors_.burn_error_budget <= 0.0) {
+    return;
+  }
+  const double violations =
+      static_cast<double>(CountWindowViolations(kind));
+  const double burn = violations /
+                      (static_cast<double>(detectors_.burn_window) *
+                       detectors_.burn_error_budget);
+  if (!AlertActive(kind) && burn > 1.0) {
+    Emit(kind, /*raised=*/true, epoch, burn, 1.0, fired);
+  } else if (AlertActive(kind) && burn <= 1.0) {
+    Emit(kind, /*raised=*/false, epoch, burn, 1.0, fired);
+  }
+}
+
+std::vector<QualityAlert> QualityTimeline::Push(
+    const QualitySample& sample) {
+  if (samples_.size() == capacity_) {
+    samples_.erase(samples_.begin());
+  }
+  samples_.push_back(sample);
+  ++samples_total_;
+
+  const double ratio = sample.realized_ratio;
+  if (ewma_primed_) {
+    ewma_ = detectors_.ewma_alpha * ratio +
+            (1.0 - detectors_.ewma_alpha) * ewma_;
+  } else {
+    ewma_ = ratio;
+    ewma_primed_ = true;
+  }
+
+  std::vector<QualityAlert> fired;
+  const QualityAlertKind cusum_kind = QualityAlertKind::kQualityGapCusum;
+  cusum_ = std::max(
+      0.0, cusum_ + (detectors_.ratio_floor - detectors_.cusum_slack -
+                     ratio));
+  if (!AlertActive(cusum_kind) && cusum_ >= detectors_.cusum_threshold) {
+    Emit(cusum_kind, /*raised=*/true, sample.epoch, cusum_,
+         detectors_.cusum_threshold, &fired);
+  } else if (AlertActive(cusum_kind) && cusum_ <= 0.0) {
+    Emit(cusum_kind, /*raised=*/false, sample.epoch, cusum_,
+         detectors_.cusum_threshold, &fired);
+  }
+
+  RunBurnDetector(QualityAlertKind::kQualityGapBurnRate, sample.epoch,
+                  &fired);
+  RunBurnDetector(QualityAlertKind::kAdoptionStalenessBurnRate,
+                  sample.epoch, &fired);
+  return fired;
+}
+
+QualityTimelineSnapshot QualityTimeline::Snapshot() const {
+  QualityTimelineSnapshot snapshot;
+  snapshot.samples = samples_;
+  snapshot.alerts = alerts_;
+  snapshot.ewma = ewma_;
+  snapshot.ewma_primed = ewma_primed_;
+  snapshot.cusum = cusum_;
+  snapshot.active_alerts = active_alerts_;
+  snapshot.samples_total = samples_total_;
+  snapshot.alerts_raised_total = alerts_raised_total_;
+  snapshot.alerts_cleared_total = alerts_cleared_total_;
+  return snapshot;
+}
+
+bool QualityTimeline::Restore(const QualityTimelineSnapshot& snapshot) {
+  if (snapshot.samples.size() > capacity_ ||
+      snapshot.alerts.size() > kMaxAlertLog ||
+      snapshot.active_alerts >= (1U << kNumQualityAlertKinds) ||
+      !std::isfinite(snapshot.ewma) || !std::isfinite(snapshot.cusum) ||
+      snapshot.cusum < 0.0 ||
+      snapshot.samples_total < snapshot.samples.size()) {
+    return false;
+  }
+  samples_ = snapshot.samples;
+  alerts_ = snapshot.alerts;
+  ewma_ = snapshot.ewma;
+  ewma_primed_ = snapshot.ewma_primed;
+  cusum_ = snapshot.cusum;
+  active_alerts_ = snapshot.active_alerts;
+  samples_total_ = snapshot.samples_total;
+  alerts_raised_total_ = snapshot.alerts_raised_total;
+  alerts_cleared_total_ = snapshot.alerts_cleared_total;
+  return true;
+}
+
+namespace {
+
+constexpr double kPpm = 1e6;
+constexpr std::uint64_t kMaxRatioPpm = 4000000;  // ratios clamp at 4.0
+
+}  // namespace
+
+std::uint64_t PackQualitySampleArg(std::uint64_t epoch, double ratio) {
+  const double clamped = std::clamp(ratio, 0.0, 4.0);
+  const auto ppm = static_cast<std::uint64_t>(
+      std::llround(clamped * kPpm));
+  return (epoch << 32) | std::min(ppm, kMaxRatioPpm);
+}
+
+void UnpackQualitySampleArg(std::uint64_t arg, std::uint64_t* epoch,
+                            double* ratio) {
+  *epoch = arg >> 32;
+  *ratio = static_cast<double>(arg & 0xffffffffULL) / kPpm;
+}
+
+std::uint64_t PackQualityAlertArg(const QualityAlert& alert) {
+  return (alert.epoch << 32) |
+         (static_cast<std::uint64_t>(alert.kind) << 1) |
+         (alert.raised ? 1ULL : 0ULL);
+}
+
+bool UnpackQualityAlertArg(std::uint64_t arg, QualityAlert* alert) {
+  const std::uint64_t kind = (arg >> 1) & 0x7fffffffULL;
+  if (kind >= kNumQualityAlertKinds) return false;
+  alert->kind = static_cast<QualityAlertKind>(kind);
+  alert->raised = (arg & 1ULL) != 0;
+  alert->epoch = arg >> 32;
+  return true;
+}
+
+}  // namespace tdmd::obs

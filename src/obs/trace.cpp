@@ -56,6 +56,10 @@ const char* TracePhaseName(TracePhase phase) {
       return "dp-node-merge";
     case TracePhase::kHatExtract:
       return "hat-extract";
+    case TracePhase::kQualitySample:
+      return "quality-sample";
+    case TracePhase::kQualityAlert:
+      return "quality-alert";
   }
   return "unknown";
 }
@@ -128,6 +132,16 @@ TraceDrainResult Tracer::Drain() {
               return a.tid < b.tid;
             });
   return result;
+}
+
+std::uint64_t Tracer::DroppedTotal() {
+  std::uint64_t dropped = 0;
+  std::lock_guard<std::mutex> rings_lock(rings_mu_);
+  for (const auto& ring_ptr : rings_) {
+    std::lock_guard<std::mutex> lock(ring_ptr->mu);
+    dropped += ring_ptr->overwritten;
+  }
+  return dropped;
 }
 
 void InstallTracer(Tracer* tracer) {

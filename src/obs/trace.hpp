@@ -44,9 +44,13 @@ enum class TracePhase : std::uint8_t {
   kCelfPop,         // CELF lazy-greedy pop (arg: gain re-evaluations)
   kDpNodeMerge,     // tree-DP per-node table merge (arg: vertex)
   kHatExtract,      // HAT lazy heap extraction
+  kQualitySample,   // engine: per-epoch quality sample (arg: packed
+                    // epoch/ratio, see obs::PackQualitySampleArg)
+  kQualityAlert,    // engine: quality alert edge (arg: packed
+                    // epoch/kind/raised, see obs::PackQualityAlertArg)
 };
 
-inline constexpr std::size_t kNumTracePhases = 14;
+inline constexpr std::size_t kNumTracePhases = 16;
 
 /// Stable dash-separated name used in trace output and reports.
 const char* TracePhaseName(TracePhase phase);
@@ -88,6 +92,13 @@ class Tracer {
   /// Collects and clears every ring.  Safe to call concurrently with
   /// emission; concurrent events land in the next drain.
   TraceDrainResult Drain();
+
+  /// Events overwritten by ring wrap-around since construction, without
+  /// draining the rings (the per-ring overwrite counters are cumulative,
+  /// so this matches the `dropped` field of a Drain issued at the same
+  /// moment).  Thread-safe; Engine::Metrics exposes it as
+  /// tdmd_trace_dropped_total.
+  std::uint64_t DroppedTotal();
 
   static constexpr std::size_t kDefaultRingCapacity = 1U << 14;
 

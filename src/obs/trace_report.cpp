@@ -11,11 +11,8 @@
 
 namespace tdmd::obs {
 
-namespace {
+namespace internal {
 
-// Extracts the string value of `"key": "..."` from a flat JSON object.
-// Returns false if the key is absent.  Escapes are left untouched — the
-// trace writer only emits phase names, which contain none.
 bool FindStringField(const std::string& object, const std::string& key,
                      std::string* value) {
   const std::string needle = "\"" + key + "\"";
@@ -56,8 +53,6 @@ bool FindNumberField(const std::string& object, const std::string& key,
   return end != start;
 }
 
-// Splits the top-level objects of a JSON array, honoring nested braces and
-// quoted strings.  `pos` must point just past the opening '['.
 bool NextArrayObject(const std::string& text, std::size_t* pos,
                      std::string* object, bool* done) {
   std::size_t i = *pos;
@@ -103,6 +98,14 @@ bool NextArrayObject(const std::string& text, std::size_t* pos,
   }
   return false;
 }
+
+}  // namespace internal
+
+namespace {
+
+using internal::FindNumberField;
+using internal::FindStringField;
+using internal::NextArrayObject;
 
 TraceReport Fail(const std::string& error) {
   TraceReport report;
@@ -178,8 +181,11 @@ TraceReport BuildTraceReport(std::istream& is) {
     ++report.num_events;
   }
 
+  if (!saw_event) {
+    return Fail("trace contains no events");
+  }
   report.num_threads = tids.size();
-  report.wall_us = saw_event ? max_end - min_ts : 0.0;
+  report.wall_us = max_end - min_ts;
   for (const auto& [name, acc] : phases) {
     TraceReportRow row;
     row.name = name;

@@ -32,10 +32,37 @@ struct TraceReport {
   std::vector<TraceReportRow> rows;
 };
 
+/// Fails (ok=false, one-line diagnostic) on anything that is not a
+/// well-formed non-empty Chrome trace: missing "traceEvents", truncated
+/// or unbalanced objects, events missing name/ph/ts, or an empty event
+/// array (a trace with zero events reports nothing and is treated as a
+/// broken capture rather than silently printing zeros).
 TraceReport BuildTraceReport(std::istream& is);
 
 /// Prints the per-phase table: count, total, mean, max, and share of wall
 /// time for spans; count for instants.
 void WriteTraceReport(std::ostream& os, const TraceReport& report);
+
+namespace internal {
+
+// Narrow JSON helpers shared by BuildTraceReport and BuildQualityReport
+// (obs/quality_report.hpp); they parse exactly the flat-object subset
+// WriteChromeTrace emits, tolerating arbitrary key order.
+
+/// Extracts the string value of `"key": "..."` from a flat JSON object.
+/// Returns false if the key is absent.  Escapes are left untouched — the
+/// trace writer only emits phase names, which contain none.
+bool FindStringField(const std::string& object, const std::string& key,
+                     std::string* value);
+
+bool FindNumberField(const std::string& object, const std::string& key,
+                     double* value);
+
+/// Splits the top-level objects of a JSON array, honoring nested braces
+/// and quoted strings.  `pos` must point just past the opening '['.
+bool NextArrayObject(const std::string& text, std::size_t* pos,
+                     std::string* object, bool* done);
+
+}  // namespace internal
 
 }  // namespace tdmd::obs

@@ -21,6 +21,7 @@
 //            [--checkpoint-every=5 --checkpoint-out=engine.ckpt]
 //            [--restore=engine.ckpt]
 //            [--metrics-out=metrics.prom] [--trace-out=trace.json]
+//            [--quality-out=quality.txt]
 //       Feeds the instance's flows to the online placement engine, then
 //       serves a seeded churn trace through it epoch by epoch, printing
 //       each published snapshot and the engine counters.  Optional fault
@@ -28,12 +29,19 @@
 //       from a checkpoint (DESIGN.md Section 9).  --metrics-out writes
 //       the counters + latency quantiles as Prometheus text (and the
 //       same data as <path>.json); --trace-out records structured spans
-//       into a Chrome trace_event JSON (plus a plain-text <path>.log).
+//       into a Chrome trace_event JSON (plus a plain-text <path>.log);
+//       --quality-out writes the engine's quality timeline (realized
+//       ratio per epoch + fired regression alerts, DESIGN.md Section 11).
 //
 //   tdmd_cli trace-report --trace=trace.json
 //       Aggregates a --trace-out file into a per-phase table: event
 //       counts, total/mean/max span time, and each phase's share of the
 //       run's wall time.
+//
+//   tdmd_cli quality-report --trace=trace.json
+//       Rebuilds the quality timeline (epoch/ratio series + alert edges)
+//       from the quality-sample/quality-alert instants of a --trace-out
+//       file.
 //
 //   tdmd_cli info --instance=instance.tdmd
 //       Prints instance statistics.
@@ -59,6 +67,9 @@
 #include "io/dot_export.hpp"
 #include "io/text_format.hpp"
 #include "obs/metrics.hpp"
+#include "obs/quality.hpp"
+#include "obs/quality_report.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_report.hpp"
 #include "sim/link_sim.hpp"
@@ -358,6 +369,10 @@ int ServeTrace(int argc, char** argv) {
       "record structured spans and write a Chrome trace_event JSON here "
       "(load via chrome://tracing or feed to tdmd_cli trace-report); a "
       "plain-text event log lands next to it as <path>.log");
+  const auto* quality_out = parser.AddString(
+      "quality-out", "",
+      "write the engine's quality timeline (per-epoch realized ratio vs "
+      "the 1-1/e floor, plus fired regression alerts) here");
   parser.Parse(argc, argv);
 
   auto instance = io::ReadInstanceFile(*instance_path);
@@ -539,6 +554,64 @@ int ServeTrace(int argc, char** argv) {
               static_cast<unsigned long long>(stats.watchdog_cancels));
   if (*checkpoint_every > 0) write_checkpoint();
 
+  if (!quality_out->empty()) {
+    // Render the engine's own timeline through the same report writer the
+    // quality-report subcommand uses on a trace file.
+    const obs::QualityTimelineSnapshot timeline = eng.QualityTimeline();
+    obs::QualityReport report;
+    report.ok = true;
+    double ratio_sum = 0.0;
+    report.points.reserve(timeline.samples.size());
+    for (const obs::QualitySample& sample : timeline.samples) {
+      report.points.push_back(
+          obs::QualityReportPoint{sample.epoch, sample.realized_ratio});
+      ratio_sum += sample.realized_ratio;
+      if (sample.realized_ratio < obs::kQualityRatioFloor) {
+        ++report.below_floor;
+      }
+      report.min_ratio = report.points.size() == 1
+                             ? sample.realized_ratio
+                             : std::min(report.min_ratio,
+                                        sample.realized_ratio);
+    }
+    report.num_samples = report.points.size();
+    if (report.num_samples > 0) {
+      report.mean_ratio =
+          ratio_sum / static_cast<double>(report.num_samples);
+      report.last_ratio = report.points.back().ratio;
+    }
+    report.alerts.reserve(timeline.alerts.size());
+    for (const obs::QualityAlert& alert : timeline.alerts) {
+      report.alerts.push_back(obs::QualityReportAlertRow{
+          obs::QualityAlertKindName(alert.kind), alert.raised, alert.epoch});
+    }
+    report.num_alert_events = report.alerts.size();
+    if (!io::WriteFile(*quality_out, [&](std::ostream& os) {
+          obs::WriteQualityReport(os, report);
+        })) {
+      Die("cannot write " + *quality_out);
+    }
+    std::printf("quality    : %zu samples, %zu alert events -> %s\n",
+                report.num_samples, report.num_alert_events,
+                quality_out->c_str());
+  }
+  // Metrics go out while the tracer is still installed so the dump carries
+  // tdmd_trace_dropped_total alongside the engine counters.
+  if (!metrics_out->empty()) {
+    if (!io::WriteFile(*metrics_out, [&](std::ostream& os) {
+          eng.DumpMetrics(os, obs::MetricsFormat::kPrometheus);
+        })) {
+      Die("cannot write " + *metrics_out);
+    }
+    const std::string json_path = *metrics_out + ".json";
+    if (!io::WriteFile(json_path, [&](std::ostream& os) {
+          eng.DumpMetrics(os, obs::MetricsFormat::kJson);
+        })) {
+      Die("cannot write " + json_path);
+    }
+    std::printf("metrics    : %s (JSON: %s)\n", metrics_out->c_str(),
+                json_path.c_str());
+  }
   if (tracer.has_value()) {
     obs::InstallTracer(nullptr);  // hooks no-op from here on
     const obs::TraceDrainResult drained = tracer->Drain();
@@ -559,21 +632,6 @@ int ServeTrace(int argc, char** argv) {
                 static_cast<unsigned long long>(drained.dropped),
                 trace_out->c_str());
   }
-  if (!metrics_out->empty()) {
-    if (!io::WriteFile(*metrics_out, [&](std::ostream& os) {
-          eng.DumpMetrics(os, obs::MetricsFormat::kPrometheus);
-        })) {
-      Die("cannot write " + *metrics_out);
-    }
-    const std::string json_path = *metrics_out + ".json";
-    if (!io::WriteFile(json_path, [&](std::ostream& os) {
-          eng.DumpMetrics(os, obs::MetricsFormat::kJson);
-        })) {
-      Die("cannot write " + json_path);
-    }
-    std::printf("metrics    : %s (JSON: %s)\n", metrics_out->c_str(),
-                json_path.c_str());
-  }
   return snapshot->feasible ? 0 : 3;
 }
 
@@ -590,6 +648,23 @@ int TraceReportCommand(int argc, char** argv) {
   const obs::TraceReport report = obs::BuildTraceReport(in);
   if (!report.ok) Die(*trace_path + ": " + report.error);
   obs::WriteTraceReport(std::cout, report);
+  return 0;
+}
+
+int QualityReportCommand(int argc, char** argv) {
+  ArgParser parser("tdmd_cli quality-report",
+                   "rebuild the quality timeline from a serve-trace "
+                   "--trace-out file");
+  const auto* trace_path = parser.AddString(
+      "trace", "trace.json",
+      "Chrome trace_event JSON written by serve-trace --trace-out");
+  parser.Parse(argc, argv);
+
+  std::ifstream in(*trace_path);
+  if (!in) Die("cannot open '" + *trace_path + "'");
+  const obs::QualityReport report = obs::BuildQualityReport(in);
+  if (!report.ok) Die(*trace_path + ": " + report.error);
+  obs::WriteQualityReport(std::cout, report);
   return 0;
 }
 
@@ -633,7 +708,8 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: tdmd_cli "
                  "<generate|solve|simulate|viz|serve-trace|trace-report"
-                 "|info> [flags]\n       tdmd_cli <command> --help\n");
+                 "|quality-report|info> [flags]\n"
+                 "       tdmd_cli <command> --help\n");
     return 2;
   }
   const std::string command = argv[1];
@@ -646,6 +722,9 @@ int Main(int argc, char** argv) {
   if (command == "serve-trace") return ServeTrace(argc - 1, argv + 1);
   if (command == "trace-report") {
     return TraceReportCommand(argc - 1, argv + 1);
+  }
+  if (command == "quality-report") {
+    return QualityReportCommand(argc - 1, argv + 1);
   }
   if (command == "info") return Info(argc - 1, argv + 1);
   std::fprintf(stderr, "tdmd_cli: unknown command '%s'\n", command.c_str());

@@ -56,10 +56,12 @@ void ReplayRange(Engine& engine, const ChurnTrace& trace, std::size_t from,
 }
 
 std::string Serialize(const EngineCheckpoint& checkpoint,
-                      bool include_histograms = true) {
+                      bool include_histograms = true,
+                      bool include_quality = true) {
   std::ostringstream oss;
   io::EngineCheckpointWriteOptions options;
   options.include_histograms = include_histograms;
+  options.include_quality = include_quality;
   io::WriteEngineCheckpoint(oss, checkpoint, options);
   return oss.str();
 }
@@ -264,6 +266,158 @@ TEST(EngineCheckpointTest, CorruptHistogramSectionsAreRejected) {
                 "histogram patch 2 50 50 50 1\nbucket 44 1\n"
                 "histogram patch "),
          "bucket totals disagree with count");
+}
+
+TEST(EngineCheckpointTest, QualitySectionRoundTrips) {
+  Engine engine(TestNetwork(68), SyncOptions());
+  const ChurnTrace trace = MakeTrace(engine.index().network(), 6, 78);
+  std::vector<FlowTicket> active;
+  ReplayRange(engine, trace, 0, trace.epochs.size(), active);
+
+  const EngineCheckpoint checkpoint = engine.Checkpoint();
+  ASSERT_TRUE(checkpoint.has_quality);
+  ASSERT_FALSE(checkpoint.quality.samples.empty());
+
+  std::istringstream iss(Serialize(checkpoint));
+  const io::Parsed<EngineCheckpoint> parsed = io::ReadEngineCheckpoint(iss);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  ASSERT_TRUE(parsed.value->has_quality);
+  ASSERT_EQ(parsed.value->quality.samples.size(),
+            checkpoint.quality.samples.size());
+  for (std::size_t i = 0; i < checkpoint.quality.samples.size(); ++i) {
+    const obs::QualitySample& want = checkpoint.quality.samples[i];
+    const obs::QualitySample& got = parsed.value->quality.samples[i];
+    EXPECT_EQ(got.epoch, want.epoch);
+    // Primaries are hexfloats, so the derived fields the reader recomputes
+    // land on identical bits.
+    EXPECT_EQ(got.bandwidth, want.bandwidth);
+    EXPECT_EQ(got.opt_bound, want.opt_bound);
+    EXPECT_EQ(got.realized_ratio, want.realized_ratio);
+    EXPECT_EQ(got.decrement, want.decrement);
+  }
+  EXPECT_EQ(parsed.value->quality.samples_total,
+            checkpoint.quality.samples_total);
+  EXPECT_EQ(parsed.value->quality_tracker.cert_valid,
+            checkpoint.quality_tracker.cert_valid);
+  EXPECT_EQ(parsed.value->quality_tracker.cert_bound,
+            checkpoint.quality_tracker.cert_bound);
+  EXPECT_EQ(parsed.value->quality_attribution.size(),
+            checkpoint.quality_attribution.size());
+}
+
+// The crash-recovery drill again, but asserting the quality timeline
+// itself: the restored run's final quality section must be byte-identical
+// to the uninterrupted run's (ISSUE acceptance).
+TEST(EngineCheckpointTest, QualityTimelineRestoresByteIdentically) {
+  const graph::Digraph network = TestNetwork(69);
+  const ChurnTrace trace = MakeTrace(network, 12, 79);
+  const std::size_t half = trace.epochs.size() / 2;
+
+  Engine reference(network, SyncOptions());
+  std::vector<FlowTicket> reference_active;
+  ReplayRange(reference, trace, 0, trace.epochs.size(), reference_active);
+
+  std::string checkpoint_text;
+  std::vector<FlowTicket> active;
+  {
+    Engine first_half(network, SyncOptions());
+    ReplayRange(first_half, trace, 0, half, active);
+    checkpoint_text = Serialize(first_half.Checkpoint());
+  }
+  std::istringstream iss(checkpoint_text);
+  const io::Parsed<EngineCheckpoint> parsed = io::ReadEngineCheckpoint(iss);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  Engine restored(network, SyncOptions());
+  restored.Restore(*parsed.value);
+  ReplayRange(restored, trace, half, trace.epochs.size(), active);
+
+  // Histograms carry wall times; everything else — including the quality
+  // section with its detector accumulators — must match byte for byte.
+  EXPECT_EQ(Serialize(restored.Checkpoint(), false),
+            Serialize(reference.Checkpoint(), false));
+}
+
+TEST(EngineCheckpointTest, RecordWithoutQualitySectionStaysCompatible) {
+  Engine engine(TestNetwork(70), SyncOptions());
+  const ChurnTrace trace = MakeTrace(engine.index().network(), 4, 80);
+  std::vector<FlowTicket> active;
+  ReplayRange(engine, trace, 0, trace.epochs.size(), active);
+  const EngineCheckpoint checkpoint = engine.Checkpoint();
+
+  // include_quality=false writes the pre-quality record byte stream.
+  const std::string text = Serialize(checkpoint, true, false);
+  EXPECT_EQ(text.find("quality"), std::string::npos);
+  std::istringstream iss(text);
+  const io::Parsed<EngineCheckpoint> parsed = io::ReadEngineCheckpoint(iss);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_FALSE(parsed.value->has_quality);
+  EXPECT_TRUE(parsed.value->quality.samples.empty());
+
+  // Restoring a quality-free record resets the timeline instead of
+  // CHECK-failing.
+  Engine restored(engine.index().network(), SyncOptions());
+  restored.Restore(*parsed.value);
+  EXPECT_EQ(restored.QualityTimeline().samples_total, 0u);
+
+  // An engine with sampling disabled never writes the section either.
+  EngineOptions no_quality = SyncOptions();
+  no_quality.quality_sampling = false;
+  Engine plain(engine.index().network(), no_quality);
+  EXPECT_FALSE(plain.Checkpoint().has_quality);
+  EXPECT_EQ(Serialize(plain.Checkpoint()).find("quality"),
+            std::string::npos);
+}
+
+TEST(EngineCheckpointTest, CorruptQualitySectionsAreRejected) {
+  Engine engine(TestNetwork(71), SyncOptions());
+  const ChurnTrace trace = MakeTrace(engine.index().network(), 5, 81);
+  std::vector<FlowTicket> active;
+  ReplayRange(engine, trace, 0, trace.epochs.size(), active);
+  const std::string good = Serialize(engine.Checkpoint());
+  ASSERT_NE(good.find("quality v1"), std::string::npos);
+
+  const auto reject = [](const std::string& text, const std::string& what) {
+    std::istringstream iss(text);
+    const io::Parsed<EngineCheckpoint> parsed =
+        io::ReadEngineCheckpoint(iss);
+    EXPECT_FALSE(parsed.ok()) << what;
+    EXPECT_FALSE(parsed.error.empty()) << what;
+    EXPECT_FALSE(parsed.value.has_value()) << what;
+  };
+  const auto mutate = [&good](const std::string& from,
+                              const std::string& to) {
+    std::string text = good;
+    const std::size_t at = text.find(from);
+    EXPECT_NE(at, std::string::npos) << from;
+    text.replace(at, from.size(), to);
+    return text;
+  };
+
+  // Each mutation prepends a corrupt line of the same record type, so the
+  // strict reader trips on it regardless of the genuine line's values.
+  reject(mutate("quality v1", "quality v2"), "unknown section version");
+  reject(mutate("qbound ", "qbound 7 0x0p+0\nqbound "),
+         "qbound flag out of range");
+  reject(mutate("qbound ", "qbound 1 nan\nqbound "), "non-finite bound");
+  reject(mutate("qdetector ", "qdetector nan 0 0x0p+0 0 0 0 0\nqdetector "),
+         "non-finite detector accumulator");
+  reject(mutate("qsamples ", "qsamples 99999\nqsamples "),
+         "sample count beyond lifetime total");
+  reject(mutate("qalerts ", "qalerts 1\nqalert 9 1 1 0x0p+0 0x0p+0\nqalerts "),
+         "alert kind out of range");
+  reject(good.substr(0, good.find("end quality")), "missing terminator");
+  // The first qsample's mode field (token 3) forced out of range.
+  const std::size_t sample_at = good.find("qsample ");
+  ASSERT_NE(sample_at, std::string::npos);
+  std::string bad_mode = good;
+  // qsample <epoch> <version> <mode> ... — patch the third number to 9.
+  std::size_t field = sample_at + std::string("qsample ").size();
+  for (int skip = 0; skip < 2; ++skip) {
+    field = bad_mode.find(' ', field) + 1;
+  }
+  const std::size_t field_end = bad_mode.find(' ', field);
+  bad_mode.replace(field, field_end - field, "9");
+  reject(bad_mode, "mode out of range");
 }
 
 TEST(EngineCheckpointTest, CorruptRecordsAreRejectedWithLineNumbers) {
