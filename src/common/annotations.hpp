@@ -1,0 +1,75 @@
+// Clang Thread Safety Analysis annotations (the -Wthread-safety capability
+// system), spelled as TDMD_* macros that expand to nothing on compilers
+// without the attributes.  The `thread-safety` CMake preset compiles the
+// whole tree with clang and -Wthread-safety -Wthread-safety-beta -Werror,
+// turning the locking protocol documented in these annotations into a
+// compile-time contract; every other toolchain sees plain C++.
+//
+// Vocabulary (see src/common/mutex.hpp for the annotated lock types):
+//   TDMD_GUARDED_BY(mu)     data member readable/writable only with mu held
+//   TDMD_PT_GUARDED_BY(mu)  pointer member whose *pointee* is guarded by mu
+//   TDMD_REQUIRES(mu)       function must be called with mu already held
+//   TDMD_EXCLUDES(mu)       function must be called with mu NOT held
+//                           (caller-side deadlock/inversion check)
+//   TDMD_ACQUIRE/RELEASE    function acquires/releases mu itself
+//   TDMD_ACQUIRED_AFTER     static lock-ordering declaration (beta check)
+//   TDMD_NO_THREAD_SAFETY_ANALYSIS
+//                           opt a function out, with a justification comment
+//
+// The analysis is purely static and intraprocedural: annotate every lock,
+// every guarded member, and every function that touches them, or the
+// checker has nothing to reason with.  tools/tdmd_lint rule raw-mutex bans
+// unannotated std::mutex in src/ outside src/common so coverage cannot
+// silently erode.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define TDMD_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define TDMD_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+#define TDMD_CAPABILITY(x) TDMD_THREAD_ANNOTATION(capability(x))
+
+#define TDMD_SCOPED_CAPABILITY TDMD_THREAD_ANNOTATION(scoped_lockable)
+
+#define TDMD_GUARDED_BY(x) TDMD_THREAD_ANNOTATION(guarded_by(x))
+
+#define TDMD_PT_GUARDED_BY(x) TDMD_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define TDMD_ACQUIRED_BEFORE(...) \
+  TDMD_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+#define TDMD_ACQUIRED_AFTER(...) \
+  TDMD_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define TDMD_REQUIRES(...) \
+  TDMD_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define TDMD_REQUIRES_SHARED(...) \
+  TDMD_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define TDMD_ACQUIRE(...) \
+  TDMD_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define TDMD_ACQUIRE_SHARED(...) \
+  TDMD_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+#define TDMD_RELEASE(...) \
+  TDMD_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define TDMD_RELEASE_SHARED(...) \
+  TDMD_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+#define TDMD_TRY_ACQUIRE(...) \
+  TDMD_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define TDMD_EXCLUDES(...) TDMD_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define TDMD_ASSERT_CAPABILITY(x) \
+  TDMD_THREAD_ANNOTATION(assert_capability(x))
+
+#define TDMD_RETURN_CAPABILITY(x) TDMD_THREAD_ANNOTATION(lock_returned(x))
+
+#define TDMD_NO_THREAD_SAFETY_ANALYSIS \
+  TDMD_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -12,6 +12,9 @@
 // the equivalence the engine's property tests pin down.
 #pragma once
 
+// tdmd-lint: hot-path — no iostream formatting, rand, or
+// system_clock::now in this file (tools/tdmd_lint rule hot-path).
+
 #include <algorithm>
 #include <cstddef>
 #include <queue>

@@ -83,20 +83,20 @@ Engine::Engine(graph::Digraph network, EngineOptions options)
     }
   }
   {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(state_mu_);
     PublishLocked();  // version 1: the empty deployment, trivially feasible
   }
 }
 
 Engine::~Engine() {
   {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(state_mu_);
     stopping_ = true;
     if (current_cancel_) {
       current_cancel_->store(true, std::memory_order_relaxed);
     }
   }
-  watchdog_cv_.notify_all();
+  watchdog_cv_.NotifyAll();
   if (watchdog_.joinable()) watchdog_.join();
   pool_.reset();  // drains and joins; tasks may still lock state_mu_
 }
@@ -118,7 +118,7 @@ Engine::BatchResult Engine::SubmitBatch(
     const std::vector<FlowTicket>& departures) {
   BatchResult result;
   obs::ScopedSpan epoch_span(obs::TracePhase::kEpoch);
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(state_mu_);
 
   // NORMAL: a newer epoch makes the in-flight re-solve stale, so cancel
   // it cooperatively before touching the index.  The degraded modes keep
@@ -154,14 +154,17 @@ Engine::BatchResult Engine::SubmitBatch(
       // untouched, and the two are only updated together once it succeeds.
       const Bandwidth contribution =
           EvaluateFlow(*flow, deployment_, options_.lambda).contribution;
-      RetryIndexDeltaLocked([&]() { index_.RemoveFlow(ticket); });
+      RetryIndexDeltaLocked(
+          [&]() TDMD_REQUIRES(state_mu_) { index_.RemoveFlow(ticket); });
       maintained_bandwidth_ -= contribution;
       ++stats_.departures;
     }
     result.tickets.reserve(arrivals.size());
     for (const traffic::Flow& flow : arrivals) {
       const FlowTicket ticket =
-          RetryIndexDeltaLocked([&]() { return index_.AddFlow(flow); });
+          RetryIndexDeltaLocked([&]() TDMD_REQUIRES(state_mu_) {
+            return index_.AddFlow(flow);
+          });
       result.tickets.push_back(ticket);
       ++stats_.arrivals;
       const FlowEval eval =
@@ -289,7 +292,7 @@ std::size_t Engine::PatchFeasibilityLocked() {
     ++added;
     unserved.erase(
         std::remove_if(unserved.begin(), unserved.end(),
-                       [&](FlowTicket ticket) {
+                       [&](FlowTicket ticket) TDMD_REQUIRES(state_mu_) {
                          const auto& vertices =
                              index_.Find(ticket)->path.vertices;
                          return std::find(vertices.begin(), vertices.end(),
@@ -326,7 +329,7 @@ void Engine::PublishLocked() {
 
   std::uint64_t version = 0;
   {
-    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    MutexLock lock(snapshot_mu_);
     snapshot->version =
         (snapshot_ == nullptr ? 0 : snapshot_->version) + 1;
     version = snapshot->version;
@@ -598,7 +601,7 @@ void Engine::ScheduleRetryLocked(std::uint64_t epoch, std::size_t attempt) {
     if (delay.count() > 0) std::this_thread::sleep_for(delay);
     std::optional<FlowCoverageIndex> frozen;
     {
-      std::lock_guard<std::mutex> lock(state_mu_);
+      MutexLock lock(state_mu_);
       if (cancel == abandoned_token_) {
         abandoned_token_.reset();  // watchdog already counted this attempt
         return;
@@ -640,7 +643,7 @@ void Engine::RunResolveAttempt(std::shared_ptr<std::atomic<bool>> cancel,
     }
   }
   const std::uint64_t solve_ns = obs::MonotonicNanos() - solve_start;
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(state_mu_);
   histograms_.resolve_ns.Record(solve_ns);
   histograms_.greedy_round_ns.Merge(round_histogram);
   if (HandleResolveOutcomeLocked(result, threw, epoch, cancel, attempt)) {
@@ -649,9 +652,9 @@ void Engine::RunResolveAttempt(std::shared_ptr<std::atomic<bool>> cancel,
 }
 
 void Engine::WatchdogLoop() {
-  std::unique_lock<std::mutex> lock(state_mu_);
+  MutexLock lock(state_mu_);
   while (!stopping_) {
-    watchdog_cv_.wait_for(lock, options_.watchdog_interval);
+    watchdog_cv_.WaitFor(state_mu_, options_.watchdog_interval);
     if (stopping_) break;
     if (!inflight_.active) continue;
     const auto now = std::chrono::steady_clock::now();
@@ -676,7 +679,7 @@ void Engine::WatchdogLoop() {
 }
 
 std::shared_ptr<const DeploymentSnapshot> Engine::CurrentSnapshot() const {
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  MutexLock lock(snapshot_mu_);
   return snapshot_;
 }
 
@@ -684,8 +687,7 @@ void Engine::WaitIdle() {
   if (pool_ != nullptr) pool_->Wait();
 }
 
-EngineStats Engine::stats() const {
-  std::lock_guard<std::mutex> lock(state_mu_);
+EngineStats Engine::StatsLocked() const {
   EngineStats stats = stats_;
   stats.index_delta_ops = index_.stats().delta_ops;
   stats.mode = mode_;
@@ -693,24 +695,41 @@ EngineStats Engine::stats() const {
   return stats;
 }
 
+EngineStats Engine::stats() const {
+  MutexLock lock(state_mu_);
+  return StatsLocked();
+}
+
 EngineMode Engine::mode() const {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(state_mu_);
   return mode_;
 }
 
 obs::QualityTimelineSnapshot Engine::QualityTimeline() const {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(state_mu_);
   return quality_timeline_.Snapshot();
 }
 
 EngineHistograms Engine::histograms() const {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(state_mu_);
   return histograms_;
 }
 
 obs::MetricsRegistry Engine::Metrics() const {
-  const EngineStats counters = stats();
-  const EngineHistograms latencies = histograms();
+  // One state_mu_ acquisition for counters, histograms and the quality
+  // timeline.  Reading them through the individual accessors would give a
+  // torn exposition: an epoch finishing between stats() and histograms()
+  // breaks invariants like epochs == patch_ns.count() that hold under the
+  // lock (pinned by EngineMetricsConsistency tests).
+  EngineStats counters;
+  EngineHistograms latencies;
+  obs::QualityTimelineSnapshot quality;
+  {
+    MutexLock lock(state_mu_);
+    counters = StatsLocked();
+    latencies = histograms_;
+    quality = quality_timeline_.Snapshot();
+  }
   obs::MetricsRegistry registry;
   // Iterating the X-macro guarantees every counter is exposed; adding a
   // counter to the block adds it here with no further wiring.
@@ -734,7 +753,6 @@ obs::MetricsRegistry Engine::Metrics() const {
   registry.AddHistogramNs("tdmd_engine_greedy_round",
                           latencies.greedy_round_ns,
                           "one CELF greedy round inside a re-solve");
-  const obs::QualityTimelineSnapshot quality = QualityTimeline();
   registry.AddCounter("tdmd_quality_samples_total", quality.samples_total,
                       "quality samples recorded");
   registry.AddCounter("tdmd_quality_alerts_raised_total",
@@ -777,11 +795,11 @@ void Engine::DumpMetrics(std::ostream& os, obs::MetricsFormat format) const {
 
 EngineCheckpoint Engine::Checkpoint() const {
   obs::ScopedSpan checkpoint_span(obs::TracePhase::kCheckpoint);
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(state_mu_);
   EngineCheckpoint checkpoint;
   checkpoint.epoch = epoch_;
   {
-    std::lock_guard<std::mutex> snapshot_lock(snapshot_mu_);
+    MutexLock snapshot_lock(snapshot_mu_);
     checkpoint.snapshot_version = snapshot_->version;
   }
   checkpoint.mode = mode_;
@@ -821,7 +839,7 @@ EngineCheckpoint Engine::Checkpoint() const {
 
 void Engine::Restore(const EngineCheckpoint& checkpoint) {
   obs::ScopedSpan restore_span(obs::TracePhase::kRestore);
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(state_mu_);
   TDMD_CHECK_MSG(epoch_ == 0 && index_.active_flows() == 0,
                  "Restore requires a freshly constructed engine");
   TDMD_CHECK_MSG(checkpoint.k == options_.k,
@@ -890,7 +908,7 @@ void Engine::Restore(const EngineCheckpoint& checkpoint) {
   snapshot->bandwidth = maintained_bandwidth_;
   snapshot->feasible = maintained_feasible_;
   {
-    std::lock_guard<std::mutex> snapshot_lock(snapshot_mu_);
+    MutexLock snapshot_lock(snapshot_mu_);
     snapshot_ = std::move(snapshot);
   }
 }

@@ -52,14 +52,13 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/types.hpp"
 #include "core/deployment.hpp"
 #include "engine/coverage_index.hpp"
@@ -291,43 +290,70 @@ class Engine {
     std::size_t patch_boxes = 0;
   };
 
+  // Public entry points carry TDMD_EXCLUDES(state_mu_): calling back into
+  // the engine from a context that already holds the engine lock — e.g.
+  // an obs hook invoked under state_mu_ — is a self-deadlock, and under
+  // the thread-safety preset it is a compile error.
+
   /// Applies one epoch of churn: departures (stale tickets are counted
   /// and ignored) then arrivals; patches feasibility; publishes a
   /// snapshot; schedules the re-solve the current mode calls for.
   BatchResult SubmitBatch(const traffic::FlowSet& arrivals,
-                          const std::vector<FlowTicket>& departures);
+                          const std::vector<FlowTicket>& departures)
+      TDMD_EXCLUDES(state_mu_);
 
   /// Latest published snapshot (never null).  Thread-safe.
-  std::shared_ptr<const DeploymentSnapshot> CurrentSnapshot() const;
+  std::shared_ptr<const DeploymentSnapshot> CurrentSnapshot() const
+      TDMD_EXCLUDES(snapshot_mu_);
 
-  /// Blocks until all scheduled re-solves finished (adopted or discarded).
-  void WaitIdle();
+  /// Blocks until all scheduled re-solves finished (adopted or
+  /// discarded).  Excludes state_mu_ because re-solve tasks must be able
+  /// to take the lock to finish.
+  void WaitIdle() TDMD_EXCLUDES(state_mu_);
 
-  EngineStats stats() const;
+  EngineStats stats() const TDMD_EXCLUDES(state_mu_);
 
   /// Copy of the latency histograms accumulated so far.
-  EngineHistograms histograms() const;
+  EngineHistograms histograms() const TDMD_EXCLUDES(state_mu_);
 
   /// Counters + histograms as a flat metrics registry: every
   /// TDMD_ENGINE_STATS_COUNTERS counter as `tdmd_engine_<name>`, the
   /// current mode as `tdmd_engine_mode`, and the four latency histograms.
-  obs::MetricsRegistry Metrics() const;
+  /// Counters, histograms and the quality timeline are captured under one
+  /// state_mu_ acquisition, so cross-metric invariants (e.g. epochs ==
+  /// patch-histogram count) hold within a single exposition.
+  obs::MetricsRegistry Metrics() const TDMD_EXCLUDES(state_mu_);
 
   /// Renders Metrics() in the requested exposition format.
-  void DumpMetrics(std::ostream& os, obs::MetricsFormat format) const;
+  void DumpMetrics(std::ostream& os, obs::MetricsFormat format) const
+      TDMD_EXCLUDES(state_mu_);
 
   /// Current degradation mode.
-  EngineMode mode() const;
+  EngineMode mode() const TDMD_EXCLUDES(state_mu_);
 
   /// Copy of the quality timeline: the epoch ring (oldest first), the
   /// alert log and the detector state.  Empty when quality_sampling is
   /// off.
-  obs::QualityTimelineSnapshot QualityTimeline() const;
+  obs::QualityTimelineSnapshot QualityTimeline() const
+      TDMD_EXCLUDES(state_mu_);
 
   /// Live coverage index (client-thread only; see threading contract).
-  const FlowCoverageIndex& index() const { return index_; }
+  /// Exempt from the lock analysis: the single-client-thread contract,
+  /// not state_mu_, is what makes this reference safe to hand out.
+  const FlowCoverageIndex& index() const TDMD_NO_THREAD_SAFETY_ANALYSIS {
+    return index_;
+  }
 
   const EngineOptions& options() const { return options_; }
+
+  /// Annotation-only alias for the engine's lock capability, so external
+  /// code (obs hooks, tests) can spell caller-side contracts like
+  /// TDMD_REQUIRES(engine.state_mutex()) and have the TDMD_EXCLUDES
+  /// checks above catch deadlock inversions at compile time.  Never lock
+  /// it directly.
+  Mutex& state_mutex() const TDMD_RETURN_CAPABILITY(state_mu_) {
+    return state_mu_;
+  }
 
   // --- checkpoint/restore -------------------------------------------------
 
@@ -337,14 +363,15 @@ class Engine {
   /// version, mode and counters.  In-flight re-solve work is deliberately
   /// not captured — it is recomputable, and a restored engine simply
   /// schedules a fresh re-solve on its next batch.
-  EngineCheckpoint Checkpoint() const;
+  EngineCheckpoint Checkpoint() const TDMD_EXCLUDES(state_mu_);
 
   /// Rebuilds this engine from `checkpoint`.  Must be called on a freshly
   /// constructed engine (no batches yet) whose network and options (k,
   /// lambda) match the checkpointed ones.  After Restore, replaying the
   /// post-checkpoint churn yields byte-identical snapshots to the
   /// uninterrupted run (pinned by tests/engine_checkpoint_test.cpp).
-  void Restore(const EngineCheckpoint& checkpoint);
+  void Restore(const EngineCheckpoint& checkpoint)
+      TDMD_EXCLUDES(state_mu_);
 
  private:
   /// One re-solve attempt currently owned by the pool.
@@ -358,106 +385,120 @@ class Engine {
   };
 
   /// Greedy-covers currently unserved flows with spare budget; returns
-  /// middleboxes added and refreshes maintained_feasible_.  Requires
-  /// state_mu_.
-  std::size_t PatchFeasibilityLocked();
+  /// middleboxes added and refreshes maintained_feasible_.
+  std::size_t PatchFeasibilityLocked() TDMD_REQUIRES(state_mu_);
 
   /// Publishes the current deployment as a new snapshot (and audits it in
-  /// debug/sanitizer builds).  Requires state_mu_.
-  void PublishLocked();
+  /// debug/sanitizer builds).
+  void PublishLocked() TDMD_REQUIRES(state_mu_);
 
   /// Adopts `result` under the hysteresis rule (unconditionally when the
-  /// maintained plan is infeasible).  Requires state_mu_.
-  void MaybeAdoptLocked(const IncrementalGtpResult& result, bool expired);
+  /// maintained plan is infeasible).
+  void MaybeAdoptLocked(const IncrementalGtpResult& result, bool expired)
+      TDMD_REQUIRES(state_mu_);
 
   /// Classifies one finished attempt into its terminal bucket, applies
   /// adoption / failure-streak / mode effects, and returns true when a
-  /// retry should be scheduled.  Requires state_mu_.
+  /// retry should be scheduled.
   bool HandleResolveOutcomeLocked(
       const IncrementalGtpResult& result, bool threw, std::uint64_t epoch,
-      const std::shared_ptr<std::atomic<bool>>& cancel, std::size_t attempt);
+      const std::shared_ptr<std::atomic<bool>>& cancel, std::size_t attempt)
+      TDMD_REQUIRES(state_mu_);
 
-  void RecordResolveFailureLocked();
-  void RecordResolveSuccessLocked();
-  void TransitionLocked(EngineMode target);
+  void RecordResolveFailureLocked() TDMD_REQUIRES(state_mu_);
+  void RecordResolveSuccessLocked() TDMD_REQUIRES(state_mu_);
+  void TransitionLocked(EngineMode target) TDMD_REQUIRES(state_mu_);
 
   /// Cancels the in-flight re-solve (benign: a newer epoch supersedes
-  /// it).  Requires state_mu_.
-  void CancelInflightLocked();
+  /// it).
+  void CancelInflightLocked() TDMD_REQUIRES(state_mu_);
 
   /// Ends a re-solve chain: drains coalesced pending requests into one
-  /// fresh re-solve when the mode allows it.  Requires state_mu_.
-  void FinishChainLocked();
+  /// fresh re-solve when the mode allows it.
+  void FinishChainLocked() TDMD_REQUIRES(state_mu_);
 
   /// Launches attempt 0 of the re-solve chain for the current epoch
-  /// (inline when synchronous).  Requires state_mu_.
-  void ScheduleResolveLocked();
+  /// (inline when synchronous).
+  void ScheduleResolveLocked() TDMD_REQUIRES(state_mu_);
 
-  /// Schedules retry `attempt` (>= 1) after backoff.  Requires state_mu_.
-  void ScheduleRetryLocked(std::uint64_t epoch, std::size_t attempt);
+  /// Schedules retry `attempt` (>= 1) after backoff.
+  void ScheduleRetryLocked(std::uint64_t epoch, std::size_t attempt)
+      TDMD_REQUIRES(state_mu_);
+
+  /// EngineStats copy with the derived fields (index delta ops, mode,
+  /// failure streak) filled in.
+  EngineStats StatsLocked() const TDMD_REQUIRES(state_mu_);
 
   /// Pool-side body of one asynchronous attempt.
   void RunResolveAttempt(std::shared_ptr<std::atomic<bool>> cancel,
                          std::uint64_t epoch, std::size_t attempt,
-                         FlowCoverageIndex frozen);
+                         FlowCoverageIndex frozen) TDMD_EXCLUDES(state_mu_);
 
-  /// Solver options for one attempt (deadline stamped now).
+  /// Solver options for one attempt (deadline stamped now).  Reads only
+  /// immutable options_, so it needs no capability.
   IncrementalGtpOptions MakeSolveOptions(
       const std::atomic<bool>* cancel) const;
 
   /// Runs `fn`, retrying on injected kIndexDelta faults (the injector
-  /// fires before any index mutation, so a retry is safe).  Requires
-  /// state_mu_.
+  /// fires before any index mutation, so a retry is safe).
   template <typename Fn>
-  decltype(auto) RetryIndexDeltaLocked(Fn&& fn);
+  decltype(auto) RetryIndexDeltaLocked(Fn&& fn) TDMD_REQUIRES(state_mu_);
 
-  void WatchdogLoop();
+  void WatchdogLoop() TDMD_EXCLUDES(state_mu_);
 
-  EngineOptions options_;
+  EngineOptions options_;  // immutable after construction
 
-  mutable std::mutex state_mu_;
-  FlowCoverageIndex index_;
-  core::Deployment deployment_;
+  mutable Mutex state_mu_;
+  FlowCoverageIndex index_ TDMD_GUARDED_BY(state_mu_);
+  core::Deployment deployment_ TDMD_GUARDED_BY(state_mu_);
   /// b(P) and feasibility of deployment_ against the index's current flow
   /// set, maintained incrementally (O(|p|) per arrival/departure, reset
   /// exactly on adoption) so no per-epoch full index sweep is needed.
-  Bandwidth maintained_bandwidth_ = 0.0;
-  bool maintained_feasible_ = true;
+  Bandwidth maintained_bandwidth_ TDMD_GUARDED_BY(state_mu_) = 0.0;
+  bool maintained_feasible_ TDMD_GUARDED_BY(state_mu_) = true;
   /// Active flows with no deployed vertex on their path.  Arrivals are the
   /// only way coverage is lost (departures and adoptions of a feasible
   /// re-solve never unserve a survivor), so this is maintained by
   /// appending uncovered arrivals and clearing on feasible adoption;
   /// departed tickets are filtered out lazily by the patch.
-  std::vector<FlowTicket> uncovered_;
-  std::uint64_t epoch_ = 0;
-  std::shared_ptr<std::atomic<bool>> current_cancel_;
-  Inflight inflight_;
+  std::vector<FlowTicket> uncovered_ TDMD_GUARDED_BY(state_mu_);
+  std::uint64_t epoch_ TDMD_GUARDED_BY(state_mu_) = 0;
+  std::shared_ptr<std::atomic<bool>> current_cancel_
+      TDMD_GUARDED_BY(state_mu_);
+  Inflight inflight_ TDMD_GUARDED_BY(state_mu_);
   /// Token of an attempt the watchdog declared lost; its straggler (if
   /// the task was slow rather than dropped) is ignored on arrival instead
   /// of double-counted.
-  std::shared_ptr<std::atomic<bool>> abandoned_token_;
-  EngineMode mode_ = EngineMode::kNormal;
-  std::uint64_t consecutive_failures_ = 0;
-  std::uint64_t epochs_since_probe_ = 0;
-  std::size_t pending_resolves_ = 0;
-  bool stopping_ = false;
-  EngineStats stats_;
-  EngineHistograms histograms_;
+  std::shared_ptr<std::atomic<bool>> abandoned_token_
+      TDMD_GUARDED_BY(state_mu_);
+  EngineMode mode_ TDMD_GUARDED_BY(state_mu_) = EngineMode::kNormal;
+  std::uint64_t consecutive_failures_ TDMD_GUARDED_BY(state_mu_) = 0;
+  std::uint64_t epochs_since_probe_ TDMD_GUARDED_BY(state_mu_) = 0;
+  std::size_t pending_resolves_ TDMD_GUARDED_BY(state_mu_) = 0;
+  bool stopping_ TDMD_GUARDED_BY(state_mu_) = false;
+  EngineStats stats_ TDMD_GUARDED_BY(state_mu_);
+  EngineHistograms histograms_ TDMD_GUARDED_BY(state_mu_);
   /// Quality observability (all guarded by state_mu_).  The tracker owns
   /// the optimality-certificate bookkeeping, the timeline the epoch ring
   /// and detectors; quality_prev_deployment_ is the deployment at the
   /// previous publish (for churn_moves) and quality_attribution_ the live
   /// per-vertex marginal-decrement ledger (rebuilt on adoption from the
   /// solver's chosen gains, appended to by the feasibility patch).
-  obs::QualityTracker quality_tracker_;
-  obs::QualityTimeline quality_timeline_;
-  core::Deployment quality_prev_deployment_;
-  std::vector<obs::VertexAttribution> quality_attribution_;
+  obs::QualityTracker quality_tracker_ TDMD_GUARDED_BY(state_mu_);
+  obs::QualityTimeline quality_timeline_ TDMD_GUARDED_BY(state_mu_);
+  core::Deployment quality_prev_deployment_ TDMD_GUARDED_BY(state_mu_);
+  std::vector<obs::VertexAttribution> quality_attribution_
+      TDMD_GUARDED_BY(state_mu_);
 
-  mutable std::mutex snapshot_mu_;
-  std::shared_ptr<const DeploymentSnapshot> snapshot_;
+  /// Lock ordering: snapshot_mu_ nests inside state_mu_ (PublishLocked
+  /// and Checkpoint take it while holding state_mu_; CurrentSnapshot
+  /// takes it alone).  Declared so the beta analysis rejects the inverse
+  /// nesting.
+  mutable Mutex snapshot_mu_ TDMD_ACQUIRED_AFTER(state_mu_);
+  std::shared_ptr<const DeploymentSnapshot> snapshot_
+      TDMD_GUARDED_BY(snapshot_mu_);
 
-  std::condition_variable watchdog_cv_;
+  CondVar watchdog_cv_;
   std::thread watchdog_;
 
   /// Declared last so workers join (and all tasks finish touching the

@@ -1,3 +1,5 @@
+// tdmd-lint: hot-path — no iostream formatting, rand, or
+// system_clock::now in this file (tools/tdmd_lint rule hot-path).
 #include "engine/incremental_gtp.hpp"
 
 #include <algorithm>

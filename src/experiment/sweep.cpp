@@ -1,9 +1,9 @@
 #include "experiment/sweep.hpp"
 
-#include <mutex>
 #include <ostream>
 
 #include "common/check.hpp"
+#include "common/mutex.hpp"
 #include "experiment/table.hpp"
 
 namespace tdmd::experiment {
@@ -26,7 +26,7 @@ SweepResult RunSweep(const SweepConfig& config,
   }
 
   const std::size_t total_jobs = config.x_values.size() * config.trials;
-  std::mutex merge_mutex;
+  Mutex merge_mutex;
 
   parallel::ThreadPool pool(config.threads);
   parallel::ParallelFor(pool, 0, total_jobs, [&](std::size_t job) {
@@ -48,7 +48,7 @@ SweepResult RunSweep(const SweepConfig& config,
                    "trial returned " << measurements.size()
                                      << " measurements, expected "
                                      << algorithm_names.size());
-    std::scoped_lock lock(merge_mutex);
+    MutexLock lock(merge_mutex);
     for (std::size_t a = 0; a < measurements.size(); ++a) {
       result.series[a].bandwidth[xi].Add(measurements[a].bandwidth);
       result.series[a].seconds[xi].Add(measurements[a].seconds);

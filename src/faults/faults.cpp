@@ -93,7 +93,7 @@ bool FaultInjector::MaybeInject(FaultSite site) {
           1, std::memory_order_relaxed);
   const FaultKind kind = Decide(spec_, site, ordinal);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++counters_.visits;
     switch (kind) {
       case FaultKind::kNone:
@@ -129,12 +129,12 @@ bool FaultInjector::MaybeInject(FaultSite site) {
 }
 
 std::vector<FaultEvent> FaultInjector::Events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return events_;
 }
 
 FaultCounters FaultInjector::counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return counters_;
 }
 

@@ -27,10 +27,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "common/mutex.hpp"
 
 namespace tdmd::faults {
 
@@ -123,7 +124,7 @@ class FaultInjector {
   /// fault: kThrow raises FaultInjectedError, kDelay sleeps, kCancel (and
   /// only kCancel) makes the call return true.  Disarmed injectors return
   /// false without consuming an ordinal.
-  bool MaybeInject(FaultSite site);
+  bool MaybeInject(FaultSite site) TDMD_EXCLUDES(mu_);
 
   /// Stops (resp. resumes) injection.  Disarmed visits do not consume
   /// ordinals, so an arm/disarm window replays deterministically as long
@@ -136,18 +137,18 @@ class FaultInjector {
 
   /// Copy of the ordered injected-fault log (per-site order is exact; the
   /// interleaving across sites follows execution order).
-  std::vector<FaultEvent> Events() const;
+  std::vector<FaultEvent> Events() const TDMD_EXCLUDES(mu_);
 
-  FaultCounters counters() const;
+  FaultCounters counters() const TDMD_EXCLUDES(mu_);
 
  private:
-  FaultSpec spec_;
+  FaultSpec spec_;  // immutable after construction
   std::atomic<bool> armed_{true};
   std::array<std::atomic<std::uint64_t>, kNumFaultSites> next_ordinal_{};
 
-  mutable std::mutex mu_;
-  std::vector<FaultEvent> events_;
-  FaultCounters counters_;
+  mutable Mutex mu_;
+  std::vector<FaultEvent> events_ TDMD_GUARDED_BY(mu_);
+  FaultCounters counters_ TDMD_GUARDED_BY(mu_);
 };
 
 }  // namespace tdmd::faults

@@ -1,3 +1,5 @@
+// tdmd-lint: hot-path — no iostream formatting, rand, or
+// system_clock::now in this file (tools/tdmd_lint rule hot-path).
 #include "obs/trace.hpp"
 
 #include <algorithm>
@@ -78,11 +80,18 @@ Tracer::Ring& Tracer::ThreadRing() {
       t_ring_cache.ring != nullptr) {
     return *static_cast<Ring*>(t_ring_cache.ring);
   }
-  std::lock_guard<std::mutex> lock(rings_mu_);
+  MutexLock lock(rings_mu_);
   rings_.push_back(std::make_unique<Ring>());
   Ring& ring = *rings_.back();
   ring.tid = static_cast<std::uint32_t>(rings_.size() - 1);
-  ring.events.resize(ring_capacity_);
+  {
+    // The ring is already reachable through rings_ (a concurrent Drain
+    // iterating under rings_mu_ would block on our rings_mu_, but the
+    // guarded-by contract is per member), so size its buffer under its
+    // own lock.
+    MutexLock ring_lock(ring.mu);
+    ring.events.resize(ring_capacity_);
+  }
   t_ring_cache.generation = generation_;
   t_ring_cache.ring = &ring;
   return ring;
@@ -91,7 +100,7 @@ Tracer::Ring& Tracer::ThreadRing() {
 void Tracer::Emit(TracePhase phase, bool is_span, std::uint64_t start_ns,
                   std::uint64_t duration_ns, std::uint64_t arg) {
   Ring& ring = ThreadRing();
-  std::lock_guard<std::mutex> lock(ring.mu);
+  MutexLock lock(ring.mu);
   TraceEvent& slot = ring.events[ring.next];
   slot.phase = phase;
   slot.is_span = is_span;
@@ -109,11 +118,11 @@ void Tracer::Emit(TracePhase phase, bool is_span, std::uint64_t start_ns,
 
 TraceDrainResult Tracer::Drain() {
   TraceDrainResult result;
-  std::lock_guard<std::mutex> rings_lock(rings_mu_);
+  MutexLock rings_lock(rings_mu_);
   result.num_threads = rings_.size();
   for (const auto& ring_ptr : rings_) {
     Ring& ring = *ring_ptr;
-    std::lock_guard<std::mutex> lock(ring.mu);
+    MutexLock lock(ring.mu);
     // Oldest-first: a full ring's oldest entry sits at the write cursor.
     const std::size_t begin =
         ring.size == ring_capacity_ ? ring.next : 0;
@@ -136,9 +145,9 @@ TraceDrainResult Tracer::Drain() {
 
 std::uint64_t Tracer::DroppedTotal() {
   std::uint64_t dropped = 0;
-  std::lock_guard<std::mutex> rings_lock(rings_mu_);
+  MutexLock rings_lock(rings_mu_);
   for (const auto& ring_ptr : rings_) {
-    std::lock_guard<std::mutex> lock(ring_ptr->mu);
+    MutexLock lock(ring_ptr->mu);
     dropped += ring_ptr->overwritten;
   }
   return dropped;

@@ -21,9 +21,9 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "obs/histogram.hpp"
 
 namespace tdmd::obs {
@@ -91,34 +91,38 @@ class Tracer {
 
   /// Collects and clears every ring.  Safe to call concurrently with
   /// emission; concurrent events land in the next drain.
-  TraceDrainResult Drain();
+  TraceDrainResult Drain() TDMD_EXCLUDES(rings_mu_);
 
   /// Events overwritten by ring wrap-around since construction, without
   /// draining the rings (the per-ring overwrite counters are cumulative,
   /// so this matches the `dropped` field of a Drain issued at the same
   /// moment).  Thread-safe; Engine::Metrics exposes it as
   /// tdmd_trace_dropped_total.
-  std::uint64_t DroppedTotal();
+  std::uint64_t DroppedTotal() TDMD_EXCLUDES(rings_mu_);
 
   static constexpr std::size_t kDefaultRingCapacity = 1U << 14;
 
  private:
+  // Lock ordering: rings_mu_ before Ring::mu (Drain/DroppedTotal iterate
+  // rings_ under rings_mu_ and lock each ring inside; no path locks the
+  // other way around).
   struct Ring {
-    std::mutex mu;
-    std::vector<TraceEvent> events;  // fixed at ring_capacity slots
-    std::size_t next = 0;            // write cursor
-    std::size_t size = 0;            // filled slots, <= capacity
-    std::uint64_t overwritten = 0;
-    std::uint32_t tid = 0;
+    Mutex mu;
+    std::vector<TraceEvent> events
+        TDMD_GUARDED_BY(mu);                      // ring_capacity slots
+    std::size_t next TDMD_GUARDED_BY(mu) = 0;     // write cursor
+    std::size_t size TDMD_GUARDED_BY(mu) = 0;     // filled slots
+    std::uint64_t overwritten TDMD_GUARDED_BY(mu) = 0;
+    std::uint32_t tid = 0;  // set once at registration, then read-only
   };
 
-  Ring& ThreadRing();
+  Ring& ThreadRing() TDMD_EXCLUDES(rings_mu_);
 
   const std::size_t ring_capacity_;
   const std::uint64_t origin_ns_;
   const std::uint64_t generation_;
-  std::mutex rings_mu_;  // guards rings_ growth; ring contents use Ring::mu
-  std::vector<std::unique_ptr<Ring>> rings_;
+  Mutex rings_mu_;  // guards rings_ growth; ring contents use Ring::mu
+  std::vector<std::unique_ptr<Ring>> rings_ TDMD_GUARDED_BY(rings_mu_);
 };
 
 /// Installs `tracer` as the process-wide current tracer (nullptr to

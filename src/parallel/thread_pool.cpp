@@ -14,10 +14,10 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& worker : workers_) {
     worker.join();
   }
@@ -30,26 +30,27 @@ void ThreadPool::Enqueue(std::function<void()> task) {
     obs::TraceInstant(obs::TracePhase::kPoolTaskQueued);
   }
   {
-    std::unique_lock lock(mutex_);
+    MutexLock lock(mutex_);
     TDMD_CHECK_MSG(!shutting_down_, "Submit after ThreadPool destruction");
     queue_.push(std::move(queued));
     ++in_flight_;
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock lock(mutex_);
-  all_idle_.wait(lock, [this]() { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  all_idle_.Wait(mutex_,
+                 [this]() TDMD_REQUIRES(mutex_) { return in_flight_ == 0; });
 }
 
 ThreadPool::PoolStats ThreadPool::stats() const {
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 
 void ThreadPool::SetTaskHook(std::function<void()> hook) {
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   task_hook_ = hook ? std::make_shared<const std::function<void()>>(
                           std::move(hook))
                     : nullptr;
@@ -60,9 +61,11 @@ void ThreadPool::WorkerLoop() {
     QueuedTask task;
     std::shared_ptr<const std::function<void()>> hook;
     {
-      std::unique_lock lock(mutex_);
-      work_available_.wait(
-          lock, [this]() { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      work_available_.Wait(
+          mutex_, [this]() TDMD_REQUIRES(mutex_) {
+            return HasWorkOrShutdown();
+          });
       if (queue_.empty()) {
         // shutting_down_ && empty queue: exit.  Tasks queued before the
         // destructor ran are still drained because the predicate prefers
@@ -93,10 +96,10 @@ void ThreadPool::WorkerLoop() {
       task.fn();  // packaged_task captures exceptions into the future
     }
     {
-      std::unique_lock lock(mutex_);
+      MutexLock lock(mutex_);
       ++(dropped ? stats_.tasks_dropped : stats_.tasks_executed);
       if (--in_flight_ == 0) {
-        all_idle_.notify_all();
+        all_idle_.NotifyAll();
       }
     }
   }

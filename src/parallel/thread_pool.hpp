@@ -11,19 +11,18 @@
 //     detached threads).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/mutex.hpp"
 #include "obs/trace.hpp"
 
 namespace tdmd::parallel {
@@ -54,7 +53,7 @@ class ThreadPool {
   }
 
   /// Blocks until all currently queued and running tasks finish.
-  void Wait();
+  void Wait() TDMD_EXCLUDES(mutex_);
 
   /// Counters for the fault-tolerance layer: how many tasks ran, and how
   /// many were dropped because the task hook threw.
@@ -62,14 +61,14 @@ class ThreadPool {
     std::uint64_t tasks_executed = 0;
     std::uint64_t tasks_dropped = 0;
   };
-  PoolStats stats() const;
+  PoolStats stats() const TDMD_EXCLUDES(mutex_);
 
   /// Installs a hook invoked by the worker immediately before each task.
   /// A throwing hook *drops* the task (it never runs; its future reports
   /// broken_promise) and bumps tasks_dropped — the fault-injection layer
   /// uses this to model lost pool tasks, and a sleeping hook to model
   /// scheduler stalls.  Pass nullptr to uninstall.  Thread-safe.
-  void SetTaskHook(std::function<void()> hook);
+  void SetTaskHook(std::function<void()> hook) TDMD_EXCLUDES(mutex_);
 
  private:
   // Tasks carry their enqueue timestamp when a tracer is installed, so the
@@ -79,18 +78,24 @@ class ThreadPool {
     std::uint64_t queued_ns = 0;  // obs::MonotonicNanos at enqueue; 0 = off
   };
 
-  void Enqueue(std::function<void()> task);
-  void WorkerLoop();
+  void Enqueue(std::function<void()> task) TDMD_EXCLUDES(mutex_);
+  void WorkerLoop() TDMD_EXCLUDES(mutex_);
 
-  std::vector<std::thread> workers_;
-  std::queue<QueuedTask> queue_;
-  mutable std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable all_idle_;
-  std::size_t in_flight_ = 0;  // queued + executing
-  bool shutting_down_ = false;
-  std::shared_ptr<const std::function<void()>> task_hook_;
-  PoolStats stats_;
+  /// Predicate for the worker wakeup wait (must hold mutex_).
+  bool HasWorkOrShutdown() const TDMD_REQUIRES(mutex_) {
+    return shutting_down_ || !queue_.empty();
+  }
+
+  std::vector<std::thread> workers_;  // written only by the constructor
+  mutable Mutex mutex_;
+  CondVar work_available_;
+  CondVar all_idle_;
+  std::queue<QueuedTask> queue_ TDMD_GUARDED_BY(mutex_);
+  std::size_t in_flight_ TDMD_GUARDED_BY(mutex_) = 0;  // queued + executing
+  bool shutting_down_ TDMD_GUARDED_BY(mutex_) = false;
+  std::shared_ptr<const std::function<void()>> task_hook_
+      TDMD_GUARDED_BY(mutex_);
+  PoolStats stats_ TDMD_GUARDED_BY(mutex_);
 };
 
 /// Runs fn(i) for i in [begin, end), partitioned into contiguous chunks

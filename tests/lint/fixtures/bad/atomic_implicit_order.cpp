@@ -1,0 +1,17 @@
+// Fixture: atomic operations relying on the defaulted seq_cst order.
+// Expected findings (rule atomic-memory-order): lines 9, 11, 13.
+#include <atomic>
+
+namespace fixture {
+
+std::atomic<int> counter{0};
+
+int LoadDefaulted() { return counter.load(); }
+
+void StoreDefaulted(int value) { counter.store(value); }
+
+void IncrementOperator() { ++counter; }
+
+int LoadExplicit() { return counter.load(std::memory_order_acquire); }
+
+}  // namespace fixture

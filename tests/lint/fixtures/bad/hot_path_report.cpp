@@ -1,0 +1,17 @@
+// tdmd-lint: hot-path
+// Fixture: banned formatting and clocks in a hot-path-tagged file.
+// Expected findings (rule hot-path): line 10 (std::cout and std::endl),
+// line 14 (system_clock::now).
+#include <chrono>
+#include <iostream>
+
+namespace fixture {
+
+void Report(long value) { std::cout << "value=" << value << std::endl; }
+
+long WallClockNs() {
+  return static_cast<long>(
+      std::chrono::system_clock::now().time_since_epoch().count());
+}
+
+}  // namespace fixture

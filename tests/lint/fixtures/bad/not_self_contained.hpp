@@ -1,0 +1,10 @@
+// Fixture: header that uses std::vector without including <vector>, so it
+// fails to compile as a standalone translation unit.
+// Expected finding (rule header-self-contained): line 1.
+#pragma once
+
+namespace fixture {
+
+inline std::vector<int> MakeVector() { return {1, 2, 3}; }
+
+}  // namespace fixture

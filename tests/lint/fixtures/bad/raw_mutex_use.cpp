@@ -1,0 +1,13 @@
+// Fixture: raw standard-library synchronization primitives outside
+// src/common.  Expected findings (rule raw-mutex): line 7 (mutex),
+// line 10 (lock_guard and mutex), line 13 (condition_variable).
+#include <condition_variable>
+#include <mutex>
+
+std::mutex g_mu;
+
+void Locked() {
+  std::lock_guard<std::mutex> lock(g_mu);
+}
+
+std::condition_variable g_cv;

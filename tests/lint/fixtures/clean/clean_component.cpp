@@ -1,0 +1,24 @@
+// tdmd-lint: hot-path — steady-clock reads only, no iostream formatting.
+// Fixture: a clean hot-path-tagged source file.  The multi-line fetch_add
+// regression-tests the balanced-paren scan (the memory order sits on the
+// continuation line).
+#include "clean_component.hpp"
+
+#include <chrono>
+#include <cstdint>
+
+namespace fixture {
+
+std::atomic<std::uint64_t> g_ticks{0};
+
+void Tick() {
+  g_ticks.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+std::uint64_t MonotonicNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+}  // namespace fixture

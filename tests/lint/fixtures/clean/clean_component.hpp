@@ -1,0 +1,23 @@
+// Fixture: a clean, self-contained header — atomics name their orders and
+// no raw synchronization primitives appear.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+class Counter {
+ public:
+  void Add(std::uint64_t n) {
+    total_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t Total() const {
+    return total_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<std::uint64_t> total_{0};
+};
+
+}  // namespace fixture

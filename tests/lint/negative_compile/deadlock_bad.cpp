@@ -1,0 +1,24 @@
+// MUST NOT COMPILE under clang -Wthread-safety -Werror.
+//
+// Deliberately-inverted check for the TDMD_EXCLUDES annotations on the
+// public Engine API: this hook claims (via Engine::state_mutex(), whose
+// TDMD_RETURN_CAPABILITY ties it to state_mu_) to run with the engine
+// lock held, then calls Engine::stats(), which excludes state_mu_ — a
+// guaranteed self-deadlock.  The thread-safety analysis must reject the
+// call; if this file ever compiles, the EXCLUDES contract on the public
+// API has regressed.  See deadlock_ok.cpp for the accepted twin.
+#include "engine/engine.hpp"
+
+namespace {
+
+void HookUnderEngineLock(tdmd::engine::Engine& eng)
+    TDMD_REQUIRES(eng.state_mutex()) {
+  (void)eng.stats();  // error: acquires a lock the caller already holds
+}
+
+void Caller(tdmd::engine::Engine& eng) {
+  tdmd::MutexLock lock(eng.state_mutex());
+  HookUnderEngineLock(eng);
+}
+
+}  // namespace

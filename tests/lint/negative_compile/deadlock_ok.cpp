@@ -1,0 +1,22 @@
+// MUST COMPILE under clang -Wthread-safety -Werror.
+//
+// Accepted twin of deadlock_bad.cpp: acquiring the engine lock through
+// the TDMD_RETURN_CAPABILITY accessor and calling a hook that REQUIRES
+// it is exactly the contract the annotations encode, so the analysis
+// must stay silent here.  A diagnostic in this file means the wrappers
+// or the accessor annotation are broken, not the client.
+#include "engine/engine.hpp"
+
+namespace {
+
+void HookUnderEngineLock(tdmd::engine::Engine& eng)
+    TDMD_REQUIRES(eng.state_mutex()) {
+  (void)eng;
+}
+
+void Caller(tdmd::engine::Engine& eng) {
+  tdmd::MutexLock lock(eng.state_mutex());
+  HookUnderEngineLock(eng);
+}
+
+}  // namespace

@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Fixture-corpus test for tools/tdmd_lint.
+
+Asserts that the bad corpus fires exactly the expected (file, line, rule)
+findings, that the clean corpus is silent, and that the suppression-file
+contract holds (suppressed findings disappear; a suppression without a
+justification is itself a finding; unused suppressions do not fail the
+run).  Runs in --mode text so results are identical with and without a
+clang toolchain on PATH.
+"""
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+LINT = os.path.join(REPO, "tools", "tdmd_lint")
+BAD = os.path.join(HERE, "fixtures", "bad")
+CLEAN = os.path.join(HERE, "fixtures", "clean")
+
+FINDING_RE = re.compile(r"^(.+):(\d+): ([a-z][a-z-]*): ")
+
+failures = []
+
+
+def check(condition, label, detail=""):
+    if condition:
+        print(f"ok: {label}")
+    else:
+        failures.append(label)
+        print(f"FAIL: {label}\n{detail}")
+
+
+def run_lint(paths, src_root, suppressions=os.devnull):
+    proc = subprocess.run(
+        [
+            sys.executable,
+            LINT,
+            "--mode",
+            "text",
+            "--src-root",
+            src_root,
+            "--suppressions",
+            suppressions,
+            *paths,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    findings = []
+    for line in proc.stdout.splitlines():
+        m = FINDING_RE.match(line)
+        if m:
+            findings.append(
+                (
+                    os.path.relpath(
+                        os.path.join(REPO, m.group(1)), HERE
+                    ).replace(os.sep, "/"),
+                    int(m.group(2)),
+                    m.group(3),
+                )
+            )
+        elif line.strip():
+            findings.append(("<unparsed>", 0, line))
+    return proc, sorted(findings)
+
+
+def main():
+    # --- bad corpus fires exactly the expected findings ------------------
+    expected = sorted(
+        [
+            ("fixtures/bad/atomic_implicit_order.cpp", 9, "atomic-memory-order"),
+            ("fixtures/bad/atomic_implicit_order.cpp", 11, "atomic-memory-order"),
+            ("fixtures/bad/atomic_implicit_order.cpp", 13, "atomic-memory-order"),
+            ("fixtures/bad/hot_path_report.cpp", 10, "hot-path"),
+            ("fixtures/bad/hot_path_report.cpp", 10, "hot-path"),
+            ("fixtures/bad/hot_path_report.cpp", 14, "hot-path"),
+            ("fixtures/bad/not_self_contained.hpp", 1, "header-self-contained"),
+            ("fixtures/bad/raw_mutex_use.cpp", 7, "raw-mutex"),
+            ("fixtures/bad/raw_mutex_use.cpp", 10, "raw-mutex"),
+            ("fixtures/bad/raw_mutex_use.cpp", 10, "raw-mutex"),
+            ("fixtures/bad/raw_mutex_use.cpp", 13, "raw-mutex"),
+        ]
+    )
+    proc, findings = run_lint([BAD], src_root=BAD)
+    check(proc.returncode == 1, "bad corpus exits 1", proc.stderr)
+    check(
+        findings == expected,
+        "bad corpus fires exactly the expected findings",
+        f"expected:\n  "
+        + "\n  ".join(map(str, expected))
+        + "\ngot:\n  "
+        + "\n  ".join(map(str, findings)),
+    )
+
+    # --- clean corpus is silent ------------------------------------------
+    proc, findings = run_lint([CLEAN], src_root=CLEAN)
+    check(
+        proc.returncode == 0 and not findings,
+        "clean corpus is silent",
+        proc.stdout + proc.stderr,
+    )
+
+    # --- suppressions remove findings for their (path, rule) -------------
+    with tempfile.NamedTemporaryFile("w", suffix=".txt", delete=False) as f:
+        f.write(
+            "# fixture suppression\n"
+            "tests/lint/fixtures/bad/raw_mutex_use.cpp:raw-mutex: "
+            "fixture exists to exercise the ban\n"
+        )
+        suppression_file = f.name
+    try:
+        proc, findings = run_lint(
+            [BAD], src_root=BAD, suppressions=suppression_file
+        )
+        check(
+            proc.returncode == 1
+            and not any(rule == "raw-mutex" for _, _, rule in findings)
+            and any(rule == "atomic-memory-order" for _, _, rule in findings),
+            "suppression hides its (path, rule) and nothing else",
+            "\n".join(map(str, findings)),
+        )
+    finally:
+        os.unlink(suppression_file)
+
+    # --- a justification-free suppression is itself a finding ------------
+    with tempfile.NamedTemporaryFile("w", suffix=".txt", delete=False) as f:
+        f.write("tests/lint/fixtures/bad/raw_mutex_use.cpp:raw-mutex:\n")
+        malformed_file = f.name
+    try:
+        proc, _ = run_lint(
+            [CLEAN], src_root=CLEAN, suppressions=malformed_file
+        )
+        check(
+            proc.returncode == 1 and "suppression-format" in proc.stdout,
+            "suppression without justification fails the run",
+            proc.stdout + proc.stderr,
+        )
+    finally:
+        os.unlink(malformed_file)
+
+    # --- unused suppressions warn but do not fail ------------------------
+    with tempfile.NamedTemporaryFile("w", suffix=".txt", delete=False) as f:
+        f.write("src/nonexistent.cpp:raw-mutex: justified but unused\n")
+        unused_file = f.name
+    try:
+        proc, findings = run_lint(
+            [CLEAN], src_root=CLEAN, suppressions=unused_file
+        )
+        check(
+            proc.returncode == 0
+            and not findings
+            and "unused suppression" in proc.stderr,
+            "unused suppression is a note, not a failure",
+            proc.stdout + proc.stderr,
+        )
+    finally:
+        os.unlink(unused_file)
+
+    if failures:
+        print(f"{len(failures)} check(s) failed")
+        return 1
+    print("all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Negative-compile test for the Clang Thread Safety annotations on the
+# public Engine API.
+#
+#   deadlock_ok.cpp  — must compile under -Wthread-safety -Werror
+#   deadlock_bad.cpp — must FAIL: it calls Engine::stats() (which
+#                      TDMD_EXCLUDES state_mu_) while holding the lock.
+#
+# The analysis only exists in clang, so without clang++ on PATH the test
+# skips (exit 77, wired to SKIP_RETURN_CODE in ctest).
+set -u
+
+here="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+repo_root="$(cd "${here}/../.." && pwd)"
+
+if ! command -v clang++ >/dev/null 2>&1; then
+  echo "skip: clang++ not found; thread-safety analysis is clang-only"
+  exit 77
+fi
+
+flags=(-std=c++20 -I "${repo_root}/src" -fsyntax-only
+  -Wthread-safety -Wthread-safety-beta -Werror)
+
+echo "== deadlock_ok.cpp must compile =="
+if ! clang++ "${flags[@]}" "${here}/negative_compile/deadlock_ok.cpp"; then
+  echo "FAIL: deadlock_ok.cpp did not compile (annotations reject a legal client)"
+  exit 1
+fi
+
+echo "== deadlock_bad.cpp must be rejected =="
+if output=$(clang++ "${flags[@]}" \
+    "${here}/negative_compile/deadlock_bad.cpp" 2>&1); then
+  echo "FAIL: deadlock_bad.cpp compiled; the EXCLUDES contract on the"
+  echo "      public Engine API no longer catches the self-deadlock"
+  exit 1
+fi
+if ! grep -q "thread-safety" <<<"${output}"; then
+  echo "FAIL: deadlock_bad.cpp was rejected, but not by the thread-safety"
+  echo "      analysis:"
+  echo "${output}"
+  exit 1
+fi
+
+echo "ok: self-deadlock rejected, legal client accepted"

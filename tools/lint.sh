@@ -11,10 +11,20 @@
 # Exit status is the number of files with findings (0 = clean), so CI can
 # gate on it directly.  Run from anywhere; paths resolve relative to the
 # repo root.
+#
+# `lint.sh --static` additionally runs the tools/tdmd_lint rule pack
+# (atomic memory orders, raw-mutex ban, hot-path bans, header
+# self-containment) over src/ after the text checks.
 set -u
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "${repo_root}"
+
+run_static=0
+if [ "${1:-}" = "--static" ]; then
+  run_static=1
+  shift
+fi
 
 dirs=(src tests bench examples)
 failures=0
@@ -83,6 +93,13 @@ while IFS= read -r file; do
     fail_file
   fi
 done < <(find "${dirs[@]}" -type f \( -name '*.hpp' -o -name '*.cpp' \) | sort)
+
+if [ "${run_static}" -eq 1 ]; then
+  note "running tools/tdmd_lint over src/"
+  if ! "${repo_root}/tools/tdmd_lint" src; then
+    fail_file
+  fi
+fi
 
 if [ "${failures}" -eq 0 ]; then
   echo "lint: clean"
