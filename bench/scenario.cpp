@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <iostream>
+#include <queue>
 
+#include "graph/shortest_path.hpp"
 #include "topology/ark.hpp"
 #include "traffic/flow.hpp"
 
@@ -151,6 +153,168 @@ ChurnWorkload BuildChurnWorkload(VertexId size, std::size_t flows,
   churn.departure_probability = churn_fraction;
   workload.trace = engine::BuildChurnTrace(workload.network, churn, epochs,
                                            workload.prefill.size(), rng);
+  return workload;
+}
+
+namespace {
+
+/// k-center seeds: start from vertex 0, repeatedly add the vertex
+/// farthest (in hops, out-arc direction) from every hub picked so far.
+std::vector<VertexId> FarthestHubs(const graph::Digraph& g, std::size_t r) {
+  std::vector<VertexId> hubs{0};
+  const auto num_vertices = static_cast<std::size_t>(g.num_vertices());
+  std::vector<int> dist(num_vertices, -1);
+  const auto bfs = [&](VertexId source) {
+    std::queue<VertexId> frontier;
+    if (dist[static_cast<std::size_t>(source)] != 0) {
+      dist[static_cast<std::size_t>(source)] = 0;
+      frontier.push(source);
+    }
+    while (!frontier.empty()) {
+      const VertexId u = frontier.front();
+      frontier.pop();
+      for (EdgeId e : g.OutArcs(u)) {
+        const VertexId w = g.arc(e).head;
+        const int du = dist[static_cast<std::size_t>(u)];
+        if (dist[static_cast<std::size_t>(w)] < 0 ||
+            dist[static_cast<std::size_t>(w)] > du + 1) {
+          dist[static_cast<std::size_t>(w)] = du + 1;
+          frontier.push(w);
+        }
+      }
+    }
+  };
+  while (hubs.size() < r) {
+    std::fill(dist.begin(), dist.end(), -1);
+    for (VertexId hub : hubs) bfs(hub);
+    VertexId best = 0;
+    int best_dist = -1;
+    for (std::size_t v = 0; v < num_vertices; ++v) {
+      if (dist[v] > best_dist) {
+        best_dist = dist[v];
+        best = static_cast<VertexId>(v);
+      }
+    }
+    hubs.push_back(best);
+  }
+  return hubs;
+}
+
+/// region(v) = nearest hub (multi-source BFS, ties to the hub reached
+/// first in hub order).
+std::vector<int> HubRegions(const graph::Digraph& g,
+                            const std::vector<VertexId>& hubs) {
+  const auto num_vertices = static_cast<std::size_t>(g.num_vertices());
+  std::vector<int> dist(num_vertices, 1 << 30);
+  std::vector<int> region(num_vertices, -1);
+  std::queue<VertexId> frontier;
+  for (std::size_t h = 0; h < hubs.size(); ++h) {
+    dist[static_cast<std::size_t>(hubs[h])] = 0;
+    region[static_cast<std::size_t>(hubs[h])] = static_cast<int>(h);
+    frontier.push(hubs[h]);
+  }
+  while (!frontier.empty()) {
+    const VertexId u = frontier.front();
+    frontier.pop();
+    for (EdgeId e : g.OutArcs(u)) {
+      const auto w = static_cast<std::size_t>(g.arc(e).head);
+      if (dist[w] > dist[static_cast<std::size_t>(u)] + 1) {
+        dist[w] = dist[static_cast<std::size_t>(u)] + 1;
+        region[w] = region[static_cast<std::size_t>(u)];
+        frontier.push(g.arc(e).head);
+      }
+    }
+  }
+  return region;
+}
+
+/// Draws one flow inside region `r`: source sampled from the region,
+/// destination its hub, shortest-hop path.  Rejection-sampled; returns an
+/// empty-path flow if the region yields nothing connectable.
+traffic::Flow DrawRegionFlow(const graph::Digraph& g,
+                             const std::vector<VertexId>& hubs,
+                             const std::vector<int>& region, int r,
+                             Rng& rng) {
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    const auto src = static_cast<VertexId>(
+        rng.NextBounded(static_cast<std::uint64_t>(g.num_vertices())));
+    if (region[static_cast<std::size_t>(src)] != r) continue;
+    const VertexId dst = hubs[static_cast<std::size_t>(r)];
+    if (src == dst) continue;
+    auto path = graph::ShortestHopPath(g, src, dst);
+    if (!path.has_value() || path->NumEdges() == 0) continue;
+    traffic::Flow flow;
+    flow.src = src;
+    flow.dst = dst;
+    flow.rate = rng.NextInt(1, 12);
+    flow.path = std::move(*path);
+    return flow;
+  }
+  return {};
+}
+
+}  // namespace
+
+ShardWorkload BuildShardWorkload(VertexId size, std::size_t flows,
+                                 std::size_t epochs, std::size_t regions,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  topology::ArkParams ark_params;
+  ark_params.num_monitors =
+      std::max<std::size_t>(3 * static_cast<std::size_t>(size), 90);
+  const topology::ArkTopology ark = topology::GenerateArk(ark_params, rng);
+
+  ShardWorkload workload;
+  workload.network = topology::ExtractGeneralSubgraph(ark, size, rng);
+  workload.hubs = FarthestHubs(workload.network, regions);
+  const std::vector<int> region =
+      HubRegions(workload.network, workload.hubs);
+
+  workload.prefill.reserve(flows);
+  for (std::size_t i = 0; i < flows; ++i) {
+    const int r = static_cast<int>(rng.NextBounded(regions));
+    traffic::Flow flow =
+        DrawRegionFlow(workload.network, workload.hubs, region, r, rng);
+    if (flow.path.empty()) continue;
+    workload.prefill.push_back(std::move(flow));
+  }
+
+  // Churn cadence tuned so a single engine re-solves every epoch while a
+  // per-region shard sees its quiet epochs fall under the deferral
+  // threshold (bench/shard_scaling pairs this with
+  // resolve_churn_fraction = 0.03).
+  const double depart_p = 0.16;
+  const std::size_t arrive_c = flows / regions * 16 / 100;
+  // Region of each active flow, tracked positionally like the engine
+  // bench traces track tickets.
+  std::vector<int> flow_region;
+  flow_region.reserve(workload.prefill.size());
+  for (const traffic::Flow& flow : workload.prefill) {
+    flow_region.push_back(region[static_cast<std::size_t>(flow.src)]);
+  }
+  workload.epochs.reserve(epochs);
+  for (std::size_t e = 0; e < epochs; ++e) {
+    const int r = static_cast<int>(e % regions);
+    ShardEpoch epoch;
+    for (std::size_t i = 0; i < flow_region.size(); ++i) {
+      if (flow_region[i] == r && rng.NextBool(depart_p)) {
+        epoch.departures.push_back(i);
+      }
+    }
+    for (auto it = epoch.departures.rbegin(); it != epoch.departures.rend();
+         ++it) {
+      flow_region.erase(flow_region.begin() +
+                        static_cast<std::ptrdiff_t>(*it));
+    }
+    for (std::size_t i = 0; i < arrive_c; ++i) {
+      traffic::Flow flow =
+          DrawRegionFlow(workload.network, workload.hubs, region, r, rng);
+      if (flow.path.empty()) continue;
+      epoch.arrivals.push_back(std::move(flow));
+      flow_region.push_back(r);
+    }
+    workload.epochs.push_back(std::move(epoch));
+  }
   return workload;
 }
 

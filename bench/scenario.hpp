@@ -113,6 +113,31 @@ ChurnWorkload BuildChurnWorkload(VertexId size, std::size_t flows,
                                  std::size_t epochs, double churn_fraction,
                                  std::uint64_t seed);
 
+/// One epoch of the regionalized shard workload: pre-drawn arrivals and
+/// positional departure indices into the caller's active-flow list.
+struct ShardEpoch {
+  traffic::FlowSet arrivals;
+  std::vector<std::size_t> departures;
+};
+
+/// Regionalized churn workload for bench/shard_scaling: `regions`
+/// farthest-point hubs carve the topology into Voronoi regions, every
+/// flow runs from a region vertex to its own hub, and each epoch's churn
+/// is confined to region `epoch % regions`.  That is the workload shape
+/// sharding targets — locality keeps per-shard ground sets disjoint, so
+/// an N-shard fleet skips the untouched shards each epoch (cross-shard
+/// pinning is exercised by the shard tests, not the scaling bench).
+struct ShardWorkload {
+  graph::Digraph network;
+  std::vector<VertexId> hubs;
+  traffic::FlowSet prefill;
+  std::vector<ShardEpoch> epochs;
+};
+
+ShardWorkload BuildShardWorkload(VertexId size, std::size_t flows,
+                                 std::size_t epochs, std::size_t regions,
+                                 std::uint64_t seed);
+
 /// Flat single-object JSON emitter for the BENCH_*.json CI artifacts.
 /// Writes `{` on construction, one `"key": value` pair per Field call,
 /// and the closing `}` on destruction.  Keys and string values must not
@@ -151,6 +176,15 @@ class JsonWriter {
       os_ << static_cast<unsigned long long>(value);
     }
   }
+  /// Array field: `"key": [v0, v1, ...]`.
+  void Field(const std::string& key, const std::vector<double>& values) {
+    Key(key);
+    os_ << '[';
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      os_ << (i == 0 ? "" : ", ") << values[i];
+    }
+    os_ << ']';
+  }
 
  private:
   void Key(const std::string& key) {
@@ -172,6 +206,40 @@ inline void EmitHistogramMs(JsonWriter& json, const std::string& prefix,
   json.Field(prefix + "_p95_ms", static_cast<double>(summary.p95) / 1e6);
   json.Field(prefix + "_p99_ms", static_cast<double>(summary.p99) / 1e6);
   json.Field(prefix + "_max_ms", static_cast<double>(summary.max) / 1e6);
+}
+
+/// One fleet-size row of bench/shard_scaling.
+struct ShardRunSummary {
+  std::size_t shards = 1;
+  double wall_ms = 0.0;
+  double events_per_sec = 0.0;
+  /// vs the 1-shard run on the identical trace.
+  double speedup = 1.0;
+  double bandwidth = 0.0;
+  /// (bandwidth - single-engine bandwidth) / single-engine bandwidth.
+  double bandwidth_gap_pct = 0.0;
+  bool feasible = false;
+  bool cert_valid = false;
+  double cert_bound = 0.0;
+  std::size_t boxes = 0;
+  obs::LatencyHistogram epoch_latency;
+};
+
+/// Emits one ShardRunSummary as `shards<N>_*` fields (histogram included
+/// via EmitHistogramMs), so every fleet size shares one shape instead of
+/// each bench hand-rolling the quantile fields.
+inline void EmitShardSummary(JsonWriter& json, const ShardRunSummary& run) {
+  const std::string prefix = "shards" + std::to_string(run.shards);
+  json.Field(prefix + "_wall_ms", run.wall_ms);
+  json.Field(prefix + "_events_per_sec", run.events_per_sec);
+  json.Field(prefix + "_speedup", run.speedup);
+  json.Field(prefix + "_bandwidth", run.bandwidth);
+  json.Field(prefix + "_bandwidth_gap_pct", run.bandwidth_gap_pct);
+  json.Field(prefix + "_feasible", run.feasible);
+  json.Field(prefix + "_cert_valid", run.cert_valid);
+  json.Field(prefix + "_cert_bound", run.cert_bound);
+  json.Field(prefix + "_boxes", run.boxes);
+  EmitHistogramMs(json, prefix + "_epoch", run.epoch_latency);
 }
 
 }  // namespace tdmd::bench

@@ -38,6 +38,10 @@ struct EngineCheckpoint {
   EngineMode mode = EngineMode::kNormal;
   std::uint64_t consecutive_failures = 0;
   std::uint64_t epochs_since_probe = 0;
+  /// Churn accumulated toward the resolve_churn_fraction deferral rule;
+  /// restored exactly so a resumed engine defers (or re-solves) on the
+  /// same future epoch the uninterrupted run would.
+  std::uint64_t pending_churn = 0;
   /// Configuration echo; Restore cross-checks these against the fresh
   /// engine's options instead of trusting the record.
   std::uint64_t k = 0;

@@ -60,11 +60,14 @@ const char* EngineModeName(EngineMode mode) {
 
 Engine::Engine(graph::Digraph network, EngineOptions options)
     : options_(options),
+      budget_k_(options.k),
       index_(std::move(network), options.lambda),
       deployment_(index_.num_vertices()),
       quality_timeline_(options.quality_capacity, options.quality_detectors),
       quality_prev_deployment_(index_.num_vertices()) {
   TDMD_CHECK_MSG(options_.k >= 1, "middlebox budget k must be >= 1");
+  TDMD_CHECK_MSG(options_.resolve_churn_fraction >= 0.0,
+                 "resolve_churn_fraction must be >= 0");
   TDMD_CHECK_MSG(options_.degrade_after_failures >= 1 &&
                      options_.degrade_after_failures <=
                          options_.patch_only_after_failures,
@@ -182,6 +185,8 @@ Engine::BatchResult Engine::SubmitBatch(
     }
   }
 
+  pending_churn_ += departures.size() + arrivals.size();
+
   {
     obs::ScopedSpan patch_span(obs::TracePhase::kPatch);
     obs::ScopedHistogramTimer patch_timer(&histograms_.patch_ns);
@@ -214,12 +219,23 @@ Engine::BatchResult Engine::SubmitBatch(
       } else {
         ++stats_.resolves_coalesced;
       }
-    } else {
+    } else if (ResolveDueLocked()) {
       CancelInflightLocked();
       ScheduleResolveLocked();
     }
   }
   return result;
+}
+
+bool Engine::ResolveDueLocked() const {
+  // fraction == 0 keeps the classic cadence: a re-solve every batch, even
+  // an empty one (probes rely on that).
+  if (options_.resolve_churn_fraction <= 0.0) return true;
+  if (budget_dirty_) return true;
+  const auto threshold = static_cast<std::uint64_t>(std::max(
+      1.0, options_.resolve_churn_fraction *
+               static_cast<double>(index_.active_flows())));
+  return pending_churn_ >= threshold;
 }
 
 std::size_t Engine::PatchFeasibilityLocked() {
@@ -244,7 +260,7 @@ std::size_t Engine::PatchFeasibilityLocked() {
   std::size_t added = 0;
   std::vector<std::size_t> cover(
       static_cast<std::size_t>(index_.num_vertices()));
-  while (!unserved.empty() && deployment_.size() < options_.k) {
+  while (!unserved.empty() && deployment_.size() < budget_k_) {
     std::fill(cover.begin(), cover.end(), 0);
     for (FlowTicket ticket : unserved) {
       for (VertexId v : index_.Find(ticket)->path.vertices) {
@@ -320,7 +336,11 @@ void Engine::PublishLocked() {
   {
     const core::Instance instance = index_.BuildInstance();
     analysis::AuditOptions audit_options;
-    audit_options.max_middleboxes = options_.k;
+    // A budget retarget below the current deployment size is legal and
+    // resolves at the next adoption, so the audit tolerates the
+    // transitional oversize.
+    audit_options.max_middleboxes =
+        std::max<std::size_t>(budget_k_, deployment_.size());
     analysis::CheckAudit(analysis::AuditEngineSnapshot(
         instance, deployment_, snapshot->bandwidth, snapshot->feasible,
         audit_options));
@@ -347,7 +367,7 @@ void Engine::PublishLocked() {
     inputs.mode = static_cast<std::uint64_t>(mode_);
     inputs.feasible = maintained_feasible_;
     inputs.deployed = static_cast<std::uint32_t>(deployment_.size());
-    inputs.budget = static_cast<std::uint32_t>(options_.k);
+    inputs.budget = static_cast<std::uint32_t>(budget_k_);
     inputs.churn_moves = static_cast<std::uint32_t>(
         core::DeploymentMoveCount(quality_prev_deployment_, deployment_));
     inputs.bandwidth = maintained_bandwidth_;
@@ -377,8 +397,13 @@ void Engine::MaybeAdoptLocked(const IncrementalGtpResult& result,
       core::DeploymentMoveCount(deployment_, result.deployment);
   const double required =
       options_.move_threshold * static_cast<double>(moves);
+  // After a SetBudget shrink the maintained deployment can exceed the
+  // budget; a within-budget re-solve is then adopted unconditionally even
+  // though fewer boxes means more bandwidth — the budget constraint
+  // outranks the move-hysteresis improvement test.
+  const bool over_budget = deployment_.size() > budget_k_;
   if (result.feasible &&
-      (!maintained_feasible_ ||
+      (!maintained_feasible_ || over_budget ||
        (moves > 0 && maintained_bandwidth_ - result.bandwidth >= required))) {
     deployment_ = result.deployment;
     maintained_bandwidth_ = result.bandwidth;
@@ -528,9 +553,9 @@ bool Engine::HandleResolveOutcomeLocked(
 }
 
 IncrementalGtpOptions Engine::MakeSolveOptions(
-    const std::atomic<bool>* cancel) const {
+    const std::atomic<bool>* cancel, std::size_t budget) const {
   IncrementalGtpOptions solve_options;
-  solve_options.max_middleboxes = options_.k;
+  solve_options.max_middleboxes = budget;
   solve_options.feasibility_aware = true;  // adoptable whenever coverable
   solve_options.cancel = cancel;
   solve_options.fault_injector = options_.fault_injector;
@@ -547,6 +572,10 @@ void Engine::ScheduleResolveLocked() {
   current_cancel_ = cancel;
   ++stats_.resolves_started;
   const std::uint64_t epoch = epoch_;
+  // This re-solve consumes the accumulated churn signal.
+  pending_churn_ = 0;
+  budget_dirty_ = false;
+  const std::size_t budget = budget_k_;
 
   if (options_.synchronous) {
     // Solve inline against the live index; the lock is already held and
@@ -556,7 +585,8 @@ void Engine::ScheduleResolveLocked() {
       if (attempt > 0) ++stats_.resolves_started;
       IncrementalGtpResult result;
       bool threw = false;
-      IncrementalGtpOptions solve_options = MakeSolveOptions(cancel.get());
+      IncrementalGtpOptions solve_options =
+          MakeSolveOptions(cancel.get(), budget);
       // The lock is held, so greedy rounds record straight into the
       // engine histogram (async attempts use a worker-local one).
       solve_options.round_histogram = &histograms_.greedy_round_ns;
@@ -582,8 +612,9 @@ void Engine::ScheduleResolveLocked() {
                        std::chrono::steady_clock::now(), false, 0};
   // Freeze a consistent copy for the worker; the live index keeps
   // mutating under subsequent batches.
-  pool_->Submit([this, cancel, epoch, frozen = index_]() mutable {
-    RunResolveAttempt(std::move(cancel), epoch, 0, std::move(frozen));
+  pool_->Submit([this, cancel, epoch, budget, frozen = index_]() mutable {
+    RunResolveAttempt(std::move(cancel), epoch, 0, budget,
+                      std::move(frozen));
   });
 }
 
@@ -597,7 +628,8 @@ void Engine::ScheduleRetryLocked(std::uint64_t epoch, std::size_t attempt) {
   const ExponentialBackoff backoff(options_.retry_backoff_initial,
                                    options_.retry_backoff_cap);
   const auto delay = backoff.Delay(attempt - 1);
-  pool_->Submit([this, cancel, epoch, attempt, delay]() mutable {
+  pool_->Submit([this, cancel, epoch, attempt, delay,
+                 budget = budget_k_]() mutable {
     if (delay.count() > 0) std::this_thread::sleep_for(delay);
     std::optional<FlowCoverageIndex> frozen;
     {
@@ -617,21 +649,24 @@ void Engine::ScheduleRetryLocked(std::uint64_t epoch, std::size_t attempt) {
       // Same epoch, so the flow set is unchanged: re-freezing the live
       // index reads exactly the state the first attempt froze.
       frozen.emplace(index_);
+      budget = budget_k_;
     }
-    RunResolveAttempt(std::move(cancel), epoch, attempt,
+    RunResolveAttempt(std::move(cancel), epoch, attempt, budget,
                       std::move(*frozen));
   });
 }
 
 void Engine::RunResolveAttempt(std::shared_ptr<std::atomic<bool>> cancel,
                                std::uint64_t epoch, std::size_t attempt,
+                               std::size_t budget,
                                FlowCoverageIndex frozen) {
   IncrementalGtpResult result;
   bool threw = false;
   // Worker-local round histogram, merged under state_mu_ below, so the
   // solve itself never touches engine state.
   obs::LatencyHistogram round_histogram;
-  IncrementalGtpOptions solve_options = MakeSolveOptions(cancel.get());
+  IncrementalGtpOptions solve_options =
+      MakeSolveOptions(cancel.get(), budget);
   solve_options.round_histogram = &round_histogram;
   const std::uint64_t solve_start = obs::MonotonicNanos();
   {
@@ -703,6 +738,50 @@ EngineStats Engine::stats() const {
 EngineMode Engine::mode() const {
   MutexLock lock(state_mu_);
   return mode_;
+}
+
+std::size_t Engine::budget() const {
+  MutexLock lock(state_mu_);
+  return budget_k_;
+}
+
+void Engine::SetBudget(std::size_t k) {
+  TDMD_CHECK_MSG(k >= 1, "middlebox budget k must be >= 1");
+  MutexLock lock(state_mu_);
+  if (k == budget_k_) return;
+  budget_k_ = k;
+  // Force a re-solve at the next batch even under the churn-deferral
+  // rule: the maintained plan was optimized for the old budget.
+  budget_dirty_ = true;
+}
+
+std::vector<Bandwidth> Engine::ProbeMarginalGains(std::size_t budget) {
+  MutexLock lock(state_mu_);
+  IncrementalGtpOptions solve_options;
+  solve_options.max_middleboxes = budget;
+  solve_options.feasibility_aware = true;
+  // No injector, deadline or cancel: the probe is an advisory
+  // measurement for the budget allocator, not part of the resilience
+  // surface — it must return the same curve under fault injection as
+  // without, or the fleet's k split would depend on injected faults.
+  const IncrementalGtpResult result =
+      SolveIncrementalGtp(index_, solve_options);
+  return result.chosen_gains;
+}
+
+Bandwidth Engine::RefreshCertificate() {
+  MutexLock lock(state_mu_);
+  IncrementalGtpOptions solve_options;
+  solve_options.max_middleboxes = budget_k_;
+  solve_options.feasibility_aware = true;
+  // Like the probe: no injector, deadline or cancel — the certificate is
+  // a measurement, not part of the resilience surface.
+  const IncrementalGtpResult result =
+      SolveIncrementalGtp(index_, solve_options);
+  if (options_.quality_sampling) {
+    quality_tracker_.OnCertificate(result.opt_decrement_bound);
+  }
+  return result.opt_decrement_bound;
 }
 
 obs::QualityTimelineSnapshot Engine::QualityTimeline() const {
@@ -805,7 +884,8 @@ EngineCheckpoint Engine::Checkpoint() const {
   checkpoint.mode = mode_;
   checkpoint.consecutive_failures = consecutive_failures_;
   checkpoint.epochs_since_probe = epochs_since_probe_;
-  checkpoint.k = options_.k;
+  checkpoint.pending_churn = pending_churn_;
+  checkpoint.k = budget_k_;
   checkpoint.lambda = options_.lambda;
   checkpoint.num_vertices = index_.num_vertices();
   checkpoint.maintained_bandwidth = maintained_bandwidth_;
@@ -842,9 +922,9 @@ void Engine::Restore(const EngineCheckpoint& checkpoint) {
   MutexLock lock(state_mu_);
   TDMD_CHECK_MSG(epoch_ == 0 && index_.active_flows() == 0,
                  "Restore requires a freshly constructed engine");
-  TDMD_CHECK_MSG(checkpoint.k == options_.k,
-                 "checkpoint k " << checkpoint.k
-                                 << " != engine k " << options_.k);
+  TDMD_CHECK_MSG(checkpoint.k == budget_k_,
+                 "checkpoint k " << checkpoint.k << " != engine budget "
+                                 << budget_k_);
   TDMD_CHECK_MSG(checkpoint.lambda == options_.lambda,
                  "checkpoint lambda " << checkpoint.lambda
                                       << " != engine lambda "
@@ -877,6 +957,7 @@ void Engine::Restore(const EngineCheckpoint& checkpoint) {
   mode_ = checkpoint.mode;
   consecutive_failures_ = checkpoint.consecutive_failures;
   epochs_since_probe_ = checkpoint.epochs_since_probe;
+  pending_churn_ = checkpoint.pending_churn;
   stats_ = checkpoint.stats;
   stats_.mode = mode_;
   stats_.consecutive_failures = consecutive_failures_;

@@ -93,12 +93,24 @@ const char* EngineModeName(EngineMode mode);
 
 struct EngineOptions {
   /// Middlebox budget k (Section 3.1); the engine never deploys more.
+  /// This is the *initial* budget: a coordinator may retarget it later
+  /// through Engine::SetBudget (shard fleets reallocate k across engines
+  /// on epoch boundaries).
   std::size_t k = 8;
   /// Traffic-changing ratio lambda in [0, 1].
   double lambda = 0.5;
   /// Hysteresis: minimum bandwidth saving per moved middlebox before a
   /// completed re-solve replaces the maintained deployment.
   double move_threshold = 0.0;
+  /// Re-solve cadence hysteresis: defer the full re-solve until the churn
+  /// accumulated since the last scheduled re-solve reaches this fraction
+  /// of the active flow set (at least one event).  Zero keeps the classic
+  /// behavior — a re-solve every batch.  Deferred epochs still apply
+  /// index deltas and the synchronous feasibility patch, so coverage
+  /// never waits; only re-optimization is batched.  A shard fleet relies
+  /// on this to keep engines that received a stray event or two from
+  /// paying a full CELF solve for it.
+  double resolve_churn_fraction = 0.0;
   /// Worker threads for async re-solves (ignored when synchronous).
   std::size_t solver_threads = 1;
   /// Run re-solves inline inside SubmitBatch instead of on the pool.
@@ -346,6 +358,36 @@ class Engine {
 
   const EngineOptions& options() const { return options_; }
 
+  /// Live middlebox budget.  Starts at options().k; SetBudget retargets
+  /// it.
+  std::size_t budget() const TDMD_EXCLUDES(state_mu_);
+
+  /// Retargets the middlebox budget (k >= 1).  Used by the shard
+  /// coordinator when the fleet reallocates the global budget across
+  /// engines.  Takes effect on the next re-solve: a shrunken budget does
+  /// not evict already-deployed middleboxes synchronously — the next
+  /// adopted solve (forced due at the next batch) replaces the plan with
+  /// one of at most k boxes.  Client-thread only, like SubmitBatch.
+  void SetBudget(std::size_t k) TDMD_EXCLUDES(state_mu_);
+
+  /// Marginal-decrement curve probe for the fleet budget allocator: runs
+  /// one CELF solve against the live flow set with up to `budget`
+  /// middleboxes and returns the chosen vertices' marginal decrements in
+  /// selection order, WITHOUT adopting the solution or touching the
+  /// maintained deployment.  By submodularity the curve is
+  /// non-increasing past the feasibility-aware prefix, which is what the
+  /// coordinator's CelfQueue greedy-merge over shards requires.  Runs
+  /// inline on the calling thread; client-thread only, like SubmitBatch.
+  std::vector<Bandwidth> ProbeMarginalGains(std::size_t budget)
+      TDMD_EXCLUDES(state_mu_);
+
+  /// Recomputes the optimality certificate for the CURRENT flow set and
+  /// budget with one fresh CELF solve (no adoption, like the probe) and
+  /// feeds it to the quality tracker, replacing whatever churn-inflated
+  /// bound deferral left behind.  Returns the fresh certified upper bound
+  /// on d(OPT_k).  Client-thread only, like SubmitBatch.
+  Bandwidth RefreshCertificate() TDMD_EXCLUDES(state_mu_);
+
   /// Annotation-only alias for the engine's lock capability, so external
   /// code (obs hooks, tests) can spell caller-side contracts like
   /// TDMD_REQUIRES(engine.state_mutex()) and have the TDMD_EXCLUDES
@@ -429,15 +471,22 @@ class Engine {
   /// failure streak) filled in.
   EngineStats StatsLocked() const TDMD_REQUIRES(state_mu_);
 
-  /// Pool-side body of one asynchronous attempt.
+  /// Pool-side body of one asynchronous attempt.  `budget` was captured
+  /// under state_mu_ when the attempt was scheduled.
   void RunResolveAttempt(std::shared_ptr<std::atomic<bool>> cancel,
                          std::uint64_t epoch, std::size_t attempt,
-                         FlowCoverageIndex frozen) TDMD_EXCLUDES(state_mu_);
+                         std::size_t budget, FlowCoverageIndex frozen)
+      TDMD_EXCLUDES(state_mu_);
 
-  /// Solver options for one attempt (deadline stamped now).  Reads only
-  /// immutable options_, so it needs no capability.
-  IncrementalGtpOptions MakeSolveOptions(
-      const std::atomic<bool>* cancel) const;
+  /// True when the accumulated churn (or a budget retarget) calls for a
+  /// re-solve under resolve_churn_fraction.
+  bool ResolveDueLocked() const TDMD_REQUIRES(state_mu_);
+
+  /// Solver options for one attempt (deadline stamped now).  `budget` is
+  /// the live budget captured under state_mu_ at schedule time — async
+  /// attempts call this unlocked, so it rides in as a value.
+  IncrementalGtpOptions MakeSolveOptions(const std::atomic<bool>* cancel,
+                                         std::size_t budget) const;
 
   /// Runs `fn`, retrying on injected kIndexDelta faults (the injector
   /// fires before any index mutation, so a retry is safe).
@@ -449,6 +498,15 @@ class Engine {
   EngineOptions options_;  // immutable after construction
 
   mutable Mutex state_mu_;
+  /// Live middlebox budget; options_.k until SetBudget retargets it.
+  std::size_t budget_k_ TDMD_GUARDED_BY(state_mu_);
+  /// Churn events since the last scheduled re-solve, for the
+  /// resolve_churn_fraction deferral rule; checkpointed so a restored
+  /// engine defers exactly like the uninterrupted run.
+  std::uint64_t pending_churn_ TDMD_GUARDED_BY(state_mu_) = 0;
+  /// SetBudget marks the plan dirty so the next batch re-solves even if
+  /// the churn threshold is not met.
+  bool budget_dirty_ TDMD_GUARDED_BY(state_mu_) = false;
   FlowCoverageIndex index_ TDMD_GUARDED_BY(state_mu_);
   core::Deployment deployment_ TDMD_GUARDED_BY(state_mu_);
   /// b(P) and feasibility of deployment_ against the index's current flow

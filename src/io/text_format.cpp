@@ -136,6 +136,7 @@ void WriteEngineCheckpoint(std::ostream& os,
   os << "mode " << engine::EngineModeName(checkpoint.mode) << '\n';
   os << "consecutive-failures " << checkpoint.consecutive_failures << '\n';
   os << "epochs-since-probe " << checkpoint.epochs_since_probe << '\n';
+  os << "pending-churn " << checkpoint.pending_churn << '\n';
   os << "k " << checkpoint.k << '\n';
   // Hexfloat so the incrementally maintained doubles round-trip bit-exactly
   // (decimal shortest-round-trip would need max_digits10 and is easier to
@@ -603,6 +604,11 @@ bool ReadHistogramBlock(LineReader& reader, std::vector<std::string>& tokens,
 }  // namespace
 
 Parsed<engine::EngineCheckpoint> ReadEngineCheckpoint(std::istream& is) {
+  return ReadEngineCheckpoint(is, /*require_eof=*/true);
+}
+
+Parsed<engine::EngineCheckpoint> ReadEngineCheckpoint(std::istream& is,
+                                                      bool require_eof) {
   Parsed<engine::EngineCheckpoint> result;
   engine::EngineCheckpoint cp;
   LineReader reader(is);
@@ -643,6 +649,8 @@ Parsed<engine::EngineCheckpoint> ReadEngineCheckpoint(std::istream& is) {
                     cp.consecutive_failures, result.error) ||
       !ReadKeyedU64(reader, tokens, "epochs-since-probe",
                     cp.epochs_since_probe, result.error) ||
+      !ReadKeyedU64(reader, tokens, "pending-churn", cp.pending_churn,
+                    result.error) ||
       !ReadKeyedU64(reader, tokens, "k", cp.k, result.error)) {
     return result;
   }
@@ -979,7 +987,7 @@ Parsed<engine::EngineCheckpoint> ReadEngineCheckpoint(std::istream& is) {
                           "expected terminator 'end engine-checkpoint'");
     return result;
   }
-  if (reader.Next(tokens)) {
+  if (require_eof && reader.Next(tokens)) {
     result.error = AtLine(reader.line_number(),
                           "unexpected record after 'end engine-checkpoint'");
     return result;

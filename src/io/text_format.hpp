@@ -30,6 +30,7 @@
 //   mode <normal|degraded|patch-only>
 //   consecutive-failures <u64>
 //   epochs-since-probe <u64>
+//   pending-churn <u64>
 //   k <u64>
 //   lambda <hexfloat>
 //   num-vertices <v>
@@ -135,6 +136,15 @@ Parsed<core::Instance> ReadInstance(std::istream& is);
 Parsed<core::Deployment> ReadDeployment(std::istream& is,
                                         VertexId num_vertices);
 Parsed<engine::EngineCheckpoint> ReadEngineCheckpoint(std::istream& is);
+
+/// Embeddable variant: with `require_eof` false the reader stops
+/// consuming right after the `end engine-checkpoint` terminator line and
+/// leaves `is` positioned on the next line, so a container format (the
+/// shard fleet checkpoint) can interleave engine-checkpoint blocks with
+/// its own records.  `require_eof` true is the plain-file behavior:
+/// trailing content is an error.
+Parsed<engine::EngineCheckpoint> ReadEngineCheckpoint(std::istream& is,
+                                                      bool require_eof);
 
 // --- File helpers ---------------------------------------------------------
 

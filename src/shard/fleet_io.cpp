@@ -1,0 +1,261 @@
+#include "shard/fleet_io.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace tdmd::shard {
+
+namespace {
+
+/// Tokenizing line reader matching io/text_format.cpp's grammar rules
+/// (skip blanks and '#' comments, track line numbers).  Strictly
+/// line-at-a-time, so after any Next() the stream sits at the start of
+/// the following line — the property the embedded engine blocks rely on.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& is) : is_(is) {}
+
+  bool Next(std::vector<std::string>& tokens) {
+    std::string line;
+    while (std::getline(is_, line)) {
+      ++line_number_;
+      if (auto hash = line.find('#'); hash != std::string::npos) {
+        line.resize(hash);
+      }
+      std::istringstream ss(line);
+      tokens.clear();
+      std::string token;
+      while (ss >> token) tokens.push_back(std::move(token));
+      if (!tokens.empty()) return true;
+    }
+    return false;
+  }
+
+  int line_number() const { return line_number_; }
+
+ private:
+  std::istream& is_;
+  int line_number_ = 0;
+};
+
+std::string AtLine(int line, const std::string& message) {
+  std::ostringstream oss;
+  oss << "line " << line << ": " << message;
+  return oss.str();
+}
+
+bool ParseU64(const std::string& token, std::uint64_t& out) {
+  try {
+    std::size_t consumed = 0;
+    out = std::stoull(token, &consumed);
+    return consumed == token.size() && token[0] != '-';
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool ParseI64(const std::string& token, std::int64_t& out) {
+  try {
+    std::size_t consumed = 0;
+    out = std::stoll(token, &consumed);
+    return consumed == token.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+/// Reads the next line expecting `key <u64>`.
+bool ReadKeyedU64(LineReader& reader, std::vector<std::string>& tokens,
+                  const std::string& key, std::uint64_t& out,
+                  std::string& error) {
+  if (!reader.Next(tokens)) {
+    error = AtLine(reader.line_number(), "expected '" + key + "', got EOF");
+    return false;
+  }
+  if (tokens.size() != 2 || tokens[0] != key || !ParseU64(tokens[1], out)) {
+    error = AtLine(reader.line_number(), "expected '" + key + " <u64>'");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void WriteFleetCheckpoint(std::ostream& os,
+                          const FleetCheckpoint& checkpoint) {
+  WriteFleetCheckpoint(os, checkpoint, io::EngineCheckpointWriteOptions{});
+}
+
+void WriteFleetCheckpoint(std::ostream& os, const FleetCheckpoint& checkpoint,
+                          const io::EngineCheckpointWriteOptions& options) {
+  os << "shardfleet v1\n";
+  os << "num-shards " << checkpoint.num_shards << '\n';
+  os << "partition-method " << PartitionMethodName(checkpoint.method)
+     << '\n';
+  os << "partition-seed " << checkpoint.partition_seed << '\n';
+  os << "epoch " << checkpoint.epoch << '\n';
+  os << "next-flow-id " << checkpoint.next_flow_id << '\n';
+  for (std::size_t s = 0; s < checkpoint.budgets.size(); ++s) {
+    os << "budget " << s << ' ' << checkpoint.budgets[s] << '\n';
+  }
+  os << "flow-table " << checkpoint.flows.size() << '\n';
+  for (const FleetCheckpoint::FlowEntry& entry : checkpoint.flows) {
+    os << "entry " << entry.id << ' ' << entry.shard << ' ' << entry.ticket
+       << '\n';
+  }
+  for (std::size_t s = 0; s < checkpoint.engines.size(); ++s) {
+    os << "shard " << s << '\n';
+    io::WriteEngineCheckpoint(os, checkpoint.engines[s], options);
+  }
+  os << "end shardfleet\n";
+}
+
+io::Parsed<FleetCheckpoint> ReadFleetCheckpoint(std::istream& is) {
+  io::Parsed<FleetCheckpoint> result;
+  LineReader reader(is);
+  std::vector<std::string> tokens;
+  FleetCheckpoint cp;
+
+  if (!reader.Next(tokens) || tokens.size() != 2 ||
+      tokens[0] != "shardfleet" || tokens[1] != "v1") {
+    result.error =
+        AtLine(reader.line_number(), "expected 'shardfleet v1' header");
+    return result;
+  }
+
+  std::uint64_t num_shards = 0;
+  if (!ReadKeyedU64(reader, tokens, "num-shards", num_shards,
+                    result.error)) {
+    return result;
+  }
+  if (num_shards < 1 || num_shards > 4096) {
+    result.error =
+        AtLine(reader.line_number(), "num-shards out of range [1, 4096]");
+    return result;
+  }
+  cp.num_shards = static_cast<std::size_t>(num_shards);
+
+  if (!reader.Next(tokens) || tokens.size() != 2 ||
+      tokens[0] != "partition-method" ||
+      !ParsePartitionMethod(tokens[1], &cp.method)) {
+    result.error = AtLine(reader.line_number(),
+                          "expected 'partition-method <bfs|spatial>'");
+    return result;
+  }
+  if (!ReadKeyedU64(reader, tokens, "partition-seed", cp.partition_seed,
+                    result.error) ||
+      !ReadKeyedU64(reader, tokens, "epoch", cp.epoch, result.error) ||
+      !ReadKeyedU64(reader, tokens, "next-flow-id", cp.next_flow_id,
+                    result.error)) {
+    return result;
+  }
+
+  cp.budgets.resize(cp.num_shards, 0);
+  for (std::size_t s = 0; s < cp.num_shards; ++s) {
+    std::uint64_t shard = 0, budget = 0;
+    if (!reader.Next(tokens) || tokens.size() != 3 ||
+        tokens[0] != "budget" || !ParseU64(tokens[1], shard) ||
+        !ParseU64(tokens[2], budget) || shard != s || budget < 1) {
+      result.error = AtLine(reader.line_number(),
+                            "expected 'budget " + std::to_string(s) +
+                                " <k>=1>'");
+      return result;
+    }
+    cp.budgets[s] = static_cast<std::size_t>(budget);
+  }
+
+  std::uint64_t flow_count = 0;
+  if (!ReadKeyedU64(reader, tokens, "flow-table", flow_count,
+                    result.error)) {
+    return result;
+  }
+  cp.flows.reserve(static_cast<std::size_t>(flow_count));
+  std::uint64_t prev_id = 0;
+  for (std::uint64_t i = 0; i < flow_count; ++i) {
+    std::uint64_t id = 0, shard = 0;
+    std::int64_t ticket = 0;
+    if (!reader.Next(tokens) || tokens.size() != 4 ||
+        tokens[0] != "entry" || !ParseU64(tokens[1], id) ||
+        !ParseU64(tokens[2], shard) || !ParseI64(tokens[3], ticket)) {
+      result.error = AtLine(reader.line_number(),
+                            "expected 'entry <id> <shard> <ticket>'");
+      return result;
+    }
+    if (shard >= cp.num_shards) {
+      result.error =
+          AtLine(reader.line_number(), "entry shard out of range");
+      return result;
+    }
+    if (i > 0 && id <= prev_id) {
+      result.error = AtLine(reader.line_number(),
+                            "flow-table entries must ascend by id");
+      return result;
+    }
+    prev_id = id;
+    cp.flows.push_back(FleetCheckpoint::FlowEntry{
+        id, static_cast<std::uint32_t>(shard), ticket});
+  }
+
+  cp.engines.reserve(cp.num_shards);
+  for (std::size_t s = 0; s < cp.num_shards; ++s) {
+    std::uint64_t shard = 0;
+    if (!reader.Next(tokens) || tokens.size() != 2 || tokens[0] != "shard" ||
+        !ParseU64(tokens[1], shard) || shard != s) {
+      result.error = AtLine(reader.line_number(),
+                            "expected 'shard " + std::to_string(s) + "'");
+      return result;
+    }
+    // Delegate the embedded block to the engine-checkpoint reader; its
+    // diagnostics count lines from the start of the block, so prefix the
+    // shard for context.
+    io::Parsed<engine::EngineCheckpoint> block =
+        io::ReadEngineCheckpoint(is, /*require_eof=*/false);
+    if (!block.ok()) {
+      result.error = "shard " + std::to_string(s) +
+                     " engine checkpoint: " + block.error;
+      return result;
+    }
+    cp.engines.push_back(std::move(*block.value));
+  }
+
+  if (!reader.Next(tokens) || tokens.size() != 2 || tokens[0] != "end" ||
+      tokens[1] != "shardfleet") {
+    result.error =
+        AtLine(reader.line_number(), "expected 'end shardfleet'");
+    return result;
+  }
+  if (reader.Next(tokens)) {
+    result.error = AtLine(reader.line_number(),
+                          "trailing content after 'end shardfleet'");
+    return result;
+  }
+  result.value = std::move(cp);
+  return result;
+}
+
+bool WriteFleetCheckpointFile(const std::string& path,
+                              const FleetCheckpoint& checkpoint) {
+  return io::WriteFile(path, [&checkpoint](std::ostream& os) {
+    WriteFleetCheckpoint(os, checkpoint);
+  });
+}
+
+io::Parsed<FleetCheckpoint> ReadFleetCheckpointFile(const std::string& path) {
+  std::ifstream in(path);
+  io::Parsed<FleetCheckpoint> result;
+  if (!in) {
+    result.error = "cannot open " + path;
+    return result;
+  }
+  result = ReadFleetCheckpoint(in);
+  if (!result.ok()) {
+    result.error = path + ": " + result.error;
+  }
+  return result;
+}
+
+}  // namespace tdmd::shard

@@ -1,0 +1,145 @@
+// Vyukov-style unbounded MPSC queue: the per-shard command channel of
+// the sharded serving fleet.
+//
+// Producers (the coordinator's client thread; in principle any number)
+// push with one relaxed allocation, one acq_rel exchange and one release
+// store — wait-free except for the allocator.  The single consumer (the
+// shard's worker thread) pops with acquire loads only.  No mutex is ever
+// taken on the push/pop path; the queue is the "lock-free routing" half
+// of the fleet's ingest pipeline (the blocking half — a worker parking
+// itself when idle — lives in ShardWorker, not here, so the queue stays
+// a pure data structure).
+//
+// Memory ordering.  The producer's release store of `next` (and the
+// acq_rel exchange of head_) makes the value written before the push
+// visible to the consumer's acquire load of `next` — the only
+// happens-before edge batch routing needs.  The classic Vyukov caveat
+// applies: between the exchange and the store of prev->next the chain is
+// momentarily broken, and Pop returns empty as if the push had not
+// happened yet.  That window is producer-progress bounded, and the fleet
+// drain barrier (outstanding-command count, see ShardedEngine) does not
+// rely on queue emptiness, so the caveat is harmless here.
+#pragma once
+
+// tdmd-lint: hot-path — no iostream formatting, rand, or
+// system_clock::now in this file (tools/tdmd_lint rule hot-path).
+
+#include <atomic>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace tdmd::shard {
+
+template <typename T>
+class MpscQueue {
+ public:
+  MpscQueue() : head_(&stub_), tail_(&stub_) {}
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  ~MpscQueue() {
+    // Only the owner destroys the queue, after the worker stopped; any
+    // remaining nodes are drained single-threaded.
+    Node* node = tail_;
+    while (node != nullptr) {
+      Node* following = node->next.load(std::memory_order_relaxed);
+      if (node != &stub_) delete node;
+      node = following;
+    }
+  }
+
+  /// Producer side: enqueues `value`.  Safe from any thread, any number
+  /// of concurrent producers.
+  void Push(T value) {
+    Node* node = new Node(std::move(value));
+    PushNode(node);
+  }
+
+  /// Consumer side: dequeues into `out`; false when empty (or when a
+  /// push is mid-flight — see the header caveat).  Single consumer only.
+  bool Pop(T& out) {
+    Node* tail = tail_;
+    Node* following = tail->next.load(std::memory_order_acquire);
+    if (tail == &stub_) {
+      // Skip the stub; it carries no value.
+      if (following == nullptr) return false;
+      tail_ = following;
+      tail = following;
+      following = following->next.load(std::memory_order_acquire);
+    }
+    if (following != nullptr) {
+      tail_ = following;
+      out = std::move(tail->value);
+      delete tail;
+      return true;
+    }
+    // tail is the last visible node: re-append the stub so the producer
+    // chain stays intact, then retry once in case a producer raced us.
+    Node* head = head_.load(std::memory_order_acquire);
+    if (tail != head) return false;  // push mid-flight; try again later
+    stub_.next.store(nullptr, std::memory_order_relaxed);
+    PushNode(&stub_);
+    following = tail->next.load(std::memory_order_acquire);
+    if (following != nullptr) {
+      tail_ = following;
+      out = std::move(tail->value);
+      delete tail;
+      return true;
+    }
+    return false;
+  }
+
+  /// True when no node is visible to the consumer.  Advisory only (a
+  /// concurrent push may be mid-flight); the fleet's drain correctness
+  /// comes from its outstanding-command counter, never from Empty().
+  bool Empty() const {
+    const Node* tail = tail_;
+    return tail == &stub_ &&
+           tail->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+  /// Consumer-side park predicate: true only when the queue is fully
+  /// drained AND no push is mid-flight (head_ still points at the stub).
+  /// Unlike Empty(), this cannot report true during the Vyukov
+  /// mid-flight window, so a worker may sleep on it: the seq_cst load
+  /// here pairs with the seq_cst head_ exchange in PushNode — either the
+  /// producer's exchange precedes this load (the worker sees head_ !=
+  /// stub and stays awake) or this load precedes the exchange (the
+  /// producer then observes the worker's parked flag, also seq_cst, and
+  /// rings the wakeup).  One of the two always happens; lost-wakeup
+  /// freedom is exactly that dichotomy.
+  bool ConsumerIdle() const {
+    return tail_ == &stub_ &&
+           head_.load(std::memory_order_seq_cst) == &stub_ &&
+           stub_.next.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  struct Node {
+    Node() = default;
+    explicit Node(T v) : value(std::move(v)) {}
+    std::atomic<Node*> next{nullptr};
+    T value{};
+  };
+
+  void PushNode(Node* node) {
+    node->next.store(nullptr, std::memory_order_relaxed);
+    // seq_cst (not acq_rel) so ConsumerIdle's park dichotomy holds; see
+    // its comment.  The upgrade costs nothing on x86 (RMW is already a
+    // full fence) and one fence on weaker ISAs — once per command, off
+    // any per-flow path.
+    Node* prev = head_.exchange(node, std::memory_order_seq_cst);
+    prev->next.store(node, std::memory_order_release);
+  }
+
+  /// Producers swing head_; the consumer owns tail_.  Padding out false
+  /// sharing is deliberately omitted: one queue per shard, pushed to a
+  /// few thousand times per run — alignment noise, not a bottleneck.
+  std::atomic<Node*> head_;
+  Node* tail_;
+  Node stub_;
+};
+
+}  // namespace tdmd::shard

@@ -1,0 +1,603 @@
+#include "shard/sharded_engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+#include "common/check.hpp"
+#include "core/celf.hpp"
+#include "core/instance.hpp"
+#include "core/objective.hpp"
+
+namespace tdmd::shard {
+
+ShardedEngine::ShardedEngine(graph::Digraph network,
+                             ShardedEngineOptions options)
+    : options_(std::move(options)),
+      network_(std::move(network)),
+      partition_(PartitionGraph(network_, options_.partition)) {
+  const std::size_t n = partition_.num_shards;
+  TDMD_CHECK_MSG(options_.total_budget >= n,
+                 "fleet budget " << options_.total_budget
+                                 << " cannot give every one of " << n
+                                 << " shards a middlebox");
+  TDMD_CHECK_MSG(options_.realloc_hysteresis >= 0.0,
+                 "realloc_hysteresis must be >= 0");
+
+  // Initial split: near-even, remainder toward the lowest shard ids.
+  shard_budget_.assign(n, options_.total_budget / n);
+  for (std::size_t s = 0; s < options_.total_budget % n; ++s) {
+    ++shard_budget_[s];
+  }
+
+  workers_.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    auto worker = std::make_unique<Worker>();
+    worker->id = s;
+    if (options_.inject_faults) {
+      faults::FaultSpec spec = options_.fault_spec;
+      // Decorrelated per-shard fault sequences, each individually
+      // replay-deterministic.
+      spec.seed = options_.fault_spec.seed + s;
+      worker->injector = std::make_unique<faults::FaultInjector>(spec);
+    }
+    worker->base_options = options_.engine;
+    worker->base_options.k = shard_budget_[s];
+    // The fleet's parallelism axis is shards; see ShardedEngineOptions.
+    worker->base_options.synchronous = true;
+    worker->base_options.solver_threads = 1;
+    worker->base_options.fault_injector = worker->injector.get();
+    worker->engine =
+        std::make_unique<engine::Engine>(network_, worker->base_options);
+    workers_.push_back(std::move(worker));
+  }
+  // Spawn only after the vector is final: workers index into *this.
+  for (auto& worker : workers_) {
+    Worker* w = worker.get();
+    w->thread = std::thread([this, w] { WorkerLoop(*w); });
+  }
+}
+
+ShardedEngine::~ShardedEngine() {
+  for (std::size_t s = 0; s < workers_.size(); ++s) {
+    Command stop;
+    stop.kind = Command::Kind::kStop;
+    RouteCommand(s, std::move(stop));
+  }
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+void ShardedEngine::WorkerLoop(Worker& worker) {
+#if defined(__linux__)
+  if (options_.pin_threads) {
+    const unsigned cpus = std::max(1u, std::thread::hardware_concurrency());
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(static_cast<int>(worker.id % cpus), &set);
+    // Best effort: containers and restricted runtimes may refuse.
+    (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+  }
+#endif
+  for (;;) {
+    Command command;
+    if (!worker.queue.Pop(command)) {
+      MutexLock lock(worker.park_mu);
+      // Declare parked *before* the idle re-check: a producer that
+      // pushes after the check observes parked (both seq_cst, see
+      // MpscQueue::ConsumerIdle) and rings park_cv under park_mu.
+      worker.parked.store(true, std::memory_order_seq_cst);
+      if (worker.queue.ConsumerIdle()) {
+        worker.park_cv.Wait(worker.park_mu,
+                            [&worker]() TDMD_REQUIRES(worker.park_mu) {
+                              return !worker.queue.ConsumerIdle();
+                            });
+      }
+      worker.parked.store(false, std::memory_order_relaxed);
+      continue;
+    }
+    const bool stop = command.kind == Command::Kind::kStop;
+    if (!stop) ProcessCommand(worker, command);
+    CompleteCommand();
+    if (stop) return;
+  }
+}
+
+void ShardedEngine::ProcessCommand(Worker& worker, Command& command) {
+  switch (command.kind) {
+    case Command::Kind::kBatch: {
+      std::vector<engine::FlowTicket> departures;
+      departures.reserve(command.departure_ids.size());
+      for (FlowId64 id : command.departure_ids) {
+        const auto it = worker.tickets.find(id);
+        // The coordinator routes a departure only to the recorded owner,
+        // so a miss means the routing table and worker map diverged.
+        TDMD_CHECK_MSG(it != worker.tickets.end(),
+                       "departure for unknown fleet flow " << id);
+        departures.push_back(it->second);
+        worker.tickets.erase(it);
+      }
+      const engine::Engine::BatchResult result =
+          worker.engine->SubmitBatch(command.arrivals, departures);
+      TDMD_CHECK(result.tickets.size() == command.arrival_ids.size());
+      for (std::size_t i = 0; i < result.tickets.size(); ++i) {
+        worker.tickets.emplace(command.arrival_ids[i], result.tickets[i]);
+      }
+      break;
+    }
+    case Command::Kind::kProbe:
+      *command.probe_out = worker.engine->ProbeMarginalGains(command.budget);
+      break;
+    case Command::Kind::kCertify:
+      *command.cert_out = worker.engine->RefreshCertificate();
+      break;
+    case Command::Kind::kSetBudget:
+      worker.engine->SetBudget(command.budget);
+      worker.base_options.k = command.budget;
+      break;
+    case Command::Kind::kRestore: {
+      Command::RestorePayload& payload = *command.restore;
+      // Engine::Restore cross-checks k against the engine's construction
+      // options, and the checkpointed split may differ from the initial
+      // even split — so rebuild the engine with the checkpointed budget.
+      engine::EngineOptions opts = worker.base_options;
+      opts.k = payload.checkpoint.k;
+      graph::Digraph net = worker.engine->index().network();
+      worker.engine.reset();
+      worker.engine =
+          std::make_unique<engine::Engine>(std::move(net), opts);
+      worker.engine->Restore(payload.checkpoint);
+      worker.base_options.k = opts.k;
+      worker.tickets.clear();
+      worker.tickets.insert(payload.tickets.begin(), payload.tickets.end());
+      break;
+    }
+    case Command::Kind::kStop:
+      break;  // handled by the loop
+  }
+}
+
+void ShardedEngine::RouteCommand(std::size_t shard, Command command) {
+  {
+    MutexLock lock(done_mu_);
+    ++outstanding_;
+  }
+  ++stats_.commands_routed;
+  Worker& worker = *workers_[shard];
+  worker.queue.Push(std::move(command));
+  if (worker.parked.load(std::memory_order_seq_cst)) {
+    // Taking park_mu here (only on the parked edge) closes the race with
+    // a worker between its predicate check and the actual wait.
+    MutexLock lock(worker.park_mu);
+    worker.park_cv.NotifyOne();
+  }
+}
+
+void ShardedEngine::CompleteCommand() {
+  MutexLock lock(done_mu_);
+  TDMD_CHECK_MSG(outstanding_ > 0, "command completion underflow");
+  if (--outstanding_ == 0) done_cv_.NotifyAll();
+}
+
+void ShardedEngine::Drain() {
+  MutexLock lock(done_mu_);
+  done_cv_.Wait(done_mu_, [this]() TDMD_REQUIRES(done_mu_) {
+    return outstanding_ == 0;
+  });
+}
+
+ShardedEngine::BatchResult ShardedEngine::SubmitBatch(
+    const traffic::FlowSet& arrivals,
+    const std::vector<FlowId64>& departures) {
+  ++epoch_;
+  ++stats_.epochs;
+  const std::size_t n = workers_.size();
+  std::vector<Command> commands(n);
+  std::vector<bool> touched(n, false);
+
+  // Departures first (matching Engine::SubmitBatch's order within each
+  // shard batch).
+  for (FlowId64 id : departures) {
+    const auto it = flow_owner_.find(id);
+    TDMD_CHECK_MSG(it != flow_owner_.end(),
+                   "departure for unknown or already-departed fleet flow "
+                       << id);
+    const std::uint32_t s = it->second;
+    flow_owner_.erase(it);
+    commands[s].departure_ids.push_back(id);
+    touched[s] = true;
+  }
+
+  BatchResult result;
+  result.epoch = epoch_;
+  result.flow_ids.reserve(arrivals.size());
+  for (const traffic::Flow& flow : arrivals) {
+    const FlowId64 id = next_flow_id_++;
+    const std::size_t s = OwnerShard(partition_, flow, id);
+    if (ShardsTouched(partition_, flow) > 1) ++stats_.cross_shard_flows;
+    commands[s].arrivals.push_back(flow);
+    commands[s].arrival_ids.push_back(id);
+    flow_owner_.emplace(id, static_cast<std::uint32_t>(s));
+    result.flow_ids.push_back(id);
+    touched[s] = true;
+  }
+
+  for (std::size_t s = 0; s < n; ++s) {
+    if (!touched[s]) {
+      // The empty-batch skip: an untouched shard pays nothing this epoch
+      // (no command, no index delta, no re-solve consideration).
+      ++stats_.batches_skipped;
+      continue;
+    }
+    commands[s].kind = Command::Kind::kBatch;
+    commands[s].epoch = epoch_;
+    RouteCommand(s, std::move(commands[s]));
+  }
+
+  MaybeReallocateBudgets();
+  return result;
+}
+
+std::vector<std::size_t> ShardedEngine::AllocateFromCurves(
+    const std::vector<std::vector<Bandwidth>>& curves) const {
+  const std::size_t n = workers_.size();
+  // Every shard keeps one box (engines require k >= 1); the remaining
+  // K - n boxes go to the globally best next curve point each round.
+  std::vector<std::size_t> alloc(n, 1);
+  const auto gain = [&](VertexId s) -> Bandwidth {
+    const auto& curve = curves[static_cast<std::size_t>(s)];
+    const std::size_t i = alloc[static_cast<std::size_t>(s)];
+    return i < curve.size() ? curve[i] : 0.0;
+  };
+  core::CelfQueue queue;
+  // "Vertices" are shard ids; nothing is ever deployed, so the queue's
+  // dedup/tie-break machinery (lowest id wins ties) is all we reuse.
+  const core::Deployment none(static_cast<VertexId>(n));
+  queue.Prime(static_cast<VertexId>(n), gain, nullptr);
+  for (std::size_t round = 1; round + n <= options_.total_budget; ++round) {
+    const core::CelfCandidate best =
+        queue.PopBest(round, none, gain, nullptr);
+    if (best.vertex == kInvalidVertex || best.gain <= 0.0) {
+      // Curves exhausted: spread the remaining boxes deterministically so
+      // the split always sums to the full budget.
+      std::size_t next = 0;
+      for (std::size_t r = round; r + n <= options_.total_budget; ++r) {
+        ++alloc[next];
+        next = (next + 1) % n;
+      }
+      break;
+    }
+    const auto s = static_cast<std::size_t>(best.vertex);
+    ++alloc[s];
+    // Re-offer the shard's next curve point.  By submodularity (the probe
+    // curve is a CELF gain sequence) it is no larger than the point just
+    // consumed, so the cached-gain upper-bound invariant holds.
+    queue.Push(core::CelfCandidate{gain(best.vertex), best.vertex, round});
+  }
+  return alloc;
+}
+
+void ShardedEngine::MaybeReallocateBudgets() {
+  const std::size_t n = workers_.size();
+  if (n <= 1 || options_.realloc_interval_epochs == 0) return;
+  if (epoch_ % options_.realloc_interval_epochs != 0) return;
+  ++stats_.realloc_rounds;
+  Drain();
+
+  // Any shard could in principle hold everything but the other shards'
+  // mandatory single boxes, so every curve is probed to that depth.
+  const std::size_t probe_budget = options_.total_budget - (n - 1);
+  std::vector<std::vector<Bandwidth>> curves(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    Command probe;
+    probe.kind = Command::Kind::kProbe;
+    probe.budget = probe_budget;
+    probe.probe_out = &curves[s];
+    RouteCommand(s, std::move(probe));
+  }
+  Drain();
+
+  const std::vector<std::size_t> proposal = AllocateFromCurves(curves);
+  const auto predicted = [&](const std::vector<std::size_t>& alloc) {
+    Bandwidth total = 0.0;
+    for (std::size_t s = 0; s < n; ++s) {
+      const std::size_t depth = std::min(alloc[s], curves[s].size());
+      for (std::size_t i = 0; i < depth; ++i) total += curves[s][i];
+    }
+    return total;
+  };
+  const Bandwidth current = predicted(shard_budget_);
+  const Bandwidth proposed = predicted(proposal);
+  // Hysteresis: adopt only a strict, material improvement, so near-tied
+  // splits do not thrash boxes (and re-solves) between shards.
+  if (proposed <= current ||
+      proposed - current < options_.realloc_hysteresis * current) {
+    return;
+  }
+  ++stats_.realloc_adoptions;
+  std::vector<std::size_t> changed;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (proposal[s] == shard_budget_[s]) continue;
+    if (proposal[s] > shard_budget_[s]) {
+      stats_.budget_moves += proposal[s] - shard_budget_[s];
+    }
+    Command retarget;
+    retarget.kind = Command::Kind::kSetBudget;
+    retarget.budget = proposal[s];
+    shard_budget_[s] = proposal[s];
+    RouteCommand(s, std::move(retarget));
+    changed.push_back(s);
+  }
+  Drain();
+  // SetBudget only marks the plan dirty; the re-solve happens on the next
+  // batch.  Push an empty batch at every retargeted shard so the published
+  // deployments respect the new split before this round returns — without
+  // it a shrunken shard could stay over budget until churn next touches it.
+  for (std::size_t s : changed) {
+    Command kick;
+    kick.kind = Command::Kind::kBatch;
+    kick.epoch = epoch_;
+    RouteCommand(s, std::move(kick));
+  }
+  Drain();
+}
+
+FleetSnapshot ShardedEngine::Snapshot() {
+  Drain();
+  // Certificate refresh round: churn deferral inflates each shard's
+  // running bound by every arrival since its last re-solve, so the
+  // summed fleet certificate would drift looser than a single engine's.
+  // One fresh probe-style solve per non-empty shard (in parallel on the
+  // shard workers) replaces the inflated bounds with exact ones.
+  std::vector<Bandwidth> fresh_certs(workers_.size(), 0.0);
+  for (std::size_t s = 0; s < workers_.size(); ++s) {
+    if (workers_[s]->engine->index().active_flows() == 0) continue;
+    Command certify;
+    certify.kind = Command::Kind::kCertify;
+    certify.cert_out = &fresh_certs[s];
+    RouteCommand(s, std::move(certify));
+  }
+  Drain();
+
+  FleetSnapshot snapshot;
+  snapshot.epoch = epoch_;
+  snapshot.deployment = core::Deployment(network_.num_vertices());
+  snapshot.cert_valid = true;
+  snapshot.shards.reserve(workers_.size());
+
+  traffic::FlowSet all_flows;
+  for (std::size_t s = 0; s < workers_.size(); ++s) {
+    // Quiesced handoff (rule 3 in the header): after Drain the
+    // coordinator is the engines' client thread.
+    const engine::Engine& eng = *workers_[s]->engine;
+    const std::shared_ptr<const engine::DeploymentSnapshot> shard_snap =
+        eng.CurrentSnapshot();
+    const engine::EngineStats stats = eng.stats();
+
+    ShardStatus status;
+    status.budget = shard_budget_[s];
+    status.boxes = shard_snap->deployment.size();
+    status.bandwidth = shard_snap->bandwidth;
+    status.feasible = shard_snap->feasible;
+    status.mode = stats.mode;
+    status.epochs = stats.epochs;
+    status.active_flows = eng.index().active_flows();
+
+    // Empty shard: contributes decrement 0 and the zero bound is exact;
+    // otherwise the fresh bound from this snapshot's certify round.
+    status.cert_valid = true;
+    status.cert_bound = fresh_certs[s];
+    snapshot.cert_valid = snapshot.cert_valid && status.cert_valid;
+    snapshot.cert_bound += status.cert_bound;
+    if (static_cast<std::uint64_t>(status.mode) >
+        static_cast<std::uint64_t>(snapshot.mode)) {
+      snapshot.mode = status.mode;
+    }
+
+    for (const VertexId v : shard_snap->deployment.vertices()) {
+      if (!snapshot.deployment.Contains(v)) snapshot.deployment.Add(v);
+    }
+    for (const engine::FlowTicket ticket : eng.index().ActiveTickets()) {
+      all_flows.push_back(*eng.index().Find(ticket));
+    }
+    snapshot.shards.push_back(std::move(status));
+  }
+
+  // The fleet-level numbers are union-evaluated: one instance over every
+  // active flow, the merged deployment against it.  This is the number
+  // comparable with a single-engine run — per-shard bandwidths are the
+  // exactly-once local accounts and ignore cross-shard help.
+  const core::Instance instance(network_, std::move(all_flows),
+                                options_.engine.lambda);
+  snapshot.bandwidth = core::EvaluateBandwidth(instance, snapshot.deployment);
+  core::ServedState served(instance);
+  for (const VertexId v : snapshot.deployment.vertices()) {
+    served.Deploy(v);
+  }
+  snapshot.feasible = served.AllServed();
+  return snapshot;
+}
+
+obs::MetricsRegistry ShardedEngine::Metrics() {
+  const FleetSnapshot snapshot = Snapshot();  // drains
+  obs::MetricsRegistry registry;
+
+  engine::EngineStats totals{};
+  engine::EngineHistograms merged;
+  std::vector<engine::EngineStats> per_shard;
+  per_shard.reserve(workers_.size());
+  for (const auto& worker : workers_) {
+    per_shard.push_back(worker->engine->stats());
+    const engine::EngineHistograms h = worker->engine->histograms();
+    merged.patch_ns.Merge(h.patch_ns);
+    merged.resolve_ns.Merge(h.resolve_ns);
+    merged.index_delta_ns.Merge(h.index_delta_ns);
+    merged.greedy_round_ns.Merge(h.greedy_round_ns);
+  }
+#define TDMD_SUM_COUNTER(name) totals.name += stats.name;
+  for (const engine::EngineStats& stats : per_shard) {
+    TDMD_ENGINE_STATS_COUNTERS(TDMD_SUM_COUNTER)
+  }
+#undef TDMD_SUM_COUNTER
+
+#define TDMD_FLEET_COUNTER(name)                            \
+  registry.AddCounter("tdmd_fleet_" #name, totals.name,     \
+                      "sum of tdmd_engine_" #name " across all shards");
+  TDMD_ENGINE_STATS_COUNTERS(TDMD_FLEET_COUNTER)
+#undef TDMD_FLEET_COUNTER
+
+  registry.AddCounter("tdmd_fleet_num_shards", workers_.size(),
+                      "number of shards in the serving fleet");
+  registry.AddCounter("tdmd_fleet_epochs", stats_.epochs,
+                      "fleet epochs submitted to the coordinator");
+  registry.AddCounter("tdmd_fleet_commands_routed", stats_.commands_routed,
+                      "commands routed through shard queues");
+  registry.AddCounter("tdmd_fleet_batches_skipped", stats_.batches_skipped,
+                      "shard-epochs skipped because the shard had no events");
+  registry.AddCounter("tdmd_fleet_cross_shard_flows",
+                      stats_.cross_shard_flows,
+                      "arrivals whose path touched more than one shard");
+  registry.AddCounter("tdmd_fleet_realloc_rounds", stats_.realloc_rounds,
+                      "budget reallocation rounds considered");
+  registry.AddCounter("tdmd_fleet_realloc_adoptions",
+                      stats_.realloc_adoptions,
+                      "budget reallocations adopted past hysteresis");
+  registry.AddCounter("tdmd_fleet_budget_moves", stats_.budget_moves,
+                      "middlebox budget units moved between shards");
+  registry.AddCounter(
+      "tdmd_fleet_mode", static_cast<std::uint64_t>(snapshot.mode),
+      "worst degradation mode across shards (0 normal, 1 degraded, "
+      "2 patch-only)");
+  registry.AddCounter("tdmd_fleet_boxes", snapshot.deployment.size(),
+                      "distinct middleboxes deployed across the fleet");
+  registry.AddCounter("tdmd_fleet_feasible", snapshot.feasible ? 1 : 0,
+                      "1 when the union deployment serves every flow");
+  registry.AddCounter("tdmd_fleet_cert_valid", snapshot.cert_valid ? 1 : 0,
+                      "1 when every shard holds a valid certificate");
+  registry.AddGauge("tdmd_fleet_bandwidth", snapshot.bandwidth,
+                    "union-evaluated fleet bandwidth");
+  registry.AddGauge("tdmd_fleet_cert_bound", snapshot.cert_bound,
+                    "split-conditional fleet optimality bound (sum of "
+                    "per-shard certified bounds)");
+
+  registry.AddHistogramNs("tdmd_fleet_patch", merged.patch_ns,
+                          "merged per-shard feasibility patch latency");
+  registry.AddHistogramNs("tdmd_fleet_resolve", merged.resolve_ns,
+                          "merged per-shard re-solve latency");
+  registry.AddHistogramNs("tdmd_fleet_index_delta", merged.index_delta_ns,
+                          "merged per-shard index delta latency");
+  registry.AddHistogramNs("tdmd_fleet_greedy_round", merged.greedy_round_ns,
+                          "merged per-shard CELF greedy round latency");
+
+  for (std::size_t s = 0; s < workers_.size(); ++s) {
+    const std::string prefix = "tdmd_shard" + std::to_string(s) + "_";
+    const ShardStatus& status = snapshot.shards[s];
+#define TDMD_SHARD_COUNTER(name)                          \
+  registry.AddCounter(prefix + #name, per_shard[s].name,  \
+                      "shard-local tdmd_engine_" #name);
+    TDMD_ENGINE_STATS_COUNTERS(TDMD_SHARD_COUNTER)
+#undef TDMD_SHARD_COUNTER
+    registry.AddCounter(prefix + "budget", status.budget,
+                        "middlebox budget allocated to this shard");
+    registry.AddCounter(prefix + "boxes", status.boxes,
+                        "middleboxes deployed by this shard");
+    registry.AddCounter(prefix + "active_flows", status.active_flows,
+                        "flows owned by this shard");
+    registry.AddCounter(prefix + "feasible", status.feasible ? 1 : 0,
+                        "1 when this shard serves all of its flows");
+    registry.AddCounter(prefix + "mode",
+                        static_cast<std::uint64_t>(status.mode),
+                        "shard degradation mode");
+    registry.AddGauge(prefix + "bandwidth", status.bandwidth,
+                      "shard-local bandwidth over owned flows");
+    registry.AddGauge(prefix + "cert_bound", status.cert_bound,
+                      "shard-local certified optimality bound");
+  }
+  return registry;
+}
+
+void ShardedEngine::DumpMetrics(std::ostream& os, obs::MetricsFormat format) {
+  Metrics().Render(os, format);
+}
+
+FleetCheckpoint ShardedEngine::Checkpoint() {
+  Drain();
+  FleetCheckpoint checkpoint;
+  checkpoint.num_shards = workers_.size();
+  checkpoint.method = partition_.method;
+  checkpoint.partition_seed = partition_.seed;
+  checkpoint.epoch = epoch_;
+  checkpoint.next_flow_id = next_flow_id_;
+  checkpoint.budgets = shard_budget_;
+  checkpoint.engines.reserve(workers_.size());
+  for (std::size_t s = 0; s < workers_.size(); ++s) {
+    const Worker& worker = *workers_[s];
+    for (const auto& [id, ticket] : worker.tickets) {
+      checkpoint.flows.push_back(FleetCheckpoint::FlowEntry{
+          id, static_cast<std::uint32_t>(s), ticket});
+    }
+    checkpoint.engines.push_back(worker.engine->Checkpoint());
+  }
+  std::sort(checkpoint.flows.begin(), checkpoint.flows.end(),
+            [](const FleetCheckpoint::FlowEntry& a,
+               const FleetCheckpoint::FlowEntry& b) { return a.id < b.id; });
+  TDMD_CHECK_MSG(checkpoint.flows.size() == flow_owner_.size(),
+                 "fleet flow table and worker ticket maps diverged");
+  return checkpoint;
+}
+
+void ShardedEngine::Restore(const FleetCheckpoint& checkpoint) {
+  TDMD_CHECK_MSG(epoch_ == 0 && next_flow_id_ == 0 && flow_owner_.empty(),
+                 "Restore requires a freshly constructed fleet");
+  const std::size_t n = workers_.size();
+  TDMD_CHECK_MSG(checkpoint.num_shards == n,
+                 "checkpoint has " << checkpoint.num_shards
+                                   << " shards, fleet has " << n);
+  TDMD_CHECK_MSG(checkpoint.method == partition_.method,
+                 "checkpoint partition method mismatch");
+  TDMD_CHECK_MSG(checkpoint.partition_seed == partition_.seed,
+                 "checkpoint partition seed mismatch");
+  TDMD_CHECK_MSG(checkpoint.budgets.size() == n &&
+                     checkpoint.engines.size() == n,
+                 "checkpoint shard records incomplete");
+  std::size_t budget_sum = 0;
+  for (const std::size_t b : checkpoint.budgets) {
+    TDMD_CHECK_MSG(b >= 1, "checkpoint shard budget must be >= 1");
+    budget_sum += b;
+  }
+  TDMD_CHECK_MSG(budget_sum == options_.total_budget,
+                 "checkpoint budgets sum to " << budget_sum
+                                              << ", fleet budget is "
+                                              << options_.total_budget);
+
+  epoch_ = checkpoint.epoch;
+  next_flow_id_ = checkpoint.next_flow_id;
+  shard_budget_ = checkpoint.budgets;
+
+  std::vector<std::shared_ptr<Command::RestorePayload>> payloads(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    payloads[s] = std::make_shared<Command::RestorePayload>();
+    payloads[s]->checkpoint = checkpoint.engines[s];
+  }
+  for (const FleetCheckpoint::FlowEntry& entry : checkpoint.flows) {
+    TDMD_CHECK_MSG(entry.shard < n, "flow entry names an unknown shard");
+    const bool inserted =
+        flow_owner_.emplace(entry.id, entry.shard).second;
+    TDMD_CHECK_MSG(inserted, "duplicate fleet flow id in checkpoint");
+    payloads[entry.shard]->tickets.emplace_back(entry.id, entry.ticket);
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    Command restore;
+    restore.kind = Command::Kind::kRestore;
+    restore.restore = std::move(payloads[s]);
+    RouteCommand(s, std::move(restore));
+  }
+  Drain();
+}
+
+}  // namespace tdmd::shard

@@ -1,0 +1,322 @@
+// ShardedEngine: the multi-engine serving fleet (DESIGN.md Section 13).
+//
+// One coordinator fronts N engine::Engine instances, each owned by a
+// dedicated worker thread.  The topology is split once at construction by
+// the deterministic partitioner (shard/partition.hpp); every flow is
+// pinned to exactly one owner shard (OwnerShard) and all of its events —
+// arrival, departure, accounting — happen on that shard, so no flow's
+// bandwidth is ever counted twice (the exactly-once property the fleet
+// tests pin).
+//
+// Data path.  SubmitBatch groups one epoch's churn by owner shard and
+// routes one command per *touched* shard through that shard's lock-free
+// MPSC queue; shards whose region saw no events this epoch receive
+// nothing at all, which — combined with the engines'
+// resolve_churn_fraction deferral — is where the fleet's speedup on
+// regionalized workloads comes from: the per-epoch CELF re-solve runs
+// against one region's flow subset instead of the global flow set.
+//
+// Budget.  The global middlebox budget K is split across shards
+// (initially near-evenly) and reallocated every realloc_interval_epochs:
+// the coordinator drains the fleet, asks every engine for its
+// marginal-decrement curve (Engine::ProbeMarginalGains), and greedily
+// merges the curves with the same core::CelfQueue the solvers use —
+// "vertices" are shard ids, the gain oracle is the shard's next curve
+// point.  By submodularity of the per-shard decrement the merged greedy
+// split maximizes the predicted fleet decrement for the probed curves;
+// the new split is adopted only when it beats the current one by the
+// realloc_hysteresis fraction, so the fleet does not thrash budget
+// between near-tied shards.
+//
+// Synchronization.  Three rules, machine-checked where the annotations
+// reach:
+//   1. Producer -> worker: the MPSC queue's release/acquire edge.  The
+//      coordinator never blocks on a worker lock to route (the park
+//      wakeup takes park_mu_ only when the worker is already asleep).
+//   2. Worker -> coordinator: the outstanding-command counter under
+//      done_mu_.  Drain() returns only after every routed command
+//      completed, and the counter handshake's release/acquire pair makes
+//      every worker-side write to its engine visible to the coordinator.
+//   3. Quiesced handoff: after Drain() (and until the next command is
+//      routed) the coordinator is the engines' client thread — it may
+//      call client-thread-only Engine methods (index(), Checkpoint())
+//      directly.  Rule 2 is what makes this sound; Snapshot/Metrics/
+//      Checkpoint all drain first.
+// Like Engine, all ShardedEngine methods are single-client-thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.hpp"
+#include "common/types.hpp"
+#include "core/deployment.hpp"
+#include "engine/checkpoint.hpp"
+#include "engine/engine.hpp"
+#include "faults/faults.hpp"
+#include "graph/digraph.hpp"
+#include "obs/metrics.hpp"
+#include "shard/mpsc_queue.hpp"
+#include "shard/partition.hpp"
+#include "traffic/flow.hpp"
+
+namespace tdmd::shard {
+
+/// Stable client-side identifier for a flow across the fleet.  Unlike
+/// engine::FlowTicket (which is per-engine and private to the owner
+/// worker), fleet flow ids are handed out by the coordinator and survive
+/// checkpoint/restore.
+using FlowId64 = std::uint64_t;
+
+struct ShardedEngineOptions {
+  /// How to split the topology.  partition.num_shards is the fleet size.
+  PartitionSpec partition;
+  /// Global middlebox budget K, split across shards (each shard always
+  /// keeps at least one box).  Must be >= partition.num_shards.
+  std::size_t total_budget = 8;
+  /// Template for every per-shard engine.  `k` is overridden by the
+  /// fleet's budget split and `synchronous` is forced on: the fleet's
+  /// parallelism axis is shards, and per-shard re-solve pools would
+  /// oversubscribe the machine while destroying replay determinism.
+  engine::EngineOptions engine;
+  /// Reallocate the budget split every this many epochs; 0 disables.
+  std::uint64_t realloc_interval_epochs = 16;
+  /// Adopt a new split only when its predicted fleet decrement beats the
+  /// current split's by this fraction.  Doubles as the fleet's bandwidth
+  /// tolerance: a run whose total bandwidth is within this band of the
+  /// single-engine run is considered split-neutral.
+  double realloc_hysteresis = 0.05;
+  /// Best-effort worker thread affinity: worker i is pinned to CPU
+  /// i % hardware_concurrency.  Failures are ignored (containers often
+  /// forbid affinity calls).
+  bool pin_threads = true;
+  /// Optional fault injection: when true, shard i gets its own injector
+  /// seeded fault_spec.seed + i, so the per-shard fault sequences are
+  /// decorrelated but each is individually replay-deterministic.
+  bool inject_faults = false;
+  faults::FaultSpec fault_spec;
+};
+
+/// Per-shard slice of a FleetSnapshot.
+struct ShardStatus {
+  std::size_t budget = 0;
+  std::size_t boxes = 0;
+  /// The shard's own maintained bandwidth over its own flows (the
+  /// exactly-once local account; these sum to the naive fleet total).
+  Bandwidth bandwidth = 0.0;
+  bool feasible = false;
+  engine::EngineMode mode = engine::EngineMode::kNormal;
+  std::uint64_t epochs = 0;
+  std::size_t active_flows = 0;
+  bool cert_valid = false;
+  double cert_bound = 0.0;
+};
+
+/// Fleet-level state at a drained instant.
+struct FleetSnapshot {
+  std::uint64_t epoch = 0;
+  /// Bandwidth of the *union* deployment evaluated against the union
+  /// flow set — the number comparable with a single-engine run.  Never
+  /// worse than the sum of per-shard bandwidths (a shard's flow may be
+  /// served even better by another shard's box on its path).
+  Bandwidth bandwidth = 0.0;
+  /// Union feasibility, also union-evaluated.
+  bool feasible = false;
+  core::Deployment deployment;
+  /// Split-conditional fleet certificate: the sum of per-shard certified
+  /// bounds upper-bounds the decrement of any fleet deployment that
+  /// respects the current per-shard budget split (each shard's bound
+  /// covers every deployment of at most k_s boxes against its flows).
+  bool cert_valid = false;
+  double cert_bound = 0.0;
+  /// Worst (most degraded) mode across shards — the fleet DEGRADED
+  /// aggregation rule: the fleet is only as healthy as its sickest shard.
+  engine::EngineMode mode = engine::EngineMode::kNormal;
+  std::vector<ShardStatus> shards;
+};
+
+/// Coordinator-side counters (client-thread state, no lock).
+struct FleetStats {
+  std::uint64_t epochs = 0;
+  std::uint64_t commands_routed = 0;
+  /// Shard-epochs skipped because the shard had no events.
+  std::uint64_t batches_skipped = 0;
+  /// Arrivals whose path touched more than one shard region.
+  std::uint64_t cross_shard_flows = 0;
+  std::uint64_t realloc_rounds = 0;
+  std::uint64_t realloc_adoptions = 0;
+  /// Total boxes moved between shards by adopted reallocations.
+  std::uint64_t budget_moves = 0;
+};
+
+/// Serializable fleet state: coordinator header plus one embedded
+/// engine::EngineCheckpoint per shard (io is in shard/fleet_io.hpp).
+struct FleetCheckpoint {
+  std::size_t num_shards = 1;
+  PartitionMethod method = PartitionMethod::kBfs;
+  std::uint64_t partition_seed = 1;
+  std::uint64_t epoch = 0;
+  std::uint64_t next_flow_id = 0;
+  std::vector<std::size_t> budgets;
+  struct FlowEntry {
+    FlowId64 id = 0;
+    std::uint32_t shard = 0;
+    engine::FlowTicket ticket = engine::kInvalidTicket;
+  };
+  /// Ascending by id.  Carries the owner worker's ticket so a restored
+  /// fleet routes departures to the exact per-engine tickets the
+  /// uninterrupted run would have used.
+  std::vector<FlowEntry> flows;
+  std::vector<engine::EngineCheckpoint> engines;
+};
+
+class ShardedEngine {
+ public:
+  /// Partitions `network` and spawns one worker (owning one synchronous
+  /// Engine) per shard.
+  ShardedEngine(graph::Digraph network, ShardedEngineOptions options);
+
+  /// Stops and joins every worker.
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  struct BatchResult {
+    std::uint64_t epoch = 0;
+    /// One fleet flow id per arrival, in submission order; pass them back
+    /// as departures later.
+    std::vector<FlowId64> flow_ids;
+  };
+
+  /// Routes one epoch of churn to the owner shards and returns without
+  /// waiting for the workers (call Drain() to quiesce).  Departure ids
+  /// must be live (previously returned and not yet departed).
+  BatchResult SubmitBatch(const traffic::FlowSet& arrivals,
+                          const std::vector<FlowId64>& departures);
+
+  /// Blocks until every routed command has completed on its worker.
+  void Drain();
+
+  /// Drains, then assembles the union-evaluated fleet snapshot.
+  FleetSnapshot Snapshot();
+
+  /// Drains, then renders the merged fleet exposition: every
+  /// TDMD_ENGINE_STATS_COUNTERS counter summed as `tdmd_fleet_<name>` and
+  /// per shard as `tdmd_shard<i>_<name>`, merged latency histograms,
+  /// coordinator counters, and the union bandwidth / certificate gauges.
+  obs::MetricsRegistry Metrics();
+  void DumpMetrics(std::ostream& os, obs::MetricsFormat format);
+
+  const FleetStats& stats() const { return stats_; }
+  const Partition& partition() const { return partition_; }
+  std::size_t num_shards() const { return workers_.size(); }
+  /// Current budget split (coordinator's copy; exact after Drain).
+  const std::vector<std::size_t>& budgets() const { return shard_budget_; }
+
+  /// Drains, then captures the complete fleet state.
+  FleetCheckpoint Checkpoint();
+
+  /// Rebuilds this fleet from `checkpoint`.  Must be called on a freshly
+  /// constructed fleet (no batches yet) whose network, shard count and
+  /// partition spec match the checkpointed ones.  Worker engines are
+  /// reconstructed with their checkpointed budgets (the split may differ
+  /// from the initial even split) and restored in place.
+  void Restore(const FleetCheckpoint& checkpoint);
+
+ private:
+  struct Command {
+    enum class Kind : std::uint8_t {
+      kBatch,
+      kProbe,
+      kCertify,
+      kSetBudget,
+      kRestore,
+      kStop,
+    };
+    Kind kind = Kind::kBatch;
+    std::uint64_t epoch = 0;
+    // kBatch.
+    traffic::FlowSet arrivals;
+    std::vector<FlowId64> arrival_ids;
+    std::vector<FlowId64> departure_ids;
+    // kProbe / kCertify / kSetBudget.  probe_out / cert_out are
+    // coordinator-owned and stay valid until the Drain() that follows
+    // the round.
+    std::size_t budget = 0;
+    std::vector<Bandwidth>* probe_out = nullptr;
+    Bandwidth* cert_out = nullptr;
+    // kRestore.
+    struct RestorePayload {
+      engine::EngineCheckpoint checkpoint;
+      std::vector<std::pair<FlowId64, engine::FlowTicket>> tickets;
+    };
+    std::shared_ptr<RestorePayload> restore;
+  };
+
+  struct Worker {
+    std::size_t id = 0;
+    /// Per-shard injector (seed = base + id); null when faults are off.
+    std::unique_ptr<faults::FaultInjector> injector;
+    /// Engine options this worker (re)constructs engines with; k tracks
+    /// the live budget split.
+    engine::EngineOptions base_options;
+    /// Owned by the worker thread while commands are outstanding; the
+    /// coordinator touches it only under the quiesced handoff (rule 3).
+    std::unique_ptr<engine::Engine> engine;
+    /// Fleet flow id -> this engine's ticket.  Same ownership rule.
+    std::unordered_map<FlowId64, engine::FlowTicket> tickets;
+    MpscQueue<Command> queue;
+    /// seq_cst park flag; pairs with MpscQueue::ConsumerIdle (see there).
+    std::atomic<bool> parked{false};
+    Mutex park_mu;
+    CondVar park_cv;
+    std::thread thread;
+  };
+
+  void WorkerLoop(Worker& worker);
+  void ProcessCommand(Worker& worker, Command& command);
+  /// Increments outstanding_ and enqueues; wakes the worker if parked.
+  void RouteCommand(std::size_t shard, Command command)
+      TDMD_EXCLUDES(done_mu_);
+  void CompleteCommand() TDMD_EXCLUDES(done_mu_);
+
+  /// Every realloc_interval_epochs: drain, probe curves, CelfQueue-merge,
+  /// hysteresis-adopt.
+  void MaybeReallocateBudgets();
+  /// Greedy merge of per-shard curves into a split summing to
+  /// total_budget (every shard >= 1).
+  std::vector<std::size_t> AllocateFromCurves(
+      const std::vector<std::vector<Bandwidth>>& curves) const;
+
+  ShardedEngineOptions options_;  // immutable after construction
+  graph::Digraph network_;        // coordinator's copy, for union evals
+  Partition partition_;
+
+  // --- client-thread coordinator state (no lock; see class comment) ----
+  std::uint64_t epoch_ = 0;
+  FlowId64 next_flow_id_ = 0;
+  /// Owner shard of every live flow (the routing table for departures).
+  std::unordered_map<FlowId64, std::uint32_t> flow_owner_;
+  std::vector<std::size_t> shard_budget_;
+  FleetStats stats_;
+
+  /// Commands routed but not yet completed by their worker.  The
+  /// release/acquire on done_mu_ is the worker->coordinator visibility
+  /// edge the quiesced handoff relies on.
+  Mutex done_mu_;
+  std::size_t outstanding_ TDMD_GUARDED_BY(done_mu_) = 0;
+  CondVar done_cv_;
+
+  /// Declared last so workers are joined in ~ShardedEngine before any
+  /// state they touch is destroyed (the dtor stops them explicitly; this
+  /// ordering is belt and braces).
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace tdmd::shard

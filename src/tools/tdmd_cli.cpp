@@ -33,6 +33,20 @@
 //       --quality-out writes the engine's quality timeline (realized
 //       ratio per epoch + fired regression alerts, DESIGN.md Section 11).
 //
+//   tdmd_cli serve-trace ... --shards=4 [--partition=bfs|spatial]
+//       Same churn replay, served by the sharded multi-engine fleet
+//       (DESIGN.md Section 13): the topology is partitioned
+//       deterministically, every flow is pinned to one owner shard, and
+//       the global budget k is reallocated across shards on epoch
+//       boundaries.  --checkpoint-out/--restore switch to the
+//       `shardfleet v1` container format; --metrics-out dumps the merged
+//       fleet exposition (feed it to shard-report).
+//
+//   tdmd_cli shard-report --metrics=fleet.prom
+//       Summarizes a sharded --metrics-out dump: per-shard budget split,
+//       local bandwidth and certificate, plus the fleet-level union
+//       bandwidth, certificate and coordinator counters.
+//
 //   tdmd_cli trace-report --trace=trace.json
 //       Aggregates a --trace-out file into a per-phase table: event
 //       counts, total/mean/max span time, and each phase's share of the
@@ -50,7 +64,9 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -72,6 +88,9 @@
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_report.hpp"
+#include "shard/fleet_io.hpp"
+#include "shard/partition.hpp"
+#include "shard/sharded_engine.hpp"
 #include "sim/link_sim.hpp"
 #include "topology/ark.hpp"
 #include "traffic/generator.hpp"
@@ -308,6 +327,170 @@ int Viz(int argc, char** argv) {
   return 0;
 }
 
+/// Everything serve-trace needs to hand the sharded path, pre-parsed.
+struct ShardedServeParams {
+  std::size_t shards = 1;
+  std::string partition = "bfs";
+  std::size_t k = 8;
+  std::size_t epochs = 20;
+  std::size_t arrival_count = 5;
+  double departure_probability = 0.15;
+  double move_threshold = 0.0;
+  double resolve_churn_fraction = 0.0;
+  std::uint64_t seed = 1;
+  std::uint64_t fault_seed = 0;
+  double fault_throw_p = 0.0;
+  double fault_delay_p = 0.0;
+  int fault_delay_ms = 1;
+  double fault_cancel_p = 0.0;
+  std::size_t checkpoint_every = 0;
+  std::string checkpoint_out;
+  std::string restore;
+  std::string metrics_out;
+};
+
+int ServeTraceSharded(const core::Instance& inst,
+                      const ShardedServeParams& params) {
+  shard::ShardedEngineOptions options;
+  if (!shard::ParsePartitionMethod(params.partition,
+                                   &options.partition.method)) {
+    Die("unknown --partition '" + params.partition +
+        "' (expected bfs or spatial)");
+  }
+  options.partition.num_shards = params.shards;
+  options.partition.seed = params.seed;
+  options.total_budget = params.k;
+  options.engine.lambda = inst.lambda();
+  options.engine.move_threshold = params.move_threshold;
+  options.engine.resolve_churn_fraction = params.resolve_churn_fraction;
+  if (params.fault_seed != 0) {
+    options.inject_faults = true;
+    faults::FaultSpec spec;
+    spec.seed = params.fault_seed;  // shard i draws seed + i
+    spec.at(faults::FaultSite::kIndexDelta).throw_probability =
+        params.fault_throw_p;
+    faults::SiteSpec& round = spec.at(faults::FaultSite::kGreedyRound);
+    round.throw_probability = params.fault_throw_p;
+    round.delay_probability = params.fault_delay_p;
+    round.delay = std::chrono::milliseconds(params.fault_delay_ms);
+    round.cancel_probability = params.fault_cancel_p;
+    options.fault_spec = spec;
+  }
+  shard::ShardedEngine fleet(inst.network(), options);
+
+  std::vector<shard::FlowId64> active;
+  if (!params.restore.empty()) {
+    auto checkpoint = shard::ReadFleetCheckpointFile(params.restore);
+    if (!checkpoint.ok()) Die(checkpoint.error);
+    fleet.Restore(*checkpoint.value);
+    active.reserve(checkpoint.value->flows.size());
+    for (const shard::FleetCheckpoint::FlowEntry& entry :
+         checkpoint.value->flows) {
+      active.push_back(entry.id);
+    }
+    std::printf("restored %s: fleet epoch %llu, %zu active flows, "
+                "%zu shards\n",
+                params.restore.c_str(),
+                static_cast<unsigned long long>(checkpoint.value->epoch),
+                active.size(), checkpoint.value->num_shards);
+  } else {
+    traffic::FlowSet prefill;
+    prefill.reserve(static_cast<std::size_t>(inst.num_flows()));
+    for (FlowId f = 0; f < inst.num_flows(); ++f) {
+      prefill.push_back(inst.flow(f));
+    }
+    active = fleet.SubmitBatch(prefill, {}).flow_ids;
+    std::printf("epoch %3llu  +%-4zu -0    active %zu\n",
+                static_cast<unsigned long long>(1), prefill.size(),
+                active.size());
+  }
+
+  core::ChurnModel churn;
+  churn.arrival_count = params.arrival_count;
+  churn.departure_probability = params.departure_probability;
+  const engine::ChurnTrace trace =
+      engine::BuildChurnTrace(inst.network(), churn, params.epochs,
+                              active.size(), params.seed);
+
+  const auto write_checkpoint = [&]() {
+    if (!shard::WriteFleetCheckpointFile(params.checkpoint_out,
+                                         fleet.Checkpoint())) {
+      Die("cannot write " + params.checkpoint_out);
+    }
+  };
+
+  std::size_t epochs_served = 0;
+  for (const engine::ChurnEpoch& epoch : trace.epochs) {
+    std::vector<shard::FlowId64> departing;
+    departing.reserve(epoch.departures.size());
+    for (std::size_t position : epoch.departures) {
+      departing.push_back(active[position]);
+    }
+    for (auto it = epoch.departures.rbegin(); it != epoch.departures.rend();
+         ++it) {
+      active.erase(active.begin() + static_cast<std::ptrdiff_t>(*it));
+    }
+    const shard::ShardedEngine::BatchResult batch =
+        fleet.SubmitBatch(epoch.arrivals, departing);
+    active.insert(active.end(), batch.flow_ids.begin(),
+                  batch.flow_ids.end());
+    ++epochs_served;
+    if (params.checkpoint_every > 0 &&
+        epochs_served % params.checkpoint_every == 0) {
+      write_checkpoint();  // Checkpoint() drains the fleet itself
+    }
+  }
+
+  const shard::FleetSnapshot snapshot = fleet.Snapshot();
+  const shard::FleetStats& stats = fleet.stats();
+  std::printf("\nshard  budget boxes flows  bandwidth    cert-bound  "
+              "feasible mode\n");
+  for (std::size_t s = 0; s < snapshot.shards.size(); ++s) {
+    const shard::ShardStatus& st = snapshot.shards[s];
+    std::printf("%5zu  %6zu %5zu %5zu %10.3f  %10.3f  %-8s %s\n", s,
+                st.budget, st.boxes, st.active_flows, st.bandwidth,
+                st.cert_bound, st.feasible ? "yes" : "NO",
+                engine::EngineModeName(st.mode));
+  }
+  std::printf("fleet      : %zu boxes union, bandwidth %.3f, feasible %s, "
+              "cert %s %.3f, mode %s\n",
+              snapshot.deployment.size(), snapshot.bandwidth,
+              snapshot.feasible ? "yes" : "NO",
+              snapshot.cert_valid ? "valid" : "invalid",
+              snapshot.cert_bound, engine::EngineModeName(snapshot.mode));
+  std::printf("routing    : %llu epochs, %llu commands, %llu shard-epochs "
+              "skipped, %llu cross-shard flows\n",
+              static_cast<unsigned long long>(stats.epochs),
+              static_cast<unsigned long long>(stats.commands_routed),
+              static_cast<unsigned long long>(stats.batches_skipped),
+              static_cast<unsigned long long>(stats.cross_shard_flows));
+  std::printf("budget     : %llu realloc rounds, %llu adopted, "
+              "%llu boxes moved\n",
+              static_cast<unsigned long long>(stats.realloc_rounds),
+              static_cast<unsigned long long>(stats.realloc_adoptions),
+              static_cast<unsigned long long>(stats.budget_moves));
+  if (params.checkpoint_every > 0) write_checkpoint();
+
+  if (!params.metrics_out.empty()) {
+    if (!io::WriteFile(params.metrics_out, [&](std::ostream& os) {
+          fleet.DumpMetrics(os, obs::MetricsFormat::kPrometheus);
+        })) {
+      Die("cannot write " + params.metrics_out);
+    }
+    const std::string json_path = params.metrics_out + ".json";
+    if (!io::WriteFile(json_path, [&](std::ostream& os) {
+          fleet.DumpMetrics(os, obs::MetricsFormat::kJson);
+        })) {
+      Die("cannot write " + json_path);
+    }
+    std::printf("metrics    : %s (JSON: %s; summarize with: tdmd_cli "
+                "shard-report --metrics=%s)\n",
+                params.metrics_out.c_str(), json_path.c_str(),
+                params.metrics_out.c_str());
+  }
+  return snapshot.feasible ? 0 : 3;
+}
+
 int ServeTrace(int argc, char** argv) {
   ArgParser parser("tdmd_cli serve-trace",
                    "serve a seeded churn trace through the online engine");
@@ -325,6 +508,18 @@ int ServeTrace(int argc, char** argv) {
       "move-threshold", 0.0,
       "hysteresis: min bandwidth saving per moved middlebox before a "
       "re-solve is adopted");
+  const auto* shards = parser.AddInt(
+      "shards", 1,
+      "partition the topology across N engine shards behind a "
+      "budget-allocating coordinator (1 = classic single engine)");
+  const auto* partition_name = parser.AddString(
+      "partition", "bfs",
+      "shard partitioner with --shards>1: bfs (region growing from "
+      "farthest-point seeds) or spatial (median cuts over coordinates)");
+  const auto* resolve_churn_fraction = parser.AddDouble(
+      "resolve-churn-fraction", 0.0,
+      "defer full re-solves until pending churn exceeds this fraction of "
+      "active flows (0 = re-solve every epoch)");
   const auto* async = parser.AddBool(
       "async", false, "run re-solves on a worker pool instead of inline");
   const auto* threads =
@@ -379,10 +574,38 @@ int ServeTrace(int argc, char** argv) {
   if (!instance.ok()) Die(instance.error);
   const core::Instance& inst = *instance.value;
 
+  if (*shards > 1) {
+    if (!trace_out->empty() || !quality_out->empty()) {
+      Die("--trace-out/--quality-out are single-engine only; sharded runs "
+          "expose per-shard state via --metrics-out + shard-report");
+    }
+    ShardedServeParams params;
+    params.shards = static_cast<std::size_t>(*shards);
+    params.partition = *partition_name;
+    params.k = static_cast<std::size_t>(*k);
+    params.epochs = static_cast<std::size_t>(*epochs);
+    params.arrival_count = static_cast<std::size_t>(*arrival_count);
+    params.departure_probability = *departure_probability;
+    params.move_threshold = *move_threshold;
+    params.resolve_churn_fraction = *resolve_churn_fraction;
+    params.seed = static_cast<std::uint64_t>(*seed);
+    params.fault_seed = static_cast<std::uint64_t>(*fault_seed);
+    params.fault_throw_p = *fault_throw_p;
+    params.fault_delay_p = *fault_delay_p;
+    params.fault_delay_ms = *fault_delay_ms;
+    params.fault_cancel_p = *fault_cancel_p;
+    params.checkpoint_every = static_cast<std::size_t>(*checkpoint_every);
+    params.checkpoint_out = *checkpoint_out;
+    params.restore = *restore;
+    params.metrics_out = *metrics_out;
+    return ServeTraceSharded(inst, params);
+  }
+
   engine::EngineOptions options;
   options.k = static_cast<std::size_t>(*k);
   options.lambda = inst.lambda();
   options.move_threshold = *move_threshold;
+  options.resolve_churn_fraction = *resolve_churn_fraction;
   options.synchronous = !*async;
   options.solver_threads = static_cast<std::size_t>(*threads);
   options.solve_deadline = std::chrono::milliseconds(*deadline_ms);
@@ -668,6 +891,86 @@ int QualityReportCommand(int argc, char** argv) {
   return 0;
 }
 
+int ShardReport(int argc, char** argv) {
+  ArgParser parser("tdmd_cli shard-report",
+                   "summarize a sharded serve-trace --metrics-out dump: "
+                   "per-shard budget split, bandwidth, and certificates");
+  const auto* metrics_path = parser.AddString(
+      "metrics", "fleet.prom",
+      "Prometheus text written by serve-trace --shards=N --metrics-out");
+  parser.Parse(argc, argv);
+
+  std::ifstream in(*metrics_path);
+  if (!in) Die("cannot open '" + *metrics_path + "'");
+  // Plain-gauge/counter lines only: `name value`.  Comment lines start
+  // with '#'; histogram quantile series carry '{' labels — both are
+  // irrelevant to the per-shard summary, so skip them.
+  std::map<std::string, double> metrics;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line.find('{') != std::string::npos) continue;
+    std::istringstream ss(line);
+    std::string name;
+    double value = 0.0;
+    if (ss >> name >> value) metrics[name] = value;
+  }
+  const auto lookup = [&metrics](const std::string& name, double& out) {
+    auto it = metrics.find(name);
+    if (it == metrics.end()) return false;
+    out = it->second;
+    return true;
+  };
+  const auto require = [&](const std::string& name) {
+    double value = 0.0;
+    if (!lookup(name, value)) {
+      Die(*metrics_path + ": missing metric '" + name +
+          "' (not a sharded serve-trace dump?)");
+    }
+    return value;
+  };
+
+  const auto num_shards = static_cast<std::size_t>(
+      require("tdmd_fleet_num_shards"));
+  std::printf("shard  budget boxes flows  bandwidth    cert-bound  "
+              "feasible\n");
+  std::size_t total_budget = 0;
+  double shard_bandwidth_sum = 0.0;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const std::string prefix = "tdmd_shard" + std::to_string(s) + "_";
+    const auto budget = static_cast<std::size_t>(require(prefix + "budget"));
+    const auto boxes = static_cast<std::size_t>(require(prefix + "boxes"));
+    const auto flows =
+        static_cast<std::size_t>(require(prefix + "active_flows"));
+    const double bandwidth = require(prefix + "bandwidth");
+    const double cert = require(prefix + "cert_bound");
+    const bool feasible = require(prefix + "feasible") > 0.5;
+    total_budget += budget;
+    shard_bandwidth_sum += bandwidth;
+    std::printf("%5zu  %6zu %5zu %5zu %10.3f  %10.3f  %s\n", s, budget,
+                boxes, flows, bandwidth, cert, feasible ? "yes" : "NO");
+  }
+  std::printf("fleet      : k=%zu across %zu shards, union bandwidth %.3f "
+              "(shard sum %.3f), cert %s %.3f, feasible %s\n",
+              total_budget, num_shards, require("tdmd_fleet_bandwidth"),
+              shard_bandwidth_sum,
+              require("tdmd_fleet_cert_valid") > 0.5 ? "valid" : "invalid",
+              require("tdmd_fleet_cert_bound"),
+              require("tdmd_fleet_feasible") > 0.5 ? "yes" : "NO");
+  std::printf("routing    : %.0f epochs, %.0f commands, %.0f shard-epochs "
+              "skipped, %.0f cross-shard flows\n",
+              require("tdmd_fleet_epochs"),
+              require("tdmd_fleet_commands_routed"),
+              require("tdmd_fleet_batches_skipped"),
+              require("tdmd_fleet_cross_shard_flows"));
+  std::printf("budget     : %.0f realloc rounds, %.0f adopted, "
+              "%.0f boxes moved\n",
+              require("tdmd_fleet_realloc_rounds"),
+              require("tdmd_fleet_realloc_adoptions"),
+              require("tdmd_fleet_budget_moves"));
+  return 0;
+}
+
 int Info(int argc, char** argv) {
   ArgParser parser("tdmd_cli info", "print instance statistics");
   const auto* instance_path =
@@ -708,7 +1011,7 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: tdmd_cli "
                  "<generate|solve|simulate|viz|serve-trace|trace-report"
-                 "|quality-report|info> [flags]\n"
+                 "|quality-report|shard-report|info> [flags]\n"
                  "       tdmd_cli <command> --help\n");
     return 2;
   }
@@ -726,6 +1029,7 @@ int Main(int argc, char** argv) {
   if (command == "quality-report") {
     return QualityReportCommand(argc - 1, argv + 1);
   }
+  if (command == "shard-report") return ShardReport(argc - 1, argv + 1);
   if (command == "info") return Info(argc - 1, argv + 1);
   std::fprintf(stderr, "tdmd_cli: unknown command '%s'\n", command.c_str());
   return 2;

@@ -137,6 +137,12 @@ std::vector<VertexId> GrowRegion(const ArkTopology& ark, VertexId seed,
 
 graph::Digraph ExtractGeneralSubgraph(const ArkTopology& ark, VertexId size,
                                       Rng& rng) {
+  return ExtractGeneralSubgraph(ark, size, rng, nullptr, nullptr);
+}
+
+graph::Digraph ExtractGeneralSubgraph(const ArkTopology& ark, VertexId size,
+                                      Rng& rng, std::vector<double>* x_out,
+                                      std::vector<double>* y_out) {
   const graph::Digraph& g = ark.graph;
   const VertexId seed =
       static_cast<VertexId>(rng.NextBounded(
@@ -161,6 +167,16 @@ graph::Digraph ExtractGeneralSubgraph(const ArkTopology& ark, VertexId size,
   }
   graph::Digraph sub = builder.Build();
   TDMD_CHECK(graph::IsWeaklyConnected(sub));
+  if (x_out != nullptr && y_out != nullptr) {
+    x_out->clear();
+    y_out->clear();
+    x_out->reserve(region.size());
+    y_out->reserve(region.size());
+    for (VertexId old_v : region) {
+      x_out->push_back(ark.x[static_cast<std::size_t>(old_v)]);
+      y_out->push_back(ark.y[static_cast<std::size_t>(old_v)]);
+    }
+  }
   return sub;
 }
 

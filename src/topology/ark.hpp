@@ -49,6 +49,15 @@ ArkTopology GenerateArk(const ArkParams& params, Rng& rng);
 graph::Digraph ExtractGeneralSubgraph(const ArkTopology& ark, VertexId size,
                                       Rng& rng);
 
+/// As above, but also returns the monitors' geographic coordinates under
+/// the dense relabeling: `x_out`/`y_out` get one entry per subgraph
+/// vertex, so spatial consumers (the shard partitioner's kSpatial median
+/// cuts) can reason about the extracted slice in the original [0, 1]^2
+/// coordinate space instead of re-deriving landmark coordinates.
+graph::Digraph ExtractGeneralSubgraph(const ArkTopology& ark, VertexId size,
+                                      Rng& rng, std::vector<double>* x_out,
+                                      std::vector<double>* y_out);
+
 /// Extracts a `size`-vertex tree (paper Fig. 8(b)): takes the BFS spanning
 /// tree of a connected subgraph, rooted at the subgraph's seed monitor
 /// (the red root vertex in the paper's figure).  Vertex 0 of the result is

@@ -472,6 +472,7 @@ TEST(EngineCheckpointTest, RejectsOutOfRangeValues) {
                        "mode normal\n"
                        "consecutive-failures 0\n"
                        "epochs-since-probe 0\n"
+                       "pending-churn 0\n"
                        "k 3\n";
     text += "lambda " + lambda + "\n";
     text += tail;

@@ -1,0 +1,237 @@
+// Partitioner determinism and flow-ownership pinning (DESIGN.md
+// Section 13.1): same seed + topology must produce the identical shard
+// assignment across runs and thread counts, and a cross-shard flow must
+// resolve to exactly one owner shard.
+#include "shard/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/shortest_path.hpp"
+#include "topology/generators.hpp"
+
+namespace tdmd::shard {
+namespace {
+
+graph::Digraph TestNetwork(std::uint64_t seed, VertexId n = 40) {
+  Rng rng(seed);
+  return topology::Waxman(n, 0.5, 0.4, rng);
+}
+
+traffic::Flow MakeFlow(const graph::Digraph& g, VertexId src, VertexId dst,
+                       Rate rate = 3) {
+  traffic::Flow flow;
+  flow.src = src;
+  flow.dst = dst;
+  flow.rate = rate;
+  auto path = graph::ShortestHopPath(g, src, dst);
+  EXPECT_TRUE(path.has_value());
+  flow.path = std::move(*path);
+  return flow;
+}
+
+TEST(ShardPartitionTest, CoversEveryVertexWithValidShards) {
+  const graph::Digraph g = TestNetwork(7);
+  for (const std::size_t n : {1u, 2u, 3u, 5u}) {
+    PartitionSpec spec;
+    spec.num_shards = n;
+    const Partition partition = PartitionGraph(g, spec);
+    ASSERT_EQ(partition.shard_of.size(),
+              static_cast<std::size_t>(g.num_vertices()));
+    std::set<std::uint32_t> used;
+    for (const std::uint32_t s : partition.shard_of) {
+      ASSERT_LT(s, n);
+      used.insert(s);
+    }
+    // Farthest-point growth on a connected graph fills every shard.
+    EXPECT_EQ(used.size(), n);
+    ASSERT_EQ(partition.anchors.size(), n);
+  }
+}
+
+TEST(ShardPartitionTest, BfsDeterministicAcrossRuns) {
+  const graph::Digraph g = TestNetwork(11);
+  PartitionSpec spec;
+  spec.num_shards = 4;
+  spec.seed = 3;
+  const Partition a = PartitionGraph(g, spec);
+  const Partition b = PartitionGraph(g, spec);
+  EXPECT_EQ(a.shard_of, b.shard_of);
+  EXPECT_EQ(a.anchors, b.anchors);
+  // A different seed picks a different first growth seed.
+  spec.seed = 17;
+  const Partition c = PartitionGraph(g, spec);
+  EXPECT_NE(a.anchors, c.anchors);
+}
+
+TEST(ShardPartitionTest, DeterministicAcrossThreadCounts) {
+  const graph::Digraph g = TestNetwork(13);
+  PartitionSpec spec;
+  spec.num_shards = 4;
+  spec.seed = 5;
+  const Partition baseline = PartitionGraph(g, spec);
+
+  // The assignment is a pure function of (graph, spec): computing it
+  // concurrently on any number of threads yields the identical result.
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    std::vector<Partition> results(threads);
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&g, &spec, &results, t]() {
+        results[t] = PartitionGraph(g, spec);
+      });
+    }
+    for (std::thread& thread : pool) thread.join();
+    for (const Partition& result : results) {
+      EXPECT_EQ(result.shard_of, baseline.shard_of);
+      EXPECT_EQ(result.anchors, baseline.anchors);
+    }
+  }
+}
+
+TEST(ShardPartitionTest, SpatialCutsDeterministicWithAndWithoutCoords) {
+  const graph::Digraph g = TestNetwork(19);
+  PartitionSpec spec;
+  spec.num_shards = 4;
+  spec.method = PartitionMethod::kSpatial;
+  // Landmark-coordinate fallback (no coordinates supplied).
+  const Partition fallback_a = PartitionGraph(g, spec);
+  const Partition fallback_b = PartitionGraph(g, spec);
+  EXPECT_EQ(fallback_a.shard_of, fallback_b.shard_of);
+
+  // Supplied coordinates: a deterministic grid layout.
+  const auto num = static_cast<std::size_t>(g.num_vertices());
+  for (std::size_t v = 0; v < num; ++v) {
+    spec.x.push_back(static_cast<double>(v % 8));
+    spec.y.push_back(static_cast<double>(v / 8));
+  }
+  const Partition grid_a = PartitionGraph(g, spec);
+  const Partition grid_b = PartitionGraph(g, spec);
+  EXPECT_EQ(grid_a.shard_of, grid_b.shard_of);
+  std::set<std::uint32_t> used(grid_a.shard_of.begin(),
+                               grid_a.shard_of.end());
+  EXPECT_EQ(used.size(), spec.num_shards);
+}
+
+TEST(ShardPartitionTest, ExplicitSeedsAnchorTheirShards) {
+  const graph::Digraph g = TestNetwork(23);
+  PartitionSpec spec;
+  spec.num_shards = 3;
+  spec.seeds = {0, 7, 21};
+  const Partition partition = PartitionGraph(g, spec);
+  for (std::size_t s = 0; s < spec.seeds.size(); ++s) {
+    EXPECT_EQ(partition.shard(spec.seeds[s]),
+              static_cast<std::uint32_t>(s));
+    EXPECT_EQ(partition.anchors[s], spec.seeds[s]);
+  }
+}
+
+TEST(ShardPartitionTest, GroupedSeedsKeepWholeCellsPerShard) {
+  const graph::Digraph g = TestNetwork(29);
+  // Six seeds, three shards: consecutive pairs of Voronoi cells form one
+  // shard, and the pair structure must match growing six cells directly.
+  PartitionSpec six;
+  six.num_shards = 6;
+  six.seeds = {0, 5, 11, 17, 23, 31};
+  const Partition cells = PartitionGraph(g, six);
+
+  PartitionSpec grouped;
+  grouped.num_shards = 3;
+  grouped.seeds = six.seeds;
+  const Partition partition = PartitionGraph(g, grouped);
+  ASSERT_EQ(partition.anchors.size(), 3u);
+  EXPECT_EQ(partition.anchors[0], six.seeds[0]);
+  EXPECT_EQ(partition.anchors[1], six.seeds[2]);
+  EXPECT_EQ(partition.anchors[2], six.seeds[4]);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(partition.shard(v), cells.shard(v) / 2);
+  }
+}
+
+TEST(ShardPartitionTest, OwnerShardPinsCrossShardFlowsExactlyOnce) {
+  const graph::Digraph g = TestNetwork(31);
+  PartitionSpec spec;
+  spec.num_shards = 4;
+  const Partition partition = PartitionGraph(g, spec);
+
+  std::size_t cross_shard_seen = 0;
+  Rng rng(97);
+  for (std::uint64_t flow_id = 0; flow_id < 200; ++flow_id) {
+    const auto src = static_cast<VertexId>(
+        rng.NextBounded(static_cast<std::uint64_t>(g.num_vertices())));
+    const auto dst = static_cast<VertexId>(
+        rng.NextBounded(static_cast<std::uint64_t>(g.num_vertices())));
+    if (src == dst) continue;
+    const auto path = graph::ShortestHopPath(g, src, dst);
+    if (!path.has_value() || path->NumEdges() == 0) continue;
+    traffic::Flow flow;
+    flow.src = src;
+    flow.dst = dst;
+    flow.rate = 1;
+    flow.path = *path;
+
+    const std::size_t touched = ShardsTouched(partition, flow);
+    ASSERT_GE(touched, 1u);
+    if (touched > 1) ++cross_shard_seen;
+
+    const std::size_t owner = OwnerShard(partition, flow, flow_id);
+    // The owner is one of the shards the path actually visits...
+    bool on_path = false;
+    for (const VertexId v : flow.path.vertices) {
+      on_path = on_path || partition.shard(v) == owner;
+    }
+    EXPECT_TRUE(on_path);
+    // ...and the pin is a pure function of (partition, path, id).
+    EXPECT_EQ(OwnerShard(partition, flow, flow_id), owner);
+  }
+  // The random workload must actually exercise the cross-shard case.
+  EXPECT_GT(cross_shard_seen, 0u);
+}
+
+TEST(ShardPartitionTest, OwnerSpreadsCrossShardFlowsByFlowId) {
+  const graph::Digraph g = TestNetwork(37);
+  PartitionSpec spec;
+  spec.num_shards = 4;
+  const Partition partition = PartitionGraph(g, spec);
+  // Find one flow touching >= 2 shards, then vary only the flow id: both
+  // touched shards must eventually own it (the deterministic spread).
+  Rng rng(13);
+  for (int attempt = 0; attempt < 500; ++attempt) {
+    const auto src = static_cast<VertexId>(
+        rng.NextBounded(static_cast<std::uint64_t>(g.num_vertices())));
+    const auto dst = static_cast<VertexId>(
+        rng.NextBounded(static_cast<std::uint64_t>(g.num_vertices())));
+    if (src == dst) continue;
+    const auto path = graph::ShortestHopPath(g, src, dst);
+    if (!path.has_value() || path->NumEdges() == 0) continue;
+    traffic::Flow flow = MakeFlow(g, src, dst);
+    if (ShardsTouched(partition, flow) < 2) continue;
+    std::set<std::size_t> owners;
+    for (std::uint64_t id = 0; id < 8; ++id) {
+      owners.insert(OwnerShard(partition, flow, id));
+    }
+    EXPECT_GE(owners.size(), 2u);
+    return;
+  }
+  FAIL() << "no cross-shard flow found in 500 attempts";
+}
+
+TEST(ShardPartitionTest, MethodNamesRoundTrip) {
+  PartitionMethod method = PartitionMethod::kSpatial;
+  EXPECT_TRUE(ParsePartitionMethod("bfs", &method));
+  EXPECT_EQ(method, PartitionMethod::kBfs);
+  EXPECT_TRUE(ParsePartitionMethod("spatial", &method));
+  EXPECT_EQ(method, PartitionMethod::kSpatial);
+  EXPECT_FALSE(ParsePartitionMethod("metis", &method));
+  EXPECT_STREQ(PartitionMethodName(PartitionMethod::kBfs), "bfs");
+  EXPECT_STREQ(PartitionMethodName(PartitionMethod::kSpatial), "spatial");
+}
+
+}  // namespace
+}  // namespace tdmd::shard
