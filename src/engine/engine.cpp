@@ -119,6 +119,12 @@ decltype(auto) Engine::RetryIndexDeltaLocked(Fn&& fn) {
 Engine::BatchResult Engine::SubmitBatch(
     const traffic::FlowSet& arrivals,
     const std::vector<FlowTicket>& departures) {
+  return SubmitBatch(arrivals, departures, SubmitOptions{});
+}
+
+Engine::BatchResult Engine::SubmitBatch(
+    const traffic::FlowSet& arrivals,
+    const std::vector<FlowTicket>& departures, const SubmitOptions& submit) {
   BatchResult result;
   obs::ScopedSpan epoch_span(obs::TracePhase::kEpoch);
   MutexLock lock(state_mu_);
@@ -202,7 +208,10 @@ Engine::BatchResult Engine::SubmitBatch(
   }
   PublishLocked();
 
-  if (index_.active_flows() > 0) {
+  // Shed admission defers the re-solve outright: the epoch's churn has
+  // been applied and published above, and pending_churn_ carries the
+  // deferred work into the next un-shed epoch's cadence check.
+  if (!submit.defer_resolve && index_.active_flows() > 0) {
     if (mode_ == EngineMode::kPatchOnly) {
       ++epochs_since_probe_;
       if (epochs_since_probe_ >= options_.probe_interval_epochs &&

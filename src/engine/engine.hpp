@@ -307,11 +307,26 @@ class Engine {
   // an obs hook invoked under state_mu_ — is a self-deadlock, and under
   // the thread-safety preset it is a compile error.
 
+  /// Per-batch knobs for the overload path.
+  struct SubmitOptions {
+    /// Shed admission (the sharded fleet's load-shedding posture): the
+    /// batch is applied in full — index deltas, feasibility patch,
+    /// snapshot publish — but no re-solve is scheduled this epoch.  The
+    /// churn still accumulates in pending_churn_, so the next un-shed
+    /// epoch's cadence check sees the deferred work.  Equivalent to a
+    /// PATCH_ONLY epoch without a mode transition.
+    bool defer_resolve = false;
+  };
+
   /// Applies one epoch of churn: departures (stale tickets are counted
   /// and ignored) then arrivals; patches feasibility; publishes a
   /// snapshot; schedules the re-solve the current mode calls for.
   BatchResult SubmitBatch(const traffic::FlowSet& arrivals,
                           const std::vector<FlowTicket>& departures)
+      TDMD_EXCLUDES(state_mu_);
+  BatchResult SubmitBatch(const traffic::FlowSet& arrivals,
+                          const std::vector<FlowTicket>& departures,
+                          const SubmitOptions& submit)
       TDMD_EXCLUDES(state_mu_);
 
   /// Latest published snapshot (never null).  Thread-safe.

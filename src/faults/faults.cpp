@@ -15,6 +15,9 @@ constexpr std::uint64_t kSiteSalt[kNumFaultSites] = {
     0x9E3779B97F4A7C15ULL,
     0xBF58476D1CE4E5B9ULL,
     0x94D049BB133111EBULL,
+    0xD6E8FEB86659FD93ULL,
+    0xA5A5B4C9E1D3F715ULL,
+    0xC2B2AE3D27D4EB4FULL,
 };
 
 double UniformDraw(std::uint64_t seed, FaultSite site,
@@ -36,6 +39,12 @@ const char* FaultSiteName(FaultSite site) {
       return "index-delta";
     case FaultSite::kGreedyRound:
       return "greedy-round";
+    case FaultSite::kShardWorker:
+      return "shard-worker";
+    case FaultSite::kQueueDrain:
+      return "queue-drain";
+    case FaultSite::kCheckpointWrite:
+      return "checkpoint-write";
   }
   return "unknown";
 }

@@ -43,8 +43,18 @@ enum class FaultSite : int {
   kIndexDelta = 1,
   /// Each SolveIncrementalGtp greedy round.
   kGreedyRound = 2,
+  /// A shard worker executing a routed command (kThrow models a worker
+  /// abort that destroys the shard's engine mid-batch).
+  kShardWorker = 3,
+  /// A shard worker draining its command queue (kDelay models a stalled
+  /// consumer; the coordinator's stall detector watches for it).
+  kQueueDrain = 4,
+  /// io::AtomicFileWriter mid-payload (kThrow models a process crash
+  /// between opening the temp file and the atomic rename — the target
+  /// checkpoint must be left intact).
+  kCheckpointWrite = 5,
 };
-inline constexpr std::size_t kNumFaultSites = 3;
+inline constexpr std::size_t kNumFaultSites = 6;
 
 const char* FaultSiteName(FaultSite site);
 

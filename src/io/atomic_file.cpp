@@ -1,0 +1,196 @@
+#include "io/atomic_file.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define TDMD_HAVE_FSYNC 1
+#endif
+
+namespace tdmd::io {
+
+namespace {
+
+/// Reflected IEEE 802.3 CRC32 table (polynomial 0xEDB88320), built once.
+struct Crc32Table {
+  std::uint32_t entries[256];
+
+  Crc32Table() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+const Crc32Table& Table() {
+  static const Crc32Table table;
+  return table;
+}
+
+constexpr char kTrailerTag[] = "# tdmd-crc32 ";
+
+}  // namespace
+
+std::uint32_t Crc32(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = Table().entries[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string CrcTrailerLine(const std::string& payload) {
+  char line[64];
+  std::snprintf(line, sizeof(line), "%s%08x %zu\n", kTrailerTag,
+                Crc32(payload.data(), payload.size()), payload.size());
+  return line;
+}
+
+AtomicFileWriter::AtomicFileWriter(std::string path, AtomicWriteOptions options)
+    : path_(std::move(path)),
+      tmp_path_(path_ + ".tmp"),
+      options_(options) {}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (!committed_) std::remove(tmp_path_.c_str());
+}
+
+bool AtomicFileWriter::Commit() {
+  if (committed_) {
+    error_ = "Commit() called twice";
+    return false;
+  }
+  std::string payload = buffer_.str();
+  if (options_.crc_trailer) payload += CrcTrailerLine(payload);
+
+  std::FILE* file = std::fopen(tmp_path_.c_str(), "wb");
+  if (file == nullptr) {
+    error_ = "cannot open temp file: " + tmp_path_;
+    return false;
+  }
+  const std::size_t half = payload.size() / 2;
+  bool write_ok = half == 0 || std::fwrite(payload.data(), 1, half, file) == half;
+  if (write_ok && options_.fault_injector != nullptr) {
+    try {
+      options_.fault_injector->MaybeInject(faults::FaultSite::kCheckpointWrite);
+    } catch (const faults::FaultInjectedError& e) {
+      // Simulated process crash mid-write: flush what a real crash might
+      // have left behind, keep the torn temp file, never touch the
+      // target.  (committed_ stays false only for error reporting; the
+      // destructor must NOT clean up — a crashed process wouldn't.)
+      std::fclose(file);
+      committed_ = true;  // suppress destructor cleanup of the torn temp
+      error_ = std::string("checkpoint write crashed (injected): ") + e.what();
+      return false;
+    }
+  }
+  if (write_ok && payload.size() > half) {
+    write_ok = std::fwrite(payload.data() + half, 1, payload.size() - half,
+                           file) == payload.size() - half;
+  }
+  if (!write_ok || std::fflush(file) != 0) {
+    std::fclose(file);
+    error_ = "short write to temp file: " + tmp_path_;
+    return false;
+  }
+#if TDMD_HAVE_FSYNC
+  if (::fsync(::fileno(file)) != 0) {
+    std::fclose(file);
+    error_ = "fsync failed for temp file: " + tmp_path_;
+    return false;
+  }
+#endif
+  if (std::fclose(file) != 0) {
+    error_ = "close failed for temp file: " + tmp_path_;
+    return false;
+  }
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    error_ = "atomic rename failed: " + tmp_path_ + " -> " + path_;
+    return false;
+  }
+  committed_ = true;
+  return true;
+}
+
+bool WriteFileAtomic(const std::string& path,
+                     const std::function<void(std::ostream&)>& content_writer,
+                     const AtomicWriteOptions& options, std::string* error) {
+  AtomicFileWriter writer(path, options);
+  content_writer(writer.stream());
+  const bool ok = writer.Commit();
+  if (!ok && error != nullptr) *error = writer.error();
+  return ok;
+}
+
+VerifiedPayload VerifyCrcTrailer(const std::string& content) {
+  VerifiedPayload result;
+  if (content.empty() || content.back() != '\n') {
+    result.error =
+        "missing tdmd-crc32 trailer (torn or truncated checkpoint: no "
+        "final newline)";
+    return result;
+  }
+  std::size_t line_start = 0;
+  if (content.size() >= 2) {
+    const std::size_t prev = content.rfind('\n', content.size() - 2);
+    if (prev != std::string::npos) line_start = prev + 1;
+  }
+  const std::string line = content.substr(line_start);
+  constexpr std::size_t kTagLen = sizeof(kTrailerTag) - 1;
+  if (line.compare(0, kTagLen, kTrailerTag) != 0) {
+    result.error =
+        "missing tdmd-crc32 trailer (torn or truncated checkpoint: last "
+        "line is not a trailer)";
+    return result;
+  }
+  std::uint32_t declared_crc = 0;
+  unsigned long long declared_size = 0;
+  char extra = '\0';
+  if (std::sscanf(line.c_str() + kTagLen, "%8x %llu%c", &declared_crc,
+                  &declared_size, &extra) != 3 ||
+      extra != '\n') {
+    result.error = "malformed tdmd-crc32 trailer";
+    return result;
+  }
+  if (declared_size != static_cast<unsigned long long>(line_start)) {
+    result.error = "tdmd-crc32 trailer size mismatch: declared " +
+                   std::to_string(declared_size) + " bytes, payload has " +
+                   std::to_string(line_start) + " (truncated checkpoint)";
+    return result;
+  }
+  const std::uint32_t actual_crc = Crc32(content.data(), line_start);
+  if (actual_crc != declared_crc) {
+    char diag[96];
+    std::snprintf(diag, sizeof(diag),
+                  "tdmd-crc32 mismatch: declared %08x, computed %08x "
+                  "(corrupt checkpoint)",
+                  declared_crc, actual_crc);
+    result.error = diag;
+    return result;
+  }
+  result.payload = content.substr(0, line_start);
+  return result;
+}
+
+VerifiedPayload ReadFileVerified(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    VerifiedPayload result;
+    result.error = "cannot open file: " + path;
+    return result;
+  }
+  std::ostringstream content;
+  content << is.rdbuf();
+  VerifiedPayload result = VerifyCrcTrailer(content.str());
+  if (!result.ok()) result.error = path + ": " + result.error;
+  return result;
+}
+
+}  // namespace tdmd::io

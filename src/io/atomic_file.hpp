@@ -1,0 +1,110 @@
+// Crash-safe file writes for checkpoints, metrics, and traces.
+//
+// AtomicFileWriter buffers the payload in memory, writes it to
+// `<path>.tmp`, flushes it to stable storage (fsync), and atomically
+// renames the temp file over the target.  A crash at any point leaves
+// either the old file or the new file on disk — never a torn mixture.
+//
+// Checkpoint writers additionally append a CRC32 trailer line over the
+// payload:
+//
+//   # tdmd-crc32 <8 lowercase hex digits> <payload-byte-count>
+//
+// The trailer is a `#` comment line, so every existing line-oriented
+// stream parser (engine-checkpoint v1, shardfleet v1) skips it
+// transparently; the *file-level* readers require and verify it, so a
+// truncated or bit-flipped checkpoint is rejected with a one-line
+// diagnostic instead of being half-restored.
+//
+// The writer carries an optional fault hook (FaultSite::kCheckpointWrite)
+// fired mid-payload, between opening the temp file and the rename: an
+// injected kThrow models a process crash during the write, and the
+// contract under test is that the target file is left byte-identical.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "faults/faults.hpp"
+
+namespace tdmd::io {
+
+/// IEEE 802.3 (zlib-compatible) CRC32 of `size` bytes at `data`.
+std::uint32_t Crc32(const void* data, std::size_t size);
+
+/// Formats the trailer line (with trailing newline) for `payload`.
+std::string CrcTrailerLine(const std::string& payload);
+
+struct AtomicWriteOptions {
+  /// Append the `# tdmd-crc32 ...` trailer after the payload.
+  bool crc_trailer = false;
+  /// Optional crash-point hook; fires FaultSite::kCheckpointWrite once
+  /// mid-write.  An injected throw aborts the commit (the partial temp
+  /// file is left behind, as a real crash would) and Commit() returns
+  /// false; the target file is never touched.
+  faults::FaultInjector* fault_injector = nullptr;
+};
+
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(std::string path, AtomicWriteOptions options = {});
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// Removes the temp file if Commit() was never called (or failed
+  /// before the rename).
+  ~AtomicFileWriter();
+
+  /// The payload sink.  Everything streamed here before Commit() becomes
+  /// the file content (plus the optional CRC trailer).
+  std::ostream& stream() { return buffer_; }
+
+  /// Writes temp file, fsyncs, renames over the target.  Returns false
+  /// (with error() set) on any filesystem failure or injected crash; the
+  /// target is untouched on failure.
+  bool Commit();
+
+  const std::string& error() const { return error_; }
+  const std::string& tmp_path() const { return tmp_path_; }
+
+ private:
+  std::string path_;
+  std::string tmp_path_;
+  AtomicWriteOptions options_;
+  std::ostringstream buffer_;
+  bool committed_ = false;
+  std::string error_;
+};
+
+/// One-shot helper: stream `content_writer` through an AtomicFileWriter
+/// and commit.  On failure returns false and, if `error` is non-null,
+/// stores the one-line diagnostic.
+bool WriteFileAtomic(const std::string& path,
+                     const std::function<void(std::ostream&)>& content_writer,
+                     const AtomicWriteOptions& options = {},
+                     std::string* error = nullptr);
+
+/// Result of a verified (CRC-trailed) file read.
+struct VerifiedPayload {
+  /// File content with the trailer stripped; empty on failure.
+  std::string payload;
+  /// One-line diagnostic; empty on success.
+  std::string error;
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Verifies and strips the CRC trailer from raw file `content`.  A
+/// missing, malformed, or mismatched trailer (torn / truncated /
+/// bit-flipped write) is an error.
+VerifiedPayload VerifyCrcTrailer(const std::string& content);
+
+/// Reads `path` in full and verifies its CRC trailer.
+VerifiedPayload ReadFileVerified(const std::string& path);
+
+}  // namespace tdmd::io

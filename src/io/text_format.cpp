@@ -1,12 +1,14 @@
 #include "io/text_format.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <fstream>
 #include <functional>
 #include <limits>
 #include <sstream>
 #include <vector>
 
+#include "io/atomic_file.hpp"
 #include "obs/histogram.hpp"
 #include "obs/quality.hpp"
 #include "obs/timeseries.hpp"
@@ -76,6 +78,15 @@ bool ParseDouble(const std::string& token, double& out) {
 /// unchecked cast would silently wrap, so every reader bounds ids here.
 bool FitsVertexId(std::int64_t v) {
   return v >= 0 && v <= std::numeric_limits<VertexId>::max();
+}
+
+/// Declared counts are untrusted input: reserve at most this many slots
+/// up front so an oversized count fails at the first missing record
+/// instead of allocating gigabytes.
+template <typename Count>
+std::size_t CappedCount(Count count) {
+  const auto wide = static_cast<std::uint64_t>(count);
+  return static_cast<std::size_t>(wide < 65536 ? wide : 65536);
 }
 
 }  // namespace
@@ -286,7 +297,7 @@ Parsed<traffic::FlowSet> ReadFlowsBody(LineReader& reader,
     return result;
   }
   traffic::FlowSet flows;
-  flows.reserve(static_cast<std::size_t>(count));
+  flows.reserve(CappedCount(count));
   for (std::int64_t i = 0; i < count; ++i) {
     if (!reader.Next(tokens) || tokens[0] != "flow" || tokens.size() < 3) {
       result.error = AtLine(reader.line_number(),
@@ -574,7 +585,7 @@ bool ReadHistogramBlock(LineReader& reader, std::vector<std::string>& tokens,
                    "histogram bucket count out of range");
     return false;
   }
-  out.buckets.reserve(static_cast<std::size_t>(num_buckets));
+  out.buckets.reserve(CappedCount(num_buckets));
   for (std::uint64_t i = 0; i < num_buckets; ++i) {
     std::uint64_t index = 0;
     std::uint64_t bucket_count = 0;
@@ -705,7 +716,7 @@ Parsed<engine::EngineCheckpoint> ReadEngineCheckpoint(std::istream& is,
     return result;
   }
   std::vector<char> deployed(static_cast<std::size_t>(num_vertices), 0);
-  cp.deployment.reserve(static_cast<std::size_t>(count));
+  cp.deployment.reserve(CappedCount(count));
   for (std::uint64_t i = 0; i < count; ++i) {
     std::int64_t v = 0;
     if (!reader.Next(tokens) || tokens.size() != 2 || tokens[0] != "box" ||
@@ -724,7 +735,7 @@ Parsed<engine::EngineCheckpoint> ReadEngineCheckpoint(std::istream& is,
   if (!ReadKeyedU64(reader, tokens, "uncovered", count, result.error)) {
     return result;
   }
-  cp.uncovered.reserve(static_cast<std::size_t>(count));
+  cp.uncovered.reserve(CappedCount(count));
   for (std::uint64_t i = 0; i < count; ++i) {
     engine::FlowTicket t = engine::kInvalidTicket;
     if (!reader.Next(tokens) || tokens.size() != 2 ||
@@ -739,7 +750,7 @@ Parsed<engine::EngineCheckpoint> ReadEngineCheckpoint(std::istream& is,
   if (!ReadKeyedU64(reader, tokens, "flows", count, result.error)) {
     return result;
   }
-  cp.active_flows.reserve(static_cast<std::size_t>(count));
+  cp.active_flows.reserve(CappedCount(count));
   for (std::uint64_t i = 0; i < count; ++i) {
     if (!reader.Next(tokens) || tokens.size() < 4 || tokens[0] != "flow") {
       result.error = AtLine(
@@ -775,7 +786,7 @@ Parsed<engine::EngineCheckpoint> ReadEngineCheckpoint(std::istream& is,
   if (!ReadKeyedU64(reader, tokens, "free-slots", count, result.error)) {
     return result;
   }
-  cp.free_slots.reserve(static_cast<std::size_t>(count));
+  cp.free_slots.reserve(CappedCount(count));
   for (std::uint64_t i = 0; i < count; ++i) {
     engine::FlowTicket t = engine::kInvalidTicket;
     if (!reader.Next(tokens) || tokens.size() != 2 || tokens[0] != "free" ||
@@ -861,7 +872,7 @@ Parsed<engine::EngineCheckpoint> ReadEngineCheckpoint(std::istream& is,
                             "qattr count exceeds num-vertices");
       return result;
     }
-    cp.quality_attribution.reserve(static_cast<std::size_t>(qcount));
+    cp.quality_attribution.reserve(CappedCount(qcount));
     for (std::uint64_t i = 0; i < qcount; ++i) {
       obs::VertexAttribution attr;
       if (!read_attr(attr)) return result;
@@ -893,7 +904,7 @@ Parsed<engine::EngineCheckpoint> ReadEngineCheckpoint(std::istream& is,
                             "qsamples exceeds samples-total");
       return result;
     }
-    q.samples.reserve(static_cast<std::size_t>(qcount));
+    q.samples.reserve(CappedCount(qcount));
     for (std::uint64_t i = 0; i < qcount; ++i) {
       obs::QualitySample s;
       std::uint64_t s_feasible = 0;
@@ -930,7 +941,7 @@ Parsed<engine::EngineCheckpoint> ReadEngineCheckpoint(std::istream& is,
       s.deployed = static_cast<std::uint32_t>(s_deployed);
       s.budget = static_cast<std::uint32_t>(s_budget);
       s.churn_moves = static_cast<std::uint32_t>(s_moves);
-      s.attribution.reserve(static_cast<std::size_t>(s_nattr));
+      s.attribution.reserve(CappedCount(s_nattr));
       for (std::uint64_t a = 0; a < s_nattr; ++a) {
         obs::VertexAttribution attr;
         if (!read_attr(attr)) return result;
@@ -947,7 +958,7 @@ Parsed<engine::EngineCheckpoint> ReadEngineCheckpoint(std::istream& is,
           AtLine(reader.line_number(), "qalerts count out of range");
       return result;
     }
-    q.alerts.reserve(static_cast<std::size_t>(qcount));
+    q.alerts.reserve(CappedCount(qcount));
     for (std::uint64_t i = 0; i < qcount; ++i) {
       obs::QualityAlert alert;
       std::uint64_t kind = 0;
@@ -1000,10 +1011,23 @@ Parsed<engine::EngineCheckpoint> ReadEngineCheckpoint(std::istream& is,
 
 bool WriteFile(const std::string& path,
                const std::function<void(std::ostream&)>& content_writer) {
-  std::ofstream os(path);
-  if (!os) return false;
-  content_writer(os);
-  return static_cast<bool>(os);
+  // Torn-write-safe for every caller: temp file + fsync + atomic rename
+  // (a crash mid-write leaves the previous file, never a prefix).
+  return WriteFileAtomic(path, content_writer);
+}
+
+bool WriteEngineCheckpointFile(const std::string& path,
+                               const engine::EngineCheckpoint& checkpoint,
+                               const EngineCheckpointWriteOptions& options,
+                               faults::FaultInjector* fault_injector,
+                               std::string* error) {
+  AtomicWriteOptions write_options;
+  write_options.crc_trailer = true;
+  write_options.fault_injector = fault_injector;
+  return WriteFileAtomic(
+      path,
+      [&](std::ostream& os) { WriteEngineCheckpoint(os, checkpoint, options); },
+      write_options, error);
 }
 
 Parsed<core::Instance> ReadInstanceFile(const std::string& path) {
@@ -1032,10 +1056,14 @@ Parsed<graph::Tree> ReadTreeFile(const std::string& path) {
 
 Parsed<engine::EngineCheckpoint> ReadEngineCheckpointFile(
     const std::string& path) {
-  std::ifstream is(path);
-  if (!is) {
-    return {std::nullopt, "cannot open '" + path + "'"};
+  // Checkpoint files are integrity-checked end to end: the CRC trailer
+  // written by WriteEngineCheckpointFile must be present and match, so a
+  // torn or bit-flipped file is rejected before any parsing happens.
+  VerifiedPayload verified = ReadFileVerified(path);
+  if (!verified.ok()) {
+    return {std::nullopt, verified.error};
   }
+  std::istringstream is(verified.payload);
   Parsed<engine::EngineCheckpoint> result = ReadEngineCheckpoint(is);
   if (!result.ok()) {
     result.error = path + ": " + result.error;

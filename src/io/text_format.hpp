@@ -85,6 +85,7 @@
 #include "core/deployment.hpp"
 #include "core/instance.hpp"
 #include "engine/checkpoint.hpp"
+#include "faults/faults.hpp"
 #include "graph/digraph.hpp"
 #include "graph/tree.hpp"
 #include "traffic/flow.hpp"
@@ -148,9 +149,22 @@ Parsed<engine::EngineCheckpoint> ReadEngineCheckpoint(std::istream& is,
 
 // --- File helpers ---------------------------------------------------------
 
-/// Writes `content_writer(os)` to `path`; false on filesystem failure.
+/// Writes `content_writer(os)` to `path` via io::AtomicFileWriter (temp
+/// file + fsync + atomic rename); false on filesystem failure.  A crash
+/// mid-write never leaves a torn file.
 bool WriteFile(const std::string& path,
                const std::function<void(std::ostream&)>& content_writer);
+
+/// Atomically writes an engine checkpoint with a CRC32 trailer line
+/// (`# tdmd-crc32 <hex> <bytes>`) that ReadEngineCheckpointFile requires
+/// and verifies.  `fault_injector`, when non-null, arms the
+/// FaultSite::kCheckpointWrite crash point mid-payload.  On failure
+/// returns false and stores a one-line diagnostic in `*error` (if set).
+bool WriteEngineCheckpointFile(const std::string& path,
+                               const engine::EngineCheckpoint& checkpoint,
+                               const EngineCheckpointWriteOptions& options = {},
+                               faults::FaultInjector* fault_injector = nullptr,
+                               std::string* error = nullptr);
 
 /// Reads a whole instance file; the error mentions the path.
 Parsed<core::Instance> ReadInstanceFile(const std::string& path);

@@ -156,6 +156,58 @@ class QualityTimeline {
   std::uint64_t alerts_cleared_total_ = 0;
 };
 
+/// One-sided CUSUM over a generic rate stream in [0, 1] — the shed-rate
+/// alert of the sharded fleet's load-shedding path (DESIGN.md §14).  The
+/// accumulator S = max(0, S + (rate - slack)) grows only while the rate
+/// exceeds the slack, so a transient shed burst decays back to zero but
+/// sustained overload crosses the threshold within a bounded number of
+/// epochs.  Edge-triggered like QualityTimeline's detectors: the alert
+/// raises once when S crosses the threshold and clears once when S
+/// returns to zero.
+struct RateCusumOptions {
+  /// Tolerated steady-state rate; below it the accumulator drains.
+  double slack = 0.05;
+  /// Accumulated excess rate that raises the alert.
+  double threshold = 0.5;
+};
+
+class RateCusum {
+ public:
+  explicit RateCusum(const RateCusumOptions& options = {})
+      : options_(options) {}
+
+  /// Pushes one epoch's rate; returns true when an alert edge (raise or
+  /// clear — check active()) fired on this sample.
+  bool Push(double rate) {
+    value_ = value_ + (rate - options_.slack);
+    if (value_ < 0.0) value_ = 0.0;
+    if (!active_ && value_ >= options_.threshold) {
+      active_ = true;
+      ++raised_total_;
+      return true;
+    }
+    if (active_ && value_ == 0.0) {
+      active_ = false;
+      ++cleared_total_;
+      return true;
+    }
+    return false;
+  }
+
+  bool active() const { return active_; }
+  double value() const { return value_; }
+  std::uint64_t raised_total() const { return raised_total_; }
+  std::uint64_t cleared_total() const { return cleared_total_; }
+  const RateCusumOptions& options() const { return options_; }
+
+ private:
+  RateCusumOptions options_;
+  double value_ = 0.0;
+  bool active_ = false;
+  std::uint64_t raised_total_ = 0;
+  std::uint64_t cleared_total_ = 0;
+};
+
 /// Packs a sample into the kQualitySample instant arg so quality-report
 /// can rebuild the timeline from a Chrome trace: epoch in the high 32
 /// bits, the realized ratio in parts-per-million (clamped to [0, 4e6]) in

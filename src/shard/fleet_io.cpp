@@ -1,5 +1,8 @@
 #include "shard/fleet_io.hpp"
 
+#include "io/atomic_file.hpp"
+
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <limits>
@@ -173,7 +176,10 @@ io::Parsed<FleetCheckpoint> ReadFleetCheckpoint(std::istream& is) {
                     result.error)) {
     return result;
   }
-  cp.flows.reserve(static_cast<std::size_t>(flow_count));
+  // Reserve is capped: the declared count is untrusted input, and an
+  // oversized value must fail at the first missing entry, not allocate.
+  cp.flows.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(flow_count, 65536)));
   std::uint64_t prev_id = 0;
   for (std::uint64_t i = 0; i < flow_count; ++i) {
     std::uint64_t id = 0, shard = 0;
@@ -238,19 +244,28 @@ io::Parsed<FleetCheckpoint> ReadFleetCheckpoint(std::istream& is) {
 }
 
 bool WriteFleetCheckpointFile(const std::string& path,
-                              const FleetCheckpoint& checkpoint) {
-  return io::WriteFile(path, [&checkpoint](std::ostream& os) {
-    WriteFleetCheckpoint(os, checkpoint);
-  });
+                              const FleetCheckpoint& checkpoint,
+                              faults::FaultInjector* fault_injector,
+                              std::string* error) {
+  io::AtomicWriteOptions options;
+  options.crc_trailer = true;
+  options.fault_injector = fault_injector;
+  return io::WriteFileAtomic(
+      path,
+      [&checkpoint](std::ostream& os) { WriteFleetCheckpoint(os, checkpoint); },
+      options, error);
 }
 
 io::Parsed<FleetCheckpoint> ReadFleetCheckpointFile(const std::string& path) {
-  std::ifstream in(path);
+  // Require and verify the CRC trailer before parsing: a torn, truncated,
+  // or bit-flipped fleet checkpoint is rejected, never half-restored.
+  io::VerifiedPayload verified = io::ReadFileVerified(path);
   io::Parsed<FleetCheckpoint> result;
-  if (!in) {
-    result.error = "cannot open " + path;
+  if (!verified.ok()) {
+    result.error = verified.error;
     return result;
   }
+  std::istringstream in(verified.payload);
   result = ReadFleetCheckpoint(in);
   if (!result.ok()) {
     result.error = path + ": " + result.error;

@@ -43,8 +43,15 @@ void WriteFleetCheckpoint(std::ostream& os, const FleetCheckpoint& checkpoint,
 
 io::Parsed<FleetCheckpoint> ReadFleetCheckpoint(std::istream& is);
 
+/// Atomic (temp file + fsync + rename) write with a CRC32 trailer line;
+/// ReadFleetCheckpointFile requires and verifies the trailer, so torn or
+/// bit-flipped files are rejected with a one-line diagnostic.
+/// `fault_injector`, when non-null, arms the checkpoint-write crash point
+/// (FaultSite::kCheckpointWrite) mid-payload.
 bool WriteFleetCheckpointFile(const std::string& path,
-                              const FleetCheckpoint& checkpoint);
+                              const FleetCheckpoint& checkpoint,
+                              faults::FaultInjector* fault_injector = nullptr,
+                              std::string* error = nullptr);
 io::Parsed<FleetCheckpoint> ReadFleetCheckpointFile(const std::string& path);
 
 }  // namespace tdmd::shard

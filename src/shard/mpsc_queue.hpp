@@ -25,6 +25,7 @@
 // system_clock::now in this file (tools/tdmd_lint rule hot-path).
 
 #include <atomic>
+#include <cstddef>
 #include <utility>
 
 #include "common/check.hpp"
@@ -54,6 +55,7 @@ class MpscQueue {
   /// of concurrent producers.
   void Push(T value) {
     Node* node = new Node(std::move(value));
+    size_.fetch_add(1, std::memory_order_relaxed);
     PushNode(node);
   }
 
@@ -73,6 +75,7 @@ class MpscQueue {
       tail_ = following;
       out = std::move(tail->value);
       delete tail;
+      size_.fetch_sub(1, std::memory_order_relaxed);
       return true;
     }
     // tail is the last visible node: re-append the stub so the producer
@@ -86,9 +89,18 @@ class MpscQueue {
       tail_ = following;
       out = std::move(tail->value);
       delete tail;
+      size_.fetch_sub(1, std::memory_order_relaxed);
       return true;
     }
     return false;
+  }
+
+  /// Approximate occupancy: pushes minus successful pops, each counted
+  /// with relaxed atomics.  Advisory — the count may momentarily lead or
+  /// lag the linked structure — but it is exact whenever the queue is
+  /// quiescent, which is all the backpressure gauge needs.
+  std::size_t ApproxSize() const {
+    return size_.load(std::memory_order_relaxed);
   }
 
   /// True when no node is visible to the consumer.  Advisory only (a
@@ -140,6 +152,7 @@ class MpscQueue {
   std::atomic<Node*> head_;
   Node* tail_;
   Node stub_;
+  std::atomic<std::size_t> size_{0};
 };
 
 }  // namespace tdmd::shard

@@ -1,6 +1,7 @@
 #include "shard/sharded_engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #if defined(__linux__)
@@ -15,11 +16,34 @@
 
 namespace tdmd::shard {
 
+namespace {
+
+std::int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* FleetStateName(FleetState state) {
+  switch (state) {
+    case FleetState::kNormal:
+      return "NORMAL";
+    case FleetState::kShardDegraded:
+      return "SHARD_DEGRADED";
+    case FleetState::kRecovering:
+      return "RECOVERING";
+  }
+  return "unknown";
+}
+
 ShardedEngine::ShardedEngine(graph::Digraph network,
                              ShardedEngineOptions options)
     : options_(std::move(options)),
       network_(std::move(network)),
-      partition_(PartitionGraph(network_, options_.partition)) {
+      partition_(PartitionGraph(network_, options_.partition)),
+      shed_alert_(options_.shed_alert) {
   const std::size_t n = partition_.num_shards;
   TDMD_CHECK_MSG(options_.total_budget >= n,
                  "fleet budget " << options_.total_budget
@@ -59,6 +83,13 @@ ShardedEngine::ShardedEngine(graph::Digraph network,
   for (auto& worker : workers_) {
     Worker* w = worker.get();
     w->thread = std::thread([this, w] { WorkerLoop(*w); });
+  }
+  if (options_.supervise) {
+    // Seed every guard with the fresh-engine state so a shard that
+    // crashes before the first cadence capture still recovers (replaying
+    // its whole history from the redo ring).
+    guards_.resize(n);
+    CaptureCheckpoints();
   }
 }
 
@@ -102,15 +133,53 @@ void ShardedEngine::WorkerLoop(Worker& worker) {
       continue;
     }
     const bool stop = command.kind == Command::Kind::kStop;
-    if (!stop) ProcessCommand(worker, command);
-    CompleteCommand();
+    if (!stop) {
+      worker.busy_since_ns.store(NowNs(), std::memory_order_release);
+      if (options_.supervise) {
+        try {
+          ProcessCommand(worker, command);
+        } catch (const faults::FaultInjectedError&) {
+          // Worker abort under supervision: drop the engine (its state
+          // may be torn mid-batch), tombstone the shard, and keep
+          // draining the queue so the coordinator never deadlocks on
+          // outstanding commands.  The supervisor recovers us from the
+          // last good checkpoint + redo ring.
+          worker.engine.reset();
+          worker.tickets.clear();
+          worker.crashed.store(true, std::memory_order_release);
+        }
+      } else {
+        // Unsupervised fleets keep the PR 7 contract: an injected worker
+        // fault propagates and takes the process down.
+        ProcessCommand(worker, command);
+      }
+      worker.busy_since_ns.store(0, std::memory_order_release);
+    }
+    CompleteCommand(worker);
     if (stop) return;
   }
 }
 
 void ShardedEngine::ProcessCommand(Worker& worker, Command& command) {
+  if (worker.crashed.load(std::memory_order_relaxed) &&
+      command.kind != Command::Kind::kRestore) {
+    // Quarantined: the engine is gone.  Discard the command (the redo
+    // ring holds the mutating ones for replay) but satisfy round outputs
+    // with neutral values so coordinator rounds stay well-defined.
+    if (command.probe_out != nullptr) command.probe_out->clear();
+    if (command.cert_out != nullptr) *command.cert_out = 0.0;
+    return;
+  }
   switch (command.kind) {
     case Command::Kind::kBatch: {
+      if (worker.injector != nullptr) {
+        // Shard-layer fault hooks, visited once per batch: a kDelay at
+        // queue-drain models a stalled consumer; a kThrow at
+        // shard-worker models a worker abort (caught in WorkerLoop under
+        // supervision).
+        worker.injector->MaybeInject(faults::FaultSite::kQueueDrain);
+        worker.injector->MaybeInject(faults::FaultSite::kShardWorker);
+      }
       std::vector<engine::FlowTicket> departures;
       departures.reserve(command.departure_ids.size());
       for (FlowId64 id : command.departure_ids) {
@@ -122,8 +191,10 @@ void ShardedEngine::ProcessCommand(Worker& worker, Command& command) {
         departures.push_back(it->second);
         worker.tickets.erase(it);
       }
+      engine::Engine::SubmitOptions submit;
+      submit.defer_resolve = command.shed;
       const engine::Engine::BatchResult result =
-          worker.engine->SubmitBatch(command.arrivals, departures);
+          worker.engine->SubmitBatch(command.arrivals, departures, submit);
       TDMD_CHECK(result.tickets.size() == command.arrival_ids.size());
       for (std::size_t i = 0; i < result.tickets.size(); ++i) {
         worker.tickets.emplace(command.arrival_ids[i], result.tickets[i]);
@@ -147,28 +218,55 @@ void ShardedEngine::ProcessCommand(Worker& worker, Command& command) {
       // even split — so rebuild the engine with the checkpointed budget.
       engine::EngineOptions opts = worker.base_options;
       opts.k = payload.checkpoint.k;
-      graph::Digraph net = worker.engine->index().network();
+      // The coordinator's network_ copy is immutable after construction,
+      // so reading it here is safe from the worker thread — and it is
+      // the only copy left when a crashed worker (engine == nullptr) is
+      // being revived.
       worker.engine.reset();
-      worker.engine =
-          std::make_unique<engine::Engine>(std::move(net), opts);
+      worker.engine = std::make_unique<engine::Engine>(network_, opts);
       worker.engine->Restore(payload.checkpoint);
       worker.base_options.k = opts.k;
       worker.tickets.clear();
       worker.tickets.insert(payload.tickets.begin(), payload.tickets.end());
+      // Revival: a restore is exactly how quarantine ends.
+      worker.crashed.store(false, std::memory_order_release);
       break;
     }
+    case Command::Kind::kCrash:
+      // Deterministic crash drill: identical failure path to an injected
+      // worker abort (caught in WorkerLoop, engine dropped, tombstoned).
+      throw faults::FaultInjectedError("injected shard crash (crash drill)");
     case Command::Kind::kStop:
       break;  // handled by the loop
   }
 }
 
 void ShardedEngine::RouteCommand(std::size_t shard, Command command) {
+  if (options_.supervise && !replaying_ &&
+      (command.kind == Command::Kind::kBatch ||
+       command.kind == Command::Kind::kSetBudget)) {
+    // Record every mutating command (including realloc kicks and shed
+    // batches) before it leaves the coordinator: the redo ring must hold
+    // exactly what was routed after the last capture, in order.
+    RedoEntry entry;
+    entry.kind = command.kind;
+    entry.epoch = command.epoch;
+    entry.shed = command.shed;
+    entry.arrivals = command.arrivals;
+    entry.arrival_ids = command.arrival_ids;
+    entry.departure_ids = command.departure_ids;
+    entry.budget = command.budget;
+    ShardGuard& guard = guards_[shard];
+    guard.ring.push_back(std::move(entry));
+    if (guard.ring.size() > options_.redo_ring_capacity) capture_due_ = true;
+  }
   {
     MutexLock lock(done_mu_);
     ++outstanding_;
   }
   ++stats_.commands_routed;
   Worker& worker = *workers_[shard];
+  worker.inflight.fetch_add(1, std::memory_order_acq_rel);
   worker.queue.Push(std::move(command));
   if (worker.parked.load(std::memory_order_seq_cst)) {
     // Taking park_mu here (only on the parked edge) closes the race with
@@ -178,10 +276,15 @@ void ShardedEngine::RouteCommand(std::size_t shard, Command command) {
   }
 }
 
-void ShardedEngine::CompleteCommand() {
+void ShardedEngine::CompleteCommand(Worker& worker) {
+  worker.inflight.fetch_sub(1, std::memory_order_acq_rel);
   MutexLock lock(done_mu_);
   TDMD_CHECK_MSG(outstanding_ > 0, "command completion underflow");
-  if (--outstanding_ == 0) done_cv_.NotifyAll();
+  --outstanding_;
+  // Every completion notifies: Drain() waits for outstanding_ == 0, but
+  // a backpressured SubmitBatch waits only for one shard's inflight to
+  // dip below the high-water mark.
+  done_cv_.NotifyAll();
 }
 
 void ShardedEngine::Drain() {
@@ -194,6 +297,10 @@ void ShardedEngine::Drain() {
 ShardedEngine::BatchResult ShardedEngine::SubmitBatch(
     const traffic::FlowSet& arrivals,
     const std::vector<FlowId64>& departures) {
+  // Supervision tick first (recover any quarantined shard), then a
+  // cadence capture while the fleet is still consistent with epoch_.
+  Supervise();
+  MaybeCaptureCheckpoints();
   ++epoch_;
   ++stats_.epochs;
   const std::size_t n = workers_.size();
@@ -227,6 +334,8 @@ ShardedEngine::BatchResult ShardedEngine::SubmitBatch(
     touched[s] = true;
   }
 
+  std::size_t epoch_events = 0;
+  std::size_t epoch_shed_events = 0;
   for (std::size_t s = 0; s < n; ++s) {
     if (!touched[s]) {
       // The empty-batch skip: an untouched shard pays nothing this epoch
@@ -236,11 +345,52 @@ ShardedEngine::BatchResult ShardedEngine::SubmitBatch(
     }
     commands[s].kind = Command::Kind::kBatch;
     commands[s].epoch = epoch_;
+    const std::size_t events =
+        commands[s].arrivals.size() + commands[s].departure_ids.size();
+    epoch_events += events;
+    if (ApplyBackpressure(s, commands[s])) {
+      commands[s].shed = true;
+      ++stats_.shed_batches;
+      stats_.shed_events += events;
+      epoch_shed_events += events;
+    }
     RouteCommand(s, std::move(commands[s]));
   }
+  // One shed-rate sample per epoch (shed fraction of this epoch's
+  // events) drives the overload alert; epochs without events score 0 so
+  // the CUSUM drains during lulls.
+  shed_alert_.Push(epoch_events == 0
+                       ? 0.0
+                       : static_cast<double>(epoch_shed_events) /
+                             static_cast<double>(epoch_events));
 
   MaybeReallocateBudgets();
   return result;
+}
+
+bool ShardedEngine::ApplyBackpressure(std::size_t shard,
+                                      const Command& command) {
+  (void)command;
+  if (options_.queue_depth == 0) return false;
+  Worker& worker = *workers_[shard];
+  if (worker.inflight.load(std::memory_order_acquire) <
+      options_.queue_depth) {
+    return false;
+  }
+  // Saturated: block (bounded) for the shard to drain below the
+  // high-water mark.  A crashed shard "drains" instantly — its tombstone
+  // loop discards commands — so the predicate also watches the
+  // quarantine flag to avoid stalling the whole fleet on a dead shard.
+  ++stats_.backpressure_waits;
+  MutexLock lock(done_mu_);
+  const bool headroom = done_cv_.WaitFor(
+      done_mu_, options_.backpressure_deadline,
+      [this, &worker]() TDMD_REQUIRES(done_mu_) {
+        return worker.inflight.load(std::memory_order_acquire) <
+                   options_.queue_depth ||
+               worker.crashed.load(std::memory_order_acquire);
+      });
+  return !headroom;
 }
 
 std::vector<std::size_t> ShardedEngine::AllocateFromCurves(
@@ -286,6 +436,12 @@ void ShardedEngine::MaybeReallocateBudgets() {
   const std::size_t n = workers_.size();
   if (n <= 1 || options_.realloc_interval_epochs == 0) return;
   if (epoch_ % options_.realloc_interval_epochs != 0) return;
+  ReallocateBudgetsNow();
+}
+
+void ShardedEngine::ReallocateBudgetsNow() {
+  const std::size_t n = workers_.size();
+  if (n <= 1) return;
   ++stats_.realloc_rounds;
   Drain();
 
@@ -347,8 +503,151 @@ void ShardedEngine::MaybeReallocateBudgets() {
   Drain();
 }
 
-FleetSnapshot ShardedEngine::Snapshot() {
+void ShardedEngine::SetFleetState(FleetState state) {
+  if (state == fleet_state_) return;
+  fleet_state_ = state;
+  ++stats_.state_transitions;
+}
+
+void ShardedEngine::Supervise() {
+  if (!options_.supervise) return;
+  bool any_unhealthy = false;
+  for (std::size_t s = 0; s < workers_.size(); ++s) {
+    Worker& worker = *workers_[s];
+    if (worker.crashed.load(std::memory_order_acquire)) {
+      RecoverShard(s);
+      if (worker.crashed.load(std::memory_order_acquire)) {
+        // Recovery itself hit a fault (the redo replay re-crashed the
+        // worker); stay quarantined and retry on the next tick.
+        any_unhealthy = true;
+      }
+      continue;
+    }
+    const std::int64_t busy =
+        worker.busy_since_ns.load(std::memory_order_acquire);
+    const std::int64_t timeout_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            options_.stall_timeout)
+            .count();
+    if (busy != 0 && NowNs() - busy >= timeout_ns) {
+      // Stalled, not dead: the engine is intact, so the episode is
+      // flagged (SHARD_DEGRADED) and waited out rather than killed.
+      if (!worker.stall_flagged) {
+        worker.stall_flagged = true;
+        ++stats_.stalls_detected;
+      }
+      any_unhealthy = true;
+    } else {
+      worker.stall_flagged = false;
+    }
+  }
+  SetFleetState(any_unhealthy ? FleetState::kShardDegraded
+                              : FleetState::kNormal);
+}
+
+void ShardedEngine::RecoverShard(std::size_t shard) {
+  Worker& worker = *workers_[shard];
+  ++stats_.crashes_detected;
+  SetFleetState(FleetState::kShardDegraded);
+  const std::int64_t start_ns = NowNs();
+  // Quiesce: the tombstoned worker keeps completing (and discarding)
+  // whatever is still queued, so this cannot hang on the dead shard.
   Drain();
+  SetFleetState(FleetState::kRecovering);
+
+  // Respawn from the last good checkpoint...
+  ShardGuard& guard = guards_[shard];
+  Command restore;
+  restore.kind = Command::Kind::kRestore;
+  restore.restore = std::make_shared<Command::RestorePayload>();
+  restore.restore->checkpoint = guard.checkpoint;
+  restore.restore->tickets = guard.tickets;
+  RouteCommand(shard, std::move(restore));
+
+  // ...then replay everything routed since, in original order.  The
+  // entries stay in the ring (replay must not consume them: if the
+  // replay itself crashes, the next recovery attempt needs them again);
+  // they are pruned by the next capture.
+  replaying_ = true;
+  for (const RedoEntry& entry : guard.ring) {
+    Command command;
+    command.kind = entry.kind;
+    command.epoch = entry.epoch;
+    command.shed = entry.shed;
+    command.arrivals = entry.arrivals;
+    command.arrival_ids = entry.arrival_ids;
+    command.departure_ids = entry.departure_ids;
+    command.budget = entry.budget;
+    RouteCommand(shard, std::move(command));
+    ++stats_.redo_replayed;
+  }
+  replaying_ = false;
+  Drain();
+
+  if (worker.crashed.load(std::memory_order_acquire)) return;  // re-crashed
+  stats_.last_recovery_ns = static_cast<std::uint64_t>(NowNs() - start_ns);
+  ++stats_.recoveries_completed;
+  worker.stall_flagged = false;
+  // Re-enter the budget-reallocation round: the fleet may have moved
+  // budget while this shard was down, and the recovered shard's curve
+  // belongs back in the merge.  Cadence-independent but respects the
+  // realloc-disabled configuration.
+  if (options_.realloc_interval_epochs != 0) ReallocateBudgetsNow();
+  SetFleetState(FleetState::kNormal);
+}
+
+void ShardedEngine::MaybeCaptureCheckpoints() {
+  if (!options_.supervise) return;
+  const std::uint64_t interval =
+      options_.supervisor_checkpoint_interval_epochs;
+  if (!capture_due_ &&
+      (interval == 0 || epoch_ - last_capture_epoch_ < interval)) {
+    return;
+  }
+  CaptureCheckpoints();
+}
+
+void ShardedEngine::CaptureCheckpoints() {
+  Drain();
+  for (std::size_t s = 0; s < workers_.size(); ++s) {
+    Worker& worker = *workers_[s];
+    if (worker.crashed.load(std::memory_order_acquire)) {
+      // Quarantined shards keep their previous guard (and its ring):
+      // capture resumes once recovery succeeds.
+      continue;
+    }
+    // Quiesced handoff (rule 3): after Drain the coordinator is the
+    // engines' client thread.
+    ShardGuard& guard = guards_[s];
+    guard.checkpoint = worker.engine->Checkpoint();
+    guard.tickets.assign(worker.tickets.begin(), worker.tickets.end());
+    guard.ring.clear();
+    ++stats_.supervisor_checkpoints;
+  }
+  last_capture_epoch_ = epoch_;
+  capture_due_ = false;
+}
+
+void ShardedEngine::CrashShard(std::size_t shard) {
+  TDMD_CHECK_MSG(options_.supervise,
+                 "CrashShard is a supervised-fleet drill; enable "
+                 "ShardedEngineOptions::supervise");
+  TDMD_CHECK_MSG(shard < workers_.size(), "CrashShard: no such shard");
+  Command crash;
+  crash.kind = Command::Kind::kCrash;
+  crash.epoch = epoch_;
+  RouteCommand(shard, std::move(crash));
+}
+
+FleetSnapshot ShardedEngine::Snapshot() {
+  // Quiesce BEFORE the supervision tick: an injected worker abort only
+  // materializes when the worker actually dequeues the poisoned command,
+  // which on a saturated (or single-core) host may not happen until the
+  // coordinator blocks right here.  Supervise-then-Drain would read the
+  // quarantined hole without recovering it; Drain-then-Supervise sees
+  // every crash caused by commands routed so far.
+  Drain();
+  Supervise();
   // Certificate refresh round: churn deferral inflates each shard's
   // running bound by every arrival since its last re-solve, so the
   // summed fleet certificate would drift looser than a single engine's.
@@ -356,6 +655,9 @@ FleetSnapshot ShardedEngine::Snapshot() {
   // shard workers) replaces the inflated bounds with exact ones.
   std::vector<Bandwidth> fresh_certs(workers_.size(), 0.0);
   for (std::size_t s = 0; s < workers_.size(); ++s) {
+    // A persistently failing shard (recovery re-crashed on this tick) has
+    // no engine to certify; its status below reports crashed = true.
+    if (workers_[s]->engine == nullptr) continue;
     if (workers_[s]->engine->index().active_flows() == 0) continue;
     Command certify;
     certify.kind = Command::Kind::kCertify;
@@ -366,12 +668,24 @@ FleetSnapshot ShardedEngine::Snapshot() {
 
   FleetSnapshot snapshot;
   snapshot.epoch = epoch_;
+  snapshot.state = fleet_state_;
   snapshot.deployment = core::Deployment(network_.num_vertices());
   snapshot.cert_valid = true;
   snapshot.shards.reserve(workers_.size());
 
   traffic::FlowSet all_flows;
   for (std::size_t s = 0; s < workers_.size(); ++s) {
+    if (workers_[s]->engine == nullptr) {
+      // Still quarantined: report the hole instead of dereferencing it.
+      ShardStatus status;
+      status.budget = shard_budget_[s];
+      status.quarantined = true;
+      status.redo_ring = options_.supervise ? guards_[s].ring.size() : 0;
+      snapshot.cert_valid = false;
+      snapshot.feasible = false;
+      snapshot.shards.push_back(std::move(status));
+      continue;
+    }
     // Quiesced handoff (rule 3 in the header): after Drain the
     // coordinator is the engines' client thread.
     const engine::Engine& eng = *workers_[s]->engine;
@@ -387,6 +701,9 @@ FleetSnapshot ShardedEngine::Snapshot() {
     status.mode = stats.mode;
     status.epochs = stats.epochs;
     status.active_flows = eng.index().active_flows();
+    status.queue_occupancy = workers_[s]->queue.ApproxSize();
+    status.redo_ring = options_.supervise ? guards_[s].ring.size() : 0;
+    status.quarantined = false;
 
     // Empty shard: contributes decrement 0 and the zero bound is exact;
     // otherwise the fresh bound from this snapshot's certify round.
@@ -432,6 +749,10 @@ obs::MetricsRegistry ShardedEngine::Metrics() {
   std::vector<engine::EngineStats> per_shard;
   per_shard.reserve(workers_.size());
   for (const auto& worker : workers_) {
+    if (worker->engine == nullptr) {
+      per_shard.emplace_back();  // quarantined shard: zero counters
+      continue;
+    }
     per_shard.push_back(worker->engine->stats());
     const engine::EngineHistograms h = worker->engine->histograms();
     merged.patch_ns.Merge(h.patch_ns);
@@ -485,6 +806,52 @@ obs::MetricsRegistry ShardedEngine::Metrics() {
                     "split-conditional fleet optimality bound (sum of "
                     "per-shard certified bounds)");
 
+  // --- survivability (DESIGN.md Section 14) ---------------------------
+  registry.AddCounter(
+      "tdmd_fleet_state", static_cast<std::uint64_t>(snapshot.state),
+      "supervisor state machine (0 NORMAL, 1 SHARD_DEGRADED, "
+      "2 RECOVERING)");
+  registry.AddCounter("tdmd_fleet_state_transitions",
+                      stats_.state_transitions,
+                      "fleet state machine edges");
+  registry.AddCounter("tdmd_fleet_crashes_detected",
+                      stats_.crashes_detected,
+                      "crashed shards detected by the supervisor");
+  registry.AddCounter("tdmd_fleet_stalls_detected", stats_.stalls_detected,
+                      "worker stall episodes past stall_timeout");
+  registry.AddCounter("tdmd_fleet_recoveries_completed",
+                      stats_.recoveries_completed,
+                      "shard recoveries (restore + redo replay) completed");
+  registry.AddCounter("tdmd_fleet_redo_replayed", stats_.redo_replayed,
+                      "commands replayed from redo rings during recovery");
+  registry.AddCounter("tdmd_fleet_supervisor_checkpoints",
+                      stats_.supervisor_checkpoints,
+                      "per-shard recovery checkpoints captured");
+  registry.AddGauge("tdmd_fleet_last_recovery_seconds",
+                    static_cast<double>(stats_.last_recovery_ns) * 1e-9,
+                    "wall time of the most recent completed recovery");
+  registry.AddCounter("tdmd_fleet_shed_batches", stats_.shed_batches,
+                      "batches shed to deferred-re-solve admission");
+  registry.AddCounter("tdmd_fleet_shed_events", stats_.shed_events,
+                      "arrivals+departures carried by shed batches");
+  registry.AddCounter("tdmd_fleet_backpressure_waits",
+                      stats_.backpressure_waits,
+                      "batches that blocked at a queue high-water mark");
+  registry.AddCounter("tdmd_fleet_queue_depth_limit", options_.queue_depth,
+                      "configured per-shard queue high-water mark "
+                      "(0 unbounded)");
+  registry.AddCounter("tdmd_fleet_shed_alert_active",
+                      shed_alert_.active() ? 1 : 0,
+                      "1 while the shed-rate CUSUM alert is raised");
+  registry.AddCounter("tdmd_fleet_shed_alerts_raised",
+                      shed_alert_.raised_total(),
+                      "shed-rate alert raise edges");
+  registry.AddCounter("tdmd_fleet_shed_alerts_cleared",
+                      shed_alert_.cleared_total(),
+                      "shed-rate alert clear edges");
+  registry.AddGauge("tdmd_fleet_shed_cusum", shed_alert_.value(),
+                    "one-sided CUSUM over the per-epoch shed fraction");
+
   registry.AddHistogramNs("tdmd_fleet_patch", merged.patch_ns,
                           "merged per-shard feasibility patch latency");
   registry.AddHistogramNs("tdmd_fleet_resolve", merged.resolve_ns,
@@ -517,6 +884,13 @@ obs::MetricsRegistry ShardedEngine::Metrics() {
                       "shard-local bandwidth over owned flows");
     registry.AddGauge(prefix + "cert_bound", status.cert_bound,
                       "shard-local certified optimality bound");
+    registry.AddCounter(prefix + "queue_depth", status.queue_occupancy,
+                        "approximate command-queue occupancy (0 when "
+                        "drained)");
+    registry.AddCounter(prefix + "redo_ring", status.redo_ring,
+                        "commands held in this shard's redo ring");
+    registry.AddCounter(prefix + "crashed", status.quarantined ? 1 : 0,
+                        "1 while this shard is quarantined");
   }
   return registry;
 }
@@ -526,7 +900,11 @@ void ShardedEngine::DumpMetrics(std::ostream& os, obs::MetricsFormat format) {
 }
 
 FleetCheckpoint ShardedEngine::Checkpoint() {
+  // Quiesce, then recover any quarantined shard: a crash materializes
+  // only when the worker dequeues the poisoned command (possibly during
+  // this very Drain), and a checkpoint must cover every shard's engine.
   Drain();
+  Supervise();
   FleetCheckpoint checkpoint;
   checkpoint.num_shards = workers_.size();
   checkpoint.method = partition_.method;
@@ -537,6 +915,10 @@ FleetCheckpoint ShardedEngine::Checkpoint() {
   checkpoint.engines.reserve(workers_.size());
   for (std::size_t s = 0; s < workers_.size(); ++s) {
     const Worker& worker = *workers_[s];
+    TDMD_CHECK_MSG(worker.engine != nullptr,
+                   "cannot checkpoint: shard "
+                       << s << " is quarantined and its recovery keeps "
+                       << "re-crashing");
     for (const auto& [id, ticket] : worker.tickets) {
       checkpoint.flows.push_back(FleetCheckpoint::FlowEntry{
           id, static_cast<std::uint32_t>(s), ticket});
@@ -598,6 +980,9 @@ void ShardedEngine::Restore(const FleetCheckpoint& checkpoint) {
     RouteCommand(s, std::move(restore));
   }
   Drain();
+  // Re-seed the recovery guards from the restored state so a crash right
+  // after Restore replays from this checkpoint, not the empty fleet.
+  if (options_.supervise) CaptureCheckpoints();
 }
 
 }  // namespace tdmd::shard

@@ -43,10 +43,28 @@
 //      directly.  Rule 2 is what makes this sound; Snapshot/Metrics/
 //      Checkpoint all drain first.
 // Like Engine, all ShardedEngine methods are single-client-thread.
+//
+// Survivability (DESIGN.md Section 14).  With supervise on, the
+// coordinator doubles as the fleet supervisor: it heartbeats workers at
+// every client-thread entry point (SubmitBatch / Snapshot / Checkpoint /
+// Metrics), detects a crashed shard (its worker caught a fault, dropped
+// its engine, and tombstoned itself) or a stalled one (busy past
+// stall_timeout), quarantines it — routed commands are discarded but
+// recorded — and respawns the engine from the last good per-shard
+// checkpoint, replaying everything since from a bounded per-shard redo
+// ring.  Replay correctness rests on engine determinism: a synchronous
+// engine restored from a checkpoint and fed the same command sequence
+// issues the same tickets and reaches byte-identical state.  Bounded
+// queues add the overload posture: past queue_depth the coordinator
+// blocks with a deadline, then sheds the batch to deferred-re-solve
+// admission (arrivals applied, CELF deferred), metering the shed rate
+// through an obs::RateCusum alert.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <deque>
 #include <iosfwd>
 #include <memory>
 #include <thread>
@@ -61,6 +79,7 @@
 #include "faults/faults.hpp"
 #include "graph/digraph.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "shard/mpsc_queue.hpp"
 #include "shard/partition.hpp"
 #include "traffic/flow.hpp"
@@ -100,7 +119,47 @@ struct ShardedEngineOptions {
   /// decorrelated but each is individually replay-deterministic.
   bool inject_faults = false;
   faults::FaultSpec fault_spec;
+
+  // --- survivability (DESIGN.md Section 14) ---------------------------
+  /// Supervise the fleet: capture per-shard recovery checkpoints, record
+  /// routed commands in redo rings, and auto-recover crashed shards.  A
+  /// worker that catches a FaultInjectedError tombstones itself instead
+  /// of taking the process down (without supervision the fault
+  /// propagates, the PR 7 behavior).
+  bool supervise = false;
+  /// Capture a fresh per-shard recovery checkpoint every this many fleet
+  /// epochs (0 = only at construction/Restore).  Shorter intervals bound
+  /// redo-replay work; longer ones bound capture overhead.
+  std::uint64_t supervisor_checkpoint_interval_epochs = 16;
+  /// Redo-ring high-water mark: exceeding it forces a capture at the
+  /// next epoch boundary, so replay work stays bounded even when the
+  /// capture cadence is long.
+  std::size_t redo_ring_capacity = 64;
+  /// A worker busy on one command for longer than this is reported
+  /// stalled (fleet state SHARD_DEGRADED); stalls are waited out, not
+  /// killed — only a crash loses the engine.
+  std::chrono::milliseconds stall_timeout{1000};
+  /// Per-shard queue high-water mark; 0 = unbounded (no backpressure,
+  /// no shedding).
+  std::size_t queue_depth = 0;
+  /// How long SubmitBatch blocks for a saturated shard to drain below
+  /// queue_depth before shedding the batch to deferred-re-solve
+  /// admission.
+  std::chrono::milliseconds backpressure_deadline{20};
+  /// Shed-rate alert (one-sided CUSUM over the per-epoch shed fraction).
+  obs::RateCusumOptions shed_alert;
 };
+
+/// Fleet health state machine: NORMAL -> SHARD_DEGRADED (a shard is
+/// crashed or stalled) -> RECOVERING (a quarantined shard is being
+/// respawned and replayed) -> NORMAL.
+enum class FleetState : std::uint8_t {
+  kNormal = 0,
+  kShardDegraded = 1,
+  kRecovering = 2,
+};
+
+const char* FleetStateName(FleetState state);
 
 /// Per-shard slice of a FleetSnapshot.
 struct ShardStatus {
@@ -115,6 +174,13 @@ struct ShardStatus {
   std::size_t active_flows = 0;
   bool cert_valid = false;
   double cert_bound = 0.0;
+  /// Approximate command-queue occupancy at snapshot time (exact when
+  /// drained, which Snapshot() guarantees — so normally 0).
+  std::size_t queue_occupancy = 0;
+  /// Commands waiting in this shard's redo ring (replayed on recovery).
+  std::size_t redo_ring = 0;
+  /// True while the shard is quarantined (engine lost, recovery pending).
+  bool quarantined = false;
 };
 
 /// Fleet-level state at a drained instant.
@@ -137,6 +203,8 @@ struct FleetSnapshot {
   /// Worst (most degraded) mode across shards — the fleet DEGRADED
   /// aggregation rule: the fleet is only as healthy as its sickest shard.
   engine::EngineMode mode = engine::EngineMode::kNormal;
+  /// Supervisor state machine (kNormal when supervision is off).
+  FleetState state = FleetState::kNormal;
   std::vector<ShardStatus> shards;
 };
 
@@ -152,6 +220,30 @@ struct FleetStats {
   std::uint64_t realloc_adoptions = 0;
   /// Total boxes moved between shards by adopted reallocations.
   std::uint64_t budget_moves = 0;
+
+  // --- survivability -------------------------------------------------
+  /// Batches shed to deferred-re-solve admission past the backpressure
+  /// deadline.
+  std::uint64_t shed_batches = 0;
+  /// Arrivals + departures carried by shed batches (all admitted; only
+  /// their re-solves were deferred).
+  std::uint64_t shed_events = 0;
+  /// Batches that blocked at a shard's queue high-water mark.
+  std::uint64_t backpressure_waits = 0;
+  /// Crashed shards detected by the supervisor.
+  std::uint64_t crashes_detected = 0;
+  /// Stall episodes (a worker busy past stall_timeout) detected.
+  std::uint64_t stalls_detected = 0;
+  /// Shard recoveries driven to completion (restore + redo replay).
+  std::uint64_t recoveries_completed = 0;
+  /// Commands replayed from redo rings during recoveries.
+  std::uint64_t redo_replayed = 0;
+  /// Per-shard recovery checkpoints captured by the supervisor.
+  std::uint64_t supervisor_checkpoints = 0;
+  /// Fleet state machine edges (NORMAL/SHARD_DEGRADED/RECOVERING).
+  std::uint64_t state_transitions = 0;
+  /// Wall-clock nanoseconds of the most recent completed recovery.
+  std::uint64_t last_recovery_ns = 0;
 };
 
 /// Serializable fleet state: coordinator header plus one embedded
@@ -219,6 +311,24 @@ class ShardedEngine {
   /// Current budget split (coordinator's copy; exact after Drain).
   const std::vector<std::size_t>& budgets() const { return shard_budget_; }
 
+  /// Supervisor state machine (kNormal when supervision is off).
+  FleetState fleet_state() const { return fleet_state_; }
+  /// Shed-rate alert detector (advisory reads; exact after Drain).
+  const obs::RateCusum& shed_alert() const { return shed_alert_; }
+
+  /// One supervision tick: recover crashed shards, flag stalled ones,
+  /// update the fleet state machine.  Runs automatically at the top of
+  /// SubmitBatch / Snapshot / Checkpoint / Metrics; exposed so drills
+  /// and tests can heartbeat without submitting churn.  No-op unless
+  /// options.supervise.
+  void Supervise();
+
+  /// Deterministic crash drill (requires supervise): routes a poison
+  /// command that makes shard `shard`'s worker abort exactly as an
+  /// injected worker fault would — the engine is dropped and the shard
+  /// quarantined until the next supervision tick recovers it.
+  void CrashShard(std::size_t shard);
+
   /// Drains, then captures the complete fleet state.
   FleetCheckpoint Checkpoint();
 
@@ -237,6 +347,7 @@ class ShardedEngine {
       kCertify,
       kSetBudget,
       kRestore,
+      kCrash,
       kStop,
     };
     Kind kind = Kind::kBatch;
@@ -245,6 +356,10 @@ class ShardedEngine {
     traffic::FlowSet arrivals;
     std::vector<FlowId64> arrival_ids;
     std::vector<FlowId64> departure_ids;
+    /// Shed admission: the worker applies the batch with
+    /// Engine::SubmitOptions{defer_resolve = true}.  Recorded in the
+    /// redo ring, so replay reproduces the exact same engine epochs.
+    bool shed = false;
     // kProbe / kCertify / kSetBudget.  probe_out / cert_out are
     // coordinator-owned and stay valid until the Drain() that follows
     // the round.
@@ -276,15 +391,74 @@ class ShardedEngine {
     std::atomic<bool> parked{false};
     Mutex park_mu;
     CondVar park_cv;
+    /// Quarantine flag: set by the worker when it catches a fault under
+    /// supervision (release), read by the coordinator (acquire).  While
+    /// set, the worker discards every command except kRestore.
+    std::atomic<bool> crashed{false};
+    /// Commands routed but not yet completed on this shard — the
+    /// backpressure gauge (incremented at route, decremented at
+    /// completion).
+    std::atomic<std::size_t> inflight{0};
+    /// steady_clock ns when the worker began its current command; 0 when
+    /// idle.  The supervisor's stall detector compares against it.
+    std::atomic<std::int64_t> busy_since_ns{0};
+    /// Coordinator-side edge detector so one stall episode counts once.
+    bool stall_flagged = false;
     std::thread thread;
+  };
+
+  /// One redo-ring record: everything needed to re-route a mutating
+  /// command (kBatch or kSetBudget) to a freshly restored engine, in the
+  /// original order.  Invariant: the ring holds exactly the mutating
+  /// commands routed after the shard's last captured checkpoint, so
+  /// capture-state + ring-replay == live-state for a deterministic
+  /// (synchronous) engine.
+  struct RedoEntry {
+    Command::Kind kind = Command::Kind::kBatch;
+    std::uint64_t epoch = 0;
+    bool shed = false;
+    traffic::FlowSet arrivals;
+    std::vector<FlowId64> arrival_ids;
+    std::vector<FlowId64> departure_ids;
+    std::size_t budget = 0;
+  };
+
+  /// Per-shard recovery state (client-thread only): the last good
+  /// checkpoint block plus the redo ring of commands routed since.
+  struct ShardGuard {
+    engine::EngineCheckpoint checkpoint;
+    std::vector<std::pair<FlowId64, engine::FlowTicket>> tickets;
+    std::deque<RedoEntry> ring;
   };
 
   void WorkerLoop(Worker& worker);
   void ProcessCommand(Worker& worker, Command& command);
   /// Increments outstanding_ and enqueues; wakes the worker if parked.
+  /// Under supervision also records mutating commands in the shard's
+  /// redo ring (unless replaying).
   void RouteCommand(std::size_t shard, Command command)
       TDMD_EXCLUDES(done_mu_);
-  void CompleteCommand() TDMD_EXCLUDES(done_mu_);
+  void CompleteCommand(Worker& worker) TDMD_EXCLUDES(done_mu_);
+
+  // --- supervisor internals (client thread) ---------------------------
+  void SetFleetState(FleetState state);
+  /// Quarantined-shard recovery: drain, restore the last good checkpoint
+  /// onto a rebuilt engine, replay the redo ring, re-enter the budget
+  /// reallocation round.
+  void RecoverShard(std::size_t shard);
+  /// Captures fresh recovery checkpoints when the cadence or a full redo
+  /// ring calls for it.
+  void MaybeCaptureCheckpoints();
+  /// Drains, then snapshots every healthy shard's engine + tickets into
+  /// its guard and clears its redo ring.
+  void CaptureCheckpoints();
+  /// Blocks (bounded) for shard headroom, then marks the batch shed.
+  /// Returns true when the batch must be shed.
+  bool ApplyBackpressure(std::size_t shard, const Command& command)
+      TDMD_EXCLUDES(done_mu_);
+  /// The probe/merge/adopt round of MaybeReallocateBudgets, unguarded by
+  /// the epoch cadence (recovery re-enters it directly).
+  void ReallocateBudgetsNow();
 
   /// Every realloc_interval_epochs: drain, probe curves, CelfQueue-merge,
   /// hysteresis-adopt.
@@ -305,6 +479,18 @@ class ShardedEngine {
   std::unordered_map<FlowId64, std::uint32_t> flow_owner_;
   std::vector<std::size_t> shard_budget_;
   FleetStats stats_;
+
+  // --- supervisor state (client thread) -------------------------------
+  FleetState fleet_state_ = FleetState::kNormal;
+  std::vector<ShardGuard> guards_;
+  std::uint64_t last_capture_epoch_ = 0;
+  /// Set when any redo ring exceeds redo_ring_capacity; forces a capture
+  /// at the next epoch boundary.
+  bool capture_due_ = false;
+  /// True while RecoverShard replays a redo ring, so replayed commands
+  /// are not re-recorded.
+  bool replaying_ = false;
+  obs::RateCusum shed_alert_;
 
   /// Commands routed but not yet completed by their worker.  The
   /// release/acquire on done_mu_ is the worker->coordinator visibility

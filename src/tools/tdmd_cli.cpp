@@ -347,6 +347,11 @@ struct ShardedServeParams {
   std::string checkpoint_out;
   std::string restore;
   std::string metrics_out;
+  bool supervise = false;
+  std::size_t queue_depth = 0;
+  int backpressure_deadline_ms = 20;
+  std::size_t kill_shard_at = 0;  // 1-based epoch; 0 = never
+  std::size_t kill_shard = 0;
 };
 
 int ServeTraceSharded(const core::Instance& inst,
@@ -363,6 +368,11 @@ int ServeTraceSharded(const core::Instance& inst,
   options.engine.lambda = inst.lambda();
   options.engine.move_threshold = params.move_threshold;
   options.engine.resolve_churn_fraction = params.resolve_churn_fraction;
+  // --kill-shard-at is a supervised crash drill; it implies --supervise.
+  options.supervise = params.supervise || params.kill_shard_at != 0;
+  options.queue_depth = params.queue_depth;
+  options.backpressure_deadline =
+      std::chrono::milliseconds(params.backpressure_deadline_ms);
   if (params.fault_seed != 0) {
     options.inject_faults = true;
     faults::FaultSpec spec;
@@ -374,6 +384,16 @@ int ServeTraceSharded(const core::Instance& inst,
     round.delay_probability = params.fault_delay_p;
     round.delay = std::chrono::milliseconds(params.fault_delay_ms);
     round.cancel_probability = params.fault_cancel_p;
+    if (options.supervise) {
+      // Supervised fleets also draw shard-layer faults: worker aborts
+      // (recovered automatically) and queue-drain stalls (flagged as
+      // SHARD_DEGRADED, fed to the backpressure path).
+      spec.at(faults::FaultSite::kShardWorker).throw_probability =
+          params.fault_throw_p;
+      faults::SiteSpec& drain = spec.at(faults::FaultSite::kQueueDrain);
+      drain.delay_probability = params.fault_delay_p;
+      drain.delay = std::chrono::milliseconds(params.fault_delay_ms);
+    }
     options.fault_spec = spec;
   }
   shard::ShardedEngine fleet(inst.network(), options);
@@ -430,6 +450,13 @@ int ServeTraceSharded(const core::Instance& inst,
          ++it) {
       active.erase(active.begin() + static_cast<std::ptrdiff_t>(*it));
     }
+    if (params.kill_shard_at != 0 &&
+        epochs_served + 1 == params.kill_shard_at) {
+      const std::size_t victim = params.kill_shard % params.shards;
+      std::printf("epoch %3zu  crash drill: killing shard %zu\n",
+                  epochs_served + 1, victim);
+      fleet.CrashShard(victim);
+    }
     const shard::ShardedEngine::BatchResult batch =
         fleet.SubmitBatch(epoch.arrivals, departing);
     active.insert(active.end(), batch.flow_ids.begin(),
@@ -469,6 +496,23 @@ int ServeTraceSharded(const core::Instance& inst,
               static_cast<unsigned long long>(stats.realloc_rounds),
               static_cast<unsigned long long>(stats.realloc_adoptions),
               static_cast<unsigned long long>(stats.budget_moves));
+  if (options.supervise || options.queue_depth > 0) {
+    std::printf("survive    : state %s, %llu crashes, %llu stalls, "
+                "%llu recoveries (last %.1f ms), %llu redo replayed\n",
+                shard::FleetStateName(fleet.fleet_state()),
+                static_cast<unsigned long long>(stats.crashes_detected),
+                static_cast<unsigned long long>(stats.stalls_detected),
+                static_cast<unsigned long long>(stats.recoveries_completed),
+                static_cast<double>(stats.last_recovery_ns) * 1e-6,
+                static_cast<unsigned long long>(stats.redo_replayed));
+    std::printf("overload   : %llu batches shed (%llu events), "
+                "%llu backpressure waits, shed alert %s (cusum %.3f)\n",
+                static_cast<unsigned long long>(stats.shed_batches),
+                static_cast<unsigned long long>(stats.shed_events),
+                static_cast<unsigned long long>(stats.backpressure_waits),
+                fleet.shed_alert().active() ? "ACTIVE" : "clear",
+                fleet.shed_alert().value());
+  }
   if (params.checkpoint_every > 0) write_checkpoint();
 
   if (!params.metrics_out.empty()) {
@@ -555,6 +599,25 @@ int ServeTrace(int argc, char** argv) {
       "restore", "",
       "restore the engine from this checkpoint instead of replaying the "
       "instance's flow set as a prefill batch");
+  const auto* supervise = parser.AddBool(
+      "supervise", false,
+      "with --shards>1: heartbeat the shard workers, quarantine crashed "
+      "or stalled shards and auto-recover them from per-shard recovery "
+      "checkpoints plus redo-ring replay (DESIGN.md Section 14)");
+  const auto* queue_depth = parser.AddInt(
+      "queue-depth", 0,
+      "with --shards>1: per-shard command-queue high-water mark; past it "
+      "SubmitBatch blocks briefly, then sheds the batch to deferred-"
+      "re-solve admission (0 = unbounded, never shed)");
+  const auto* backpressure_deadline_ms = parser.AddInt(
+      "backpressure-deadline-ms", 20,
+      "how long a full queue blocks the submitter before shedding");
+  const auto* kill_shard_at = parser.AddInt(
+      "kill-shard-at", 0,
+      "crash drill: inject a shard crash just before serving this epoch "
+      "(1-based; 0 = never; implies --supervise)");
+  const auto* kill_shard = parser.AddInt(
+      "kill-shard", 0, "which shard --kill-shard-at crashes");
   const auto* metrics_out = parser.AddString(
       "metrics-out", "",
       "write final engine metrics (counters + latency quantiles) as "
@@ -598,6 +661,11 @@ int ServeTrace(int argc, char** argv) {
     params.checkpoint_out = *checkpoint_out;
     params.restore = *restore;
     params.metrics_out = *metrics_out;
+    params.supervise = *supervise;
+    params.queue_depth = static_cast<std::size_t>(*queue_depth);
+    params.backpressure_deadline_ms = *backpressure_deadline_ms;
+    params.kill_shard_at = static_cast<std::size_t>(*kill_shard_at);
+    params.kill_shard = static_cast<std::size_t>(*kill_shard);
     return ServeTraceSharded(inst, params);
   }
 
@@ -694,11 +762,12 @@ int ServeTrace(int argc, char** argv) {
       active.size(), static_cast<std::uint64_t>(*seed));
 
   const auto write_checkpoint = [&]() {
-    const engine::EngineCheckpoint cp = eng.Checkpoint();
-    if (!io::WriteFile(*checkpoint_out, [&](std::ostream& os) {
-          io::WriteEngineCheckpoint(os, cp);
-        })) {
-      Die("cannot write " + *checkpoint_out);
+    // File-level writer: atomic temp+rename plus a CRC trailer, so a
+    // crash mid-write can never leave a torn checkpoint behind.
+    std::string error;
+    if (!io::WriteEngineCheckpointFile(*checkpoint_out, eng.Checkpoint(),
+                                       {}, nullptr, &error)) {
+      Die("cannot write " + *checkpoint_out + ": " + error);
     }
   };
 

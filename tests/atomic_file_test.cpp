@@ -1,0 +1,151 @@
+// io::AtomicFileWriter and the CRC trailer (DESIGN.md Section 14.1):
+// checksummed, atomically-renamed file writes, verified reads that
+// reject torn or corrupted files, and the injected crash-point that
+// proves a failure mid-write never touches the destination.
+#include "io/atomic_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "faults/faults.hpp"
+
+namespace tdmd::io {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  // Pid-qualified so parallel ctest processes never share a scratch file.
+  return ::testing::TempDir() + "/" + std::to_string(::getpid()) + "_" +
+         name;
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+bool Exists(const std::string& path) {
+  std::ifstream is(path);
+  return is.good();
+}
+
+TEST(Crc32Test, KnownAnswer) {
+  // The standard CRC-32 check value: crc32("123456789") = 0xCBF43926.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0x00000000u);
+}
+
+TEST(AtomicFileTest, WritesContentAndRemovesTemp) {
+  const std::string path = TempPath("atomic_plain.txt");
+  std::string error;
+  ASSERT_TRUE(WriteFileAtomic(
+      path, [](std::ostream& os) { os << "hello\nworld\n"; }, {}, &error))
+      << error;
+  EXPECT_EQ(Slurp(path), "hello\nworld\n");
+  EXPECT_FALSE(Exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFileTest, CrcTrailerRoundTrip) {
+  const std::string path = TempPath("atomic_crc.txt");
+  AtomicWriteOptions options;
+  options.crc_trailer = true;
+  ASSERT_TRUE(WriteFileAtomic(
+      path, [](std::ostream& os) { os << "payload line\n"; }, options));
+
+  const VerifiedPayload verified = ReadFileVerified(path);
+  ASSERT_TRUE(verified.ok()) << verified.error;
+  EXPECT_EQ(verified.payload, "payload line\n");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFileTest, TruncationAlwaysRejected) {
+  const std::string path = TempPath("atomic_trunc.txt");
+  AtomicWriteOptions options;
+  options.crc_trailer = true;
+  ASSERT_TRUE(WriteFileAtomic(
+      path,
+      [](std::ostream& os) { os << "line one\nline two\nline three\n"; },
+      options));
+  const std::string full = Slurp(path);
+
+  // Every proper prefix must fail verification: a shorter file either
+  // loses the trailer entirely or breaks the declared byte count.
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(full.data(), static_cast<std::streamsize>(len));
+    os.close();
+    const VerifiedPayload verified = ReadFileVerified(path);
+    EXPECT_FALSE(verified.ok()) << "prefix of " << len << " bytes passed";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFileTest, BitFlipAlwaysRejected) {
+  const std::string path = TempPath("atomic_flip.txt");
+  AtomicWriteOptions options;
+  options.crc_trailer = true;
+  ASSERT_TRUE(WriteFileAtomic(
+      path, [](std::ostream& os) { os << "stable payload bytes\n"; },
+      options));
+  const std::string full = Slurp(path);
+
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    std::string corrupt = full;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x01);
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << corrupt;
+    os.close();
+    const VerifiedPayload verified = ReadFileVerified(path);
+    EXPECT_FALSE(verified.ok()) << "bit flip at byte " << i << " passed";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFileTest, MissingTrailerRejected) {
+  const std::string path = TempPath("atomic_notrailer.txt");
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os << "just a payload, no trailer\n";
+  os.close();
+  const VerifiedPayload verified = ReadFileVerified(path);
+  EXPECT_FALSE(verified.ok());
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFileTest, InjectedCrashLeavesDestinationUntouched) {
+  const std::string path = TempPath("atomic_crash.txt");
+  AtomicWriteOptions options;
+  options.crc_trailer = true;
+  ASSERT_TRUE(WriteFileAtomic(
+      path, [](std::ostream& os) { os << "good checkpoint\n"; }, options));
+  const std::string before = Slurp(path);
+
+  // A crash between opening the temp file and the rename (the
+  // checkpoint-write fault site) must leave the destination byte-
+  // identical and verifiable; only a torn .tmp may remain.
+  faults::FaultSpec spec;
+  spec.seed = 7;
+  spec.at(faults::FaultSite::kCheckpointWrite).throw_probability = 1.0;
+  faults::FaultInjector injector(spec);
+  options.fault_injector = &injector;
+  std::string error;
+  EXPECT_FALSE(WriteFileAtomic(
+      path, [](std::ostream& os) { os << "newer checkpoint\n"; }, options,
+      &error));
+  EXPECT_FALSE(error.empty());
+
+  EXPECT_EQ(Slurp(path), before);
+  EXPECT_TRUE(ReadFileVerified(path).ok());
+  std::remove((path + ".tmp").c_str());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tdmd::io
