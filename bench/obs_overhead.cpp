@@ -9,6 +9,13 @@
 // an overhead; the budget is overhead_fraction < 0.05 per epoch
 // (DESIGN.md Section 10.4).
 //
+// A second, sharded leg replays the regionalized shard workload through
+// a traced vs untraced 4-shard ShardedEngine (the fleet path adds the
+// causal batch-id flow events of DESIGN.md Section 15 on top of the
+// engine spans), with the same min-of-repeats discipline and the same
+// 5% budget, so BENCH_obs.json records the tracing overhead of both
+// serving paths.
+//
 // Emits BENCH_obs.json (wall times, overhead_fraction, trace volume) for
 // the CI artifact.  --max-overhead turns the budget into a hard gate for
 // local runs (exit 1 when exceeded); CI uploads the artifact instead of
@@ -23,6 +30,7 @@
 #include "engine/engine.hpp"
 #include "obs/trace.hpp"
 #include "scenario.hpp"
+#include "shard/sharded_engine.hpp"
 
 namespace tdmd::bench {
 namespace {
@@ -51,6 +59,46 @@ double ReplayMs(const ChurnWorkload& w,
     wall_ms += static_cast<double>(obs::MonotonicNanos() - start_ns) / 1e6;
     active.insert(active.end(), batch.tickets.begin(),
                   batch.tickets.end());
+  }
+  return wall_ms;
+}
+
+/// Churn-phase wall time of one 4-shard fleet replay over the
+/// regionalized workload (prefill is warm-up, Drain per epoch so the
+/// measured time is honest ingest latency, not queue pipelining).
+double ShardReplayMs(const ShardWorkload& w, std::size_t shards,
+                     std::size_t k, double lambda) {
+  shard::ShardedEngineOptions options;
+  options.partition.num_shards = shards;
+  options.partition.method = shard::PartitionMethod::kBfs;
+  options.partition.seeds = w.hubs;
+  options.total_budget = k;
+  options.engine.lambda = lambda;
+  options.engine.move_threshold = 0.0;
+  options.realloc_interval_epochs = 0;
+  options.pin_threads = false;
+  shard::ShardedEngine fleet(w.network, options);
+  std::vector<shard::FlowId64> active =
+      fleet.SubmitBatch(w.prefill, {}).flow_ids;
+  fleet.Drain();
+  double wall_ms = 0.0;
+  for (const ShardEpoch& epoch : w.epochs) {
+    std::vector<shard::FlowId64> departing;
+    departing.reserve(epoch.departures.size());
+    for (std::size_t position : epoch.departures) {
+      departing.push_back(active[position]);
+    }
+    for (auto it = epoch.departures.rbegin();
+         it != epoch.departures.rend(); ++it) {
+      active.erase(active.begin() + static_cast<std::ptrdiff_t>(*it));
+    }
+    const std::uint64_t start_ns = obs::MonotonicNanos();
+    const shard::ShardedEngine::BatchResult batch =
+        fleet.SubmitBatch(epoch.arrivals, departing);
+    fleet.Drain();
+    wall_ms += static_cast<double>(obs::MonotonicNanos() - start_ns) / 1e6;
+    active.insert(active.end(), batch.flow_ids.begin(),
+                  batch.flow_ids.end());
   }
   return wall_ms;
 }
@@ -94,8 +142,43 @@ void Run(VertexId size, std::size_t flows, std::size_t epochs,
     }
   }
 
+  // Sharded leg: same alternating min-of-repeats discipline over the
+  // regionalized fleet workload (8 hub regions, 4 shards).
+  constexpr std::size_t kShards = 4;
+  const ShardWorkload shard_workload =
+      BuildShardWorkload(size, flows, epochs, /*regions=*/8, seed);
+  double sharded_untraced_ms = 0.0;
+  double sharded_traced_ms = 0.0;
+  std::size_t sharded_trace_events = 0;
+  std::uint64_t sharded_trace_dropped = 0;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    for (int leg = 0; leg < 2; ++leg) {
+      const bool traced = (leg == 0) == (r % 2 == 0);
+      if (traced) {
+        obs::Tracer tracer;
+        obs::InstallTracer(&tracer);
+        const double ms = ShardReplayMs(shard_workload, kShards, k, lambda);
+        obs::InstallTracer(nullptr);
+        const obs::TraceDrainResult drained = tracer.Drain();
+        sharded_trace_events = drained.events.size();
+        sharded_trace_dropped = drained.dropped;
+        sharded_traced_ms =
+            sharded_traced_ms == 0.0 ? ms : std::min(sharded_traced_ms, ms);
+      } else {
+        const double ms = ShardReplayMs(shard_workload, kShards, k, lambda);
+        sharded_untraced_ms = sharded_untraced_ms == 0.0
+                                  ? ms
+                                  : std::min(sharded_untraced_ms, ms);
+      }
+    }
+  }
+
   const double overhead =
       untraced_ms > 0.0 ? traced_ms / untraced_ms - 1.0 : 0.0;
+  const double sharded_overhead =
+      sharded_untraced_ms > 0.0
+          ? sharded_traced_ms / sharded_untraced_ms - 1.0
+          : 0.0;
   std::cout << "obs_overhead: " << flows << " prefill flows, " << epochs
             << " epochs, k=" << k << ", seed=" << seed << ", repeats="
             << repeats << "\n"
@@ -103,7 +186,13 @@ void Run(VertexId size, std::size_t flows, std::size_t epochs,
             << ")\n"
             << "  traced    " << traced_ms << " ms (" << trace_events
             << " events, " << trace_dropped << " dropped)\n"
-            << "  overhead  " << overhead * 100.0 << "%\n";
+            << "  overhead  " << overhead * 100.0 << "%\n"
+            << "  sharded untraced  " << sharded_untraced_ms << " ms ("
+            << kShards << " shards)\n"
+            << "  sharded traced    " << sharded_traced_ms << " ms ("
+            << sharded_trace_events << " events, " << sharded_trace_dropped
+            << " dropped)\n"
+            << "  sharded overhead  " << sharded_overhead * 100.0 << "%\n";
 
   if (!json_out.empty()) {
     std::ofstream out(json_out);
@@ -124,10 +213,21 @@ void Run(VertexId size, std::size_t flows, std::size_t epochs,
       json.Field("overhead_budget", 0.05);
       json.Field("trace_events", trace_events);
       json.Field("trace_dropped", trace_dropped);
+      json.Field("sharded_shards", kShards);
+      json.Field("sharded_untraced_wall_ms", sharded_untraced_ms);
+      json.Field("sharded_traced_wall_ms", sharded_traced_ms);
+      json.Field("sharded_overhead_fraction", sharded_overhead);
+      json.Field("sharded_trace_events", sharded_trace_events);
+      json.Field("sharded_trace_dropped", sharded_trace_dropped);
     }
   }
   if (max_overhead > 0.0 && overhead > max_overhead) {
     std::cerr << "obs_overhead: overhead " << overhead
+              << " exceeds --max-overhead " << max_overhead << "\n";
+    std::exit(1);
+  }
+  if (max_overhead > 0.0 && sharded_overhead > max_overhead) {
+    std::cerr << "obs_overhead: sharded overhead " << sharded_overhead
               << " exceeds --max-overhead " << max_overhead << "\n";
     std::exit(1);
   }

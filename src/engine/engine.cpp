@@ -127,7 +127,10 @@ Engine::BatchResult Engine::SubmitBatch(
     const std::vector<FlowTicket>& departures, const SubmitOptions& submit) {
   BatchResult result;
   obs::ScopedSpan epoch_span(obs::TracePhase::kEpoch);
+  epoch_span.set_batch(submit.batch_id);
   MutexLock lock(state_mu_);
+  current_batch_id_ = submit.batch_id;
+  last_adoption_ns_ = 0;
 
   // NORMAL: a newer epoch makes the in-flight re-solve stale, so cancel
   // it cooperatively before touching the index.  The degraded modes keep
@@ -195,6 +198,7 @@ Engine::BatchResult Engine::SubmitBatch(
 
   {
     obs::ScopedSpan patch_span(obs::TracePhase::kPatch);
+    patch_span.set_batch(submit.batch_id);
     obs::ScopedHistogramTimer patch_timer(&histograms_.patch_ns);
     result.patch_boxes = PatchFeasibilityLocked();
     if (result.patch_boxes > 0) {
@@ -207,6 +211,7 @@ Engine::BatchResult Engine::SubmitBatch(
     patch_span.set_arg(result.patch_boxes);
   }
   PublishLocked();
+  result.patched_ns = obs::MonotonicNanos();
 
   // Shed admission defers the re-solve outright: the epoch's churn has
   // been applied and published above, and pending_churn_ carries the
@@ -233,6 +238,17 @@ Engine::BatchResult Engine::SubmitBatch(
       ScheduleResolveLocked();
     }
   }
+  // The batch's last published-state advance: a synchronous adoption when
+  // one landed inside this call, otherwise the patch publish.  Fleet runs
+  // mark it with a batch-adopted instant so the merged trace closes each
+  // batch's causal chain.
+  result.adopted_ns =
+      last_adoption_ns_ != 0 ? last_adoption_ns_ : result.patched_ns;
+  if (submit.batch_id != 0) {
+    obs::TraceInstant(obs::TracePhase::kBatchAdopted, epoch_,
+                      submit.batch_id);
+  }
+  current_batch_id_ = 0;
   return result;
 }
 
@@ -421,7 +437,9 @@ void Engine::MaybeAdoptLocked(const IncrementalGtpResult& result,
     ++stats_.adoptions;
     if (expired) ++stats_.resolves_expired_adopted;
     stats_.middlebox_moves += moves;
-    obs::TraceInstant(obs::TracePhase::kAdoption, moves);
+    last_adoption_ns_ = obs::MonotonicNanos();
+    obs::TraceInstant(obs::TracePhase::kAdoption, moves,
+                      current_batch_id_);
     if (options_.quality_sampling) {
       // The adopted deployment replaces the attribution ledger wholesale:
       // chosen_gains[i] is the CELF marginal of deployment.vertices()[i]
@@ -602,6 +620,7 @@ void Engine::ScheduleResolveLocked() {
       {
         obs::ScopedSpan solve_span(obs::TracePhase::kResolveAttempt,
                                    attempt);
+        solve_span.set_batch(current_batch_id_);
         obs::ScopedHistogramTimer solve_timer(&histograms_.resolve_ns);
         try {
           result = SolveIncrementalGtp(index_, solve_options);
@@ -869,11 +888,12 @@ obs::MetricsRegistry Engine::Metrics() const {
     registry.AddGauge("tdmd_quality_cusum", quality.cusum,
                       "one-sided CUSUM statistic on the quality gap");
   }
-  if (obs::Tracer* tracer = obs::CurrentTracer(); tracer != nullptr) {
-    registry.AddCounter(
-        "tdmd_trace_dropped_total", tracer->DroppedTotal(),
-        "trace events overwritten in per-thread rings before draining");
-  }
+  // TraceDropTotal falls back to the total latched at the last tracer
+  // uninstall, so a post-run scrape still reports the real drop count
+  // instead of silently reading zero.
+  registry.AddCounter(
+      "tdmd_trace_dropped_total", obs::TraceDropTotal(),
+      "trace events overwritten in per-thread rings before draining");
   return registry;
 }
 

@@ -300,6 +300,13 @@ class Engine {
     std::vector<FlowTicket> tickets;
     /// Middleboxes added by the synchronous feasibility patch.
     std::size_t patch_boxes = 0;
+    /// Stage clocks for the fleet's end-to-end latency pipeline, in
+    /// obs::MonotonicNanos() time: when the synchronous patch published
+    /// its snapshot, and when the last published-state advance of this
+    /// call landed (a resolve adoption when one happened inside the call,
+    /// otherwise the patch publish itself).  Zero until the batch runs.
+    std::uint64_t patched_ns = 0;
+    std::uint64_t adopted_ns = 0;
   };
 
   // Public entry points carry TDMD_EXCLUDES(state_mu_): calling back into
@@ -316,6 +323,13 @@ class Engine {
     /// epoch's cadence check sees the deferred work.  Equivalent to a
     /// PATCH_ONLY epoch without a mode transition.
     bool defer_resolve = false;
+    /// Fleet-wide causal batch id stamped by the shard coordinator (0 =
+    /// standalone engine, no binding).  Threaded onto this epoch's trace
+    /// spans (epoch, patch, resolve-attempt, adoption, batch-adopted) so
+    /// the merged fleet trace reconstructs one connected
+    /// submit -> dequeue -> patch -> adopt chain per batch (DESIGN.md
+    /// Section 15).
+    std::uint64_t batch_id = 0;
   };
 
   /// Applies one epoch of churn: departures (stale tickets are counted
@@ -536,6 +550,14 @@ class Engine {
   /// departed tickets are filtered out lazily by the patch.
   std::vector<FlowTicket> uncovered_ TDMD_GUARDED_BY(state_mu_);
   std::uint64_t epoch_ TDMD_GUARDED_BY(state_mu_) = 0;
+  /// Fleet batch id of the in-progress SubmitBatch (0 outside a stamped
+  /// batch); MaybeAdoptLocked and the synchronous re-solve path read it
+  /// to bind their trace events to the batch that caused them.
+  std::uint64_t current_batch_id_ TDMD_GUARDED_BY(state_mu_) = 0;
+  /// When the in-progress SubmitBatch adopted a re-solve, the
+  /// MonotonicNanos() adoption time (0 otherwise); feeds
+  /// BatchResult::adopted_ns.
+  std::uint64_t last_adoption_ns_ TDMD_GUARDED_BY(state_mu_) = 0;
   std::shared_ptr<std::atomic<bool>> current_cancel_
       TDMD_GUARDED_BY(state_mu_);
   Inflight inflight_ TDMD_GUARDED_BY(state_mu_);

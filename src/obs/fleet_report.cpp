@@ -1,0 +1,268 @@
+#include "obs/fleet_report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <istream>
+#include <iterator>
+#include <map>
+#include <ostream>
+
+#include "obs/trace_report.hpp"
+
+namespace tdmd::obs {
+
+namespace {
+
+using internal::FindNumberField;
+using internal::FindStringField;
+using internal::NextArrayObject;
+
+FleetReport Fail(const std::string& error) {
+  FleetReport report;
+  report.error = error;
+  return report;
+}
+
+// One shard's slice of a batch chain, keyed by emitting thread: the
+// queue-dwell span carries the shard id in its arg, and the engine events
+// that follow (patch, batch-adopted) land on the same worker thread.
+struct ShardChain {
+  bool has_dwell = false;
+  std::uint64_t shard = 0;
+  double dwell_us = 0.0;
+  double dwell_end_us = 0.0;  // dequeue instant
+  bool has_patch = false;
+  double patch_end_us = 0.0;
+  bool has_adopt = false;
+  double adopt_us = 0.0;  // last adoption (replay may re-adopt later)
+};
+
+struct BatchChain {
+  bool has_submit = false;
+  double submit_us = 0.0;
+  std::map<double, ShardChain> by_tid;
+};
+
+/// Exact quantile of an ascending-sorted sample: the ceil(q*n)-th value.
+double Quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+}  // namespace
+
+FleetReport BuildFleetReport(std::istream& is) {
+  const std::string text((std::istreambuf_iterator<char>(is)),
+                         std::istreambuf_iterator<char>());
+  const std::size_t events_key = text.find("\"traceEvents\"");
+  if (events_key == std::string::npos) {
+    return Fail("no \"traceEvents\" key — not a Chrome trace JSON file");
+  }
+  std::size_t pos = text.find('[', events_key);
+  if (pos == std::string::npos) {
+    return Fail("\"traceEvents\" is not followed by an array");
+  }
+  ++pos;
+
+  FleetReport report;
+  std::map<std::uint64_t, BatchChain> chains;
+
+  for (;;) {
+    std::string object;
+    bool done = false;
+    if (!NextArrayObject(text, &pos, &object, &done)) {
+      return Fail("malformed traceEvents array (unbalanced object)");
+    }
+    if (done) break;
+    std::string name;
+    std::string ph;
+    double ts = 0.0;
+    if (!FindStringField(object, "name", &name) ||
+        !FindStringField(object, "ph", &ph) ||
+        !FindNumberField(object, "ts", &ts)) {
+      return Fail("trace event missing name/ph/ts: " + object);
+    }
+    double dur = 0.0;
+    if (ph == "X" && !FindNumberField(object, "dur", &dur)) {
+      return Fail("complete event missing dur: " + object);
+    }
+    ++report.num_events;
+
+    if (name == "shard-recovery") ++report.recoveries;
+    if (name == "shed-batch") ++report.shed_batches;
+
+    // Flow records ("name":"batch") carry no args.batch and fall out here
+    // along with every unbound event.
+    double batch_d = 0.0;
+    if (!FindNumberField(object, "batch", &batch_d) || batch_d <= 0.0) {
+      continue;
+    }
+    const auto batch = static_cast<std::uint64_t>(batch_d);
+    double tid = 0.0;
+    FindNumberField(object, "tid", &tid);
+
+    BatchChain& chain = chains[batch];
+    if (name == "fleet-submit") {
+      chain.has_submit = true;
+      chain.submit_us = ts;
+      continue;
+    }
+    ShardChain& shard_chain = chain.by_tid[tid];
+    if (name == "queue-dwell") {
+      double arg = 0.0;
+      FindNumberField(object, "arg", &arg);
+      shard_chain.has_dwell = true;
+      shard_chain.shard = static_cast<std::uint64_t>(arg);
+      shard_chain.dwell_us += dur;
+      shard_chain.dwell_end_us = std::max(shard_chain.dwell_end_us, ts + dur);
+    } else if (name == "patch") {
+      shard_chain.has_patch = true;
+      shard_chain.patch_end_us = std::max(shard_chain.patch_end_us, ts + dur);
+    } else if (name == "batch-adopted") {
+      shard_chain.has_adopt = true;
+      shard_chain.adopt_us = std::max(shard_chain.adopt_us, ts);
+    }
+  }
+
+  if (report.num_events == 0) {
+    return Fail("trace contains no events");
+  }
+  if (chains.empty()) {
+    return Fail(
+        "trace contains no fleet-submit spans — not a fleet trace "
+        "(single-engine traces go to trace-report)");
+  }
+
+  std::map<std::uint64_t, FleetShardRow> shard_rows;
+  std::vector<double> e2e_us;
+  double dwell_total_us = 0.0;
+  double e2e_total_us = 0.0;
+  for (const auto& [batch, chain] : chains) {
+    ++report.batches;
+    // Connected = a complete chain exists and nothing dangles: at least
+    // one thread carries dwell + patch + adoption, and every thread that
+    // dequeued the batch also adopted it (a dwell without an adoption
+    // means the work was lost to a crash or a truncated capture).
+    const ShardChain* straggler = nullptr;
+    bool dangling = false;
+    bool any_patch = false;
+    for (const auto& [tid, sc] : chain.by_tid) {
+      if (sc.has_dwell) {
+        FleetShardRow& row = shard_rows[sc.shard];
+        row.shard = sc.shard;
+        ++row.batches;
+        row.dwell_us += sc.dwell_us;
+      }
+      if (sc.has_dwell && !sc.has_adopt) dangling = true;
+      if (sc.has_patch) any_patch = true;
+      if (sc.has_dwell && sc.has_adopt &&
+          (straggler == nullptr || sc.adopt_us > straggler->adopt_us)) {
+        straggler = &sc;
+      }
+    }
+    if (!chain.has_submit || straggler == nullptr || dangling ||
+        !any_patch) {
+      if (report.disconnected_ids.size() < kMaxDisconnectedIds) {
+        report.disconnected_ids.push_back(batch);
+      }
+      continue;
+    }
+    ++report.connected;
+    ++shard_rows[straggler->shard].stragglers;
+
+    // Critical path through the straggler shard.  A chain whose patch
+    // span is missing or out of order degrades gracefully: the patch leg
+    // absorbs up to the adoption instant and the adopt leg reads 0.
+    const double e2e = std::max(0.0, straggler->adopt_us - chain.submit_us);
+    const double submit_dequeue =
+        std::max(0.0, straggler->dwell_end_us - chain.submit_us);
+    const double patch_end =
+        straggler->has_patch
+            ? std::min(std::max(straggler->patch_end_us,
+                                straggler->dwell_end_us),
+                       straggler->adopt_us)
+            : straggler->adopt_us;
+    const double dequeue_patch = patch_end - straggler->dwell_end_us;
+    const double patch_adopt = straggler->adopt_us - patch_end;
+    if (submit_dequeue >= dequeue_patch && submit_dequeue >= patch_adopt) {
+      ++report.dominant_submit_dequeue;
+    } else if (dequeue_patch >= patch_adopt) {
+      ++report.dominant_dequeue_patch;
+    } else {
+      ++report.dominant_patch_adopt;
+    }
+    e2e_us.push_back(e2e);
+    e2e_total_us += e2e;
+    dwell_total_us += straggler->dwell_us;
+  }
+
+  std::sort(e2e_us.begin(), e2e_us.end());
+  report.e2e_p50_us = Quantile(e2e_us, 0.50);
+  report.e2e_p99_us = Quantile(e2e_us, 0.99);
+  report.e2e_max_us = e2e_us.empty() ? 0.0 : e2e_us.back();
+  report.dwell_share =
+      e2e_total_us <= 0.0 ? 0.0 : dwell_total_us / e2e_total_us;
+  report.shards.reserve(shard_rows.size());
+  for (const auto& [shard, row] : shard_rows) {
+    report.shards.push_back(row);
+  }
+  report.ok = true;
+  return report;
+}
+
+void WriteFleetReport(std::ostream& os, const FleetReport& report) {
+  char line[200];
+  const double connected_pct =
+      report.batches == 0 ? 0.0
+                          : 100.0 * static_cast<double>(report.connected) /
+                                static_cast<double>(report.batches);
+  std::snprintf(line, sizeof(line),
+                "fleet-trace: %zu events, %llu batches (%llu connected, "
+                "%.1f%%), %llu shed, %llu recoveries\n",
+                report.num_events,
+                static_cast<unsigned long long>(report.batches),
+                static_cast<unsigned long long>(report.connected),
+                connected_pct,
+                static_cast<unsigned long long>(report.shed_batches),
+                static_cast<unsigned long long>(report.recoveries));
+  os << line;
+  std::snprintf(line, sizeof(line),
+                "e2e admission->adoption: p50 %.3f ms  p99 %.3f ms  max "
+                "%.3f ms  queue-dwell share %.1f%%\n",
+                report.e2e_p50_us / 1000.0, report.e2e_p99_us / 1000.0,
+                report.e2e_max_us / 1000.0, report.dwell_share * 100.0);
+  os << line;
+  std::snprintf(
+      line, sizeof(line),
+      "dominant stage: submit->dequeue %llu, dequeue->patch %llu, "
+      "patch->adopt %llu\n",
+      static_cast<unsigned long long>(report.dominant_submit_dequeue),
+      static_cast<unsigned long long>(report.dominant_dequeue_patch),
+      static_cast<unsigned long long>(report.dominant_patch_adopt));
+  os << line;
+  std::snprintf(line, sizeof(line), "%-6s %8s %10s %12s\n", "shard",
+                "batches", "straggler", "dwell_ms");
+  os << line;
+  for (const FleetShardRow& row : report.shards) {
+    std::snprintf(line, sizeof(line), "%-6llu %8llu %10llu %12.3f\n",
+                  static_cast<unsigned long long>(row.shard),
+                  static_cast<unsigned long long>(row.batches),
+                  static_cast<unsigned long long>(row.stragglers),
+                  row.dwell_us / 1000.0);
+    os << line;
+  }
+  if (!report.disconnected_ids.empty()) {
+    os << "disconnected batch ids:";
+    for (const std::uint64_t id : report.disconnected_ids) {
+      std::snprintf(line, sizeof(line), " %llu",
+                    static_cast<unsigned long long>(id));
+      os << line;
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace tdmd::obs

@@ -6,6 +6,8 @@
 #include <atomic>
 #include <iomanip>
 #include <ostream>
+#include <unordered_map>
+#include <utility>
 
 namespace tdmd::obs {
 
@@ -62,6 +64,16 @@ const char* TracePhaseName(TracePhase phase) {
       return "quality-sample";
     case TracePhase::kQualityAlert:
       return "quality-alert";
+    case TracePhase::kFleetSubmit:
+      return "fleet-submit";
+    case TracePhase::kQueueDwell:
+      return "queue-dwell";
+    case TracePhase::kBatchAdopted:
+      return "batch-adopted";
+    case TracePhase::kShardRecovery:
+      return "shard-recovery";
+    case TracePhase::kShedBatch:
+      return "shed-batch";
   }
   return "unknown";
 }
@@ -98,7 +110,8 @@ Tracer::Ring& Tracer::ThreadRing() {
 }
 
 void Tracer::Emit(TracePhase phase, bool is_span, std::uint64_t start_ns,
-                  std::uint64_t duration_ns, std::uint64_t arg) {
+                  std::uint64_t duration_ns, std::uint64_t arg,
+                  std::uint64_t batch) {
   Ring& ring = ThreadRing();
   MutexLock lock(ring.mu);
   TraceEvent& slot = ring.events[ring.next];
@@ -108,6 +121,7 @@ void Tracer::Emit(TracePhase phase, bool is_span, std::uint64_t start_ns,
   slot.start_ns = start_ns;
   slot.duration_ns = duration_ns;
   slot.arg = arg;
+  slot.batch = batch;
   ring.next = (ring.next + 1) % ring_capacity_;
   if (ring.size < ring_capacity_) {
     ++ring.size;
@@ -153,12 +167,34 @@ std::uint64_t Tracer::DroppedTotal() {
   return dropped;
 }
 
+namespace {
+
+// Drop total of the last uninstalled tracer, latched by InstallTracer so
+// post-run metrics scrapes keep seeing the real count (a live tracer's
+// counters take precedence in TraceDropTotal).
+std::atomic<std::uint64_t> g_last_drop_total{0};
+
+}  // namespace
+
 void InstallTracer(Tracer* tracer) {
+  if (Tracer* outgoing =
+          g_current_tracer.load(std::memory_order_acquire);
+      outgoing != nullptr && outgoing != tracer) {
+    g_last_drop_total.store(outgoing->DroppedTotal(),
+                            std::memory_order_relaxed);
+  }
   g_current_tracer.store(tracer, std::memory_order_release);
 }
 
 Tracer* CurrentTracer() {
   return g_current_tracer.load(std::memory_order_acquire);
+}
+
+std::uint64_t TraceDropTotal() {
+  if (Tracer* tracer = CurrentTracer(); tracer != nullptr) {
+    return tracer->DroppedTotal();
+  }
+  return g_last_drop_total.load(std::memory_order_relaxed);
 }
 
 namespace {
@@ -174,7 +210,31 @@ void WriteChromeEvent(std::ostream& os, const TraceEvent& event) {
   if (event.is_span) {
     os << ",\"dur\":" << static_cast<double>(event.duration_ns) / 1000.0;
   }
-  os << ",\"args\":{\"arg\":" << event.arg << "}}";
+  os << ",\"args\":{\"arg\":" << event.arg;
+  if (event.batch != 0) {
+    os << ",\"batch\":" << event.batch;
+  }
+  os << "}}";
+}
+
+/// One link of a batch's flow chain.  `ph` is 's' (start) on the batch's
+/// first bound event, 't' (step) in the middle, 'f' (finish) on the last.
+/// The viewer attaches a flow record to whichever slice on (pid, tid)
+/// encloses its timestamp, so spans anchor at their midpoint; the finish
+/// record binds to the enclosing slice ("bp":"e") per the trace_event
+/// spec.  Keep this helper in src/obs: tools/tdmd_lint rule flow-event
+/// bans flow-phase emission anywhere else.
+void WriteChromeFlowEvent(std::ostream& os, const TraceEvent& event,
+                          char ph) {
+  const std::uint64_t anchor_ns =
+      event.start_ns + (event.is_span ? event.duration_ns / 2 : 0);
+  os << "{\"name\":\"batch\",\"cat\":\"batch\",\"ph\":\"" << ph
+     << "\",\"id\":" << event.batch << ",\"pid\":1,\"tid\":" << event.tid
+     << ",\"ts\":" << static_cast<double>(anchor_ns) / 1000.0;
+  if (ph == 'f') {
+    os << ",\"bp\":\"e\"";
+  }
+  os << "}";
 }
 
 }  // namespace
@@ -183,12 +243,28 @@ void WriteChromeTrace(std::ostream& os, const TraceDrainResult& drained) {
   const std::streamsize saved_precision = os.precision();
   const auto saved_flags = os.flags();
   os << std::fixed << std::setprecision(3);
+  // First/last bound event per batch (events arrive time-sorted from
+  // Drain), so each chain opens with "s", steps with "t", closes with "f".
+  std::unordered_map<std::uint64_t, std::pair<std::size_t, std::size_t>>
+      chains;
+  for (std::size_t i = 0; i < drained.events.size(); ++i) {
+    const std::uint64_t batch = drained.events[i].batch;
+    if (batch == 0) continue;
+    auto [it, fresh] = chains.try_emplace(batch, std::make_pair(i, i));
+    if (!fresh) it->second.second = i;
+  }
   os << "{\"traceEvents\":[";
   bool first = true;
-  for (const TraceEvent& event : drained.events) {
+  for (std::size_t i = 0; i < drained.events.size(); ++i) {
+    const TraceEvent& event = drained.events[i];
     os << (first ? "\n" : ",\n");
     first = false;
     WriteChromeEvent(os, event);
+    if (event.batch == 0) continue;
+    const auto& chain = chains.at(event.batch);
+    const char ph = i == chain.first ? 's' : i == chain.second ? 'f' : 't';
+    os << ",\n";
+    WriteChromeFlowEvent(os, event, ph);
   }
   os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":\""
      << drained.dropped << "\"}}\n";
@@ -211,7 +287,11 @@ void WriteTraceLog(std::ostream& os, const TraceDrainResult& drained) {
       os << " dur=" << static_cast<double>(event.duration_ns) / 1000.0
          << "us";
     }
-    os << " arg=" << event.arg << "\n";
+    os << " arg=" << event.arg;
+    if (event.batch != 0) {
+      os << " batch=" << event.batch;
+    }
+    os << "\n";
   }
   os.flags(saved_flags);
   os.precision(saved_precision);

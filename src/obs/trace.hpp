@@ -48,9 +48,18 @@ enum class TracePhase : std::uint8_t {
                     // epoch/ratio, see obs::PackQualitySampleArg)
   kQualityAlert,    // engine: quality alert edge (arg: packed
                     // epoch/kind/raised, see obs::PackQualityAlertArg)
+  kFleetSubmit,     // coordinator: one fleet SubmitBatch routing span
+                    // (arg: touched shards; batch: batch id)
+  kQueueDwell,      // shard worker: route→dequeue MPSC queue dwell
+                    // (arg: shard; batch: batch id)
+  kBatchAdopted,    // engine: published state advanced for a fleet batch
+                    // (arg: epoch; batch: batch id)
+  kShardRecovery,   // coordinator: crashed shard respawned (arg: shard)
+  kShedBatch,       // coordinator: batch admitted shed — re-solve
+                    // deferred (arg: shard; batch: batch id)
 };
 
-inline constexpr std::size_t kNumTracePhases = 16;
+inline constexpr std::size_t kNumTracePhases = 21;
 
 /// Stable dash-separated name used in trace output and reports.
 const char* TracePhaseName(TracePhase phase);
@@ -62,6 +71,11 @@ struct TraceEvent {
   std::uint64_t start_ns = 0;  // steady-clock ns since tracer construction
   std::uint64_t duration_ns = 0;  // 0 for instants
   std::uint64_t arg = 0;  // phase-specific payload (see TracePhase)
+  /// Causal batch id binding this event to one fleet SubmitBatch (0 =
+  /// unbound).  Bound events carry `"batch"` in their Chrome args and a
+  /// shared flow-event chain ("ph":"s"/"t"/"f") so Perfetto draws one
+  /// connected arrow per batch across the coordinator and worker rings.
+  std::uint64_t batch = 0;
 };
 
 struct TraceDrainResult {
@@ -85,9 +99,11 @@ class Tracer {
   std::uint64_t NowNs() const { return MonotonicNanos() - origin_ns_; }
 
   /// Appends one event to the calling thread's ring (overwriting the
-  /// oldest buffered event when full).  Thread-safe.
+  /// oldest buffered event when full).  Thread-safe.  `batch` binds the
+  /// event to a fleet batch for causal flow reconstruction (0 = unbound).
   void Emit(TracePhase phase, bool is_span, std::uint64_t start_ns,
-            std::uint64_t duration_ns, std::uint64_t arg);
+            std::uint64_t duration_ns, std::uint64_t arg,
+            std::uint64_t batch = 0);
 
   /// Collects and clears every ring.  Safe to call concurrently with
   /// emission; concurrent events land in the next drain.
@@ -127,12 +143,20 @@ class Tracer {
 
 /// Installs `tracer` as the process-wide current tracer (nullptr to
 /// disable).  The caller keeps ownership and must respect the lifecycle
-/// contract above.
+/// contract above.  Uninstalling (or replacing) a tracer latches its
+/// cumulative DroppedTotal() into the process-wide last-known drop total,
+/// so TraceDropTotal() keeps answering after the tracer is gone.
 void InstallTracer(Tracer* tracer);
 
 /// The installed tracer, or nullptr.  One atomic load; this is the whole
 /// cost of an instrumentation hook when tracing is off.
 Tracer* CurrentTracer();
+
+/// Cumulative ring-overwrite drop total: the live tracer's DroppedTotal()
+/// while one is installed, otherwise the total latched from the last
+/// uninstalled tracer.  Metrics expositions read this so a post-run
+/// scrape of tdmd_trace_dropped_total does not silently report zero.
+std::uint64_t TraceDropTotal();
 
 /// RAII span: captures the current tracer and start time at construction,
 /// emits a span with the elapsed duration at destruction.  Inert (no clock
@@ -150,29 +174,37 @@ class ScopedSpan {
   ~ScopedSpan() {
     if (tracer_ != nullptr) {
       tracer_->Emit(phase_, /*is_span=*/true, start_ns_,
-                    tracer_->NowNs() - start_ns_, arg_);
+                    tracer_->NowNs() - start_ns_, arg_, batch_);
     }
   }
 
   void set_arg(std::uint64_t arg) { arg_ = arg; }
+  /// Binds the span to a fleet batch (see TraceEvent::batch).
+  void set_batch(std::uint64_t batch) { batch_ = batch; }
 
  private:
   Tracer* tracer_;
   TracePhase phase_;
   std::uint64_t arg_;
+  std::uint64_t batch_ = 0;
   std::uint64_t start_ns_ = 0;
 };
 
 /// Emits a zero-duration instant event; no-op when no tracer is installed.
-inline void TraceInstant(TracePhase phase, std::uint64_t arg = 0) {
+inline void TraceInstant(TracePhase phase, std::uint64_t arg = 0,
+                         std::uint64_t batch = 0) {
   if (Tracer* tracer = CurrentTracer(); tracer != nullptr) {
-    tracer->Emit(phase, /*is_span=*/false, tracer->NowNs(), 0, arg);
+    tracer->Emit(phase, /*is_span=*/false, tracer->NowNs(), 0, arg, batch);
   }
 }
 
 /// Writes events as Chrome trace_event JSON (load in chrome://tracing or
 /// Perfetto): spans as "ph":"X" complete events, instants as "ph":"i",
-/// timestamps in microseconds.
+/// timestamps in microseconds.  Batch-bound events additionally carry
+/// `"batch"` in args and are stitched with flow events — start/step/
+/// finish records sharing id = batch — so the viewer draws one arrow per
+/// batch across threads.  Flow-event emission lives here on purpose:
+/// tools/tdmd_lint bans it outside src/obs (rule flow-event).
 void WriteChromeTrace(std::ostream& os, const TraceDrainResult& drained);
 
 /// Writes events as a compact line-oriented text log.

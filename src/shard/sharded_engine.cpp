@@ -13,6 +13,7 @@
 #include "core/celf.hpp"
 #include "core/instance.hpp"
 #include "core/objective.hpp"
+#include "obs/trace.hpp"
 
 namespace tdmd::shard {
 
@@ -43,7 +44,8 @@ ShardedEngine::ShardedEngine(graph::Digraph network,
     : options_(std::move(options)),
       network_(std::move(network)),
       partition_(PartitionGraph(network_, options_.partition)),
-      shed_alert_(options_.shed_alert) {
+      shed_alert_(options_.shed_alert),
+      e2e_alert_(options_.e2e_alert) {
   const std::size_t n = partition_.num_shards;
   TDMD_CHECK_MSG(options_.total_budget >= n,
                  "fleet budget " << options_.total_budget
@@ -172,6 +174,22 @@ void ShardedEngine::ProcessCommand(Worker& worker, Command& command) {
   }
   switch (command.kind) {
     case Command::Kind::kBatch: {
+      const std::uint64_t dequeue_ns = obs::MonotonicNanos();
+      if (command.batch_id != 0 && command.route_ns != 0) {
+        const std::uint64_t dwell =
+            dequeue_ns > command.route_ns ? dequeue_ns - command.route_ns
+                                          : 0;
+        worker.e2e_submit_dequeue.Record(dwell);
+        if (obs::Tracer* tracer = obs::CurrentTracer();
+            tracer != nullptr) {
+          // The MPSC queue-dwell span, reconstructed backwards: it ends
+          // at this dequeue and started `dwell` ago on the tracer clock.
+          const std::uint64_t now = tracer->NowNs();
+          tracer->Emit(obs::TracePhase::kQueueDwell, /*is_span=*/true,
+                       now > dwell ? now - dwell : 0, dwell, worker.id,
+                       command.batch_id);
+        }
+      }
       if (worker.injector != nullptr) {
         // Shard-layer fault hooks, visited once per batch: a kDelay at
         // queue-drain models a stalled consumer; a kThrow at
@@ -193,11 +211,36 @@ void ShardedEngine::ProcessCommand(Worker& worker, Command& command) {
       }
       engine::Engine::SubmitOptions submit;
       submit.defer_resolve = command.shed;
+      submit.batch_id = command.batch_id;
       const engine::Engine::BatchResult result =
           worker.engine->SubmitBatch(command.arrivals, departures, submit);
       TDMD_CHECK(result.tickets.size() == command.arrival_ids.size());
       for (std::size_t i = 0; i < result.tickets.size(); ++i) {
         worker.tickets.emplace(command.arrival_ids[i], result.tickets[i]);
+      }
+      if (command.batch_id != 0 && command.route_ns != 0) {
+        // Stage clocks share MonotonicNanos' origin, so the differences
+        // below are exact; the guards only defend against an engine that
+        // reported no patch (an all-departures batch reports its publish
+        // time regardless, so in practice they never fire).
+        if (result.patched_ns >= dequeue_ns) {
+          worker.e2e_dequeue_patched.Record(result.patched_ns -
+                                            dequeue_ns);
+        }
+        if (result.adopted_ns >= result.patched_ns) {
+          worker.e2e_patched_adopted.Record(result.adopted_ns -
+                                            result.patched_ns);
+        }
+        const std::uint64_t e2e = result.adopted_ns > command.route_ns
+                                      ? result.adopted_ns - command.route_ns
+                                      : 0;
+        worker.e2e_admission_adoption.Record(e2e);
+        worker.e2e_total.fetch_add(1, std::memory_order_relaxed);
+        const auto slo =
+            static_cast<std::uint64_t>(options_.e2e_slo.count());
+        if (slo != 0 && e2e > slo) {
+          worker.e2e_over_slo.fetch_add(1, std::memory_order_relaxed);
+        }
       }
       break;
     }
@@ -256,9 +299,16 @@ void ShardedEngine::RouteCommand(std::size_t shard, Command command) {
     entry.arrival_ids = command.arrival_ids;
     entry.departure_ids = command.departure_ids;
     entry.budget = command.budget;
+    entry.batch_id = command.batch_id;
     ShardGuard& guard = guards_[shard];
     guard.ring.push_back(std::move(entry));
     if (guard.ring.size() > options_.redo_ring_capacity) capture_due_ = true;
+  }
+  if (!replaying_) {
+    // Admission clock for the e2e stage latencies.  Replayed commands
+    // stay unstamped: their original run already recorded (or lost) its
+    // samples, and re-recording would double-count recovery work.
+    command.route_ns = obs::MonotonicNanos();
   }
   {
     MutexLock lock(done_mu_);
@@ -303,6 +353,13 @@ ShardedEngine::BatchResult ShardedEngine::SubmitBatch(
   MaybeCaptureCheckpoints();
   ++epoch_;
   ++stats_.epochs;
+  // Mint the batch's causal id and open the root span of its flow chain
+  // (DESIGN.md Section 15): every engine/worker span this batch touches
+  // binds the same id, so a merged trace reconstructs one connected
+  // submit -> dequeue -> patch -> adopt arrow per batch.
+  const std::uint64_t batch_id = ++next_batch_id_;
+  obs::ScopedSpan fleet_span(obs::TracePhase::kFleetSubmit);
+  fleet_span.set_batch(batch_id);
   const std::size_t n = workers_.size();
   std::vector<Command> commands(n);
   std::vector<bool> touched(n, false);
@@ -336,6 +393,7 @@ ShardedEngine::BatchResult ShardedEngine::SubmitBatch(
 
   std::size_t epoch_events = 0;
   std::size_t epoch_shed_events = 0;
+  std::size_t shards_touched = 0;
   for (std::size_t s = 0; s < n; ++s) {
     if (!touched[s]) {
       // The empty-batch skip: an untouched shard pays nothing this epoch
@@ -343,8 +401,10 @@ ShardedEngine::BatchResult ShardedEngine::SubmitBatch(
       ++stats_.batches_skipped;
       continue;
     }
+    ++shards_touched;
     commands[s].kind = Command::Kind::kBatch;
     commands[s].epoch = epoch_;
+    commands[s].batch_id = batch_id;
     const std::size_t events =
         commands[s].arrivals.size() + commands[s].departure_ids.size();
     epoch_events += events;
@@ -353,9 +413,11 @@ ShardedEngine::BatchResult ShardedEngine::SubmitBatch(
       ++stats_.shed_batches;
       stats_.shed_events += events;
       epoch_shed_events += events;
+      obs::TraceInstant(obs::TracePhase::kShedBatch, s, batch_id);
     }
     RouteCommand(s, std::move(commands[s]));
   }
+  fleet_span.set_arg(shards_touched);
   // One shed-rate sample per epoch (shed fraction of this epoch's
   // events) drives the overload alert; epochs without events score 0 so
   // the CUSUM drains during lulls.
@@ -363,6 +425,27 @@ ShardedEngine::BatchResult ShardedEngine::SubmitBatch(
                        ? 0.0
                        : static_cast<double>(epoch_shed_events) /
                              static_cast<double>(epoch_events));
+
+  // One SLO-burn sample per epoch: the violation fraction among batch
+  // commands the workers completed since the last sample.  Relaxed reads
+  // of cumulative worker counters — the handshake in rule 2 bounds the
+  // lag to the commands still in flight, which land in the next sample.
+  if (options_.e2e_slo.count() != 0) {
+    std::uint64_t total = 0;
+    std::uint64_t over = 0;
+    for (const auto& worker : workers_) {
+      total += worker->e2e_total.load(std::memory_order_relaxed);
+      over += worker->e2e_over_slo.load(std::memory_order_relaxed);
+    }
+    const std::uint64_t delta_total = total - e2e_seen_total_;
+    const std::uint64_t delta_over = over - e2e_seen_over_;
+    e2e_seen_total_ = total;
+    e2e_seen_over_ = over;
+    e2e_alert_.Push(delta_total == 0
+                        ? 0.0
+                        : static_cast<double>(delta_over) /
+                              static_cast<double>(delta_total));
+  }
 
   MaybeReallocateBudgets();
   return result;
@@ -578,6 +661,10 @@ void ShardedEngine::RecoverShard(std::size_t shard) {
     command.arrival_ids = entry.arrival_ids;
     command.departure_ids = entry.departure_ids;
     command.budget = entry.budget;
+    // Rebind replayed engine work to the original batch id (never mint a
+    // fresh one): the merged trace shows the recovery re-solves hanging
+    // off the batches that first carried the churn.
+    command.batch_id = entry.batch_id;
     RouteCommand(shard, std::move(command));
     ++stats_.redo_replayed;
   }
@@ -585,6 +672,7 @@ void ShardedEngine::RecoverShard(std::size_t shard) {
   Drain();
 
   if (worker.crashed.load(std::memory_order_acquire)) return;  // re-crashed
+  obs::TraceInstant(obs::TracePhase::kShardRecovery, shard);
   stats_.last_recovery_ns = static_cast<std::uint64_t>(NowNs() - start_ns);
   ++stats_.recoveries_completed;
   worker.stall_flagged = false;
@@ -851,6 +939,62 @@ obs::MetricsRegistry ShardedEngine::Metrics() {
                       "shed-rate alert clear edges");
   registry.AddGauge("tdmd_fleet_shed_cusum", shed_alert_.value(),
                     "one-sided CUSUM over the per-epoch shed fraction");
+
+  // --- e2e SLO pipeline (DESIGN.md Section 15) ------------------------
+  // Worker e2e state is read under the quiesced handoff (Snapshot()
+  // above drained).
+  obs::LatencyHistogram e2e_submit_dequeue;
+  obs::LatencyHistogram e2e_dequeue_patched;
+  obs::LatencyHistogram e2e_patched_adopted;
+  obs::LatencyHistogram e2e_admission_adoption;
+  std::uint64_t e2e_total = 0;
+  std::uint64_t e2e_over = 0;
+  for (const auto& worker : workers_) {
+    e2e_submit_dequeue.Merge(worker->e2e_submit_dequeue);
+    e2e_dequeue_patched.Merge(worker->e2e_dequeue_patched);
+    e2e_patched_adopted.Merge(worker->e2e_patched_adopted);
+    e2e_admission_adoption.Merge(worker->e2e_admission_adoption);
+    e2e_total += worker->e2e_total.load(std::memory_order_relaxed);
+    e2e_over += worker->e2e_over_slo.load(std::memory_order_relaxed);
+  }
+  registry.AddHistogramNs("tdmd_fleet_e2e_submit_dequeue",
+                          e2e_submit_dequeue,
+                          "fleet batch submit-to-dequeue (queue dwell) "
+                          "latency");
+  registry.AddHistogramNs("tdmd_fleet_e2e_dequeue_patched",
+                          e2e_dequeue_patched,
+                          "fleet batch dequeue-to-patch-publish latency");
+  registry.AddHistogramNs("tdmd_fleet_e2e_patched_adopted",
+                          e2e_patched_adopted,
+                          "fleet batch patch-publish-to-adoption latency");
+  registry.AddHistogramNs("tdmd_fleet_e2e_admission_adoption",
+                          e2e_admission_adoption,
+                          "fleet batch end-to-end admission-to-adoption "
+                          "latency");
+  registry.AddGauge("tdmd_fleet_e2e_slo_seconds",
+                    static_cast<double>(options_.e2e_slo.count()) * 1e-9,
+                    "configured admission-to-adoption SLO (0 disables the "
+                    "burn detector)");
+  registry.AddCounter("tdmd_fleet_e2e_batches", e2e_total,
+                      "batch commands with e2e stage accounting");
+  registry.AddCounter("tdmd_fleet_e2e_slo_violations", e2e_over,
+                      "batch commands over the admission-to-adoption SLO");
+  registry.AddCounter("tdmd_fleet_e2e_alert_active",
+                      e2e_alert_.active() ? 1 : 0,
+                      "1 while the e2e SLO-burn alert is raised");
+  registry.AddCounter("tdmd_fleet_e2e_alerts_raised",
+                      e2e_alert_.raised_total(),
+                      "e2e SLO-burn alert raise edges");
+  registry.AddCounter("tdmd_fleet_e2e_alerts_cleared",
+                      e2e_alert_.cleared_total(),
+                      "e2e SLO-burn alert clear edges");
+  registry.AddGauge("tdmd_fleet_e2e_cusum", e2e_alert_.value(),
+                    "one-sided CUSUM over the per-epoch e2e SLO violation "
+                    "fraction");
+  // Last-known even after the run's tracer is uninstalled (the latch in
+  // obs::InstallTracer), so post-run scrapes never read a silent zero.
+  registry.AddCounter("tdmd_trace_dropped_total", obs::TraceDropTotal(),
+                      "trace events overwritten by ring wrap-around");
 
   registry.AddHistogramNs("tdmd_fleet_patch", merged.patch_ns,
                           "merged per-shard feasibility patch latency");

@@ -78,6 +78,7 @@
 #include "engine/engine.hpp"
 #include "faults/faults.hpp"
 #include "graph/digraph.hpp"
+#include "obs/histogram.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeseries.hpp"
 #include "shard/mpsc_queue.hpp"
@@ -148,6 +149,15 @@ struct ShardedEngineOptions {
   std::chrono::milliseconds backpressure_deadline{20};
   /// Shed-rate alert (one-sided CUSUM over the per-epoch shed fraction).
   obs::RateCusumOptions shed_alert;
+
+  // --- end-to-end latency SLO (DESIGN.md Section 15) ------------------
+  /// Admission-to-adoption SLO: a batch command whose submit→adopt
+  /// latency exceeds this violates the SLO.  Zero disables the burn
+  /// detector (the tdmd_fleet_e2e_* histograms record regardless).
+  std::chrono::nanoseconds e2e_slo{std::chrono::milliseconds(100)};
+  /// SLO-burn alert: one-sided CUSUM over the per-epoch fraction of
+  /// batch commands violating e2e_slo (same shape as shed_alert).
+  obs::RateCusumOptions e2e_alert;
 };
 
 /// Fleet health state machine: NORMAL -> SHARD_DEGRADED (a shard is
@@ -315,6 +325,9 @@ class ShardedEngine {
   FleetState fleet_state() const { return fleet_state_; }
   /// Shed-rate alert detector (advisory reads; exact after Drain).
   const obs::RateCusum& shed_alert() const { return shed_alert_; }
+  /// e2e SLO-burn detector on the per-epoch fraction of batch commands
+  /// whose admission-to-adoption latency exceeded options.e2e_slo.
+  const obs::RateCusum& e2e_alert() const { return e2e_alert_; }
 
   /// One supervision tick: recover crashed shards, flag stalled ones,
   /// update the fleet state machine.  Runs automatically at the top of
@@ -360,6 +373,15 @@ class ShardedEngine {
     /// Engine::SubmitOptions{defer_resolve = true}.  Recorded in the
     /// redo ring, so replay reproduces the exact same engine epochs.
     bool shed = false;
+    /// Causal batch id (DESIGN.md Section 15): stamped at SubmitBatch,
+    /// threaded through the engine's spans and the worker's queue-dwell
+    /// span so a merged trace reconstructs one submit -> dequeue ->
+    /// patch -> adopt chain per batch.  0 for control commands (probe,
+    /// certify, budget, restore), which stay unbound.
+    std::uint64_t batch_id = 0;
+    /// MonotonicNanos at route time — the admission clock the worker
+    /// subtracts to get queue dwell and the e2e stage latencies.
+    std::uint64_t route_ns = 0;
     // kProbe / kCertify / kSetBudget.  probe_out / cert_out are
     // coordinator-owned and stay valid until the Drain() that follows
     // the round.
@@ -404,6 +426,23 @@ class ShardedEngine {
     std::atomic<std::int64_t> busy_since_ns{0};
     /// Coordinator-side edge detector so one stall episode counts once.
     bool stall_flagged = false;
+    /// Per-stage e2e latency histograms for batch commands (DESIGN.md
+    /// Section 15): worker-owned while commands are outstanding, read by
+    /// the coordinator only under the quiesced handoff (rule 3), merged
+    /// into the tdmd_fleet_e2e_* exposition.  Recovery replay records
+    /// nothing here (replayed commands carry no admission clock), so a
+    /// recovered shard's histograms keep exactly its pre-crash samples.
+    obs::LatencyHistogram e2e_submit_dequeue;
+    obs::LatencyHistogram e2e_dequeue_patched;
+    obs::LatencyHistogram e2e_patched_adopted;
+    obs::LatencyHistogram e2e_admission_adoption;
+    /// SLO accounting: batch commands completed / completed over
+    /// options.e2e_slo.  Relaxed atomics — the coordinator reads deltas
+    /// once per epoch to feed the burn detector, exactness per read is
+    /// not required (the handshake in rule 2 bounds the lag to one
+    /// in-flight command).
+    std::atomic<std::uint64_t> e2e_total{0};
+    std::atomic<std::uint64_t> e2e_over_slo{0};
     std::thread thread;
   };
 
@@ -421,6 +460,9 @@ class ShardedEngine {
     std::vector<FlowId64> arrival_ids;
     std::vector<FlowId64> departure_ids;
     std::size_t budget = 0;
+    /// Recorded so recovery replay rebinds the replayed engine work to
+    /// the original batch id (and never mints fresh ids).
+    std::uint64_t batch_id = 0;
   };
 
   /// Per-shard recovery state (client-thread only): the last good
@@ -491,6 +533,16 @@ class ShardedEngine {
   /// are not re-recorded.
   bool replaying_ = false;
   obs::RateCusum shed_alert_;
+
+  // --- e2e SLO pipeline (client thread; DESIGN.md Section 15) ----------
+  /// Causal batch ids are minted here, strictly increasing from 1.
+  /// Recovery replay re-uses the recorded ids and never advances this.
+  std::uint64_t next_batch_id_ = 0;
+  obs::RateCusum e2e_alert_;
+  /// Last-seen worker SLO counter totals, for per-epoch delta pushes
+  /// into e2e_alert_.
+  std::uint64_t e2e_seen_total_ = 0;
+  std::uint64_t e2e_seen_over_ = 0;
 
   /// Commands routed but not yet completed by their worker.  The
   /// release/acquire on done_mu_ is the worker->coordinator visibility

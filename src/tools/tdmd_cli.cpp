@@ -40,7 +40,9 @@
 //       the global budget k is reallocated across shards on epoch
 //       boundaries.  --checkpoint-out/--restore switch to the
 //       `shardfleet v1` container format; --metrics-out dumps the merged
-//       fleet exposition (feed it to shard-report).
+//       fleet exposition (feed it to shard-report); --trace-out records
+//       the fleet's causal trace — every batch's spans share a batch id
+//       and a flow-event chain (feed it to fleet-report).
 //
 //   tdmd_cli shard-report --metrics=fleet.prom
 //       Summarizes a sharded --metrics-out dump: per-shard budget split,
@@ -56,6 +58,13 @@
 //       Rebuilds the quality timeline (epoch/ratio series + alert edges)
 //       from the quality-sample/quality-alert instants of a --trace-out
 //       file.
+//
+//   tdmd_cli fleet-report --trace=trace.json
+//       Reconstructs every fleet batch's submit -> dequeue -> patch ->
+//       adopt critical path from a sharded --trace-out file: connected
+//       fraction, e2e admission-to-adoption quantiles, dominant-stage
+//       split, and per-shard straggler/queue-dwell attribution
+//       (DESIGN.md Section 15).
 //
 //   tdmd_cli info --instance=instance.tdmd
 //       Prints instance statistics.
@@ -82,6 +91,7 @@
 #include "experiment/timer.hpp"
 #include "io/dot_export.hpp"
 #include "io/text_format.hpp"
+#include "obs/fleet_report.hpp"
 #include "obs/metrics.hpp"
 #include "obs/quality.hpp"
 #include "obs/quality_report.hpp"
@@ -352,6 +362,7 @@ struct ShardedServeParams {
   int backpressure_deadline_ms = 20;
   std::size_t kill_shard_at = 0;  // 1-based epoch; 0 = never
   std::size_t kill_shard = 0;
+  std::string trace_out;
 };
 
 int ServeTraceSharded(const core::Instance& inst,
@@ -395,6 +406,13 @@ int ServeTraceSharded(const core::Instance& inst,
       drain.delay = std::chrono::milliseconds(params.fault_delay_ms);
     }
     options.fault_spec = spec;
+  }
+  // Declared before the fleet so the workers are joined before the
+  // tracer's rings go away (the tracer lifecycle contract).
+  std::optional<obs::Tracer> tracer;
+  if (!params.trace_out.empty()) {
+    tracer.emplace();
+    obs::InstallTracer(&*tracer);
   }
   shard::ShardedEngine fleet(inst.network(), options);
 
@@ -532,6 +550,26 @@ int ServeTraceSharded(const core::Instance& inst,
                 params.metrics_out.c_str(), json_path.c_str(),
                 params.metrics_out.c_str());
   }
+  if (tracer.has_value()) {
+    obs::InstallTracer(nullptr);  // hooks no-op from here on
+    const obs::TraceDrainResult drained = tracer->Drain();
+    if (!io::WriteFile(params.trace_out, [&](std::ostream& os) {
+          obs::WriteChromeTrace(os, drained);
+        })) {
+      Die("cannot write " + params.trace_out);
+    }
+    const std::string log_path = params.trace_out + ".log";
+    if (!io::WriteFile(log_path, [&](std::ostream& os) {
+          obs::WriteTraceLog(os, drained);
+        })) {
+      Die("cannot write " + log_path);
+    }
+    std::printf("trace      : %zu events from %zu threads (%llu dropped) "
+                "-> %s (analyze with: tdmd_cli fleet-report --trace=%s)\n",
+                drained.events.size(), drained.num_threads,
+                static_cast<unsigned long long>(drained.dropped),
+                params.trace_out.c_str(), params.trace_out.c_str());
+  }
   return snapshot.feasible ? 0 : 3;
 }
 
@@ -625,7 +663,8 @@ int ServeTrace(int argc, char** argv) {
   const auto* trace_out = parser.AddString(
       "trace-out", "",
       "record structured spans and write a Chrome trace_event JSON here "
-      "(load via chrome://tracing or feed to tdmd_cli trace-report); a "
+      "(load via chrome://tracing or feed to tdmd_cli trace-report; "
+      "sharded runs additionally feed tdmd_cli fleet-report); a "
       "plain-text event log lands next to it as <path>.log");
   const auto* quality_out = parser.AddString(
       "quality-out", "",
@@ -638,9 +677,9 @@ int ServeTrace(int argc, char** argv) {
   const core::Instance& inst = *instance.value;
 
   if (*shards > 1) {
-    if (!trace_out->empty() || !quality_out->empty()) {
-      Die("--trace-out/--quality-out are single-engine only; sharded runs "
-          "expose per-shard state via --metrics-out + shard-report");
+    if (!quality_out->empty()) {
+      Die("--quality-out is single-engine only; sharded runs expose "
+          "per-shard state via --metrics-out + shard-report");
     }
     ShardedServeParams params;
     params.shards = static_cast<std::size_t>(*shards);
@@ -666,6 +705,7 @@ int ServeTrace(int argc, char** argv) {
     params.backpressure_deadline_ms = *backpressure_deadline_ms;
     params.kill_shard_at = static_cast<std::size_t>(*kill_shard_at);
     params.kill_shard = static_cast<std::size_t>(*kill_shard);
+    params.trace_out = *trace_out;
     return ServeTraceSharded(inst, params);
   }
 
@@ -960,6 +1000,25 @@ int QualityReportCommand(int argc, char** argv) {
   return 0;
 }
 
+int FleetReportCommand(int argc, char** argv) {
+  ArgParser parser("tdmd_cli fleet-report",
+                   "reconstruct per-batch submit->dequeue->patch->adopt "
+                   "critical paths from a sharded serve-trace --trace-out "
+                   "file");
+  const auto* trace_path = parser.AddString(
+      "trace", "trace.json",
+      "Chrome trace_event JSON written by serve-trace --shards=N "
+      "--trace-out");
+  parser.Parse(argc, argv);
+
+  std::ifstream in(*trace_path);
+  if (!in) Die("cannot open '" + *trace_path + "'");
+  const obs::FleetReport report = obs::BuildFleetReport(in);
+  if (!report.ok) Die(*trace_path + ": " + report.error);
+  obs::WriteFleetReport(std::cout, report);
+  return 0;
+}
+
 int ShardReport(int argc, char** argv) {
   ArgParser parser("tdmd_cli shard-report",
                    "summarize a sharded serve-trace --metrics-out dump: "
@@ -1080,7 +1139,7 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: tdmd_cli "
                  "<generate|solve|simulate|viz|serve-trace|trace-report"
-                 "|quality-report|shard-report|info> [flags]\n"
+                 "|quality-report|shard-report|fleet-report|info> [flags]\n"
                  "       tdmd_cli <command> --help\n");
     return 2;
   }
@@ -1099,6 +1158,9 @@ int Main(int argc, char** argv) {
     return QualityReportCommand(argc - 1, argv + 1);
   }
   if (command == "shard-report") return ShardReport(argc - 1, argv + 1);
+  if (command == "fleet-report") {
+    return FleetReportCommand(argc - 1, argv + 1);
+  }
   if (command == "info") return Info(argc - 1, argv + 1);
   std::fprintf(stderr, "tdmd_cli: unknown command '%s'\n", command.c_str());
   return 2;

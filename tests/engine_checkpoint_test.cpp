@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "checkpoint_compare.hpp"
 #include "engine/churn_trace.hpp"
 #include "engine/engine.hpp"
 #include "io/text_format.hpp"
@@ -65,6 +66,8 @@ std::string Serialize(const EngineCheckpoint& checkpoint,
   io::WriteEngineCheckpoint(oss, checkpoint, options);
   return oss.str();
 }
+
+using test::SerializeDeterministic;
 
 EngineOptions SyncOptions() {
   EngineOptions options;
@@ -129,7 +132,8 @@ TEST(EngineCheckpointTest, CrashRecoveryReplaysByteIdentically) {
   // off instead of restarting from empty.
   const EngineCheckpoint restored_cp = restored.Checkpoint();
   const EngineCheckpoint reference_cp = reference.Checkpoint();
-  EXPECT_EQ(Serialize(restored_cp, false), Serialize(reference_cp, false));
+  EXPECT_EQ(SerializeDeterministic(restored_cp),
+            SerializeDeterministic(reference_cp));
   EXPECT_EQ(restored_cp.patch_histogram.count,
             reference_cp.patch_histogram.count);
   EXPECT_EQ(restored_cp.resolve_histogram.count,
@@ -333,8 +337,8 @@ TEST(EngineCheckpointTest, QualityTimelineRestoresByteIdentically) {
 
   // Histograms carry wall times; everything else — including the quality
   // section with its detector accumulators — must match byte for byte.
-  EXPECT_EQ(Serialize(restored.Checkpoint(), false),
-            Serialize(reference.Checkpoint(), false));
+  EXPECT_EQ(SerializeDeterministic(restored.Checkpoint()),
+            SerializeDeterministic(reference.Checkpoint()));
 }
 
 TEST(EngineCheckpointTest, RecordWithoutQualitySectionStaysCompatible) {

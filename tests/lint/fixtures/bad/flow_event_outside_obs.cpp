@@ -1,0 +1,14 @@
+// Fixture: Chrome flow-event emission outside src/obs.  Both the
+// WriteChromeFlowEvent helper and a hand-rolled "ph":"s|t|f" phase
+// literal must fire the flow-event rule; producers bind batch ids and
+// let WriteChromeTrace stitch the chain.
+#include <ostream>
+
+namespace bad {
+
+void EmitFlow(std::ostream& os, const void* event) {
+  WriteChromeFlowEvent(os, event, 's');
+  os << "{\"name\":\"flow\",\"ph\":\"f\",\"id\":7,\"bp\":\"e\"}";
+}
+
+}  // namespace bad

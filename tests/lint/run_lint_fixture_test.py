@@ -76,6 +76,8 @@ def main():
             ("fixtures/bad/atomic_implicit_order.cpp", 9, "atomic-memory-order"),
             ("fixtures/bad/atomic_implicit_order.cpp", 11, "atomic-memory-order"),
             ("fixtures/bad/atomic_implicit_order.cpp", 13, "atomic-memory-order"),
+            ("fixtures/bad/flow_event_outside_obs.cpp", 10, "flow-event"),
+            ("fixtures/bad/flow_event_outside_obs.cpp", 11, "flow-event"),
             ("fixtures/bad/hot_path_report.cpp", 10, "hot-path"),
             ("fixtures/bad/hot_path_report.cpp", 10, "hot-path"),
             ("fixtures/bad/hot_path_report.cpp", 14, "hot-path"),

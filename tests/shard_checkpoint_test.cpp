@@ -20,6 +20,7 @@
 #include "engine/churn_trace.hpp"
 #include "engine/engine.hpp"
 #include "io/text_format.hpp"
+#include "checkpoint_compare.hpp"
 #include "shard/sharded_engine.hpp"
 #include "topology/generators.hpp"
 
@@ -78,16 +79,7 @@ std::string Serialize(const FleetCheckpoint& checkpoint) {
   return os.str();
 }
 
-/// Serialization for replay-identity comparisons: the latency histograms
-/// record wall-clock samples, which differ between two otherwise
-/// byte-identical runs, so they are left out.
-std::string SerializeDeterministic(const FleetCheckpoint& checkpoint) {
-  io::EngineCheckpointWriteOptions options;
-  options.include_histograms = false;
-  std::ostringstream os;
-  WriteFleetCheckpoint(os, checkpoint, options);
-  return os.str();
-}
+using test::SerializeDeterministic;
 
 TEST(ShardCheckpointTest, WriteReadWriteIsByteIdentical) {
   const graph::Digraph g = TestNetwork(71);
@@ -207,18 +199,13 @@ TEST(ShardCheckpointTest, SingleShardEmbedsPlainEngineCheckpoint) {
 
   // The embedded block degenerates to the plain `engine-checkpoint v1`
   // (histograms excluded: the two runs' timing samples differ).
-  io::EngineCheckpointWriteOptions write_options;
-  write_options.include_histograms = false;
-  std::ostringstream embedded;
-  io::WriteEngineCheckpoint(embedded, cp.engines[0], write_options);
-  std::ostringstream standalone;
-  io::WriteEngineCheckpoint(standalone, eng.Checkpoint(), write_options);
-  EXPECT_EQ(embedded.str(), standalone.str());
+  const std::string embedded = SerializeDeterministic(cp.engines[0]);
+  EXPECT_EQ(embedded, SerializeDeterministic(eng.Checkpoint()));
 
   const std::string fleet_text = SerializeDeterministic(cp);
   EXPECT_NE(fleet_text.find("shardfleet v1"), std::string::npos);
   EXPECT_NE(fleet_text.find("engine-checkpoint v1"), std::string::npos);
-  EXPECT_NE(fleet_text.find(embedded.str()), std::string::npos);
+  EXPECT_NE(fleet_text.find(embedded), std::string::npos);
 }
 
 TEST(ShardCheckpointTest, FileRoundTripMatchesStreamForm) {

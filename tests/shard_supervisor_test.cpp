@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "checkpoint_compare.hpp"
 #include "common/rng.hpp"
 #include "engine/churn_trace.hpp"
 #include "faults/faults.hpp"
@@ -78,13 +79,7 @@ ShardedEngineOptions SupervisedOptions(std::size_t shards,
   return options;
 }
 
-std::string SerializeDeterministic(const FleetCheckpoint& checkpoint) {
-  io::EngineCheckpointWriteOptions options;
-  options.include_histograms = false;
-  std::ostringstream os;
-  WriteFleetCheckpoint(os, checkpoint, options);
-  return os.str();
-}
+using test::SerializeDeterministic;
 
 /// Runs the whole trace through a supervised fleet, crashing
 /// `crash_shard` just before 1-based epoch `crash_epoch` (0 = never),
