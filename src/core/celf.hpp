@@ -132,6 +132,14 @@ class CelfQueue {
 
   bool empty() const { return heap_.empty(); }
 
+  /// Owned heap bytes, estimated from the live entry count (the
+  /// underlying vector's capacity is not reachable through
+  /// std::priority_queue; under steady CELF churn size tracks capacity
+  /// closely enough for the tdmd_mem_* gauges).
+  std::size_t MemoryFootprint() const {
+    return heap_.size() * sizeof(CelfCandidate);
+  }
+
  private:
   std::priority_queue<CelfCandidate, std::vector<CelfCandidate>,
                       CelfCandidateLess>

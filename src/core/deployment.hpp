@@ -43,6 +43,13 @@ class Deployment {
 
   std::string ToString() const;
 
+  /// Owned heap bytes (membership bitmap + vertex list capacities),
+  /// excluding sizeof(*this).  Feeds the tdmd_mem_snapshot_bytes gauge.
+  std::size_t MemoryFootprint() const {
+    return member_.capacity() * sizeof(char) +
+           vertices_.capacity() * sizeof(VertexId);
+  }
+
   friend bool operator==(const Deployment& a, const Deployment& b) {
     return a.SortedVertices() == b.SortedVertices();
   }

@@ -225,6 +225,35 @@ std::vector<FlowTicket> FlowCoverageIndex::ActiveTickets() const {
   return tickets;
 }
 
+std::size_t FlowCoverageIndex::MemoryFootprint() const {
+  // libstdc++/libc++ red-black tree nodes carry three pointers plus a
+  // color word ahead of the payload; 4 * sizeof(void*) is close enough
+  // for the 25% allocator-delta band the tests enforce.
+  constexpr std::size_t kTreeNodeOverhead = 4 * sizeof(void*);
+  std::size_t bytes = network_.MemoryFootprint();
+  bytes += flows_through_.capacity() * sizeof(std::vector<Visit>);
+  for (const std::vector<Visit>& visits : flows_through_) {
+    bytes += visits.capacity() * sizeof(Visit);
+  }
+  bytes += slots_.capacity() * sizeof(Slot);
+  for (const Slot& slot : slots_) {
+    bytes += slot.flow.path.vertices.capacity() * sizeof(VertexId);
+    bytes += slot.visit_pos.capacity() * sizeof(std::uint32_t);
+  }
+  bytes += free_slots_.capacity() * sizeof(std::uint32_t);
+  bytes += classes_.capacity() * sizeof(PathClass);
+  for (const PathClass& path_class : classes_) {
+    bytes += path_class.vertices.capacity() * sizeof(VertexId);
+  }
+  for (const auto& [path, class_id] : class_by_path_) {
+    (void)class_id;
+    bytes += kTreeNodeOverhead +
+             sizeof(std::pair<const std::vector<VertexId>, std::uint32_t>) +
+             path.capacity() * sizeof(VertexId);
+  }
+  return bytes;
+}
+
 core::Instance FlowCoverageIndex::BuildInstance() const {
   traffic::FlowSet flows;
   flows.reserve(active_count_);

@@ -185,6 +185,15 @@ class FlowCoverageIndex {
   /// tests and interop with the batch solvers.
   core::Instance BuildInstance() const;
 
+  /// Owned heap bytes: every allocation this index holds (vector
+  /// capacities, per-slot path storage, the path-class map's node
+  /// estimate, the owned network's CSR arrays), excluding sizeof(*this).
+  /// Checkpoint-independent — it measures live capacity, not serialized
+  /// size — and sanity-checked against allocator deltas in
+  /// tests/obs_mem_footprint_test.cpp; Engine::Metrics exposes it as
+  /// tdmd_mem_index_bytes plus the derived tdmd_mem_bytes_per_flow gauge.
+  std::size_t MemoryFootprint() const;
+
  private:
   struct Slot {
     traffic::Flow flow;

@@ -9,6 +9,8 @@
 #include "common/backoff.hpp"
 #include "core/objective.hpp"
 #include "engine/checkpoint.hpp"
+#include "obs/build_info.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
 namespace tdmd::engine {
@@ -831,11 +833,19 @@ obs::MetricsRegistry Engine::Metrics() const {
   EngineStats counters;
   EngineHistograms latencies;
   obs::QualityTimelineSnapshot quality;
+  EngineMemoryStats memory;
   {
     MutexLock lock(state_mu_);
     counters = StatsLocked();
     latencies = histograms_;
     quality = quality_timeline_.Snapshot();
+    memory.index_bytes = index_.MemoryFootprint();
+    memory.active_flows = index_.active_flows();
+  }
+  {
+    MutexLock snapshot_lock(snapshot_mu_);
+    memory.snapshot_bytes =
+        sizeof(DeploymentSnapshot) + snapshot_->deployment.MemoryFootprint();
   }
   obs::MetricsRegistry registry;
   // Iterating the X-macro guarantees every counter is exposed; adding a
@@ -888,17 +898,56 @@ obs::MetricsRegistry Engine::Metrics() const {
     registry.AddGauge("tdmd_quality_cusum", quality.cusum,
                       "one-sided CUSUM statistic on the quality gap");
   }
+  // Memory-capacity accounting: owned heap bytes of the hot structures,
+  // captured under the same state_mu_ acquisition as the counters so the
+  // bytes-per-flow ratio is coherent with active_flows.
+  registry.AddGauge("tdmd_mem_index_bytes",
+                    static_cast<double>(memory.index_bytes),
+                    "FlowCoverageIndex owned heap bytes");
+  registry.AddGauge("tdmd_mem_snapshot_bytes",
+                    static_cast<double>(memory.snapshot_bytes),
+                    "published DeploymentSnapshot bytes");
+  registry.AddGauge("tdmd_mem_active_flows",
+                    static_cast<double>(memory.active_flows),
+                    "active flows backing the bytes-per-flow gauge");
+  registry.AddGauge("tdmd_mem_bytes_per_flow",
+                    memory.active_flows > 0
+                        ? static_cast<double>(memory.index_bytes) /
+                              static_cast<double>(memory.active_flows)
+                        : 0.0,
+                    "index heap bytes per active flow");
   // TraceDropTotal falls back to the total latched at the last tracer
   // uninstall, so a post-run scrape still reports the real drop count
   // instead of silently reading zero.
   registry.AddCounter(
       "tdmd_trace_dropped_total", obs::TraceDropTotal(),
       "trace events overwritten in per-thread rings before draining");
+  // Same latching contract for the sampling profiler.
+  registry.AddCounter(
+      "tdmd_profile_samples_total", obs::ProfileSampleTotal(),
+      "CPU samples delivered by the sampling profiler");
+  registry.AddCounter(
+      "tdmd_profile_dropped_total", obs::ProfileDropTotal(),
+      "CPU samples overwritten in per-thread rings before draining");
+  obs::AddBuildInfoMetric(registry);
   return registry;
 }
 
 void Engine::DumpMetrics(std::ostream& os, obs::MetricsFormat format) const {
   Metrics().Render(os, format);
+}
+
+EngineMemoryStats Engine::MemoryUsage() const {
+  EngineMemoryStats memory;
+  {
+    MutexLock lock(state_mu_);
+    memory.index_bytes = index_.MemoryFootprint();
+    memory.active_flows = index_.active_flows();
+  }
+  MutexLock snapshot_lock(snapshot_mu_);
+  memory.snapshot_bytes =
+      sizeof(DeploymentSnapshot) + snapshot_->deployment.MemoryFootprint();
+  return memory;
 }
 
 EngineCheckpoint Engine::Checkpoint() const {

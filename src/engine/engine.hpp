@@ -174,6 +174,19 @@ struct DeploymentSnapshot {
   bool feasible = false;
 };
 
+/// Owned-heap accounting of the engine's hot structures — the
+/// MemoryFootprint() contract, independent of checkpoint size.  Feeds the
+/// tdmd_mem_* gauges in Engine::Metrics and the fleet roll-up in
+/// ShardedEngine::Metrics; bench/prof_capacity records it per run.
+struct EngineMemoryStats {
+  /// FlowCoverageIndex::MemoryFootprint() of the live index.
+  std::size_t index_bytes = 0;
+  /// Published DeploymentSnapshot (struct + owned deployment storage).
+  std::size_t snapshot_bytes = 0;
+  /// Active flow count — the denominator of tdmd_mem_bytes_per_flow.
+  std::size_t active_flows = 0;
+};
+
 /// The uint64 counters of EngineStats, in declaration order.  The
 /// checkpoint serializer iterates this list, and a static_assert ties it
 /// to sizeof(EngineStats) so adding a counter without updating both is a
@@ -368,6 +381,11 @@ class Engine {
   /// Renders Metrics() in the requested exposition format.
   void DumpMetrics(std::ostream& os, obs::MetricsFormat format) const
       TDMD_EXCLUDES(state_mu_);
+
+  /// Owned heap bytes of the hot structures (index under state_mu_, the
+  /// published snapshot under snapshot_mu_).  Thread-safe.
+  EngineMemoryStats MemoryUsage() const
+      TDMD_EXCLUDES(state_mu_, snapshot_mu_);
 
   /// Current degradation mode.
   EngineMode mode() const TDMD_EXCLUDES(state_mu_);

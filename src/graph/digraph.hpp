@@ -109,6 +109,17 @@ class Digraph {
   /// Multi-line human-readable dump (for debugging and examples).
   std::string ToString() const;
 
+  /// Owned heap bytes across the CSR arrays (vector capacities), excluding
+  /// sizeof(*this).  Feeds FlowCoverageIndex::MemoryFootprint and the
+  /// tdmd_mem_* gauges.
+  std::size_t MemoryFootprint() const {
+    return arcs_.capacity() * sizeof(Arc) +
+           out_offsets_.capacity() * sizeof(std::size_t) +
+           out_adjacency_.capacity() * sizeof(EdgeId) +
+           in_offsets_.capacity() * sizeof(std::size_t) +
+           in_adjacency_.capacity() * sizeof(EdgeId);
+  }
+
  private:
   friend class DigraphBuilder;
 

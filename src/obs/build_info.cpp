@@ -1,0 +1,39 @@
+#include "obs/build_info.hpp"
+
+#include "obs/metrics.hpp"
+
+// Configure-time provenance (src/obs/CMakeLists.txt sets these on this one
+// translation unit); "unknown"/"none" fallbacks keep out-of-tree builds
+// compiling.
+#ifndef TDMD_BUILD_GIT_SHA
+#define TDMD_BUILD_GIT_SHA "unknown"
+#endif
+#ifndef TDMD_BUILD_COMPILER
+#define TDMD_BUILD_COMPILER "unknown"
+#endif
+#ifndef TDMD_BUILD_TYPE
+#define TDMD_BUILD_TYPE "unknown"
+#endif
+#ifndef TDMD_BUILD_SANITIZERS
+#define TDMD_BUILD_SANITIZERS "none"
+#endif
+
+namespace tdmd::obs {
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo info = {TDMD_BUILD_GIT_SHA, TDMD_BUILD_COMPILER,
+                                 TDMD_BUILD_TYPE, TDMD_BUILD_SANITIZERS};
+  return info;
+}
+
+void AddBuildInfoMetric(MetricsRegistry& registry) {
+  const BuildInfo& info = GetBuildInfo();
+  registry.AddInfo("tdmd_build_info",
+                   {{"git_sha", info.git_sha},
+                    {"compiler", info.compiler},
+                    {"build_type", info.build_type},
+                    {"sanitizers", info.sanitizers}},
+                   "Build provenance of the exposing binary");
+}
+
+}  // namespace tdmd::obs

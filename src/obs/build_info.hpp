@@ -1,0 +1,27 @@
+#pragma once
+
+// Build provenance surfaced as the `tdmd_build_info` info-metric, so every
+// metrics exposition and bench artifact is attributable to one binary:
+// which commit, which compiler, which build type, which sanitizers.  The
+// values are baked in at configure time (see src/obs/CMakeLists.txt) and
+// default to "unknown" when built outside the CMake tree.
+
+namespace tdmd::obs {
+
+class MetricsRegistry;
+
+struct BuildInfo {
+  const char* git_sha;     // short commit hash, or "unknown"
+  const char* compiler;    // e.g. "GNU 13.2.0"
+  const char* build_type;  // e.g. "Release"
+  const char* sanitizers;  // e.g. "address,undefined", or "none"
+};
+
+const BuildInfo& GetBuildInfo();
+
+/// Registers `tdmd_build_info` — the conventional always-1 info gauge with
+/// the provenance as labels — on `registry`.  Engine::Metrics and
+/// ShardedEngine::Metrics both call this.
+void AddBuildInfoMetric(MetricsRegistry& registry);
+
+}  // namespace tdmd::obs

@@ -46,6 +46,13 @@ void MetricsRegistry::AddGauge(const std::string& name, double value,
   gauges_.push_back(Gauge{name, value, help});
 }
 
+void MetricsRegistry::AddInfo(
+    const std::string& name,
+    const std::vector<std::pair<std::string, std::string>>& labels,
+    const std::string& help) {
+  infos_.push_back(Info{name, labels, help});
+}
+
 void MetricsRegistry::Render(std::ostream& os, MetricsFormat format) const {
   switch (format) {
     case MetricsFormat::kPrometheus:
@@ -67,6 +74,17 @@ void MetricsRegistry::RenderPrometheus(std::ostream& os) const {
     os << "# HELP " << gauge.name << " " << gauge.help << "\n";
     os << "# TYPE " << gauge.name << " gauge\n";
     os << gauge.name << " " << GaugeString(gauge.value) << "\n";
+  }
+  for (const Info& info : infos_) {
+    os << "# HELP " << info.name << " " << info.help << "\n";
+    os << "# TYPE " << info.name << " gauge\n";
+    os << info.name << "{";
+    bool first = true;
+    for (const auto& [key, value] : info.labels) {
+      os << (first ? "" : ",") << key << "=\"" << value << "\"";
+      first = false;
+    }
+    os << "} 1\n";
   }
   for (const Histogram& histogram : histograms_) {
     const std::string name = histogram.name + "_seconds";
@@ -97,6 +115,23 @@ void MetricsRegistry::RenderJson(std::ostream& os) const {
       os << (first ? "\n" : ",\n");
       first = false;
       os << "    \"" << gauge.name << "\": " << GaugeString(gauge.value);
+    }
+    os << "\n  },\n";
+  }
+  if (!infos_.empty()) {
+    os << "  \"info\": {";
+    first = true;
+    for (const Info& info : infos_) {
+      os << (first ? "\n" : ",\n");
+      first = false;
+      os << "    \"" << info.name << "\": {";
+      bool first_label = true;
+      for (const auto& [key, value] : info.labels) {
+        os << (first_label ? "" : ", ") << "\"" << key << "\": \"" << value
+           << "\"";
+        first_label = false;
+      }
+      os << "}";
     }
     os << "\n  },\n";
   }

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/histogram.hpp"
@@ -40,6 +41,14 @@ class MetricsRegistry {
   void AddGauge(const std::string& name, double value,
                 const std::string& help);
 
+  /// Registers an info metric — the Prometheus convention of an always-1
+  /// gauge whose payload rides in labels (e.g. tdmd_build_info{git_sha=
+  /// "...",compiler="..."} 1).  The JSON rendering adds an "info" object
+  /// only when at least one is registered, mirroring the gauge rule.
+  void AddInfo(const std::string& name,
+               const std::vector<std::pair<std::string, std::string>>& labels,
+               const std::string& help);
+
   void Render(std::ostream& os, MetricsFormat format) const;
 
  private:
@@ -58,6 +67,11 @@ class MetricsRegistry {
     double value = 0.0;
     std::string help;
   };
+  struct Info {
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> labels;
+    std::string help;
+  };
 
   void RenderPrometheus(std::ostream& os) const;
   void RenderJson(std::ostream& os) const;
@@ -65,6 +79,7 @@ class MetricsRegistry {
   std::vector<Counter> counters_;
   std::vector<Histogram> histograms_;
   std::vector<Gauge> gauges_;
+  std::vector<Info> infos_;
 };
 
 }  // namespace tdmd::obs

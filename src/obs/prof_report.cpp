@@ -1,0 +1,181 @@
+#include "obs/prof_report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <iterator>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+namespace tdmd::obs {
+
+namespace {
+
+ProfReport Fail(const std::string& error) {
+  ProfReport report;
+  report.error = error;
+  return report;
+}
+
+constexpr char kHeaderPrefix[] = "# tdmd-prof ";
+
+/// Parses one "key=value" header field into an unsigned integer.
+bool HeaderField(const std::string& header, const std::string& key,
+                 std::uint64_t* value) {
+  const std::string needle = key + "=";
+  const std::size_t pos = header.find(needle);
+  if (pos == std::string::npos) {
+    return false;
+  }
+  const char* start = header.c_str() + pos + needle.size();
+  char* end = nullptr;
+  *value = std::strtoull(start, &end, 10);
+  return end != start;
+}
+
+}  // namespace
+
+ProfReport BuildProfReport(std::istream& is) {
+  std::string text(std::istreambuf_iterator<char>(is), {});
+  std::istringstream lines(text);
+  std::string line;
+  if (!std::getline(lines, line) ||
+      line.rfind(kHeaderPrefix, 0) != 0) {
+    return Fail("no \"# tdmd-prof\" header — not a collapsed profile");
+  }
+  ProfReport report;
+  std::uint64_t threads = 0;
+  std::uint64_t hz = 0;
+  if (!HeaderField(line, "samples", &report.samples) ||
+      !HeaderField(line, "dropped", &report.dropped) ||
+      !HeaderField(line, "orphaned", &report.orphaned) ||
+      !HeaderField(line, "threads", &threads) ||
+      !HeaderField(line, "hz", &hz)) {
+    return Fail("malformed profile header: " + line);
+  }
+  report.num_threads = static_cast<std::size_t>(threads);
+  report.sample_hz = static_cast<std::uint32_t>(hz);
+
+  std::map<std::string, ProfReportRow> rows;
+  std::uint64_t attributed = 0;
+  std::uint64_t unattributed_recorded = 0;
+  std::size_t line_number = 1;
+  while (std::getline(lines, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0 ||
+        space + 1 >= line.size()) {
+      return Fail("line " + std::to_string(line_number) +
+                  ": malformed collapsed stack (no trailing count)");
+    }
+    const char* count_start = line.c_str() + space + 1;
+    char* count_end = nullptr;
+    const std::uint64_t count =
+        std::strtoull(count_start, &count_end, 10);
+    if (count_end == count_start || *count_end != '\0') {
+      return Fail("line " + std::to_string(line_number) +
+                  ": malformed sample count: " + line.substr(space + 1));
+    }
+    const std::string stack = line.substr(0, space);
+    if (stack == "(unattributed)") {
+      unattributed_recorded += count;
+      continue;
+    }
+    attributed += count;
+    // Split "phase;phase;phase" root-first; `self` goes to the innermost
+    // frame, `total` to every distinct phase on the stack.
+    std::set<std::string> seen;
+    std::size_t begin = 0;
+    std::string innermost;
+    while (begin <= stack.size()) {
+      std::size_t sep = stack.find(';', begin);
+      if (sep == std::string::npos) {
+        sep = stack.size();
+      }
+      const std::string phase = stack.substr(begin, sep - begin);
+      if (phase.empty()) {
+        return Fail("line " + std::to_string(line_number) +
+                    ": empty frame in collapsed stack");
+      }
+      innermost = phase;
+      if (seen.insert(phase).second) {
+        rows[phase].total += count;
+      }
+      begin = sep + 1;
+      if (sep == stack.size()) {
+        break;
+      }
+    }
+    rows[innermost].self += count;
+  }
+
+  const std::uint64_t delivered = report.samples + report.orphaned;
+  if (delivered == 0) {
+    return Fail("profile contains no samples");
+  }
+  report.unattributed = unattributed_recorded + report.orphaned;
+  report.attributed_fraction =
+      static_cast<double>(attributed) / static_cast<double>(delivered);
+  report.rows.reserve(rows.size());
+  for (auto& [phase, row] : rows) {
+    row.phase = phase;
+    report.rows.push_back(std::move(row));
+  }
+  std::sort(report.rows.begin(), report.rows.end(),
+            [](const ProfReportRow& a, const ProfReportRow& b) {
+              if (a.self != b.self) {
+                return a.self > b.self;
+              }
+              if (a.total != b.total) {
+                return a.total > b.total;
+              }
+              return a.phase < b.phase;
+            });
+  report.ok = true;
+  return report;
+}
+
+void WriteProfReport(std::ostream& os, const ProfReport& report) {
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "profile: %llu samples @%u Hz, %zu threads, %llu dropped, "
+                "%llu orphaned\n",
+                static_cast<unsigned long long>(report.samples),
+                report.sample_hz, report.num_threads,
+                static_cast<unsigned long long>(report.dropped),
+                static_cast<unsigned long long>(report.orphaned));
+  os << line;
+  std::snprintf(line, sizeof(line),
+                "attributed: %.1f%% of delivered samples (%llu "
+                "unattributed)\n",
+                report.attributed_fraction * 100.0,
+                static_cast<unsigned long long>(report.unattributed));
+  os << line;
+  std::snprintf(line, sizeof(line), "%-18s %10s %7s %10s %7s\n", "phase",
+                "self", "self%", "total", "total%");
+  os << line;
+  const double delivered =
+      static_cast<double>(report.samples + report.orphaned);
+  for (const ProfReportRow& row : report.rows) {
+    std::snprintf(line, sizeof(line),
+                  "%-18s %10llu %6.1f%% %10llu %6.1f%%\n",
+                  row.phase.c_str(),
+                  static_cast<unsigned long long>(row.self),
+                  delivered > 0
+                      ? 100.0 * static_cast<double>(row.self) / delivered
+                      : 0.0,
+                  static_cast<unsigned long long>(row.total),
+                  delivered > 0
+                      ? 100.0 * static_cast<double>(row.total) / delivered
+                      : 0.0);
+    os << line;
+  }
+}
+
+}  // namespace tdmd::obs

@@ -1,0 +1,48 @@
+#pragma once
+
+// Per-phase breakdown of a collapsed-stack CPU profile, as written by
+// WriteCollapsedProfile / serve-trace --prof-out.  BuildProfReport parses
+// the "# tdmd-prof ..." header plus "phase;phase <count>" stack lines and
+// computes self/total sample shares per phase: `self` counts samples whose
+// innermost open phase is this one, `total` counts samples with the phase
+// anywhere on the stack (each stack counted once even if a phase repeats).
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tdmd::obs {
+
+struct ProfReportRow {
+  std::string phase;
+  std::uint64_t self = 0;   // samples with this phase innermost
+  std::uint64_t total = 0;  // samples with this phase anywhere on stack
+};
+
+struct ProfReport {
+  bool ok = false;
+  std::string error;
+  std::uint64_t samples = 0;        // recorded samples (header samples=)
+  std::uint64_t dropped = 0;        // ring overwrites (header dropped=)
+  std::uint64_t orphaned = 0;       // unregistered threads (header orphaned=)
+  std::uint64_t unattributed = 0;   // recorded with no open phase + orphaned
+  std::size_t num_threads = 0;
+  std::uint32_t sample_hz = 0;
+  /// attributed / (samples + orphaned); 0 when nothing was delivered.
+  double attributed_fraction = 0.0;
+  /// Sorted by self descending, then total descending.
+  std::vector<ProfReportRow> rows;
+};
+
+/// Fails (ok=false, one-line diagnostic) on anything that is not a
+/// well-formed collapsed profile: missing "# tdmd-prof" header, malformed
+/// header fields, or a stack line without a trailing count.  A profile
+/// with zero delivered samples is treated as a broken capture.
+ProfReport BuildProfReport(std::istream& is);
+
+/// Prints the header summary plus the per-phase self/total share table.
+void WriteProfReport(std::ostream& os, const ProfReport& report);
+
+}  // namespace tdmd::obs

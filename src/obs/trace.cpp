@@ -176,6 +176,20 @@ std::atomic<std::uint64_t> g_last_drop_total{0};
 
 }  // namespace
 
+namespace internal {
+
+std::atomic<std::uint32_t> g_obs_hooks{0};
+
+void SetObsHook(std::uint32_t bit, bool enabled) {
+  if (enabled) {
+    g_obs_hooks.fetch_or(bit, std::memory_order_relaxed);
+  } else {
+    g_obs_hooks.fetch_and(~bit, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace internal
+
 void InstallTracer(Tracer* tracer) {
   if (Tracer* outgoing =
           g_current_tracer.load(std::memory_order_acquire);
@@ -184,6 +198,9 @@ void InstallTracer(Tracer* tracer) {
                             std::memory_order_relaxed);
   }
   g_current_tracer.store(tracer, std::memory_order_release);
+  // Publish the pointer before flipping the hook bit, so a span that sees
+  // the bit always finds the tracer behind it.
+  internal::SetObsHook(internal::kHookTracer, tracer != nullptr);
 }
 
 Tracer* CurrentTracer() {

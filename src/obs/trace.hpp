@@ -17,6 +17,7 @@
 // installed tracer at construction, so a span that straddles an uninstall
 // still writes into the tracer it started with.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
@@ -27,6 +28,35 @@
 #include "obs/histogram.hpp"
 
 namespace tdmd::obs {
+
+enum class TracePhase : std::uint8_t;
+
+namespace internal {
+
+/// Shared observability hook-flags word: bit 0 = tracer installed, bit 1 =
+/// profiler installed.  ScopedSpan and TraceInstant check it with ONE
+/// relaxed load and bail when it is zero, so the entire cost of an
+/// instrumentation hook with no tracer and no profiler installed is a
+/// single relaxed atomic load (bench/obs_overhead holds this budget).
+inline constexpr std::uint32_t kHookTracer = 1U << 0;
+inline constexpr std::uint32_t kHookProfiler = 1U << 1;
+
+extern std::atomic<std::uint32_t> g_obs_hooks;
+
+inline std::uint32_t ObsHooks() {
+  return g_obs_hooks.load(std::memory_order_relaxed);
+}
+
+/// Sets/clears one hook bit; called by InstallTracer/InstallProfiler only.
+void SetObsHook(std::uint32_t bit, bool enabled);
+
+/// Profiler phase-stack maintenance (defined in profiler.cpp): push/pop
+/// the calling thread's phase stack that the SIGPROF handler samples.
+/// Called by ScopedSpan only while the profiler hook bit is set.
+void ProfilerSpanEnter(TracePhase phase) noexcept;
+void ProfilerSpanExit() noexcept;
+
+}  // namespace internal
 
 /// Instrumented phases across the engine, thread pool, and batch solvers.
 enum class TracePhase : std::uint8_t {
@@ -159,19 +189,37 @@ Tracer* CurrentTracer();
 std::uint64_t TraceDropTotal();
 
 /// RAII span: captures the current tracer and start time at construction,
-/// emits a span with the elapsed duration at destruction.  Inert (no clock
-/// reads) when no tracer is installed.
+/// emits a span with the elapsed duration at destruction, and — while a
+/// profiler is installed — pushes the phase onto the thread-local phase
+/// stack the SIGPROF sampler attributes against.  Inert (no clock reads,
+/// one relaxed atomic load total) when neither hook is installed.
 class ScopedSpan {
  public:
   explicit ScopedSpan(TracePhase phase, std::uint64_t arg = 0)
-      : tracer_(CurrentTracer()), phase_(phase), arg_(arg) {
-    if (tracer_ != nullptr) {
-      start_ns_ = tracer_->NowNs();
+      : phase_(phase), arg_(arg) {
+    const std::uint32_t hooks = internal::ObsHooks();
+    if (hooks == 0) {
+      return;
+    }
+    if ((hooks & internal::kHookTracer) != 0) {
+      tracer_ = CurrentTracer();
+      if (tracer_ != nullptr) {
+        start_ns_ = tracer_->NowNs();
+      }
+    }
+    if ((hooks & internal::kHookProfiler) != 0) {
+      internal::ProfilerSpanEnter(phase_);
+      pushed_ = true;
     }
   }
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
   ~ScopedSpan() {
+    // Pop exactly when the constructor pushed, so the phase stack stays
+    // balanced across a profiler uninstalled mid-span.
+    if (pushed_) {
+      internal::ProfilerSpanExit();
+    }
     if (tracer_ != nullptr) {
       tracer_->Emit(phase_, /*is_span=*/true, start_ns_,
                     tracer_->NowNs() - start_ns_, arg_, batch_);
@@ -183,16 +231,21 @@ class ScopedSpan {
   void set_batch(std::uint64_t batch) { batch_ = batch; }
 
  private:
-  Tracer* tracer_;
+  Tracer* tracer_ = nullptr;
   TracePhase phase_;
   std::uint64_t arg_;
   std::uint64_t batch_ = 0;
   std::uint64_t start_ns_ = 0;
+  bool pushed_ = false;
 };
 
-/// Emits a zero-duration instant event; no-op when no tracer is installed.
+/// Emits a zero-duration instant event; no-op (one relaxed atomic load)
+/// when no tracer is installed.
 inline void TraceInstant(TracePhase phase, std::uint64_t arg = 0,
                          std::uint64_t batch = 0) {
+  if ((internal::ObsHooks() & internal::kHookTracer) == 0) {
+    return;
+  }
   if (Tracer* tracer = CurrentTracer(); tracer != nullptr) {
     tracer->Emit(phase, /*is_span=*/false, tracer->NowNs(), 0, arg, batch);
   }

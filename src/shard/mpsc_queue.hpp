@@ -112,6 +112,14 @@ class MpscQueue {
            tail->next.load(std::memory_order_acquire) == nullptr;
   }
 
+  /// Owned heap bytes, estimated from ApproxSize(): one Node allocation
+  /// per queued command (the stub lives inline).  Advisory like
+  /// ApproxSize, exact when quiescent — which is when the fleet's
+  /// tdmd_mem_queue_bytes gauge reads it.
+  std::size_t MemoryFootprint() const {
+    return ApproxSize() * sizeof(Node);
+  }
+
   /// Consumer-side park predicate: true only when the queue is fully
   /// drained AND no push is mid-flight (head_ still points at the stub).
   /// Unlike Empty(), this cannot report true during the Vyukov

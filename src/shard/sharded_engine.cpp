@@ -13,6 +13,8 @@
 #include "core/celf.hpp"
 #include "core/instance.hpp"
 #include "core/objective.hpp"
+#include "obs/build_info.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
 namespace tdmd::shard {
@@ -995,6 +997,38 @@ obs::MetricsRegistry ShardedEngine::Metrics() {
   // obs::InstallTracer), so post-run scrapes never read a silent zero.
   registry.AddCounter("tdmd_trace_dropped_total", obs::TraceDropTotal(),
                       "trace events overwritten by ring wrap-around");
+  registry.AddCounter("tdmd_profile_samples_total",
+                      obs::ProfileSampleTotal(),
+                      "CPU samples delivered by the sampling profiler");
+  registry.AddCounter("tdmd_profile_dropped_total", obs::ProfileDropTotal(),
+                      "CPU samples overwritten by ring wrap-around");
+
+  // Fleet-wide memory-capacity accounting: the engines are touchable here
+  // because Snapshot() above left the fleet quiesced (rule 3).
+  const FleetMemoryStats memory = MemoryUsageQuiesced();
+  registry.AddGauge("tdmd_mem_index_bytes",
+                    static_cast<double>(memory.index_bytes),
+                    "summed per-engine FlowCoverageIndex heap bytes");
+  registry.AddGauge("tdmd_mem_snapshot_bytes",
+                    static_cast<double>(memory.snapshot_bytes),
+                    "summed per-engine published snapshot bytes");
+  registry.AddGauge("tdmd_mem_queue_bytes",
+                    static_cast<double>(memory.queue_bytes),
+                    "MPSC command-queue node bytes (0 when drained)");
+  registry.AddGauge("tdmd_mem_redo_ring_bytes",
+                    static_cast<double>(memory.redo_ring_bytes),
+                    "per-shard redo-ring heap bytes");
+  registry.AddGauge("tdmd_mem_active_flows",
+                    static_cast<double>(memory.active_flows),
+                    "fleet-wide active flows backing bytes-per-flow");
+  registry.AddGauge(
+      "tdmd_mem_bytes_per_flow",
+      memory.active_flows > 0
+          ? static_cast<double>(memory.index_bytes) /
+                static_cast<double>(memory.active_flows)
+          : 0.0,
+      "summed index heap bytes per fleet-wide active flow");
+  obs::AddBuildInfoMetric(registry);
 
   registry.AddHistogramNs("tdmd_fleet_patch", merged.patch_ns,
                           "merged per-shard feasibility patch latency");
@@ -1041,6 +1075,40 @@ obs::MetricsRegistry ShardedEngine::Metrics() {
 
 void ShardedEngine::DumpMetrics(std::ostream& os, obs::MetricsFormat format) {
   Metrics().Render(os, format);
+}
+
+FleetMemoryStats ShardedEngine::MemoryUsage() {
+  Drain();
+  return MemoryUsageQuiesced();
+}
+
+FleetMemoryStats ShardedEngine::MemoryUsageQuiesced() {
+  FleetMemoryStats memory;
+  for (const auto& worker : workers_) {
+    memory.queue_bytes += worker->queue.MemoryFootprint();
+    if (worker->engine == nullptr) {
+      continue;  // quarantined shard: engine dropped until recovery
+    }
+    const engine::EngineMemoryStats engine_memory =
+        worker->engine->MemoryUsage();
+    memory.index_bytes += engine_memory.index_bytes;
+    memory.snapshot_bytes += engine_memory.snapshot_bytes;
+    memory.active_flows += engine_memory.active_flows;
+  }
+  for (const ShardGuard& guard : guards_) {
+    for (const RedoEntry& entry : guard.ring) {
+      memory.redo_ring_bytes += sizeof(RedoEntry);
+      for (const traffic::Flow& flow : entry.arrivals) {
+        memory.redo_ring_bytes +=
+            sizeof(traffic::Flow) +
+            flow.path.vertices.capacity() * sizeof(VertexId);
+      }
+      memory.redo_ring_bytes +=
+          entry.arrival_ids.capacity() * sizeof(FlowId64) +
+          entry.departure_ids.capacity() * sizeof(FlowId64);
+    }
+  }
+  return memory;
 }
 
 FleetCheckpoint ShardedEngine::Checkpoint() {

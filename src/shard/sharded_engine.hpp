@@ -256,6 +256,18 @@ struct FleetStats {
   std::uint64_t last_recovery_ns = 0;
 };
 
+/// Fleet-wide owned-heap accounting (the MemoryFootprint() contract
+/// rolled up across shards): per-engine index/snapshot bytes plus the
+/// coordinator-side redo rings and MPSC command queues.  Read under the
+/// quiesced handoff, so the per-engine numbers are exact.
+struct FleetMemoryStats {
+  std::size_t index_bytes = 0;     // sum of per-engine index footprints
+  std::size_t snapshot_bytes = 0;  // sum of per-engine snapshot footprints
+  std::size_t queue_bytes = 0;     // MPSC command queues (0 when drained)
+  std::size_t redo_ring_bytes = 0; // per-shard redo rings (supervision)
+  std::size_t active_flows = 0;    // fleet-wide bytes-per-flow denominator
+};
+
 /// Serializable fleet state: coordinator header plus one embedded
 /// engine::EngineCheckpoint per shard (io is in shard/fleet_io.hpp).
 struct FleetCheckpoint {
@@ -314,6 +326,10 @@ class ShardedEngine {
   /// coordinator counters, and the union bandwidth / certificate gauges.
   obs::MetricsRegistry Metrics();
   void DumpMetrics(std::ostream& os, obs::MetricsFormat format);
+
+  /// Drains, then rolls up the MemoryFootprint() contract across shards
+  /// (also embedded in Metrics() as the fleet tdmd_mem_* gauges).
+  FleetMemoryStats MemoryUsage();
 
   const FleetStats& stats() const { return stats_; }
   const Partition& partition() const { return partition_; }
@@ -481,6 +497,10 @@ class ShardedEngine {
   void RouteCommand(std::size_t shard, Command command)
       TDMD_EXCLUDES(done_mu_);
   void CompleteCommand(Worker& worker) TDMD_EXCLUDES(done_mu_);
+
+  /// MemoryFootprint() roll-up; requires the quiesced handoff (rule 3) —
+  /// callers drain first (MemoryUsage/Metrics both do).
+  FleetMemoryStats MemoryUsageQuiesced();
 
   // --- supervisor internals (client thread) ---------------------------
   void SetFleetState(FleetState state);

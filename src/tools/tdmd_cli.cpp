@@ -22,6 +22,7 @@
 //            [--restore=engine.ckpt]
 //            [--metrics-out=metrics.prom] [--trace-out=trace.json]
 //            [--quality-out=quality.txt]
+//            [--prof-out=profile.collapsed --prof-hz=997]
 //       Feeds the instance's flows to the online placement engine, then
 //       serves a seeded churn trace through it epoch by epoch, printing
 //       each published snapshot and the engine counters.  Optional fault
@@ -53,6 +54,12 @@
 //       Aggregates a --trace-out file into a per-phase table: event
 //       counts, total/mean/max span time, and each phase's share of the
 //       run's wall time.
+//
+//   tdmd_cli prof-report --profile=profile.collapsed
+//       Aggregates a serve-trace --prof-out file (collapsed stacks from
+//       the sampling CPU profiler) into a per-phase self/total sample
+//       table plus the attributed-sample fraction.  The raw file itself
+//       is flamegraph.pl input.
 //
 //   tdmd_cli quality-report --trace=trace.json
 //       Rebuilds the quality timeline (epoch/ratio series + alert edges)
@@ -93,6 +100,8 @@
 #include "io/text_format.hpp"
 #include "obs/fleet_report.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof_report.hpp"
+#include "obs/profiler.hpp"
 #include "obs/quality.hpp"
 #include "obs/quality_report.hpp"
 #include "obs/timeseries.hpp"
@@ -363,7 +372,53 @@ struct ShardedServeParams {
   std::size_t kill_shard_at = 0;  // 1-based epoch; 0 = never
   std::size_t kill_shard = 0;
   std::string trace_out;
+  std::string prof_out;
+  std::uint32_t prof_hz = obs::Profiler::kDefaultSampleHz;
 };
+
+/// Removes `positions` (indices into the pre-arrival `active` list, the
+/// DynamicPlacer positional-departure convention) in one compaction
+/// pass, returning the removed ids in position order.  The naive
+/// per-position erase is quadratic in the active count, and that CPU
+/// lands outside every trace span — it used to dominate profiled serve
+/// runs as unattributed samples.
+template <typename Id>
+std::vector<Id> TakeDepartures(std::vector<Id>& active,
+                               const std::vector<std::size_t>& positions) {
+  std::vector<Id> departing;
+  departing.reserve(positions.size());
+  std::vector<bool> leaving(active.size(), false);
+  for (std::size_t position : positions) {
+    departing.push_back(active[position]);
+    leaving[position] = true;
+  }
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    if (!leaving[i]) active[kept++] = active[i];
+  }
+  active.resize(kept);
+  return departing;
+}
+
+/// Uninstalls the profiler, drains its rings and writes the collapsed
+/// stacks (shared by the single-engine and sharded serve-trace paths).
+void FinishProfile(obs::Profiler& profiler, const std::string& prof_out) {
+  obs::InstallProfiler(nullptr);  // sampling stops; hooks no-op from here
+  const obs::ProfDrainResult drained = profiler.Drain();
+  if (!io::WriteFile(prof_out, [&](std::ostream& os) {
+        obs::WriteCollapsedProfile(os, drained);
+      })) {
+    Die("cannot write " + prof_out);
+  }
+  std::printf("profile    : %llu samples @%u Hz from %zu threads "
+              "(%llu dropped, %llu orphaned) -> %s (analyze with: "
+              "tdmd_cli prof-report --profile=%s)\n",
+              static_cast<unsigned long long>(drained.samples),
+              drained.sample_hz, drained.num_threads,
+              static_cast<unsigned long long>(drained.dropped),
+              static_cast<unsigned long long>(drained.orphaned),
+              prof_out.c_str(), prof_out.c_str());
+}
 
 int ServeTraceSharded(const core::Instance& inst,
                       const ShardedServeParams& params) {
@@ -408,11 +463,17 @@ int ServeTraceSharded(const core::Instance& inst,
     options.fault_spec = spec;
   }
   // Declared before the fleet so the workers are joined before the
-  // tracer's rings go away (the tracer lifecycle contract).
+  // tracer's/profiler's rings go away (the obs lifecycle contract).
   std::optional<obs::Tracer> tracer;
   if (!params.trace_out.empty()) {
     tracer.emplace();
     obs::InstallTracer(&*tracer);
+  }
+  std::optional<obs::Profiler> profiler;
+  if (!params.prof_out.empty()) {
+    obs::Profiler::Options prof_options;
+    prof_options.sample_hz = params.prof_hz;
+    profiler.emplace(prof_options);
   }
   shard::ShardedEngine fleet(inst.network(), options);
 
@@ -457,17 +518,15 @@ int ServeTraceSharded(const core::Instance& inst,
     }
   };
 
+  // Sampling starts here and stops right after the loop, so the profile
+  // covers exactly the served epochs — not instance loading, churn-trace
+  // synthesis, or the report writers (their samples would all be
+  // unattributed noise in prof-report).
+  if (profiler.has_value()) obs::InstallProfiler(&*profiler);
   std::size_t epochs_served = 0;
   for (const engine::ChurnEpoch& epoch : trace.epochs) {
-    std::vector<shard::FlowId64> departing;
-    departing.reserve(epoch.departures.size());
-    for (std::size_t position : epoch.departures) {
-      departing.push_back(active[position]);
-    }
-    for (auto it = epoch.departures.rbegin(); it != epoch.departures.rend();
-         ++it) {
-      active.erase(active.begin() + static_cast<std::ptrdiff_t>(*it));
-    }
+    std::vector<shard::FlowId64> departing =
+        TakeDepartures(active, epoch.departures);
     if (params.kill_shard_at != 0 &&
         epochs_served + 1 == params.kill_shard_at) {
       const std::size_t victim = params.kill_shard % params.shards;
@@ -485,6 +544,10 @@ int ServeTraceSharded(const core::Instance& inst,
       write_checkpoint();  // Checkpoint() drains the fleet itself
     }
   }
+  // Stop sampling at the end of the served epochs: the profile should
+  // answer "where did the serve loop's CPU go", not measure the report
+  // writers below.  FinishProfile's own uninstall is then a no-op.
+  if (profiler.has_value()) obs::InstallProfiler(nullptr);
 
   const shard::FleetSnapshot snapshot = fleet.Snapshot();
   const shard::FleetStats& stats = fleet.stats();
@@ -570,6 +633,7 @@ int ServeTraceSharded(const core::Instance& inst,
                 static_cast<unsigned long long>(drained.dropped),
                 params.trace_out.c_str(), params.trace_out.c_str());
   }
+  if (profiler.has_value()) FinishProfile(*profiler, params.prof_out);
   return snapshot.feasible ? 0 : 3;
 }
 
@@ -670,7 +734,16 @@ int ServeTrace(int argc, char** argv) {
       "quality-out", "",
       "write the engine's quality timeline (per-epoch realized ratio vs "
       "the 1-1/e floor, plus fired regression alerts) here");
+  const auto* prof_out = parser.AddString(
+      "prof-out", "",
+      "sample the run with the in-process CPU profiler and write "
+      "collapsed stacks here (feed to tdmd_cli prof-report or "
+      "flamegraph.pl)");
+  const auto* prof_hz = parser.AddInt(
+      "prof-hz", static_cast<int>(obs::Profiler::kDefaultSampleHz),
+      "profiler sample rate in Hz (with --prof-out)");
   parser.Parse(argc, argv);
+  if (*prof_hz <= 0) Die("--prof-hz must be positive");
 
   auto instance = io::ReadInstanceFile(*instance_path);
   if (!instance.ok()) Die(instance.error);
@@ -706,6 +779,8 @@ int ServeTrace(int argc, char** argv) {
     params.kill_shard_at = static_cast<std::size_t>(*kill_shard_at);
     params.kill_shard = static_cast<std::size_t>(*kill_shard);
     params.trace_out = *trace_out;
+    params.prof_out = *prof_out;
+    params.prof_hz = static_cast<std::uint32_t>(*prof_hz);
     return ServeTraceSharded(inst, params);
   }
 
@@ -735,11 +810,18 @@ int ServeTrace(int argc, char** argv) {
     options.fault_injector = &*injector;
   }
   // Declared before the engine so the engine's worker threads are joined
-  // before the tracer's rings go away (the tracer lifecycle contract).
+  // before the tracer's/profiler's rings go away (the obs lifecycle
+  // contract).
   std::optional<obs::Tracer> tracer;
   if (!trace_out->empty()) {
     tracer.emplace();
     obs::InstallTracer(&*tracer);
+  }
+  std::optional<obs::Profiler> profiler;
+  if (!prof_out->empty()) {
+    obs::Profiler::Options prof_options;
+    prof_options.sample_hz = static_cast<std::uint32_t>(*prof_hz);
+    profiler.emplace(prof_options);
   }
   engine::Engine eng(inst.network(), options);
 
@@ -811,19 +893,15 @@ int ServeTrace(int argc, char** argv) {
     }
   };
 
+  // Sampling starts here and stops right after the loop, so the profile
+  // covers exactly the served epochs — not instance loading, churn-trace
+  // synthesis, or the report writers (their samples would all be
+  // unattributed noise in prof-report).
+  if (profiler.has_value()) obs::InstallProfiler(&*profiler);
   std::size_t epochs_served = 0;
   for (const engine::ChurnEpoch& epoch : trace.epochs) {
-    // Positional departures index the pre-arrival active list (the
-    // DynamicPlacer convention); translate them to tickets.
-    std::vector<engine::FlowTicket> departing;
-    departing.reserve(epoch.departures.size());
-    for (std::size_t position : epoch.departures) {
-      departing.push_back(active[position]);
-    }
-    for (auto it = epoch.departures.rbegin(); it != epoch.departures.rend();
-         ++it) {
-      active.erase(active.begin() + static_cast<std::ptrdiff_t>(*it));
-    }
+    std::vector<engine::FlowTicket> departing =
+        TakeDepartures(active, epoch.departures);
     const engine::Engine::BatchResult batch =
         eng.SubmitBatch(epoch.arrivals, departing);
     active.insert(active.end(), batch.tickets.begin(),
@@ -838,6 +916,10 @@ int ServeTrace(int argc, char** argv) {
     }
   }
   eng.WaitIdle();
+  // Stop sampling at the end of the served epochs: the profile should
+  // answer "where did the serve loop's CPU go", not measure the report
+  // writers below.  FinishProfile's own uninstall is then a no-op.
+  if (profiler.has_value()) obs::InstallProfiler(nullptr);
 
   const auto snapshot = eng.CurrentSnapshot();
   const engine::EngineStats stats = eng.stats();
@@ -964,7 +1046,25 @@ int ServeTrace(int argc, char** argv) {
                 static_cast<unsigned long long>(drained.dropped),
                 trace_out->c_str());
   }
+  if (profiler.has_value()) FinishProfile(*profiler, *prof_out);
   return snapshot->feasible ? 0 : 3;
+}
+
+int ProfReportCommand(int argc, char** argv) {
+  ArgParser parser("tdmd_cli prof-report",
+                   "aggregate a serve-trace --prof-out collapsed-stack "
+                   "profile per phase");
+  const auto* profile_path = parser.AddString(
+      "profile", "profile.collapsed",
+      "collapsed-stack profile written by serve-trace --prof-out");
+  parser.Parse(argc, argv);
+
+  std::ifstream in(*profile_path);
+  if (!in) Die("cannot open '" + *profile_path + "'");
+  const obs::ProfReport report = obs::BuildProfReport(in);
+  if (!report.ok) Die(*profile_path + ": " + report.error);
+  obs::WriteProfReport(std::cout, report);
+  return 0;
 }
 
 int TraceReportCommand(int argc, char** argv) {
@@ -1139,7 +1239,8 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: tdmd_cli "
                  "<generate|solve|simulate|viz|serve-trace|trace-report"
-                 "|quality-report|shard-report|fleet-report|info> [flags]\n"
+                 "|prof-report|quality-report|shard-report|fleet-report"
+                 "|info> [flags]\n"
                  "       tdmd_cli <command> --help\n");
     return 2;
   }
@@ -1153,6 +1254,9 @@ int Main(int argc, char** argv) {
   if (command == "serve-trace") return ServeTrace(argc - 1, argv + 1);
   if (command == "trace-report") {
     return TraceReportCommand(argc - 1, argv + 1);
+  }
+  if (command == "prof-report") {
+    return ProfReportCommand(argc - 1, argv + 1);
   }
   if (command == "quality-report") {
     return QualityReportCommand(argc - 1, argv + 1);

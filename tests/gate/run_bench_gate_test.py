@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Fixture test for tools/bench_gate (ctest: bench_gate_fixture).
+
+Builds a synthetic baseline + gate config in a temp dir and proves the
+three contractual behaviours:
+
+  * an unchanged re-run of the workload stays green (exit 0);
+  * an injected 2x slowdown in a gated "lower" metric turns red (exit 1)
+    and an equivalent collapse of a "higher" metric turns red too;
+  * min-of-repeats folding: one noisy-bad run next to one good run of
+    the same artifact stays green;
+  * configuration errors (missing baseline, non-numeric metric) exit 2.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+BENCH_GATE = os.path.join(REPO_ROOT, "tools", "bench_gate")
+
+FAILURES = []
+
+
+def write_json(path, doc):
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle)
+
+
+def run_gate(args):
+    proc = subprocess.run(
+        [sys.executable, BENCH_GATE] + args,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    return proc.returncode, proc.stdout
+
+
+def check(name, expected_exit, args):
+    code, output = run_gate(args)
+    if code != expected_exit:
+        FAILURES.append("%s: expected exit %d, got %d\n%s"
+                        % (name, expected_exit, code, output))
+    return output
+
+
+def main():
+    with tempfile.TemporaryDirectory(prefix="bench_gate_test_") as tmp:
+        baselines = os.path.join(tmp, "baselines")
+        write_json(os.path.join(baselines, "BENCH_fake.json"),
+                   {"bench": "fake", "wall_ms": 100.0,
+                    "attributed_fraction": 0.9})
+        write_json(os.path.join(baselines, "gate.json"), {"metrics": [
+            {"file": "BENCH_fake.json", "metric": "wall_ms",
+             "direction": "lower", "rel_band": 0.20, "abs_slack": 0.0},
+            {"file": "BENCH_fake.json", "metric": "attributed_fraction",
+             "direction": "higher", "rel_band": 0.10, "abs_slack": 0.0},
+        ]})
+
+        # Unchanged re-run: identical numbers must pass.
+        same = os.path.join(tmp, "same")
+        write_json(os.path.join(same, "BENCH_fake.json"),
+                   {"wall_ms": 100.0, "attributed_fraction": 0.9})
+        check("unchanged", 0, ["--baselines", baselines, same])
+
+        # Noise inside the band passes too.
+        noisy = os.path.join(tmp, "noisy")
+        write_json(os.path.join(noisy, "BENCH_fake.json"),
+                   {"wall_ms": 115.0, "attributed_fraction": 0.85})
+        check("in-band noise", 0, ["--baselines", baselines, noisy])
+
+        # Injected 2x slowdown: far outside the 20% band, must fail.
+        slow = os.path.join(tmp, "slow")
+        write_json(os.path.join(slow, "BENCH_fake.json"),
+                   {"wall_ms": 200.0, "attributed_fraction": 0.9})
+        output = check("2x slowdown", 1, ["--baselines", baselines, slow])
+        if "FAIL" not in output or "wall_ms" not in output:
+            FAILURES.append("2x slowdown: output names no failing metric:\n"
+                            + output)
+
+        # Collapsed "higher" metric must fail as well.
+        collapsed = os.path.join(tmp, "collapsed")
+        write_json(os.path.join(collapsed, "BENCH_fake.json"),
+                   {"wall_ms": 100.0, "attributed_fraction": 0.4})
+        check("attribution collapse", 1, ["--baselines", baselines,
+                                          collapsed])
+
+        # Min-of-repeats: a good run beside the slow one rescues the gate.
+        check("min-of-repeats", 0, ["--baselines", baselines, slow, same])
+
+        # Missing baseline file and malformed metric are usage errors.
+        check("missing baseline", 2,
+              ["--baselines", os.path.join(tmp, "nowhere"), same])
+        broken = os.path.join(tmp, "broken")
+        write_json(os.path.join(broken, "BENCH_fake.json"),
+                   {"wall_ms": "fast", "attributed_fraction": 0.9})
+        check("non-numeric metric", 2, ["--baselines", baselines, broken])
+
+    if FAILURES:
+        print("bench_gate fixture test: %d failure(s)" % len(FAILURES))
+        for failure in FAILURES:
+            print("---\n" + failure)
+        return 1
+    print("bench_gate fixture test: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+// Fixture: std::chrono::system_clock used to measure a duration.  The
+// clock is wall-adjusted, so the difference below can go negative.
+// Expected findings (rule system-clock): lines 9 and 11.
+#include <chrono>
+
+namespace fixture {
+
+long ElapsedNs() {
+  const auto start = std::chrono::system_clock::now();
+  volatile long sink = 0;
+  const auto stop = std::chrono::system_clock::now();
+  return static_cast<long>((stop - start).count() + sink);
+}
+
+}  // namespace fixture

@@ -81,7 +81,11 @@ def main():
             ("fixtures/bad/hot_path_report.cpp", 10, "hot-path"),
             ("fixtures/bad/hot_path_report.cpp", 10, "hot-path"),
             ("fixtures/bad/hot_path_report.cpp", 14, "hot-path"),
+            # system_clock::now in a hot-path file fires both rules.
+            ("fixtures/bad/hot_path_report.cpp", 14, "system-clock"),
             ("fixtures/bad/not_self_contained.hpp", 1, "header-self-contained"),
+            ("fixtures/bad/system_clock_timing.cpp", 9, "system-clock"),
+            ("fixtures/bad/system_clock_timing.cpp", 11, "system-clock"),
             ("fixtures/bad/raw_mutex_use.cpp", 7, "raw-mutex"),
             ("fixtures/bad/raw_mutex_use.cpp", 10, "raw-mutex"),
             ("fixtures/bad/raw_mutex_use.cpp", 10, "raw-mutex"),

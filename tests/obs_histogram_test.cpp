@@ -212,6 +212,100 @@ TEST(ObsHistogramTest, RestoreRejectsIncoherentSnapshots) {
   EXPECT_EQ(h.sum(), 42u);
 }
 
+TEST(ObsHistogramTest, MergeWithEmptyIsIdentityBothWays) {
+  LatencyHistogram populated;
+  for (std::uint64_t v : {3u, 17u, 290u, 70000u}) populated.Record(v);
+  const HistogramSnapshot before = populated.Snapshot();
+
+  // Merging an empty histogram in — including one freshly restored from
+  // an empty snapshot — must change nothing, not even min (the merge may
+  // not adopt the empty side's zero sentinel).
+  LatencyHistogram empty;
+  ASSERT_TRUE(empty.Restore(HistogramSnapshot{}));
+  populated.Merge(empty);
+  EXPECT_EQ(populated.Snapshot().buckets, before.buckets);
+  EXPECT_EQ(populated.count(), before.count);
+  EXPECT_EQ(populated.sum(), before.sum);
+  EXPECT_EQ(populated.min(), before.min);
+  EXPECT_EQ(populated.max(), before.max);
+
+  // Merging into an empty histogram reproduces the source exactly.
+  LatencyHistogram target;
+  target.Merge(populated);
+  EXPECT_EQ(target.Snapshot().buckets, before.buckets);
+  EXPECT_EQ(target.min(), before.min);
+  EXPECT_EQ(target.max(), before.max);
+  EXPECT_EQ(target.Quantile(0.5), populated.Quantile(0.5));
+
+  // Empty-into-empty stays empty.
+  LatencyHistogram a;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.min(), 0u);
+  EXPECT_TRUE(a.Snapshot().buckets.empty());
+}
+
+TEST(ObsHistogramTest, OverflowBucketAccumulatesAcrossMerges) {
+  // Values at the very top of the u64 range all map into the final
+  // bucket; counts there must accumulate across Record and Merge rather
+  // than saturate or remap.
+  const std::uint64_t huge = ~std::uint64_t{0};
+  ASSERT_EQ(LatencyHistogram::BucketIndex(huge), kNumBuckets - 1);
+  ASSERT_EQ(LatencyHistogram::BucketIndex(huge - 1), kNumBuckets - 1);
+
+  LatencyHistogram a;
+  a.Record(huge);
+  a.Record(huge - 1);
+  LatencyHistogram b;
+  b.Record(huge);
+  b.Record(5);  // far-apart buckets survive the same merge
+  a.Merge(b);
+
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.min(), 5u);
+  EXPECT_EQ(a.max(), huge);
+  const HistogramSnapshot snapshot = a.Snapshot();
+  ASSERT_EQ(snapshot.buckets.size(), 2u);
+  EXPECT_EQ(snapshot.buckets.back().first, kNumBuckets - 1);
+  EXPECT_EQ(snapshot.buckets.back().second, 3u);
+  // The top-bucket lower bound exceeds no recorded value, and the
+  // quantile clamp keeps the report inside [min, max] even though the
+  // bucket nominally spans up to 2^64.
+  EXPECT_LE(LatencyHistogram::BucketLowerBound(kNumBuckets - 1), huge);
+  EXPECT_GE(a.Quantile(1.0),
+            LatencyHistogram::BucketLowerBound(kNumBuckets - 1));
+  EXPECT_LE(a.Quantile(1.0), huge);
+}
+
+TEST(ObsHistogramTest, SingleSampleQuantilesAfterMergeAndRestore) {
+  // A single sample must be reported exactly at every quantile, however
+  // it arrived: direct Record, Merge from another histogram, or Restore
+  // of a one-sample snapshot.
+  for (std::uint64_t value : {std::uint64_t{0}, std::uint64_t{15},
+                              std::uint64_t{16}, std::uint64_t{999983}}) {
+    LatencyHistogram direct;
+    direct.Record(value);
+
+    LatencyHistogram merged;
+    merged.Merge(direct);
+
+    LatencyHistogram restored;
+    ASSERT_TRUE(restored.Restore(direct.Snapshot()));
+
+    for (LatencyHistogram* h : {&direct, &merged, &restored}) {
+      EXPECT_EQ(h->count(), 1u) << "value " << value;
+      EXPECT_EQ(h->Quantile(0.0), value);
+      EXPECT_EQ(h->Quantile(0.5), value);
+      EXPECT_EQ(h->Quantile(1.0), value);
+      const HistogramSummary summary = h->Summarize();
+      EXPECT_EQ(summary.p50, value);
+      EXPECT_EQ(summary.p95, value);
+      EXPECT_EQ(summary.p99, value);
+      EXPECT_EQ(summary.mean, static_cast<double>(value));
+    }
+  }
+}
+
 TEST(ObsHistogramTest, ScopedTimerRecordsOnceAndNullIsInert) {
   LatencyHistogram h;
   { ScopedHistogramTimer timer(&h); }

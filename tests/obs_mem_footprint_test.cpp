@@ -1,0 +1,180 @@
+// Sanity-checks the MemoryFootprint() capacity accounting against the
+// allocator itself: a counting global operator new/delete (glibc
+// malloc_usable_size) tracks live heap bytes, and the footprint reported
+// by FlowCoverageIndex must land within 25% of the measured delta of
+// building one.  Also covers the MpscQueue node accounting and the
+// tdmd_mem_* / tdmd_build_info / tdmd_profile_* gauges in the engine's
+// Prometheus exposition.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "engine/coverage_index.hpp"
+#include "engine/engine.hpp"
+#include "obs/metrics.hpp"
+#include "shard/mpsc_queue.hpp"
+#include "test_util.hpp"
+#include "topology/generators.hpp"
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#define TDMD_HAVE_USABLE_SIZE 1
+#else
+#define TDMD_HAVE_USABLE_SIZE 0
+#endif
+
+namespace {
+
+// Live heap bytes as the allocator sees them (usable chunk sizes, so
+// malloc's bin rounding is included on both sides of a delta).
+std::atomic<std::size_t> g_live_bytes{0};
+
+std::size_t UsableSize(void* ptr) {
+#if TDMD_HAVE_USABLE_SIZE
+  return malloc_usable_size(ptr);
+#else
+  (void)ptr;
+  return 0;
+#endif
+}
+
+void* CountedAlloc(std::size_t size) {
+  void* ptr = std::malloc(size);
+  if (ptr == nullptr) throw std::bad_alloc();
+  g_live_bytes.fetch_add(UsableSize(ptr), std::memory_order_relaxed);
+  return ptr;
+}
+
+void CountedFree(void* ptr) noexcept {
+  if (ptr == nullptr) return;
+  g_live_bytes.fetch_sub(UsableSize(ptr), std::memory_order_relaxed);
+  std::free(ptr);
+}
+
+}  // namespace
+
+// Replaceable global allocation functions.  Alignment note: the repo's
+// hot structures carry no over-aligned members, so plain malloc (16-byte
+// aligned on glibc) satisfies every request this binary makes; the
+// aligned overloads still CHECK the assumption.
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  if (static_cast<std::size_t>(align) > alignof(std::max_align_t)) {
+    std::abort();  // would silently under-align; no caller should hit this
+  }
+  return CountedAlloc(size);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return operator new(size, align);
+}
+void operator delete(void* ptr) noexcept { CountedFree(ptr); }
+void operator delete[](void* ptr) noexcept { CountedFree(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { CountedFree(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { CountedFree(ptr); }
+void operator delete(void* ptr, std::align_val_t) noexcept {
+  CountedFree(ptr);
+}
+void operator delete[](void* ptr, std::align_val_t) noexcept {
+  CountedFree(ptr);
+}
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept {
+  CountedFree(ptr);
+}
+void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept {
+  CountedFree(ptr);
+}
+
+namespace tdmd::engine {
+namespace {
+
+TEST(ObsMemFootprint, CoverageIndexWithin25PercentOfAllocatorDelta) {
+#if !TDMD_HAVE_USABLE_SIZE
+  GTEST_SKIP() << "malloc_usable_size unavailable; cannot measure deltas";
+#endif
+  // Build the inputs before measuring so only the index's own ownership
+  // (including its copy of the network) lands inside the delta.
+  Rng rng(7);
+  const core::Instance instance =
+      test::MakeRandomGeneralCase(120, 0.5, 4000, rng);
+
+  const std::size_t before = g_live_bytes.load(std::memory_order_relaxed);
+  auto index = std::make_unique<FlowCoverageIndex>(
+      graph::Digraph(instance.network()), instance.lambda());
+  for (const traffic::Flow& flow : instance.flows()) {
+    (void)index->AddFlow(flow);
+  }
+  const std::size_t after = g_live_bytes.load(std::memory_order_relaxed);
+  ASSERT_GT(after, before);
+  const std::size_t delta = after - before - sizeof(FlowCoverageIndex);
+
+  const std::size_t footprint = index->MemoryFootprint();
+  ASSERT_GT(footprint, 0u);
+  // |footprint - delta| <= 25% of delta, per the tdmd_mem_* contract
+  // (DESIGN.md 16.2).  The footprint undercounts allocator chunk
+  // headers and overcounts nothing, so it normally sits just below.
+  EXPECT_GE(footprint * 4, delta * 3)
+      << "footprint " << footprint << " vs allocator delta " << delta;
+  EXPECT_LE(footprint * 4, delta * 5)
+      << "footprint " << footprint << " vs allocator delta " << delta;
+
+  // Removing every flow must not grow the accounted capacity, and the
+  // allocator must agree the index still owns everything it reports.
+  index.reset();
+  const std::size_t freed = g_live_bytes.load(std::memory_order_relaxed);
+  EXPECT_LE(freed, before + 1024)  // transient STL scratch tolerance
+      << "index destruction leaked " << (freed - before) << " bytes";
+}
+
+TEST(ObsMemFootprint, MpscQueueFootprintTracksOccupancy) {
+  shard::MpscQueue<std::uint64_t> queue;
+  EXPECT_EQ(queue.MemoryFootprint(), 0u);
+  constexpr std::size_t kPushes = 100;
+  for (std::uint64_t i = 0; i < kPushes; ++i) queue.Push(i);
+  // One node allocation per queued command.
+  EXPECT_GE(queue.MemoryFootprint(),
+            kPushes * (sizeof(std::uint64_t) + sizeof(void*)));
+  EXPECT_EQ(queue.MemoryFootprint() % kPushes, 0u);
+  std::uint64_t out = 0;
+  std::size_t popped = 0;
+  while (queue.Pop(out)) ++popped;
+  EXPECT_EQ(popped, kPushes);
+  EXPECT_EQ(queue.MemoryFootprint(), 0u);
+}
+
+TEST(ObsMemFootprint, EngineExposesMemoryBuildInfoAndProfilerGauges) {
+  Rng rng(11);
+  const core::Instance instance =
+      test::MakeRandomGeneralCase(40, 0.5, 300, rng);
+  EngineOptions options;
+  options.k = 6;
+  options.synchronous = true;
+  Engine eng(instance.network(), options);
+  (void)eng.SubmitBatch(instance.flows(), {});
+
+  const EngineMemoryStats stats = eng.MemoryUsage();
+  EXPECT_GT(stats.index_bytes, 0u);
+  EXPECT_GT(stats.snapshot_bytes, 0u);
+  EXPECT_EQ(stats.active_flows, instance.flows().size());
+
+  std::ostringstream os;
+  eng.DumpMetrics(os, obs::MetricsFormat::kPrometheus);
+  const std::string exposition = os.str();
+  for (const char* needle :
+       {"tdmd_mem_index_bytes", "tdmd_mem_snapshot_bytes",
+        "tdmd_mem_active_flows", "tdmd_mem_bytes_per_flow",
+        "tdmd_build_info{", "tdmd_profile_samples_total",
+        "tdmd_profile_dropped_total"}) {
+    EXPECT_NE(exposition.find(needle), std::string::npos)
+        << "exposition lacks " << needle;
+  }
+}
+
+}  // namespace
+}  // namespace tdmd::engine

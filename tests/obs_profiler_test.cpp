@@ -1,0 +1,304 @@
+// Sampling-profiler behavior: install/uninstall, phase attribution via
+// the span-maintained thread-local stack, collapsed-stack round trip
+// through BuildProfReport, ring-overwrite drop accounting, and the
+// latch-across-uninstall contract for ProfileSampleTotal /
+// ProfileDropTotal.  CPU-burning loops run until a target sample count
+// arrives (with a wall-clock cap), so slow or sanitized builds do not
+// flake.
+#include "obs/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/prof_report.hpp"
+#include "obs/trace.hpp"
+
+// TSan defers signal delivery to its interception points (function
+// entry/exit, atomics), so under TSan samples land disproportionately
+// at span boundaries — depth-specific stack-shape assertions do not
+// hold there.  Attribution totals and ring/drop/latch behavior do, and
+// obs_profiler_stress_test is the TSan-facing suite.
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define TDMD_TEST_UNDER_TSAN 1
+#endif
+#endif
+#if !defined(TDMD_TEST_UNDER_TSAN) && defined(__SANITIZE_THREAD__)
+#define TDMD_TEST_UNDER_TSAN 1
+#endif
+#ifndef TDMD_TEST_UNDER_TSAN
+#define TDMD_TEST_UNDER_TSAN 0
+#endif
+
+namespace tdmd::obs {
+namespace {
+
+/// Installs `profiler` for the test's scope; uninstalls on exit even if
+/// an assertion fails mid-test.
+class ScopedInstall {
+ public:
+  explicit ScopedInstall(Profiler* profiler) { InstallProfiler(profiler); }
+  ~ScopedInstall() { InstallProfiler(nullptr); }
+};
+
+/// Burns CPU inside an epoch > gtp-round span pair until the profiler has
+/// delivered at least `target` samples or ~10 s of wall time passed.
+/// Returns the delivered-sample total at exit.
+std::uint64_t BusySpansUntil(Profiler& profiler, std::uint64_t target) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  volatile std::uint64_t sink = 0;
+  while (profiler.SampleTotal() < target &&
+         std::chrono::steady_clock::now() < deadline) {
+    ScopedSpan epoch(TracePhase::kEpoch);
+    for (int i = 0; i < 200; ++i) {
+      ScopedSpan round(TracePhase::kGtpRound);
+      for (int j = 0; j < 5000; ++j) sink = sink + static_cast<unsigned>(j);
+    }
+  }
+  return profiler.SampleTotal();
+}
+
+TEST(ObsProfilerTest, NoProfilerInstalledIsInert) {
+  ASSERT_EQ(CurrentProfiler(), nullptr);
+  // Spans must be callable with no profiler (and no tracer): the hook
+  // path is one relaxed load of the shared hook word.
+  ScopedSpan span(TracePhase::kEpoch);
+  TraceInstant(TracePhase::kAdoption, 1);
+}
+
+TEST(ObsProfilerTest, SamplesAttributeToOpenPhases) {
+  Profiler profiler;
+  EXPECT_EQ(profiler.sample_hz(), Profiler::kDefaultSampleHz);
+  std::uint64_t delivered = 0;
+  {
+    ScopedInstall install(&profiler);
+    ASSERT_EQ(CurrentProfiler(), &profiler);
+    delivered = BusySpansUntil(profiler, 25);
+  }
+  ASSERT_GE(delivered, 25u) << "SIGPROF sampling did not deliver; "
+                               "ITIMER_PROF unavailable on this platform?";
+
+  const ProfDrainResult drained = profiler.Drain();
+  EXPECT_EQ(drained.sample_hz, Profiler::kDefaultSampleHz);
+  EXPECT_EQ(drained.num_threads, 1u);
+  EXPECT_GT(drained.samples, 0u);
+
+  // Nearly all CPU burned inside epoch>gtp-round: that stack must carry
+  // the dominant share, and attribution overall must clear 90%.
+  std::uint64_t attributed = 0;
+  std::uint64_t nested = 0;
+  for (const ProfStack& stack : drained.stacks) {
+    if (stack.phases.empty()) continue;
+    attributed += stack.count;
+    if (stack.phases.size() == 2 &&
+        stack.phases[0] == TracePhase::kEpoch &&
+        stack.phases[1] == TracePhase::kGtpRound) {
+      nested += stack.count;
+    }
+  }
+  const std::uint64_t total = drained.samples + drained.orphaned;
+  EXPECT_GE(attributed * 10, total * 9)
+      << attributed << " of " << total << " samples attributed";
+  if (!TDMD_TEST_UNDER_TSAN) {
+    EXPECT_GT(nested, 0u);
+  }
+  // Stacks arrive sorted by count descending.
+  for (std::size_t i = 1; i < drained.stacks.size(); ++i) {
+    EXPECT_GE(drained.stacks[i - 1].count, drained.stacks[i].count);
+  }
+}
+
+TEST(ObsProfilerTest, CollapsedProfileRoundTripsThroughReport) {
+  Profiler profiler;
+  {
+    ScopedInstall install(&profiler);
+    BusySpansUntil(profiler, 25);
+  }
+  const ProfDrainResult drained = profiler.Drain();
+  ASSERT_GT(drained.samples, 0u);
+
+  std::ostringstream os;
+  WriteCollapsedProfile(os, drained);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# tdmd-prof samples="), std::string::npos);
+  EXPECT_NE(text.find("hz=997"), std::string::npos);
+
+  std::istringstream is(text);
+  const ProfReport report = BuildProfReport(is);
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_EQ(report.samples, drained.samples);
+  EXPECT_EQ(report.orphaned, drained.orphaned);
+  EXPECT_EQ(report.sample_hz, drained.sample_hz);
+  EXPECT_GE(report.attributed_fraction, 0.9);
+  bool saw_gtp_round = false;
+  for (const ProfReportRow& row : report.rows) {
+    if (row.phase == "gtp-round") {
+      saw_gtp_round = true;
+      EXPECT_GT(row.self, 0u);
+      EXPECT_GE(row.total, row.self);
+    }
+  }
+  if (!TDMD_TEST_UNDER_TSAN) {
+    EXPECT_TRUE(saw_gtp_round);
+  }
+}
+
+TEST(ObsProfilerTest, TinyRingOverwritesAndCountsDrops) {
+  Profiler::Options options;
+  options.ring_capacity = 8;
+  Profiler profiler(options);
+  std::uint64_t delivered = 0;
+  {
+    ScopedInstall install(&profiler);
+    delivered = BusySpansUntil(profiler, 50);
+  }
+  ASSERT_GE(delivered, 50u);
+  const std::uint64_t dropped_before_drain = profiler.DroppedTotal();
+  EXPECT_GT(dropped_before_drain, 0u);
+  const ProfDrainResult drained = profiler.Drain();
+  EXPECT_LE(drained.samples, 8u);
+  EXPECT_GE(drained.dropped, dropped_before_drain);
+  // Drain clears the rings but keeps cumulative totals.
+  EXPECT_EQ(profiler.DroppedTotal(), drained.dropped);
+  const ProfDrainResult again = profiler.Drain();
+  EXPECT_EQ(again.samples, 0u);
+  EXPECT_EQ(again.dropped, drained.dropped);
+}
+
+TEST(ObsProfilerTest, TotalsLatchAcrossUninstall) {
+  std::uint64_t first_samples = 0;
+  {
+    Profiler profiler;
+    {
+      ScopedInstall install(&profiler);
+      BusySpansUntil(profiler, 10);
+    }
+    first_samples = ProfileSampleTotal();
+    ASSERT_GE(first_samples, 10u);
+    // Latched values answer while uninstalled, from the last profiler.
+    EXPECT_EQ(ProfileDropTotal(), profiler.DroppedTotal());
+  }
+  // The profiler is destroyed; the latched totals must survive it.
+  EXPECT_EQ(ProfileSampleTotal(), first_samples);
+
+  // A fresh install answers live again and re-latches on uninstall.
+  Profiler second;
+  {
+    ScopedInstall install(&second);
+    BusySpansUntil(second, 5);
+    EXPECT_EQ(ProfileSampleTotal(), second.SampleTotal());
+  }
+  EXPECT_EQ(ProfileSampleTotal(), second.SampleTotal());
+}
+
+TEST(ObsProfilerTest, DeepNestingKeepsOutermostFrames) {
+  Profiler profiler;
+  std::uint64_t delivered = 0;
+  {
+    ScopedInstall install(&profiler);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    volatile std::uint64_t sink = 0;
+    while (profiler.SampleTotal() < 15 &&
+           std::chrono::steady_clock::now() < deadline) {
+      // 9 nested spans: two deeper than kMaxProfiledDepth.  The sample
+      // must keep the outermost 7 and the push/pop must stay balanced.
+      ScopedSpan s1(TracePhase::kEpoch);
+      ScopedSpan s2(TracePhase::kIndexDelta);
+      ScopedSpan s3(TracePhase::kPatch);
+      ScopedSpan s4(TracePhase::kResolveAttempt);
+      ScopedSpan s5(TracePhase::kGtpRound);
+      ScopedSpan s6(TracePhase::kCelfPop);
+      ScopedSpan s7(TracePhase::kPoolTaskRun);
+      ScopedSpan s8(TracePhase::kCheckpoint);
+      ScopedSpan s9(TracePhase::kRestore);
+      for (int j = 0; j < 200000; ++j) sink = sink + static_cast<unsigned>(j);
+    }
+    delivered = profiler.SampleTotal();
+  }
+  ASSERT_GE(delivered, 15u);
+  const ProfDrainResult drained = profiler.Drain();
+  bool saw_capped = false;
+  for (const ProfStack& stack : drained.stacks) {
+    ASSERT_LE(stack.phases.size(), kMaxProfiledDepth);
+    if (stack.phases.size() == kMaxProfiledDepth &&
+        stack.phases.front() == TracePhase::kEpoch &&
+        stack.phases.back() == TracePhase::kPoolTaskRun) {
+      saw_capped = true;
+    }
+  }
+  if (!TDMD_TEST_UNDER_TSAN) {
+    EXPECT_TRUE(saw_capped);
+  }
+}
+
+TEST(ObsProfReportTest, SyntheticProfileSelfTotalMath) {
+  std::istringstream is(
+      "# tdmd-prof samples=10 dropped=1 orphaned=2 threads=3 hz=499\n"
+      "epoch;gtp-round 4\n"
+      "epoch 3\n"
+      "(unattributed) 3\n");
+  const ProfReport report = BuildProfReport(is);
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_EQ(report.samples, 10u);
+  EXPECT_EQ(report.dropped, 1u);
+  EXPECT_EQ(report.orphaned, 2u);
+  EXPECT_EQ(report.num_threads, 3u);
+  EXPECT_EQ(report.sample_hz, 499u);
+  // Unattributed = the explicit line (3) plus orphaned (2).
+  EXPECT_EQ(report.unattributed, 5u);
+  EXPECT_NEAR(report.attributed_fraction, 7.0 / 12.0, 1e-9);
+  ASSERT_EQ(report.rows.size(), 2u);
+  // gtp-round: self 4 (innermost of the nested stack), total 4.
+  EXPECT_EQ(report.rows[0].phase, "gtp-round");
+  EXPECT_EQ(report.rows[0].self, 4u);
+  EXPECT_EQ(report.rows[0].total, 4u);
+  // epoch: self 3 (the bare line), total 7 (both stacks).
+  EXPECT_EQ(report.rows[1].phase, "epoch");
+  EXPECT_EQ(report.rows[1].self, 3u);
+  EXPECT_EQ(report.rows[1].total, 7u);
+
+  std::ostringstream os;
+  WriteProfReport(os, report);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("10 samples @499 Hz"), std::string::npos);
+  EXPECT_NE(text.find("gtp-round"), std::string::npos);
+}
+
+TEST(ObsProfReportTest, MalformedInputsFailWithOneLineDiagnostics) {
+  const char* cases[][2] = {
+      {"epoch 3\n", "header"},
+      {"# tdmd-prof samples=abc dropped=0 orphaned=0 threads=1 hz=997\n",
+       "header"},
+      {"# tdmd-prof samples=4 dropped=0 orphaned=0 threads=1 hz=997\n"
+       "epoch\n",
+       "count"},
+      {"# tdmd-prof samples=4 dropped=0 orphaned=0 threads=1 hz=997\n"
+       "epoch notanumber\n",
+       "count"},
+      {"# tdmd-prof samples=4 dropped=0 orphaned=0 threads=1 hz=997\n"
+       "epoch;; 3\n",
+       "frame"},
+      {"# tdmd-prof samples=0 dropped=0 orphaned=0 threads=0 hz=997\n",
+       "no samples"},
+  };
+  for (const auto& test_case : cases) {
+    std::istringstream is(test_case[0]);
+    const ProfReport report = BuildProfReport(is);
+    EXPECT_FALSE(report.ok) << "input: " << test_case[0];
+    EXPECT_NE(report.error.find(test_case[1]), std::string::npos)
+        << "diagnostic '" << report.error << "' does not mention '"
+        << test_case[1] << "'";
+    // One-line contract: diagnostics never embed newlines.
+    EXPECT_EQ(report.error.find('\n'), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace tdmd::obs
